@@ -1,0 +1,30 @@
+package gavel
+
+import (
+	"testing"
+
+	"gavel/internal/experiments"
+)
+
+// Ablation benchmarks for the design choices DESIGN.md calls out: the
+// max-min refinement pass and the space-sharing candidate cap.
+
+func BenchmarkAblationRefinementPass(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		out, err := experiments.AblationRefinementPass(benchOpt)
+		if err != nil {
+			b.Fatal(err)
+		}
+		report(b, "Ablation: refinement pass", out.Report)
+	}
+}
+
+func BenchmarkAblationPairCap(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		out, err := experiments.AblationPairCap(benchOpt)
+		if err != nil {
+			b.Fatal(err)
+		}
+		report(b, "Ablation: SS pair cap", out.Report)
+	}
+}

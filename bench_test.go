@@ -1,0 +1,203 @@
+// Benchmarks regenerating every table and figure of the paper's evaluation
+// (§7 + Appendix A.2). Each benchmark runs the corresponding experiment at
+// harness scale and reports the same rows/series the paper plots; absolute
+// numbers differ from the paper (synthetic simulator, not the authors'
+// testbed) but the shape — who wins and by roughly what factor — should
+// hold. Run with:
+//
+//	go test -bench=. -benchmem
+//
+// Reports are printed once per benchmark (on the first iteration).
+package gavel
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+
+	"gavel/internal/experiments"
+)
+
+// benchOpt keeps the full bench suite tractable; cmd/gavel-sim -full runs
+// paper-scale sweeps.
+var benchOpt = experiments.Options{Jobs: 100, Seeds: 1, Warmup: 10}
+
+var printOnce sync.Map
+
+func report(b *testing.B, key, rep string) {
+	b.Helper()
+	if _, loaded := printOnce.LoadOrStore(key, true); !loaded {
+		fmt.Printf("\n===== %s =====\n%s\n", key, rep)
+	}
+}
+
+func BenchmarkFigure1(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rep := experiments.Figure1()
+		report(b, "Figure 1", rep)
+	}
+}
+
+func BenchmarkTable2(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rep := experiments.Table2()
+		report(b, "Table 2", rep)
+	}
+}
+
+func BenchmarkTable3(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		out, err := experiments.Table3(benchOpt)
+		if err != nil {
+			b.Fatal(err)
+		}
+		report(b, "Table 3", out.Report)
+	}
+}
+
+func BenchmarkFigure8(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		out, err := experiments.Figure8(benchOpt)
+		if err != nil {
+			b.Fatal(err)
+		}
+		report(b, "Figure 8", out.Report)
+	}
+}
+
+func BenchmarkFigure9(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		out, err := experiments.Figure9(benchOpt)
+		if err != nil {
+			b.Fatal(err)
+		}
+		report(b, "Figure 9", out.Report)
+	}
+}
+
+func BenchmarkFigure10(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		out, err := experiments.Figure10(benchOpt)
+		if err != nil {
+			b.Fatal(err)
+		}
+		report(b, "Figure 10", out.Report)
+	}
+}
+
+func BenchmarkFigure11(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		out, err := experiments.Figure11()
+		if err != nil {
+			b.Fatal(err)
+		}
+		report(b, "Figure 11", out.Report)
+	}
+}
+
+func BenchmarkFigure12(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		out, err := experiments.Figure12([]int{32, 128, 512})
+		if err != nil {
+			b.Fatal(err)
+		}
+		report(b, "Figure 12", out.Report)
+	}
+}
+
+func BenchmarkFigure13(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		out, err := experiments.Figure13(benchOpt)
+		if err != nil {
+			b.Fatal(err)
+		}
+		report(b, "Figure 13", out.Report)
+	}
+}
+
+func BenchmarkFigure14(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		out, err := experiments.Figure14(benchOpt)
+		if err != nil {
+			b.Fatal(err)
+		}
+		report(b, "Figure 14", out.Report)
+	}
+}
+
+func BenchmarkFigure15(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rep := experiments.Figure15()
+		report(b, "Figure 15", rep)
+	}
+}
+
+func BenchmarkFigure16(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		out, err := experiments.Figure16(benchOpt)
+		if err != nil {
+			b.Fatal(err)
+		}
+		report(b, "Figure 16", out.Report)
+	}
+}
+
+func BenchmarkFigure17(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		out, err := experiments.Figure17(benchOpt)
+		if err != nil {
+			b.Fatal(err)
+		}
+		report(b, "Figure 17", out.Report)
+	}
+}
+
+func BenchmarkFigure18(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		out, err := experiments.Figure18(benchOpt)
+		if err != nil {
+			b.Fatal(err)
+		}
+		report(b, "Figure 18", out.Report)
+	}
+}
+
+func BenchmarkFigure19(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		out, err := experiments.Figure19(benchOpt)
+		if err != nil {
+			b.Fatal(err)
+		}
+		report(b, "Figure 19", out.Report)
+	}
+}
+
+func BenchmarkFigure20(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		out, err := experiments.Figure20(benchOpt)
+		if err != nil {
+			b.Fatal(err)
+		}
+		report(b, "Figure 20", out.Report)
+	}
+}
+
+func BenchmarkFigure21(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		out, err := experiments.Figure21()
+		if err != nil {
+			b.Fatal(err)
+		}
+		report(b, "Figure 21", out.Report)
+	}
+}
+
+func BenchmarkCostPolicies(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		out, err := experiments.CostPolicies(benchOpt)
+		if err != nil {
+			b.Fatal(err)
+		}
+		report(b, "Cost policies (§7.3)", out.Report)
+	}
+}

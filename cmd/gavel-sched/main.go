@@ -1,0 +1,70 @@
+// gavel-sched is the scheduler daemon for physical deployments: it serves
+// the Gavel control plane (internal/rpc) on a TCP port, accepts a synthetic
+// batch of jobs from the model zoo, and hands out round-based micro-task
+// leases to gavel-worker processes until the batch completes.
+//
+// Usage:
+//
+//	gavel-sched -listen :8642 -jobs 8 -round 10
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"time"
+
+	"gavel/internal/rpc"
+	"gavel/internal/workload"
+)
+
+func main() {
+	var (
+		listen = flag.String("listen", "127.0.0.1:8642", "address to serve the control plane on")
+		jobs   = flag.Int("jobs", 4, "number of synthetic jobs to run")
+		round  = flag.Float64("round", 10, "round duration in seconds")
+		steps  = flag.Float64("steps", 2000, "training steps per job")
+	)
+	flag.Parse()
+
+	sched := rpc.NewScheduler(*round)
+	addr, err := sched.Serve(*listen)
+	if err != nil {
+		log.Fatalf("gavel-sched: %v", err)
+	}
+	defer sched.Close()
+	log.Printf("gavel-sched: serving on %s, %d jobs, %gs rounds", addr, *jobs, *round)
+
+	zoo := workload.Zoo()
+	for i := 0; i < *jobs; i++ {
+		cfg := zoo[(i*7)%len(zoo)]
+		hint := map[string]float64{}
+		for t, name := range workload.TypeNames {
+			if workload.Fits(cfg, t) {
+				hint[name] = workload.Throughput(cfg, t)
+			}
+		}
+		sched.Submit(rpc.JobSpec{
+			JobID:          i,
+			Name:           cfg.Name(),
+			TotalSteps:     *steps,
+			ThroughputHint: hint,
+		})
+		log.Printf("gavel-sched: submitted job %d (%s, %.0f steps)", i, cfg.Name(), *steps)
+	}
+
+	for {
+		done := 0
+		for i := 0; i < *jobs; i++ {
+			if sched.JobDone(i) {
+				done++
+			}
+		}
+		fmt.Printf("gavel-sched: %d/%d jobs complete\n", done, *jobs)
+		if done == *jobs {
+			log.Printf("gavel-sched: batch complete")
+			return
+		}
+		time.Sleep(time.Duration(*round) * time.Second / 2)
+	}
+}

@@ -1,0 +1,144 @@
+// gavel-sim drives the experiment harness: it regenerates any table or
+// figure from the paper's evaluation on the simulator substrate.
+//
+// Usage:
+//
+//	gavel-sim -exp fig8            # one experiment at default scale
+//	gavel-sim -exp all -jobs 400   # bigger traces
+//	gavel-sim -exp table3 -full    # paper-scale run
+//	gavel-sim -list                # list experiment ids
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+	"strings"
+
+	"gavel/internal/experiments"
+)
+
+func main() {
+	var (
+		exp   = flag.String("exp", "all", "experiment id (fig1, table2, table3, fig8..fig21, cost, all)")
+		jobs  = flag.Int("jobs", 120, "jobs per trace")
+		seeds = flag.Int("seeds", 1, "seeds per data point")
+		full  = flag.Bool("full", false, "paper-scale runs (long): 600 jobs, 3 seeds")
+		list  = flag.Bool("list", false, "list experiment ids and exit")
+	)
+	flag.Parse()
+
+	opt := experiments.Options{Jobs: *jobs, Seeds: *seeds, Warmup: 10}
+	if *full {
+		opt.Jobs, opt.Seeds = 600, 3
+	}
+
+	runners := map[string]func() (string, error){
+		"fig1":   func() (string, error) { return experiments.Figure1(), nil },
+		"table2": func() (string, error) { return experiments.Table2(), nil },
+		"table3": func() (string, error) {
+			o, err := experiments.Table3(opt)
+			return reportOf(o, err)
+		},
+		"fig8": func() (string, error) {
+			o, err := experiments.Figure8(opt)
+			return reportOf(o, err)
+		},
+		"fig9": func() (string, error) {
+			o, err := experiments.Figure9(opt)
+			return reportOf(o, err)
+		},
+		"fig10": func() (string, error) {
+			o, err := experiments.Figure10(opt)
+			return reportOf(o, err)
+		},
+		"fig11": func() (string, error) {
+			o, err := experiments.Figure11()
+			return reportOf(o, err)
+		},
+		"fig12": func() (string, error) {
+			sizes := []int{32, 128, 512}
+			if *full {
+				sizes = append(sizes, 1024, 2048)
+			}
+			o, err := experiments.Figure12(sizes)
+			return reportOf(o, err)
+		},
+		"fig13": func() (string, error) {
+			o, err := experiments.Figure13(opt)
+			return reportOf(o, err)
+		},
+		"fig14": func() (string, error) {
+			o, err := experiments.Figure14(opt)
+			return reportOf(o, err)
+		},
+		"fig15": func() (string, error) { return experiments.Figure15(), nil },
+		"fig16": func() (string, error) {
+			o, err := experiments.Figure16(opt)
+			return reportOf(o, err)
+		},
+		"fig17": func() (string, error) {
+			o, err := experiments.Figure17(opt)
+			return reportOf(o, err)
+		},
+		"fig18": func() (string, error) {
+			o, err := experiments.Figure18(opt)
+			return reportOf(o, err)
+		},
+		"fig19": func() (string, error) {
+			o, err := experiments.Figure19(opt)
+			return reportOf(o, err)
+		},
+		"fig20": func() (string, error) {
+			o, err := experiments.Figure20(opt)
+			return reportOf(o, err)
+		},
+		"fig21": func() (string, error) {
+			o, err := experiments.Figure21()
+			return reportOf(o, err)
+		},
+		"cost": func() (string, error) {
+			o, err := experiments.CostPolicies(opt)
+			return reportOf(o, err)
+		},
+	}
+
+	ids := make([]string, 0, len(runners))
+	for id := range runners {
+		ids = append(ids, id)
+	}
+	sort.Strings(ids)
+
+	if *list {
+		fmt.Println(strings.Join(ids, "\n"))
+		return
+	}
+
+	var selected []string
+	if *exp == "all" {
+		selected = ids
+	} else {
+		if _, ok := runners[*exp]; !ok {
+			fmt.Fprintf(os.Stderr, "gavel-sim: unknown experiment %q (use -list)\n", *exp)
+			os.Exit(2)
+		}
+		selected = []string{*exp}
+	}
+	for _, id := range selected {
+		rep, err := runners[id]()
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "gavel-sim: %s: %v\n", id, err)
+			os.Exit(1)
+		}
+		fmt.Printf("===== %s =====\n%s\n", id, rep)
+	}
+}
+
+// reportOf extracts the Report field shared by all experiment outcomes.
+func reportOf(o fmt.Stringer, err error) (string, error) {
+	if err != nil {
+		return "", err
+	}
+	return o.String(), nil
+}

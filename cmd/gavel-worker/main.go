@@ -1,0 +1,126 @@
+// gavel-worker is the worker daemon for physical deployments: it registers
+// with gavel-sched, leases micro-tasks round by round, and runs a synthetic
+// training loop through the GavelIterator analog (internal/iterator),
+// checkpointing to a local file when its lease is not renewed — the §6
+// deployment model with the GPU replaced by a calibrated busy-loop.
+//
+// Usage:
+//
+//	gavel-worker -scheduler 127.0.0.1:8642 -type v100
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"strconv"
+	"strings"
+	"time"
+
+	"gavel/internal/iterator"
+	"gavel/internal/rpc"
+)
+
+func main() {
+	var (
+		schedAddr = flag.String("scheduler", "127.0.0.1:8642", "scheduler control-plane address")
+		accType   = flag.String("type", "v100", "accelerator type this worker exposes (v100|p100|k80)")
+		server    = flag.String("server", "srv0", "physical server id (consolidation unit)")
+		ckptDir   = flag.String("ckpt", os.TempDir(), "checkpoint directory")
+		stepsSec  = flag.Float64("steps-per-sec", 50, "synthetic training speed on this device")
+	)
+	flag.Parse()
+
+	client, err := rpc.Dial(*schedAddr, rpc.RegisterArgs{
+		AcceleratorType: *accType,
+		Server:          *server,
+	})
+	if err != nil {
+		log.Fatalf("gavel-worker: %v", err)
+	}
+	defer client.Close()
+	log.Printf("gavel-worker: registered as worker %d (%s), %s rounds", client.WorkerID, *accType, client.Round)
+
+	idle := 0
+	for {
+		lease, err := client.Lease()
+		if err != nil {
+			log.Fatalf("gavel-worker: lease: %v", err)
+		}
+		if lease.Empty {
+			idle++
+			if idle > 20 {
+				log.Printf("gavel-worker: no work for %d rounds, exiting", idle)
+				return
+			}
+			time.Sleep(500 * time.Millisecond)
+			continue
+		}
+		idle = 0
+		jobID := lease.JobIDs[0]
+		if err := runLease(client, lease, jobID, *ckptDir, *stepsSec); err != nil {
+			log.Printf("gavel-worker: job %d: %v", jobID, err)
+		}
+	}
+}
+
+// runLease executes one micro-task: a synthetic training loop under the
+// iterator, bounded by a scaled-down wall-clock round.
+func runLease(client *rpc.Client, lease *rpc.Lease, jobID int, ckptDir string, stepsPerSec float64) error {
+	ckptPath := fmt.Sprintf("%s/gavel-job-%d.ckpt", ckptDir, jobID)
+	ck := iterator.Funcs{
+		Load: func() (int64, error) {
+			b, err := os.ReadFile(ckptPath)
+			if errors.Is(err, os.ErrNotExist) {
+				return 0, nil
+			}
+			if err != nil {
+				return 0, err
+			}
+			return strconv.ParseInt(strings.TrimSpace(string(b)), 10, 64)
+		},
+		Save: func(step int64) error {
+			return os.WriteFile(ckptPath, []byte(strconv.FormatInt(step, 10)), 0o644)
+		},
+	}
+	// Cap each micro-task at a short wall-clock slice so the demo loop
+	// stays responsive regardless of the configured round length.
+	budget := time.Duration(lease.RoundSeconds * float64(time.Second))
+	if budget > 3*time.Second {
+		budget = 3 * time.Second
+	}
+	deadline := time.Now().Add(budget)
+	stepDur := time.Duration(float64(time.Second) / stepsPerSec)
+	fake := &leaseAdapter{client: client, jobID: jobID, deadline: deadline, renewed: lease.Renewed}
+	it := iterator.New(ck, fake, func(step int64) error {
+		time.Sleep(stepDur) // the "GPU"
+		return nil
+	})
+	err := it.RunRound(context.Background())
+	if errors.Is(err, iterator.ErrLeaseExpired) {
+		log.Printf("gavel-worker: job %d checkpointed at step %d", jobID, it.CurrentStep())
+		return nil
+	}
+	return err
+}
+
+// leaseAdapter bridges the rpc client to the iterator's Lease interface.
+type leaseAdapter struct {
+	client   *rpc.Client
+	jobID    int
+	deadline time.Time
+	renewed  bool
+}
+
+func (l *leaseAdapter) Renewed() bool { return l.renewed }
+
+func (l *leaseAdapter) RoundRemaining() time.Duration {
+	return time.Until(l.deadline)
+}
+
+func (l *leaseAdapter) ReportThroughput(t float64) error {
+	return l.client.Report(l.jobID, t)
+}

@@ -1,0 +1,84 @@
+package gavel
+
+import (
+	"math"
+	"testing"
+)
+
+// The facade must be usable exactly as the README shows.
+func TestFacadeQuickstart(t *testing.T) {
+	trace := NewTrace(TraceOptions{NumJobs: 10, LambdaPerHour: 4, Seed: 1,
+		DurationMinMinutes: 20, DurationMaxMinutes: 100})
+	res, err := Simulate(SimulationConfig{
+		Cluster:      Simulated108(),
+		Policy:       MaxMinFairnessPolicy(),
+		Trace:        trace,
+		RoundSeconds: 360,
+	})
+	if err != nil {
+		t.Fatalf("Simulate: %v", err)
+	}
+	if res.Unfinished != 0 {
+		t.Fatalf("%d unfinished", res.Unfinished)
+	}
+	if avg := res.AvgJCT(0); math.IsNaN(avg) || avg <= 0 {
+		t.Fatalf("bad avg JCT %v", avg)
+	}
+}
+
+// Every facade policy constructor must produce a policy that survives a
+// tiny simulation.
+func TestFacadePolicyCatalog(t *testing.T) {
+	trace := NewTrace(TraceOptions{NumJobs: 6, Seed: 2,
+		DurationMinMinutes: 20, DurationMaxMinutes: 60})
+	pols := map[string]Policy{
+		"max_min":        MaxMinFairnessPolicy(),
+		"max_min_pri":    MaxMinFairnessWithPriorities(),
+		"fifo":           FIFOPolicy(),
+		"sjf":            ShortestJobFirstPolicy(),
+		"makespan":       MakespanPolicy(),
+		"ftf":            FinishTimeFairnessPolicy(),
+		"min_cost":       MinCostPolicy(false),
+		"min_cost_slo":   MinCostPolicy(true),
+		"max_throughput": MaxTotalThroughputPolicy(),
+		"hierarchical":   HierarchicalPolicy(map[int]float64{0: 1}, nil),
+		"agnostic_las":   HeterogeneityAgnostic(MaxMinFairnessPolicy()),
+		"allox":          AlloXPolicy(),
+		"gandiva":        GandivaPolicy(3),
+	}
+	for name, p := range pols {
+		res, err := Simulate(SimulationConfig{
+			Cluster:      Small12(),
+			Policy:       p,
+			Trace:        trace,
+			RoundSeconds: 360,
+			SpaceSharing: name == "gandiva",
+		})
+		if err != nil {
+			t.Errorf("%s: %v", name, err)
+			continue
+		}
+		if res.Unfinished != 0 {
+			t.Errorf("%s: %d unfinished", name, res.Unfinished)
+		}
+	}
+}
+
+func TestFacadeEstimatorProvider(t *testing.T) {
+	trace := NewTrace(TraceOptions{NumJobs: 8, LambdaPerHour: 1, Seed: 3,
+		DurationMinMinutes: 20, DurationMaxMinutes: 60})
+	res, err := Simulate(SimulationConfig{
+		Cluster:      Small12(),
+		Policy:       MaxMinFairnessPolicy(),
+		Trace:        trace,
+		RoundSeconds: 360,
+		SpaceSharing: true,
+		Provider:     NewThroughputEstimator(5, 3),
+	})
+	if err != nil {
+		t.Fatalf("Simulate with estimator: %v", err)
+	}
+	if res.Unfinished != 0 {
+		t.Fatalf("%d unfinished", res.Unfinished)
+	}
+}

@@ -1,0 +1,104 @@
+// Package assignment implements min-cost bipartite matching (the Hungarian
+// algorithm with potentials, O(n^3)). It is the substrate for the AlloX
+// baseline policy: AlloX minimizes average job completion time on a
+// heterogeneous cluster by solving an assignment of jobs to
+// (accelerator, position-from-the-end) slots with cost = position x
+// processing time.
+package assignment
+
+import (
+	"fmt"
+	"math"
+)
+
+// Inf marks a forbidden assignment edge.
+var Inf = math.Inf(1)
+
+// Solve returns, for a rows x cols cost matrix with rows <= cols, the
+// min-cost assignment of every row to a distinct column. result[i] is the
+// column assigned to row i. Entries may be Inf to forbid an edge; if no
+// finite-cost assignment exists an error is returned.
+func Solve(cost [][]float64) (assign []int, total float64, err error) {
+	n := len(cost)
+	if n == 0 {
+		return nil, 0, nil
+	}
+	m := len(cost[0])
+	if n > m {
+		return nil, 0, fmt.Errorf("assignment: rows (%d) exceed cols (%d)", n, m)
+	}
+	for i, row := range cost {
+		if len(row) != m {
+			return nil, 0, fmt.Errorf("assignment: ragged row %d", i)
+		}
+	}
+
+	// Classic O(n^3) Hungarian with row/column potentials, 1-indexed
+	// internally. Adapted from the standard shortest-augmenting-path form.
+	u := make([]float64, n+1)
+	v := make([]float64, m+1)
+	p := make([]int, m+1) // p[j] = row matched to column j (0 = none)
+	way := make([]int, m+1)
+
+	for i := 1; i <= n; i++ {
+		p[0] = i
+		j0 := 0
+		minv := make([]float64, m+1)
+		used := make([]bool, m+1)
+		for j := range minv {
+			minv[j] = Inf
+		}
+		for {
+			used[j0] = true
+			i0 := p[j0]
+			delta := Inf
+			j1 := -1
+			for j := 1; j <= m; j++ {
+				if used[j] {
+					continue
+				}
+				cur := cost[i0-1][j-1] - u[i0] - v[j]
+				if cur < minv[j] {
+					minv[j] = cur
+					way[j] = j0
+				}
+				if minv[j] < delta {
+					delta = minv[j]
+					j1 = j
+				}
+			}
+			if math.IsInf(delta, 1) {
+				return nil, 0, fmt.Errorf("assignment: no feasible assignment (row %d isolated)", i-1)
+			}
+			for j := 0; j <= m; j++ {
+				if used[j] {
+					u[p[j]] += delta
+					v[j] -= delta
+				} else {
+					minv[j] -= delta
+				}
+			}
+			j0 = j1
+			if p[j0] == 0 {
+				break
+			}
+		}
+		// Augment along the alternating path.
+		for j0 != 0 {
+			j1 := way[j0]
+			p[j0] = p[j1]
+			j0 = j1
+		}
+	}
+
+	assign = make([]int, n)
+	for j := 1; j <= m; j++ {
+		if p[j] > 0 {
+			assign[p[j]-1] = j - 1
+		}
+	}
+	for i := range assign {
+		total += cost[i][assign[i]]
+	}
+	return assign, total, nil
+}

@@ -1,0 +1,124 @@
+package assignment
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestKnownAssignment(t *testing.T) {
+	cost := [][]float64{
+		{4, 1, 3},
+		{2, 0, 5},
+		{3, 2, 2},
+	}
+	assign, total, err := Solve(cost)
+	if err != nil {
+		t.Fatalf("Solve: %v", err)
+	}
+	if math.Abs(total-5) > 1e-9 {
+		t.Fatalf("total = %v, want 5 (assign %v)", total, assign)
+	}
+}
+
+func TestRectangular(t *testing.T) {
+	// 2 rows, 3 cols: rows pick their cheapest distinct columns.
+	cost := [][]float64{
+		{10, 1, 10},
+		{10, 2, 1},
+	}
+	assign, total, err := Solve(cost)
+	if err != nil {
+		t.Fatalf("Solve: %v", err)
+	}
+	if math.Abs(total-2) > 1e-9 {
+		t.Fatalf("total = %v, want 2 (assign %v)", total, assign)
+	}
+	if assign[0] == assign[1] {
+		t.Fatalf("columns not distinct: %v", assign)
+	}
+}
+
+func TestForbiddenEdges(t *testing.T) {
+	cost := [][]float64{
+		{Inf, 1},
+		{1, Inf},
+	}
+	assign, total, err := Solve(cost)
+	if err != nil {
+		t.Fatalf("Solve: %v", err)
+	}
+	if assign[0] != 1 || assign[1] != 0 || math.Abs(total-2) > 1e-9 {
+		t.Fatalf("assign = %v total = %v", assign, total)
+	}
+}
+
+func TestNoFeasibleAssignment(t *testing.T) {
+	cost := [][]float64{
+		{Inf, Inf},
+		{1, 1},
+	}
+	if _, _, err := Solve(cost); err == nil {
+		t.Fatal("want infeasibility error")
+	}
+}
+
+func TestTooManyRows(t *testing.T) {
+	cost := [][]float64{{1}, {2}}
+	if _, _, err := Solve(cost); err == nil {
+		t.Fatal("want rows > cols error")
+	}
+}
+
+func TestEmpty(t *testing.T) {
+	assign, total, err := Solve(nil)
+	if err != nil || assign != nil || total != 0 {
+		t.Fatalf("empty: %v %v %v", assign, total, err)
+	}
+}
+
+// Property: on random square matrices the Hungarian result matches brute
+// force over all permutations (n <= 6).
+func TestPropertyMatchesBruteForce(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 1 + rng.Intn(6)
+		cost := make([][]float64, n)
+		for i := range cost {
+			cost[i] = make([]float64, n)
+			for j := range cost[i] {
+				cost[i][j] = rng.Float64() * 10
+			}
+		}
+		_, total, err := Solve(cost)
+		if err != nil {
+			return false
+		}
+		best := math.Inf(1)
+		perm := make([]int, n)
+		for i := range perm {
+			perm[i] = i
+		}
+		var rec func(k int, cur float64)
+		rec = func(k int, cur float64) {
+			if cur >= best {
+				return
+			}
+			if k == n {
+				best = cur
+				return
+			}
+			for i := k; i < n; i++ {
+				perm[k], perm[i] = perm[i], perm[k]
+				rec(k+1, cur+cost[k][perm[k]])
+				perm[k], perm[i] = perm[i], perm[k]
+			}
+		}
+		rec(0, 0)
+		return math.Abs(total-best) < 1e-7
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}

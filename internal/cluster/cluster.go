@@ -1,0 +1,146 @@
+// Package cluster models a heterogeneous accelerator cluster: accelerator
+// types with counts, per-server consolidation units, and on-demand prices.
+// It is the physical substrate Gavel's policies allocate over and the
+// round-based mechanism places jobs onto.
+package cluster
+
+import "fmt"
+
+// AcceleratorType describes one class of device in the cluster.
+type AcceleratorType struct {
+	Name         string
+	Count        int     // number of devices of this type
+	PricePerHour float64 // on-demand price, dollars/hour (GCP-style)
+	PerServer    int     // devices per physical server (consolidation unit)
+}
+
+// Spec is a full cluster description.
+type Spec struct {
+	Types []AcceleratorType
+}
+
+// NumTypes returns the number of accelerator types.
+func (s *Spec) NumTypes() int { return len(s.Types) }
+
+// TotalDevices returns the total device count across all types.
+func (s *Spec) TotalDevices() int {
+	n := 0
+	for _, t := range s.Types {
+		n += t.Count
+	}
+	return n
+}
+
+// Workers returns per-type device counts as float64s, the form the policy
+// LPs consume.
+func (s *Spec) Workers() []float64 {
+	w := make([]float64, len(s.Types))
+	for i, t := range s.Types {
+		w[i] = float64(t.Count)
+	}
+	return w
+}
+
+// Prices returns per-type dollar-per-hour prices.
+func (s *Spec) Prices() []float64 {
+	p := make([]float64, len(s.Types))
+	for i, t := range s.Types {
+		p[i] = t.PricePerHour
+	}
+	return p
+}
+
+// TypeIndex returns the index of the named type, or -1.
+func (s *Spec) TypeIndex(name string) int {
+	for i, t := range s.Types {
+		if t.Name == name {
+			return i
+		}
+	}
+	return -1
+}
+
+// Validate checks structural sanity.
+func (s *Spec) Validate() error {
+	if len(s.Types) == 0 {
+		return fmt.Errorf("cluster: no accelerator types")
+	}
+	seen := map[string]bool{}
+	for _, t := range s.Types {
+		if t.Name == "" {
+			return fmt.Errorf("cluster: unnamed accelerator type")
+		}
+		if seen[t.Name] {
+			return fmt.Errorf("cluster: duplicate type %q", t.Name)
+		}
+		seen[t.Name] = true
+		if t.Count <= 0 {
+			return fmt.Errorf("cluster: type %q has count %d", t.Name, t.Count)
+		}
+		if t.PerServer <= 0 {
+			return fmt.Errorf("cluster: type %q has %d devices per server", t.Name, t.PerServer)
+		}
+		if t.PricePerHour < 0 {
+			return fmt.Errorf("cluster: type %q has negative price", t.Name)
+		}
+	}
+	return nil
+}
+
+// GCP-style on-demand prices used throughout the paper's cost experiments.
+const (
+	PriceV100 = 2.48
+	PriceP100 = 1.46
+	PriceK80  = 0.45
+)
+
+// Physical48 is the paper's physical testbed: 8 V100s, 16 P100s, 24 K80s
+// (§7.1), with 8-GPU servers.
+func Physical48() Spec {
+	return Spec{Types: []AcceleratorType{
+		{Name: "v100", Count: 8, PricePerHour: PriceV100, PerServer: 8},
+		{Name: "p100", Count: 16, PricePerHour: PriceP100, PerServer: 8},
+		{Name: "k80", Count: 24, PricePerHour: PriceK80, PerServer: 8},
+	}}
+}
+
+// Simulated108 is the paper's larger simulated cluster: 36 of each type.
+func Simulated108() Spec {
+	return Spec{Types: []AcceleratorType{
+		{Name: "v100", Count: 36, PricePerHour: PriceV100, PerServer: 8},
+		{Name: "p100", Count: 36, PricePerHour: PriceP100, PerServer: 8},
+		{Name: "k80", Count: 36, PricePerHour: PriceK80, PerServer: 8},
+	}}
+}
+
+// Small9 is the 3 V100 / 3 P100 / 3 K80 cluster used by the multi-level
+// fairness timelines (Figures 11 and 21).
+func Small9() Spec {
+	return Spec{Types: []AcceleratorType{
+		{Name: "v100", Count: 3, PricePerHour: PriceV100, PerServer: 4},
+		{Name: "p100", Count: 3, PricePerHour: PriceP100, PerServer: 4},
+		{Name: "k80", Count: 3, PricePerHour: PriceK80, PerServer: 4},
+	}}
+}
+
+// Small12 is the 12-GPU cluster used in the throughput-estimator experiment
+// (Figure 14).
+func Small12() Spec {
+	return Spec{Types: []AcceleratorType{
+		{Name: "v100", Count: 4, PricePerHour: PriceV100, PerServer: 4},
+		{Name: "p100", Count: 4, PricePerHour: PriceP100, PerServer: 4},
+		{Name: "k80", Count: 4, PricePerHour: PriceK80, PerServer: 4},
+	}}
+}
+
+// Scaled returns a copy of s with every type count multiplied by factor
+// (used by the policy-scaling experiment, Figure 12, where cluster size
+// grows with the number of active jobs).
+func (s Spec) Scaled(factor int) Spec {
+	out := Spec{Types: make([]AcceleratorType, len(s.Types))}
+	copy(out.Types, s.Types)
+	for i := range out.Types {
+		out.Types[i].Count *= factor
+	}
+	return out
+}

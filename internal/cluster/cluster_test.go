@@ -1,0 +1,80 @@
+package cluster
+
+import "testing"
+
+func TestStandardClusters(t *testing.T) {
+	cases := []struct {
+		name  string
+		spec  Spec
+		total int
+	}{
+		{"Physical48", Physical48(), 48},
+		{"Simulated108", Simulated108(), 108},
+		{"Small9", Small9(), 9},
+		{"Small12", Small12(), 12},
+	}
+	for _, c := range cases {
+		if err := c.spec.Validate(); err != nil {
+			t.Errorf("%s invalid: %v", c.name, err)
+		}
+		if got := c.spec.TotalDevices(); got != c.total {
+			t.Errorf("%s has %d devices, want %d", c.name, got, c.total)
+		}
+		if c.spec.NumTypes() != 3 {
+			t.Errorf("%s: want 3 types", c.name)
+		}
+	}
+}
+
+func TestWorkersAndPrices(t *testing.T) {
+	s := Physical48()
+	w := s.Workers()
+	if w[0] != 8 || w[1] != 16 || w[2] != 24 {
+		t.Fatalf("workers = %v", w)
+	}
+	p := s.Prices()
+	if p[0] != PriceV100 || p[2] != PriceK80 {
+		t.Fatalf("prices = %v", p)
+	}
+}
+
+func TestTypeIndex(t *testing.T) {
+	s := Simulated108()
+	if s.TypeIndex("p100") != 1 {
+		t.Fatal("p100 index")
+	}
+	if s.TypeIndex("tpu") != -1 {
+		t.Fatal("unknown type should be -1")
+	}
+}
+
+func TestValidateRejectsBadSpecs(t *testing.T) {
+	bad := []Spec{
+		{},
+		{Types: []AcceleratorType{{Name: "", Count: 1, PerServer: 1}}},
+		{Types: []AcceleratorType{{Name: "a", Count: 0, PerServer: 1}}},
+		{Types: []AcceleratorType{{Name: "a", Count: 1, PerServer: 0}}},
+		{Types: []AcceleratorType{{Name: "a", Count: 1, PerServer: 1, PricePerHour: -1}}},
+		{Types: []AcceleratorType{
+			{Name: "a", Count: 1, PerServer: 1},
+			{Name: "a", Count: 1, PerServer: 1},
+		}},
+	}
+	for i, s := range bad {
+		if err := s.Validate(); err == nil {
+			t.Errorf("case %d: want validation error", i)
+		}
+	}
+}
+
+func TestScaled(t *testing.T) {
+	s := Small9().Scaled(4)
+	if s.TotalDevices() != 36 {
+		t.Fatalf("scaled total = %d, want 36", s.TotalDevices())
+	}
+	// Original untouched.
+	orig := Small9()
+	if orig.TotalDevices() != 9 {
+		t.Fatal("Scaled mutated the receiver")
+	}
+}

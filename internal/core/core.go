@@ -1,0 +1,316 @@
+// Package core implements Gavel's policy framework: allocation matrices over
+// scheduling units (single jobs and space-sharing job pairs), effective
+// throughput (§3.1), and the shared linear-program constraint structure that
+// makes any objective expressible over effective throughput automatically
+// heterogeneity-, colocation-, and placement-aware.
+package core
+
+import (
+	"fmt"
+	"math"
+
+	"gavel/internal/lp"
+)
+
+// Unit is a scheduling unit: one job, or a pair of jobs sharing a device
+// (space sharing, §3.1). Jobs holds indices into the policy input's job
+// list; Tput[k][j] is the throughput (iterations/sec) of member k when the
+// unit runs on accelerator type j. A zero Tput entry means the unit cannot
+// run on that type.
+type Unit struct {
+	Jobs []int
+	Tput [][]float64
+}
+
+// Single constructs a one-job unit.
+func Single(job int, tput []float64) Unit {
+	return Unit{Jobs: []int{job}, Tput: [][]float64{tput}}
+}
+
+// Pair constructs a two-job space-sharing unit.
+func Pair(a, b int, ta, tb []float64) Unit {
+	return Unit{Jobs: []int{a, b}, Tput: [][]float64{ta, tb}}
+}
+
+// IsPair reports whether the unit is a space-sharing combination.
+func (u *Unit) IsPair() bool { return len(u.Jobs) == 2 }
+
+// Contains reports whether the unit includes the given job.
+func (u *Unit) Contains(job int) bool { return u.memberIndex(job) >= 0 }
+
+// memberIndex returns the position of job within u.Jobs, or -1.
+func (u *Unit) memberIndex(job int) int {
+	for k, j := range u.Jobs {
+		if j == job {
+			return k
+		}
+	}
+	return -1
+}
+
+// Allocation is the policy output: X[u][j] is the fraction of wall-clock
+// time unit u should spend on accelerator type j.
+type Allocation struct {
+	Units []Unit
+	X     [][]float64
+}
+
+// EffectiveThroughput returns throughput(m, X): the time-weighted average
+// throughput of job m across its units and accelerator types (§3.1).
+func (a *Allocation) EffectiveThroughput(job int) float64 {
+	var s float64
+	for ui := range a.Units {
+		u := &a.Units[ui]
+		k := u.memberIndex(job)
+		if k < 0 {
+			continue
+		}
+		for j, x := range a.X[ui] {
+			if x > 0 {
+				s += x * u.Tput[k][j]
+			}
+		}
+	}
+	return s
+}
+
+// JobTimeFraction returns the total time fraction job m is scheduled for
+// (across all its units and types). Valid allocations keep this <= 1.
+func (a *Allocation) JobTimeFraction(job int) float64 {
+	var s float64
+	for ui := range a.Units {
+		if a.Units[ui].memberIndex(job) < 0 {
+			continue
+		}
+		for _, x := range a.X[ui] {
+			s += x
+		}
+	}
+	return s
+}
+
+// Validate checks the allocation against the standard constraints: entries
+// in [0,1], per-job time budget <= 1, and per-type worker capacity.
+func (a *Allocation) Validate(scaleFactors []int, workers []float64) error {
+	numJobs := 0
+	for _, u := range a.Units {
+		for _, j := range u.Jobs {
+			if j+1 > numJobs {
+				numJobs = j + 1
+			}
+		}
+	}
+	if len(a.X) != len(a.Units) {
+		return fmt.Errorf("core: X has %d rows, %d units", len(a.X), len(a.Units))
+	}
+	const tol = 1e-5
+	for ui, row := range a.X {
+		for j, x := range row {
+			if x < -tol || x > 1+tol {
+				return fmt.Errorf("core: X[%d][%d] = %v out of [0,1]", ui, j, x)
+			}
+		}
+	}
+	for m := 0; m < numJobs; m++ {
+		if f := a.JobTimeFraction(m); f > 1+tol {
+			return fmt.Errorf("core: job %d time fraction %v > 1", m, f)
+		}
+	}
+	if len(workers) > 0 {
+		used := make([]float64, len(workers))
+		for ui, row := range a.X {
+			sf := 1.0
+			for _, jm := range a.Units[ui].Jobs {
+				if jm < len(scaleFactors) && float64(scaleFactors[jm]) > sf {
+					sf = float64(scaleFactors[jm])
+				}
+			}
+			for j, x := range row {
+				used[j] += x * sf
+			}
+		}
+		for j := range workers {
+			if used[j] > workers[j]+tol*10 {
+				return fmt.Errorf("core: type %d oversubscribed: %v > %v", j, used[j], workers[j])
+			}
+		}
+	}
+	return nil
+}
+
+// Program is a partially-built policy LP: variables X[u][j] wired with the
+// standard validity constraints. Policies add their objective terms and any
+// extra constraints, then Solve.
+type Program struct {
+	P     *lp.Problem
+	Units []Unit
+	// XVar[u][j] is the LP variable index of X[u][j], or -1 when the unit
+	// cannot run on type j (zero throughput for all members).
+	XVar    [][]int
+	numJobs int
+}
+
+// NewProgram builds the LP skeleton for the given units under the standard
+// constraints (§3.1):
+//
+//	sum over units containing m, sum over j of X_uj           <= 1   per job m
+//	sum over u of X_uj * scaleFactor(u)                       <= W_j per type j
+//	X_uj >= 0 (implicit; the per-job budget bounds X_uj <= 1)
+//
+// scaleFactors is per *job*; a pair unit inherits the max of its members
+// (in practice pairs are only formed between single-worker jobs).
+func NewProgram(sense lp.Sense, units []Unit, scaleFactors []int, workers []float64) *Program {
+	p := lp.NewProblem(sense)
+	numTypes := len(workers)
+	xv := make([][]int, len(units))
+	numJobs := 0
+	for ui := range units {
+		u := &units[ui]
+		xv[ui] = make([]int, numTypes)
+		for _, jm := range u.Jobs {
+			if jm+1 > numJobs {
+				numJobs = jm + 1
+			}
+		}
+		for j := 0; j < numTypes; j++ {
+			usable := false
+			for k := range u.Jobs {
+				if u.Tput[k][j] > 0 {
+					usable = true
+					break
+				}
+			}
+			if usable {
+				xv[ui][j] = p.AddVar(0, fmt.Sprintf("x[%d][%d]", ui, j))
+			} else {
+				xv[ui][j] = -1
+			}
+		}
+	}
+
+	// Per-job time budget: sum over the job's units of sum_j X_uj <= 1.
+	for m := 0; m < numJobs; m++ {
+		var terms []lp.Term
+		for ui := range units {
+			if units[ui].memberIndex(m) < 0 {
+				continue
+			}
+			for j := 0; j < numTypes; j++ {
+				if xv[ui][j] >= 0 {
+					terms = append(terms, lp.Term{Var: xv[ui][j], Coeff: 1})
+				}
+			}
+		}
+		if len(terms) > 0 {
+			p.AddConstraint(terms, lp.LE, 1)
+		}
+	}
+
+	// Per-type worker capacity.
+	for j := 0; j < numTypes; j++ {
+		var terms []lp.Term
+		for ui := range units {
+			if xv[ui][j] < 0 {
+				continue
+			}
+			sf := 1.0
+			for _, jm := range units[ui].Jobs {
+				if jm < len(scaleFactors) && float64(scaleFactors[jm]) > sf {
+					sf = float64(scaleFactors[jm])
+				}
+			}
+			terms = append(terms, lp.Term{Var: xv[ui][j], Coeff: sf})
+		}
+		if len(terms) > 0 {
+			p.AddConstraint(terms, lp.LE, workers[j])
+		}
+	}
+
+	return &Program{P: p, Units: units, XVar: xv, numJobs: numJobs}
+}
+
+// NumJobs returns the number of distinct jobs across the program's units.
+func (pr *Program) NumJobs() int { return pr.numJobs }
+
+// ThroughputTerms returns LP terms expressing throughput(m, X) scaled by
+// factor: factor * sum over units u containing m of T(u,m,j) * X_uj.
+func (pr *Program) ThroughputTerms(job int, factor float64) []lp.Term {
+	var terms []lp.Term
+	for ui := range pr.Units {
+		u := &pr.Units[ui]
+		k := u.memberIndex(job)
+		if k < 0 {
+			continue
+		}
+		for j, v := range pr.XVar[ui] {
+			if v >= 0 && u.Tput[k][j] > 0 {
+				terms = append(terms, lp.Term{Var: v, Coeff: factor * u.Tput[k][j]})
+			}
+		}
+	}
+	return terms
+}
+
+// Extract converts an LP solution vector into an Allocation, clamping tiny
+// negative noise to zero.
+func (pr *Program) Extract(x []float64) *Allocation {
+	numTypes := 0
+	if len(pr.XVar) > 0 {
+		numTypes = len(pr.XVar[0])
+	}
+	X := make([][]float64, len(pr.Units))
+	for ui := range pr.Units {
+		X[ui] = make([]float64, numTypes)
+		for j, v := range pr.XVar[ui] {
+			if v < 0 {
+				continue
+			}
+			val := x[v]
+			if val < 0 {
+				val = 0
+			}
+			if val > 1 {
+				val = 1
+			}
+			X[ui][j] = val
+		}
+	}
+	return &Allocation{Units: pr.Units, X: X}
+}
+
+// EqualShareThroughput returns throughput(m, X^equal): the effective
+// throughput job m (as a single-job unit with throughputs tput) would see
+// under the allocation that gives it time on each type proportional to that
+// type's share of the cluster (§4.1). Used to normalize fairness
+// objectives so they are comparable across jobs.
+func EqualShareThroughput(tput []float64, workers []float64) float64 {
+	total := 0.0
+	for _, w := range workers {
+		total += w
+	}
+	if total == 0 {
+		return 0
+	}
+	var s float64
+	for j, w := range workers {
+		s += tput[j] * (w / total)
+	}
+	return s
+}
+
+// MaxThroughput returns max_j tput[j] (throughput on the fastest type for
+// this job; the FIFO policy's normalizer).
+func MaxThroughput(tput []float64) float64 {
+	m := 0.0
+	for _, t := range tput {
+		if t > m {
+			m = t
+		}
+	}
+	return m
+}
+
+// Finite reports whether v is a usable throughput (not NaN/Inf, > 0).
+func Finite(v float64) bool {
+	return !math.IsNaN(v) && !math.IsInf(v, 0) && v > 0
+}

@@ -1,0 +1,197 @@
+package core
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"gavel/internal/lp"
+)
+
+func TestEffectiveThroughputSingle(t *testing.T) {
+	a := &Allocation{
+		Units: []Unit{Single(0, []float64{4, 2, 1})},
+		X:     [][]float64{{0.5, 0.25, 0}},
+	}
+	got := a.EffectiveThroughput(0)
+	want := 4*0.5 + 2*0.25
+	if math.Abs(got-want) > 1e-12 {
+		t.Fatalf("throughput = %v, want %v", got, want)
+	}
+}
+
+func TestEffectiveThroughputWithPair(t *testing.T) {
+	// Job 0 runs alone 40% on type 0 and in a pair 50% on type 1.
+	a := &Allocation{
+		Units: []Unit{
+			Single(0, []float64{4, 2}),
+			Single(1, []float64{3, 3}),
+			Pair(0, 1, []float64{2, 1.5}, []float64{2, 2}),
+		},
+		X: [][]float64{{0.4, 0}, {0, 0}, {0, 0.5}},
+	}
+	got := a.EffectiveThroughput(0)
+	want := 4*0.4 + 1.5*0.5
+	if math.Abs(got-want) > 1e-12 {
+		t.Fatalf("throughput = %v, want %v", got, want)
+	}
+	if got1 := a.EffectiveThroughput(1); math.Abs(got1-2*0.5) > 1e-12 {
+		t.Fatalf("job 1 throughput = %v, want 1.0", got1)
+	}
+}
+
+func TestJobTimeFraction(t *testing.T) {
+	a := &Allocation{
+		Units: []Unit{
+			Single(0, []float64{1, 1}),
+			Pair(0, 1, []float64{1, 1}, []float64{1, 1}),
+		},
+		X: [][]float64{{0.3, 0.2}, {0.1, 0.25}},
+	}
+	if f := a.JobTimeFraction(0); math.Abs(f-0.85) > 1e-12 {
+		t.Fatalf("fraction = %v, want 0.85", f)
+	}
+}
+
+func TestValidateCatchesOversubscription(t *testing.T) {
+	a := &Allocation{
+		Units: []Unit{Single(0, []float64{1}), Single(1, []float64{1})},
+		X:     [][]float64{{0.9}, {0.9}},
+	}
+	if err := a.Validate([]int{1, 1}, []float64{1}); err == nil {
+		t.Fatal("want oversubscription error")
+	}
+	if err := a.Validate([]int{1, 1}, []float64{2}); err != nil {
+		t.Fatalf("valid allocation rejected: %v", err)
+	}
+}
+
+func TestValidateCatchesJobOverBudget(t *testing.T) {
+	a := &Allocation{
+		Units: []Unit{Single(0, []float64{1, 1})},
+		X:     [][]float64{{0.7, 0.7}},
+	}
+	if err := a.Validate([]int{1}, []float64{5, 5}); err == nil {
+		t.Fatal("want per-job budget error")
+	}
+}
+
+func TestNewProgramInfeasibleTypeGetsNoVar(t *testing.T) {
+	units := []Unit{Single(0, []float64{4, 0})}
+	pr := NewProgram(lp.Maximize, units, []int{1}, []float64{1, 1})
+	if pr.XVar[0][1] != -1 {
+		t.Fatal("type with zero throughput should have no variable")
+	}
+	if pr.XVar[0][0] < 0 {
+		t.Fatal("usable type should have a variable")
+	}
+}
+
+func TestProgramScaleFactorCapacity(t *testing.T) {
+	// Two 4-worker jobs on a type with 4 workers: only one can run at a
+	// time, so max total time fractions = 1.
+	units := []Unit{Single(0, []float64{1}), Single(1, []float64{1})}
+	pr := NewProgram(lp.Maximize, units, []int{4, 4}, []float64{4})
+	for m := 0; m < 2; m++ {
+		for _, tm := range pr.ThroughputTerms(m, 1) {
+			pr.P.AddObj(tm.Var, tm.Coeff)
+		}
+	}
+	res, err := pr.P.Solve()
+	if err != nil || res.Status != lp.Optimal {
+		t.Fatalf("solve: %v %v", err, res)
+	}
+	if res.Objective > 1+1e-6 {
+		t.Fatalf("objective = %v, want <= 1 (scale factor capacity)", res.Objective)
+	}
+}
+
+// Property: Extract always produces allocations satisfying the validity
+// constraints the program was built with, for any LP objective.
+func TestPropertyExtractIsValid(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		nJobs := 1 + rng.Intn(6)
+		nTypes := 1 + rng.Intn(3)
+		workers := make([]float64, nTypes)
+		for j := range workers {
+			workers[j] = float64(1 + rng.Intn(4))
+		}
+		sf := make([]int, nJobs)
+		units := make([]Unit, 0, nJobs+3)
+		for m := 0; m < nJobs; m++ {
+			sf[m] = 1
+			if rng.Float64() < 0.3 {
+				sf[m] = 1 + rng.Intn(3)
+			}
+			tput := make([]float64, nTypes)
+			for j := range tput {
+				if rng.Float64() < 0.85 {
+					tput[j] = rng.Float64() * 10
+				}
+			}
+			units = append(units, Single(m, tput))
+		}
+		// A couple of random pairs between single-worker jobs.
+		for p := 0; p < 2 && nJobs >= 2; p++ {
+			a, b := rng.Intn(nJobs), rng.Intn(nJobs)
+			if a == b || sf[a] > 1 || sf[b] > 1 {
+				continue
+			}
+			ta := make([]float64, nTypes)
+			tb := make([]float64, nTypes)
+			for j := range ta {
+				ta[j] = rng.Float64() * 5
+				tb[j] = rng.Float64() * 5
+			}
+			units = append(units, Pair(a, b, ta, tb))
+		}
+		pr := NewProgram(lp.Maximize, units, sf, workers)
+		// Random objective.
+		for v := 0; v < pr.P.NumVars(); v++ {
+			pr.P.SetObj(v, rng.Float64())
+		}
+		res, err := pr.P.Solve()
+		if err != nil || res.Status != lp.Optimal {
+			return false
+		}
+		alloc := pr.Extract(res.X)
+		return alloc.Validate(sf, workers) == nil
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestEqualShareThroughput(t *testing.T) {
+	// 1 V100 (tput 4) + 1 K80 (tput 1): equal time share on each device.
+	got := EqualShareThroughput([]float64{4, 1}, []float64{1, 1})
+	if math.Abs(got-2.5) > 1e-12 {
+		t.Fatalf("equal share = %v, want 2.5", got)
+	}
+	// Weighted by worker counts.
+	got = EqualShareThroughput([]float64{4, 1}, []float64{1, 3})
+	want := 4*0.25 + 1*0.75
+	if math.Abs(got-want) > 1e-12 {
+		t.Fatalf("equal share = %v, want %v", got, want)
+	}
+}
+
+func TestMaxThroughput(t *testing.T) {
+	if MaxThroughput([]float64{1, 5, 3}) != 5 {
+		t.Fatal("MaxThroughput")
+	}
+	if MaxThroughput(nil) != 0 {
+		t.Fatal("MaxThroughput(nil)")
+	}
+}
+
+func TestFinite(t *testing.T) {
+	if Finite(0) || Finite(-1) || Finite(math.NaN()) || Finite(math.Inf(1)) {
+		t.Fatal("Finite accepts bad values")
+	}
+	if !Finite(1.5) {
+		t.Fatal("Finite rejects 1.5")
+	}
+}

@@ -1,0 +1,192 @@
+// Package estimator implements Gavel's throughput estimator (§3.3, §6,
+// Figure 7): colocated throughputs for new jobs are predicted by profiling
+// the job against a few reference jobs, completing the sparse measurement
+// matrix with low-rank matrix completion (Quasar-style), and copying the
+// space-sharing profile of the closest pre-profiled reference job. Actual
+// measurements observed by the scheduler as pairs run are fed back and
+// override estimates.
+package estimator
+
+import (
+	"math"
+	"math/rand"
+	"sync"
+
+	"gavel/internal/linalg"
+	"gavel/internal/matcomp"
+	"gavel/internal/workload"
+)
+
+// Estimator predicts colocated throughputs. It implements the simulator's
+// ThroughputProvider interface: isolated throughputs are passed through
+// from the oracle (they are measured on the fly as jobs run on each type
+// over rounds, §3.3), while colocated throughputs are estimated.
+type Estimator struct {
+	mu sync.Mutex
+
+	refs []workload.Config // reference job set (profiled offline)
+	// refProfile[r][p] = normalized retained throughput of reference r
+	// colocated with reference p on the profiling type.
+	refProfile *linalg.Matrix
+	profType   int
+
+	// per new-job state, keyed by job ID
+	jobs map[int]*jobEstimate
+
+	profilesPerJob int
+	rng            *rand.Rand
+}
+
+type jobEstimate struct {
+	closestRef int
+	// measured overrides: (partner configIndex, type) -> retained fraction
+	measured map[[2]int]float64
+}
+
+// New builds an estimator with the given reference set (typically the full
+// model zoo) profiled offline on the profiling type (the paper profiles on
+// a P100; Figure 15). profilesPerJob is how many reference colocations each
+// new job is measured against before matrix completion fills in the rest.
+func New(refs []workload.Config, profType, profilesPerJob int, seed int64) *Estimator {
+	e := &Estimator{
+		refs:           refs,
+		profType:       profType,
+		jobs:           map[int]*jobEstimate{},
+		profilesPerJob: profilesPerJob,
+		rng:            rand.New(rand.NewSource(seed)),
+	}
+	n := len(refs)
+	e.refProfile = linalg.NewMatrix(n, n)
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			e.refProfile.Set(i, j, retained(refs[i], refs[j], profType))
+		}
+	}
+	return e
+}
+
+// retained is the fraction of isolated throughput config a keeps when
+// colocated with b on type t (0 when the pair cannot colocate).
+func retained(a, b workload.Config, t int) float64 {
+	ta, _, ok := workload.Colocated(a, b, t)
+	if !ok {
+		return 0
+	}
+	iso := workload.Throughput(a, t)
+	if iso <= 0 {
+		return 0
+	}
+	return ta / iso
+}
+
+// fingerprint profiles a new job against profilesPerJob random references,
+// completes the augmented matrix, and returns the closest reference row.
+func (e *Estimator) fingerprint(cfg workload.Config) int {
+	n := len(e.refs)
+	obs := linalg.NewMatrix(n+1, n)
+	observed := make([][]bool, n+1)
+	for i := 0; i < n; i++ {
+		observed[i] = make([]bool, n)
+		for j := 0; j < n; j++ {
+			obs.Set(i, j, e.refProfile.At(i, j))
+			observed[i][j] = true
+		}
+	}
+	observed[n] = make([]bool, n)
+	k := e.profilesPerJob
+	if k > n {
+		k = n
+	}
+	for _, p := range e.rng.Perm(n)[:k] {
+		obs.Set(n, p, retained(cfg, e.refs[p], e.profType))
+		observed[n][p] = true
+	}
+	completed, err := matcomp.Complete(obs, observed, matcomp.Options{Rank: 4, Seed: 17})
+	row := make([]float64, n)
+	if err == nil {
+		copy(row, completed.Row(n))
+	} else {
+		// Degenerate profiling: fall back to the observed entries only.
+		copy(row, obs.Row(n))
+	}
+	best, bestDist := 0, math.Inf(1)
+	for r := 0; r < n; r++ {
+		var d float64
+		for j := 0; j < n; j++ {
+			diff := row[j] - e.refProfile.At(r, j)
+			d += diff * diff
+		}
+		if d < bestDist {
+			best, bestDist = r, d
+		}
+	}
+	return best
+}
+
+func (e *Estimator) stateFor(j *workload.Job) *jobEstimate {
+	st := e.jobs[j.ID]
+	if st == nil {
+		st = &jobEstimate{
+			closestRef: e.fingerprint(j.Config),
+			measured:   map[[2]int]float64{},
+		}
+		e.jobs[j.ID] = st
+	}
+	return st
+}
+
+// Isolated implements simulator.ThroughputProvider: measured on the fly,
+// so pass the oracle value through.
+func (e *Estimator) Isolated(j *workload.Job, t int) float64 {
+	if !workload.Fits(j.Config, t) {
+		return 0
+	}
+	return workload.ScaledThroughput(j.Config, t, j.ScaleFactor, true)
+}
+
+// Colocated implements simulator.ThroughputProvider: returns measured
+// values when available, otherwise the closest reference job's retained
+// fraction applied to each job's isolated throughput.
+func (e *Estimator) Colocated(a, b *workload.Job, t int) (float64, float64, bool) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	// Memory feasibility is known from job metadata without profiling.
+	if workload.MemFraction(a.Config, t)+workload.MemFraction(b.Config, t) > 1 {
+		return 0, 0, false
+	}
+	ta := e.estimateOne(a, b, t)
+	tb := e.estimateOne(b, a, t)
+	return ta, tb, true
+}
+
+func (e *Estimator) estimateOne(j, partner *workload.Job, t int) float64 {
+	st := e.stateFor(j)
+	key := [2]int{partner.Config.Index, t}
+	if f, ok := st.measured[key]; ok {
+		return f * e.Isolated(j, t)
+	}
+	ref := e.refs[st.closestRef]
+	frac := retained(ref, partner.Config, e.profType)
+	return frac * e.Isolated(j, t)
+}
+
+// Observe implements simulator.ThroughputProvider: records a measurement
+// that overrides the estimate from now on.
+func (e *Estimator) Observe(a, b *workload.Job, t int, ta, tb float64) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	isoA, isoB := e.Isolated(a, t), e.Isolated(b, t)
+	if isoA > 0 {
+		e.stateFor(a).measured[[2]int{b.Config.Index, t}] = ta / isoA
+	}
+	if isoB > 0 {
+		e.stateFor(b).measured[[2]int{a.Config.Index, t}] = tb / isoB
+	}
+}
+
+// ClosestReference exposes the fingerprint match for tests.
+func (e *Estimator) ClosestReference(j *workload.Job) workload.Config {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.refs[e.stateFor(j).closestRef]
+}

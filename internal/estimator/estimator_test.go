@@ -1,0 +1,135 @@
+package estimator
+
+import (
+	"math"
+	"testing"
+
+	"gavel/internal/workload"
+)
+
+func zooJob(id int, family workload.ModelFamily, batch int) *workload.Job {
+	for _, c := range workload.Zoo() {
+		if c.Family == family && c.BatchSize == batch {
+			return &workload.Job{ID: id, Config: c, ScaleFactor: 1, Weight: 1, TotalSteps: 1000}
+		}
+	}
+	panic("config not in zoo")
+}
+
+func TestFingerprintFindsExactReference(t *testing.T) {
+	// When the new job IS one of the references, matrix completion over
+	// its profiled row must match it (or an identically-behaving config).
+	e := New(workload.Zoo(), workload.P100, 8, 1)
+	j := zooJob(0, workload.A3C, 4)
+	ref := e.ClosestReference(j)
+	// A3C has a unique colocation profile (tiny compute footprint); the
+	// closest reference must behave like it: similar retained fraction
+	// when colocated with itself.
+	got := retained(ref, j.Config, workload.P100)
+	want := retained(j.Config, j.Config, workload.P100)
+	if math.Abs(got-want) > 0.1 {
+		t.Errorf("fingerprint matched %s (retained %.2f), want behaviour like A3C (%.2f)", ref.Name(), got, want)
+	}
+}
+
+func TestEstimatesWithinReason(t *testing.T) {
+	e := New(workload.Zoo(), workload.P100, 6, 2)
+	a := zooJob(1, workload.ResNet18, 16)
+	b := zooJob(2, workload.A3C, 4)
+	ta, tb, ok := e.Colocated(a, b, workload.P100)
+	if !ok {
+		t.Fatal("feasible pair reported infeasible")
+	}
+	trueTa, trueTb, _ := workload.Colocated(a.Config, b.Config, workload.P100)
+	if relErr(ta, trueTa) > 0.5 || relErr(tb, trueTb) > 0.5 {
+		t.Errorf("estimates (%.2f, %.2f) far from truth (%.2f, %.2f)", ta, tb, trueTa, trueTb)
+	}
+}
+
+func relErr(a, b float64) float64 {
+	if b == 0 {
+		return math.Abs(a)
+	}
+	return math.Abs(a-b) / b
+}
+
+func TestObserveOverridesEstimate(t *testing.T) {
+	e := New(workload.Zoo(), workload.P100, 4, 3)
+	a := zooJob(1, workload.LSTM, 5)
+	b := zooJob(2, workload.Recoder, 512)
+	// Feed a deliberately odd measurement and check it is returned.
+	e.Observe(a, b, workload.V100, 1.23, 4.56)
+	ta, tb, ok := e.Colocated(a, b, workload.V100)
+	if !ok {
+		t.Fatal("pair infeasible")
+	}
+	if math.Abs(ta-1.23) > 1e-9 || math.Abs(tb-4.56) > 1e-9 {
+		t.Errorf("measured values not returned: got (%.2f, %.2f)", ta, tb)
+	}
+}
+
+func TestInfeasiblePairsStayInfeasible(t *testing.T) {
+	e := New(workload.Zoo(), workload.P100, 4, 4)
+	// Two memory-heavy configs on the K80.
+	a := zooJob(1, workload.CycleGAN, 1)
+	b := zooJob(2, workload.Transformer, 256)
+	if _, _, ok := e.Colocated(a, b, workload.K80); ok {
+		t.Error("memory-infeasible pair reported feasible")
+	}
+}
+
+func TestIsolatedPassthrough(t *testing.T) {
+	e := New(workload.Zoo(), workload.P100, 4, 5)
+	j := zooJob(1, workload.ResNet50, 64)
+	for typ := 0; typ < workload.NumTypes; typ++ {
+		want := 0.0
+		if workload.Fits(j.Config, typ) {
+			want = workload.ScaledThroughput(j.Config, typ, 1, true)
+		}
+		if got := e.Isolated(j, typ); got != want {
+			t.Errorf("type %d: isolated = %v, want %v", typ, got, want)
+		}
+	}
+}
+
+// Aggregate accuracy: across many random pairs from the zoo, median
+// relative estimation error should be small — the Figure 14 prerequisite
+// ("accurately enough to observe a very small decrease in average JCT").
+func TestAggregateEstimationError(t *testing.T) {
+	e := New(workload.Zoo(), workload.P100, 6, 7)
+	zoo := workload.Zoo()
+	var errs []float64
+	id := 100
+	for i := 0; i < len(zoo); i += 3 {
+		for k := 1; k < len(zoo); k += 5 {
+			a := &workload.Job{ID: id, Config: zoo[i], ScaleFactor: 1}
+			id++
+			b := &workload.Job{ID: id, Config: zoo[(i+k)%len(zoo)], ScaleFactor: 1}
+			id++
+			ta, _, ok := e.Colocated(a, b, workload.P100)
+			trueTa, _, okTrue := workload.Colocated(a.Config, b.Config, workload.P100)
+			if !ok || !okTrue {
+				continue
+			}
+			errs = append(errs, relErr(ta, trueTa))
+		}
+	}
+	if len(errs) == 0 {
+		t.Fatal("no feasible pairs sampled")
+	}
+	// Median error.
+	med := median(errs)
+	if med > 0.25 {
+		t.Errorf("median relative estimation error %.2f, want <= 0.25", med)
+	}
+}
+
+func median(v []float64) float64 {
+	s := append([]float64(nil), v...)
+	for i := 1; i < len(s); i++ {
+		for j := i; j > 0 && s[j] < s[j-1]; j-- {
+			s[j], s[j-1] = s[j-1], s[j]
+		}
+	}
+	return s[len(s)/2]
+}

@@ -1,0 +1,133 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	"gavel/internal/cluster"
+	"gavel/internal/core"
+	"gavel/internal/policy"
+	"gavel/internal/simulator"
+	"gavel/internal/workload"
+)
+
+// AblationOutcome reports a design-choice ablation.
+type AblationOutcome struct {
+	Report string
+	// JCT maps variant label -> average JCT hours.
+	JCT map[string]float64
+}
+
+// maxMinNoRefine is MaxMinFairness with the second ("soak up leftovers")
+// LP pass disabled: it returns the raw max-min solution. Used only by the
+// ablation to quantify what the refinement buys.
+type maxMinNoRefine struct{}
+
+func (maxMinNoRefine) Name() string { return "max_min_no_refine" }
+
+func (maxMinNoRefine) Allocate(in *policy.Input) (*core.Allocation, error) {
+	// Reimplement the single-pass LP via the exported building blocks so
+	// the ablation cannot drift from the real policy's constraint set.
+	full := &policy.MaxMinFairness{}
+	alloc, err := full.Allocate(in)
+	if err != nil {
+		return nil, err
+	}
+	// Degrade: rescale every unit row so each job receives exactly its
+	// fairness floor (the minimum normalized throughput across jobs),
+	// mimicking a solver that stops at the max-min optimum without the
+	// Pareto-improving pass.
+	minNorm := -1.0
+	norms := make([]float64, len(in.Jobs))
+	for m := range in.Jobs {
+		eq := core.EqualShareThroughput(in.Jobs[m].Tput, in.Workers)
+		if eq <= 0 {
+			continue
+		}
+		norms[m] = alloc.EffectiveThroughput(m) / eq
+		if minNorm < 0 || norms[m] < minNorm {
+			minNorm = norms[m]
+		}
+	}
+	if minNorm <= 0 {
+		return alloc, nil
+	}
+	for ui := range alloc.Units {
+		u := &alloc.Units[ui]
+		worst := 1.0
+		for _, m := range u.Jobs {
+			if norms[m] > 0 {
+				if f := minNorm / norms[m]; f < worst {
+					worst = f
+				}
+			}
+		}
+		for j := range alloc.X[ui] {
+			alloc.X[ui][j] *= worst
+		}
+	}
+	return alloc, nil
+}
+
+// AblationRefinementPass quantifies the second LP pass of MaxMinFairness
+// (fix the fairness floor, then maximize total normalized throughput).
+// Without it the allocation satisfies max-min fairness but strands the
+// capacity that non-bottlenecked jobs could use; the paper's water-filling
+// discussion (§4.3) motivates exactly this.
+func AblationRefinementPass(opt Options) (*AblationOutcome, error) {
+	opt = opt.withDefaults()
+	trace := workload.GenerateTrace(workload.TraceOptions{
+		NumJobs: opt.Jobs, LambdaPerHour: 4.0, Seed: 51,
+	})
+	out := &AblationOutcome{JCT: map[string]float64{}}
+	for _, v := range []namedPolicy{
+		{label: "max-min (refined)", make: func(int64) policy.Policy { return &policy.MaxMinFairness{} }},
+		{label: "max-min (floor only)", make: func(int64) policy.Policy { return maxMinNoRefine{} }},
+	} {
+		r, err := runOnce(opt, v, cluster.Simulated108(), trace, 51)
+		if err != nil {
+			return nil, fmt.Errorf("ablation %s: %w", v.label, err)
+		}
+		out.JCT[v.label] = r.AvgJCT(opt.Warmup)
+	}
+	var b strings.Builder
+	b.WriteString("Ablation: max-min refinement pass (soak up leftover capacity)\n")
+	for _, l := range []string{"max-min (refined)", "max-min (floor only)"} {
+		fmt.Fprintf(&b, "  %-22s %.2f h\n", l, out.JCT[l])
+	}
+	fmt.Fprintf(&b, "  refinement gain: %.2fx\n", out.JCT["max-min (floor only)"]/out.JCT["max-min (refined)"])
+	out.Report = b.String()
+	return out, nil
+}
+
+// AblationPairCap quantifies the space-sharing candidate cap
+// (Config.MaxPairsPerJob): the paper notes (§3.1) that although the
+// throughput matrix grows quadratically with jobs, "in practice we only
+// need to consider combinations that actually perform well".
+func AblationPairCap(opt Options) (*AblationOutcome, error) {
+	opt = opt.withDefaults()
+	trace := workload.GenerateTrace(workload.TraceOptions{
+		NumJobs: opt.Jobs / 2, LambdaPerHour: 0.7, Seed: 52,
+	})
+	out := &AblationOutcome{JCT: map[string]float64{}}
+	var b strings.Builder
+	b.WriteString("Ablation: space-sharing candidate cap (MaxPairsPerJob)\n")
+	for _, pairCap := range []int{1, 4, 12} {
+		r, err := simulator.Run(simulator.Config{
+			Cluster: cluster.Small12(), Policy: &policy.MaxMinFairness{},
+			Trace: trace, RoundSeconds: 360, SpaceSharing: true,
+			MaxPairsPerJob: pairCap, Seed: 52,
+		})
+		if err != nil {
+			return nil, fmt.Errorf("ablation cap=%d: %w", pairCap, err)
+		}
+		label := fmt.Sprintf("cap=%d", pairCap)
+		out.JCT[label] = r.AvgJCT(opt.Warmup)
+		fmt.Fprintf(&b, "  %-8s avg JCT %.2f h   policy time %v\n", label, out.JCT[label], r.PolicyTime.Round(1e6))
+	}
+	out.Report = b.String()
+	return out, nil
+}
+
+// String implements fmt.Stringer.
+func (o *AblationOutcome) String() string { return o.Report }

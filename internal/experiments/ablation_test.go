@@ -1,0 +1,29 @@
+package experiments
+
+import "testing"
+
+func TestAblationRefinementPass(t *testing.T) {
+	if testing.Short() {
+		t.Skip("sweep")
+	}
+	out, err := AblationRefinementPass(Options{Jobs: 50, Warmup: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.JCT["max-min (refined)"] > out.JCT["max-min (floor only)"]*1.001 {
+		t.Errorf("refinement made JCT worse: %v", out.JCT)
+	}
+}
+
+func TestAblationPairCap(t *testing.T) {
+	if testing.Short() {
+		t.Skip("sweep")
+	}
+	out, err := AblationPairCap(Options{Jobs: 40, Warmup: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out.JCT) != 3 {
+		t.Fatalf("want 3 cap points, got %v", out.JCT)
+	}
+}

@@ -1,0 +1,224 @@
+// Package experiments regenerates every table and figure of the paper's
+// evaluation (§7 and Appendix A.2) on the simulator substrate. Each
+// Figure*/Table* function returns a formatted text report (the same rows or
+// series the paper plots) plus structured results the tests and benchmarks
+// assert shape properties on (who wins, by roughly what factor).
+//
+// Experiments run at a configurable scale: the defaults keep a full
+// `go test -bench=.` pass tractable; `cmd/gavel-sim -full` runs
+// paper-scale sweeps.
+package experiments
+
+import (
+	"fmt"
+	"math"
+	"strings"
+
+	"gavel/internal/cluster"
+	"gavel/internal/metrics"
+	"gavel/internal/policy"
+	"gavel/internal/simulator"
+	"gavel/internal/workload"
+)
+
+// Options scales the experiment harness.
+type Options struct {
+	// Jobs is the trace length per run (default 120; paper-scale ~1000).
+	Jobs int
+	// Seeds is the number of random seeds averaged per point (default 1;
+	// the paper uses 3).
+	Seeds int
+	// Warmup finished jobs dropped from steady-state JCT averages.
+	Warmup int
+	// RoundSeconds for the mechanism (default 360).
+	RoundSeconds float64
+}
+
+func (o Options) withDefaults() Options {
+	if o.Jobs <= 0 {
+		o.Jobs = 120
+	}
+	if o.Seeds <= 0 {
+		o.Seeds = 1
+	}
+	if o.Warmup < 0 {
+		o.Warmup = 0
+	} else if o.Warmup == 0 {
+		o.Warmup = 10
+	}
+	if o.RoundSeconds <= 0 {
+		o.RoundSeconds = 360
+	}
+	return o
+}
+
+// namedPolicy pairs a display label with a policy constructor (fresh state
+// per run, since some baselines are stateful).
+type namedPolicy struct {
+	label string
+	make  func(seed int64) policy.Policy
+	ss    bool
+}
+
+// runOnce simulates one (policy, trace) cell and returns the result.
+func runOnce(opt Options, np namedPolicy, spec cluster.Spec, trace []workload.Job, seed int64) (*simulator.Result, error) {
+	return simulator.Run(simulator.Config{
+		Cluster:      spec,
+		Policy:       np.make(seed),
+		Trace:        trace,
+		RoundSeconds: opt.RoundSeconds,
+		SpaceSharing: np.ss,
+		Seed:         seed,
+	})
+}
+
+// sweep runs a set of policies over a list of input job rates and reports
+// the mean steady-state JCT (hours) per policy per rate, averaged over
+// seeds. traceOpt is a template; NumJobs/Lambda/Seed are overridden.
+type sweepResult struct {
+	rates    []float64
+	labels   []string
+	avgJCT   map[string][]float64 // label -> per-rate mean JCT hours
+	jctsAt   map[string][]float64 // label -> raw JCTs (hours) at the highest stable rate
+	shortCut float64              // short/long job split (hours of RefDuration)
+}
+
+func sweep(opt Options, spec cluster.Spec, pols []namedPolicy, rates []float64, traceOpt workload.TraceOptions) (*sweepResult, error) {
+	opt = opt.withDefaults()
+	res := &sweepResult{
+		rates:    rates,
+		avgJCT:   map[string][]float64{},
+		jctsAt:   map[string][]float64{},
+		shortCut: 2, // jobs under 2 reference-hours count as "short"
+	}
+	for _, np := range pols {
+		res.labels = append(res.labels, np.label)
+	}
+	for _, np := range pols {
+		perRate := make([]float64, len(rates))
+		for ri, rate := range rates {
+			var vals []float64
+			for s := 0; s < opt.Seeds; s++ {
+				to := traceOpt
+				to.NumJobs = opt.Jobs
+				to.LambdaPerHour = rate
+				to.Seed = int64(1000*ri + 17*s + 3)
+				trace := workload.GenerateTrace(to)
+				r, err := runOnce(opt, np, spec, trace, to.Seed)
+				if err != nil {
+					return nil, fmt.Errorf("%s @ %.1f jobs/hr: %w", np.label, rate, err)
+				}
+				vals = append(vals, r.AvgJCT(opt.Warmup))
+				if ri == len(rates)-1 && s == 0 {
+					for _, j := range r.Jobs {
+						if !math.IsNaN(j.JCT) {
+							res.jctsAt[np.label] = append(res.jctsAt[np.label], j.JCT/3600)
+						}
+					}
+				}
+			}
+			perRate[ri] = metrics.Mean(vals)
+		}
+		res.avgJCT[np.label] = perRate
+	}
+	return res, nil
+}
+
+// format renders the sweep as the paper's "average JCT vs input job rate"
+// series.
+func (s *sweepResult) format(title string) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s\n", title)
+	fmt.Fprintf(&b, "%-24s", "input rate (jobs/hr):")
+	for _, r := range s.rates {
+		fmt.Fprintf(&b, "%10.2f", r)
+	}
+	b.WriteByte('\n')
+	for _, l := range s.labels {
+		fmt.Fprintf(&b, "%-24s", l)
+		for _, v := range s.avgJCT[l] {
+			fmt.Fprintf(&b, "%10.2f", v)
+		}
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+// formatCDF renders short-jobs / long-jobs JCT CDFs at the highest rate
+// (the paper's companion CDF panels).
+func (s *sweepResult) formatCDF() string {
+	var b strings.Builder
+	qs := []float64{25, 50, 75, 90, 99}
+	fmt.Fprintf(&b, "JCT percentiles at rate %.2f jobs/hr (hours)\n", s.rates[len(s.rates)-1])
+	fmt.Fprintf(&b, "%-24s", "policy")
+	for _, q := range qs {
+		fmt.Fprintf(&b, "%9.0fth", q)
+	}
+	b.WriteByte('\n')
+	for _, l := range s.labels {
+		fmt.Fprintf(&b, "%-24s", l)
+		for _, q := range qs {
+			fmt.Fprintf(&b, "%11.2f", metrics.Percentile(s.jctsAt[l], q))
+		}
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+// gain returns avgJCT[base]/avgJCT[better] at the given rate index
+// (improvement factor; >1 means `better` wins).
+func (s *sweepResult) gain(base, better string, rateIdx int) float64 {
+	return s.avgJCT[base][rateIdx] / s.avgJCT[better][rateIdx]
+}
+
+// Standard policy constructors used across experiments.
+func lasAgnostic() namedPolicy {
+	return namedPolicy{label: "LAS", make: func(int64) policy.Policy {
+		return &policy.Agnostic{Inner: &policy.MaxMinFairness{}}
+	}}
+}
+func gavelLAS() namedPolicy {
+	return namedPolicy{label: "Gavel", make: func(int64) policy.Policy { return &policy.MaxMinFairness{} }}
+}
+func gavelLASSS() namedPolicy {
+	return namedPolicy{label: "Gavel w/ SS", ss: true, make: func(int64) policy.Policy { return &policy.MaxMinFairness{} }}
+}
+func gandivaSS() namedPolicy {
+	return namedPolicy{label: "LAS w/ Gandiva SS", ss: true, make: func(seed int64) policy.Policy {
+		return policy.NewGandivaSpaceSharing(seed)
+	}}
+}
+func alloxPolicy() namedPolicy {
+	return namedPolicy{label: "AlloX", make: func(int64) policy.Policy { return &policy.AlloX{} }}
+}
+func fifoAgnostic() namedPolicy {
+	return namedPolicy{label: "FIFO", make: func(int64) policy.Policy {
+		return &policy.Agnostic{Inner: policy.FIFO{}}
+	}}
+}
+func gavelFIFO() namedPolicy {
+	return namedPolicy{label: "Gavel", make: func(int64) policy.Policy { return policy.FIFO{} }}
+}
+func gavelFIFOSS() namedPolicy {
+	return namedPolicy{label: "Gavel w/ SS", ss: true, make: func(int64) policy.Policy { return policy.FIFO{} }}
+}
+func ftfAgnostic() namedPolicy {
+	return namedPolicy{label: "FTF", make: func(int64) policy.Policy {
+		return &policy.Agnostic{Inner: &policy.FinishTimeFairness{}}
+	}}
+}
+func gavelFTF() namedPolicy {
+	return namedPolicy{label: "Gavel", make: func(int64) policy.Policy { return &policy.FinishTimeFairness{} }}
+}
+
+// String implements fmt.Stringer for every experiment outcome type so
+// drivers can print them uniformly.
+func (o *SweepOutcome) String() string     { return o.Report }
+func (o *Figure19Outcome) String() string  { return o.Report }
+func (o *Figure20Outcome) String() string  { return o.Report }
+func (o *CostOutcome) String() string      { return o.Report }
+func (o *Table3Outcome) String() string    { return o.Report }
+func (o *Figure12Outcome) String() string  { return o.Report }
+func (o *Figure13Outcome) String() string  { return o.Report }
+func (o *Figure14Outcome) String() string  { return o.Report }
+func (o *HierarchyOutcome) String() string { return o.Report }

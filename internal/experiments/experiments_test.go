@@ -1,0 +1,170 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+)
+
+// Small options keep the experiment tests fast; shape assertions mirror the
+// paper's qualitative claims.
+var testOpt = Options{Jobs: 60, Seeds: 1, Warmup: 5}
+
+func TestFigure1Report(t *testing.T) {
+	rep := Figure1()
+	if !strings.Contains(rep, "ResNet-50") || !strings.Contains(rep, "A3C") {
+		t.Fatalf("missing models:\n%s", rep)
+	}
+	// A3C must be best per-dollar on the K80 (the paper's headline). Only
+	// the Figure 1b section carries the "best" column.
+	_, section1b, ok := strings.Cut(rep, "Figure 1b")
+	if !ok {
+		t.Fatal("missing Figure 1b section")
+	}
+	for _, line := range strings.Split(section1b, "\n") {
+		if strings.HasPrefix(line, "A3C") && !strings.HasSuffix(strings.TrimSpace(line), "k80") {
+			t.Errorf("A3C per-dollar winner not K80: %q", line)
+		}
+	}
+}
+
+func TestTable2Report(t *testing.T) {
+	rep := Table2()
+	if !strings.Contains(rep, "total configurations: 26") {
+		t.Fatalf("zoo mis-sized:\n%s", rep)
+	}
+}
+
+func TestFigure15Report(t *testing.T) {
+	rep := Figure15()
+	if !strings.Contains(rep, "space-sharing") {
+		t.Fatal("missing title")
+	}
+	if !strings.Contains(rep, "-") {
+		t.Fatal("expected at least one infeasible pairing in the heat map")
+	}
+}
+
+func TestFigure8Shape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("sweep")
+	}
+	out, err := Figure8(testOpt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g := out.GainAtHighLoad["LAS->Gavel w/ SS"]; g < 1.05 {
+		t.Errorf("Gavel w/ SS gain over LAS = %.2fx, want > 1.05 (paper: up to 3.5x)\n%s", g, out.Report)
+	}
+	if g := out.GainAtHighLoad["LAS w/ Gandiva SS->Gavel w/ SS"]; g < 1.05 {
+		t.Errorf("Gavel w/ SS gain over Gandiva = %.2fx, want > 1.05 (paper: ~2.2x)\n%s", g, out.Report)
+	}
+}
+
+func TestFigure11Shape(t *testing.T) {
+	out, err := Figure11()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Final entity shares must be ordered by weight (1 < 2 < 3).
+	es := out.EntityShare[len(out.EntityShare)-1]
+	if !(es[0] < es[1] && es[1] < es[2]) {
+		t.Errorf("entity shares %v not ordered by weights 1/2/3\n%s", es, out.Report)
+	}
+	if out.TotalGainOverStatic < 1.02 {
+		t.Errorf("gain over static partition = %.2fx, want > 1 (paper: ~1.17x)", out.TotalGainOverStatic)
+	}
+}
+
+func TestFigure21Shape(t *testing.T) {
+	out, err := Figure21()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// FIFO within entities: at the end, within entity 0 the earliest job
+	// should hold (nearly) all of the entity's share.
+	last := out.Timeline[len(out.Timeline)-1]
+	e0 := out.EntityShare[len(out.EntityShare)-1][0]
+	if e0 > 0 && last[0] < 0.6*e0 {
+		t.Errorf("FIFO head job holds %.3f of entity share %.3f, want majority\n%s", last[0], e0, out.Report)
+	}
+}
+
+func TestFigure12Scales(t *testing.T) {
+	out, err := Figure12([]int{16, 64})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for label, secs := range out.Seconds {
+		if len(secs) != 2 {
+			t.Fatalf("%s: wrong number of points", label)
+		}
+		if secs[1] <= 0 {
+			t.Fatalf("%s: non-positive solve time", label)
+		}
+	}
+}
+
+func TestFigure13Shape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("sweep")
+	}
+	out, err := Figure13(testOpt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Longer rounds should not dramatically beat short rounds (they track
+	// allocations more loosely); mechanism should be close to ideal.
+	if out.Mechanism < out.Ideal*0.95 {
+		t.Errorf("mechanism (%.2fh) should not beat ideal (%.2fh) by >5%%", out.Mechanism, out.Ideal)
+	}
+	if out.Mechanism > out.Ideal*1.5 {
+		t.Errorf("mechanism (%.2fh) much worse than ideal (%.2fh); paper: nearly identical", out.Mechanism, out.Ideal)
+	}
+}
+
+func TestFigure14Shape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("sweep")
+	}
+	out, err := Figure14(testOpt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Estimated should be within a modest factor of oracle (paper: very
+	// small decrease at high load).
+	if out.Estimated > out.Oracle*1.35 {
+		t.Errorf("estimator JCT %.2fh vs oracle %.2fh: degradation too large\n%s", out.Estimated, out.Oracle, out.Report)
+	}
+}
+
+func TestCostPoliciesShape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("sweep")
+	}
+	out, err := CostPolicies(testOpt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.CostReduction < 1.05 {
+		t.Errorf("min-cost reduction %.2fx, want > 1.05 (paper: ~1.4x)\n%s", out.CostReduction, out.Report)
+	}
+	if out.SLOViolations["min-cost-slo"] > out.SLOViolations["min-cost"] {
+		t.Errorf("SLO-aware policy violates more SLOs than min-cost\n%s", out.Report)
+	}
+}
+
+func TestTable3Shape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("sweep")
+	}
+	out, err := Table3(testOpt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Gap > 0.15 {
+		t.Errorf("physical/simulated gap %.1f%%, want < 15%% (paper: <5%%)\n%s", 100*out.Gap, out.Report)
+	}
+	if out.FairnessGain < 1.0 {
+		t.Errorf("het-aware JCT gain %.2fx, want >= 1\n%s", out.FairnessGain, out.Report)
+	}
+}

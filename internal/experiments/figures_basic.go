@@ -1,0 +1,108 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	"gavel/internal/cluster"
+	"gavel/internal/workload"
+)
+
+// Figure1 reproduces the paper's Figure 1: per-model throughput (normalized
+// to K80) and dollar-normalized throughput across accelerator types, one
+// representative configuration per model family.
+func Figure1() string {
+	var b strings.Builder
+	prices := []float64{cluster.PriceV100, cluster.PriceP100, cluster.PriceK80}
+	reps := representativeConfigs()
+
+	b.WriteString("Figure 1a: throughput relative to K80\n")
+	fmt.Fprintf(&b, "%-22s %8s %8s %8s\n", "model", "V100", "P100", "K80")
+	for _, c := range reps {
+		k := workload.Throughput(c, workload.K80)
+		fmt.Fprintf(&b, "%-22s %8.2f %8.2f %8.2f\n", c.Name(),
+			workload.Throughput(c, workload.V100)/k,
+			workload.Throughput(c, workload.P100)/k, 1.0)
+	}
+	b.WriteString("\nFigure 1b: dollar-normalized throughput (iters/$, relative to K80)\n")
+	fmt.Fprintf(&b, "%-22s %8s %8s %8s %s\n", "model", "V100", "P100", "K80", "best")
+	for _, c := range reps {
+		base := workload.DollarNormalized(c, workload.K80, prices[workload.K80])
+		vals := []float64{
+			workload.DollarNormalized(c, workload.V100, prices[workload.V100]) / base,
+			workload.DollarNormalized(c, workload.P100, prices[workload.P100]) / base,
+			1.0,
+		}
+		best := workload.TypeNames[argmax(vals)]
+		fmt.Fprintf(&b, "%-22s %8.2f %8.2f %8.2f %s\n", c.Name(), vals[0], vals[1], vals[2], best)
+	}
+	return b.String()
+}
+
+func argmax(v []float64) int {
+	bi := 0
+	for i, x := range v {
+		if x > v[bi] {
+			bi = i
+		}
+	}
+	return bi
+}
+
+func representativeConfigs() []workload.Config {
+	seen := map[workload.ModelFamily]bool{}
+	var reps []workload.Config
+	for _, c := range workload.Zoo() {
+		if !seen[c.Family] {
+			seen[c.Family] = true
+			reps = append(reps, c)
+		}
+	}
+	return reps
+}
+
+// Table2 lists the model zoo (the paper's Table 2).
+func Table2() string {
+	var b strings.Builder
+	b.WriteString("Table 2: models used in evaluation\n")
+	fmt.Fprintf(&b, "%-22s %-42s %s\n", "model", "task", "batch size")
+	for _, c := range workload.Zoo() {
+		fmt.Fprintf(&b, "%-22s %-42s %d\n", c.Family.String(), c.Task, c.BatchSize)
+	}
+	fmt.Fprintf(&b, "total configurations: %d\n", len(workload.Zoo()))
+	return b.String()
+}
+
+// Figure15 renders the colocation heat map: combined normalized throughput
+// of every model pair space-sharing a P100 (0 = cannot colocate).
+func Figure15() string {
+	reps := workload.Zoo()
+	var b strings.Builder
+	b.WriteString("Figure 15: space-sharing performance on a P100\n")
+	b.WriteString("cell = combined normalized throughput (a/iso_a + b/iso_b); '-' = does not fit\n")
+	fmt.Fprintf(&b, "%-20s", "")
+	for i := range reps {
+		fmt.Fprintf(&b, "%5d", i)
+	}
+	b.WriteByte('\n')
+	for i, a := range reps {
+		fmt.Fprintf(&b, "%3d %-16s", i, truncate(a.Name(), 16))
+		for _, bcfg := range reps {
+			g := workload.ColocationGain(a, bcfg, workload.P100)
+			if g == 0 {
+				fmt.Fprintf(&b, "%5s", "-")
+			} else {
+				fmt.Fprintf(&b, "%5.2f", g)
+			}
+		}
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+func truncate(s string, n int) string {
+	if len(s) <= n {
+		return s
+	}
+	return s[:n]
+}

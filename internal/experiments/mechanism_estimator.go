@@ -1,0 +1,236 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+	"time"
+
+	"gavel/internal/cluster"
+	"gavel/internal/core"
+	"gavel/internal/estimator"
+	"gavel/internal/policy"
+	"gavel/internal/simulator"
+	"gavel/internal/workload"
+)
+
+// Figure12Outcome reports policy solve time versus number of active jobs.
+type Figure12Outcome struct {
+	Report  string
+	Sizes   []int
+	Seconds map[string][]float64
+}
+
+// Figure12 measures how the LAS and hierarchical policy solve times scale
+// with the number of active jobs, with and without space sharing, growing
+// the cluster with the job count as in the paper (Figure 12).
+func Figure12(sizes []int) (*Figure12Outcome, error) {
+	if len(sizes) == 0 {
+		sizes = []int{32, 128, 512}
+	}
+	out := &Figure12Outcome{Sizes: sizes, Seconds: map[string][]float64{}}
+	kinds := []struct {
+		label string
+		make  func() policy.Policy
+		ss    bool
+	}{
+		{"LAS", func() policy.Policy { return &policy.MaxMinFairness{} }, false},
+		{"LAS w/ SS", func() policy.Policy { return &policy.MaxMinFairness{} }, true},
+		{"Hierarchical", func() policy.Policy {
+			return &policy.Hierarchical{EntityWeight: map[int]float64{0: 1, 1: 2, 2: 3}, MaxIterations: 6}
+		}, false},
+		{"Hierarchical w/ SS", func() policy.Policy {
+			return &policy.Hierarchical{EntityWeight: map[int]float64{0: 1, 1: 2, 2: 3}, MaxIterations: 6}
+		}, true},
+	}
+	for _, k := range kinds {
+		for _, n := range sizes {
+			in := scalingInput(n, k.ss)
+			start := time.Now()
+			if _, err := k.make().Allocate(in); err != nil {
+				return nil, fmt.Errorf("fig12 %s n=%d: %w", k.label, n, err)
+			}
+			out.Seconds[k.label] = append(out.Seconds[k.label], time.Since(start).Seconds())
+		}
+	}
+	var b strings.Builder
+	b.WriteString("Figure 12: policy solve time vs active jobs (cluster grows with jobs)\n")
+	fmt.Fprintf(&b, "%-20s", "jobs:")
+	for _, n := range sizes {
+		fmt.Fprintf(&b, "%10d", n)
+	}
+	b.WriteByte('\n')
+	for _, k := range kinds {
+		fmt.Fprintf(&b, "%-20s", k.label)
+		for _, v := range out.Seconds[k.label] {
+			fmt.Fprintf(&b, "%9.3fs", v)
+		}
+		b.WriteByte('\n')
+	}
+	out.Report = b.String()
+	return out, nil
+}
+
+// scalingInput builds a policy input with n jobs on a cluster with n/4
+// devices of each type (matching the paper's setup where cluster size
+// scales with job count), plus capped pair units when ss is set.
+func scalingInput(n int, ss bool) *policy.Input {
+	per := n / 4
+	if per < 1 {
+		per = 1
+	}
+	zoo := workload.Zoo()
+	in := &policy.Input{
+		Workers: []float64{float64(per), float64(per), float64(per)},
+		Prices:  []float64{cluster.PriceV100, cluster.PriceP100, cluster.PriceK80},
+	}
+	jobs := make([]workload.Job, n)
+	for m := 0; m < n; m++ {
+		cfg := zoo[m%len(zoo)]
+		jobs[m] = workload.Job{ID: m, Config: cfg, ScaleFactor: 1, Weight: 1, TotalSteps: 1e6}
+		tput := make([]float64, 3)
+		for t := range tput {
+			if workload.Fits(cfg, t) {
+				tput[t] = workload.Throughput(cfg, t)
+			}
+		}
+		in.Jobs = append(in.Jobs, policy.JobInfo{
+			ID: m, Weight: 1, Priority: 1, ScaleFactor: 1, Tput: tput,
+			RemainingSteps: 1e6, TotalSteps: 1e6, ArrivalSeq: m,
+			Entity: m % 3, NumActiveJobs: n,
+		})
+		in.Units = append(in.Units, core.Single(m, tput))
+	}
+	if ss {
+		// Cap pairs at 2 per job, scanning neighbours (the simulator prunes
+		// similarly; what matters here is that units grow linearly with n).
+		count := make([]int, n)
+		for a := 0; a < n; a++ {
+			for d := 1; d <= 8 && count[a] < 2; d++ {
+				b := (a + d) % n
+				if a == b || count[b] >= 2 {
+					continue
+				}
+				ta := make([]float64, 3)
+				tb := make([]float64, 3)
+				good := 0.0
+				for t := 0; t < 3; t++ {
+					ca, cb, ok := workload.Colocated(jobs[a].Config, jobs[b].Config, t)
+					if !ok {
+						continue
+					}
+					ta[t], tb[t] = ca, cb
+					if ia, ib := in.Jobs[a].Tput[t], in.Jobs[b].Tput[t]; ia > 0 && ib > 0 {
+						if g := ca/ia + cb/ib; g > good {
+							good = g
+						}
+					}
+				}
+				if good > 1.05 {
+					in.Units = append(in.Units, core.Pair(a, b, ta, tb))
+					count[a]++
+					count[b]++
+				}
+			}
+		}
+	}
+	return in
+}
+
+// Figure13Outcome reports the round-length sweep and mechanism-vs-ideal
+// comparison.
+type Figure13Outcome struct {
+	Report       string
+	RoundLengths []float64
+	JCTByRound   []float64 // hours, same order as RoundLengths
+	Mechanism    float64   // hours at the default round length
+	Ideal        float64   // hours with exact allocation execution
+}
+
+// Figure13 runs (a) the round-length sensitivity sweep and (b) the
+// mechanism-vs-ideal comparison for heterogeneity-aware LAS (paper
+// Figure 13).
+func Figure13(opt Options) (*Figure13Outcome, error) {
+	opt = opt.withDefaults()
+	trace := workload.GenerateTrace(workload.TraceOptions{
+		NumJobs: opt.Jobs, LambdaPerHour: 4.5, Seed: 31,
+	})
+	out := &Figure13Outcome{RoundLengths: []float64{360, 720, 1440, 2880}}
+	for _, rl := range out.RoundLengths {
+		r, err := simulator.Run(simulator.Config{
+			Cluster: cluster.Simulated108(), Policy: &policy.MaxMinFairness{},
+			Trace: trace, RoundSeconds: rl, Seed: 31,
+		})
+		if err != nil {
+			return nil, fmt.Errorf("fig13a round=%v: %w", rl, err)
+		}
+		out.JCTByRound = append(out.JCTByRound, r.AvgJCT(opt.Warmup))
+	}
+	out.Mechanism = out.JCTByRound[0]
+	rIdeal, err := simulator.Run(simulator.Config{
+		Cluster: cluster.Simulated108(), Policy: &policy.MaxMinFairness{},
+		Trace: trace, RoundSeconds: 360, IdealExecution: true, Seed: 31,
+	})
+	if err != nil {
+		return nil, fmt.Errorf("fig13b ideal: %w", err)
+	}
+	out.Ideal = rIdeal.AvgJCT(opt.Warmup)
+
+	var b strings.Builder
+	b.WriteString("Figure 13a: average JCT vs round length (het-aware LAS)\n")
+	for i, rl := range out.RoundLengths {
+		fmt.Fprintf(&b, "  round %4.0fs: %.2f h\n", rl, out.JCTByRound[i])
+	}
+	b.WriteString("Figure 13b: mechanism vs ideal execution (360s rounds)\n")
+	fmt.Fprintf(&b, "  mechanism: %.2f h   ideal: %.2f h   overhead: %.1f%%\n",
+		out.Mechanism, out.Ideal, 100*(out.Mechanism/out.Ideal-1))
+	out.Report = b.String()
+	return out, nil
+}
+
+// Figure14Outcome reports the estimator's impact on the SS-aware LAS.
+type Figure14Outcome struct {
+	Report                  string
+	Oracle, Estimated, NoSS float64 // avg JCT hours
+}
+
+// Figure14 compares the SS-aware LAS policy with oracle colocated
+// throughputs, with estimated throughputs (matrix-completion fingerprint),
+// and LAS without space sharing, on a 12-GPU cluster (paper Figure 14).
+func Figure14(opt Options) (*Figure14Outcome, error) {
+	opt = opt.withDefaults()
+	trace := workload.GenerateTrace(workload.TraceOptions{
+		NumJobs: opt.Jobs / 2, LambdaPerHour: 0.7, Seed: 41,
+	})
+	run := func(ss bool, prov simulator.ThroughputProvider) (float64, error) {
+		r, err := simulator.Run(simulator.Config{
+			Cluster: cluster.Small12(), Policy: &policy.MaxMinFairness{},
+			Trace: trace, RoundSeconds: 360, SpaceSharing: ss,
+			Provider: prov, Seed: 41,
+		})
+		if err != nil {
+			return 0, err
+		}
+		return r.AvgJCT(opt.Warmup), nil
+	}
+	oracle, err := run(true, nil)
+	if err != nil {
+		return nil, fmt.Errorf("fig14 oracle: %w", err)
+	}
+	est, err := run(true, estimator.New(workload.Zoo(), workload.P100, 6, 41))
+	if err != nil {
+		return nil, fmt.Errorf("fig14 estimator: %w", err)
+	}
+	noSS, err := run(false, nil)
+	if err != nil {
+		return nil, fmt.Errorf("fig14 no-ss: %w", err)
+	}
+	out := &Figure14Outcome{Oracle: oracle, Estimated: est, NoSS: noSS}
+	var b strings.Builder
+	b.WriteString("Figure 14: throughput estimator impact (SS-aware LAS, 12-GPU cluster)\n")
+	fmt.Fprintf(&b, "  Gavel w/ SS (oracle):    %.2f h\n", oracle)
+	fmt.Fprintf(&b, "  Gavel w/ SS (estimated): %.2f h\n", est)
+	fmt.Fprintf(&b, "  Gavel (no SS):           %.2f h\n", noSS)
+	fmt.Fprintf(&b, "  estimator penalty vs oracle: %.1f%%\n", 100*(est/oracle-1))
+	out.Report = b.String()
+	return out, nil
+}

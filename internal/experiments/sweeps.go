@@ -1,0 +1,120 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	"gavel/internal/cluster"
+	"gavel/internal/workload"
+)
+
+// SweepOutcome carries the shape facts the benchmarks assert on.
+type SweepOutcome struct {
+	Report string
+	// GainAtHighLoad maps "base->better" to the JCT improvement factor at
+	// the highest swept rate.
+	GainAtHighLoad map[string]float64
+}
+
+// Figure8 compares LAS baselines against heterogeneity-aware LAS (with and
+// without space sharing), Gandiva ad-hoc packing, and AlloX on the
+// continuous-single trace (paper Figure 8).
+func Figure8(opt Options) (*SweepOutcome, error) {
+	opt = opt.withDefaults()
+	rates := []float64{2, 4, 5.5}
+	pols := []namedPolicy{lasAgnostic(), gavelLAS(), gavelLASSS(), gandivaSS(), alloxPolicy()}
+	s, err := sweep(opt, cluster.Simulated108(), pols, rates, workload.TraceOptions{})
+	if err != nil {
+		return nil, err
+	}
+	return sweepOutcome(s, "Figure 8: LAS policies, continuous-single trace",
+		[][2]string{{"LAS", "Gavel"}, {"LAS", "Gavel w/ SS"}, {"LAS w/ Gandiva SS", "Gavel w/ SS"}}), nil
+}
+
+// Figure9 is Figure 8 on the continuous-multiple trace (70/25/5% scale
+// factors; AlloX omitted since it handles only single-worker jobs, as in
+// the paper's Figure 9).
+func Figure9(opt Options) (*SweepOutcome, error) {
+	opt = opt.withDefaults()
+	rates := []float64{1, 2, 2.8}
+	pols := []namedPolicy{lasAgnostic(), gavelLAS(), gavelLASSS(), gandivaSS()}
+	s, err := sweep(opt, cluster.Simulated108(), pols, rates, workload.TraceOptions{MultiWorker: true})
+	if err != nil {
+		return nil, err
+	}
+	return sweepOutcome(s, "Figure 9: LAS policies, continuous-multiple trace",
+		[][2]string{{"LAS", "Gavel"}, {"LAS", "Gavel w/ SS"}, {"LAS w/ Gandiva SS", "Gavel w/ SS"}}), nil
+}
+
+// Figure10 compares finish-time fairness (Themis) against its
+// heterogeneity-aware counterpart on the continuous-multiple trace,
+// reporting both JCT and the FTF rho CDF (paper Figure 10).
+func Figure10(opt Options) (*SweepOutcome, error) {
+	opt = opt.withDefaults()
+	rates := []float64{1, 2, 2.8}
+	pols := []namedPolicy{ftfAgnostic(), gavelFTF()}
+	s, err := sweep(opt, cluster.Simulated108(), pols, rates, workload.TraceOptions{MultiWorker: true})
+	if err != nil {
+		return nil, err
+	}
+	out := sweepOutcome(s, "Figure 10: finish-time fairness, continuous-multiple trace",
+		[][2]string{{"FTF", "Gavel"}})
+	return out, nil
+}
+
+// Figure16 is the FIFO comparison on the continuous-single trace.
+func Figure16(opt Options) (*SweepOutcome, error) {
+	opt = opt.withDefaults()
+	rates := []float64{2, 4, 5.5}
+	pols := []namedPolicy{fifoAgnostic(), gavelFIFO(), gavelFIFOSS()}
+	s, err := sweep(opt, cluster.Simulated108(), pols, rates, workload.TraceOptions{})
+	if err != nil {
+		return nil, err
+	}
+	return sweepOutcome(s, "Figure 16: FIFO policies, continuous-single trace",
+		[][2]string{{"FIFO", "Gavel"}, {"FIFO", "Gavel w/ SS"}}), nil
+}
+
+// Figure17 is the FTF comparison (with AlloX) on the continuous-single
+// trace.
+func Figure17(opt Options) (*SweepOutcome, error) {
+	opt = opt.withDefaults()
+	rates := []float64{2, 4, 5.5}
+	pols := []namedPolicy{ftfAgnostic(), gavelFTF(), alloxPolicy()}
+	s, err := sweep(opt, cluster.Simulated108(), pols, rates, workload.TraceOptions{})
+	if err != nil {
+		return nil, err
+	}
+	return sweepOutcome(s, "Figure 17: FTF policies, continuous-single trace",
+		[][2]string{{"FTF", "Gavel"}}), nil
+}
+
+// Figure18 is the FIFO comparison on the continuous-multiple trace.
+func Figure18(opt Options) (*SweepOutcome, error) {
+	opt = opt.withDefaults()
+	rates := []float64{1, 2, 2.5}
+	pols := []namedPolicy{fifoAgnostic(), gavelFIFO(), gavelFIFOSS()}
+	s, err := sweep(opt, cluster.Simulated108(), pols, rates, workload.TraceOptions{MultiWorker: true})
+	if err != nil {
+		return nil, err
+	}
+	return sweepOutcome(s, "Figure 18: FIFO policies, continuous-multiple trace",
+		[][2]string{{"FIFO", "Gavel"}, {"FIFO", "Gavel w/ SS"}}), nil
+}
+
+func sweepOutcome(s *sweepResult, title string, gains [][2]string) *SweepOutcome {
+	out := &SweepOutcome{GainAtHighLoad: map[string]float64{}}
+	var b strings.Builder
+	b.WriteString(s.format(title))
+	b.WriteByte('\n')
+	b.WriteString(s.formatCDF())
+	last := len(s.rates) - 1
+	b.WriteByte('\n')
+	for _, g := range gains {
+		f := s.gain(g[0], g[1], last)
+		out.GainAtHighLoad[g[0]+"->"+g[1]] = f
+		fmt.Fprintf(&b, "improvement %s -> %s at %.1f jobs/hr: %.2fx\n", g[0], g[1], s.rates[last], f)
+	}
+	out.Report = b.String()
+	return out
+}

@@ -1,0 +1,119 @@
+// Package iterator is the Go analog of the paper's GavelIterator (§6): a
+// wrapper around a training loop that runs in scheduler-granted rounds,
+// checkpoints at round boundaries unless the lease is renewed, and reports
+// measured throughput back to the scheduler. User code supplies
+// LoadCheckpoint/SaveCheckpoint functions (the paper's ~10-LOC contract)
+// and a Step function that performs one training iteration.
+package iterator
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"time"
+)
+
+// Checkpointer is the user-implemented checkpoint contract.
+type Checkpointer interface {
+	// LoadCheckpoint restores state and returns the step to resume from.
+	LoadCheckpoint() (step int64, err error)
+	// SaveCheckpoint persists state at the given step.
+	SaveCheckpoint(step int64) error
+}
+
+// Funcs adapts plain functions to Checkpointer.
+type Funcs struct {
+	Load func() (int64, error)
+	Save func(int64) error
+}
+
+// LoadCheckpoint implements Checkpointer.
+func (f Funcs) LoadCheckpoint() (int64, error) { return f.Load() }
+
+// SaveCheckpoint implements Checkpointer.
+func (f Funcs) SaveCheckpoint(step int64) error { return f.Save(step) }
+
+// Lease abstracts the scheduler connection the iterator runs under
+// (implemented by internal/rpc.Client in physical deployments and by fakes
+// in tests).
+type Lease interface {
+	// Renewed reports whether the current job keeps this worker for the
+	// next round.
+	Renewed() bool
+	// RoundRemaining is the time left in the current round.
+	RoundRemaining() time.Duration
+	// ReportThroughput sends the measured steps/sec for the round.
+	ReportThroughput(stepsPerSecond float64) error
+}
+
+// Iterator drives a training loop for one scheduling round at a time.
+type Iterator struct {
+	ckpt  Checkpointer
+	lease Lease
+	// Step runs one training iteration at the given step index.
+	Step func(step int64) error
+
+	step    int64
+	started bool
+}
+
+// New constructs an iterator; step is the per-iteration training function.
+func New(ckpt Checkpointer, lease Lease, step func(int64) error) *Iterator {
+	return &Iterator{ckpt: ckpt, lease: lease, Step: step}
+}
+
+// ErrLeaseExpired is returned by RunRound when the round ends and the
+// lease was not renewed: the caller must return control to the scheduler.
+var ErrLeaseExpired = errors.New("iterator: lease expired; checkpoint saved")
+
+// CurrentStep returns the training step reached so far.
+func (it *Iterator) CurrentStep() int64 { return it.step }
+
+// RunRound executes training iterations until the round's time budget is
+// exhausted, then either continues (lease renewed) or checkpoints and
+// returns ErrLeaseExpired. It reports the measured throughput for the
+// round before returning. A cancelled context checkpoints and returns the
+// context error.
+func (it *Iterator) RunRound(ctx context.Context) error {
+	if !it.started {
+		step, err := it.ckpt.LoadCheckpoint()
+		if err != nil {
+			return fmt.Errorf("iterator: load checkpoint: %w", err)
+		}
+		it.step = step
+		it.started = true
+	}
+	start := time.Now()
+	startStep := it.step
+	for {
+		select {
+		case <-ctx.Done():
+			if err := it.ckpt.SaveCheckpoint(it.step); err != nil {
+				return fmt.Errorf("iterator: save checkpoint: %w", err)
+			}
+			return ctx.Err()
+		default:
+		}
+		if it.lease.RoundRemaining() <= 0 {
+			break
+		}
+		if err := it.Step(it.step); err != nil {
+			return fmt.Errorf("iterator: training step %d: %w", it.step, err)
+		}
+		it.step++
+	}
+	elapsed := time.Since(start).Seconds()
+	if elapsed > 0 {
+		tput := float64(it.step-startStep) / elapsed
+		if err := it.lease.ReportThroughput(tput); err != nil {
+			return fmt.Errorf("iterator: report throughput: %w", err)
+		}
+	}
+	if it.lease.Renewed() {
+		return nil
+	}
+	if err := it.ckpt.SaveCheckpoint(it.step); err != nil {
+		return fmt.Errorf("iterator: save checkpoint: %w", err)
+	}
+	return ErrLeaseExpired
+}

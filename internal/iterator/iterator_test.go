@@ -1,0 +1,136 @@
+package iterator
+
+import (
+	"context"
+	"errors"
+	"testing"
+	"time"
+)
+
+// fakeLease grants a fixed number of steps worth of round time and renews
+// a configurable number of times.
+type fakeLease struct {
+	stepsLeft int
+	renewals  int
+	reported  []float64
+}
+
+func (f *fakeLease) Renewed() bool {
+	if f.renewals > 0 {
+		f.renewals--
+		f.stepsLeft = 5
+		return true
+	}
+	return false
+}
+
+func (f *fakeLease) RoundRemaining() time.Duration {
+	if f.stepsLeft <= 0 {
+		return 0
+	}
+	f.stepsLeft--
+	return time.Second
+}
+
+func (f *fakeLease) ReportThroughput(t float64) error {
+	f.reported = append(f.reported, t)
+	return nil
+}
+
+type memCkpt struct {
+	step  int64
+	saves int
+	loads int
+}
+
+func (m *memCkpt) LoadCheckpoint() (int64, error) { m.loads++; return m.step, nil }
+func (m *memCkpt) SaveCheckpoint(s int64) error   { m.saves++; m.step = s; return nil }
+
+func TestRunRoundStepsAndExpires(t *testing.T) {
+	ck := &memCkpt{step: 10}
+	lease := &fakeLease{stepsLeft: 5}
+	var ran []int64
+	it := New(ck, lease, func(s int64) error { ran = append(ran, s); return nil })
+
+	err := it.RunRound(context.Background())
+	if !errors.Is(err, ErrLeaseExpired) {
+		t.Fatalf("err = %v, want ErrLeaseExpired", err)
+	}
+	if len(ran) != 5 || ran[0] != 10 || ran[4] != 14 {
+		t.Fatalf("ran steps %v, want 10..14", ran)
+	}
+	if ck.saves != 1 || ck.step != 15 {
+		t.Fatalf("checkpoint saves=%d step=%d, want 1 save at 15", ck.saves, ck.step)
+	}
+	if len(lease.reported) != 1 {
+		t.Fatalf("throughput reports = %v, want 1", lease.reported)
+	}
+}
+
+func TestRunRoundRenewalSkipsCheckpoint(t *testing.T) {
+	ck := &memCkpt{}
+	lease := &fakeLease{stepsLeft: 3, renewals: 1}
+	it := New(ck, lease, func(int64) error { return nil })
+
+	if err := it.RunRound(context.Background()); err != nil {
+		t.Fatalf("renewed round should not error: %v", err)
+	}
+	if ck.saves != 0 {
+		t.Fatal("renewed lease must not checkpoint")
+	}
+	// Next round expires.
+	if err := it.RunRound(context.Background()); !errors.Is(err, ErrLeaseExpired) {
+		t.Fatalf("err = %v, want ErrLeaseExpired", err)
+	}
+	if ck.saves != 1 {
+		t.Fatal("expired lease must checkpoint")
+	}
+}
+
+func TestRunRoundResumesFromCheckpoint(t *testing.T) {
+	ck := &memCkpt{step: 42}
+	lease := &fakeLease{stepsLeft: 1}
+	var first int64 = -1
+	it := New(ck, lease, func(s int64) error {
+		if first == -1 {
+			first = s
+		}
+		return nil
+	})
+	_ = it.RunRound(context.Background())
+	if first != 42 {
+		t.Fatalf("resumed at step %d, want 42", first)
+	}
+	if ck.loads != 1 {
+		t.Fatalf("loads = %d, want 1", ck.loads)
+	}
+}
+
+func TestRunRoundContextCancel(t *testing.T) {
+	ck := &memCkpt{}
+	lease := &fakeLease{stepsLeft: 1000}
+	ctx, cancel := context.WithCancel(context.Background())
+	it := New(ck, lease, func(s int64) error {
+		if s == 3 {
+			cancel()
+		}
+		return nil
+	})
+	err := it.RunRound(ctx)
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if ck.saves != 1 {
+		t.Fatal("cancel must checkpoint")
+	}
+}
+
+func TestRunRoundStepError(t *testing.T) {
+	ck := &memCkpt{}
+	lease := &fakeLease{stepsLeft: 5}
+	boom := errors.New("loss is NaN")
+	it := New(ck, lease, func(int64) error { return boom })
+	if err := it.RunRound(context.Background()); !errors.Is(err, boom) {
+		t.Fatalf("err = %v, want training error", err)
+	}
+}

@@ -1,0 +1,434 @@
+// Package lp implements a dense two-phase primal simplex linear-program
+// solver. It exists because Gavel expresses every scheduling policy as one or
+// more linear programs, and the Go ecosystem has no standard-library LP
+// solver; this package is the substrate for internal/policy and internal/milp.
+//
+// The solver handles problems of the form
+//
+//	minimize / maximize  c . x
+//	subject to           a_i . x  (<= | >= | =)  b_i
+//	                     x >= 0
+//
+// All variables are implicitly non-negative. Upper bounds (e.g. X_mj <= 1)
+// should be expressed as explicit constraints when they are not already
+// implied by aggregate constraints; Gavel's allocation programs imply them
+// via the per-job time budget, so in practice few are needed.
+//
+// The implementation is a textbook tableau simplex: Dantzig (most negative
+// reduced cost) pivoting with a switch to Bland's rule after a stall
+// threshold to guarantee termination on degenerate programs, which the
+// max-min fairness LPs frequently are.
+package lp
+
+import (
+	"errors"
+	"fmt"
+	"math"
+)
+
+// Sense selects minimization or maximization of the objective.
+type Sense int
+
+const (
+	Minimize Sense = iota
+	Maximize
+)
+
+// Op is a constraint comparison operator.
+type Op int
+
+const (
+	LE Op = iota // a.x <= b
+	GE           // a.x >= b
+	EQ           // a.x == b
+)
+
+func (o Op) String() string {
+	switch o {
+	case LE:
+		return "<="
+	case GE:
+		return ">="
+	case EQ:
+		return "=="
+	}
+	return "?"
+}
+
+// Status reports the outcome of a solve.
+type Status int
+
+const (
+	Optimal Status = iota
+	Infeasible
+	Unbounded
+	IterationLimit
+)
+
+func (s Status) String() string {
+	switch s {
+	case Optimal:
+		return "optimal"
+	case Infeasible:
+		return "infeasible"
+	case Unbounded:
+		return "unbounded"
+	case IterationLimit:
+		return "iteration-limit"
+	}
+	return "unknown"
+}
+
+// Term is a single coefficient on a variable in a constraint or objective.
+type Term struct {
+	Var   int
+	Coeff float64
+}
+
+type constraint struct {
+	terms []Term
+	op    Op
+	rhs   float64
+}
+
+// Problem is a linear program under construction. The zero value is not
+// usable; create one with NewProblem.
+type Problem struct {
+	sense Sense
+	obj   []float64
+	names []string
+	cons  []constraint
+}
+
+// NewProblem returns an empty problem with the given objective sense.
+func NewProblem(sense Sense) *Problem {
+	return &Problem{sense: sense}
+}
+
+// NumVars returns the number of variables added so far.
+func (p *Problem) NumVars() int { return len(p.obj) }
+
+// NumConstraints returns the number of constraints added so far.
+func (p *Problem) NumConstraints() int { return len(p.cons) }
+
+// AddVar adds a non-negative variable with the given objective coefficient
+// and returns its index.
+func (p *Problem) AddVar(objCoeff float64, name string) int {
+	p.obj = append(p.obj, objCoeff)
+	p.names = append(p.names, name)
+	return len(p.obj) - 1
+}
+
+// SetObj overrides the objective coefficient of variable v.
+func (p *Problem) SetObj(v int, coeff float64) { p.obj[v] = coeff }
+
+// AddObj accumulates delta into the objective coefficient of variable v.
+func (p *Problem) AddObj(v int, delta float64) { p.obj[v] += delta }
+
+// ObjCoeff returns the current objective coefficient of variable v.
+func (p *Problem) ObjCoeff(v int) float64 { return p.obj[v] }
+
+// AddConstraint adds the constraint sum(terms) op rhs. Terms referencing the
+// same variable are accumulated.
+func (p *Problem) AddConstraint(terms []Term, op Op, rhs float64) {
+	c := constraint{terms: make([]Term, len(terms)), op: op, rhs: rhs}
+	copy(c.terms, terms)
+	p.cons = append(p.cons, c)
+}
+
+// Result holds the outcome of Solve.
+type Result struct {
+	Status     Status
+	X          []float64
+	Objective  float64
+	Iterations int
+}
+
+// ErrBadProblem reports a structurally invalid problem (e.g. a term
+// referencing an unknown variable).
+var ErrBadProblem = errors.New("lp: malformed problem")
+
+const (
+	eps = 1e-9
+	// stallFactor * (rows+cols) Dantzig iterations before switching to
+	// Bland's rule; hardFactor * (rows+cols) before giving up entirely.
+	stallFactor = 20
+	hardFactor  = 400
+)
+
+// Solve runs two-phase primal simplex and returns the result. The returned
+// error is non-nil only for malformed problems; infeasibility and
+// unboundedness are reported via Result.Status.
+func (p *Problem) Solve() (*Result, error) {
+	n := len(p.obj)
+	m := len(p.cons)
+	for _, c := range p.cons {
+		for _, t := range c.terms {
+			if t.Var < 0 || t.Var >= n {
+				return nil, fmt.Errorf("%w: term references variable %d of %d", ErrBadProblem, t.Var, n)
+			}
+		}
+	}
+
+	// Normalize rows so rhs >= 0 and count auxiliary columns.
+	rows := make([][]float64, m)
+	ops := make([]Op, m)
+	rhs := make([]float64, m)
+	nSlack, nArt := 0, 0
+	for i, c := range p.cons {
+		row := make([]float64, n)
+		for _, t := range c.terms {
+			row[t.Var] += t.Coeff
+		}
+		b := c.rhs
+		op := c.op
+		if b < 0 {
+			for j := range row {
+				row[j] = -row[j]
+			}
+			b = -b
+			switch op {
+			case LE:
+				op = GE
+			case GE:
+				op = LE
+			}
+		}
+		rows[i], ops[i], rhs[i] = row, op, b
+		switch op {
+		case LE:
+			nSlack++
+		case GE:
+			nSlack++ // surplus
+			nArt++
+		case EQ:
+			nArt++
+		}
+	}
+
+	total := n + nSlack + nArt
+	// tab is the m x (total+1) tableau; last column is the rhs.
+	tab := make([][]float64, m)
+	basis := make([]int, m)
+	slackAt, artAt := n, n+nSlack
+	artCols := make([]int, 0, nArt)
+	for i := 0; i < m; i++ {
+		r := make([]float64, total+1)
+		copy(r, rows[i])
+		r[total] = rhs[i]
+		switch ops[i] {
+		case LE:
+			r[slackAt] = 1
+			basis[i] = slackAt
+			slackAt++
+		case GE:
+			r[slackAt] = -1
+			slackAt++
+			r[artAt] = 1
+			basis[i] = artAt
+			artCols = append(artCols, artAt)
+			artAt++
+		case EQ:
+			r[artAt] = 1
+			basis[i] = artAt
+			artCols = append(artCols, artAt)
+			artAt++
+		}
+		tab[i] = r
+	}
+
+	iterations := 0
+
+	// Phase 1: drive artificials to zero.
+	if nArt > 0 {
+		cost := make([]float64, total+1)
+		for _, j := range artCols {
+			cost[j] = 1
+		}
+		canonicalize(cost, tab, basis)
+		st, it := simplexIterate(tab, basis, cost, nil)
+		iterations += it
+		if st == Unbounded {
+			// Phase-1 objective is bounded below by 0; unbounded here
+			// means numerical trouble. Treat as infeasible.
+			return &Result{Status: Infeasible, Iterations: iterations}, nil
+		}
+		if st == IterationLimit {
+			return &Result{Status: IterationLimit, Iterations: iterations}, nil
+		}
+		if -cost[total] > 1e-7 {
+			return &Result{Status: Infeasible, Iterations: iterations}, nil
+		}
+		// Drive remaining basic artificials out or drop their rows.
+		isArt := make([]bool, total)
+		for _, j := range artCols {
+			isArt[j] = true
+		}
+		for i := 0; i < m; i++ {
+			if !isArt[basis[i]] {
+				continue
+			}
+			pivoted := false
+			for j := 0; j < n+nSlack; j++ {
+				if math.Abs(tab[i][j]) > eps {
+					pivot(tab, basis, i, j)
+					pivoted = true
+					break
+				}
+			}
+			if !pivoted {
+				// Redundant row: zero it so it never constrains again.
+				for j := range tab[i] {
+					tab[i][j] = 0
+				}
+				basis[i] = -1
+			}
+		}
+		// Forbid artificial columns from ever re-entering.
+		for i := range tab {
+			for _, j := range artCols {
+				tab[i][j] = 0
+			}
+		}
+	}
+
+	// Phase 2 cost vector (internally minimize).
+	cost := make([]float64, total+1)
+	for j := 0; j < n; j++ {
+		if p.sense == Maximize {
+			cost[j] = -p.obj[j]
+		} else {
+			cost[j] = p.obj[j]
+		}
+	}
+	forbidden := make([]bool, total)
+	for _, j := range artCols {
+		forbidden[j] = true
+	}
+	canonicalize(cost, tab, basis)
+	st, it := simplexIterate(tab, basis, cost, forbidden)
+	iterations += it
+	if st != Optimal {
+		return &Result{Status: st, Iterations: iterations}, nil
+	}
+
+	x := make([]float64, n)
+	for i, b := range basis {
+		if b >= 0 && b < n {
+			x[b] = tab[i][total]
+		}
+	}
+	obj := 0.0
+	for j, c := range p.obj {
+		obj += c * x[j]
+	}
+	return &Result{Status: Optimal, X: x, Objective: obj, Iterations: iterations}, nil
+}
+
+// canonicalize subtracts multiples of the basic rows from cost so every
+// basic column has zero reduced cost. cost[last] accumulates -objective.
+func canonicalize(cost []float64, tab [][]float64, basis []int) {
+	for i, b := range basis {
+		if b < 0 {
+			continue
+		}
+		f := cost[b]
+		if f == 0 {
+			continue
+		}
+		row := tab[i]
+		for j := range cost {
+			cost[j] -= f * row[j]
+		}
+	}
+}
+
+// simplexIterate runs primal simplex iterations on the canonical tableau
+// until optimality, unboundedness, or the iteration cap. forbidden marks
+// columns (artificials) that may never enter the basis.
+func simplexIterate(tab [][]float64, basis []int, cost []float64, forbidden []bool) (Status, int) {
+	m := len(tab)
+	if m == 0 {
+		return Optimal, 0
+	}
+	total := len(cost) - 1
+	stall := stallFactor * (m + total)
+	hard := hardFactor * (m + total)
+	if hard < 2000 {
+		hard = 2000
+	}
+	for it := 0; it < hard; it++ {
+		bland := it >= stall
+		// Entering column.
+		enter := -1
+		best := -eps
+		for j := 0; j < total; j++ {
+			if forbidden != nil && forbidden[j] {
+				continue
+			}
+			if cost[j] < best {
+				if bland {
+					enter = j
+					break
+				}
+				best = cost[j]
+				enter = j
+			}
+		}
+		if enter == -1 {
+			return Optimal, it
+		}
+		// Ratio test; break ties by smallest basis index (lexicographic-ish
+		// anti-cycling support for the Bland phase).
+		leave := -1
+		var bestRatio float64
+		for i := 0; i < m; i++ {
+			a := tab[i][enter]
+			if a <= eps {
+				continue
+			}
+			r := tab[i][total] / a
+			if leave == -1 || r < bestRatio-eps || (r < bestRatio+eps && basis[i] < basis[leave]) {
+				leave, bestRatio = i, r
+			}
+		}
+		if leave == -1 {
+			return Unbounded, it
+		}
+		pivot(tab, basis, leave, enter)
+		// Keep cost row canonical.
+		f := cost[enter]
+		if f != 0 {
+			row := tab[leave]
+			for j := range cost {
+				cost[j] -= f * row[j]
+			}
+		}
+	}
+	return IterationLimit, hard
+}
+
+// pivot makes column col basic in row r.
+func pivot(tab [][]float64, basis []int, r, col int) {
+	prow := tab[r]
+	inv := 1.0 / prow[col]
+	for j := range prow {
+		prow[j] *= inv
+	}
+	prow[col] = 1 // exact
+	for i := range tab {
+		if i == r {
+			continue
+		}
+		f := tab[i][col]
+		if f == 0 {
+			continue
+		}
+		row := tab[i]
+		for j := range row {
+			row[j] -= f * prow[j]
+		}
+		row[col] = 0 // exact
+	}
+	basis[r] = col
+}

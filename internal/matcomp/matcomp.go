@@ -1,0 +1,185 @@
+// Package matcomp implements low-rank matrix completion via regularized
+// alternating least squares (ALS). Gavel's throughput estimator (§3.3, §6,
+// Figure 7) profiles a new job against a few reference jobs, completes the
+// sparse measurement matrix, and matches the completed row ("fingerprint")
+// to the closest pre-profiled reference job.
+package matcomp
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"gavel/internal/linalg"
+)
+
+// Options configures a completion run. Zero values select defaults.
+type Options struct {
+	Rank       int     // latent dimension (default 4)
+	Lambda     float64 // L2 regularization (default 0.05)
+	Iters      int     // ALS sweeps (default 50)
+	Seed       int64   // factor initialization seed
+	MinObserve int     // minimum observed entries required (default 1)
+}
+
+func (o Options) withDefaults() Options {
+	if o.Rank <= 0 {
+		o.Rank = 4
+	}
+	if o.Lambda <= 0 {
+		o.Lambda = 0.05
+	}
+	if o.Iters <= 0 {
+		o.Iters = 50
+	}
+	if o.MinObserve <= 0 {
+		o.MinObserve = 1
+	}
+	return o
+}
+
+// Complete fills in the missing entries of obs. observed[i][j] marks which
+// entries of obs are measurements; unobserved entries of obs are ignored.
+// The returned matrix has every entry populated with the low-rank model's
+// prediction (observed entries are returned as-measured).
+func Complete(obs *linalg.Matrix, observed [][]bool, opt Options) (*linalg.Matrix, error) {
+	opt = opt.withDefaults()
+	nr, nc := obs.Rows, obs.Cols
+	if len(observed) != nr {
+		return nil, fmt.Errorf("matcomp: observed mask has %d rows, want %d", len(observed), nr)
+	}
+	count := 0
+	for i, row := range observed {
+		if len(row) != nc {
+			return nil, fmt.Errorf("matcomp: observed mask row %d has %d cols, want %d", i, len(row), nc)
+		}
+		for _, b := range row {
+			if b {
+				count++
+			}
+		}
+	}
+	if count < opt.MinObserve {
+		return nil, fmt.Errorf("matcomp: %d observed entries, need at least %d", count, opt.MinObserve)
+	}
+
+	k := opt.Rank
+	if k > nr {
+		k = nr
+	}
+	if k > nc {
+		k = nc
+	}
+	rng := rand.New(rand.NewSource(opt.Seed))
+	// Factor matrices U (nr x k) and V (nc x k); prediction = U V^T.
+	U := linalg.NewMatrix(nr, k)
+	V := linalg.NewMatrix(nc, k)
+	// Initialize near the mean observed value so early iterations predict
+	// sensible magnitudes.
+	mean := 0.0
+	for i := 0; i < nr; i++ {
+		for j := 0; j < nc; j++ {
+			if observed[i][j] {
+				mean += obs.At(i, j)
+			}
+		}
+	}
+	mean /= float64(count)
+	scale := math.Sqrt(math.Abs(mean)/float64(k)) + 0.1
+	for i := range U.Data {
+		U.Data[i] = scale * (0.5 + rng.Float64())
+	}
+	for i := range V.Data {
+		V.Data[i] = scale * (0.5 + rng.Float64())
+	}
+
+	// Alternating least squares: fix V, solve ridge regression per row of U;
+	// then fix U, solve per row of V.
+	solveSide := func(target *linalg.Matrix, other *linalg.Matrix, rowObserved func(i int) []int, val func(i, j int) float64) error {
+		for i := 0; i < target.Rows; i++ {
+			idx := rowObserved(i)
+			if len(idx) == 0 {
+				continue
+			}
+			// A = sum_j v_j v_j^T + lambda I ; b = sum_j val * v_j
+			A := linalg.NewMatrix(k, k)
+			b := make([]float64, k)
+			for _, j := range idx {
+				vj := other.Row(j)
+				y := val(i, j)
+				for a := 0; a < k; a++ {
+					b[a] += y * vj[a]
+					for c := 0; c < k; c++ {
+						A.Set(a, c, A.At(a, c)+vj[a]*vj[c])
+					}
+				}
+			}
+			for a := 0; a < k; a++ {
+				A.Set(a, a, A.At(a, a)+opt.Lambda)
+			}
+			x, err := linalg.SolveLinear(A, b)
+			if err != nil {
+				return fmt.Errorf("matcomp: ALS row %d: %w", i, err)
+			}
+			copy(target.Row(i), x)
+		}
+		return nil
+	}
+
+	rowIdx := make([][]int, nr)
+	colIdx := make([][]int, nc)
+	for i := 0; i < nr; i++ {
+		for j := 0; j < nc; j++ {
+			if observed[i][j] {
+				rowIdx[i] = append(rowIdx[i], j)
+				colIdx[j] = append(colIdx[j], i)
+			}
+		}
+	}
+
+	for it := 0; it < opt.Iters; it++ {
+		if err := solveSide(U, V, func(i int) []int { return rowIdx[i] }, func(i, j int) float64 { return obs.At(i, j) }); err != nil {
+			return nil, err
+		}
+		if err := solveSide(V, U, func(j int) []int { return colIdx[j] }, func(j, i int) float64 { return obs.At(i, j) }); err != nil {
+			return nil, err
+		}
+	}
+
+	out := linalg.NewMatrix(nr, nc)
+	for i := 0; i < nr; i++ {
+		for j := 0; j < nc; j++ {
+			if observed[i][j] {
+				out.Set(i, j, obs.At(i, j))
+			} else {
+				v := linalg.Dot(U.Row(i), V.Row(j))
+				if v < 0 {
+					v = 0 // throughputs are non-negative
+				}
+				out.Set(i, j, v)
+			}
+		}
+	}
+	return out, nil
+}
+
+// RMSE returns the root-mean-squared error between pred and truth over the
+// entries selected by mask (typically the *unobserved* entries, to measure
+// generalization).
+func RMSE(pred, truth *linalg.Matrix, mask [][]bool) float64 {
+	var sum float64
+	n := 0
+	for i := 0; i < pred.Rows; i++ {
+		for j := 0; j < pred.Cols; j++ {
+			if mask[i][j] {
+				d := pred.At(i, j) - truth.At(i, j)
+				sum += d * d
+				n++
+			}
+		}
+	}
+	if n == 0 {
+		return 0
+	}
+	return math.Sqrt(sum / float64(n))
+}

@@ -1,0 +1,85 @@
+// Package metrics provides the small statistics helpers the experiment
+// harness uses: means, percentiles, and CDF summaries over job metrics.
+package metrics
+
+import (
+	"math"
+	"sort"
+)
+
+// Mean returns the arithmetic mean of v (NaN for empty input).
+func Mean(v []float64) float64 {
+	if len(v) == 0 {
+		return math.NaN()
+	}
+	s := 0.0
+	for _, x := range v {
+		s += x
+	}
+	return s / float64(len(v))
+}
+
+// Percentile returns the p-th percentile (0..100) using nearest-rank on a
+// sorted copy. NaN for empty input.
+func Percentile(v []float64, p float64) float64 {
+	if len(v) == 0 {
+		return math.NaN()
+	}
+	s := append([]float64(nil), v...)
+	sort.Float64s(s)
+	if p <= 0 {
+		return s[0]
+	}
+	if p >= 100 {
+		return s[len(s)-1]
+	}
+	rank := int(math.Ceil(p/100*float64(len(s)))) - 1
+	if rank < 0 {
+		rank = 0
+	}
+	return s[rank]
+}
+
+// Median is Percentile(v, 50).
+func Median(v []float64) float64 { return Percentile(v, 50) }
+
+// StdDev returns the population standard deviation.
+func StdDev(v []float64) float64 {
+	if len(v) == 0 {
+		return math.NaN()
+	}
+	m := Mean(v)
+	s := 0.0
+	for _, x := range v {
+		d := x - m
+		s += d * d
+	}
+	return math.Sqrt(s / float64(len(v)))
+}
+
+// CDFPoint is one (value, cumulative fraction) sample of an empirical CDF.
+type CDFPoint struct {
+	Value    float64
+	Fraction float64
+}
+
+// CDF returns up to points evenly spaced samples of the empirical CDF.
+func CDF(v []float64, points int) []CDFPoint {
+	if len(v) == 0 || points <= 0 {
+		return nil
+	}
+	s := append([]float64(nil), v...)
+	sort.Float64s(s)
+	if points > len(s) {
+		points = len(s)
+	}
+	out := make([]CDFPoint, 0, points)
+	for i := 0; i < points; i++ {
+		idx := (i + 1) * len(s) / points
+		if idx > len(s) {
+			idx = len(s)
+		}
+		out = append(out, CDFPoint{Value: s[idx-1], Fraction: float64(idx) / float64(len(s))})
+	}
+	return out
+}

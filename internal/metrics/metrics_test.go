@@ -1,0 +1,87 @@
+package metrics
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestMean(t *testing.T) {
+	if Mean([]float64{1, 2, 3}) != 2 {
+		t.Fatal("Mean")
+	}
+	if !math.IsNaN(Mean(nil)) {
+		t.Fatal("Mean(nil) should be NaN")
+	}
+}
+
+func TestPercentile(t *testing.T) {
+	v := []float64{5, 1, 4, 2, 3}
+	if Percentile(v, 0) != 1 || Percentile(v, 100) != 5 {
+		t.Fatal("extremes")
+	}
+	if Median(v) != 3 {
+		t.Fatalf("median = %v", Median(v))
+	}
+	if !math.IsNaN(Percentile(nil, 50)) {
+		t.Fatal("empty percentile should be NaN")
+	}
+	// Input must not be mutated (sorted copy).
+	if v[0] != 5 {
+		t.Fatal("Percentile mutated input")
+	}
+}
+
+func TestStdDev(t *testing.T) {
+	if StdDev([]float64{2, 2, 2}) != 0 {
+		t.Fatal("constant stddev")
+	}
+	got := StdDev([]float64{1, 3})
+	if math.Abs(got-1) > 1e-12 {
+		t.Fatalf("stddev = %v, want 1", got)
+	}
+}
+
+func TestCDF(t *testing.T) {
+	pts := CDF([]float64{4, 1, 3, 2}, 4)
+	if len(pts) != 4 {
+		t.Fatalf("len = %d", len(pts))
+	}
+	if pts[3].Value != 4 || pts[3].Fraction != 1 {
+		t.Fatalf("last point %+v", pts[3])
+	}
+	for i := 1; i < len(pts); i++ {
+		if pts[i].Value < pts[i-1].Value || pts[i].Fraction < pts[i-1].Fraction {
+			t.Fatal("CDF not monotone")
+		}
+	}
+	if CDF(nil, 5) != nil {
+		t.Fatal("empty CDF")
+	}
+}
+
+// Property: percentiles are monotone in p and bounded by min/max.
+func TestPropertyPercentileMonotone(t *testing.T) {
+	f := func(v []float64) bool {
+		if len(v) == 0 {
+			return true
+		}
+		for _, x := range v {
+			if math.IsNaN(x) {
+				return true
+			}
+		}
+		prev := math.Inf(-1)
+		for p := 0.0; p <= 100; p += 10 {
+			cur := Percentile(v, p)
+			if cur < prev {
+				return false
+			}
+			prev = cur
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,202 @@
+// Package milp implements a small mixed-integer linear-program solver:
+// branch and bound on binary variables over the internal/lp simplex solver.
+// Gavel needs exactly one MILP — the bottleneck-job identification step of
+// the water-filling procedure for max-min and hierarchical fairness policies
+// (Appendix A.1 of the paper) — so only binary integrality is supported.
+package milp
+
+import (
+	"fmt"
+	"math"
+
+	"gavel/internal/lp"
+)
+
+// Problem is a mixed-integer LP: continuous non-negative variables plus
+// binary variables restricted to {0, 1}.
+type Problem struct {
+	sense  lp.Sense
+	obj    []float64
+	names  []string
+	binary []bool
+	cons   []con
+	// MaxNodes caps the branch-and-bound tree; 0 means DefaultMaxNodes.
+	MaxNodes int
+}
+
+type con struct {
+	terms []lp.Term
+	op    lp.Op
+	rhs   float64
+}
+
+// DefaultMaxNodes bounds the search when MaxNodes is unset.
+const DefaultMaxNodes = 20000
+
+// NewProblem returns an empty MILP with the given objective sense.
+func NewProblem(sense lp.Sense) *Problem {
+	return &Problem{sense: sense}
+}
+
+// AddVar adds a continuous non-negative variable.
+func (p *Problem) AddVar(objCoeff float64, name string) int {
+	p.obj = append(p.obj, objCoeff)
+	p.names = append(p.names, name)
+	p.binary = append(p.binary, false)
+	return len(p.obj) - 1
+}
+
+// AddBinaryVar adds a variable restricted to {0, 1}.
+func (p *Problem) AddBinaryVar(objCoeff float64, name string) int {
+	v := p.AddVar(objCoeff, name)
+	p.binary[v] = true
+	return v
+}
+
+// AddConstraint adds sum(terms) op rhs.
+func (p *Problem) AddConstraint(terms []lp.Term, op lp.Op, rhs float64) {
+	c := con{terms: make([]lp.Term, len(terms)), op: op, rhs: rhs}
+	copy(c.terms, terms)
+	p.cons = append(p.cons, c)
+}
+
+// Result is the outcome of a MILP solve.
+type Result struct {
+	Status    lp.Status
+	X         []float64
+	Objective float64
+	Nodes     int
+}
+
+const intTol = 1e-6
+
+// Solve runs depth-first branch and bound and returns the best integral
+// solution found. Status is Optimal when the tree was fully explored,
+// IterationLimit when the node cap was hit but an incumbent exists,
+// Infeasible when no integral solution exists.
+func (p *Problem) Solve() (*Result, error) {
+	maxNodes := p.MaxNodes
+	if maxNodes <= 0 {
+		maxNodes = DefaultMaxNodes
+	}
+
+	type node struct {
+		fixed map[int]float64 // binary var -> 0 or 1
+	}
+	stack := []node{{fixed: map[int]float64{}}}
+
+	var best *lp.Result
+	nodes := 0
+	capped := false
+
+	better := func(obj float64) bool {
+		if best == nil {
+			return true
+		}
+		if p.sense == lp.Maximize {
+			return obj > best.Objective+1e-9
+		}
+		return obj < best.Objective-1e-9
+	}
+
+	for len(stack) > 0 {
+		if nodes >= maxNodes {
+			capped = true
+			break
+		}
+		nd := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		nodes++
+
+		relax := p.buildRelaxation(nd.fixed)
+		res, err := relax.Solve()
+		if err != nil {
+			return nil, fmt.Errorf("milp: relaxation: %w", err)
+		}
+		if res.Status != lp.Optimal {
+			continue // infeasible or unbounded branch: prune
+		}
+		if best != nil && !better(res.Objective) {
+			continue // bound prune
+		}
+		// Find most fractional binary.
+		branch := -1
+		worst := intTol
+		for j, isBin := range p.binary {
+			if !isBin {
+				continue
+			}
+			if _, ok := nd.fixed[j]; ok {
+				continue
+			}
+			f := math.Abs(res.X[j] - math.Round(res.X[j]))
+			if f > worst {
+				worst, branch = f, j
+			}
+		}
+		if branch == -1 {
+			// Integral (within tolerance): candidate incumbent.
+			if better(res.Objective) {
+				cp := *res
+				cp.X = append([]float64(nil), res.X...)
+				for j, isBin := range p.binary {
+					if isBin {
+						cp.X[j] = math.Round(cp.X[j])
+					}
+				}
+				best = &cp
+			}
+			continue
+		}
+		// Depth-first: explore the rounding of the relaxation first.
+		first, second := 1.0, 0.0
+		if res.X[branch] < 0.5 {
+			first, second = 0.0, 1.0
+		}
+		f1 := cloneFixed(nd.fixed)
+		f1[branch] = second
+		f2 := cloneFixed(nd.fixed)
+		f2[branch] = first
+		stack = append(stack, node{fixed: f1}, node{fixed: f2})
+	}
+
+	if best == nil {
+		return &Result{Status: lp.Infeasible, Nodes: nodes}, nil
+	}
+	status := lp.Optimal
+	if capped {
+		status = lp.IterationLimit
+	}
+	return &Result{Status: status, X: best.X, Objective: best.Objective, Nodes: nodes}, nil
+}
+
+func cloneFixed(m map[int]float64) map[int]float64 {
+	c := make(map[int]float64, len(m)+1)
+	for k, v := range m {
+		c[k] = v
+	}
+	return c
+}
+
+// buildRelaxation constructs the LP relaxation with binaries bounded in
+// [0, 1] and branched binaries fixed by equality constraints.
+func (p *Problem) buildRelaxation(fixed map[int]float64) *lp.Problem {
+	rp := lp.NewProblem(p.sense)
+	for j, c := range p.obj {
+		rp.AddVar(c, p.names[j])
+	}
+	for _, c := range p.cons {
+		rp.AddConstraint(c.terms, c.op, c.rhs)
+	}
+	for j, isBin := range p.binary {
+		if !isBin {
+			continue
+		}
+		if v, ok := fixed[j]; ok {
+			rp.AddConstraint([]lp.Term{{Var: j, Coeff: 1}}, lp.EQ, v)
+		} else {
+			rp.AddConstraint([]lp.Term{{Var: j, Coeff: 1}}, lp.LE, 1)
+		}
+	}
+	return rp
+}

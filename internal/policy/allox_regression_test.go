@@ -1,0 +1,20 @@
+package policy
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func TestAlloXScarceTypeRegression(t *testing.T) {
+	// Seed that previously made the minimal queue depth infeasible: two
+	// jobs runnable only on the single v100.
+	rng := rand.New(rand.NewSource(8848339008565410143))
+	in := randomInput(rng, 1+rng.Intn(7), 2+rng.Intn(2))
+	alloc, err := (&AlloX{}).Allocate(in)
+	if err != nil {
+		t.Fatalf("Allocate: %v", err)
+	}
+	if err := alloc.Validate(in.scaleFactors(), in.Workers); err != nil {
+		t.Fatalf("invalid: %v", err)
+	}
+}

@@ -1,0 +1,255 @@
+package policy
+
+import (
+	"fmt"
+	"sort"
+
+	"gavel/internal/core"
+	"gavel/internal/lp"
+)
+
+// MinCost is the paper's cloud cost policy (§4.2): maximize time-averaged
+// normalized throughput per dollar,
+//
+//	max_X  sum_m throughput(m, X) / throughput(m, X^fastest)
+//	       --------------------------------------------------
+//	       sum_u sum_j cost_j * X_uj
+//
+// a linear-fractional program solved exactly with the Charnes-Cooper
+// transformation (internal/lp.SolveFractional). Pair units are charged
+// once, so space sharing is not double-billed. With EnforceSLOs set, the
+// constraint throughput(m, X) >= steps_m / SLO_remaining_m is added for
+// every job with an SLO ("minimize cost w/ SLOs").
+type MinCost struct {
+	EnforceSLOs bool
+}
+
+// Name implements Policy.
+func (p *MinCost) Name() string {
+	if p.EnforceSLOs {
+		return "min_cost_slo"
+	}
+	return "min_cost"
+}
+
+// Allocate implements Policy.
+func (p *MinCost) Allocate(in *Input) (*core.Allocation, error) {
+	if err := in.validate(); err != nil {
+		return nil, err
+	}
+	if len(in.Jobs) == 0 {
+		return emptyAllocation(in), nil
+	}
+	if len(in.Prices) != len(in.Workers) {
+		return nil, fmt.Errorf("min_cost: %d prices for %d types", len(in.Prices), len(in.Workers))
+	}
+	numTypes := len(in.Workers)
+	sf := in.scaleFactors()
+
+	// Flatten usable (unit, type) pairs into fractional-program variables.
+	varOf := make([][]int, len(in.Units))
+	nv := 0
+	for ui := range in.Units {
+		varOf[ui] = make([]int, numTypes)
+		for j := 0; j < numTypes; j++ {
+			usable := false
+			for k := range in.Units[ui].Jobs {
+				if in.Units[ui].Tput[k][j] > 0 {
+					usable = true
+					break
+				}
+			}
+			if usable {
+				varOf[ui][j] = nv
+				nv++
+			} else {
+				varOf[ui][j] = -1
+			}
+		}
+	}
+
+	f := &lp.Fractional{
+		NumVars: nv,
+		Num:     make([]float64, nv),
+		Den:     make([]float64, nv),
+	}
+	// Numerator: normalized throughput. Denominator: dollar rate.
+	for ui := range in.Units {
+		u := &in.Units[ui]
+		for j := 0; j < numTypes; j++ {
+			v := varOf[ui][j]
+			if v < 0 {
+				continue
+			}
+			for k, m := range u.Jobs {
+				fastest := core.MaxThroughput(in.Jobs[m].Tput)
+				if core.Finite(fastest) && u.Tput[k][j] > 0 {
+					f.Num[v] += u.Tput[k][j] / fastest
+				}
+			}
+			nWorkers := float64(1)
+			for _, m := range u.Jobs {
+				if s := float64(sf[m]); s > nWorkers {
+					nWorkers = s
+				}
+			}
+			f.Den[v] += in.Prices[j] * nWorkers
+		}
+	}
+
+	throughputTerms := func(m int) []lp.Term {
+		var terms []lp.Term
+		for ui := range in.Units {
+			u := &in.Units[ui]
+			for k, jm := range u.Jobs {
+				if jm != m {
+					continue
+				}
+				for j := 0; j < numTypes; j++ {
+					if v := varOf[ui][j]; v >= 0 && u.Tput[k][j] > 0 {
+						terms = append(terms, lp.Term{Var: v, Coeff: u.Tput[k][j]})
+					}
+				}
+			}
+		}
+		return terms
+	}
+
+	// Per-job time budget.
+	for m := range in.Jobs {
+		var terms []lp.Term
+		for ui := range in.Units {
+			if in.Units[ui].Contains(m) {
+				for j := 0; j < numTypes; j++ {
+					if v := varOf[ui][j]; v >= 0 {
+						terms = append(terms, lp.Term{Var: v, Coeff: 1})
+					}
+				}
+			}
+		}
+		if len(terms) > 0 {
+			f.Cons = append(f.Cons, lp.FractionalConstraint{Terms: terms, Op: lp.LE, RHS: 1})
+		}
+	}
+	// Per-type capacity.
+	for j := 0; j < numTypes; j++ {
+		var terms []lp.Term
+		for ui := range in.Units {
+			if v := varOf[ui][j]; v >= 0 {
+				nWorkers := float64(1)
+				for _, m := range in.Units[ui].Jobs {
+					if s := float64(sf[m]); s > nWorkers {
+						nWorkers = s
+					}
+				}
+				terms = append(terms, lp.Term{Var: v, Coeff: nWorkers})
+			}
+		}
+		if len(terms) > 0 {
+			f.Cons = append(f.Cons, lp.FractionalConstraint{Terms: terms, Op: lp.LE, RHS: in.Workers[j]})
+		}
+	}
+	// SLO floor constraints. An SLO that cannot be met even on the job's
+	// fastest accelerator running full time is hopeless — adding it would
+	// make the whole program infeasible, so it is skipped (the violation
+	// is already inevitable). If the aggregate set is still infeasible
+	// (cluster oversubscribed), the tightest constraints are relaxed batch
+	// by batch: those jobs will violate regardless, and the rest keep
+	// their guarantees.
+	type sloCon struct {
+		job       int
+		need      float64
+		tightness float64 // need / fastest; higher = harder
+	}
+	var slos []sloCon
+	if p.EnforceSLOs {
+		for m := range in.Jobs {
+			j := &in.Jobs[m]
+			if j.SLORemaining <= 0 || j.RemainingSteps <= 0 {
+				continue
+			}
+			need := j.RemainingSteps / j.SLORemaining
+			fastest := core.MaxThroughput(j.Tput)
+			if !core.Finite(fastest) || need > fastest {
+				continue // hopeless SLO
+			}
+			slos = append(slos, sloCon{job: m, need: need, tightness: need / fastest})
+		}
+		sort.Slice(slos, func(a, b int) bool { return slos[a].tightness < slos[b].tightness })
+	}
+
+	baseCons := f.Cons
+	solve := func(nSLO int) ([]float64, error) {
+		f.Cons = append([]lp.FractionalConstraint(nil), baseCons...)
+		for _, s := range slos[:nSLO] {
+			f.Cons = append(f.Cons, lp.FractionalConstraint{
+				Terms: throughputTerms(s.job), Op: lp.GE, RHS: s.need,
+			})
+		}
+		x, _, err := lp.SolveFractional(f)
+		return x, err
+	}
+	nSLO := len(slos)
+	x, err := solve(nSLO)
+	for err != nil && nSLO > 0 {
+		// Drop the tightest quarter (at least one) and retry.
+		drop := (nSLO + 3) / 4
+		nSLO -= drop
+		x, err = solve(nSLO)
+	}
+	if err != nil {
+		return nil, fmt.Errorf("min_cost: %w", err)
+	}
+	X := make([][]float64, len(in.Units))
+	for ui := range in.Units {
+		X[ui] = make([]float64, numTypes)
+		for j := 0; j < numTypes; j++ {
+			if v := varOf[ui][j]; v >= 0 {
+				val := x[v]
+				if val < 0 {
+					val = 0
+				}
+				if val > 1 {
+					val = 1
+				}
+				X[ui][j] = val
+			}
+		}
+	}
+	return &core.Allocation{Units: in.Units, X: X}, nil
+}
+
+// MaxTotalThroughput maximizes total normalized effective throughput: the
+// cost experiment's "maximize throughput" baseline.
+type MaxTotalThroughput struct{}
+
+// Name implements Policy.
+func (MaxTotalThroughput) Name() string { return "max_total_throughput" }
+
+// Allocate implements Policy.
+func (MaxTotalThroughput) Allocate(in *Input) (*core.Allocation, error) {
+	if err := in.validate(); err != nil {
+		return nil, err
+	}
+	if len(in.Jobs) == 0 {
+		return emptyAllocation(in), nil
+	}
+	pr := core.NewProgram(lp.Maximize, in.Units, in.scaleFactors(), in.Workers)
+	for m := range in.Jobs {
+		fastest := core.MaxThroughput(in.Jobs[m].Tput)
+		if !core.Finite(fastest) {
+			continue
+		}
+		for _, tm := range pr.ThroughputTerms(m, 1/fastest) {
+			pr.P.AddObj(tm.Var, tm.Coeff)
+		}
+	}
+	res, err := pr.P.Solve()
+	if err != nil {
+		return nil, fmt.Errorf("max_total_throughput LP: %w", err)
+	}
+	if res.Status != lp.Optimal {
+		return nil, fmt.Errorf("max_total_throughput LP: %v", res.Status)
+	}
+	return pr.Extract(res.X), nil
+}

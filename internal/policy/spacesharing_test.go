@@ -1,0 +1,125 @@
+package policy
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"gavel/internal/core"
+)
+
+// withPairs appends space-sharing pair units to an input: each pair keeps
+// ~85% of both members' isolated throughput (a profitable packing).
+func withPairs(in *Input, pairs [][2]int) *Input {
+	for _, p := range pairs {
+		a, b := p[0], p[1]
+		ta := make([]float64, len(in.Workers))
+		tb := make([]float64, len(in.Workers))
+		for j := range in.Workers {
+			ta[j] = in.Jobs[a].Tput[j] * 0.85
+			tb[j] = in.Jobs[b].Tput[j] * 0.85
+		}
+		in.Units = append(in.Units, core.Pair(a, b, ta, tb))
+	}
+	return in
+}
+
+// TestSSAwareMaxMinUsesPairsUnderContention verifies §3.1's colocation
+// property: with space sharing available, the max-min objective is at
+// least as good as without it, and under contention the allocation
+// actually uses pair units.
+func TestSSAwareMaxMinUsesPairsUnderContention(t *testing.T) {
+	// 3 jobs, 1 device of each of 2 types: heavy contention.
+	base := paperExampleInput()
+	plain, err := (&MaxMinFairness{}).Allocate(base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ss := withPairs(paperExampleInput(), [][2]int{{0, 1}, {1, 2}, {0, 2}})
+	packed, err := (&MaxMinFairness{}).Allocate(ss)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := packed.Validate(ss.scaleFactors(), ss.Workers); err != nil {
+		t.Fatalf("invalid SS allocation: %v", err)
+	}
+	minNorm := func(in *Input, a *core.Allocation) float64 {
+		worst := 1e18
+		for m := range in.Jobs {
+			n := a.EffectiveThroughput(m) / core.EqualShareThroughput(in.Jobs[m].Tput, in.Workers)
+			if n < worst {
+				worst = n
+			}
+		}
+		return worst
+	}
+	if minNorm(ss, packed) < minNorm(base, plain)-1e-6 {
+		t.Errorf("space sharing reduced the max-min objective: %v < %v",
+			minNorm(ss, packed), minNorm(base, plain))
+	}
+	pairTime := 0.0
+	for ui := len(ss.Jobs); ui < len(ss.Units); ui++ {
+		for _, x := range packed.X[ui] {
+			pairTime += x
+		}
+	}
+	if pairTime <= 1e-6 {
+		t.Error("profitable pairs never used under contention")
+	}
+}
+
+// Property: with profitable pairs available, no policy's allocation ever
+// violates the "each job in at most one running combination" budget
+// (sum over C_m of X <= 1, §3.1).
+func TestPropertySSAllocationsValid(t *testing.T) {
+	pols := []Policy{&MaxMinFairness{}, FIFO{}, Makespan{}, MaxTotalThroughput{}, &MinCost{}}
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		in := randomInput(rng, 2+rng.Intn(5), 2)
+		var pairs [][2]int
+		for k := 0; k < 3; k++ {
+			a, b := rng.Intn(len(in.Jobs)), rng.Intn(len(in.Jobs))
+			if a != b {
+				pairs = append(pairs, [2]int{a, b})
+			}
+		}
+		in = withPairs(in, pairs)
+		for _, p := range pols {
+			alloc, err := p.Allocate(in)
+			if err != nil {
+				return false
+			}
+			if alloc.Validate(in.scaleFactors(), in.Workers) != nil {
+				return false
+			}
+			for m := range in.Jobs {
+				if alloc.JobTimeFraction(m) > 1+1e-5 {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Colocation property from §4.4: "solutions with colocation are always at
+// least as good as without colocation" — checked for the makespan policy.
+func TestColocationNeverHurtsMakespan(t *testing.T) {
+	base := paperExampleInput()
+	plain, err := (Makespan{}).Allocate(base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ss := withPairs(paperExampleInput(), [][2]int{{0, 1}})
+	packed, err := (Makespan{}).Allocate(ss)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if MakespanValue(ss, packed) > MakespanValue(base, plain)*(1+1e-6) {
+		t.Errorf("colocation worsened makespan: %v > %v",
+			MakespanValue(ss, packed), MakespanValue(base, plain))
+	}
+}

@@ -1,0 +1,328 @@
+// Package rpc is Gavel's control plane for physical deployments: the
+// narrow scheduler <-> worker API of §6 carried over Go's net/rpc (the
+// stdlib substitution for the paper's gRPC; see DESIGN.md). Workers
+// register their accelerator type, lease micro-tasks round by round, renew
+// leases near round end, and report measured throughputs, which feed the
+// policy's throughput matrix exactly as in the simulator.
+package rpc
+
+import (
+	"errors"
+	"fmt"
+	"net"
+	"net/rpc"
+	"sort"
+	"sync"
+	"time"
+)
+
+// RegisterArgs announces a worker to the scheduler.
+type RegisterArgs struct {
+	Addr            string // worker callback address (informational)
+	AcceleratorType string // e.g. "v100"
+	Server          string // physical server id, for consolidation
+}
+
+// RegisterReply returns the assigned worker ID and round length.
+type RegisterReply struct {
+	WorkerID     int
+	RoundSeconds float64
+}
+
+// LeaseArgs asks for the next micro-task on a worker.
+type LeaseArgs struct {
+	WorkerID int
+}
+
+// Lease describes one micro-task: run the job for the round, checkpointing
+// at the end unless renewed.
+type Lease struct {
+	JobIDs       []int // one job, or two when space sharing
+	RoundSeconds float64
+	// Renewed reports whether the same job keeps the worker next round
+	// (the GavelIterator's lease-renewal check, §6).
+	Renewed bool
+	// Empty means no work this round.
+	Empty bool
+}
+
+// ThroughputReport feeds a measured throughput back to the scheduler.
+type ThroughputReport struct {
+	WorkerID int
+	JobID    int
+	// StepsPerSecond measured over the micro-task.
+	StepsPerSecond float64
+}
+
+// Ack is an empty RPC reply.
+type Ack struct{}
+
+// JobSpec is the unit of work submitted to the scheduler daemon.
+type JobSpec struct {
+	JobID      int
+	Name       string
+	TotalSteps float64
+	// ThroughputHint maps accelerator type -> steps/sec; measured values
+	// override hints as rounds complete.
+	ThroughputHint map[string]float64
+}
+
+// Scheduler is the RPC server half: it tracks workers and runnable jobs
+// and hands out leases per round, using received-time priorities like the
+// in-process mechanism. It is deliberately small — the heavy lifting
+// (policies, the full mechanism) is reused from the core library by the
+// daemon in cmd/gavel-sched; this type provides the wire surface plus a
+// self-contained priority scheduler good enough for the lease protocol
+// tests and the quickstart physical deployment.
+type Scheduler struct {
+	mu           sync.Mutex
+	roundSeconds float64
+
+	nextWorker int
+	workers    map[int]*workerState
+
+	jobs map[int]*jobClientState
+
+	listener net.Listener
+	server   *rpc.Server
+}
+
+type workerState struct {
+	id      int
+	accType string
+	server  string
+	current int // job id leased this round, -1 none
+}
+
+type jobClientState struct {
+	spec     JobSpec
+	steps    float64
+	received map[string]float64 // seconds per accelerator type
+	measured map[string]float64 // steps/sec per accelerator type
+	done     bool
+}
+
+// NewScheduler creates a scheduler with the given round length.
+func NewScheduler(roundSeconds float64) *Scheduler {
+	if roundSeconds <= 0 {
+		roundSeconds = 360
+	}
+	return &Scheduler{
+		roundSeconds: roundSeconds,
+		workers:      map[int]*workerState{},
+		jobs:         map[int]*jobClientState{},
+	}
+}
+
+// Serve starts listening on addr ("host:port"); it returns the bound
+// address (useful with ":0").
+func (s *Scheduler) Serve(addr string) (string, error) {
+	srv := rpc.NewServer()
+	if err := srv.RegisterName("Gavel", &schedulerRPC{s: s}); err != nil {
+		return "", err
+	}
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return "", err
+	}
+	s.mu.Lock()
+	s.listener = ln
+	s.server = srv
+	s.mu.Unlock()
+	go func() {
+		for {
+			conn, err := ln.Accept()
+			if err != nil {
+				return
+			}
+			go srv.ServeConn(conn)
+		}
+	}()
+	return ln.Addr().String(), nil
+}
+
+// Close stops the listener.
+func (s *Scheduler) Close() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.listener != nil {
+		return s.listener.Close()
+	}
+	return nil
+}
+
+// Submit adds a job to the runnable set.
+func (s *Scheduler) Submit(spec JobSpec) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.jobs[spec.JobID] = &jobClientState{
+		spec:     spec,
+		received: map[string]float64{},
+		measured: map[string]float64{},
+	}
+}
+
+// JobDone reports whether the job has completed all steps.
+func (s *Scheduler) JobDone(jobID int) bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	j, ok := s.jobs[jobID]
+	return ok && j.done
+}
+
+// Throughput returns the scheduler's current steps/sec belief for a job on
+// an accelerator type (measurement if present, else hint).
+func (s *Scheduler) Throughput(jobID int, accType string) float64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	j, ok := s.jobs[jobID]
+	if !ok {
+		return 0
+	}
+	if v, ok := j.measured[accType]; ok {
+		return v
+	}
+	return j.spec.ThroughputHint[accType]
+}
+
+// schedulerRPC is the exported RPC surface.
+type schedulerRPC struct{ s *Scheduler }
+
+// RegisterWorker implements the worker-registration RPC.
+func (r *schedulerRPC) RegisterWorker(args RegisterArgs, reply *RegisterReply) error {
+	s := r.s
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if args.AcceleratorType == "" {
+		return errors.New("rpc: worker must declare an accelerator type")
+	}
+	id := s.nextWorker
+	s.nextWorker++
+	s.workers[id] = &workerState{id: id, accType: args.AcceleratorType, server: args.Server, current: -1}
+	*reply = RegisterReply{WorkerID: id, RoundSeconds: s.roundSeconds}
+	return nil
+}
+
+// LeaseMicroTask hands the next micro-task to a worker. The job picked is
+// the runnable job with the least attained service on the worker's
+// accelerator type (a worker-pull variant of the round mechanism: exact
+// allocation tracking lives in cmd/gavel-sched, which drives this same
+// wire surface with policy output).
+func (r *schedulerRPC) LeaseMicroTask(args LeaseArgs, reply *Lease) error {
+	s := r.s
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	w, ok := s.workers[args.WorkerID]
+	if !ok {
+		return fmt.Errorf("rpc: unknown worker %d", args.WorkerID)
+	}
+	// Free the previous lease.
+	prev := w.current
+	w.current = -1
+
+	leased := map[int]bool{}
+	for _, ws := range s.workers {
+		if ws.current >= 0 {
+			leased[ws.current] = true
+		}
+	}
+	type cand struct {
+		id   int
+		recv float64
+	}
+	var cands []cand
+	for id, j := range s.jobs {
+		if j.done || leased[id] {
+			continue
+		}
+		total := 0.0
+		for _, v := range j.received {
+			total += v
+		}
+		cands = append(cands, cand{id: id, recv: total})
+	}
+	if len(cands) == 0 {
+		*reply = Lease{Empty: true, RoundSeconds: s.roundSeconds}
+		return nil
+	}
+	sort.Slice(cands, func(a, b int) bool {
+		if cands[a].recv != cands[b].recv {
+			return cands[a].recv < cands[b].recv
+		}
+		return cands[a].id < cands[b].id
+	})
+	pick := cands[0].id
+	w.current = pick
+	s.jobs[pick].received[w.accType] += s.roundSeconds
+	*reply = Lease{
+		JobIDs:       []int{pick},
+		RoundSeconds: s.roundSeconds,
+		Renewed:      pick == prev,
+	}
+	return nil
+}
+
+// ReportThroughput records a measured throughput and job progress.
+func (r *schedulerRPC) ReportThroughput(rep ThroughputReport, _ *Ack) error {
+	s := r.s
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	w, ok := s.workers[rep.WorkerID]
+	if !ok {
+		return fmt.Errorf("rpc: unknown worker %d", rep.WorkerID)
+	}
+	j, ok := s.jobs[rep.JobID]
+	if !ok {
+		return fmt.Errorf("rpc: unknown job %d", rep.JobID)
+	}
+	j.measured[w.accType] = rep.StepsPerSecond
+	j.steps += rep.StepsPerSecond * s.roundSeconds
+	if j.steps >= j.spec.TotalSteps {
+		j.done = true
+	}
+	return nil
+}
+
+// Client is the worker-side handle.
+type Client struct {
+	c        *rpc.Client
+	WorkerID int
+	Round    time.Duration
+}
+
+// Dial connects a worker to the scheduler and registers it.
+func Dial(addr string, reg RegisterArgs) (*Client, error) {
+	c, err := rpc.Dial("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	var reply RegisterReply
+	if err := c.Call("Gavel.RegisterWorker", reg, &reply); err != nil {
+		c.Close()
+		return nil, err
+	}
+	return &Client{
+		c:        c,
+		WorkerID: reply.WorkerID,
+		Round:    time.Duration(reply.RoundSeconds * float64(time.Second)),
+	}, nil
+}
+
+// Lease requests the next micro-task.
+func (c *Client) Lease() (*Lease, error) {
+	var l Lease
+	if err := c.c.Call("Gavel.LeaseMicroTask", LeaseArgs{WorkerID: c.WorkerID}, &l); err != nil {
+		return nil, err
+	}
+	return &l, nil
+}
+
+// Report sends a measured throughput.
+func (c *Client) Report(jobID int, stepsPerSecond float64) error {
+	var ack Ack
+	return c.c.Call("Gavel.ReportThroughput",
+		ThroughputReport{WorkerID: c.WorkerID, JobID: jobID, StepsPerSecond: stepsPerSecond}, &ack)
+}
+
+// Close tears down the connection.
+func (c *Client) Close() error { return c.c.Close() }

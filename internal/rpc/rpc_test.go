@@ -1,0 +1,123 @@
+package rpc
+
+import (
+	"testing"
+)
+
+func startScheduler(t *testing.T) (*Scheduler, string) {
+	t.Helper()
+	s := NewScheduler(1) // 1-second rounds keep tests fast
+	addr, err := s.Serve("127.0.0.1:0")
+	if err != nil {
+		t.Fatalf("Serve: %v", err)
+	}
+	t.Cleanup(func() { s.Close() })
+	return s, addr
+}
+
+func TestRegisterAndLease(t *testing.T) {
+	s, addr := startScheduler(t)
+	s.Submit(JobSpec{JobID: 1, Name: "resnet", TotalSteps: 100,
+		ThroughputHint: map[string]float64{"v100": 10}})
+
+	c, err := Dial(addr, RegisterArgs{AcceleratorType: "v100", Server: "srv0"})
+	if err != nil {
+		t.Fatalf("Dial: %v", err)
+	}
+	defer c.Close()
+
+	lease, err := c.Lease()
+	if err != nil {
+		t.Fatalf("Lease: %v", err)
+	}
+	if lease.Empty || len(lease.JobIDs) != 1 || lease.JobIDs[0] != 1 {
+		t.Fatalf("lease = %+v, want job 1", lease)
+	}
+	// Second lease immediately: the same job should be renewed (it is the
+	// only one).
+	lease2, err := c.Lease()
+	if err != nil {
+		t.Fatalf("Lease 2: %v", err)
+	}
+	if !lease2.Renewed {
+		t.Fatalf("lease not renewed: %+v", lease2)
+	}
+}
+
+func TestLeaseLeastAttainedService(t *testing.T) {
+	s, addr := startScheduler(t)
+	s.Submit(JobSpec{JobID: 1, TotalSteps: 1e9})
+	s.Submit(JobSpec{JobID: 2, TotalSteps: 1e9})
+
+	c, err := Dial(addr, RegisterArgs{AcceleratorType: "k80"})
+	if err != nil {
+		t.Fatalf("Dial: %v", err)
+	}
+	defer c.Close()
+
+	first, _ := c.Lease()
+	second, _ := c.Lease()
+	if first.JobIDs[0] == second.JobIDs[0] {
+		t.Fatalf("scheduler did not alternate by attained service: %v then %v", first.JobIDs, second.JobIDs)
+	}
+}
+
+func TestNoDoubleLeaseAcrossWorkers(t *testing.T) {
+	s, addr := startScheduler(t)
+	s.Submit(JobSpec{JobID: 7, TotalSteps: 1e9})
+
+	c1, err := Dial(addr, RegisterArgs{AcceleratorType: "v100"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c1.Close()
+	c2, err := Dial(addr, RegisterArgs{AcceleratorType: "p100"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c2.Close()
+
+	l1, _ := c1.Lease()
+	l2, _ := c2.Lease()
+	if !l1.Empty && !l2.Empty {
+		t.Fatalf("job leased to two workers at once: %v / %v", l1, l2)
+	}
+}
+
+func TestReportDrivesCompletion(t *testing.T) {
+	s, addr := startScheduler(t)
+	s.Submit(JobSpec{JobID: 3, TotalSteps: 50})
+
+	c, err := Dial(addr, RegisterArgs{AcceleratorType: "v100"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	if _, err := c.Lease(); err != nil {
+		t.Fatal(err)
+	}
+	// 60 steps/sec over a 1-second round completes the 50-step job.
+	if err := c.Report(3, 60); err != nil {
+		t.Fatalf("Report: %v", err)
+	}
+	if !s.JobDone(3) {
+		t.Fatal("job should be complete")
+	}
+	if got := s.Throughput(3, "v100"); got != 60 {
+		t.Fatalf("measured throughput = %v, want 60", got)
+	}
+	lease, err := c.Lease()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !lease.Empty {
+		t.Fatalf("completed job leased again: %+v", lease)
+	}
+}
+
+func TestRegisterRequiresType(t *testing.T) {
+	_, addr := startScheduler(t)
+	if _, err := Dial(addr, RegisterArgs{}); err == nil {
+		t.Fatal("want error for missing accelerator type")
+	}
+}

@@ -1,0 +1,280 @@
+// Package scheduler implements Gavel's preemptive round-based scheduling
+// mechanism (§5): given a target allocation X computed by a policy, it
+// selects the scheduling units (jobs or space-sharing pairs) to run in each
+// fixed-length round so the realized time fractions track X. Units are
+// picked greedily in decreasing priority order, where
+//
+//	priority[u][j] = X[u][j] / f[u][j]
+//
+// and f[u][j] is the fraction of type-j time unit u has actually received
+// since the allocation was computed (Figure 4, Algorithm 1). A unit that
+// has not run yet but has positive X has infinite priority; scheduling a
+// unit removes every conflicting unit (any unit sharing one of its jobs)
+// from the round, and units whose scale factor exceeds the remaining
+// workers of a type are skipped rather than starving the round.
+package scheduler
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strconv"
+	"strings"
+
+	"gavel/internal/core"
+)
+
+// UnitKey canonically identifies a scheduling unit by its member job IDs,
+// so received-time accounting survives allocation recomputations that
+// reorder units.
+type UnitKey string
+
+// KeyFor builds the canonical key from member job IDs.
+func KeyFor(jobIDs []int) UnitKey {
+	ids := append([]int(nil), jobIDs...)
+	sort.Ints(ids)
+	var b strings.Builder
+	for i, id := range ids {
+		if i > 0 {
+			b.WriteByte('+')
+		}
+		b.WriteString(strconv.Itoa(id))
+	}
+	return UnitKey(b.String())
+}
+
+// Assignment is one scheduled unit for the upcoming round.
+type Assignment struct {
+	UnitIdx int // index into the allocation's units
+	Type    int // accelerator type
+	// Consolidated reports whether a multi-worker job fit on one server.
+	Consolidated bool
+	// Server is the server index chosen within the type (informational).
+	Server int
+}
+
+// Mechanism carries received-time state across rounds.
+type Mechanism struct {
+	numTypes  int
+	perServer []int // devices per server, per type
+
+	timeOn    map[UnitKey][]float64 // seconds received per type
+	totalTime []float64             // total seconds handed out per type
+}
+
+// New constructs a mechanism for a cluster with the given per-type device
+// counts per server (used for consolidation decisions).
+func New(numTypes int, perServer []int) *Mechanism {
+	ps := append([]int(nil), perServer...)
+	for len(ps) < numTypes {
+		ps = append(ps, 8)
+	}
+	return &Mechanism{
+		numTypes:  numTypes,
+		perServer: ps,
+		timeOn:    map[UnitKey][]float64{},
+		totalTime: make([]float64, numTypes),
+	}
+}
+
+// ResetReceived clears received-time accounting; call when a new allocation
+// is computed (the mechanism tracks fractions between recomputations,
+// Figure 3).
+func (m *Mechanism) ResetReceived() {
+	m.timeOn = map[UnitKey][]float64{}
+	m.totalTime = make([]float64, m.numTypes)
+}
+
+// Priorities returns the priority matrix for the given allocation:
+// X[u][j] / f[u][j], with +Inf where the unit has received nothing and
+// X > 0, and 0 where X == 0.
+func (m *Mechanism) Priorities(alloc *core.Allocation, jobIDs func(u int) []int) [][]float64 {
+	pri := make([][]float64, len(alloc.Units))
+	for ui := range alloc.Units {
+		pri[ui] = make([]float64, m.numTypes)
+		key := KeyFor(jobIDs(ui))
+		recv := m.timeOn[key]
+		for j := 0; j < m.numTypes; j++ {
+			x := alloc.X[ui][j]
+			if x <= 0 {
+				continue
+			}
+			var f float64
+			if recv != nil && m.totalTime[j] > 0 {
+				f = recv[j] / m.totalTime[j]
+			}
+			if f <= 0 {
+				pri[ui][j] = math.Inf(1)
+			} else {
+				pri[ui][j] = x / f
+			}
+		}
+	}
+	return pri
+}
+
+// Workers describes per-type free device counts for a round.
+type Workers struct {
+	Free []int
+}
+
+// Assign implements Algorithm 1: greedily schedule the highest-priority
+// (unit, type) pairs, skipping units that no longer fit, until no workers
+// remain or no schedulable unit has positive priority. scaleFactor gives
+// each unit's device demand; jobIDs its member job IDs.
+func (m *Mechanism) Assign(alloc *core.Allocation, workers Workers, scaleFactor func(u int) int, jobIDs func(u int) []int) ([]Assignment, error) {
+	if len(workers.Free) != m.numTypes {
+		return nil, fmt.Errorf("scheduler: %d worker counts for %d types", len(workers.Free), m.numTypes)
+	}
+	pri := m.Priorities(alloc, jobIDs)
+
+	type cand struct {
+		u, j int
+		p    float64
+		x    float64
+	}
+	var cands []cand
+	for u := range pri {
+		for j := 0; j < m.numTypes; j++ {
+			if pri[u][j] > 0 {
+				cands = append(cands, cand{u: u, j: j, p: pri[u][j], x: alloc.X[u][j]})
+			}
+		}
+	}
+	// Highest priority first; among infinite priorities prefer larger
+	// target allocation; final tie-break on unit index for determinism.
+	sort.Slice(cands, func(a, b int) bool {
+		ca, cb := cands[a], cands[b]
+		if ca.p != cb.p {
+			return ca.p > cb.p
+		}
+		if ca.x != cb.x {
+			return ca.x > cb.x
+		}
+		if ca.u != cb.u {
+			return ca.u < cb.u
+		}
+		return ca.j < cb.j
+	})
+
+	free := append([]int(nil), workers.Free...)
+	jobBusy := map[int]bool{}
+	var out []Assignment
+	for _, c := range cands {
+		sf := scaleFactor(c.u)
+		if sf <= 0 {
+			sf = 1
+		}
+		if free[c.j] < sf {
+			continue // cannot fit this round; keeps high priority for later
+		}
+		conflict := false
+		for _, id := range jobIDs(c.u) {
+			if jobBusy[id] {
+				conflict = true
+				break
+			}
+		}
+		if conflict {
+			continue
+		}
+		for _, id := range jobIDs(c.u) {
+			jobBusy[id] = true
+		}
+		free[c.j] -= sf
+		out = append(out, Assignment{UnitIdx: c.u, Type: c.j})
+	}
+
+	m.placeOnServers(out, workers, scaleFactor)
+	return out, nil
+}
+
+// placeOnServers assigns each scheduled unit to servers within its type,
+// preferring to consolidate multi-worker jobs onto a single server
+// (placement sensitivity, §3.1/§5: jobs are placed in decreasing order of
+// requested workers to minimize fragmentation).
+func (m *Mechanism) placeOnServers(out []Assignment, workers Workers, scaleFactor func(u int) int) {
+	// Free slots per server, per type, reconstructed fresh each round.
+	serverFree := make([][]int, m.numTypes)
+	for j := 0; j < m.numTypes; j++ {
+		per := m.perServer[j]
+		nServers := (workers.Free[j] + per - 1) / per
+		serverFree[j] = make([]int, nServers)
+		remaining := workers.Free[j]
+		for s := range serverFree[j] {
+			if remaining >= per {
+				serverFree[j][s] = per
+				remaining -= per
+			} else {
+				serverFree[j][s] = remaining
+				remaining = 0
+			}
+		}
+	}
+	order := make([]int, len(out))
+	for i := range order {
+		order[i] = i
+	}
+	sort.Slice(order, func(a, b int) bool {
+		return scaleFactor(out[order[a]].UnitIdx) > scaleFactor(out[order[b]].UnitIdx)
+	})
+	for _, i := range order {
+		a := &out[i]
+		sf := scaleFactor(a.UnitIdx)
+		if sf <= 0 {
+			sf = 1
+		}
+		// Best fit: smallest server slot that holds the whole job.
+		best, bestFree := -1, math.MaxInt
+		for s, f := range serverFree[a.Type] {
+			if f >= sf && f < bestFree {
+				best, bestFree = s, f
+			}
+		}
+		if best >= 0 {
+			serverFree[a.Type][best] -= sf
+			a.Server = best
+			a.Consolidated = true
+			continue
+		}
+		// Spread across servers: unconsolidated placement.
+		a.Consolidated = sf == 1
+		need := sf
+		for s := range serverFree[a.Type] {
+			if need == 0 {
+				break
+			}
+			take := serverFree[a.Type][s]
+			if take > need {
+				take = need
+			}
+			serverFree[a.Type][s] -= take
+			need -= take
+			a.Server = s
+		}
+	}
+}
+
+// RecordRound accumulates received time for the units that ran.
+func (m *Mechanism) RecordRound(ran []Assignment, roundSeconds float64, jobIDs func(u int) []int) {
+	for _, a := range ran {
+		key := KeyFor(jobIDs(a.UnitIdx))
+		recv := m.timeOn[key]
+		if recv == nil {
+			recv = make([]float64, m.numTypes)
+			m.timeOn[key] = recv
+		}
+		recv[a.Type] += roundSeconds
+		m.totalTime[a.Type] += roundSeconds
+	}
+}
+
+// ReceivedSeconds returns the time unit key has received per type since the
+// last reset (for tests and introspection).
+func (m *Mechanism) ReceivedSeconds(key UnitKey) []float64 {
+	recv := m.timeOn[key]
+	if recv == nil {
+		return make([]float64, m.numTypes)
+	}
+	return append([]float64(nil), recv...)
+}

@@ -1,0 +1,51 @@
+package simulator
+
+import (
+	"testing"
+
+	"gavel/internal/cluster"
+	"gavel/internal/policy"
+	"gavel/internal/workload"
+)
+
+// TestHeterogeneityAwareBeatsAgnostic is the headline-result integration
+// test (Figures 8/9 shape): under load, heterogeneity-aware LAS improves
+// average JCT over the agnostic baseline, and SS-aware LAS improves it
+// further; Gavel's principled packing beats Gandiva's ad-hoc packing.
+func TestHeterogeneityAwareBeatsAgnostic(t *testing.T) {
+	if testing.Short() {
+		t.Skip("integration sweep")
+	}
+	trace := workload.GenerateTrace(workload.TraceOptions{
+		NumJobs: 120, LambdaPerHour: 5.0, Seed: 42,
+	})
+	run := func(pol policy.Policy, ss bool) float64 {
+		t.Helper()
+		res, err := Run(Config{
+			Cluster: cluster.Simulated108(), Policy: pol, Trace: trace,
+			RoundSeconds: 360, SpaceSharing: ss,
+		})
+		if err != nil {
+			t.Fatalf("%s: %v", pol.Name(), err)
+		}
+		if res.Unfinished != 0 {
+			t.Fatalf("%s: %d unfinished", pol.Name(), res.Unfinished)
+		}
+		return res.AvgJCT(10)
+	}
+
+	las := run(&policy.Agnostic{Inner: &policy.MaxMinFairness{}}, false)
+	gavel := run(&policy.MaxMinFairness{}, false)
+	gavelSS := run(&policy.MaxMinFairness{}, true)
+	gandiva := run(policy.NewGandivaSpaceSharing(1), true)
+
+	if gavel >= las {
+		t.Errorf("heterogeneity-aware LAS (%.2fh) should beat agnostic LAS (%.2fh)", gavel, las)
+	}
+	if gavelSS >= gavel {
+		t.Errorf("SS-aware LAS (%.2fh) should beat plain heterogeneity-aware LAS (%.2fh)", gavelSS, gavel)
+	}
+	if gavelSS >= gandiva {
+		t.Errorf("Gavel w/ SS (%.2fh) should beat Gandiva ad-hoc packing (%.2fh)", gavelSS, gandiva)
+	}
+}

@@ -1,0 +1,608 @@
+// Package simulator is the paper's evaluation substrate: a discrete-event
+// simulator of a heterogeneous GPU cluster driven by Gavel's policies and
+// round-based scheduling mechanism. Jobs arrive per the trace, allocations
+// are recomputed on reset events (arrivals, completions), and jobs make
+// progress each round according to the throughput model of the units they
+// were scheduled into. A "testbed mode" (throughput noise + checkpoint
+// overhead) stands in for the paper's physical 48-GPU cluster (Table 3);
+// see DESIGN.md for the substitution rationale.
+package simulator
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"sort"
+	"time"
+
+	"gavel/internal/cluster"
+	"gavel/internal/core"
+	"gavel/internal/policy"
+	"gavel/internal/scheduler"
+	"gavel/internal/workload"
+)
+
+// ThroughputProvider supplies the throughput estimates policies see. The
+// simulator always uses the ground-truth oracle for actual progress; a
+// provider that differs from the oracle models estimation error (Figure 14).
+type ThroughputProvider interface {
+	// Isolated returns the policy-visible throughput of job on type j.
+	Isolated(job *workload.Job, j int) float64
+	// Colocated returns the policy-visible pair throughputs on type j.
+	Colocated(a, b *workload.Job, j int) (ta, tb float64, ok bool)
+	// Observe feeds back a measured pair throughput after a round runs.
+	Observe(a, b *workload.Job, j int, ta, tb float64)
+}
+
+// Oracle is the ground-truth provider: the workload package's synthetic
+// measurement model, scaled for multi-worker jobs assuming consolidated
+// placement (the optimistic bound the policies plan with).
+type Oracle struct{}
+
+// Isolated implements ThroughputProvider.
+func (Oracle) Isolated(job *workload.Job, j int) float64 {
+	if !workload.Fits(job.Config, j) {
+		return 0
+	}
+	return workload.ScaledThroughput(job.Config, j, job.ScaleFactor, true)
+}
+
+// Colocated implements ThroughputProvider.
+func (Oracle) Colocated(a, b *workload.Job, j int) (float64, float64, bool) {
+	return workload.Colocated(a.Config, b.Config, j)
+}
+
+// Observe implements ThroughputProvider (no-op: the oracle already knows).
+func (Oracle) Observe(a, b *workload.Job, j int, ta, tb float64) {}
+
+// Config parameterizes one simulation.
+type Config struct {
+	Cluster cluster.Spec
+	Policy  policy.Policy
+	Trace   []workload.Job
+
+	// RoundSeconds is the scheduling round length (default 360 = 6 min).
+	RoundSeconds float64
+	// SpaceSharing enables pair scheduling units.
+	SpaceSharing bool
+	// MaxPairsPerJob caps candidate pairs per job (default 4).
+	MaxPairsPerJob int
+	// Provider overrides the policy-visible throughputs (default Oracle).
+	Provider ThroughputProvider
+	// TestbedNoise adds +-noise fraction multiplicative error to realized
+	// round throughputs (physical-cluster surrogate).
+	TestbedNoise float64
+	// CheckpointSeconds is lost each time a job's placement changes
+	// (suspend/resume overhead; §7.5 measured < 5s).
+	CheckpointSeconds float64
+	// IdealExecution bypasses the round mechanism and advances jobs
+	// exactly per the computed allocation (Figure 13b's ideal baseline).
+	IdealExecution bool
+	// MaxSimulatedSeconds caps the simulation (0 = 10 years).
+	MaxSimulatedSeconds float64
+	Seed                int64
+	// OnRound, if set, is invoked after every executed round with the
+	// current time, the allocation in force, the active job state indices,
+	// and the round's assignments (testing/observability hook).
+	OnRound func(now float64, alloc *core.Allocation, active []int, assigns []scheduler.Assignment)
+}
+
+// JobResult records one job's outcome.
+type JobResult struct {
+	ID          int
+	Arrival     float64
+	Completion  float64 // seconds; NaN if unfinished at cap
+	JCT         float64 // seconds; NaN if unfinished
+	Rho         float64 // finish-time-fairness ratio
+	SLOViolated bool
+	Preemptions int
+	CostDollars float64
+	Priority    float64
+	RefDuration float64
+}
+
+// Result is a full simulation outcome.
+type Result struct {
+	Jobs          []JobResult
+	Makespan      float64 // completion of the last job (seconds)
+	TotalCost     float64 // dollars across all busy devices
+	SLOViolations int
+	Rounds        int
+	PolicyTime    time.Duration // total wall time in policy solves
+	PolicyCalls   int
+	Unfinished    int
+}
+
+// AvgJCT returns the mean JCT in hours over finished jobs, optionally
+// skipping the first warmup finished jobs (steady-state measurement).
+func (r *Result) AvgJCT(warmup int) float64 {
+	var done []float64
+	for _, j := range r.Jobs {
+		if !math.IsNaN(j.JCT) {
+			done = append(done, j.JCT)
+		}
+	}
+	if len(done) <= warmup {
+		return math.NaN()
+	}
+	done = done[warmup:]
+	s := 0.0
+	for _, v := range done {
+		s += v
+	}
+	return s / float64(len(done)) / 3600.0
+}
+
+type jobState struct {
+	job      *workload.Job
+	steps    float64
+	arrivalN int // active jobs at arrival (FTF isolated share)
+	done     bool
+	finishAt float64
+	// last placement for preemption accounting: type, server, pair partner
+	lastType    int
+	lastServer  int
+	lastPartner int
+	wasRunning  bool
+	preemptions int
+	cost        float64
+	seq         int
+}
+
+// Run executes the simulation.
+func Run(cfg Config) (*Result, error) {
+	if err := cfg.Cluster.Validate(); err != nil {
+		return nil, err
+	}
+	if cfg.Policy == nil {
+		return nil, fmt.Errorf("simulator: no policy")
+	}
+	if len(cfg.Cluster.Types) != workload.NumTypes {
+		return nil, fmt.Errorf("simulator: cluster must use the %v universe", workload.TypeNames)
+	}
+	round := cfg.RoundSeconds
+	if round <= 0 {
+		round = 360
+	}
+	maxPairs := cfg.MaxPairsPerJob
+	if maxPairs <= 0 {
+		maxPairs = 4
+	}
+	provider := cfg.Provider
+	if provider == nil {
+		provider = Oracle{}
+	}
+	maxSec := cfg.MaxSimulatedSeconds
+	if maxSec <= 0 {
+		maxSec = 10 * 365 * 24 * 3600
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+
+	trace := append([]workload.Job(nil), cfg.Trace...)
+	sort.SliceStable(trace, func(a, b int) bool { return trace[a].Arrival < trace[b].Arrival })
+
+	states := make([]*jobState, len(trace))
+	for i := range trace {
+		states[i] = &jobState{job: &trace[i], lastType: -1, lastPartner: -1, seq: i}
+	}
+
+	workers := cfg.Cluster.Workers()
+	workerInts := make([]int, len(workers))
+	perServer := make([]int, len(workers))
+	for j, t := range cfg.Cluster.Types {
+		workerInts[j] = t.Count
+		perServer[j] = t.PerServer
+	}
+	prices := cfg.Cluster.Prices()
+
+	mech := scheduler.New(len(workers), perServer)
+	res := &Result{Jobs: make([]JobResult, len(trace))}
+	for i := range res.Jobs {
+		res.Jobs[i] = JobResult{
+			ID: trace[i].ID, Arrival: trace[i].Arrival,
+			Completion: math.NaN(), JCT: math.NaN(),
+			Priority: trace[i].Priority, RefDuration: trace[i].RefDuration,
+		}
+	}
+
+	var active []int // indices into states
+	nextArrival := 0
+	needRealloc := true
+	var alloc *core.Allocation
+	var allocJobs []int // active snapshot the allocation was computed for
+	var input *policy.Input
+	now := 0.0
+	completed := 0
+
+	// testbed noise: a deterministic per-(job,type) jitter factor.
+	noise := func(jobID, typ int) float64 {
+		if cfg.TestbedNoise <= 0 {
+			return 1
+		}
+		h := rand.New(rand.NewSource(cfg.Seed ^ int64(jobID)*1000003 ^ int64(typ)*7919))
+		return 1 + cfg.TestbedNoise*(2*h.Float64()-1)
+	}
+
+	for completed < len(trace) && now < maxSec {
+		// Retire finished jobs from the active set.
+		if needRealloc {
+			kept := active[:0]
+			for _, si := range active {
+				if !states[si].done {
+					kept = append(kept, si)
+				}
+			}
+			active = kept
+		}
+		// Admit arrivals up to now.
+		for nextArrival < len(trace) && trace[nextArrival].Arrival <= now {
+			st := states[nextArrival]
+			st.arrivalN = len(active) + 1
+			active = append(active, nextArrival)
+			nextArrival++
+			needRealloc = true
+		}
+		if len(active) == 0 {
+			// Fast-forward to the next arrival boundary.
+			if nextArrival >= len(trace) {
+				break
+			}
+			steps := math.Ceil((trace[nextArrival].Arrival - now) / round)
+			if steps < 1 {
+				steps = 1
+			}
+			now += steps * round
+			continue
+		}
+
+		if needRealloc || alloc == nil {
+			var err error
+			input, alloc, allocJobs, err = computeAllocation(cfg, provider, states, active, workers, prices, maxPairs, now, res)
+			if err != nil {
+				return nil, err
+			}
+			mech.ResetReceived()
+			needRealloc = false
+		}
+		_ = input
+
+		if cfg.IdealExecution {
+			advanceIdeal(cfg, states, allocJobs, alloc, round, now, prices, noise, &needRealloc, &completed, res)
+		} else {
+			if err := advanceRound(cfg, mech, states, allocJobs, alloc, workerInts, round, now, prices, noise, rng, &needRealloc, &completed, res); err != nil {
+				return nil, err
+			}
+		}
+		now += round
+		res.Rounds++
+	}
+
+	for _, st := range states {
+		if !st.done {
+			res.Unfinished++
+		}
+	}
+	res.SLOViolations = 0
+	for i := range res.Jobs {
+		if res.Jobs[i].SLOViolated {
+			res.SLOViolations++
+		}
+	}
+	return res, nil
+}
+
+// computeAllocation builds the policy input from the active set and solves.
+func computeAllocation(cfg Config, provider ThroughputProvider, states []*jobState, active []int, workers, prices []float64, maxPairs int, now float64, res *Result) (*policy.Input, *core.Allocation, []int, error) {
+	allocJobs := append([]int(nil), active...)
+	in := &policy.Input{Workers: workers, Prices: prices}
+	for _, si := range allocJobs {
+		st := states[si]
+		j := st.job
+		tput := make([]float64, len(workers))
+		for t := range tput {
+			tput[t] = provider.Isolated(j, t)
+		}
+		info := policy.JobInfo{
+			ID:             j.ID,
+			Weight:         j.Weight,
+			Priority:       j.Priority,
+			ScaleFactor:    j.ScaleFactor,
+			Tput:           tput,
+			RemainingSteps: j.TotalSteps - st.steps,
+			TotalSteps:     j.TotalSteps,
+			Elapsed:        now - j.Arrival,
+			ArrivalSeq:     st.seq,
+			Entity:         j.Entity,
+			NumActiveJobs:  len(allocJobs),
+		}
+		if j.SLO > 0 {
+			info.SLORemaining = j.Arrival + j.SLO - now
+			if info.SLORemaining < 1 {
+				info.SLORemaining = 1
+			}
+		}
+		in.Jobs = append(in.Jobs, info)
+		in.Units = append(in.Units, core.Single(len(in.Jobs)-1, tput))
+	}
+
+	if cfg.SpaceSharing {
+		addPairUnits(in, provider, states, allocJobs, maxPairs)
+	}
+
+	start := time.Now()
+	alloc, err := cfg.Policy.Allocate(in)
+	res.PolicyTime += time.Since(start)
+	res.PolicyCalls++
+	if err != nil {
+		return nil, nil, nil, fmt.Errorf("policy %s: %w", cfg.Policy.Name(), err)
+	}
+	return in, alloc, allocJobs, nil
+}
+
+// addPairUnits appends candidate space-sharing pairs: single-worker job
+// pairs whose provider-visible combined normalized throughput beats time
+// sharing on some type, capped per job to keep the LP tractable.
+func addPairUnits(in *policy.Input, provider ThroughputProvider, states []*jobState, allocJobs []int, maxPairs int) {
+	n := len(in.Jobs)
+	pairCount := make([]int, n)
+	type scored struct {
+		a, b   int
+		ta, tb []float64
+		gain   float64
+	}
+	var cands []scored
+	for a := 0; a < n; a++ {
+		if in.Jobs[a].ScaleFactor > 1 {
+			continue
+		}
+		for b := a + 1; b < n; b++ {
+			if in.Jobs[b].ScaleFactor > 1 {
+				continue
+			}
+			ja, jb := states[allocJobs[a]].job, states[allocJobs[b]].job
+			ta := make([]float64, len(in.Workers))
+			tb := make([]float64, len(in.Workers))
+			best := 0.0
+			for t := range in.Workers {
+				ca, cb, ok := provider.Colocated(ja, jb, t)
+				if !ok {
+					continue
+				}
+				ta[t], tb[t] = ca, cb
+				ia, ib := in.Jobs[a].Tput[t], in.Jobs[b].Tput[t]
+				if ia > 0 && ib > 0 {
+					if g := ca/ia + cb/ib; g > best {
+						best = g
+					}
+				}
+			}
+			if best > 1.05 {
+				cands = append(cands, scored{a: a, b: b, ta: ta, tb: tb, gain: best})
+			}
+		}
+	}
+	sort.Slice(cands, func(i, j int) bool { return cands[i].gain > cands[j].gain })
+	for _, c := range cands {
+		if pairCount[c.a] >= maxPairs || pairCount[c.b] >= maxPairs {
+			continue
+		}
+		pairCount[c.a]++
+		pairCount[c.b]++
+		in.Units = append(in.Units, core.Pair(c.a, c.b, c.ta, c.tb))
+	}
+}
+
+// advanceRound runs one mechanism round and advances job progress with the
+// ground-truth oracle.
+func advanceRound(cfg Config, mech *scheduler.Mechanism, states []*jobState, allocJobs []int, alloc *core.Allocation, workerInts []int, round, now float64, prices []float64, noise func(int, int) float64, rng *rand.Rand, needRealloc *bool, completed *int, res *Result) error {
+	jobIDs := func(u int) []int {
+		ids := make([]int, len(alloc.Units[u].Jobs))
+		for k, local := range alloc.Units[u].Jobs {
+			ids[k] = states[allocJobs[local]].job.ID
+		}
+		return ids
+	}
+	scaleFactor := func(u int) int {
+		sf := 1
+		for _, local := range alloc.Units[u].Jobs {
+			if s := states[allocJobs[local]].job.ScaleFactor; s > sf {
+				sf = s
+			}
+		}
+		return sf
+	}
+	// Only schedule units whose members are all still unfinished.
+	filtered := &core.Allocation{Units: alloc.Units, X: make([][]float64, len(alloc.X))}
+	for u := range alloc.X {
+		ok := true
+		for _, local := range alloc.Units[u].Jobs {
+			if states[allocJobs[local]].done {
+				ok = false
+				break
+			}
+		}
+		if ok {
+			filtered.X[u] = alloc.X[u]
+		} else {
+			filtered.X[u] = make([]float64, len(workerInts))
+		}
+	}
+
+	assigns, err := mech.Assign(filtered, scheduler.Workers{Free: workerInts}, scaleFactor, jobIDs)
+	if err != nil {
+		return err
+	}
+	mech.RecordRound(assigns, round, jobIDs)
+	if cfg.OnRound != nil {
+		cfg.OnRound(now, alloc, allocJobs, assigns)
+	}
+
+	running := map[int]bool{}
+	for _, a := range assigns {
+		u := &alloc.Units[a.UnitIdx]
+		partner := func(k int) int {
+			if len(u.Jobs) < 2 {
+				return -1
+			}
+			return states[allocJobs[u.Jobs[1-k]]].job.ID
+		}
+		// Pair throughputs come from the ground-truth oracle; feed the
+		// observation back to the provider (estimator learning loop).
+		var pairTa, pairTb float64
+		if u.IsPair() {
+			ja := states[allocJobs[u.Jobs[0]]].job
+			jb := states[allocJobs[u.Jobs[1]]].job
+			pairTa, pairTb, _ = workload.Colocated(ja.Config, jb.Config, a.Type)
+			if cfg.Provider != nil {
+				cfg.Provider.Observe(ja, jb, a.Type, pairTa, pairTb)
+			}
+		}
+		for k, local := range u.Jobs {
+			st := states[allocJobs[local]]
+			running[st.job.ID] = true
+			eff := round
+			moved := !st.wasRunning || st.lastType != a.Type || st.lastServer != a.Server || st.lastPartner != partner(k)
+			if moved && cfg.CheckpointSeconds > 0 {
+				eff -= cfg.CheckpointSeconds
+				if eff < 0 {
+					eff = 0
+				}
+			}
+			if moved && st.wasRunning {
+				st.preemptions++
+			}
+			var tp float64
+			if u.IsPair() {
+				if k == 0 {
+					tp = pairTa
+				} else {
+					tp = pairTb
+				}
+			} else {
+				if !workload.Fits(st.job.Config, a.Type) {
+					tp = 0
+				} else {
+					tp = workload.ScaledThroughput(st.job.Config, a.Type, st.job.ScaleFactor, a.Consolidated)
+				}
+			}
+			tp *= noise(st.job.ID, a.Type)
+			before := st.steps
+			st.steps += tp * eff
+			sf := float64(st.job.ScaleFactor)
+			if sf < 1 {
+				sf = 1
+			}
+			costShare := prices[a.Type] * sf * round / 3600.0
+			if u.IsPair() {
+				costShare /= 2 // both members share the device's bill
+			}
+			st.cost += costShare
+			res.TotalCost += costShare
+			st.lastType, st.lastServer, st.lastPartner = a.Type, a.Server, partner(k)
+
+			if !st.done && st.steps >= st.job.TotalSteps {
+				frac := 1.0
+				if tp > 0 {
+					frac = (st.job.TotalSteps - before) / (tp * eff)
+				}
+				finishJob(st, now+frac*round, res, completed, needRealloc)
+			}
+		}
+	}
+	for _, si := range allocJobs {
+		st := states[si]
+		st.wasRunning = running[st.job.ID]
+	}
+	return nil
+}
+
+// advanceIdeal advances every job exactly per its allocated fractions
+// (Figure 13b's "ideal" execution, no round mechanism).
+func advanceIdeal(cfg Config, states []*jobState, allocJobs []int, alloc *core.Allocation, round, now float64, prices []float64, noise func(int, int) float64, needRealloc *bool, completed *int, res *Result) {
+	for u := range alloc.Units {
+		unit := &alloc.Units[u]
+		skip := false
+		for _, local := range unit.Jobs {
+			if states[allocJobs[local]].done {
+				skip = true
+			}
+		}
+		if skip {
+			continue
+		}
+		for k, local := range unit.Jobs {
+			st := states[allocJobs[local]]
+			before := st.steps
+			var gained float64
+			for t, x := range alloc.X[u] {
+				if x <= 0 {
+					continue
+				}
+				tp := unit.Tput[k][t] * noise(st.job.ID, t)
+				gained += tp * x * round
+				sf := float64(st.job.ScaleFactor)
+				if sf < 1 {
+					sf = 1
+				}
+				share := prices[t] * sf * x * round / 3600.0
+				if unit.IsPair() {
+					share /= 2
+				}
+				st.cost += share
+				res.TotalCost += share
+			}
+			st.steps += gained
+			if !st.done && st.steps >= st.job.TotalSteps {
+				frac := 1.0
+				if gained > 0 {
+					frac = (st.job.TotalSteps - before) / gained
+				}
+				finishJob(st, now+frac*round, res, completed, needRealloc)
+			}
+		}
+	}
+}
+
+func finishJob(st *jobState, finish float64, res *Result, completed *int, needRealloc *bool) {
+	st.done = true
+	st.finishAt = finish
+	*completed++
+	*needRealloc = true
+	jr := &res.Jobs[st.seq]
+	jr.Completion = finish
+	jr.JCT = finish - st.job.Arrival
+	jr.Preemptions = st.preemptions
+	jr.CostDollars = st.cost
+	if st.job.SLO > 0 && jr.JCT > st.job.SLO {
+		jr.SLOViolated = true
+	}
+	// Finish-time fairness: actual JCT over the JCT the job would have had
+	// with a 1/n static share of the whole cluster.
+	isoTp := isolatedThroughput(st.job, st.arrivalN)
+	if isoTp > 0 {
+		jr.Rho = jr.JCT / (st.job.TotalSteps / isoTp)
+	}
+	if finish > res.Makespan {
+		res.Makespan = finish
+	}
+}
+
+// isolatedThroughput is throughput(m, X^isolated): the job's effective
+// throughput given 1/n of every device in the standard universe.
+func isolatedThroughput(j *workload.Job, n int) float64 {
+	if n < 1 {
+		n = 1
+	}
+	var tput [workload.NumTypes]float64
+	for t := 0; t < workload.NumTypes; t++ {
+		if workload.Fits(j.Config, t) {
+			tput[t] = workload.ScaledThroughput(j.Config, t, j.ScaleFactor, true)
+		}
+	}
+	// Equal share over the universe weighted uniformly.
+	s := 0.0
+	for _, v := range tput {
+		s += v
+	}
+	return s / float64(workload.NumTypes) / float64(n)
+}

@@ -1,0 +1,238 @@
+package simulator
+
+import (
+	"math"
+	"testing"
+
+	"gavel/internal/cluster"
+	"gavel/internal/core"
+	"gavel/internal/policy"
+	"gavel/internal/scheduler"
+	"gavel/internal/workload"
+)
+
+func TestRunValidation(t *testing.T) {
+	trace := smallTrace(2, 0, 1)
+	if _, err := Run(Config{Policy: &policy.MaxMinFairness{}, Trace: trace}); err == nil {
+		t.Fatal("want error for empty cluster")
+	}
+	if _, err := Run(Config{Cluster: cluster.Small12(), Trace: trace}); err == nil {
+		t.Fatal("want error for missing policy")
+	}
+	bad := cluster.Spec{Types: []cluster.AcceleratorType{{Name: "tpu", Count: 4, PerServer: 4}}}
+	if _, err := Run(Config{Cluster: bad, Policy: &policy.MaxMinFairness{}, Trace: trace}); err == nil {
+		t.Fatal("want error for non-standard type universe")
+	}
+}
+
+func TestDeterminism(t *testing.T) {
+	cfg := Config{
+		Cluster: cluster.Small12(), Policy: &policy.MaxMinFairness{},
+		Trace: smallTrace(10, 3, 4), RoundSeconds: 360, SpaceSharing: true, Seed: 4,
+	}
+	a, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range a.Jobs {
+		if a.Jobs[i].JCT != b.Jobs[i].JCT {
+			t.Fatalf("job %d JCT differs across identical runs: %v vs %v", i, a.Jobs[i].JCT, b.Jobs[i].JCT)
+		}
+	}
+	if a.TotalCost != b.TotalCost {
+		t.Fatalf("cost differs: %v vs %v", a.TotalCost, b.TotalCost)
+	}
+}
+
+func TestCheckpointOverheadSlowsJobs(t *testing.T) {
+	trace := smallTrace(8, 0, 2)
+	base, err := Run(Config{
+		Cluster: cluster.Small9(), Policy: &policy.MaxMinFairness{},
+		Trace: trace, RoundSeconds: 360,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	slow, err := Run(Config{
+		Cluster: cluster.Small9(), Policy: &policy.MaxMinFairness{},
+		Trace: trace, RoundSeconds: 360, CheckpointSeconds: 60,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if slow.Makespan < base.Makespan {
+		t.Errorf("checkpoint overhead should not shrink makespan: %v < %v", slow.Makespan, base.Makespan)
+	}
+}
+
+func TestTestbedNoiseStaysClose(t *testing.T) {
+	trace := smallTrace(8, 0, 3)
+	run := func(noise float64) float64 {
+		r, err := Run(Config{
+			Cluster: cluster.Small12(), Policy: &policy.MaxMinFairness{},
+			Trace: trace, RoundSeconds: 360, TestbedNoise: noise, Seed: 3,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return r.AvgJCT(0)
+	}
+	clean, noisy := run(0), run(0.04)
+	if rel := math.Abs(noisy-clean) / clean; rel > 0.15 {
+		t.Errorf("4%% throughput noise moved avg JCT by %.0f%%", rel*100)
+	}
+}
+
+func TestCostAccounting(t *testing.T) {
+	// One job on a dedicated cluster: cost ~= price x busy time.
+	trace := workload.GenerateTrace(workload.TraceOptions{
+		NumJobs: 1, Seed: 9, DurationMinMinutes: 60, DurationMaxMinutes: 60,
+	})
+	res, err := Run(Config{
+		Cluster: cluster.Small12(), Policy: &policy.MaxMinFairness{},
+		Trace: trace, RoundSeconds: 360,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.TotalCost <= 0 {
+		t.Fatal("no cost accrued")
+	}
+	// The job runs ~1h on a V100 at $2.48/h; rounds quantize upward.
+	if res.TotalCost > 4*cluster.PriceV100 {
+		t.Errorf("cost %v implausibly high for a ~1h single-GPU job", res.TotalCost)
+	}
+}
+
+func TestSLOViolationDetection(t *testing.T) {
+	trace := workload.GenerateTrace(workload.TraceOptions{
+		NumJobs: 4, Seed: 10, DurationMinMinutes: 120, DurationMaxMinutes: 240,
+		SLOFactors: []float64{0.0001}, // impossible deadlines
+	})
+	res, err := Run(Config{
+		Cluster: cluster.Small12(), Policy: &policy.MaxMinFairness{},
+		Trace: trace, RoundSeconds: 360,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.SLOViolations != len(trace) {
+		t.Errorf("violations = %d, want %d (impossible SLOs)", res.SLOViolations, len(trace))
+	}
+}
+
+func TestMaxSimulatedSecondsCap(t *testing.T) {
+	trace := workload.GenerateTrace(workload.TraceOptions{
+		NumJobs: 4, Seed: 11, DurationMinMinutes: 10000, DurationMaxMinutes: 10000,
+	})
+	res, err := Run(Config{
+		Cluster: cluster.Small9(), Policy: &policy.MaxMinFairness{},
+		Trace: trace, RoundSeconds: 360, MaxSimulatedSeconds: 3600,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Unfinished == 0 {
+		t.Fatal("cap should leave long jobs unfinished")
+	}
+	for _, j := range res.Jobs {
+		if !math.IsNaN(j.JCT) && j.Completion > 3600+360 {
+			t.Fatalf("completion %v beyond cap", j.Completion)
+		}
+	}
+}
+
+func TestMultiWorkerJobsComplete(t *testing.T) {
+	trace := workload.GenerateTrace(workload.TraceOptions{
+		NumJobs: 12, LambdaPerHour: 2, MultiWorker: true, Seed: 12,
+		DurationMinMinutes: 30, DurationMaxMinutes: 120,
+	})
+	res, err := Run(Config{
+		Cluster: cluster.Simulated108(), Policy: &policy.MaxMinFairness{},
+		Trace: trace, RoundSeconds: 360,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Unfinished != 0 {
+		t.Fatalf("%d multi-worker jobs unfinished", res.Unfinished)
+	}
+}
+
+func TestOnRoundHookSeesAssignments(t *testing.T) {
+	seen := 0
+	_, err := Run(Config{
+		Cluster: cluster.Small12(), Policy: &policy.MaxMinFairness{},
+		Trace: smallTrace(4, 0, 13), RoundSeconds: 360,
+		OnRound: func(now float64, alloc *core.Allocation, active []int, assigns []scheduler.Assignment) {
+			seen += len(assigns)
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if seen == 0 {
+		t.Fatal("hook never observed an assignment")
+	}
+}
+
+func TestIdealExecutionMatchesAllocation(t *testing.T) {
+	// Ideal mode and mechanism mode should produce similar makespans for a
+	// light workload (Figure 13b's premise).
+	trace := smallTrace(6, 0, 14)
+	mech, err := Run(Config{
+		Cluster: cluster.Small12(), Policy: &policy.MaxMinFairness{},
+		Trace: trace, RoundSeconds: 360,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ideal, err := Run(Config{
+		Cluster: cluster.Small12(), Policy: &policy.MaxMinFairness{},
+		Trace: trace, RoundSeconds: 360, IdealExecution: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if mech.Makespan < ideal.Makespan*0.8 {
+		t.Errorf("mechanism makespan %v much better than ideal %v", mech.Makespan, ideal.Makespan)
+	}
+	if mech.Makespan > ideal.Makespan*2.0 {
+		t.Errorf("mechanism makespan %v much worse than ideal %v", mech.Makespan, ideal.Makespan)
+	}
+}
+
+func TestRhoComputedOnCompletion(t *testing.T) {
+	res, err := Run(Config{
+		Cluster: cluster.Small12(), Policy: &policy.MaxMinFairness{},
+		Trace: smallTrace(5, 1, 15), RoundSeconds: 360,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, j := range res.Jobs {
+		if math.IsNaN(j.JCT) {
+			continue
+		}
+		if j.Rho <= 0 {
+			t.Errorf("job %d has rho %v, want > 0", j.ID, j.Rho)
+		}
+	}
+}
+
+func TestEmptyTrace(t *testing.T) {
+	res, err := Run(Config{
+		Cluster: cluster.Small12(), Policy: &policy.MaxMinFairness{},
+		Trace: nil, RoundSeconds: 360,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Jobs) != 0 || res.Rounds != 0 {
+		t.Fatalf("empty trace produced %+v", res)
+	}
+}

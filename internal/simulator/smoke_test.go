@@ -1,0 +1,61 @@
+package simulator
+
+import (
+	"math"
+	"testing"
+
+	"gavel/internal/cluster"
+	"gavel/internal/policy"
+	"gavel/internal/workload"
+)
+
+func smallTrace(n int, lambda float64, seed int64) []workload.Job {
+	return workload.GenerateTrace(workload.TraceOptions{
+		NumJobs:            n,
+		LambdaPerHour:      lambda,
+		Seed:               seed,
+		DurationMinMinutes: 20,
+		DurationMaxMinutes: 200,
+	})
+}
+
+func TestRunCompletesStaticTrace(t *testing.T) {
+	res, err := Run(Config{
+		Cluster:      cluster.Small12(),
+		Policy:       &policy.MaxMinFairness{},
+		Trace:        smallTrace(12, 0, 1),
+		RoundSeconds: 360,
+	})
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if res.Unfinished != 0 {
+		t.Fatalf("%d jobs unfinished", res.Unfinished)
+	}
+	if res.Makespan <= 0 {
+		t.Fatal("zero makespan")
+	}
+	for _, j := range res.Jobs {
+		if math.IsNaN(j.JCT) || j.JCT <= 0 {
+			t.Fatalf("job %d has bad JCT %v", j.ID, j.JCT)
+		}
+	}
+}
+
+func TestRunContinuousTrace(t *testing.T) {
+	res, err := Run(Config{
+		Cluster:      cluster.Small12(),
+		Policy:       &policy.MaxMinFairness{},
+		Trace:        smallTrace(20, 6, 2),
+		RoundSeconds: 360,
+	})
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if res.Unfinished != 0 {
+		t.Fatalf("%d unfinished", res.Unfinished)
+	}
+	if avg := res.AvgJCT(0); math.IsNaN(avg) || avg <= 0 {
+		t.Fatalf("bad avg JCT %v", avg)
+	}
+}

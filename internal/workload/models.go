@@ -1,0 +1,186 @@
+// Package workload reproduces the paper's workload: the 26 job
+// configurations of Table 2, a synthetic throughput oracle shaped to the
+// measured behaviour in Figures 1 and 15 (isolated throughputs per
+// accelerator type, pairwise space-sharing throughputs, distributed-scaling
+// behaviour for consolidated vs. unconsolidated placement), and the trace
+// generators of §7.1 (static and continuous, single- and multi-worker).
+//
+// The paper measured real models on real GPUs; this package substitutes a
+// parametric model calibrated to the paper's reported shapes: ResNet-50 sees
+// ~10x V100 vs K80 while A3C sees ~2x; per-dollar the P100/K80 win for
+// several models; colocation benefit depends on each model's compute and
+// memory footprint (Figure 15's heat map structure).
+package workload
+
+// ModelFamily identifies one of the seven DNN architectures in Table 2.
+type ModelFamily int
+
+const (
+	ResNet50 ModelFamily = iota
+	ResNet18
+	A3C
+	LSTM
+	Transformer
+	CycleGAN
+	Recoder
+	numFamilies
+)
+
+func (f ModelFamily) String() string {
+	switch f {
+	case ResNet50:
+		return "ResNet-50"
+	case ResNet18:
+		return "ResNet-18"
+	case A3C:
+		return "A3C"
+	case LSTM:
+		return "LSTM"
+	case Transformer:
+		return "Transformer"
+	case CycleGAN:
+		return "CycleGAN"
+	case Recoder:
+		return "Recoder"
+	}
+	return "unknown"
+}
+
+// familyProfile captures the per-architecture parameters of the synthetic
+// throughput oracle.
+type familyProfile struct {
+	task string
+	// speedup of each accelerator type relative to K80, shaped to Figure 1a.
+	// Order: v100, p100, k80.
+	speedup [3]float64
+	// baseK80 is iterations/second on a K80 at the family's smallest batch
+	// size; throughput shrinks roughly linearly with batch size.
+	baseK80 float64
+	// computeUtil is the fraction of a V100's compute the model saturates
+	// in steady state; small models leave room for space sharing.
+	computeUtil float64
+	// memFrac is the fraction of GPU memory used at the smallest batch
+	// size; grows with batch size and gates colocation feasibility.
+	memFrac float64
+	// commScale in [0,1] captures distributed-scaling communication
+	// sensitivity: 0 = compact weights (scales well even unconsolidated),
+	// 1 = communication-bound (needs consolidation).
+	commScale float64
+	// batchSizes from Table 2.
+	batchSizes []int
+}
+
+var familyProfiles = [numFamilies]familyProfile{
+	ResNet50: {
+		task:        "Image Classification (ImageNet)",
+		speedup:     [3]float64{10.0, 3.3, 1.0},
+		baseK80:     2.0,
+		computeUtil: 0.90,
+		memFrac:     0.35,
+		commScale:   0.5,
+		batchSizes:  []int{16, 32, 64, 128},
+	},
+	ResNet18: {
+		task:        "Image Classification (CIFAR-10)",
+		speedup:     [3]float64{6.0, 2.5, 1.0},
+		baseK80:     12.0,
+		computeUtil: 0.45,
+		memFrac:     0.12,
+		commScale:   0.3,
+		batchSizes:  []int{16, 32, 64, 128, 256},
+	},
+	A3C: {
+		task:        "Deep RL (Pong)",
+		speedup:     [3]float64{2.0, 1.5, 1.0},
+		baseK80:     8.0,
+		computeUtil: 0.20,
+		memFrac:     0.08,
+		commScale:   0.1,
+		batchSizes:  []int{4},
+	},
+	LSTM: {
+		task:        "Language Modeling (Wikitext-2)",
+		speedup:     [3]float64{4.0, 2.2, 1.0},
+		baseK80:     10.0,
+		computeUtil: 0.40,
+		memFrac:     0.15,
+		commScale:   0.6,
+		batchSizes:  []int{5, 10, 20, 40, 80},
+	},
+	Transformer: {
+		task:        "Language Translation (Multi30k de-en)",
+		speedup:     [3]float64{5.5, 2.6, 1.0},
+		baseK80:     6.0,
+		computeUtil: 0.65,
+		memFrac:     0.25,
+		commScale:   0.8,
+		batchSizes:  []int{16, 32, 64, 128, 256},
+	},
+	CycleGAN: {
+		task:        "Image-to-Image Translation (monet2photo)",
+		speedup:     [3]float64{8.0, 3.0, 1.0},
+		baseK80:     1.5,
+		computeUtil: 0.85,
+		memFrac:     0.45,
+		commScale:   0.4,
+		batchSizes:  []int{1},
+	},
+	Recoder: {
+		task:        "Recommendation (ML-20M, Autoencoder)",
+		speedup:     [3]float64{5.0, 2.3, 1.0},
+		baseK80:     15.0,
+		computeUtil: 0.35,
+		memFrac:     0.18,
+		commScale:   0.2,
+		batchSizes:  []int{512, 1024, 2048, 4096, 8192},
+	},
+}
+
+// Config is one job configuration: a model family at a specific batch size.
+// The zoo contains the paper's 26 configurations (Table 2).
+type Config struct {
+	Index      int
+	Family     ModelFamily
+	Task       string
+	BatchSize  int
+	batchLevel int // 0-based index of BatchSize within the family
+}
+
+// Name returns e.g. "ResNet-50 (bs=64)".
+func (c Config) Name() string {
+	if len(familyProfiles[c.Family].batchSizes) == 1 {
+		return c.Family.String()
+	}
+	return c.Family.String() + " (bs=" + itoa(c.BatchSize) + ")"
+}
+
+func itoa(n int) string {
+	if n == 0 {
+		return "0"
+	}
+	var buf [8]byte
+	i := len(buf)
+	for n > 0 {
+		i--
+		buf[i] = byte('0' + n%10)
+		n /= 10
+	}
+	return string(buf[i:])
+}
+
+// Zoo returns the full list of 26 job configurations.
+func Zoo() []Config {
+	var zoo []Config
+	for f := ModelFamily(0); f < numFamilies; f++ {
+		for bi, bs := range familyProfiles[f].batchSizes {
+			zoo = append(zoo, Config{
+				Index:      len(zoo),
+				Family:     f,
+				Task:       familyProfiles[f].task,
+				BatchSize:  bs,
+				batchLevel: bi,
+			})
+		}
+	}
+	return zoo
+}

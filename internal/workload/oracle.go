@@ -1,0 +1,135 @@
+package workload
+
+import (
+	"fmt"
+	"math"
+)
+
+// The oracle works in the paper's fixed accelerator universe. Cluster specs
+// used with this package must use these type names in this order.
+var TypeNames = []string{"v100", "p100", "k80"}
+
+// Accelerator type indices, aligned with TypeNames and with the cluster
+// constructors in internal/cluster.
+const (
+	V100 = 0
+	P100 = 1
+	K80  = 2
+	// NumTypes is the size of the paper's accelerator universe.
+	NumTypes = 3
+)
+
+// memCapacity is each type's usable memory relative to a V100 (16 GB);
+// the K80's 12 GB board gates more colocations.
+var memCapacity = [NumTypes]float64{1.0, 1.0, 0.75}
+
+// mpsOverhead is the multiplicative throughput cost of running under a
+// space-sharing runtime (MPS / CUDA streams).
+const mpsOverhead = 0.95
+
+// batchThroughputScale returns the iterations/second multiplier for the
+// config's batch size relative to the family's smallest: bigger batches do
+// more work per step, so steps/sec falls sub-linearly.
+func batchThroughputScale(c Config) float64 {
+	prof := familyProfiles[c.Family]
+	smallest := float64(prof.batchSizes[0])
+	return math.Pow(smallest/float64(c.BatchSize), 0.8)
+}
+
+// Throughput returns the isolated single-worker training throughput
+// (iterations/second) of config c on accelerator type j. This is the
+// synthetic stand-in for the paper's measured throughput matrix T.
+func Throughput(c Config, j int) float64 {
+	if j < 0 || j >= NumTypes {
+		panic(fmt.Sprintf("workload: bad accelerator type %d", j))
+	}
+	prof := familyProfiles[c.Family]
+	return prof.baseK80 * batchThroughputScale(c) * prof.speedup[j]
+}
+
+// MemFraction returns the fraction of accelerator j's memory config c
+// needs. Batch size grows the activation footprint.
+func MemFraction(c Config, j int) float64 {
+	prof := familyProfiles[c.Family]
+	smallest := float64(prof.batchSizes[0])
+	grow := math.Pow(float64(c.BatchSize)/smallest, 0.5)
+	return prof.memFrac * grow / memCapacity[j]
+}
+
+// Fits reports whether config c can run at all on type j (the paper's
+// T_mj = -inf case for memory-constrained placements).
+func Fits(c Config, j int) bool { return MemFraction(c, j) <= 1.0 }
+
+// computeUtil returns the fraction of type j's compute c saturates. A model
+// that uses 20% of a V100 saturates ~40% of a GPU half as fast.
+func computeUtil(c Config, j int) float64 {
+	prof := familyProfiles[c.Family]
+	rel := prof.speedup[j] / prof.speedup[V100] // <= 1 for slower types
+	u := prof.computeUtil / rel
+	// Larger batches pack the device better.
+	u *= math.Pow(float64(c.BatchSize)/float64(prof.batchSizes[0]), 0.15)
+	if u > 1 {
+		u = 1
+	}
+	return u
+}
+
+// Colocated returns the throughputs of configs a and b when space-sharing a
+// single device of type j, and whether the pair fits in device memory at
+// all. When the pair's combined compute demand is under the device's
+// capacity both run near full speed (the win space sharing is after); when
+// it exceeds capacity they split it proportionally, making the combination
+// no better than time sharing. This reproduces the structure of the
+// paper's Figure 15 heat map.
+func Colocated(a, b Config, j int) (ta, tb float64, ok bool) {
+	if MemFraction(a, j)+MemFraction(b, j) > 1.0 {
+		return 0, 0, false
+	}
+	ua, ub := computeUtil(a, j), computeUtil(b, j)
+	demand := ua + ub
+	sa, sb := mpsOverhead, mpsOverhead
+	if demand > 1 {
+		sa = mpsOverhead / demand
+		sb = mpsOverhead / demand
+	}
+	return Throughput(a, j) * sa, Throughput(b, j) * sb, true
+}
+
+// ColocationGain returns the combined normalized throughput of pairing a
+// and b on type j: (ta/Ta + tb/Tb). Time sharing achieves 1.0; values
+// meaningfully above 1 indicate a profitable packing. Returns 0 when the
+// pair does not fit.
+func ColocationGain(a, b Config, j int) float64 {
+	ta, tb, ok := Colocated(a, b, j)
+	if !ok {
+		return 0
+	}
+	return ta/Throughput(a, j) + tb/Throughput(b, j)
+}
+
+// ScaledThroughput returns the aggregate throughput of a distributed job
+// running config c over scaleFactor workers of type j, in a consolidated
+// (same-server) or unconsolidated (spread) placement. Communication
+// sensitivity scales with the model's commScale and with device speed:
+// slower devices are compute-bound, so spreading them costs less (§3.1
+// "Placement Sensitivity").
+func ScaledThroughput(c Config, j, scaleFactor int, consolidated bool) float64 {
+	if scaleFactor <= 1 {
+		return Throughput(c, j)
+	}
+	prof := familyProfiles[c.Family]
+	rel := prof.speedup[j] / prof.speedup[V100]
+	comm := prof.commScale * rel
+	penalty := 0.08
+	if !consolidated {
+		penalty = 0.45
+	}
+	eff := 1.0 / (1.0 + comm*penalty*math.Log2(float64(scaleFactor)))
+	return Throughput(c, j) * float64(scaleFactor) * eff
+}
+
+// DollarNormalized returns iterations per dollar for config c on type j
+// given the per-hour price (Figure 1b).
+func DollarNormalized(c Config, j int, pricePerHour float64) float64 {
+	return Throughput(c, j) / (pricePerHour / 3600.0)
+}

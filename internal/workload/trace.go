@@ -1,0 +1,163 @@
+package workload
+
+import (
+	"math"
+	"math/rand"
+)
+
+// Job is one entry of a trace: a model configuration plus the scheduling
+// metadata Gavel's policies consume.
+type Job struct {
+	ID          int
+	Config      Config
+	TotalSteps  float64 // iterations to train
+	Arrival     float64 // seconds since trace start
+	ScaleFactor int     // number of workers requested
+	Weight      float64 // fair-share weight (default 1)
+	Priority    float64 // priority multiplier for the LAS-with-priorities experiment (default 1)
+	SLO         float64 // completion deadline in seconds from arrival; 0 = none
+	RefDuration float64 // sampled duration in seconds on a dedicated V100
+	Entity      int     // hierarchical-policy entity; -1 = none
+}
+
+// TraceOptions parameterizes GenerateTrace. Zero values select the paper's
+// defaults (§7.1): log-uniform durations between 10^1.5 and 10^4 minutes,
+// single-worker jobs, all weights 1.
+type TraceOptions struct {
+	NumJobs int
+	// LambdaPerHour is the Poisson arrival rate. 0 generates a static trace
+	// (all jobs available at time 0).
+	LambdaPerHour float64
+	// MultiWorker selects the continuous-multiple regime: ~70% of jobs use
+	// 1 worker, ~25% use 2 or 4, ~5% use 8 (per the Microsoft trace).
+	MultiWorker bool
+	// HighPriorityFraction marks this fraction of jobs with Priority 5
+	// (the LAS-with-priorities experiment uses 20%).
+	HighPriorityFraction float64
+	// Entities > 0 assigns jobs round-robin blocks to this many entities
+	// for hierarchical policies.
+	Entities int
+	// DurationMinMinutes/DurationMaxMinutes bound the log-uniform duration
+	// sample; defaults 10^1.5 and 10^4.
+	DurationMinMinutes float64
+	DurationMaxMinutes float64
+	// Families restricts sampled model families (nil = whole zoo). The
+	// cost experiment uses {ResNet50, A3C}.
+	Families []ModelFamily
+	// SLOFactors, if non-empty, assigns each job an SLO of factor x its
+	// reference duration, sampled uniformly from this list.
+	SLOFactors []float64
+	Seed       int64
+}
+
+// GenerateTrace produces a deterministic trace for the given options.
+func GenerateTrace(opt TraceOptions) []Job {
+	rng := rand.New(rand.NewSource(opt.Seed))
+	zoo := Zoo()
+	pool := zoo
+	if len(opt.Families) > 0 {
+		pool = nil
+		want := map[ModelFamily]bool{}
+		for _, f := range opt.Families {
+			want[f] = true
+		}
+		for _, c := range zoo {
+			if want[c.Family] {
+				pool = append(pool, c)
+			}
+		}
+	}
+	minMin := opt.DurationMinMinutes
+	if minMin <= 0 {
+		minMin = math.Pow(10, 1.5)
+	}
+	maxMin := opt.DurationMaxMinutes
+	if maxMin <= 0 {
+		maxMin = math.Pow(10, 4)
+	}
+
+	jobs := make([]Job, 0, opt.NumJobs)
+	t := 0.0
+	for i := 0; i < opt.NumJobs; i++ {
+		if opt.LambdaPerHour > 0 {
+			t += rng.ExpFloat64() / opt.LambdaPerHour * 3600.0
+		}
+		cfg := pool[rng.Intn(len(pool))]
+		// Log-uniform duration in minutes, then seconds.
+		logd := math.Log10(minMin) + rng.Float64()*(math.Log10(maxMin)-math.Log10(minMin))
+		durSec := math.Pow(10, logd) * 60.0
+
+		sf := 1
+		if opt.MultiWorker {
+			switch r := rng.Float64(); {
+			case r < 0.70:
+				sf = 1
+			case r < 0.95:
+				if rng.Float64() < 0.5 {
+					sf = 2
+				} else {
+					sf = 4
+				}
+			default:
+				sf = 8
+			}
+		}
+
+		j := Job{
+			ID:          i,
+			Config:      cfg,
+			TotalSteps:  durSec * Throughput(cfg, V100),
+			Arrival:     t,
+			ScaleFactor: sf,
+			Weight:      1,
+			Priority:    1,
+			RefDuration: durSec,
+			Entity:      -1,
+		}
+		if opt.HighPriorityFraction > 0 && rng.Float64() < opt.HighPriorityFraction {
+			j.Priority = 5
+		}
+		if opt.Entities > 0 {
+			j.Entity = i % opt.Entities
+		}
+		if len(opt.SLOFactors) > 0 {
+			f := opt.SLOFactors[rng.Intn(len(opt.SLOFactors))]
+			j.SLO = f * durSec
+		}
+		jobs = append(jobs, j)
+	}
+	return jobs
+}
+
+// CostTrace builds the §7.3 cost-policy workload: jobs drawn from ResNet-50
+// and A3C, durations in {0.5, 1, 2, 4, 8} days, SLOs in {1.2, 2, 10} x
+// duration.
+func CostTrace(numJobs int, seed int64) []Job {
+	rng := rand.New(rand.NewSource(seed))
+	zoo := Zoo()
+	var pool []Config
+	for _, c := range zoo {
+		if c.Family == ResNet50 || c.Family == A3C {
+			pool = append(pool, c)
+		}
+	}
+	daysChoices := []float64{0.5, 1, 2, 4, 8}
+	sloChoices := []float64{1.2, 2, 10}
+	jobs := make([]Job, numJobs)
+	for i := range jobs {
+		cfg := pool[rng.Intn(len(pool))]
+		durSec := daysChoices[rng.Intn(len(daysChoices))] * 24 * 3600
+		jobs[i] = Job{
+			ID:          i,
+			Config:      cfg,
+			TotalSteps:  durSec * Throughput(cfg, V100),
+			ScaleFactor: 1,
+			Weight:      1,
+			Priority:    1,
+			SLO:         sloChoices[rng.Intn(len(sloChoices))] * durSec,
+			RefDuration: durSec,
+			Entity:      -1,
+		}
+	}
+	return jobs
+}

@@ -1,0 +1,269 @@
+package workload
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"gavel/internal/cluster"
+)
+
+func TestZooHas26Configs(t *testing.T) {
+	zoo := Zoo()
+	if len(zoo) != 26 {
+		t.Fatalf("zoo has %d configs, want 26 (Table 2)", len(zoo))
+	}
+	for i, c := range zoo {
+		if c.Index != i {
+			t.Fatalf("config %d has Index %d", i, c.Index)
+		}
+		if c.Name() == "" || c.Task == "" {
+			t.Fatalf("config %d missing metadata: %+v", i, c)
+		}
+	}
+}
+
+// TestFigure1Shape checks the headline heterogeneity facts of Figure 1:
+// ResNet-50 speeds up ~10x V100 vs K80 while A3C only ~2x; per-dollar the
+// V100 wins for ResNet-50 but the K80 wins for A3C.
+func TestFigure1Shape(t *testing.T) {
+	var resnet50, a3c Config
+	for _, c := range Zoo() {
+		if c.Family == ResNet50 && c.BatchSize == 16 {
+			resnet50 = c
+		}
+		if c.Family == A3C {
+			a3c = c
+		}
+	}
+	r50Speedup := Throughput(resnet50, V100) / Throughput(resnet50, K80)
+	a3cSpeedup := Throughput(a3c, V100) / Throughput(a3c, K80)
+	if r50Speedup < 8 || r50Speedup > 12 {
+		t.Errorf("ResNet-50 V100/K80 speedup = %.1f, want ~10", r50Speedup)
+	}
+	if a3cSpeedup < 1.5 || a3cSpeedup > 2.5 {
+		t.Errorf("A3C V100/K80 speedup = %.1f, want ~2", a3cSpeedup)
+	}
+
+	prices := []float64{cluster.PriceV100, cluster.PriceP100, cluster.PriceK80}
+	best := func(c Config) int {
+		bi, bv := -1, 0.0
+		for j, p := range prices {
+			if v := DollarNormalized(c, j, p); v > bv {
+				bi, bv = j, v
+			}
+		}
+		return bi
+	}
+	if best(resnet50) != V100 {
+		t.Errorf("ResNet-50 best per-dollar type = %d, want V100", best(resnet50))
+	}
+	if best(a3c) != K80 {
+		t.Errorf("A3C best per-dollar type = %d, want K80", best(a3c))
+	}
+}
+
+func TestThroughputMonotoneAcrossTypes(t *testing.T) {
+	for _, c := range Zoo() {
+		if !(Throughput(c, V100) > Throughput(c, P100) && Throughput(c, P100) > Throughput(c, K80)) {
+			t.Errorf("%s: throughputs not ordered V100 > P100 > K80: %v %v %v",
+				c.Name(), Throughput(c, V100), Throughput(c, P100), Throughput(c, K80))
+		}
+	}
+}
+
+func TestEveryConfigFitsSomewhere(t *testing.T) {
+	for _, c := range Zoo() {
+		ok := false
+		for j := 0; j < NumTypes; j++ {
+			if Fits(c, j) {
+				ok = true
+			}
+		}
+		if !ok {
+			t.Errorf("%s fits on no accelerator", c.Name())
+		}
+	}
+}
+
+func TestColocationSymmetricFeasibility(t *testing.T) {
+	zoo := Zoo()
+	for _, a := range zoo {
+		for _, b := range zoo {
+			_, _, ok1 := Colocated(a, b, P100)
+			_, _, ok2 := Colocated(b, a, P100)
+			if ok1 != ok2 {
+				t.Fatalf("colocation feasibility asymmetric for %s + %s", a.Name(), b.Name())
+			}
+		}
+	}
+}
+
+// TestColocationShape reproduces the structure of Figure 15: small models
+// pack profitably, two heavy models do not, and throughput never exceeds
+// isolated.
+func TestColocationShape(t *testing.T) {
+	var a3c, r50 Config
+	for _, c := range Zoo() {
+		if c.Family == A3C {
+			a3c = c
+		}
+		if c.Family == ResNet50 && c.BatchSize == 16 {
+			r50 = c
+		}
+	}
+	// Two light jobs: combined normalized throughput close to 2.
+	if g := ColocationGain(a3c, a3c, P100); g < 1.5 {
+		t.Errorf("A3C+A3C colocation gain = %.2f, want > 1.5", g)
+	}
+	// Two heavy jobs: no benefit over time sharing.
+	if g := ColocationGain(r50, r50, K80); g > 1.05 {
+		t.Errorf("ResNet50+ResNet50 on K80 gain = %.2f, want <= ~1", g)
+	}
+	// Never above isolated.
+	for _, c := range Zoo() {
+		ta, tb, ok := Colocated(c, a3c, V100)
+		if !ok {
+			continue
+		}
+		if ta > Throughput(c, V100)+1e-9 || tb > Throughput(a3c, V100)+1e-9 {
+			t.Fatalf("colocated throughput exceeds isolated for %s", c.Name())
+		}
+	}
+}
+
+func TestScaledThroughputProperties(t *testing.T) {
+	for _, c := range Zoo() {
+		for _, sf := range []int{2, 4, 8} {
+			cons := ScaledThroughput(c, V100, sf, true)
+			uncons := ScaledThroughput(c, V100, sf, false)
+			iso := Throughput(c, V100)
+			if cons < uncons {
+				t.Fatalf("%s sf=%d: consolidated (%v) slower than unconsolidated (%v)", c.Name(), sf, cons, uncons)
+			}
+			if cons > iso*float64(sf)+1e-9 {
+				t.Fatalf("%s sf=%d: super-linear scaling", c.Name(), sf)
+			}
+			if cons < iso {
+				t.Fatalf("%s sf=%d: scaling below single worker", c.Name(), sf)
+			}
+		}
+		if ScaledThroughput(c, V100, 1, true) != Throughput(c, V100) {
+			t.Fatalf("%s: sf=1 must equal isolated", c.Name())
+		}
+	}
+}
+
+// Placement sensitivity: the unconsolidated penalty must hurt more on fast
+// accelerators (slower workers are less communication-bound, §3.1).
+func TestPlacementPenaltySmallerOnSlowGPUs(t *testing.T) {
+	var transformer Config
+	for _, c := range Zoo() {
+		if c.Family == Transformer && c.BatchSize == 16 {
+			transformer = c
+		}
+	}
+	ratioV := ScaledThroughput(transformer, V100, 8, false) / ScaledThroughput(transformer, V100, 8, true)
+	ratioK := ScaledThroughput(transformer, K80, 8, false) / ScaledThroughput(transformer, K80, 8, true)
+	if ratioV >= ratioK {
+		t.Errorf("unconsolidated penalty on V100 (ratio %.2f) should exceed K80 (ratio %.2f)", ratioV, ratioK)
+	}
+}
+
+func TestGenerateTraceDeterministic(t *testing.T) {
+	opt := TraceOptions{NumJobs: 50, LambdaPerHour: 4, Seed: 9, MultiWorker: true}
+	a := GenerateTrace(opt)
+	b := GenerateTrace(opt)
+	if len(a) != 50 || len(b) != 50 {
+		t.Fatal("wrong length")
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("trace not deterministic at %d: %+v vs %+v", i, a[i], b[i])
+		}
+	}
+}
+
+func TestGenerateTraceArrivalsMonotone(t *testing.T) {
+	jobs := GenerateTrace(TraceOptions{NumJobs: 100, LambdaPerHour: 2, Seed: 3})
+	for i := 1; i < len(jobs); i++ {
+		if jobs[i].Arrival < jobs[i-1].Arrival {
+			t.Fatal("arrivals not monotone")
+		}
+	}
+}
+
+func TestGenerateTraceStatic(t *testing.T) {
+	jobs := GenerateTrace(TraceOptions{NumJobs: 30, Seed: 5})
+	for _, j := range jobs {
+		if j.Arrival != 0 {
+			t.Fatal("static trace must have all arrivals at 0")
+		}
+		if j.ScaleFactor != 1 {
+			t.Fatal("default trace must be single-worker")
+		}
+	}
+}
+
+// Property: sampled durations stay within the configured log-uniform range
+// and TotalSteps is consistent with the V100 throughput.
+func TestPropertyTraceDurations(t *testing.T) {
+	f := func(seed int64) bool {
+		jobs := GenerateTrace(TraceOptions{NumJobs: 20, Seed: seed})
+		lo, hi := math.Pow(10, 1.5)*60, math.Pow(10, 4)*60
+		for _, j := range jobs {
+			if j.RefDuration < lo-1e-6 || j.RefDuration > hi+1e-6 {
+				return false
+			}
+			want := j.RefDuration * Throughput(j.Config, V100)
+			if math.Abs(want-j.TotalSteps) > 1e-6*want {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMultiWorkerMix(t *testing.T) {
+	jobs := GenerateTrace(TraceOptions{NumJobs: 2000, Seed: 7, MultiWorker: true})
+	counts := map[int]int{}
+	for _, j := range jobs {
+		counts[j.ScaleFactor]++
+	}
+	frac1 := float64(counts[1]) / 2000
+	frac8 := float64(counts[8]) / 2000
+	if frac1 < 0.65 || frac1 > 0.75 {
+		t.Errorf("single-worker fraction = %.2f, want ~0.70", frac1)
+	}
+	if frac8 < 0.03 || frac8 > 0.08 {
+		t.Errorf("8-worker fraction = %.2f, want ~0.05", frac8)
+	}
+	if counts[2]+counts[4] == 0 {
+		t.Error("no 2- or 4-worker jobs")
+	}
+}
+
+func TestCostTrace(t *testing.T) {
+	jobs := CostTrace(500, 1)
+	if len(jobs) != 500 {
+		t.Fatal("want 500 jobs")
+	}
+	rng := rand.New(rand.NewSource(0))
+	_ = rng
+	for _, j := range jobs {
+		if j.Config.Family != ResNet50 && j.Config.Family != A3C {
+			t.Fatalf("cost trace job family %v", j.Config.Family)
+		}
+		if j.SLO <= 0 {
+			t.Fatal("cost trace jobs need SLOs")
+		}
+		ratio := j.SLO / j.RefDuration
+		if ratio < 1.19 || ratio > 10.01 {
+			t.Fatalf("SLO factor %v out of {1.2, 2, 10}", ratio)
+		}
+	}
+}
