@@ -1,0 +1,208 @@
+// Repeated-solve benchmarks for the incremental allocation pipeline: how
+// fast can a policy re-solve after a reset event when the problem shape is
+// unchanged (observed-throughput updates), cold vs warm-started. Run with:
+//
+//	go test -bench BenchmarkPolicySolveReset -run '^$'
+//
+// TestWriteSolveBenchJSON (gated by GAVEL_WRITE_BENCH=1) records the same
+// measurements into BENCH_solve.json to track the perf trajectory across
+// PRs.
+package gavel
+
+import (
+	"encoding/json"
+	"fmt"
+	"math/rand"
+	"os"
+	"testing"
+	"time"
+
+	"gavel/internal/core"
+	"gavel/internal/policy"
+	"gavel/internal/workload"
+)
+
+// solveResetInput builds an n-job policy input on an n/4-per-type cluster
+// (the paper's scaling shape), with distinct weights so optima are unique.
+func solveResetInput(n int) *policy.Input {
+	per := float64(n / 4)
+	if per < 1 {
+		per = 1
+	}
+	zoo := workload.Zoo()
+	in := &policy.Input{
+		Workers: []float64{per, per, per},
+		Prices:  []float64{3.06, 1.46, 0.9},
+	}
+	for m := 0; m < n; m++ {
+		cfg := zoo[m%len(zoo)]
+		tput := make([]float64, 3)
+		for t := range tput {
+			if workload.Fits(cfg, t) {
+				tput[t] = workload.Throughput(cfg, t)
+			}
+		}
+		in.Jobs = append(in.Jobs, policy.JobInfo{
+			ID: m, Weight: 1 + 0.01*float64(m), Priority: 1, ScaleFactor: 1,
+			Tput: tput, RemainingSteps: 1e6, TotalSteps: 2e6,
+			Elapsed: 3600, ArrivalSeq: m, NumActiveJobs: n,
+		})
+		// Unit shares the Tput slice so in-place perturbation stays
+		// consistent between the job row and its unit row.
+		in.Units = append(in.Units, core.Single(m, tput))
+	}
+	return in
+}
+
+// perturbInput jitters every throughput by up to +-frac in place, modeling a
+// reset event where observed throughputs moved but the job set did not.
+func perturbInput(in *policy.Input, rng *rand.Rand, frac float64) {
+	for m := range in.Jobs {
+		for t, v := range in.Jobs[m].Tput {
+			if v > 0 {
+				in.Jobs[m].Tput[t] = v * (1 + frac*(2*rng.Float64()-1))
+			}
+		}
+	}
+}
+
+var solveResetPolicies = []struct {
+	name string
+	make func() policy.Policy
+}{
+	{"maxmin", func() policy.Policy { return &policy.MaxMinFairness{} }},
+	{"ftf", func() policy.Policy { return &policy.FinishTimeFairness{} }},
+	{"cost", func() policy.Policy { return &policy.MinCost{} }},
+}
+
+// BenchmarkPolicySolveReset measures repeated-solve latency after
+// shape-preserving reset events, cold (no persistent context) vs warm
+// (basis reuse across resets) at 2^7..2^9 jobs.
+func BenchmarkPolicySolveReset(b *testing.B) {
+	for _, pol := range solveResetPolicies {
+		for _, n := range []int{128, 256, 512} {
+			for _, mode := range []string{"cold", "warm"} {
+				b.Run(fmt.Sprintf("%s/jobs=%d/%s", pol.name, n, mode), func(b *testing.B) {
+					in := solveResetInput(n)
+					p := pol.make()
+					ctx := policy.NewSolveContext()
+					ctx.NoWarm = mode == "cold"
+					rng := rand.New(rand.NewSource(99))
+					// Prime the context so the first measured solve of the
+					// warm mode has a basis to start from, as it would
+					// mid-simulation.
+					if _, err := p.Allocate(in, ctx); err != nil {
+						b.Fatal(err)
+					}
+					b.ResetTimer()
+					for i := 0; i < b.N; i++ {
+						perturbInput(in, rng, 0.01)
+						if _, err := p.Allocate(in, ctx); err != nil {
+							b.Fatal(err)
+						}
+					}
+					b.ReportMetric(float64(ctx.Stats.Iterations)/float64(ctx.Stats.Solves), "simplex-iters/solve")
+				})
+			}
+		}
+	}
+}
+
+type solveBenchRecord struct {
+	Policy            string  `json:"policy"`
+	Jobs              int     `json:"jobs"`
+	Mode              string  `json:"mode"`
+	Resets            int     `json:"resets"`
+	LPSolves          int     `json:"lp_solves"`
+	WarmSolves        int     `json:"warm_solves"`
+	SimplexIterations int     `json:"simplex_iterations"`
+	NsPerReset        float64 `json:"ns_per_reset"`
+}
+
+// measureSolveResets runs a fixed number of perturbed re-solves and returns
+// the record. Iteration counts are deterministic; timings are hardware-local.
+func measureSolveResets(polName string, p policy.Policy, n, resets int, warm bool) solveBenchRecord {
+	in := solveResetInput(n)
+	ctx := policy.NewSolveContext()
+	ctx.NoWarm = !warm
+	rng := rand.New(rand.NewSource(99))
+	if _, err := p.Allocate(in, ctx); err != nil {
+		panic(err)
+	}
+	prime := ctx.Stats
+	start := time.Now()
+	for i := 0; i < resets; i++ {
+		perturbInput(in, rng, 0.01)
+		if _, err := p.Allocate(in, ctx); err != nil {
+			panic(err)
+		}
+	}
+	elapsed := time.Since(start)
+	mode := "cold"
+	if warm {
+		mode = "warm"
+	}
+	return solveBenchRecord{
+		Policy: polName, Jobs: n, Mode: mode, Resets: resets,
+		LPSolves:          ctx.Stats.Solves - prime.Solves,
+		WarmSolves:        ctx.Stats.WarmHits - prime.WarmHits,
+		SimplexIterations: ctx.Stats.Iterations - prime.Iterations,
+		NsPerReset:        float64(elapsed.Nanoseconds()) / float64(resets),
+	}
+}
+
+// TestWriteSolveBenchJSON regenerates BENCH_solve.json. Gated behind an env
+// var so routine test runs stay fast:
+//
+//	GAVEL_WRITE_BENCH=1 go test -run TestWriteSolveBenchJSON
+func TestWriteSolveBenchJSON(t *testing.T) {
+	if os.Getenv("GAVEL_WRITE_BENCH") == "" {
+		t.Skip("set GAVEL_WRITE_BENCH=1 to (re)generate BENCH_solve.json")
+	}
+	var records []solveBenchRecord
+	for _, pol := range solveResetPolicies {
+		for _, n := range []int{128, 256, 512} {
+			for _, warm := range []bool{false, true} {
+				records = append(records, measureSolveResets(pol.name, pol.make(), n, 10, warm))
+			}
+		}
+	}
+	out, err := json.MarshalIndent(map[string]any{
+		"benchmark": "PolicySolveReset",
+		"unit_note": "resets are shape-preserving throughput perturbations (1%); ns_per_reset is hardware-local, iteration counts are deterministic",
+		"records":   records,
+	}, "", "  ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile("BENCH_solve.json", append(out, '\n'), 0o644); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestWarmSolveResetSavings is the acceptance gate: warm-started repeated
+// solves must cut simplex iterations by at least 30% vs cold at every
+// benchmarked size for the flagship fairness policy, and in aggregate for
+// the others.
+func TestWarmSolveResetSavings(t *testing.T) {
+	if testing.Short() {
+		t.Skip("solve-reset savings measurement is not -short")
+	}
+	for _, pol := range solveResetPolicies {
+		for _, n := range []int{128, 256} {
+			cold := measureSolveResets(pol.name, pol.make(), n, 6, false)
+			warm := measureSolveResets(pol.name, pol.make(), n, 6, true)
+			if warm.WarmSolves == 0 {
+				t.Fatalf("%s jobs=%d: no warm solves", pol.name, n)
+			}
+			saving := 1 - float64(warm.SimplexIterations)/float64(cold.SimplexIterations)
+			t.Logf("%s jobs=%d: cold iters=%d warm iters=%d (%.0f%% saved, %d/%d solves warm)",
+				pol.name, n, cold.SimplexIterations, warm.SimplexIterations,
+				100*saving, warm.WarmSolves, warm.LPSolves)
+			if saving < 0.30 {
+				t.Errorf("%s jobs=%d: warm start saved only %.0f%% of simplex iterations (need >= 30%%)",
+					pol.name, n, 100*saving)
+			}
+		}
+	}
+}

@@ -41,6 +41,7 @@ package gavel
 
 import (
 	"gavel/internal/cluster"
+	"gavel/internal/core"
 	"gavel/internal/estimator"
 	"gavel/internal/policy"
 	"gavel/internal/simulator"
@@ -69,7 +70,26 @@ type (
 	// EntityPolicy selects the intra-entity policy for hierarchical
 	// scheduling.
 	EntityPolicy = policy.EntityPolicy
+	// SolveContext carries per-policy incremental solve state (cached
+	// simplex bases, previous allocation, solve statistics) across
+	// Policy.Allocate calls. Pass nil to Allocate for the stateless cold
+	// path; the simulator manages one automatically unless
+	// SimulationConfig.ColdSolves is set.
+	SolveContext = policy.SolveContext
+	// SolveStats is the accounting a SolveContext accumulates.
+	SolveStats = policy.SolveStats
+	// ThroughputCache maintains job/pair throughput matrices incrementally
+	// under add/remove/observe, for callers driving policies directly.
+	ThroughputCache = core.ThroughputCache
 )
+
+// NewSolveContext returns an empty per-policy solve context for callers that
+// invoke policies directly across reset events.
+func NewSolveContext() *SolveContext { return policy.NewSolveContext() }
+
+// NewThroughputCache returns an empty throughput cache over numTypes
+// accelerator types.
+func NewThroughputCache(numTypes int) *ThroughputCache { return core.NewThroughputCache(numTypes) }
 
 // Intra-entity policies for hierarchical scheduling.
 const (

@@ -1,0 +1,3 @@
+module gavel
+
+go 1.24

@@ -1,0 +1,253 @@
+package core
+
+import "sort"
+
+// ThroughputCache maintains the (job × scheduling-unit) effective-throughput
+// matrices a policy input is built from, incrementally under job add/remove
+// and throughput observations. Building a policy input used to mean
+// re-querying every isolated throughput and re-enumerating every candidate
+// space-sharing pair on each reset event; with the cache, a reset touches
+// only the rows that actually changed and Units assembles the scheduling
+// units from cached values.
+//
+// Jobs are identified by stable external IDs (trace job IDs), not positions,
+// so entries survive arbitrary reorderings of the active set. The cache
+// stores values pushed by the caller and never invents estimates; pushing is
+// what keeps it provider-agnostic.
+type ThroughputCache struct {
+	numTypes int
+	jobs     map[int]*cachedJob
+	pairs    map[[2]int]*cachedPair
+}
+
+type cachedJob struct {
+	tput        []float64
+	scaleFactor int
+}
+
+// cachedPair stores the per-type colocated throughputs of a pair, with `lo`
+// the member with the smaller job ID.
+type cachedPair struct {
+	lo, hi []float64
+}
+
+// NewThroughputCache returns an empty cache over numTypes accelerator types.
+func NewThroughputCache(numTypes int) *ThroughputCache {
+	return &ThroughputCache{
+		numTypes: numTypes,
+		jobs:     map[int]*cachedJob{},
+		pairs:    map[[2]int]*cachedPair{},
+	}
+}
+
+// NumTypes returns the accelerator-type count the cache was built for.
+func (c *ThroughputCache) NumTypes() int { return c.numTypes }
+
+// Len returns the number of cached jobs.
+func (c *ThroughputCache) Len() int { return len(c.jobs) }
+
+// Has reports whether the job is cached.
+func (c *ThroughputCache) Has(id int) bool { _, ok := c.jobs[id]; return ok }
+
+// IDs returns the cached job IDs in ascending order.
+func (c *ThroughputCache) IDs() []int {
+	ids := make([]int, 0, len(c.jobs))
+	for id := range c.jobs {
+		ids = append(ids, id)
+	}
+	sort.Ints(ids)
+	return ids
+}
+
+// AddJob inserts (or overwrites) a job's isolated throughput row. The slice
+// is copied.
+func (c *ThroughputCache) AddJob(id, scaleFactor int, tput []float64) {
+	if scaleFactor < 1 {
+		scaleFactor = 1
+	}
+	c.jobs[id] = &cachedJob{tput: append([]float64(nil), tput...), scaleFactor: scaleFactor}
+}
+
+// RemoveJob drops a job and every pair involving it.
+func (c *ThroughputCache) RemoveJob(id int) {
+	if _, ok := c.jobs[id]; !ok {
+		return
+	}
+	delete(c.jobs, id)
+	for key := range c.pairs {
+		if key[0] == id || key[1] == id {
+			delete(c.pairs, key)
+		}
+	}
+}
+
+// ObserveJob replaces a job's isolated throughput row (a measured update).
+// Previously handed-out references keep their old values: rows are replaced,
+// never mutated in place.
+func (c *ThroughputCache) ObserveJob(id int, tput []float64) {
+	j, ok := c.jobs[id]
+	if !ok {
+		return
+	}
+	j.tput = append([]float64(nil), tput...)
+}
+
+// JobTput returns the cached isolated throughput row (shared, read-only),
+// or nil when the job is unknown.
+func (c *ThroughputCache) JobTput(id int) []float64 {
+	if j, ok := c.jobs[id]; ok {
+		return j.tput
+	}
+	return nil
+}
+
+// ScaleFactor returns the cached scale factor (0 when unknown).
+func (c *ThroughputCache) ScaleFactor(id int) int {
+	if j, ok := c.jobs[id]; ok {
+		return j.scaleFactor
+	}
+	return 0
+}
+
+func pairIDKey(a, b int) [2]int {
+	if a > b {
+		a, b = b, a
+	}
+	return [2]int{a, b}
+}
+
+// SetPair records the colocated throughput rows of a pair: ta belongs to
+// job a, tb to job b. Both slices are copied.
+func (c *ThroughputCache) SetPair(a, b int, ta, tb []float64) {
+	if a == b {
+		return
+	}
+	key := pairIDKey(a, b)
+	if a > b {
+		ta, tb = tb, ta
+	}
+	c.pairs[key] = &cachedPair{
+		lo: append([]float64(nil), ta...),
+		hi: append([]float64(nil), tb...),
+	}
+}
+
+// HasPair reports whether the pair has a cached row.
+func (c *ThroughputCache) HasPair(a, b int) bool {
+	_, ok := c.pairs[pairIDKey(a, b)]
+	return ok
+}
+
+// PairTput returns the cached colocated throughputs for (a, b), in that
+// argument order (shared, read-only).
+func (c *ThroughputCache) PairTput(a, b int) (ta, tb []float64, ok bool) {
+	p, ok := c.pairs[pairIDKey(a, b)]
+	if !ok {
+		return nil, nil, false
+	}
+	if a > b {
+		return p.hi, p.lo, true
+	}
+	return p.lo, p.hi, true
+}
+
+// ObservePair updates one type's entry of a cached pair with a measured
+// value (ta for job a, tb for job b). Rows are replaced, not mutated, so
+// previously handed-out references stay stable.
+func (c *ThroughputCache) ObservePair(a, b, typ int, ta, tb float64) {
+	p, ok := c.pairs[pairIDKey(a, b)]
+	if !ok || typ < 0 || typ >= c.numTypes {
+		return
+	}
+	if a > b {
+		ta, tb = tb, ta
+	}
+	lo := append([]float64(nil), p.lo...)
+	hi := append([]float64(nil), p.hi...)
+	lo[typ], hi[typ] = ta, tb
+	c.pairs[pairIDKey(a, b)] = &cachedPair{lo: lo, hi: hi}
+}
+
+// PairGain returns the pair's best combined normalized throughput across
+// types: max_t ta[t]/isoA[t] + tb[t]/isoB[t]. A gain above 1 means space
+// sharing beats time sharing somewhere; 0 when the pair or either job is
+// unknown.
+func (c *ThroughputCache) PairGain(a, b int) float64 {
+	ta, tb, ok := c.PairTput(a, b)
+	if !ok {
+		return 0
+	}
+	ja, jb := c.jobs[a], c.jobs[b]
+	if ja == nil || jb == nil {
+		return 0
+	}
+	best := 0.0
+	for t := 0; t < c.numTypes; t++ {
+		ia, ib := ja.tput[t], jb.tput[t]
+		if ia > 0 && ib > 0 {
+			if g := ta[t]/ia + tb[t]/ib; g > best {
+				best = g
+			}
+		}
+	}
+	return best
+}
+
+// Units assembles the scheduling units for the given job IDs: the single-job
+// unit of ids[m] at index m, followed by cached pair units whose gain
+// exceeds minGain, in decreasing gain order (ties broken by position for
+// determinism), capped at maxPairs pairs per job. Unit.Jobs indices refer to
+// positions within ids, matching the policy input contract. Unknown IDs get
+// an all-zero throughput row rather than a panic.
+func (c *ThroughputCache) Units(ids []int, minGain float64, maxPairs int) []Unit {
+	units := make([]Unit, 0, len(ids))
+	for m, id := range ids {
+		tput := c.JobTput(id)
+		if tput == nil {
+			tput = make([]float64, c.numTypes)
+		}
+		units = append(units, Single(m, tput))
+	}
+	if maxPairs <= 0 || len(c.pairs) == 0 {
+		return units
+	}
+
+	type scored struct {
+		a, b int // positions within ids
+		gain float64
+	}
+	var cands []scored
+	for a := 0; a < len(ids); a++ {
+		if c.ScaleFactor(ids[a]) > 1 {
+			continue
+		}
+		for b := a + 1; b < len(ids); b++ {
+			if c.ScaleFactor(ids[b]) > 1 {
+				continue
+			}
+			if g := c.PairGain(ids[a], ids[b]); g > minGain {
+				cands = append(cands, scored{a: a, b: b, gain: g})
+			}
+		}
+	}
+	sort.Slice(cands, func(i, j int) bool {
+		if cands[i].gain != cands[j].gain {
+			return cands[i].gain > cands[j].gain
+		}
+		if cands[i].a != cands[j].a {
+			return cands[i].a < cands[j].a
+		}
+		return cands[i].b < cands[j].b
+	})
+	pairCount := make([]int, len(ids))
+	for _, s := range cands {
+		if pairCount[s.a] >= maxPairs || pairCount[s.b] >= maxPairs {
+			continue
+		}
+		pairCount[s.a]++
+		pairCount[s.b]++
+		ta, tb, _ := c.PairTput(ids[s.a], ids[s.b])
+		units = append(units, Pair(s.a, s.b, ta, tb))
+	}
+	return units
+}

@@ -1,0 +1,253 @@
+package core
+
+import (
+	"math"
+	"math/rand"
+	"sort"
+	"testing"
+)
+
+// refState is the from-scratch reference the cache must match: plain maps of
+// the same logical state, with units rebuilt from nothing on every query.
+type refState struct {
+	numTypes int
+	tput     map[int][]float64
+	sf       map[int]int
+	pairs    map[[2]int][2][]float64 // key sorted; [0] = lower id's row
+}
+
+func newRefState(numTypes int) *refState {
+	return &refState{
+		numTypes: numTypes,
+		tput:     map[int][]float64{},
+		sf:       map[int]int{},
+		pairs:    map[[2]int][2][]float64{},
+	}
+}
+
+func (r *refState) key(a, b int) [2]int {
+	if a > b {
+		a, b = b, a
+	}
+	return [2]int{a, b}
+}
+
+func (r *refState) units(ids []int, minGain float64, maxPairs int) []Unit {
+	units := make([]Unit, 0, len(ids))
+	for m, id := range ids {
+		t := r.tput[id]
+		if t == nil {
+			t = make([]float64, r.numTypes)
+		}
+		units = append(units, Single(m, t))
+	}
+	type cand struct {
+		a, b int
+		gain float64
+	}
+	var cands []cand
+	for a := 0; a < len(ids); a++ {
+		if r.sf[ids[a]] > 1 {
+			continue
+		}
+		for b := a + 1; b < len(ids); b++ {
+			if r.sf[ids[b]] > 1 {
+				continue
+			}
+			p, ok := r.pairs[r.key(ids[a], ids[b])]
+			if !ok {
+				continue
+			}
+			ta, tb := p[0], p[1]
+			if ids[a] > ids[b] {
+				ta, tb = tb, ta
+			}
+			best := 0.0
+			for t := 0; t < r.numTypes; t++ {
+				ia, ib := r.tput[ids[a]][t], r.tput[ids[b]][t]
+				if ia > 0 && ib > 0 {
+					if g := ta[t]/ia + tb[t]/ib; g > best {
+						best = g
+					}
+				}
+			}
+			if best > minGain {
+				cands = append(cands, cand{a: a, b: b, gain: best})
+			}
+		}
+	}
+	sort.Slice(cands, func(i, j int) bool {
+		if cands[i].gain != cands[j].gain {
+			return cands[i].gain > cands[j].gain
+		}
+		if cands[i].a != cands[j].a {
+			return cands[i].a < cands[j].a
+		}
+		return cands[i].b < cands[j].b
+	})
+	count := make([]int, len(ids))
+	for _, s := range cands {
+		if count[s.a] >= maxPairs || count[s.b] >= maxPairs {
+			continue
+		}
+		count[s.a]++
+		count[s.b]++
+		p := r.pairs[r.key(ids[s.a], ids[s.b])]
+		ta, tb := p[0], p[1]
+		if ids[s.a] > ids[s.b] {
+			ta, tb = tb, ta
+		}
+		units = append(units, Pair(s.a, s.b, ta, tb))
+	}
+	return units
+}
+
+func unitsEqual(t *testing.T, got, want []Unit) {
+	t.Helper()
+	if len(got) != len(want) {
+		t.Fatalf("unit count: got %d want %d", len(got), len(want))
+	}
+	for i := range got {
+		if len(got[i].Jobs) != len(want[i].Jobs) {
+			t.Fatalf("unit %d member count: got %v want %v", i, got[i].Jobs, want[i].Jobs)
+		}
+		for k := range got[i].Jobs {
+			if got[i].Jobs[k] != want[i].Jobs[k] {
+				t.Fatalf("unit %d members: got %v want %v", i, got[i].Jobs, want[i].Jobs)
+			}
+			for j := range got[i].Tput[k] {
+				if math.Abs(got[i].Tput[k][j]-want[i].Tput[k][j]) > 1e-12 {
+					t.Fatalf("unit %d member %d type %d: got %v want %v",
+						i, k, j, got[i].Tput[k][j], want[i].Tput[k][j])
+				}
+			}
+		}
+	}
+}
+
+// TestThroughputCacheMatchesFromScratch drives the cache through random
+// add/remove/observe sequences and asserts Units always matches a
+// from-scratch reconstruction of the same logical state.
+func TestThroughputCacheMatchesFromScratch(t *testing.T) {
+	const numTypes = 3
+	rng := rand.New(rand.NewSource(23))
+	cache := NewThroughputCache(numTypes)
+	ref := newRefState(numTypes)
+	var live []int
+	nextID := 0
+
+	randTput := func() []float64 {
+		t := make([]float64, numTypes)
+		for j := range t {
+			if rng.Float64() < 0.9 {
+				t[j] = 0.5 + 2*rng.Float64()
+			}
+		}
+		return t
+	}
+
+	for step := 0; step < 600; step++ {
+		switch op := rng.Float64(); {
+		case op < 0.35 || len(live) == 0: // add
+			id := nextID
+			nextID++
+			sf := 1
+			if rng.Float64() < 0.2 {
+				sf = 2 + rng.Intn(3)
+			}
+			tput := randTput()
+			cache.AddJob(id, sf, tput)
+			ref.tput[id] = append([]float64(nil), tput...)
+			ref.sf[id] = sf
+			// Pair the newcomer against every live single-worker job.
+			if sf == 1 {
+				for _, other := range live {
+					if ref.sf[other] > 1 || rng.Float64() < 0.3 {
+						continue
+					}
+					ta, tb := randTput(), randTput()
+					cache.SetPair(id, other, ta, tb)
+					lo, hi := ta, tb
+					if id > other {
+						lo, hi = tb, ta
+					}
+					ref.pairs[ref.key(id, other)] = [2][]float64{
+						append([]float64(nil), lo...), append([]float64(nil), hi...)}
+				}
+			}
+			live = append(live, id)
+		case op < 0.55: // remove
+			i := rng.Intn(len(live))
+			id := live[i]
+			live = append(live[:i], live[i+1:]...)
+			cache.RemoveJob(id)
+			delete(ref.tput, id)
+			delete(ref.sf, id)
+			for key := range ref.pairs {
+				if key[0] == id || key[1] == id {
+					delete(ref.pairs, key)
+				}
+			}
+		case op < 0.75: // observe isolated
+			id := live[rng.Intn(len(live))]
+			tput := randTput()
+			cache.ObserveJob(id, tput)
+			ref.tput[id] = append([]float64(nil), tput...)
+		default: // observe one pair entry
+			if len(ref.pairs) == 0 {
+				continue
+			}
+			keys := make([][2]int, 0, len(ref.pairs))
+			for k := range ref.pairs {
+				keys = append(keys, k)
+			}
+			sort.Slice(keys, func(i, j int) bool {
+				return keys[i][0] < keys[j][0] || (keys[i][0] == keys[j][0] && keys[i][1] < keys[j][1])
+			})
+			key := keys[rng.Intn(len(keys))]
+			typ := rng.Intn(numTypes)
+			ta, tb := 0.5+rng.Float64(), 0.5+rng.Float64()
+			cache.ObservePair(key[0], key[1], typ, ta, tb)
+			p := ref.pairs[key]
+			lo := append([]float64(nil), p[0]...)
+			hi := append([]float64(nil), p[1]...)
+			lo[typ], hi[typ] = ta, tb
+			ref.pairs[key] = [2][]float64{lo, hi}
+		}
+
+		if step%7 == 0 {
+			ids := append([]int(nil), live...)
+			rng.Shuffle(len(ids), func(i, j int) { ids[i], ids[j] = ids[j], ids[i] })
+			unitsEqual(t, cache.Units(ids, 1.05, 4), ref.units(ids, 1.05, 4))
+		}
+	}
+	if cache.Len() != len(live) {
+		t.Fatalf("cache holds %d jobs, %d live", cache.Len(), len(live))
+	}
+}
+
+// TestThroughputCacheRowStability checks that observing a job or pair does
+// not mutate previously handed-out rows.
+func TestThroughputCacheRowStability(t *testing.T) {
+	c := NewThroughputCache(2)
+	c.AddJob(1, 1, []float64{1, 2})
+	c.AddJob(2, 1, []float64{3, 4})
+	c.SetPair(1, 2, []float64{0.6, 1.2}, []float64{1.8, 2.4})
+
+	row := c.JobTput(1)
+	ta, tb, _ := c.PairTput(1, 2)
+	c.ObserveJob(1, []float64{9, 9})
+	c.ObservePair(1, 2, 0, 0.1, 0.2)
+	if row[0] != 1 || row[1] != 2 {
+		t.Fatalf("isolated row mutated in place: %v", row)
+	}
+	if ta[0] != 0.6 || tb[0] != 1.8 {
+		t.Fatalf("pair rows mutated in place: %v %v", ta, tb)
+	}
+	if got := c.JobTput(1); got[0] != 9 {
+		t.Fatalf("observe lost: %v", got)
+	}
+	if gta, _, _ := c.PairTput(1, 2); gta[0] != 0.1 {
+		t.Fatalf("pair observe lost: %v", gta)
+	}
+}

@@ -25,11 +25,11 @@ type maxMinNoRefine struct{}
 
 func (maxMinNoRefine) Name() string { return "max_min_no_refine" }
 
-func (maxMinNoRefine) Allocate(in *policy.Input) (*core.Allocation, error) {
+func (maxMinNoRefine) Allocate(in *policy.Input, ctx *policy.SolveContext) (*core.Allocation, error) {
 	// Reimplement the single-pass LP via the exported building blocks so
 	// the ablation cannot drift from the real policy's constraint set.
 	full := &policy.MaxMinFairness{}
-	alloc, err := full.Allocate(in)
+	alloc, err := full.Allocate(in, ctx)
 	if err != nil {
 		return nil, err
 	}

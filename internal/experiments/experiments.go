@@ -94,22 +94,40 @@ func sweep(opt Options, spec cluster.Spec, pols []namedPolicy, rates []float64, 
 	for _, np := range pols {
 		res.labels = append(res.labels, np.label)
 	}
-	for _, np := range pols {
-		perRate := make([]float64, len(rates))
-		for ri, rate := range rates {
+
+	// Every (policy, rate, seed) cell is independent: run them all over the
+	// bounded worker pool, then aggregate in index order so the report is
+	// identical to a serial sweep.
+	nR, nS := len(rates), opt.Seeds
+	results := make([]*simulator.Result, len(pols)*nR*nS)
+	err := parallelFor(len(results), func(i int) error {
+		pi := i / (nR * nS)
+		ri := (i / nS) % nR
+		s := i % nS
+		to := traceOpt
+		to.NumJobs = opt.Jobs
+		to.LambdaPerHour = rates[ri]
+		to.Seed = int64(1000*ri + 17*s + 3)
+		trace := workload.GenerateTrace(to)
+		r, err := runOnce(opt, pols[pi], spec, trace, to.Seed)
+		if err != nil {
+			return fmt.Errorf("%s @ %.1f jobs/hr: %w", pols[pi].label, rates[ri], err)
+		}
+		results[i] = r
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+
+	for pi, np := range pols {
+		perRate := make([]float64, nR)
+		for ri := range rates {
 			var vals []float64
-			for s := 0; s < opt.Seeds; s++ {
-				to := traceOpt
-				to.NumJobs = opt.Jobs
-				to.LambdaPerHour = rate
-				to.Seed = int64(1000*ri + 17*s + 3)
-				trace := workload.GenerateTrace(to)
-				r, err := runOnce(opt, np, spec, trace, to.Seed)
-				if err != nil {
-					return nil, fmt.Errorf("%s @ %.1f jobs/hr: %w", np.label, rate, err)
-				}
+			for s := 0; s < nS; s++ {
+				r := results[(pi*nR+ri)*nS+s]
 				vals = append(vals, r.AvgJCT(opt.Warmup))
-				if ri == len(rates)-1 && s == 0 {
+				if ri == nR-1 && s == 0 {
 					for _, j := range r.Jobs {
 						if !math.IsNaN(j.JCT) {
 							res.jctsAt[np.label] = append(res.jctsAt[np.label], j.JCT/3600)

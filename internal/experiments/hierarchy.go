@@ -54,6 +54,10 @@ func hierarchyTimeline(intra policy.EntityPolicy, title string) (*HierarchyOutco
 	}
 
 	out := &HierarchyOutcome{}
+	// One persistent solve context across the whole timeline: between
+	// arrival boundaries the water-filling LPs keep their shape, so each
+	// timestep warm-starts from the previous optimum.
+	ctx := policy.NewSolveContext()
 	var lastAlloc *core.Allocation
 	var lastIn *policy.Input
 	for ts := 0; ts < timesteps; ts++ {
@@ -77,9 +81,14 @@ func hierarchyTimeline(intra policy.EntityPolicy, title string) (*HierarchyOutco
 			})
 			in.Units = append(in.Units, core.Single(m, tput))
 		}
-		alloc, err := pol.Allocate(in)
+		alloc, err := pol.Allocate(in, ctx)
 		if err != nil {
 			return nil, fmt.Errorf("timestep %d: %w", ts, err)
+		}
+		ctx.Prev = alloc
+		ctx.PrevJobIDs = ctx.PrevJobIDs[:0]
+		for m := range in.Jobs {
+			ctx.PrevJobIDs = append(ctx.PrevJobIDs, in.Jobs[m].ID)
 		}
 		lastAlloc, lastIn = alloc, in
 

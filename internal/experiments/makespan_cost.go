@@ -31,15 +31,22 @@ func Figure19(opt Options) (*Figure19Outcome, error) {
 		{label: "Gavel w/ SS", ss: true, make: func(int64) policy.Policy { return policy.Makespan{} }},
 	}
 	out := &Figure19Outcome{Sizes: sizes, Makespan: map[string][]float64{}}
-	for _, np := range pols {
-		for _, n := range sizes {
-			trace := workload.GenerateTrace(workload.TraceOptions{NumJobs: n, MultiWorker: true, Seed: 11})
-			r, err := runOnce(opt, np, cluster.Simulated108(), trace, 11)
-			if err != nil {
-				return nil, fmt.Errorf("fig19 %s n=%d: %w", np.label, n, err)
-			}
-			out.Makespan[np.label] = append(out.Makespan[np.label], r.Makespan/3600)
+	results := make([]*simulator.Result, len(pols)*len(sizes))
+	err := parallelFor(len(results), func(i int) error {
+		np, n := pols[i/len(sizes)], sizes[i%len(sizes)]
+		trace := workload.GenerateTrace(workload.TraceOptions{NumJobs: n, MultiWorker: true, Seed: 11})
+		r, err := runOnce(opt, np, cluster.Simulated108(), trace, 11)
+		if err != nil {
+			return fmt.Errorf("fig19 %s n=%d: %w", np.label, n, err)
 		}
+		results[i] = r
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	for i, r := range results {
+		out.Makespan[pols[i/len(sizes)].label] = append(out.Makespan[pols[i/len(sizes)].label], r.Makespan/3600)
 	}
 	var b strings.Builder
 	b.WriteString("Figure 19: makespan vs number of jobs, static-multiple trace\n")
@@ -148,14 +155,23 @@ func CostPolicies(opt Options) (*CostOutcome, error) {
 		{label: "min-cost-slo", make: func(int64) policy.Policy { return &policy.MinCost{EnforceSLOs: true} }},
 	}
 	out := &CostOutcome{Cost: map[string]float64{}, SLOViolations: map[string]int{}}
+	results := make([]*simulator.Result, len(pols))
+	err := parallelFor(len(pols), func(i int) error {
+		r, err := runOnce(opt, pols[i], cluster.Simulated108(), trace, 3)
+		if err != nil {
+			return fmt.Errorf("cost %s: %w", pols[i].label, err)
+		}
+		results[i] = r
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
 	var b strings.Builder
 	b.WriteString("Cost policies (§7.3): ResNet-50 + A3C workload with SLOs\n")
 	fmt.Fprintf(&b, "%-16s %12s %14s %12s\n", "policy", "cost ($)", "SLO violations", "unfinished")
-	for _, np := range pols {
-		r, err := runOnce(opt, np, cluster.Simulated108(), trace, 3)
-		if err != nil {
-			return nil, fmt.Errorf("cost %s: %w", np.label, err)
-		}
+	for i, np := range pols {
+		r := results[i]
 		out.Cost[np.label] = r.TotalCost
 		out.SLOViolations[np.label] = r.SLOViolations
 		fmt.Fprintf(&b, "%-16s %12.0f %14d %12d\n", np.label, r.TotalCost, r.SLOViolations, r.Unfinished)
@@ -196,56 +212,42 @@ func Table3(opt Options) (*Table3Outcome, error) {
 		trace, system, objective string
 		physical, simulated      float64
 	}
-	runMode := func(np namedPolicy, trace []workload.Job, physical bool) (*simulator.Result, error) {
+	// Eight independent runs (4 systems x physical/simulation): run them
+	// over the worker pool, read values back by fixed index.
+	mkGavel := namedPolicy{label: "Gavel", make: func(int64) policy.Policy { return policy.Makespan{} }}
+	type cell struct {
+		np       namedPolicy
+		trace    []workload.Job
+		physical bool
+	}
+	cells := []cell{
+		{gavelLAS(), continuous, true}, {gavelLAS(), continuous, false},
+		{lasAgnostic(), continuous, true}, {lasAgnostic(), continuous, false},
+		{mkGavel, static, true}, {mkGavel, static, false},
+		{gandivaSS(), static, true}, {gandivaSS(), static, false},
+	}
+	rs := make([]*simulator.Result, len(cells))
+	err := parallelFor(len(cells), func(i int) error {
+		c := cells[i]
 		cfg := simulator.Config{
-			Cluster: spec, Policy: np.make(9), Trace: trace,
-			RoundSeconds: 1200, SpaceSharing: np.ss, Seed: 9,
+			Cluster: spec, Policy: c.np.make(9), Trace: c.trace,
+			RoundSeconds: 1200, SpaceSharing: c.np.ss, Seed: 9,
 		}
-		if physical {
+		if c.physical {
 			cfg.TestbedNoise = 0.04
 			cfg.CheckpointSeconds = 5
 		}
-		return simulator.Run(cfg)
-	}
-	jct := func(np namedPolicy) (phys, sim float64, err error) {
-		rp, err := runMode(np, continuous, true)
-		if err != nil {
-			return 0, 0, err
-		}
-		rs, err := runMode(np, continuous, false)
-		if err != nil {
-			return 0, 0, err
-		}
-		return rp.AvgJCT(opt.Warmup), rs.AvgJCT(opt.Warmup), nil
-	}
-	mk := func(np namedPolicy) (phys, sim float64, err error) {
-		rp, err := runMode(np, static, true)
-		if err != nil {
-			return 0, 0, err
-		}
-		rs, err := runMode(np, static, false)
-		if err != nil {
-			return 0, 0, err
-		}
-		return rp.Makespan / 3600, rs.Makespan / 3600, nil
-	}
-
-	gavelJCTp, gavelJCTs, err := jct(gavelLAS())
+		var runErr error
+		rs[i], runErr = simulator.Run(cfg)
+		return runErr
+	})
 	if err != nil {
 		return nil, err
 	}
-	lasJCTp, lasJCTs, err := jct(lasAgnostic())
-	if err != nil {
-		return nil, err
-	}
-	gavelMKp, gavelMKs, err := mk(namedPolicy{label: "Gavel", make: func(int64) policy.Policy { return policy.Makespan{} }})
-	if err != nil {
-		return nil, err
-	}
-	gandivaMKp, gandivaMKs, err := mk(gandivaSS())
-	if err != nil {
-		return nil, err
-	}
+	gavelJCTp, gavelJCTs := rs[0].AvgJCT(opt.Warmup), rs[1].AvgJCT(opt.Warmup)
+	lasJCTp, lasJCTs := rs[2].AvgJCT(opt.Warmup), rs[3].AvgJCT(opt.Warmup)
+	gavelMKp, gavelMKs := rs[4].Makespan/3600, rs[5].Makespan/3600
+	gandivaMKp, gandivaMKs := rs[6].Makespan/3600, rs[7].Makespan/3600
 
 	rows := []row{
 		{"continuous", "Gavel", "Average JCT (h)", gavelJCTp, gavelJCTs},

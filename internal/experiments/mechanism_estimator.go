@@ -46,7 +46,7 @@ func Figure12(sizes []int) (*Figure12Outcome, error) {
 		for _, n := range sizes {
 			in := scalingInput(n, k.ss)
 			start := time.Now()
-			if _, err := k.make().Allocate(in); err != nil {
+			if _, err := k.make().Allocate(in, nil); err != nil {
 				return nil, fmt.Errorf("fig12 %s n=%d: %w", k.label, n, err)
 			}
 			out.Seconds[k.label] = append(out.Seconds[k.label], time.Since(start).Seconds())
@@ -155,15 +155,21 @@ func Figure13(opt Options) (*Figure13Outcome, error) {
 		NumJobs: opt.Jobs, LambdaPerHour: 4.5, Seed: 31,
 	})
 	out := &Figure13Outcome{RoundLengths: []float64{360, 720, 1440, 2880}}
-	for _, rl := range out.RoundLengths {
+	out.JCTByRound = make([]float64, len(out.RoundLengths))
+	err := parallelFor(len(out.RoundLengths), func(i int) error {
+		rl := out.RoundLengths[i]
 		r, err := simulator.Run(simulator.Config{
 			Cluster: cluster.Simulated108(), Policy: &policy.MaxMinFairness{},
 			Trace: trace, RoundSeconds: rl, Seed: 31,
 		})
 		if err != nil {
-			return nil, fmt.Errorf("fig13a round=%v: %w", rl, err)
+			return fmt.Errorf("fig13a round=%v: %w", rl, err)
 		}
-		out.JCTByRound = append(out.JCTByRound, r.AvgJCT(opt.Warmup))
+		out.JCTByRound[i] = r.AvgJCT(opt.Warmup)
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
 	out.Mechanism = out.JCTByRound[0]
 	rIdeal, err := simulator.Run(simulator.Config{

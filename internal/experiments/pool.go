@@ -1,0 +1,58 @@
+package experiments
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// parallelFor runs fn(i) for every i in [0, n) over a worker pool bounded by
+// GOMAXPROCS. Each fn writes its output into a caller-owned slot i, so
+// result ordering is deterministic regardless of goroutine scheduling; the
+// returned error is the lowest-index failure. Simulation cells are
+// independent (fresh policy, trace, and RNG per cell, seeded by index), so
+// running them concurrently cannot change any cell's result — only the
+// wall-clock time of the whole sweep.
+func parallelFor(n int, fn func(i int) error) error {
+	if n <= 0 {
+		return nil
+	}
+	workers := runtime.GOMAXPROCS(0)
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 {
+		for i := 0; i < n; i++ {
+			if err := fn(i); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	errs := make([]error, n)
+	var next atomic.Int64
+	var failed atomic.Bool
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for !failed.Load() {
+				i := int(next.Add(1)) - 1
+				if i >= n {
+					return
+				}
+				if errs[i] = fn(i); errs[i] != nil {
+					failed.Store(true) // stop claiming new cells; the rest stay nil
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}

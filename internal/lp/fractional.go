@@ -44,8 +44,18 @@ var ErrDegenerateFraction = errors.New("lp: degenerate linear-fractional program
 // SolveFractional solves the linear-fractional program and returns the
 // optimal x and objective ratio.
 func SolveFractional(f *Fractional) (x []float64, ratio float64, err error) {
+	x, ratio, _, err = SolveFractionalFrom(f, nil)
+	return x, ratio, err
+}
+
+// SolveFractionalFrom solves the linear-fractional program, seeding the
+// transformed LP from a previous basis when one is supplied (the transformed
+// problem's shape is a deterministic function of f's shape, so a basis from
+// a same-shaped Fractional warm-starts its successor). It returns the raw
+// result of the transformed LP, whose Basis seeds the next call.
+func SolveFractionalFrom(f *Fractional, prev *Basis) (x []float64, ratio float64, res *Result, err error) {
 	if len(f.Num) != f.NumVars || len(f.Den) != f.NumVars {
-		return nil, 0, fmt.Errorf("%w: coefficient vectors must have NumVars entries", ErrBadProblem)
+		return nil, 0, nil, fmt.Errorf("%w: coefficient vectors must have NumVars entries", ErrBadProblem)
 	}
 	p := NewProblem(Maximize)
 	y := make([]int, f.NumVars)
@@ -71,20 +81,20 @@ func SolveFractional(f *Fractional) (x []float64, ratio float64, err error) {
 	denTerms = append(denTerms, Term{Var: t, Coeff: f.DenC})
 	p.AddConstraint(denTerms, EQ, 1)
 
-	res, err := p.Solve()
+	res, err = p.SolveFrom(prev)
 	if err != nil {
-		return nil, 0, err
+		return nil, 0, nil, err
 	}
 	if res.Status != Optimal {
-		return nil, 0, fmt.Errorf("lp: fractional program not optimal: %v", res.Status)
+		return nil, 0, res, fmt.Errorf("lp: fractional program not optimal: %v", res.Status)
 	}
 	tv := res.X[t]
 	if tv < 1e-9 {
-		return nil, 0, ErrDegenerateFraction
+		return nil, 0, res, ErrDegenerateFraction
 	}
 	x = make([]float64, f.NumVars)
 	for j := range x {
 		x[j] = res.X[y[j]] / tv
 	}
-	return x, res.Objective, nil
+	return x, res.Objective, res, nil
 }

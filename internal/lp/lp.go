@@ -141,7 +141,42 @@ type Result struct {
 	Status     Status
 	X          []float64
 	Objective  float64
-	Iterations int
+	Iterations int // simplex iterations across both phases
+	Pivots     int // tableau pivot operations performed
+	// Basis snapshots the optimal basis for warm-starting a subsequent
+	// solve of a same-shaped problem via SolveFrom; nil unless Optimal.
+	Basis *Basis
+	// WarmStarted reports whether this solve was seeded from a previous
+	// basis (false when SolveFrom fell back to the cold two-phase path).
+	WarmStarted bool
+}
+
+// Basis is an opaque snapshot of a simplex basis, tied to the shape of the
+// problem that produced it: the structural variable count and the
+// (normalized) constraint operator sequence, which together fix the
+// slack-column layout. SolveFrom rejects a basis whose shape does not match
+// the problem being solved and falls back to a cold solve.
+type Basis struct {
+	numVars int
+	ops     []Op  // normalized (rhs >= 0) constraint ops, in order
+	cols    []int // basic column per row; -1 for dropped redundant rows
+}
+
+// NumVars returns the structural variable count the basis was built for.
+func (b *Basis) NumVars() int { return b.numVars }
+
+// compatible reports whether the basis can seed a problem with the given
+// structural variable count and normalized op sequence.
+func (b *Basis) compatible(n int, ops []Op) bool {
+	if b == nil || b.numVars != n || len(b.ops) != len(ops) {
+		return false
+	}
+	for i, op := range ops {
+		if b.ops[i] != op {
+			return false
+		}
+	}
+	return true
 }
 
 // ErrBadProblem reports a structurally invalid problem (e.g. a term
@@ -159,7 +194,17 @@ const (
 // Solve runs two-phase primal simplex and returns the result. The returned
 // error is non-nil only for malformed problems; infeasibility and
 // unboundedness are reported via Result.Status.
-func (p *Problem) Solve() (*Result, error) {
+func (p *Problem) Solve() (*Result, error) { return p.solve(nil) }
+
+// SolveFrom solves the problem seeded from a previous optimal basis,
+// skipping phase 1 entirely when the basis is still primal feasible. The
+// basis must come from a problem of the same shape (variable count and
+// constraint operator sequence); on a shape mismatch, a singular or
+// primal-infeasible seed, or numerical trouble, it falls back to the cold
+// two-phase path. Result.WarmStarted reports which path ran.
+func (p *Problem) SolveFrom(prev *Basis) (*Result, error) { return p.solve(prev) }
+
+func (p *Problem) solve(prev *Basis) (*Result, error) {
 	n := len(p.obj)
 	m := len(p.cons)
 	for _, c := range p.cons {
@@ -206,6 +251,12 @@ func (p *Problem) Solve() (*Result, error) {
 		}
 	}
 
+	if prev.compatible(n, ops) {
+		if res, ok := p.warmSolve(rows, rhs, nSlack, prev); ok {
+			return res, nil
+		}
+	}
+
 	total := n + nSlack + nArt
 	// tab is the m x (total+1) tableau; last column is the rhs.
 	tab := make([][]float64, m)
@@ -238,6 +289,7 @@ func (p *Problem) Solve() (*Result, error) {
 	}
 
 	iterations := 0
+	pivots := 0
 
 	// Phase 1: drive artificials to zero.
 	if nArt > 0 {
@@ -248,16 +300,17 @@ func (p *Problem) Solve() (*Result, error) {
 		canonicalize(cost, tab, basis)
 		st, it := simplexIterate(tab, basis, cost, nil)
 		iterations += it
+		pivots += it
 		if st == Unbounded {
 			// Phase-1 objective is bounded below by 0; unbounded here
 			// means numerical trouble. Treat as infeasible.
-			return &Result{Status: Infeasible, Iterations: iterations}, nil
+			return &Result{Status: Infeasible, Iterations: iterations, Pivots: pivots}, nil
 		}
 		if st == IterationLimit {
-			return &Result{Status: IterationLimit, Iterations: iterations}, nil
+			return &Result{Status: IterationLimit, Iterations: iterations, Pivots: pivots}, nil
 		}
 		if -cost[total] > 1e-7 {
-			return &Result{Status: Infeasible, Iterations: iterations}, nil
+			return &Result{Status: Infeasible, Iterations: iterations, Pivots: pivots}, nil
 		}
 		// Drive remaining basic artificials out or drop their rows.
 		isArt := make([]bool, total)
@@ -272,6 +325,7 @@ func (p *Problem) Solve() (*Result, error) {
 			for j := 0; j < n+nSlack; j++ {
 				if math.Abs(tab[i][j]) > eps {
 					pivot(tab, basis, i, j)
+					pivots++
 					pivoted = true
 					break
 				}
@@ -308,8 +362,9 @@ func (p *Problem) Solve() (*Result, error) {
 	canonicalize(cost, tab, basis)
 	st, it := simplexIterate(tab, basis, cost, forbidden)
 	iterations += it
+	pivots += it
 	if st != Optimal {
-		return &Result{Status: st, Iterations: iterations}, nil
+		return &Result{Status: st, Iterations: iterations, Pivots: pivots}, nil
 	}
 
 	x := make([]float64, n)
@@ -322,7 +377,201 @@ func (p *Problem) Solve() (*Result, error) {
 	for j, c := range p.obj {
 		obj += c * x[j]
 	}
-	return &Result{Status: Optimal, X: x, Objective: obj, Iterations: iterations}, nil
+	return &Result{
+		Status: Optimal, X: x, Objective: obj,
+		Iterations: iterations, Pivots: pivots,
+		Basis: p.snapshotBasis(ops, basis),
+	}, nil
+}
+
+// snapshotBasis records the final basis for warm starts. Bases referencing
+// artificial columns never occur here: phase 1 drives artificials out of the
+// basis or drops their rows (basis entry -1).
+func (p *Problem) snapshotBasis(ops []Op, basis []int) *Basis {
+	return &Basis{
+		numVars: len(p.obj),
+		ops:     append([]Op(nil), ops...),
+		cols:    append([]int(nil), basis...),
+	}
+}
+
+// warmPivotTol is the minimum pivot magnitude accepted when re-factorizing a
+// seeded basis; anything smaller is treated as singular.
+const warmPivotTol = 1e-9
+
+// warmSolve attempts a phase-2-only solve from the previous basis: rebuild
+// the slack-form tableau, make the seeded columns basic by Gauss-Jordan
+// elimination (with row swaps for stability), and — if the resulting basic
+// solution is primal feasible — iterate to optimality from there. Returns
+// ok=false when the seed is unusable and the caller must run cold.
+func (p *Problem) warmSolve(rows [][]float64, rhs []float64, nSlack int, prev *Basis) (*Result, bool) {
+	n := len(p.obj)
+	m := len(rows)
+	total := n + nSlack
+	for _, c := range prev.cols {
+		// -1 marks a row the previous solve dropped as redundant; its basis
+		// carries no usable column for that row, so start over cold.
+		if c < 0 || c >= total {
+			return nil, false
+		}
+	}
+
+	tab := make([][]float64, m)
+	slackAt := n
+	for i := range rows {
+		r := make([]float64, total+1)
+		copy(r, rows[i])
+		r[total] = rhs[i]
+		switch prev.ops[i] {
+		case LE:
+			r[slackAt] = 1
+			slackAt++
+		case GE:
+			r[slackAt] = -1
+			slackAt++
+		}
+		tab[i] = r
+	}
+
+	// Re-factorize: make prev.cols[i] basic in row i, swapping in the
+	// largest-magnitude row each step.
+	basis := make([]int, m)
+	pivots := 0
+	for i, col := range prev.cols {
+		best, bestAbs := -1, warmPivotTol
+		for r := i; r < m; r++ {
+			if a := math.Abs(tab[r][col]); a > bestAbs {
+				best, bestAbs = r, a
+			}
+		}
+		if best < 0 {
+			return nil, false // singular under this problem's coefficients
+		}
+		tab[i], tab[best] = tab[best], tab[i]
+		pivot(tab, basis, i, col)
+		pivots++
+	}
+
+	cost := make([]float64, total+1)
+	for j := 0; j < n; j++ {
+		if p.sense == Maximize {
+			cost[j] = -p.obj[j]
+		} else {
+			cost[j] = p.obj[j]
+		}
+	}
+	canonicalize(cost, tab, basis)
+
+	// Reset events move the binding constraints, so the seeded vertex is
+	// usually slightly primal infeasible; repair it with dual simplex
+	// pivots (the textbook warm-start move) before the primal cleanup.
+	dualIters := 0
+	if !primalFeasible(tab, total) {
+		ok := false
+		ok, dualIters = dualRestore(tab, basis, cost)
+		if !ok {
+			return nil, false
+		}
+	}
+	for i := range tab {
+		if tab[i][total] < 0 {
+			tab[i][total] = 0 // clamp roundoff so the ratio test stays sane
+		}
+	}
+
+	st, it := simplexIterate(tab, basis, cost, nil)
+	if st == IterationLimit {
+		// Let the cold path retry with fresh anti-cycling state.
+		return nil, false
+	}
+	iters := dualIters + it
+	res := &Result{Status: st, Iterations: iters, Pivots: pivots + iters, WarmStarted: true}
+	if st != Optimal {
+		return res, true // genuinely unbounded from a feasible basis
+	}
+	x := make([]float64, n)
+	for i, b := range basis {
+		if b >= 0 && b < n {
+			x[b] = tab[i][total]
+		}
+	}
+	obj := 0.0
+	for j, c := range p.obj {
+		obj += c * x[j]
+	}
+	res.X, res.Objective = x, obj
+	res.Basis = p.snapshotBasis(prev.ops, basis)
+	return res, true
+}
+
+// primalFeasible reports whether every rhs entry is non-negative (within
+// tolerance).
+func primalFeasible(tab [][]float64, total int) bool {
+	for i := range tab {
+		if tab[i][total] < -1e-9 {
+			return false
+		}
+	}
+	return true
+}
+
+// dualRestore runs dual simplex pivots until the basic solution is primal
+// feasible again: each iteration drives out the most-negative-rhs row,
+// entering the column that (approximately) least degrades the objective.
+// Reduced costs may be slightly dual infeasible after an objective
+// perturbation — negative entries are clamped to zero in the ratio test, and
+// the primal cleanup pass that follows restores exact optimality, so this
+// phase only needs to terminate, not to be optimal. Returns ok=false when a
+// row cannot be repaired (primal infeasible) or the iteration cap is hit.
+func dualRestore(tab [][]float64, basis []int, cost []float64) (bool, int) {
+	m := len(tab)
+	if m == 0 {
+		return true, 0
+	}
+	total := len(cost) - 1
+	cap := stallFactor * (m + total)
+	if cap < 500 {
+		cap = 500
+	}
+	for it := 0; it < cap; it++ {
+		leave, worst := -1, -1e-9
+		for i := 0; i < m; i++ {
+			if b := tab[i][total]; b < worst {
+				leave, worst = i, b
+			}
+		}
+		if leave == -1 {
+			return true, it
+		}
+		enter := -1
+		var bestRatio float64
+		row := tab[leave]
+		for j := 0; j < total; j++ {
+			a := row[j]
+			if a >= -eps {
+				continue
+			}
+			c := cost[j]
+			if c < 0 {
+				c = 0
+			}
+			r := c / -a
+			if enter == -1 || r < bestRatio-eps || (r < bestRatio+eps && j < enter) {
+				enter, bestRatio = j, r
+			}
+		}
+		if enter == -1 {
+			return false, it // row has no negative entry: primal infeasible
+		}
+		pivot(tab, basis, leave, enter)
+		if f := cost[enter]; f != 0 {
+			prow := tab[leave]
+			for j := range cost {
+				cost[j] -= f * prow[j]
+			}
+		}
+	}
+	return false, cap
 }
 
 // canonicalize subtracts multiples of the basic rows from cost so every

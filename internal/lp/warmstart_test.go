@@ -1,0 +1,179 @@
+package lp
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// randomProblem builds a feasible, bounded random LP: maximize a
+// non-negative objective under positive LE rows (x = 0 is feasible; positive
+// row coefficients on every variable keep the maximum finite).
+func randomProblem(rng *rand.Rand, n, m int) *Problem {
+	p := NewProblem(Maximize)
+	for j := 0; j < n; j++ {
+		p.AddVar(rng.Float64(), "")
+	}
+	for i := 0; i < m; i++ {
+		terms := make([]Term, n)
+		for j := 0; j < n; j++ {
+			terms[j] = Term{Var: j, Coeff: 0.1 + rng.Float64()}
+		}
+		p.AddConstraint(terms, LE, 1+rng.Float64())
+	}
+	return p
+}
+
+// perturb returns a copy of p with every objective and constraint
+// coefficient (and rhs) jittered by up to +-frac, preserving shape.
+func perturb(rng *rand.Rand, p *Problem, frac float64) *Problem {
+	q := NewProblem(p.sense)
+	for j := 0; j < p.NumVars(); j++ {
+		q.AddVar(p.obj[j]*jitter(rng, frac), "")
+	}
+	for _, c := range p.cons {
+		terms := make([]Term, len(c.terms))
+		for k, t := range c.terms {
+			terms[k] = Term{Var: t.Var, Coeff: t.Coeff * jitter(rng, frac)}
+		}
+		q.AddConstraint(terms, c.op, c.rhs*jitter(rng, frac))
+	}
+	return q
+}
+
+func jitter(rng *rand.Rand, frac float64) float64 {
+	return 1 + frac*(2*rng.Float64()-1)
+}
+
+// TestWarmStartMatchesCold is the warm-start correctness property: across
+// randomized perturbed problems, SolveFrom(prevBasis) and a cold Solve must
+// agree on status and objective (within 1e-9 relative).
+func TestWarmStartMatchesCold(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	warmStarted, totalWarmIters, totalColdIters := 0, 0, 0
+	for trial := 0; trial < 200; trial++ {
+		n := 2 + rng.Intn(12)
+		m := 1 + rng.Intn(10)
+		base := randomProblem(rng, n, m)
+		res0, err := base.Solve()
+		if err != nil {
+			t.Fatalf("trial %d: base solve: %v", trial, err)
+		}
+		if res0.Status != Optimal {
+			t.Fatalf("trial %d: base status %v", trial, res0.Status)
+		}
+		if res0.Basis == nil {
+			t.Fatalf("trial %d: optimal solve returned nil basis", trial)
+		}
+
+		next := perturb(rng, base, 0.05)
+		cold, err := next.Solve()
+		if err != nil {
+			t.Fatalf("trial %d: cold solve: %v", trial, err)
+		}
+		warm, err := next.SolveFrom(res0.Basis)
+		if err != nil {
+			t.Fatalf("trial %d: warm solve: %v", trial, err)
+		}
+		if warm.Status != cold.Status {
+			t.Fatalf("trial %d: warm status %v, cold %v", trial, warm.Status, cold.Status)
+		}
+		if cold.Status == Optimal {
+			scale := 1 + math.Abs(cold.Objective)
+			if diff := math.Abs(warm.Objective - cold.Objective); diff > 1e-9*scale {
+				t.Fatalf("trial %d: warm objective %v, cold %v (diff %v)",
+					trial, warm.Objective, cold.Objective, diff)
+			}
+		}
+		if warm.WarmStarted {
+			warmStarted++
+			totalWarmIters += warm.Iterations
+			totalColdIters += cold.Iterations
+		}
+	}
+	if warmStarted < 150 {
+		t.Fatalf("warm start engaged on only %d/200 perturbed solves", warmStarted)
+	}
+	if totalWarmIters >= totalColdIters {
+		t.Errorf("warm starts used %d iterations vs %d cold — no saving", totalWarmIters, totalColdIters)
+	}
+	t.Logf("warm-started %d/200; iterations warm=%d cold=%d", warmStarted, totalWarmIters, totalColdIters)
+}
+
+// TestWarmStartIdenticalProblem re-solves the same problem from its own
+// optimal basis: zero iterations, identical solution vector.
+func TestWarmStartIdenticalProblem(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	for trial := 0; trial < 50; trial++ {
+		p := randomProblem(rng, 3+rng.Intn(8), 2+rng.Intn(6))
+		cold, err := p.Solve()
+		if err != nil || cold.Status != Optimal {
+			t.Fatalf("trial %d: cold: %v %v", trial, err, cold.Status)
+		}
+		warm, err := p.SolveFrom(cold.Basis)
+		if err != nil {
+			t.Fatalf("trial %d: warm: %v", trial, err)
+		}
+		if !warm.WarmStarted {
+			t.Fatalf("trial %d: identical problem did not warm start", trial)
+		}
+		if warm.Iterations != 0 {
+			t.Errorf("trial %d: re-solve took %d iterations", trial, warm.Iterations)
+		}
+		for j := range cold.X {
+			if math.Abs(warm.X[j]-cold.X[j]) > 1e-9 {
+				t.Fatalf("trial %d: X[%d] warm %v cold %v", trial, j, warm.X[j], cold.X[j])
+			}
+		}
+	}
+}
+
+// TestWarmStartShapeMismatchFallsBack feeds a basis from a differently
+// shaped problem and checks the solver silently runs the cold path.
+func TestWarmStartShapeMismatchFallsBack(t *testing.T) {
+	rng := rand.New(rand.NewSource(13))
+	small := randomProblem(rng, 3, 2)
+	res, err := small.Solve()
+	if err != nil || res.Status != Optimal {
+		t.Fatalf("small solve: %v %v", err, res.Status)
+	}
+	big := randomProblem(rng, 5, 4)
+	warm, err := big.SolveFrom(res.Basis)
+	if err != nil {
+		t.Fatalf("mismatched warm solve: %v", err)
+	}
+	if warm.WarmStarted {
+		t.Fatal("shape-mismatched basis should not warm start")
+	}
+	if warm.Status != Optimal {
+		t.Fatalf("fallback status %v", warm.Status)
+	}
+}
+
+// TestWarmStartInfeasibleSeedFallsBack shrinks an rhs until the previous
+// optimal basis is primal infeasible, and checks the cold fallback still
+// finds the optimum.
+func TestWarmStartInfeasibleSeedFallsBack(t *testing.T) {
+	p := NewProblem(Maximize)
+	x := p.AddVar(1, "x")
+	y := p.AddVar(1, "y")
+	p.AddConstraint([]Term{{x, 1}, {y, 1}}, LE, 10)
+	p.AddConstraint([]Term{{x, 1}}, GE, 4)
+	res, err := p.Solve()
+	if err != nil || res.Status != Optimal {
+		t.Fatalf("base: %v %v", err, res.Status)
+	}
+
+	q := NewProblem(Maximize)
+	qx := q.AddVar(1, "x")
+	qy := q.AddVar(1, "y")
+	q.AddConstraint([]Term{{qx, 1}, {qy, 1}}, LE, 2)
+	q.AddConstraint([]Term{{qx, 1}}, GE, 4) // basis seeded from rhs=10 is infeasible now
+	warm, err := q.SolveFrom(res.Basis)
+	if err != nil {
+		t.Fatalf("warm: %v", err)
+	}
+	if warm.Status != Infeasible {
+		t.Fatalf("expected infeasible, got %v", warm.Status)
+	}
+}

@@ -21,7 +21,7 @@ type Agnostic struct {
 func (p *Agnostic) Name() string { return p.Inner.Name() + "_agnostic" }
 
 // Allocate implements Policy.
-func (p *Agnostic) Allocate(in *Input) (*core.Allocation, error) {
+func (p *Agnostic) Allocate(in *Input, ctx *SolveContext) (*core.Allocation, error) {
 	if err := in.validate(); err != nil {
 		return nil, err
 	}
@@ -43,7 +43,7 @@ func (p *Agnostic) Allocate(in *Input) (*core.Allocation, error) {
 		flat.Jobs[m] = j
 		flat.Units[m] = core.Single(m, ones)
 	}
-	alloc, err := p.Inner.Allocate(flat)
+	alloc, err := p.Inner.Allocate(flat, ctx)
 	if err != nil {
 		return nil, err
 	}

@@ -30,7 +30,7 @@ type AlloX struct {
 func (p *AlloX) Name() string { return "allox" }
 
 // Allocate implements Policy.
-func (p *AlloX) Allocate(in *Input) (*core.Allocation, error) {
+func (p *AlloX) Allocate(in *Input, _ *SolveContext) (*core.Allocation, error) {
 	if err := in.validate(); err != nil {
 		return nil, err
 	}

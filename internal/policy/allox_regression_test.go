@@ -10,7 +10,7 @@ func TestAlloXScarceTypeRegression(t *testing.T) {
 	// jobs runnable only on the single v100.
 	rng := rand.New(rand.NewSource(8848339008565410143))
 	in := randomInput(rng, 1+rng.Intn(7), 2+rng.Intn(2))
-	alloc, err := (&AlloX{}).Allocate(in)
+	alloc, err := (&AlloX{}).Allocate(in, nil)
 	if err != nil {
 		t.Fatalf("Allocate: %v", err)
 	}

@@ -1,0 +1,106 @@
+package policy
+
+import (
+	"gavel/internal/core"
+	"gavel/internal/lp"
+)
+
+// SolveContext carries per-policy state across Allocate calls so a reset
+// event (job arrival/completion, throughput update) does incremental work
+// instead of a cold rebuild. It caches the optimal simplex basis of every LP
+// a policy solves (keyed by a policy-chosen label), the previous allocation,
+// and solve statistics. A nil *SolveContext is valid everywhere and selects
+// the cold path, so callers that do not persist state pass nil.
+//
+// Contexts are not safe for concurrent use; each simulation or scheduler
+// instance owns one.
+type SolveContext struct {
+	bases map[string]*lp.Basis
+	// Prev is the allocation returned by the previous Allocate call, and
+	// PrevJobIDs the job IDs (in input order) it was computed for; both are
+	// set by the driver (e.g. the simulator). No policy consumes them yet:
+	// they are the inputs the planned cross-reset basis remapping needs to
+	// interpret a cached basis after the job set changes (see ROADMAP.md),
+	// recorded now so drivers already maintain the invariant.
+	Prev       *core.Allocation
+	PrevJobIDs []int
+	// Stats accumulates solve accounting across the context's lifetime.
+	Stats SolveStats
+	// NoWarm disables warm starting while keeping the accounting: every
+	// solve runs the cold two-phase path. Used to measure the cold
+	// baseline's iteration counts in benchmarks.
+	NoWarm bool
+}
+
+// SolveStats counts LP work issued through a SolveContext.
+type SolveStats struct {
+	Solves       int // LP solves issued (including fractional programs)
+	WarmAttempts int // solves that had a cached basis to seed from
+	WarmHits     int // solves that actually ran warm (no cold fallback)
+	Iterations   int // simplex iterations across all solves
+	Pivots       int // tableau pivots across all solves
+}
+
+// NewSolveContext returns an empty context.
+func NewSolveContext() *SolveContext {
+	return &SolveContext{bases: map[string]*lp.Basis{}}
+}
+
+// Solve solves p, warm-starting from the basis cached under key when the
+// shapes match, and caches the new optimal basis for the next call with the
+// same key. With a nil receiver it is exactly p.Solve().
+func (c *SolveContext) Solve(key string, p *lp.Problem) (*lp.Result, error) {
+	if c == nil {
+		return p.Solve()
+	}
+	c.Stats.Solves++
+	prev := c.bases[key]
+	if c.NoWarm {
+		prev = nil
+	}
+	if prev != nil {
+		c.Stats.WarmAttempts++
+	}
+	res, err := p.SolveFrom(prev)
+	if err != nil {
+		return res, err
+	}
+	if res.WarmStarted {
+		c.Stats.WarmHits++
+	}
+	c.Stats.Iterations += res.Iterations
+	c.Stats.Pivots += res.Pivots
+	if res.Status == lp.Optimal && res.Basis != nil {
+		c.bases[key] = res.Basis
+	}
+	return res, nil
+}
+
+// SolveFractional solves the linear-fractional program with the same basis
+// caching as Solve, keyed on the transformed LP's shape.
+func (c *SolveContext) SolveFractional(key string, f *lp.Fractional) ([]float64, float64, error) {
+	if c == nil {
+		x, ratio, err := lp.SolveFractional(f)
+		return x, ratio, err
+	}
+	c.Stats.Solves++
+	prev := c.bases[key]
+	if c.NoWarm {
+		prev = nil
+	}
+	if prev != nil {
+		c.Stats.WarmAttempts++
+	}
+	x, ratio, res, err := lp.SolveFractionalFrom(f, prev)
+	if res != nil {
+		if res.WarmStarted {
+			c.Stats.WarmHits++
+		}
+		c.Stats.Iterations += res.Iterations
+		c.Stats.Pivots += res.Pivots
+		if res.Status == lp.Optimal && res.Basis != nil {
+			c.bases[key] = res.Basis
+		}
+	}
+	return x, ratio, err
+}

@@ -33,7 +33,7 @@ func (p *MinCost) Name() string {
 }
 
 // Allocate implements Policy.
-func (p *MinCost) Allocate(in *Input) (*core.Allocation, error) {
+func (p *MinCost) Allocate(in *Input, ctx *SolveContext) (*core.Allocation, error) {
 	if err := in.validate(); err != nil {
 		return nil, err
 	}
@@ -186,7 +186,7 @@ func (p *MinCost) Allocate(in *Input) (*core.Allocation, error) {
 				Terms: throughputTerms(s.job), Op: lp.GE, RHS: s.need,
 			})
 		}
-		x, _, err := lp.SolveFractional(f)
+		x, _, err := ctx.SolveFractional("mincost", f)
 		return x, err
 	}
 	nSLO := len(slos)
@@ -227,7 +227,7 @@ type MaxTotalThroughput struct{}
 func (MaxTotalThroughput) Name() string { return "max_total_throughput" }
 
 // Allocate implements Policy.
-func (MaxTotalThroughput) Allocate(in *Input) (*core.Allocation, error) {
+func (MaxTotalThroughput) Allocate(in *Input, ctx *SolveContext) (*core.Allocation, error) {
 	if err := in.validate(); err != nil {
 		return nil, err
 	}
@@ -244,7 +244,7 @@ func (MaxTotalThroughput) Allocate(in *Input) (*core.Allocation, error) {
 			pr.P.AddObj(tm.Var, tm.Coeff)
 		}
 	}
-	res, err := pr.P.Solve()
+	res, err := ctx.Solve("maxtput", pr.P)
 	if err != nil {
 		return nil, fmt.Errorf("max_total_throughput LP: %w", err)
 	}

@@ -21,7 +21,7 @@ type FIFO struct{}
 func (FIFO) Name() string { return "fifo" }
 
 // Allocate implements Policy.
-func (FIFO) Allocate(in *Input) (*core.Allocation, error) {
+func (FIFO) Allocate(in *Input, ctx *SolveContext) (*core.Allocation, error) {
 	if err := in.validate(); err != nil {
 		return nil, err
 	}
@@ -49,7 +49,7 @@ func (FIFO) Allocate(in *Input) (*core.Allocation, error) {
 			pr.P.AddObj(tm.Var, tm.Coeff)
 		}
 	}
-	res, err := pr.P.Solve()
+	res, err := ctx.Solve("fifo", pr.P)
 	if err != nil {
 		return nil, fmt.Errorf("fifo LP: %w", err)
 	}
@@ -68,7 +68,7 @@ type ShortestJobFirst struct{}
 func (ShortestJobFirst) Name() string { return "shortest_job_first" }
 
 // Allocate implements Policy.
-func (ShortestJobFirst) Allocate(in *Input) (*core.Allocation, error) {
+func (ShortestJobFirst) Allocate(in *Input, ctx *SolveContext) (*core.Allocation, error) {
 	if err := in.validate(); err != nil {
 		return nil, err
 	}
@@ -108,7 +108,7 @@ func (ShortestJobFirst) Allocate(in *Input) (*core.Allocation, error) {
 			pr.P.AddObj(tm.Var, tm.Coeff)
 		}
 	}
-	res, err := pr.P.Solve()
+	res, err := ctx.Solve("sjf", pr.P)
 	if err != nil {
 		return nil, fmt.Errorf("sjf LP: %w", err)
 	}

@@ -34,7 +34,7 @@ type FinishTimeFairness struct {
 func (p *FinishTimeFairness) Name() string { return "finish_time_fairness" }
 
 // Allocate implements Policy.
-func (p *FinishTimeFairness) Allocate(in *Input) (*core.Allocation, error) {
+func (p *FinishTimeFairness) Allocate(in *Input, ctx *SolveContext) (*core.Allocation, error) {
 	if err := in.validate(); err != nil {
 		return nil, err
 	}
@@ -88,7 +88,7 @@ func (p *FinishTimeFairness) Allocate(in *Input) (*core.Allocation, error) {
 			}
 			pr.P.AddConstraint(terms, lp.GE, need)
 		}
-		res, err := pr.P.Solve()
+		res, err := ctx.Solve("ftf/feas", pr.P)
 		if err != nil || res.Status != lp.Optimal {
 			return nil, false
 		}

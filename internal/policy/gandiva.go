@@ -39,14 +39,14 @@ func NewGandivaSpaceSharing(seed int64) *GandivaSpaceSharing {
 func (p *GandivaSpaceSharing) Name() string { return "gandiva_ss" }
 
 // Allocate implements Policy.
-func (p *GandivaSpaceSharing) Allocate(in *Input) (*core.Allocation, error) {
+func (p *GandivaSpaceSharing) Allocate(in *Input, ctx *SolveContext) (*core.Allocation, error) {
 	if p.rng == nil {
 		p.rng = rand.New(rand.NewSource(p.Seed))
 	}
 	if p.matched == nil {
 		p.matched = map[[2]int]bool{}
 	}
-	alloc, err := p.base.Allocate(in)
+	alloc, err := p.base.Allocate(in, ctx)
 	if err != nil {
 		return nil, err
 	}

@@ -56,7 +56,7 @@ func WaterFilledMaxMin() *Hierarchical {
 }
 
 // Allocate implements Policy.
-func (p *Hierarchical) Allocate(in *Input) (*core.Allocation, error) {
+func (p *Hierarchical) Allocate(in *Input, ctx *SolveContext) (*core.Allocation, error) {
 	if err := in.validate(); err != nil {
 		return nil, err
 	}
@@ -98,14 +98,14 @@ func (p *Hierarchical) Allocate(in *Input) (*core.Allocation, error) {
 			break
 		}
 
-		alloc, achieved, err := p.solveIteration(in, wjob, norm, frozen, floor, prev)
+		alloc, achieved, err := p.solveIteration(in, ctx, wjob, norm, frozen, floor, prev)
 		if err != nil {
 			return nil, fmt.Errorf("hierarchical iteration %d: %w", iter, err)
 		}
 		lastAlloc = alloc
 		prev = achieved
 
-		newlyFrozen := p.findBottlenecks(in, wjob, norm, frozen, floor, achieved)
+		newlyFrozen := p.findBottlenecks(in, ctx, wjob, norm, frozen, floor, achieved)
 		if len(newlyFrozen) == 0 {
 			// Nothing else can be distinguished: freeze everything active.
 			for m := range wjob {
@@ -216,7 +216,7 @@ func (p *Hierarchical) jobWeights(in *Input, entities []entityGroup, frozen []bo
 // cumulative share proportional to its weight: every iteration distributes
 // the remaining capacity across entities in weight ratio. Returns the
 // allocation and every job's achieved normalized throughput.
-func (p *Hierarchical) solveIteration(in *Input, wjob, norm []float64, frozen []bool, floor, prev []float64) (*core.Allocation, []float64, error) {
+func (p *Hierarchical) solveIteration(in *Input, ctx *SolveContext, wjob, norm []float64, frozen []bool, floor, prev []float64) (*core.Allocation, []float64, error) {
 	pr := core.NewProgram(lp.Maximize, in.Units, in.scaleFactors(), in.Workers)
 	t := pr.P.AddVar(1, "t")
 	for m := range in.Jobs {
@@ -242,7 +242,7 @@ func (p *Hierarchical) solveIteration(in *Input, wjob, norm []float64, frozen []
 			pr.P.AddConstraint(terms, lp.GE, prev[m]*(1-1e-6))
 		}
 	}
-	res, err := pr.P.Solve()
+	res, err := ctx.Solve("hier/iter", pr.P)
 	if err != nil {
 		return nil, nil, err
 	}
@@ -264,7 +264,7 @@ func (p *Hierarchical) solveIteration(in *Input, wjob, norm []float64, frozen []
 }
 
 // findBottlenecks returns the active jobs to freeze after an iteration.
-func (p *Hierarchical) findBottlenecks(in *Input, wjob, norm []float64, frozen []bool, floor, achieved []float64) []int {
+func (p *Hierarchical) findBottlenecks(in *Input, ctx *SolveContext, wjob, norm []float64, frozen []bool, floor, achieved []float64) []int {
 	if p.UseMILP {
 		if out, ok := p.milpBottlenecks(in, wjob, norm, frozen, floor, achieved); ok {
 			return out
@@ -302,7 +302,7 @@ func (p *Hierarchical) findBottlenecks(in *Input, wjob, norm []float64, frozen [
 			pr.P.AddConstraint(terms, lp.GE, achieved[m]*(1-1e-6))
 		}
 	}
-	res, err := pr.P.Solve()
+	res, err := ctx.Solve("hier/bn", pr.P)
 	if err != nil || res.Status != lp.Optimal {
 		// Numerical trouble: freeze everything so the caller terminates.
 		var out []int

@@ -34,7 +34,7 @@ func identicalJobsInput(n, k int, weights []float64) *Input {
 // GPUs.
 func TestWaterFillingPaperExample(t *testing.T) {
 	in := identicalJobsInput(4, 4, []float64{3, 1, 1, 1})
-	alloc, err := WaterFilledMaxMin().Allocate(in)
+	alloc, err := WaterFilledMaxMin().Allocate(in, nil)
 	if err != nil {
 		t.Fatalf("Allocate: %v", err)
 	}
@@ -54,7 +54,7 @@ func TestWaterFillingPaperExample(t *testing.T) {
 // improves non-bottlenecked jobs.
 func TestWaterFillingImprovesOverSingleShot(t *testing.T) {
 	in := identicalJobsInput(4, 4, []float64{3, 1, 1, 1})
-	wf, err := WaterFilledMaxMin().Allocate(in)
+	wf, err := WaterFilledMaxMin().Allocate(in, nil)
 	if err != nil {
 		t.Fatalf("water-filled: %v", err)
 	}
@@ -75,7 +75,7 @@ func TestHierarchicalEntityWeights(t *testing.T) {
 		in.Jobs[m].Entity = m % 2
 	}
 	pol := &Hierarchical{EntityWeight: map[int]float64{0: 1, 1: 2}}
-	alloc, err := pol.Allocate(in)
+	alloc, err := pol.Allocate(in, nil)
 	if err != nil {
 		t.Fatalf("Allocate: %v", err)
 	}
@@ -91,7 +91,7 @@ func TestHierarchicalFIFOEntity(t *testing.T) {
 	// (nearly) the whole device.
 	in := identicalJobsInput(3, 1, nil)
 	pol := &Hierarchical{EntityPolicyOf: map[int]EntityPolicy{0: EntityFIFO}}
-	alloc, err := pol.Allocate(in)
+	alloc, err := pol.Allocate(in, nil)
 	if err != nil {
 		t.Fatalf("Allocate: %v", err)
 	}
@@ -106,7 +106,7 @@ func TestHierarchicalMILPMatchesHeuristic(t *testing.T) {
 	for _, useMILP := range []bool{false, true} {
 		in := identicalJobsInput(4, 4, []float64{3, 1, 1, 1})
 		pol := &Hierarchical{UseMILP: useMILP}
-		alloc, err := pol.Allocate(in)
+		alloc, err := pol.Allocate(in, nil)
 		if err != nil {
 			t.Fatalf("UseMILP=%v: %v", useMILP, err)
 		}
@@ -127,7 +127,7 @@ func TestHierarchicalHeterogeneousEntities(t *testing.T) {
 	in.Jobs[1].Entity = 1
 	in.Jobs[2].Entity = 1
 	pol := &Hierarchical{EntityWeight: map[int]float64{0: 1, 1: 1}}
-	alloc, err := pol.Allocate(in)
+	alloc, err := pol.Allocate(in, nil)
 	if err != nil {
 		t.Fatalf("Allocate: %v", err)
 	}
@@ -146,7 +146,7 @@ func TestHierarchicalHeterogeneousEntities(t *testing.T) {
 // fully allocated when every job still wants time.
 func TestWaterFilledAllocationIsWorkConserving(t *testing.T) {
 	in := paperExampleInput()
-	alloc, err := WaterFilledMaxMin().Allocate(in)
+	alloc, err := WaterFilledMaxMin().Allocate(in, nil)
 	if err != nil {
 		t.Fatalf("Allocate: %v", err)
 	}

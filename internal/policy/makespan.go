@@ -26,7 +26,7 @@ type Makespan struct{}
 func (Makespan) Name() string { return "min_makespan" }
 
 // Allocate implements Policy.
-func (Makespan) Allocate(in *Input) (*core.Allocation, error) {
+func (Makespan) Allocate(in *Input, ctx *SolveContext) (*core.Allocation, error) {
 	if err := in.validate(); err != nil {
 		return nil, err
 	}
@@ -50,7 +50,7 @@ func (Makespan) Allocate(in *Input) (*core.Allocation, error) {
 	if nConstrained == 0 {
 		return emptyAllocation(in), nil
 	}
-	res, err := pr.P.Solve()
+	res, err := ctx.Solve("makespan/z", pr.P)
 	if err != nil {
 		return nil, fmt.Errorf("makespan LP: %w", err)
 	}
@@ -79,7 +79,7 @@ func (Makespan) Allocate(in *Input) (*core.Allocation, error) {
 			pr2.P.AddConstraint(terms, lp.GE, steps*zStar*(1-1e-6))
 		}
 	}
-	res2, err := pr2.P.Solve()
+	res2, err := ctx.Solve("makespan/refine", pr2.P)
 	if err != nil || res2.Status != lp.Optimal {
 		return pr.Extract(res.X), nil
 	}

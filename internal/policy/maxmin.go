@@ -28,7 +28,7 @@ type MaxMinFairness struct {
 func (p *MaxMinFairness) Name() string { return "max_min_fairness" }
 
 // Allocate implements Policy.
-func (p *MaxMinFairness) Allocate(in *Input) (*core.Allocation, error) {
+func (p *MaxMinFairness) Allocate(in *Input, ctx *SolveContext) (*core.Allocation, error) {
 	if err := in.validate(); err != nil {
 		return nil, err
 	}
@@ -51,7 +51,7 @@ func (p *MaxMinFairness) Allocate(in *Input) (*core.Allocation, error) {
 		terms = append(terms, lp.Term{Var: t, Coeff: -1})
 		pr.P.AddConstraint(terms, lp.GE, 0)
 	}
-	res, err := pr.P.Solve()
+	res, err := ctx.Solve("maxmin/minmax", pr.P)
 	if err != nil {
 		return nil, fmt.Errorf("max-min LP: %w", err)
 	}
@@ -73,7 +73,7 @@ func (p *MaxMinFairness) Allocate(in *Input) (*core.Allocation, error) {
 		}
 		pr2.P.AddConstraint(terms, lp.GE, tStar*(1-1e-6))
 	}
-	res2, err := pr2.P.Solve()
+	res2, err := ctx.Solve("maxmin/refine", pr2.P)
 	if err != nil || res2.Status != lp.Optimal {
 		// The floor should always be feasible; fall back to pass 1 if the
 		// refinement hits numerical trouble.

@@ -32,7 +32,7 @@ func (p *PlacementAwareMaxMin) Name() string { return "max_min_fairness_placemen
 // Allocate implements Policy. Pair units are not supported in combination
 // with placement splitting (the paper evaluates SS for single-worker jobs,
 // which are placement-insensitive); pairs in the input are ignored.
-func (p *PlacementAwareMaxMin) Allocate(in *Input) (*core.Allocation, error) {
+func (p *PlacementAwareMaxMin) Allocate(in *Input, ctx *SolveContext) (*core.Allocation, error) {
 	if err := in.validate(); err != nil {
 		return nil, err
 	}
@@ -104,7 +104,7 @@ func (p *PlacementAwareMaxMin) Allocate(in *Input) (*core.Allocation, error) {
 	if !any {
 		return emptyAllocation(in), nil
 	}
-	res, err := pr.P.Solve()
+	res, err := ctx.Solve("placement", pr.P)
 	if err != nil {
 		return nil, fmt.Errorf("placement max-min LP: %w", err)
 	}

@@ -32,7 +32,7 @@ func placementInput() (*Input, *PlacementAwareMaxMin) {
 
 func TestPlacementAwareAllocationValid(t *testing.T) {
 	in, pol := placementInput()
-	alloc, err := pol.Allocate(in)
+	alloc, err := pol.Allocate(in, nil)
 	if err != nil {
 		t.Fatalf("Allocate: %v", err)
 	}
@@ -51,11 +51,11 @@ func TestPlacementAwareBeatsConservativeDefault(t *testing.T) {
 	// least the objective of the plain (consolidated-only) policy — the
 	// virtual columns only add options.
 	in, pol := placementInput()
-	placed, err := pol.Allocate(in)
+	placed, err := pol.Allocate(in, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
-	plain, err := (&MaxMinFairness{}).Allocate(in)
+	plain, err := (&MaxMinFairness{}).Allocate(in, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -84,11 +84,11 @@ func TestPlacementAwareSingleWorkerMatchesPlain(t *testing.T) {
 	// policy must reach the same objective as the plain one.
 	in := paperExampleInput()
 	pol := &PlacementAwareMaxMin{}
-	placed, err := pol.Allocate(in)
+	placed, err := pol.Allocate(in, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
-	plain, err := (&MaxMinFairness{}).Allocate(in)
+	plain, err := (&MaxMinFairness{}).Allocate(in, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -106,7 +106,7 @@ func TestPlacementAwareDefaultSpreadFactor(t *testing.T) {
 	// conservative default and the policy still produces valid output.
 	in, _ := placementInput()
 	pol := &PlacementAwareMaxMin{} // no data
-	alloc, err := pol.Allocate(in)
+	alloc, err := pol.Allocate(in, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -147,7 +147,7 @@ func TestPlacementAwareWithOracleData(t *testing.T) {
 		uncons[m] = un
 	}
 	pol := &PlacementAwareMaxMin{UnconsolidatedTput: uncons}
-	alloc, err := pol.Allocate(in)
+	alloc, err := pol.Allocate(in, nil)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -58,9 +58,15 @@ type Input struct {
 }
 
 // Policy computes an allocation over in.Units for a cluster-wide objective.
+//
+// ctx, when non-nil, carries persistent per-policy state across calls —
+// cached simplex bases, the previous allocation, solve statistics — so a
+// reset event (job arrival/completion, throughput update) does incremental
+// work instead of a cold rebuild. A nil ctx always selects the stateless
+// cold path and is valid for every policy.
 type Policy interface {
 	Name() string
-	Allocate(in *Input) (*core.Allocation, error)
+	Allocate(in *Input, ctx *SolveContext) (*core.Allocation, error)
 }
 
 // scaleFactors extracts the per-job scale-factor slice the core constraint

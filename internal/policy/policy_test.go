@@ -54,7 +54,7 @@ func randomInput(rng *rand.Rand, nJobs, nTypes int) *Input {
 
 func TestMaxMinPaperExample(t *testing.T) {
 	in := paperExampleInput()
-	alloc, err := (&MaxMinFairness{}).Allocate(in)
+	alloc, err := (&MaxMinFairness{}).Allocate(in, nil)
 	if err != nil {
 		t.Fatalf("Allocate: %v", err)
 	}
@@ -79,7 +79,7 @@ func TestMaxMinSharingIncentive(t *testing.T) {
 		rng := rand.New(rand.NewSource(seed))
 		n := 1 + rng.Intn(6)
 		in := randomInput(rng, n, 2+rng.Intn(2))
-		alloc, err := (&MaxMinFairness{}).Allocate(in)
+		alloc, err := (&MaxMinFairness{}).Allocate(in, nil)
 		if err != nil {
 			return false
 		}
@@ -111,7 +111,7 @@ func TestMaxMinSharingIncentive(t *testing.T) {
 func TestMaxMinRespectsWeights(t *testing.T) {
 	in := paperExampleInput()
 	in.Jobs[0].Weight = 3 // job 0 deserves 3x the normalized throughput
-	alloc, err := (&MaxMinFairness{}).Allocate(in)
+	alloc, err := (&MaxMinFairness{}).Allocate(in, nil)
 	if err != nil {
 		t.Fatalf("Allocate: %v", err)
 	}
@@ -126,7 +126,7 @@ func TestMaxMinPriorities(t *testing.T) {
 	in := paperExampleInput()
 	in.Jobs[2].Priority = 5
 	pol := &MaxMinFairness{UsePriorities: true}
-	alloc, err := pol.Allocate(in)
+	alloc, err := pol.Allocate(in, nil)
 	if err != nil {
 		t.Fatalf("Allocate: %v", err)
 	}
@@ -139,7 +139,7 @@ func TestMaxMinPriorities(t *testing.T) {
 
 func TestFIFOPrefersEarlierJobs(t *testing.T) {
 	in := paperExampleInput()
-	alloc, err := (FIFO{}).Allocate(in)
+	alloc, err := (FIFO{}).Allocate(in, nil)
 	if err != nil {
 		t.Fatalf("Allocate: %v", err)
 	}
@@ -154,7 +154,7 @@ func TestFIFOPrefersEarlierJobs(t *testing.T) {
 
 func TestMakespanBeatsAgnosticOnExample(t *testing.T) {
 	in := paperExampleInput()
-	aware, err := (Makespan{}).Allocate(in)
+	aware, err := (Makespan{}).Allocate(in, nil)
 	if err != nil {
 		t.Fatalf("Allocate: %v", err)
 	}
@@ -163,7 +163,7 @@ func TestMakespanBeatsAgnosticOnExample(t *testing.T) {
 	}
 	mkAware := MakespanValue(in, aware)
 
-	agn, err := (&Agnostic{Inner: Makespan{}}).Allocate(in)
+	agn, err := (&Agnostic{Inner: Makespan{}}).Allocate(in, nil)
 	if err != nil {
 		t.Fatalf("agnostic: %v", err)
 	}
@@ -183,7 +183,7 @@ func TestPropertyMakespanOptimal(t *testing.T) {
 	f := func(seed int64) bool {
 		rng := rand.New(rand.NewSource(seed))
 		in := randomInput(rng, 1+rng.Intn(5), 2)
-		alloc, err := (Makespan{}).Allocate(in)
+		alloc, err := (Makespan{}).Allocate(in, nil)
 		if err != nil {
 			return false
 		}
@@ -219,7 +219,7 @@ func TestPropertyMakespanOptimal(t *testing.T) {
 func TestFinishTimeFairness(t *testing.T) {
 	in := paperExampleInput()
 	pol := &FinishTimeFairness{}
-	alloc, err := pol.Allocate(in)
+	alloc, err := pol.Allocate(in, nil)
 	if err != nil {
 		t.Fatalf("Allocate: %v", err)
 	}
@@ -242,7 +242,7 @@ func TestFinishTimeFairness(t *testing.T) {
 func TestShortestJobFirst(t *testing.T) {
 	in := paperExampleInput()
 	in.Jobs[2].RemainingSteps = 10 // job 2 is now by far the shortest
-	alloc, err := (ShortestJobFirst{}).Allocate(in)
+	alloc, err := (ShortestJobFirst{}).Allocate(in, nil)
 	if err != nil {
 		t.Fatalf("Allocate: %v", err)
 	}
@@ -254,7 +254,7 @@ func TestShortestJobFirst(t *testing.T) {
 
 func TestMaxTotalThroughput(t *testing.T) {
 	in := paperExampleInput()
-	alloc, err := (MaxTotalThroughput{}).Allocate(in)
+	alloc, err := (MaxTotalThroughput{}).Allocate(in, nil)
 	if err != nil {
 		t.Fatalf("Allocate: %v", err)
 	}
@@ -280,7 +280,7 @@ func TestMinCostPrefersCheapEfficientPlacement(t *testing.T) {
 	in.Jobs = append(in.Jobs, JobInfo{ID: 0, Weight: 1, ScaleFactor: 1, Tput: tp,
 		RemainingSteps: 1000, TotalSteps: 1000, NumActiveJobs: 1})
 	in.Units = append(in.Units, core.Single(0, tp))
-	alloc, err := (&MinCost{}).Allocate(in)
+	alloc, err := (&MinCost{}).Allocate(in, nil)
 	if err != nil {
 		t.Fatalf("Allocate: %v", err)
 	}
@@ -296,7 +296,7 @@ func TestMinCostSLOForcesFastGPU(t *testing.T) {
 	in.Jobs = append(in.Jobs, JobInfo{ID: 0, Weight: 1, ScaleFactor: 1, Tput: tp,
 		RemainingSteps: 1000, TotalSteps: 1000, SLORemaining: 600, NumActiveJobs: 1})
 	in.Units = append(in.Units, core.Single(0, tp))
-	alloc, err := (&MinCost{EnforceSLOs: true}).Allocate(in)
+	alloc, err := (&MinCost{EnforceSLOs: true}).Allocate(in, nil)
 	if err != nil {
 		t.Fatalf("Allocate: %v", err)
 	}
@@ -308,7 +308,7 @@ func TestMinCostSLOForcesFastGPU(t *testing.T) {
 
 func TestAgnosticSpreadsAcrossTypes(t *testing.T) {
 	in := paperExampleInput()
-	alloc, err := (&Agnostic{Inner: &MaxMinFairness{}}).Allocate(in)
+	alloc, err := (&Agnostic{Inner: &MaxMinFairness{}}).Allocate(in, nil)
 	if err != nil {
 		t.Fatalf("Allocate: %v", err)
 	}
@@ -327,7 +327,7 @@ func TestAgnosticSpreadsAcrossTypes(t *testing.T) {
 func TestAlloXSchedulesShortJobsFirst(t *testing.T) {
 	in := paperExampleInput()
 	in.Jobs[1].RemainingSteps = 10 // very short
-	alloc, err := (&AlloX{}).Allocate(in)
+	alloc, err := (&AlloX{}).Allocate(in, nil)
 	if err != nil {
 		t.Fatalf("Allocate: %v", err)
 	}
@@ -350,7 +350,7 @@ func TestGandivaKeepsProfitablePairs(t *testing.T) {
 	)
 	pol := NewGandivaSpaceSharing(7)
 	pol.TriesPerRound = 64
-	alloc, err := pol.Allocate(in)
+	alloc, err := pol.Allocate(in, nil)
 	if err != nil {
 		t.Fatalf("Allocate: %v", err)
 	}
@@ -380,7 +380,7 @@ func TestEmptyInputs(t *testing.T) {
 		NewGandivaSpaceSharing(1),
 	}
 	for _, p := range pols {
-		alloc, err := p.Allocate(empty)
+		alloc, err := p.Allocate(empty, nil)
 		if err != nil {
 			t.Fatalf("%s on empty input: %v", p.Name(), err)
 		}
@@ -404,7 +404,7 @@ func TestPropertyAllPoliciesProduceValidAllocations(t *testing.T) {
 		rng := rand.New(rand.NewSource(seed))
 		in := randomInput(rng, 1+rng.Intn(7), 2+rng.Intn(2))
 		for _, p := range pols {
-			alloc, err := p.Allocate(in)
+			alloc, err := p.Allocate(in, nil)
 			if err != nil {
 				t.Logf("%s: %v", p.Name(), err)
 				return false
@@ -424,7 +424,7 @@ func TestPropertyAllPoliciesProduceValidAllocations(t *testing.T) {
 func TestValidateRejectsMalformedInput(t *testing.T) {
 	in := paperExampleInput()
 	in.Units = in.Units[:1] // fewer units than jobs
-	if _, err := (&MaxMinFairness{}).Allocate(in); err == nil {
+	if _, err := (&MaxMinFairness{}).Allocate(in, nil); err == nil {
 		t.Fatal("want validation error")
 	}
 }

@@ -31,12 +31,12 @@ func withPairs(in *Input, pairs [][2]int) *Input {
 func TestSSAwareMaxMinUsesPairsUnderContention(t *testing.T) {
 	// 3 jobs, 1 device of each of 2 types: heavy contention.
 	base := paperExampleInput()
-	plain, err := (&MaxMinFairness{}).Allocate(base)
+	plain, err := (&MaxMinFairness{}).Allocate(base, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
 	ss := withPairs(paperExampleInput(), [][2]int{{0, 1}, {1, 2}, {0, 2}})
-	packed, err := (&MaxMinFairness{}).Allocate(ss)
+	packed, err := (&MaxMinFairness{}).Allocate(ss, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -85,7 +85,7 @@ func TestPropertySSAllocationsValid(t *testing.T) {
 		}
 		in = withPairs(in, pairs)
 		for _, p := range pols {
-			alloc, err := p.Allocate(in)
+			alloc, err := p.Allocate(in, nil)
 			if err != nil {
 				return false
 			}
@@ -109,12 +109,12 @@ func TestPropertySSAllocationsValid(t *testing.T) {
 // least as good as without colocation" — checked for the makespan policy.
 func TestColocationNeverHurtsMakespan(t *testing.T) {
 	base := paperExampleInput()
-	plain, err := (Makespan{}).Allocate(base)
+	plain, err := (Makespan{}).Allocate(base, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
 	ss := withPairs(paperExampleInput(), [][2]int{{0, 1}})
-	packed, err := (Makespan{}).Allocate(ss)
+	packed, err := (Makespan{}).Allocate(ss, nil)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -1,0 +1,188 @@
+package simulator
+
+import (
+	"math"
+	"testing"
+
+	"gavel/internal/cluster"
+	"gavel/internal/core"
+	"gavel/internal/policy"
+	"gavel/internal/scheduler"
+	"gavel/internal/workload"
+)
+
+// roundTrace records the allocation in force at every executed round.
+type roundTrace struct {
+	units [][]int     // per round: flattened unit member lists
+	x     [][]float64 // per round: flattened X matrix
+}
+
+func captureRounds(tr *roundTrace) func(float64, *core.Allocation, []int, []scheduler.Assignment) {
+	return func(now float64, alloc *core.Allocation, active []int, assigns []scheduler.Assignment) {
+		var units []int
+		var x []float64
+		for ui := range alloc.Units {
+			units = append(units, alloc.Units[ui].Jobs...)
+			units = append(units, -1) // separator
+			x = append(x, alloc.X[ui]...)
+		}
+		tr.units = append(tr.units, units)
+		tr.x = append(tr.x, x)
+	}
+}
+
+// TestIncrementalMatchesColdSolves is the end-to-end equivalence check for
+// the incremental allocation pipeline: a simulation using the persistent
+// solve context (warm-started LPs, cached throughput matrices) must produce
+// the same per-round allocations as the stateless cold pipeline, within
+// 1e-6, while actually exercising warm starts.
+func TestIncrementalMatchesColdSolves(t *testing.T) {
+	trace := workload.GenerateTrace(workload.TraceOptions{NumJobs: 40, LambdaPerHour: 3, Seed: 7})
+	// Distinct weights break allocation symmetry between identically
+	// configured jobs, so the LP optimum each round is unique and the warm
+	// and cold pivot paths must land on the same vertex.
+	for i := range trace {
+		trace[i].Weight = 1 + 0.01*float64(i)
+	}
+
+	base := Config{
+		Cluster: cluster.Simulated108(), Policy: &policy.MaxMinFairness{},
+		Trace: trace, RoundSeconds: 360, Seed: 7,
+		// Periodic reallocs create consecutive same-shaped solves, the case
+		// warm starts accelerate; event-driven reallocs change the LP shape.
+		ReallocEveryRounds: 2,
+	}
+
+	var warm, cold roundTrace
+	warmCfg := base
+	warmCfg.OnRound = captureRounds(&warm)
+	warmRes, err := Run(warmCfg)
+	if err != nil {
+		t.Fatalf("warm run: %v", err)
+	}
+	coldCfg := base
+	coldCfg.ColdSolves = true
+	coldCfg.OnRound = captureRounds(&cold)
+	coldRes, err := Run(coldCfg)
+	if err != nil {
+		t.Fatalf("cold run: %v", err)
+	}
+
+	if warmRes.WarmSolves == 0 {
+		t.Fatal("incremental run never warm-started a solve")
+	}
+	if warmRes.Rounds != coldRes.Rounds {
+		t.Fatalf("round counts diverged: warm %d cold %d", warmRes.Rounds, coldRes.Rounds)
+	}
+	if len(warm.x) != len(cold.x) {
+		t.Fatalf("captured %d warm rounds, %d cold", len(warm.x), len(cold.x))
+	}
+	for r := range warm.x {
+		if len(warm.units[r]) != len(cold.units[r]) {
+			t.Fatalf("round %d: unit structure diverged", r)
+		}
+		for k := range warm.units[r] {
+			if warm.units[r][k] != cold.units[r][k] {
+				t.Fatalf("round %d: unit members diverged at %d", r, k)
+			}
+		}
+		for k := range warm.x[r] {
+			if d := math.Abs(warm.x[r][k] - cold.x[r][k]); d > 1e-6 {
+				t.Fatalf("round %d: allocation diverged by %v at entry %d (warm %v, cold %v)",
+					r, d, k, warm.x[r][k], cold.x[r][k])
+			}
+		}
+	}
+
+	// Identical outcomes all the way down.
+	for i := range warmRes.Jobs {
+		wj, cj := warmRes.Jobs[i], coldRes.Jobs[i]
+		if math.Abs(wj.JCT-cj.JCT) > 1e-6 && !(math.IsNaN(wj.JCT) && math.IsNaN(cj.JCT)) {
+			t.Fatalf("job %d JCT diverged: warm %v cold %v", wj.ID, wj.JCT, cj.JCT)
+		}
+	}
+	t.Logf("rounds=%d policyCalls=%d lpSolves=%d warmSolves=%d iterations=%d",
+		warmRes.Rounds, warmRes.PolicyCalls, warmRes.LPSolves, warmRes.WarmSolves, warmRes.SimplexIterations)
+}
+
+// TestIncrementalSpaceSharingMatches runs the same equivalence check with
+// space sharing on, which exercises the pair rows of the throughput cache.
+func TestIncrementalSpaceSharingMatches(t *testing.T) {
+	trace := workload.GenerateTrace(workload.TraceOptions{NumJobs: 24, LambdaPerHour: 1.2, Seed: 9})
+	for i := range trace {
+		trace[i].Weight = 1 + 0.01*float64(i)
+	}
+	base := Config{
+		Cluster: cluster.Small12(), Policy: &policy.MaxMinFairness{},
+		Trace: trace, RoundSeconds: 360, Seed: 9,
+		SpaceSharing: true, ReallocEveryRounds: 3,
+	}
+	var warm, cold roundTrace
+	warmCfg := base
+	warmCfg.OnRound = captureRounds(&warm)
+	warmRes, err := Run(warmCfg)
+	if err != nil {
+		t.Fatalf("warm run: %v", err)
+	}
+	coldCfg := base
+	coldCfg.ColdSolves = true
+	coldCfg.OnRound = captureRounds(&cold)
+	if _, err := Run(coldCfg); err != nil {
+		t.Fatalf("cold run: %v", err)
+	}
+	if len(warm.x) != len(cold.x) {
+		t.Fatalf("captured %d warm rounds, %d cold", len(warm.x), len(cold.x))
+	}
+	for r := range warm.x {
+		for k := range warm.units[r] {
+			if warm.units[r][k] != cold.units[r][k] {
+				t.Fatalf("round %d: unit members diverged at %d", r, k)
+			}
+		}
+		for k := range warm.x[r] {
+			if d := math.Abs(warm.x[r][k] - cold.x[r][k]); d > 1e-6 {
+				t.Fatalf("round %d: allocation diverged by %v at entry %d", r, d, k)
+			}
+		}
+	}
+	if warmRes.WarmSolves == 0 {
+		t.Fatal("space-sharing incremental run never warm-started")
+	}
+}
+
+// TestPeriodicReallocAccounting checks the reset accounting: periodic
+// refreshes increase PolicyCalls and LPSolves but, with a stable provider
+// and unchanged job set, the warm-started refreshes cost ~zero simplex
+// iterations relative to the event-driven run.
+func TestPeriodicReallocAccounting(t *testing.T) {
+	trace := workload.GenerateTrace(workload.TraceOptions{NumJobs: 30, LambdaPerHour: 3, Seed: 13})
+	base := Config{
+		Cluster: cluster.Simulated108(), Policy: &policy.MaxMinFairness{},
+		Trace: trace, RoundSeconds: 360, Seed: 13,
+	}
+	eventOnly, err := Run(base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	periodic := base
+	periodic.ReallocEveryRounds = 1
+	per, err := Run(periodic)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if per.PolicyCalls <= eventOnly.PolicyCalls {
+		t.Fatalf("periodic reallocs did not add policy calls: %d vs %d", per.PolicyCalls, eventOnly.PolicyCalls)
+	}
+	if per.LPSolves <= eventOnly.LPSolves {
+		t.Fatalf("periodic reallocs did not add LP solves: %d vs %d", per.LPSolves, eventOnly.LPSolves)
+	}
+	if per.WarmSolves == 0 {
+		t.Fatal("periodic refreshes should warm start")
+	}
+	// The refreshed solves re-solve unchanged problems from their own
+	// optimal bases; allow a small slack for boundary rounds.
+	if per.SimplexIterations > eventOnly.SimplexIterations+eventOnly.SimplexIterations/10 {
+		t.Fatalf("periodic refreshes were not ~free: %d iterations vs %d",
+			per.SimplexIterations, eventOnly.SimplexIterations)
+	}
+}

@@ -34,10 +34,27 @@ type ThroughputProvider interface {
 	Observe(a, b *workload.Job, j int, ta, tb float64)
 }
 
+// StableProvider is an optional ThroughputProvider extension. A provider
+// returning true guarantees its Isolated answers never change and its
+// Colocated answer for a given (pair, type) changes only through an Observe
+// call for that exact pair and type. The simulator then builds policy inputs
+// incrementally from a persistent core.ThroughputCache instead of re-querying
+// every value on each reset. Providers with cross-pair learning (e.g. the
+// matrix-completion estimator, whose one observation updates estimates for
+// every job sharing the partner's model config) must not implement this, and
+// keep the from-scratch input path.
+type StableProvider interface {
+	StableEstimates() bool
+}
+
 // Oracle is the ground-truth provider: the workload package's synthetic
 // measurement model, scaled for multi-worker jobs assuming consolidated
 // placement (the optimistic bound the policies plan with).
 type Oracle struct{}
+
+// StableEstimates implements StableProvider: the oracle never changes its
+// mind.
+func (Oracle) StableEstimates() bool { return true }
 
 // Isolated implements ThroughputProvider.
 func (Oracle) Isolated(job *workload.Job, j int) float64 {
@@ -81,6 +98,16 @@ type Config struct {
 	// MaxSimulatedSeconds caps the simulation (0 = 10 years).
 	MaxSimulatedSeconds float64
 	Seed                int64
+	// ColdSolves disables the persistent per-policy solve context: every
+	// reset then rebuilds and solves its LPs from scratch, as the original
+	// Gavel does. Used for benchmarking and equivalence testing against the
+	// incremental pipeline.
+	ColdSolves bool
+	// ReallocEveryRounds, when > 0, recomputes the allocation every k
+	// rounds even without an arrival or completion (modeling Gavel's
+	// periodic refresh as observed throughputs stream in). 0 recomputes
+	// only on reset events.
+	ReallocEveryRounds int
 	// OnRound, if set, is invoked after every executed round with the
 	// current time, the allocation in force, the active job state indices,
 	// and the round's assignments (testing/observability hook).
@@ -108,9 +135,23 @@ type Result struct {
 	TotalCost     float64 // dollars across all busy devices
 	SLOViolations int
 	Rounds        int
-	PolicyTime    time.Duration // total wall time in policy solves
-	PolicyCalls   int
-	Unfinished    int
+	// PolicyTime is total wall time inside Policy.Allocate; PolicyCalls the
+	// number of Allocate invocations (one per reset event or periodic
+	// refresh). One call may solve several LPs — binary-search and
+	// water-filling policies routinely solve a dozen — so per-solve
+	// accounting lives in LPSolves/WarmSolves/SimplexIterations below
+	// rather than being inferred as "one cold solve per reset".
+	PolicyTime  time.Duration
+	PolicyCalls int
+	// LPSolves counts individual LP solves across all policy calls;
+	// WarmSolves is how many of those ran seeded from a cached basis
+	// instead of the cold two-phase path; SimplexIterations sums simplex
+	// iterations over all solves. All zero when ColdSolves is set (the
+	// stateless path has no context to account through).
+	LPSolves          int
+	WarmSolves        int
+	SimplexIterations int
+	Unfinished        int
 }
 
 // AvgJCT returns the mean JCT in hours over finished jobs, optionally
@@ -205,6 +246,12 @@ func Run(cfg Config) (*Result, error) {
 		}
 	}
 
+	builder := newInputBuilder(provider, len(workers))
+	var ctx *policy.SolveContext
+	if !cfg.ColdSolves {
+		ctx = policy.NewSolveContext()
+	}
+
 	var active []int // indices into states
 	nextArrival := 0
 	needRealloc := true
@@ -213,6 +260,7 @@ func Run(cfg Config) (*Result, error) {
 	var input *policy.Input
 	now := 0.0
 	completed := 0
+	roundsSinceAlloc := 0
 
 	// testbed noise: a deterministic per-(job,type) jitter factor.
 	noise := func(jobID, typ int) float64 {
@@ -257,24 +305,35 @@ func Run(cfg Config) (*Result, error) {
 
 		if needRealloc || alloc == nil {
 			var err error
-			input, alloc, allocJobs, err = computeAllocation(cfg, provider, states, active, workers, prices, maxPairs, now, res)
+			input, alloc, allocJobs, err = computeAllocation(cfg, builder, ctx, states, active, workers, prices, maxPairs, now, res)
 			if err != nil {
 				return nil, err
 			}
 			mech.ResetReceived()
 			needRealloc = false
+			roundsSinceAlloc = 0
 		}
 		_ = input
 
 		if cfg.IdealExecution {
 			advanceIdeal(cfg, states, allocJobs, alloc, round, now, prices, noise, &needRealloc, &completed, res)
 		} else {
-			if err := advanceRound(cfg, mech, states, allocJobs, alloc, workerInts, round, now, prices, noise, rng, &needRealloc, &completed, res); err != nil {
+			if err := advanceRound(cfg, mech, builder, states, allocJobs, alloc, workerInts, round, now, prices, noise, rng, &needRealloc, &completed, res); err != nil {
 				return nil, err
 			}
 		}
 		now += round
 		res.Rounds++
+		roundsSinceAlloc++
+		if cfg.ReallocEveryRounds > 0 && roundsSinceAlloc >= cfg.ReallocEveryRounds {
+			needRealloc = true
+		}
+	}
+
+	if ctx != nil {
+		res.LPSolves = ctx.Stats.Solves
+		res.WarmSolves = ctx.Stats.WarmHits
+		res.SimplexIterations = ctx.Stats.Iterations
 	}
 
 	for _, st := range states {
@@ -291,23 +350,112 @@ func Run(cfg Config) (*Result, error) {
 	return res, nil
 }
 
-// computeAllocation builds the policy input from the active set and solves.
-func computeAllocation(cfg Config, provider ThroughputProvider, states []*jobState, active []int, workers, prices []float64, maxPairs int, now float64, res *Result) (*policy.Input, *core.Allocation, []int, error) {
-	allocJobs := append([]int(nil), active...)
-	in := &policy.Input{Workers: workers, Prices: prices}
+// pairGainThreshold is the minimum combined normalized throughput for a
+// space-sharing pair to enter the LP as a candidate unit.
+const pairGainThreshold = 1.05
+
+// inputBuilder assembles policy inputs from a core.ThroughputCache. With a
+// StableProvider the cache persists across resets, so a reset only queries
+// the provider for newly arrived jobs (and their pairs) instead of
+// re-deriving the full job x unit throughput matrix; otherwise a fresh cache
+// is populated per reset, which reproduces the original from-scratch
+// behavior through the same assembly code.
+type inputBuilder struct {
+	provider   ThroughputProvider
+	numTypes   int
+	persistent bool
+	cache      *core.ThroughputCache
+}
+
+func newInputBuilder(provider ThroughputProvider, numTypes int) *inputBuilder {
+	b := &inputBuilder{provider: provider, numTypes: numTypes}
+	if s, ok := provider.(StableProvider); ok && s.StableEstimates() {
+		b.persistent = true
+		b.cache = core.NewThroughputCache(numTypes)
+	}
+	return b
+}
+
+// sync brings the cache in line with the active set: departed jobs are
+// dropped, new jobs get their isolated rows, and (with space sharing) every
+// uncached single-worker pairing among active jobs gets its colocated rows.
+func (b *inputBuilder) sync(states []*jobState, allocJobs []int, spaceSharing bool) *core.ThroughputCache {
+	cache := b.cache
+	if !b.persistent {
+		cache = core.NewThroughputCache(b.numTypes)
+	}
+	activeSet := make(map[int]bool, len(allocJobs))
 	for _, si := range allocJobs {
+		activeSet[states[si].job.ID] = true
+	}
+	if b.persistent {
+		for _, id := range cache.IDs() {
+			if !activeSet[id] {
+				cache.RemoveJob(id)
+			}
+		}
+	}
+	for _, si := range allocJobs {
+		j := states[si].job
+		if cache.Has(j.ID) {
+			continue
+		}
+		tput := make([]float64, b.numTypes)
+		for t := range tput {
+			tput[t] = b.provider.Isolated(j, t)
+		}
+		cache.AddJob(j.ID, j.ScaleFactor, tput)
+	}
+	if spaceSharing {
+		for ai, sa := range allocJobs {
+			ja := states[sa].job
+			if ja.ScaleFactor > 1 {
+				continue
+			}
+			for _, sb := range allocJobs[ai+1:] {
+				jb := states[sb].job
+				if jb.ScaleFactor > 1 || cache.HasPair(ja.ID, jb.ID) {
+					continue
+				}
+				ta := make([]float64, b.numTypes)
+				tb := make([]float64, b.numTypes)
+				for t := 0; t < b.numTypes; t++ {
+					if ca, cb, ok := b.provider.Colocated(ja, jb, t); ok {
+						ta[t], tb[t] = ca, cb
+					}
+				}
+				cache.SetPair(ja.ID, jb.ID, ta, tb)
+			}
+		}
+	}
+	return cache
+}
+
+// observePair feeds a measured pair throughput back into the persistent
+// cache, mirroring what the provider itself would now report.
+func (b *inputBuilder) observePair(aID, bID, typ int, ta, tb float64) {
+	if b.persistent {
+		b.cache.ObservePair(aID, bID, typ, ta, tb)
+	}
+}
+
+// computeAllocation builds the policy input from the active set and solves.
+func computeAllocation(cfg Config, builder *inputBuilder, ctx *policy.SolveContext, states []*jobState, active []int, workers, prices []float64, maxPairs int, now float64, res *Result) (*policy.Input, *core.Allocation, []int, error) {
+	allocJobs := append([]int(nil), active...)
+	cache := builder.sync(states, allocJobs, cfg.SpaceSharing)
+
+	in := &policy.Input{Workers: workers, Prices: prices}
+	ids := make([]int, len(allocJobs))
+	for i, si := range allocJobs {
 		st := states[si]
 		j := st.job
-		tput := make([]float64, len(workers))
-		for t := range tput {
-			tput[t] = provider.Isolated(j, t)
-		}
+		ids[i] = j.ID
 		info := policy.JobInfo{
 			ID:             j.ID,
 			Weight:         j.Weight,
 			Priority:       j.Priority,
 			ScaleFactor:    j.ScaleFactor,
-			Tput:           tput,
+			Tput:           cache.JobTput(j.ID),
 			RemainingSteps: j.TotalSteps - st.steps,
 			TotalSteps:     j.TotalSteps,
 			Elapsed:        now - j.Arrival,
@@ -322,79 +470,30 @@ func computeAllocation(cfg Config, provider ThroughputProvider, states []*jobSta
 			}
 		}
 		in.Jobs = append(in.Jobs, info)
-		in.Units = append(in.Units, core.Single(len(in.Jobs)-1, tput))
 	}
-
+	pairCap := 0
 	if cfg.SpaceSharing {
-		addPairUnits(in, provider, states, allocJobs, maxPairs)
+		pairCap = maxPairs
 	}
+	in.Units = cache.Units(ids, pairGainThreshold, pairCap)
 
 	start := time.Now()
-	alloc, err := cfg.Policy.Allocate(in)
+	alloc, err := cfg.Policy.Allocate(in, ctx)
 	res.PolicyTime += time.Since(start)
 	res.PolicyCalls++
 	if err != nil {
 		return nil, nil, nil, fmt.Errorf("policy %s: %w", cfg.Policy.Name(), err)
 	}
+	if ctx != nil {
+		ctx.Prev = alloc
+		ctx.PrevJobIDs = ids
+	}
 	return in, alloc, allocJobs, nil
-}
-
-// addPairUnits appends candidate space-sharing pairs: single-worker job
-// pairs whose provider-visible combined normalized throughput beats time
-// sharing on some type, capped per job to keep the LP tractable.
-func addPairUnits(in *policy.Input, provider ThroughputProvider, states []*jobState, allocJobs []int, maxPairs int) {
-	n := len(in.Jobs)
-	pairCount := make([]int, n)
-	type scored struct {
-		a, b   int
-		ta, tb []float64
-		gain   float64
-	}
-	var cands []scored
-	for a := 0; a < n; a++ {
-		if in.Jobs[a].ScaleFactor > 1 {
-			continue
-		}
-		for b := a + 1; b < n; b++ {
-			if in.Jobs[b].ScaleFactor > 1 {
-				continue
-			}
-			ja, jb := states[allocJobs[a]].job, states[allocJobs[b]].job
-			ta := make([]float64, len(in.Workers))
-			tb := make([]float64, len(in.Workers))
-			best := 0.0
-			for t := range in.Workers {
-				ca, cb, ok := provider.Colocated(ja, jb, t)
-				if !ok {
-					continue
-				}
-				ta[t], tb[t] = ca, cb
-				ia, ib := in.Jobs[a].Tput[t], in.Jobs[b].Tput[t]
-				if ia > 0 && ib > 0 {
-					if g := ca/ia + cb/ib; g > best {
-						best = g
-					}
-				}
-			}
-			if best > 1.05 {
-				cands = append(cands, scored{a: a, b: b, ta: ta, tb: tb, gain: best})
-			}
-		}
-	}
-	sort.Slice(cands, func(i, j int) bool { return cands[i].gain > cands[j].gain })
-	for _, c := range cands {
-		if pairCount[c.a] >= maxPairs || pairCount[c.b] >= maxPairs {
-			continue
-		}
-		pairCount[c.a]++
-		pairCount[c.b]++
-		in.Units = append(in.Units, core.Pair(c.a, c.b, c.ta, c.tb))
-	}
 }
 
 // advanceRound runs one mechanism round and advances job progress with the
 // ground-truth oracle.
-func advanceRound(cfg Config, mech *scheduler.Mechanism, states []*jobState, allocJobs []int, alloc *core.Allocation, workerInts []int, round, now float64, prices []float64, noise func(int, int) float64, rng *rand.Rand, needRealloc *bool, completed *int, res *Result) error {
+func advanceRound(cfg Config, mech *scheduler.Mechanism, builder *inputBuilder, states []*jobState, allocJobs []int, alloc *core.Allocation, workerInts []int, round, now float64, prices []float64, noise func(int, int) float64, rng *rand.Rand, needRealloc *bool, completed *int, res *Result) error {
 	jobIDs := func(u int) []int {
 		ids := make([]int, len(alloc.Units[u].Jobs))
 		for k, local := range alloc.Units[u].Jobs {
@@ -456,6 +555,7 @@ func advanceRound(cfg Config, mech *scheduler.Mechanism, states []*jobState, all
 			if cfg.Provider != nil {
 				cfg.Provider.Observe(ja, jb, a.Type, pairTa, pairTb)
 			}
+			builder.observePair(ja.ID, jb.ID, a.Type, pairTa, pairTb)
 		}
 		for k, local := range u.Jobs {
 			st := states[allocJobs[local]]
