@@ -1,6 +1,9 @@
 // Repeated-solve benchmarks for the incremental allocation pipeline: how
-// fast can a policy re-solve after a reset event when the problem shape is
-// unchanged (observed-throughput updates), cold vs warm-started. Run with:
+// fast can a policy re-solve after a reset event, cold vs warm-started, in
+// two scenarios — "perturb" (observed-throughput updates, problem shape
+// unchanged) and "churn" (25% of resets are a job departure + arrival, so
+// the LP's variable set changes and the warm path must remap the cached
+// basis across shapes). Run with:
 //
 //	go test -bench BenchmarkPolicySolveReset -run '^$'
 //
@@ -48,8 +51,9 @@ func solveResetInput(n int) *policy.Input {
 			Elapsed: 3600, ArrivalSeq: m, NumActiveJobs: n,
 		})
 		// Unit shares the Tput slice so in-place perturbation stays
-		// consistent between the job row and its unit row.
-		in.Units = append(in.Units, core.Single(m, tput))
+		// consistent between the job row and its unit row. Keyed by job ID
+		// so warm starts survive the churn scenario's job-set changes.
+		in.Units = append(in.Units, core.Single(m, tput).Keyed(core.JobKey(m)))
 	}
 	return in
 }
@@ -66,6 +70,37 @@ func perturbInput(in *policy.Input, rng *rand.Rand, frac float64) {
 	}
 }
 
+// churnInput applies a job departure + arrival to the input in place: the
+// oldest job leaves, a new job with a fresh ID (and a fresh unit key) enters
+// at the back, and every position shifts — exactly what a reset event that
+// changes the job set does to a policy's LP. nextID supplies the arrival's
+// external ID; the returned value is the next fresh ID.
+func churnInput(in *policy.Input, nextID int) int {
+	zoo := workload.Zoo()
+	n := len(in.Jobs)
+	copy(in.Jobs, in.Jobs[1:])
+	copy(in.Units, in.Units[1:])
+	cfg := zoo[nextID%len(zoo)]
+	tput := make([]float64, 3)
+	for t := range tput {
+		if workload.Fits(cfg, t) {
+			tput[t] = workload.Throughput(cfg, t)
+		}
+	}
+	in.Jobs[n-1] = policy.JobInfo{
+		ID: nextID, Weight: 1 + 0.01*float64(nextID), Priority: 1, ScaleFactor: 1,
+		Tput: tput, RemainingSteps: 1e6, TotalSteps: 2e6,
+		Elapsed: 3600, ArrivalSeq: nextID, NumActiveJobs: n,
+	}
+	in.Units[n-1] = core.Single(n-1, tput).Keyed(core.JobKey(nextID))
+	// Positions shifted: re-point every surviving single unit at its new
+	// position (units built here are singles whose Jobs hold positions).
+	for m := 0; m < n; m++ {
+		in.Units[m].Jobs = []int{m}
+	}
+	return nextID + 1
+}
+
 var solveResetPolicies = []struct {
 	name string
 	make func() policy.Policy
@@ -75,34 +110,43 @@ var solveResetPolicies = []struct {
 	{"cost", func() policy.Policy { return &policy.MinCost{} }},
 }
 
-// BenchmarkPolicySolveReset measures repeated-solve latency after
-// shape-preserving reset events, cold (no persistent context) vs warm
-// (basis reuse across resets) at 2^7..2^9 jobs.
+// BenchmarkPolicySolveReset measures repeated-solve latency after reset
+// events, cold (no basis reuse) vs warm (basis reuse across resets), at
+// 2^7..2^9 jobs. The "perturb" scenario keeps the job set fixed and jitters
+// observed throughputs (shape-preserving warm starts); the "churn" scenario
+// additionally changes the job set on 25% of resets (a departure + an
+// arrival), which forces the warm path through the cross-shape basis remap.
 func BenchmarkPolicySolveReset(b *testing.B) {
 	for _, pol := range solveResetPolicies {
 		for _, n := range []int{128, 256, 512} {
-			for _, mode := range []string{"cold", "warm"} {
-				b.Run(fmt.Sprintf("%s/jobs=%d/%s", pol.name, n, mode), func(b *testing.B) {
-					in := solveResetInput(n)
-					p := pol.make()
-					ctx := policy.NewSolveContext()
-					ctx.NoWarm = mode == "cold"
-					rng := rand.New(rand.NewSource(99))
-					// Prime the context so the first measured solve of the
-					// warm mode has a basis to start from, as it would
-					// mid-simulation.
-					if _, err := p.Allocate(in, ctx); err != nil {
-						b.Fatal(err)
-					}
-					b.ResetTimer()
-					for i := 0; i < b.N; i++ {
-						perturbInput(in, rng, 0.01)
+			for _, scenario := range []string{"perturb", "churn"} {
+				for _, mode := range []string{"cold", "warm"} {
+					b.Run(fmt.Sprintf("%s/jobs=%d/%s/%s", pol.name, n, scenario, mode), func(b *testing.B) {
+						in := solveResetInput(n)
+						p := pol.make()
+						ctx := policy.NewSolveContext()
+						ctx.NoWarm = mode == "cold"
+						rng := rand.New(rand.NewSource(99))
+						nextID := n
+						// Prime the context so the first measured solve of
+						// the warm mode has a basis to start from, as it
+						// would mid-simulation.
 						if _, err := p.Allocate(in, ctx); err != nil {
 							b.Fatal(err)
 						}
-					}
-					b.ReportMetric(float64(ctx.Stats.Iterations)/float64(ctx.Stats.Solves), "simplex-iters/solve")
-				})
+						b.ResetTimer()
+						for i := 0; i < b.N; i++ {
+							perturbInput(in, rng, 0.01)
+							if scenario == "churn" && i%4 == 1 {
+								nextID = churnInput(in, nextID)
+							}
+							if _, err := p.Allocate(in, ctx); err != nil {
+								b.Fatal(err)
+							}
+						}
+						b.ReportMetric(float64(ctx.Stats.Iterations)/float64(ctx.Stats.Solves), "simplex-iters/solve")
+					})
+				}
 			}
 		}
 	}
@@ -111,21 +155,26 @@ func BenchmarkPolicySolveReset(b *testing.B) {
 type solveBenchRecord struct {
 	Policy            string  `json:"policy"`
 	Jobs              int     `json:"jobs"`
+	Scenario          string  `json:"scenario"`
 	Mode              string  `json:"mode"`
 	Resets            int     `json:"resets"`
 	LPSolves          int     `json:"lp_solves"`
 	WarmSolves        int     `json:"warm_solves"`
+	RemappedSolves    int     `json:"remapped_solves"`
 	SimplexIterations int     `json:"simplex_iterations"`
 	NsPerReset        float64 `json:"ns_per_reset"`
 }
 
-// measureSolveResets runs a fixed number of perturbed re-solves and returns
-// the record. Iteration counts are deterministic; timings are hardware-local.
-func measureSolveResets(polName string, p policy.Policy, n, resets int, warm bool) solveBenchRecord {
+// measureSolveResets runs a fixed number of re-solves under the given
+// scenario ("perturb" jitters throughputs; "churn" additionally changes the
+// job set on every 4th reset) and returns the record. Iteration counts are
+// deterministic; timings are hardware-local.
+func measureSolveResets(polName string, p policy.Policy, n, resets int, scenario string, warm bool) solveBenchRecord {
 	in := solveResetInput(n)
 	ctx := policy.NewSolveContext()
 	ctx.NoWarm = !warm
 	rng := rand.New(rand.NewSource(99))
+	nextID := n
 	if _, err := p.Allocate(in, ctx); err != nil {
 		panic(err)
 	}
@@ -133,6 +182,9 @@ func measureSolveResets(polName string, p policy.Policy, n, resets int, warm boo
 	start := time.Now()
 	for i := 0; i < resets; i++ {
 		perturbInput(in, rng, 0.01)
+		if scenario == "churn" && i%4 == 1 {
+			nextID = churnInput(in, nextID)
+		}
 		if _, err := p.Allocate(in, ctx); err != nil {
 			panic(err)
 		}
@@ -143,9 +195,10 @@ func measureSolveResets(polName string, p policy.Policy, n, resets int, warm boo
 		mode = "warm"
 	}
 	return solveBenchRecord{
-		Policy: polName, Jobs: n, Mode: mode, Resets: resets,
+		Policy: polName, Jobs: n, Scenario: scenario, Mode: mode, Resets: resets,
 		LPSolves:          ctx.Stats.Solves - prime.Solves,
 		WarmSolves:        ctx.Stats.WarmHits - prime.WarmHits,
+		RemappedSolves:    ctx.Stats.RemapHits - prime.RemapHits,
 		SimplexIterations: ctx.Stats.Iterations - prime.Iterations,
 		NsPerReset:        float64(elapsed.Nanoseconds()) / float64(resets),
 	}
@@ -162,14 +215,16 @@ func TestWriteSolveBenchJSON(t *testing.T) {
 	var records []solveBenchRecord
 	for _, pol := range solveResetPolicies {
 		for _, n := range []int{128, 256, 512} {
-			for _, warm := range []bool{false, true} {
-				records = append(records, measureSolveResets(pol.name, pol.make(), n, 10, warm))
+			for _, scenario := range []string{"perturb", "churn"} {
+				for _, warm := range []bool{false, true} {
+					records = append(records, measureSolveResets(pol.name, pol.make(), n, 10, scenario, warm))
+				}
 			}
 		}
 	}
 	out, err := json.MarshalIndent(map[string]any{
 		"benchmark": "PolicySolveReset",
-		"unit_note": "resets are shape-preserving throughput perturbations (1%); ns_per_reset is hardware-local, iteration counts are deterministic",
+		"unit_note": "resets perturb throughputs by 1%; the churn scenario additionally changes the job set (departure+arrival) on 25% of resets; ns_per_reset is hardware-local, iteration counts are deterministic",
 		"records":   records,
 	}, "", "  ")
 	if err != nil {
@@ -180,18 +235,18 @@ func TestWriteSolveBenchJSON(t *testing.T) {
 	}
 }
 
-// TestWarmSolveResetSavings is the acceptance gate: warm-started repeated
-// solves must cut simplex iterations by at least 30% vs cold at every
-// benchmarked size for the flagship fairness policy, and in aggregate for
-// the others.
+// TestWarmSolveResetSavings is the shape-preserving acceptance gate:
+// warm-started repeated solves must cut simplex iterations by at least 30%
+// vs cold at every benchmarked size for the flagship fairness policy, and in
+// aggregate for the others.
 func TestWarmSolveResetSavings(t *testing.T) {
 	if testing.Short() {
 		t.Skip("solve-reset savings measurement is not -short")
 	}
 	for _, pol := range solveResetPolicies {
 		for _, n := range []int{128, 256} {
-			cold := measureSolveResets(pol.name, pol.make(), n, 6, false)
-			warm := measureSolveResets(pol.name, pol.make(), n, 6, true)
+			cold := measureSolveResets(pol.name, pol.make(), n, 6, "perturb", false)
+			warm := measureSolveResets(pol.name, pol.make(), n, 6, "perturb", true)
 			if warm.WarmSolves == 0 {
 				t.Fatalf("%s jobs=%d: no warm solves", pol.name, n)
 			}
@@ -201,6 +256,41 @@ func TestWarmSolveResetSavings(t *testing.T) {
 				100*saving, warm.WarmSolves, warm.LPSolves)
 			if saving < 0.30 {
 				t.Errorf("%s jobs=%d: warm start saved only %.0f%% of simplex iterations (need >= 30%%)",
+					pol.name, n, 100*saving)
+			}
+		}
+	}
+}
+
+// TestRemappedSolveChurnSavings is the cross-shape acceptance gate: with 25%
+// of resets changing the job set (a departure + an arrival), the warm
+// pipeline — positional warm starts on shape-preserving resets, remapped
+// bases on churn resets — must cut simplex iterations by at least 50% vs
+// cold at every benchmarked size, while actually exercising the remap. FTF's
+// 512-job cold baseline alone costs minutes of binary-search solves, so that
+// one cell is measured only by the BENCH_solve.json writer (where it showed
+// 82% saved); the gate stops FTF at 256.
+func TestRemappedSolveChurnSavings(t *testing.T) {
+	if testing.Short() {
+		t.Skip("churn savings measurement is not -short")
+	}
+	for _, pol := range solveResetPolicies {
+		sizes := []int{128, 256, 512}
+		if pol.name == "ftf" {
+			sizes = []int{128, 256}
+		}
+		for _, n := range sizes {
+			cold := measureSolveResets(pol.name, pol.make(), n, 8, "churn", false)
+			warm := measureSolveResets(pol.name, pol.make(), n, 8, "churn", true)
+			if warm.RemappedSolves == 0 {
+				t.Fatalf("%s jobs=%d: churn resets never took the remapped path", pol.name, n)
+			}
+			saving := 1 - float64(warm.SimplexIterations)/float64(cold.SimplexIterations)
+			t.Logf("%s jobs=%d: cold iters=%d warm iters=%d (%.0f%% saved, %d warm + %d remapped of %d solves)",
+				pol.name, n, cold.SimplexIterations, warm.SimplexIterations,
+				100*saving, warm.WarmSolves, warm.RemappedSolves, warm.LPSolves)
+			if saving < 0.50 {
+				t.Errorf("%s jobs=%d: churned warm pipeline saved only %.0f%% of simplex iterations (need >= 50%%)",
 					pol.name, n, 100*saving)
 			}
 		}

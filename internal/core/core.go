@@ -20,6 +20,13 @@ import (
 type Unit struct {
 	Jobs []int
 	Tput [][]float64
+	// Key is the unit's stable identity across reset events, derived from
+	// the external job IDs it schedules (JobKey/PairKey), not the positions
+	// in Jobs. Program uses it to name LP columns so a cached simplex basis
+	// can be remapped after arrivals and departures reshuffle positions.
+	// Empty is valid and falls back to positional naming (no cross-shape
+	// reuse for that column).
+	Key string
 }
 
 // Single constructs a one-job unit.
@@ -30,6 +37,26 @@ func Single(job int, tput []float64) Unit {
 // Pair constructs a two-job space-sharing unit.
 func Pair(a, b int, ta, tb []float64) Unit {
 	return Unit{Jobs: []int{a, b}, Tput: [][]float64{ta, tb}}
+}
+
+// Keyed returns a copy of the unit carrying the given stable identity.
+func (u Unit) Keyed(key string) Unit {
+	u.Key = key
+	return u
+}
+
+// JobKey is the stable unit key for the single-job unit of the job with the
+// given external ID.
+func JobKey(id int) string { return fmt.Sprintf("j%d", id) }
+
+// PairKey is the stable unit key for the space-sharing pair of the jobs with
+// the given external IDs (order-insensitive: a pair's LP column means the
+// same thing regardless of which member is listed first).
+func PairKey(a, b int) string {
+	if a > b {
+		a, b = b, a
+	}
+	return fmt.Sprintf("p%d|%d", a, b)
 }
 
 // IsPair reports whether the unit is a space-sharing combination.
@@ -148,6 +175,7 @@ type Program struct {
 	// cannot run on type j (zero throughput for all members).
 	XVar    [][]int
 	numJobs int
+	colIDs  []lp.ColumnID
 }
 
 // NewProgram builds the LP skeleton for the given units under the standard
@@ -164,6 +192,7 @@ func NewProgram(sense lp.Sense, units []Unit, scaleFactors []int, workers []floa
 	numTypes := len(workers)
 	xv := make([][]int, len(units))
 	numJobs := 0
+	var colIDs []lp.ColumnID
 	for ui := range units {
 		u := &units[ui]
 		xv[ui] = make([]int, numTypes)
@@ -171,6 +200,13 @@ func NewProgram(sense lp.Sense, units []Unit, scaleFactors []int, workers []floa
 			if jm+1 > numJobs {
 				numJobs = jm + 1
 			}
+		}
+		// Columns are named by the unit's stable key so a basis survives
+		// job arrivals/departures; unkeyed units fall back to positional
+		// names, which only ever match a problem of identical layout.
+		key := u.Key
+		if key == "" {
+			key = fmt.Sprintf("u%d", ui)
 		}
 		for j := 0; j < numTypes; j++ {
 			usable := false
@@ -182,6 +218,7 @@ func NewProgram(sense lp.Sense, units []Unit, scaleFactors []int, workers []floa
 			}
 			if usable {
 				xv[ui][j] = p.AddVar(0, fmt.Sprintf("x[%d][%d]", ui, j))
+				colIDs = append(colIDs, lp.ColumnID(fmt.Sprintf("%s@%d", key, j)))
 			} else {
 				xv[ui][j] = -1
 			}
@@ -189,6 +226,8 @@ func NewProgram(sense lp.Sense, units []Unit, scaleFactors []int, workers []floa
 	}
 
 	// Per-job time budget: sum over the job's units of sum_j X_uj <= 1.
+	// Rows are labeled by the job's single-unit key so a cached basis can
+	// pin this row's state back after the job set changes.
 	for m := 0; m < numJobs; m++ {
 		var terms []lp.Term
 		for ui := range units {
@@ -202,7 +241,15 @@ func NewProgram(sense lp.Sense, units []Unit, scaleFactors []int, workers []floa
 			}
 		}
 		if len(terms) > 0 {
-			p.AddConstraint(terms, lp.LE, 1)
+			// Label only under the documented layout (job m's single unit
+			// at index m); any other arrangement gets an anonymous row
+			// rather than a wrong identity.
+			id := ""
+			if m < len(units) && units[m].Key != "" &&
+				len(units[m].Jobs) == 1 && units[m].Jobs[0] == m {
+				id = "b:" + units[m].Key
+			}
+			p.AddConstraintRow(terms, lp.LE, 1, id)
 		}
 	}
 
@@ -222,15 +269,50 @@ func NewProgram(sense lp.Sense, units []Unit, scaleFactors []int, workers []floa
 			terms = append(terms, lp.Term{Var: xv[ui][j], Coeff: sf})
 		}
 		if len(terms) > 0 {
-			p.AddConstraint(terms, lp.LE, workers[j])
+			p.AddConstraintRow(terms, lp.LE, workers[j], fmt.Sprintf("c:%d", j))
 		}
 	}
 
-	return &Program{P: p, Units: units, XVar: xv, numJobs: numJobs}
+	return &Program{P: p, Units: units, XVar: xv, numJobs: numJobs, colIDs: colIDs}
 }
 
 // NumJobs returns the number of distinct jobs across the program's units.
 func (pr *Program) NumJobs() int { return pr.numJobs }
+
+// AddVar adds a policy variable (an objective scalar like the max-min floor
+// t, or a per-job slack) with a stable column identity, and returns its LP
+// index. Policies should derive per-job identities from external job IDs so
+// the column survives reshuffles of the active set.
+func (pr *Program) AddVar(objCoeff float64, id string) int {
+	// Pad positional fallbacks for any variables added behind the
+	// program's back first, so the identity lands on the right column
+	// regardless of interleaving.
+	for len(pr.colIDs) < pr.P.NumVars() {
+		pr.colIDs = append(pr.colIDs, lp.ColumnID(fmt.Sprintf("v%d", len(pr.colIDs))))
+	}
+	v := pr.P.AddVar(objCoeff, id)
+	pr.colIDs = append(pr.colIDs, lp.ColumnID(id))
+	return v
+}
+
+// AddRow adds a policy constraint with a stable row identity, so the row's
+// basis state survives cross-shape remapping. Derive per-job identities from
+// external job IDs (e.g. "r:<jobID>"), never positions.
+func (pr *Program) AddRow(terms []lp.Term, op lp.Op, rhs float64, id string) {
+	pr.P.AddConstraintRow(terms, op, rhs, id)
+}
+
+// ColumnIDs returns the stable identity of every LP variable, in variable
+// order: allocation columns as "<unitKey>@<type>", policy variables as the
+// names they were added with. Variables added behind the program's back
+// (directly on pr.P) get positional fallbacks, which disables cross-shape
+// reuse for them but never affects correctness.
+func (pr *Program) ColumnIDs() []lp.ColumnID {
+	for len(pr.colIDs) < pr.P.NumVars() {
+		pr.colIDs = append(pr.colIDs, lp.ColumnID(fmt.Sprintf("v%d", len(pr.colIDs))))
+	}
+	return pr.colIDs
+}
 
 // ThroughputTerms returns LP terms expressing throughput(m, X) scaled by
 // factor: factor * sum over units u containing m of T(u,m,j) * X_uj.

@@ -195,3 +195,34 @@ func TestFinite(t *testing.T) {
 		t.Fatal("Finite rejects 1.5")
 	}
 }
+
+// TestProgramColumnIDsTrackVariables checks that ColumnIDs names every LP
+// variable: keyed units get "<key>@<type>" for usable types only, policy
+// variables added via Program.AddVar keep their names, and stragglers added
+// behind the program's back get positional fallbacks.
+func TestProgramColumnIDsTrackVariables(t *testing.T) {
+	units := []Unit{
+		Single(0, []float64{2, 0}).Keyed(JobKey(7)), // type 1 unusable
+		Single(1, []float64{1, 1}).Keyed(JobKey(9)),
+	}
+	pr := NewProgram(lp.Maximize, units, []int{1, 1}, []float64{4, 4})
+	tv := pr.AddVar(1, "t")
+	pr.P.AddVar(0, "untracked")
+
+	ids := pr.ColumnIDs()
+	if len(ids) != pr.P.NumVars() {
+		t.Fatalf("%d ids for %d vars", len(ids), pr.P.NumVars())
+	}
+	want := []lp.ColumnID{"j7@0", "j9@0", "j9@1", "t"}
+	for i, w := range want {
+		if ids[i] != w {
+			t.Fatalf("ids[%d] = %q, want %q", i, ids[i], w)
+		}
+	}
+	if tv != 3 {
+		t.Fatalf("t variable index %d, want 3", tv)
+	}
+	if ids[4] == "" {
+		t.Fatal("untracked variable got no fallback id")
+	}
+}

@@ -199,6 +199,12 @@ func (c *ThroughputCache) PairGain(a, b int) float64 {
 // determinism), capped at maxPairs pairs per job. Unit.Jobs indices refer to
 // positions within ids, matching the policy input contract. Unknown IDs get
 // an all-zero throughput row rather than a panic.
+//
+// Every unit carries its stable identity (JobKey for singles, PairKey for
+// pairs), giving the LP columns built over these units a deterministic,
+// job-ID-keyed ordering that survives arrivals and departures — the handle
+// policy.SolveContext uses to remap cached simplex bases across job-set
+// changes.
 func (c *ThroughputCache) Units(ids []int, minGain float64, maxPairs int) []Unit {
 	units := make([]Unit, 0, len(ids))
 	for m, id := range ids {
@@ -206,7 +212,7 @@ func (c *ThroughputCache) Units(ids []int, minGain float64, maxPairs int) []Unit
 		if tput == nil {
 			tput = make([]float64, c.numTypes)
 		}
-		units = append(units, Single(m, tput))
+		units = append(units, Single(m, tput).Keyed(JobKey(id)))
 	}
 	if maxPairs <= 0 || len(c.pairs) == 0 {
 		return units
@@ -247,7 +253,7 @@ func (c *ThroughputCache) Units(ids []int, minGain float64, maxPairs int) []Unit
 		pairCount[s.a]++
 		pairCount[s.b]++
 		ta, tb, _ := c.PairTput(ids[s.a], ids[s.b])
-		units = append(units, Pair(s.a, s.b, ta, tb))
+		units = append(units, Pair(s.a, s.b, ta, tb).Keyed(PairKey(ids[s.a], ids[s.b])))
 	}
 	return units
 }

@@ -251,3 +251,50 @@ func TestThroughputCacheRowStability(t *testing.T) {
 		t.Fatalf("pair observe lost: %v", gta)
 	}
 }
+
+// TestUnitsCarryStableKeys checks the column-identity contract: units from
+// the cache are keyed by external job IDs (JobKey/PairKey), so the same jobs
+// produce the same keys regardless of their positions in the active set, and
+// a job's key never collides with another's after churn.
+func TestUnitsCarryStableKeys(t *testing.T) {
+	c := NewThroughputCache(2)
+	for id := 10; id <= 13; id++ {
+		c.AddJob(id, 1, []float64{1, 2})
+	}
+	c.SetPair(10, 12, []float64{0.9, 1.8}, []float64{0.9, 1.8})
+
+	keysOf := func(ids []int) map[string]bool {
+		out := map[string]bool{}
+		for _, u := range c.Units(ids, 1.05, 4) {
+			if u.Key == "" {
+				t.Fatalf("cache-built unit %v has no key", u.Jobs)
+			}
+			if out[u.Key] {
+				t.Fatalf("duplicate unit key %q", u.Key)
+			}
+			out[u.Key] = true
+		}
+		return out
+	}
+
+	before := keysOf([]int{10, 11, 12, 13})
+	// 11 departs, 14 arrives, positions reshuffle.
+	c.RemoveJob(11)
+	c.AddJob(14, 1, []float64{3, 1})
+	after := keysOf([]int{13, 10, 12, 14})
+
+	for _, want := range []string{JobKey(10), JobKey(12), JobKey(13), PairKey(10, 12)} {
+		if !before[want] || !after[want] {
+			t.Fatalf("key %q did not survive churn (before=%v after=%v)", want, before[want], after[want])
+		}
+	}
+	if after[JobKey(11)] {
+		t.Fatal("departed job's key still present")
+	}
+	if !after[JobKey(14)] {
+		t.Fatal("arrived job's key missing")
+	}
+	if PairKey(12, 10) != PairKey(10, 12) {
+		t.Fatal("PairKey is order-sensitive")
+	}
+}

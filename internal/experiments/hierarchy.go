@@ -85,11 +85,6 @@ func hierarchyTimeline(intra policy.EntityPolicy, title string) (*HierarchyOutco
 		if err != nil {
 			return nil, fmt.Errorf("timestep %d: %w", ts, err)
 		}
-		ctx.Prev = alloc
-		ctx.PrevJobIDs = ctx.PrevJobIDs[:0]
-		for m := range in.Jobs {
-			ctx.PrevJobIDs = append(ctx.PrevJobIDs, in.Jobs[m].ID)
-		}
 		lastAlloc, lastIn = alloc, in
 
 		// Normalized per-job share of total effective throughput.

@@ -30,11 +30,14 @@ type Fractional struct {
 	Cons    []FractionalConstraint
 }
 
-// FractionalConstraint is one row a.x (op) b of a Fractional program.
+// FractionalConstraint is one row a.x (op) b of a Fractional program. ID,
+// when set, is the row's stable identity for cross-shape basis remapping
+// (see Problem.AddConstraintRow).
 type FractionalConstraint struct {
 	Terms []Term
 	Op    Op
 	RHS   float64
+	ID    string
 }
 
 // ErrDegenerateFraction is returned when the optimal transformed solution
@@ -48,14 +51,17 @@ func SolveFractional(f *Fractional) (x []float64, ratio float64, err error) {
 	return x, ratio, err
 }
 
-// SolveFractionalFrom solves the linear-fractional program, seeding the
-// transformed LP from a previous basis when one is supplied (the transformed
-// problem's shape is a deterministic function of f's shape, so a basis from
-// a same-shaped Fractional warm-starts its successor). It returns the raw
-// result of the transformed LP, whose Basis seeds the next call.
-func SolveFractionalFrom(f *Fractional, prev *Basis) (x []float64, ratio float64, res *Result, err error) {
+// CharnesCooperID is the ColumnID of the homogenizing variable t the
+// Charnes-Cooper transformation appends after the y columns. Callers that
+// remap transformed bases across shape changes (SolveFractionalFromMapped)
+// append it to their per-variable IDs to name the transformed LP's columns.
+const CharnesCooperID ColumnID = "cc:t"
+
+// transform builds the Charnes-Cooper LP for f, returning the problem, the
+// y variable indices, and the t variable index.
+func (f *Fractional) transform() (*Problem, []int, int, error) {
 	if len(f.Num) != f.NumVars || len(f.Den) != f.NumVars {
-		return nil, 0, nil, fmt.Errorf("%w: coefficient vectors must have NumVars entries", ErrBadProblem)
+		return nil, nil, 0, fmt.Errorf("%w: coefficient vectors must have NumVars entries", ErrBadProblem)
 	}
 	p := NewProblem(Maximize)
 	y := make([]int, f.NumVars)
@@ -70,7 +76,7 @@ func SolveFractionalFrom(f *Fractional, prev *Basis) (x []float64, ratio float64
 			terms = append(terms, Term{Var: y[tm.Var], Coeff: tm.Coeff})
 		}
 		terms = append(terms, Term{Var: t, Coeff: -c.RHS})
-		p.AddConstraint(terms, c.Op, 0)
+		p.AddConstraintRow(terms, c.Op, 0, c.ID)
 	}
 	denTerms := make([]Term, 0, f.NumVars+1)
 	for j, d := range f.Den {
@@ -79,12 +85,13 @@ func SolveFractionalFrom(f *Fractional, prev *Basis) (x []float64, ratio float64
 		}
 	}
 	denTerms = append(denTerms, Term{Var: t, Coeff: f.DenC})
-	p.AddConstraint(denTerms, EQ, 1)
+	p.AddConstraintRow(denTerms, EQ, 1, "cc:den")
+	return p, y, t, nil
+}
 
-	res, err = p.SolveFrom(prev)
-	if err != nil {
-		return nil, 0, nil, err
-	}
+// recover converts the transformed LP's result back to the fractional
+// program's solution x = y / t.
+func (f *Fractional) recover(res *Result, y []int, t int) (x []float64, ratio float64, out *Result, err error) {
 	if res.Status != Optimal {
 		return nil, 0, res, fmt.Errorf("lp: fractional program not optimal: %v", res.Status)
 	}
@@ -97,4 +104,37 @@ func SolveFractionalFrom(f *Fractional, prev *Basis) (x []float64, ratio float64
 		x[j] = res.X[y[j]] / tv
 	}
 	return x, res.Objective, res, nil
+}
+
+// SolveFractionalFrom solves the linear-fractional program, seeding the
+// transformed LP from a previous basis when one is supplied (the transformed
+// problem's shape is a deterministic function of f's shape, so a basis from
+// a same-shaped Fractional warm-starts its successor). It returns the raw
+// result of the transformed LP, whose Basis seeds the next call.
+func SolveFractionalFrom(f *Fractional, prev *Basis) (x []float64, ratio float64, res *Result, err error) {
+	p, y, t, err := f.transform()
+	if err != nil {
+		return nil, 0, nil, err
+	}
+	res, err = p.SolveFrom(prev)
+	if err != nil {
+		return nil, 0, nil, err
+	}
+	return f.recover(res, y, t)
+}
+
+// SolveFractionalFromMapped solves the linear-fractional program seeding the
+// transformed LP from a basis remapped across a shape change. The mapping
+// must target the transformed column universe: the caller's per-variable IDs
+// followed by CharnesCooperID (see policy.SolveContext.SolveFractional).
+func SolveFractionalFromMapped(f *Fractional, mb *MappedBasis) (x []float64, ratio float64, res *Result, err error) {
+	p, y, t, err := f.transform()
+	if err != nil {
+		return nil, 0, nil, err
+	}
+	res, err = p.SolveFromMapped(mb)
+	if err != nil {
+		return nil, 0, nil, err
+	}
+	return f.recover(res, y, t)
 }

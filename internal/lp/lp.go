@@ -89,6 +89,7 @@ type constraint struct {
 	terms []Term
 	op    Op
 	rhs   float64
+	id    string // stable row identity for cross-shape basis remapping; "" = anonymous
 }
 
 // Problem is a linear program under construction. The zero value is not
@@ -136,6 +137,18 @@ func (p *Problem) AddConstraint(terms []Term, op Op, rhs float64) {
 	p.cons = append(p.cons, c)
 }
 
+// AddConstraintRow adds the constraint sum(terms) op rhs with a stable row
+// identity. Row identities let Basis.Remap carry a row's state — which
+// column its old counterpart hosted, and whether its slack was basic —
+// across problems whose constraint sets differ (job arrival/departure), so
+// the remapped seed reproduces the old vertex almost exactly instead of
+// guessing. IDs must be unique within one problem; the empty ID is
+// anonymous and never matches.
+func (p *Problem) AddConstraintRow(terms []Term, op Op, rhs float64, id string) {
+	p.AddConstraint(terms, op, rhs)
+	p.cons[len(p.cons)-1].id = id
+}
+
 // Result holds the outcome of Solve.
 type Result struct {
 	Status     Status
@@ -149,6 +162,9 @@ type Result struct {
 	// WarmStarted reports whether this solve was seeded from a previous
 	// basis (false when SolveFrom fell back to the cold two-phase path).
 	WarmStarted bool
+	// Remapped reports whether the seed came from a basis remapped across a
+	// shape change (SolveFromMapped); implies WarmStarted.
+	Remapped bool
 }
 
 // Basis is an opaque snapshot of a simplex basis, tied to the shape of the
@@ -158,12 +174,112 @@ type Result struct {
 // the problem being solved and falls back to a cold solve.
 type Basis struct {
 	numVars int
-	ops     []Op  // normalized (rhs >= 0) constraint ops, in order
-	cols    []int // basic column per row; -1 for dropped redundant rows
+	ops     []Op     // normalized (rhs >= 0) constraint ops, in order
+	cols    []int    // basic column per row; -1 for dropped redundant rows
+	rowIDs  []string // stable row identities ("" = anonymous), in order
 }
 
 // NumVars returns the structural variable count the basis was built for.
 func (b *Basis) NumVars() int { return b.numVars }
+
+// NumRows returns the constraint-row count the basis was built for.
+func (b *Basis) NumRows() int {
+	if b == nil {
+		return 0
+	}
+	return len(b.ops)
+}
+
+// ColumnID is a stable, caller-chosen identity for a structural variable,
+// used to carry a basis across problems whose variable sets differ (job
+// arrival/departure in Gavel's allocation LPs). Callers must keep IDs unique
+// within one problem; the empty ID never matches anything.
+type ColumnID string
+
+// MappedBasis is a shape-independent projection of a Basis onto a new
+// column universe: the basic structural columns whose identities survive the
+// job-set change (expressed as indices into the target problem, each with
+// the identity of the row that hosted it), plus the identities of the rows
+// whose slack column was basic. Build one with Basis.Remap and solve with
+// Problem.SolveFromMapped. Departed structural columns are dropped; the
+// mapped solve pins every surviving column and slack back to its old row
+// where possible, completes the rest greedily, and repairs any lost primal
+// feasibility with a phase-1-lite pass over just the violated rows — so a
+// mapping can only change speed, never the solution.
+type MappedBasis struct {
+	numVars   int      // structural variable count of the target problem
+	cands     []int    // surviving basic structural columns (target indices)
+	candRows  []string // parallel: identity of the old host row ("" = greedy)
+	slackRows []string // identities of rows whose own slack was basic
+}
+
+// NumCandidates returns how many basic columns survived the remap.
+func (mb *MappedBasis) NumCandidates() int {
+	if mb == nil {
+		return 0
+	}
+	return len(mb.cands)
+}
+
+// Remap projects the basis onto a problem with a different column set.
+// oldCols names the structural variables of the problem that produced b (in
+// variable order, len == b.NumVars()); newCols names the target problem's
+// variables. Basic structural columns whose ID appears in newCols survive
+// (departing jobs' columns are dropped); basic slacks are dropped — the
+// mapped solve re-derives them from the target's own constraint rows.
+// Returns nil when b is nil or oldCols does not match b's shape; a nil
+// MappedBasis makes SolveFromMapped run the cold path.
+func (b *Basis) Remap(oldCols, newCols []ColumnID) *MappedBasis {
+	if b == nil || len(oldCols) != b.numVars {
+		return nil
+	}
+	idx := make(map[ColumnID]int, len(newCols))
+	for j, id := range newCols {
+		if id != "" {
+			idx[id] = j
+		}
+	}
+	// Reconstruct which row each slack column belongs to (slack indices are
+	// assigned in row order over the LE/GE rows).
+	slackOwner := make(map[int]int)
+	slackAt := b.numVars
+	for i, op := range b.ops {
+		if op == LE || op == GE {
+			slackOwner[slackAt] = i
+			slackAt++
+		}
+	}
+	rowID := func(i int) string {
+		if i < len(b.rowIDs) {
+			return b.rowIDs[i]
+		}
+		return ""
+	}
+	seen := make(map[int]bool)
+	mb := &MappedBasis{numVars: len(newCols)}
+	for hostRow, c := range b.cols {
+		switch {
+		case c < 0:
+			// Dropped redundant row: nothing to carry.
+		case c < b.numVars:
+			if j, ok := idx[oldCols[c]]; ok && !seen[j] {
+				seen[j] = true
+				mb.cands = append(mb.cands, j)
+				mb.candRows = append(mb.candRows, rowID(hostRow))
+			}
+		default:
+			// Basic slack: carry the identity of the row OWNING the slack
+			// (the non-binding constraint), not the row hosting it — the
+			// basic set, not the hosting assignment, determines the vertex.
+			if owner, ok := slackOwner[c]; ok {
+				if id := rowID(owner); id != "" {
+					mb.slackRows = append(mb.slackRows, id)
+				}
+			}
+		}
+	}
+	return mb
+}
 
 // compatible reports whether the basis can seed a problem with the given
 // structural variable count and normalized op sequence.
@@ -194,7 +310,7 @@ const (
 // Solve runs two-phase primal simplex and returns the result. The returned
 // error is non-nil only for malformed problems; infeasibility and
 // unboundedness are reported via Result.Status.
-func (p *Problem) Solve() (*Result, error) { return p.solve(nil) }
+func (p *Problem) Solve() (*Result, error) { return p.solve(nil, nil) }
 
 // SolveFrom solves the problem seeded from a previous optimal basis,
 // skipping phase 1 entirely when the basis is still primal feasible. The
@@ -202,9 +318,19 @@ func (p *Problem) Solve() (*Result, error) { return p.solve(nil) }
 // constraint operator sequence); on a shape mismatch, a singular or
 // primal-infeasible seed, or numerical trouble, it falls back to the cold
 // two-phase path. Result.WarmStarted reports which path ran.
-func (p *Problem) SolveFrom(prev *Basis) (*Result, error) { return p.solve(prev) }
+func (p *Problem) SolveFrom(prev *Basis) (*Result, error) { return p.solve(prev, nil) }
 
-func (p *Problem) solve(prev *Basis) (*Result, error) {
+// SolveFromMapped solves the problem seeded from a basis remapped across a
+// shape change (Basis.Remap): surviving structural columns are made basic
+// first, every remaining row is completed with its own slack, and lost
+// primal feasibility is repaired with dual simplex pivots before the primal
+// cleanup. An unusable mapping (nil, no surviving columns, singular seed,
+// unrepairable row, iteration cap) falls back to the cold two-phase path, so
+// correctness never depends on the mapping. Result.Remapped reports whether
+// the mapped seed was used.
+func (p *Problem) SolveFromMapped(mb *MappedBasis) (*Result, error) { return p.solve(nil, mb) }
+
+func (p *Problem) solve(prev *Basis, mapped *MappedBasis) (*Result, error) {
 	n := len(p.obj)
 	m := len(p.cons)
 	for _, c := range p.cons {
@@ -253,6 +379,10 @@ func (p *Problem) solve(prev *Basis) (*Result, error) {
 
 	if prev.compatible(n, ops) {
 		if res, ok := p.warmSolve(rows, rhs, nSlack, prev); ok {
+			return res, nil
+		}
+	} else if mapped != nil && mapped.numVars == n && len(mapped.cands) > 0 {
+		if res, ok := p.mappedSolve(rows, ops, rhs, nSlack, mapped); ok {
 			return res, nil
 		}
 	}
@@ -388,10 +518,15 @@ func (p *Problem) solve(prev *Basis) (*Result, error) {
 // artificial columns never occur here: phase 1 drives artificials out of the
 // basis or drops their rows (basis entry -1).
 func (p *Problem) snapshotBasis(ops []Op, basis []int) *Basis {
+	ids := make([]string, len(p.cons))
+	for i, c := range p.cons {
+		ids[i] = c.id
+	}
 	return &Basis{
 		numVars: len(p.obj),
 		ops:     append([]Op(nil), ops...),
 		cols:    append([]int(nil), basis...),
+		rowIDs:  ids,
 	}
 }
 
@@ -452,6 +587,237 @@ func (p *Problem) warmSolve(rows [][]float64, rhs []float64, nSlack int, prev *B
 		pivots++
 	}
 
+	return p.finishSeeded(tab, basis, pivots, 0, total, nil, prev.ops, false)
+}
+
+// mappedSolve attempts a seeded solve from a basis remapped across a shape
+// change: rebuild the slack-form tableau, pin the surviving basic slacks
+// and structural columns back to the rows that hosted them (identified by
+// stable row IDs; greedy placement for anything whose host departed),
+// complete uncovered rows with their own slack or their largest remaining
+// nonbasic column (EQ rows, dead pivots), repair the leftover primal
+// infeasibility with a phase-1-lite pass over just the violated rows, and
+// hand off to the shared primal-cleanup tail. Returns ok=false when the
+// seed is unusable and the caller must run cold.
+func (p *Problem) mappedSolve(rows [][]float64, ops []Op, rhs []float64, nSlack int, mb *MappedBasis) (*Result, bool) {
+	n := len(p.obj)
+	m := len(rows)
+	total := n + nSlack
+
+	tab := make([][]float64, m)
+	slackOf := make([]int, m) // each row's own slack column; -1 for EQ rows
+	slackAt := n
+	for i := range rows {
+		r := make([]float64, total+1)
+		copy(r, rows[i])
+		r[total] = rhs[i]
+		slackOf[i] = -1
+		switch ops[i] {
+		case LE:
+			r[slackAt] = 1
+			slackOf[i] = slackAt
+			slackAt++
+		case GE:
+			r[slackAt] = -1
+			slackOf[i] = slackAt
+			slackAt++
+		}
+		tab[i] = r
+	}
+
+	rowAt := make(map[string]int, m)
+	for i, c := range p.cons {
+		if c.id != "" {
+			rowAt[c.id] = i
+		}
+	}
+
+	basis := make([]int, m)
+	for i := range basis {
+		basis[i] = -1
+	}
+	inBasis := make([]bool, total)
+	pivots := 0
+
+	// 1. Pin basic slacks to their own rows first: a slack column is
+	// nonzero only in its own row until that row pivots, so these pivots
+	// are exact (|entry| = 1) and cannot conflict with anything.
+	for _, id := range mb.slackRows {
+		i, ok := rowAt[id]
+		if !ok || basis[i] != -1 {
+			continue // the non-binding row departed with its job
+		}
+		col := slackOf[i]
+		if col < 0 || inBasis[col] || math.Abs(tab[i][col]) <= warmPivotTol {
+			continue
+		}
+		pivot(tab, basis, i, col)
+		inBasis[col] = true
+		pivots++
+	}
+
+	// 2. Pin surviving structural columns to the rows that hosted them in
+	// the old basis; columns whose host row departed (or went numerically
+	// dead under the new coefficients) fall back to the best remaining row.
+	var loose []int
+	for k, col := range mb.cands {
+		if col < 0 || col >= n {
+			return nil, false
+		}
+		if inBasis[col] {
+			continue
+		}
+		if i, ok := rowAt[mb.candRows[k]]; ok && basis[i] == -1 && math.Abs(tab[i][col]) > warmPivotTol {
+			pivot(tab, basis, i, col)
+			inBasis[col] = true
+			pivots++
+			continue
+		}
+		loose = append(loose, col)
+	}
+	for _, col := range loose {
+		best, bestAbs := -1, warmPivotTol
+		for i := 0; i < m; i++ {
+			if basis[i] != -1 {
+				continue
+			}
+			if a := math.Abs(tab[i][col]); a > bestAbs {
+				best, bestAbs = i, a
+			}
+		}
+		if best < 0 {
+			continue // column unusable under the new coefficients; skip it
+		}
+		pivot(tab, basis, best, col)
+		inBasis[col] = true
+		pivots++
+	}
+
+	// 3. Complete the basis: uncovered rows (arrived jobs' rows, dead
+	// pins) take their own slack, or their largest remaining nonbasic
+	// column (EQ rows, eliminated slacks).
+	for i := 0; i < m; i++ {
+		if basis[i] != -1 {
+			continue
+		}
+		col := slackOf[i]
+		if col < 0 || inBasis[col] || math.Abs(tab[i][col]) <= warmPivotTol {
+			col = -1
+			bestAbs := warmPivotTol
+			for j := 0; j < total; j++ {
+				if inBasis[j] {
+					continue
+				}
+				if a := math.Abs(tab[i][j]); a > bestAbs {
+					col, bestAbs = j, a
+				}
+			}
+			if col < 0 {
+				return nil, false // dead row: let the cold path sort it out
+			}
+		}
+		pivot(tab, basis, i, col)
+		inBasis[col] = true
+		pivots++
+	}
+
+	// A remapped vertex can be materially primal infeasible — the job-set
+	// change moves many binding rows at once, and dual simplex repair
+	// zigzags badly on that (observed: 2x a cold solve at 512 jobs). Run a
+	// phase-1-lite instead: artificial columns on just the violated rows,
+	// minimized to zero starting from the seeded basis, so repair work
+	// scales with the actual damage rather than the problem size. The
+	// shape-preserving warm path keeps dual repair, whose violations are
+	// small and local.
+	var viol []int
+	for i := range tab {
+		if tab[i][total] < -1e-9 {
+			viol = append(viol, i)
+		}
+	}
+	var forbidden []bool
+	repairIters := 0
+	if len(viol) > 0 {
+		wide := total + len(viol)
+		for i := range tab {
+			r := make([]float64, wide+1)
+			copy(r, tab[i][:total])
+			r[wide] = tab[i][total]
+			tab[i] = r
+		}
+		for vi, i := range viol {
+			// Flip the row (an equality in slack form, so the system is
+			// unchanged) to make its new artificial basic at a positive
+			// value, displacing whichever column was basic there.
+			row := tab[i]
+			for j := range row {
+				row[j] = -row[j]
+			}
+			row[total+vi] = 1
+			basis[i] = total + vi
+		}
+		cost1 := make([]float64, wide+1)
+		for vi := range viol {
+			cost1[total+vi] = 1
+		}
+		canonicalize(cost1, tab, basis)
+		st, it := simplexIterate(tab, basis, cost1, nil)
+		repairIters = it
+		if st == Unbounded || st == IterationLimit {
+			return nil, false
+		}
+		if -cost1[wide] > 1e-7 {
+			// Phase 1 bottomed out above zero: the problem is infeasible,
+			// the same verdict the cold path's full phase 1 would reach.
+			return &Result{Status: Infeasible, Iterations: repairIters, Pivots: pivots + repairIters, WarmStarted: true, Remapped: true}, true
+		}
+		// Drive remaining basic artificials out or drop their rows, then
+		// retire the artificial columns for phase 2.
+		for i := 0; i < m; i++ {
+			if basis[i] < total {
+				continue
+			}
+			pivoted := false
+			for j := 0; j < total; j++ {
+				if math.Abs(tab[i][j]) > eps {
+					pivot(tab, basis, i, j)
+					pivots++
+					pivoted = true
+					break
+				}
+			}
+			if !pivoted {
+				for j := range tab[i] {
+					tab[i][j] = 0
+				}
+				basis[i] = -1
+			}
+		}
+		for i := range tab {
+			for vi := range viol {
+				tab[i][total+vi] = 0
+			}
+		}
+		forbidden = make([]bool, wide)
+		for vi := range viol {
+			forbidden[total+vi] = true
+		}
+		total = wide
+	}
+
+	return p.finishSeeded(tab, basis, pivots, repairIters, total, forbidden, ops, true)
+}
+
+// finishSeeded completes a seeded solve once every row has a basic column:
+// canonicalize the phase-2 cost row, repair any remaining primal
+// infeasibility with dual simplex pivots — on the shape-preserving warm path
+// a reset moves the binding constraints slightly, which is exactly the case
+// dual simplex fixes cheaply; the mapped path arrives here already feasible
+// after its phase-1-lite repair (preIters, with its artificial columns
+// marked in forbidden) — and run primal iterations to optimality. Returns
+// ok=false when the seed must be abandoned for the cold path.
+func (p *Problem) finishSeeded(tab [][]float64, basis []int, pivots, preIters, total int, forbidden []bool, ops []Op, remapped bool) (*Result, bool) {
+	n := len(p.obj)
 	cost := make([]float64, total+1)
 	for j := 0; j < n; j++ {
 		if p.sense == Maximize {
@@ -462,9 +828,6 @@ func (p *Problem) warmSolve(rows [][]float64, rhs []float64, nSlack int, prev *B
 	}
 	canonicalize(cost, tab, basis)
 
-	// Reset events move the binding constraints, so the seeded vertex is
-	// usually slightly primal infeasible; repair it with dual simplex
-	// pivots (the textbook warm-start move) before the primal cleanup.
 	dualIters := 0
 	if !primalFeasible(tab, total) {
 		ok := false
@@ -479,13 +842,13 @@ func (p *Problem) warmSolve(rows [][]float64, rhs []float64, nSlack int, prev *B
 		}
 	}
 
-	st, it := simplexIterate(tab, basis, cost, nil)
+	st, it := simplexIterate(tab, basis, cost, forbidden)
 	if st == IterationLimit {
 		// Let the cold path retry with fresh anti-cycling state.
 		return nil, false
 	}
-	iters := dualIters + it
-	res := &Result{Status: st, Iterations: iters, Pivots: pivots + iters, WarmStarted: true}
+	iters := preIters + dualIters + it
+	res := &Result{Status: st, Iterations: iters, Pivots: pivots + iters, WarmStarted: true, Remapped: remapped}
 	if st != Optimal {
 		return res, true // genuinely unbounded from a feasible basis
 	}
@@ -500,7 +863,7 @@ func (p *Problem) warmSolve(rows [][]float64, rhs []float64, nSlack int, prev *B
 		obj += c * x[j]
 	}
 	res.X, res.Objective = x, obj
-	res.Basis = p.snapshotBasis(prev.ops, basis)
+	res.Basis = p.snapshotBasis(ops, basis)
 	return res, true
 }
 

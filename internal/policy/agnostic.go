@@ -41,7 +41,10 @@ func (p *Agnostic) Allocate(in *Input, ctx *SolveContext) (*core.Allocation, err
 		}
 		j.Tput = ones
 		flat.Jobs[m] = j
-		flat.Units[m] = core.Single(m, ones)
+		// Keyed by the external job ID so the inner policy's cached bases
+		// remap correctly across arrivals/departures instead of matching
+		// columns by position.
+		flat.Units[m] = core.Single(m, ones).Keyed(core.JobKey(j.ID))
 	}
 	alloc, err := p.Inner.Allocate(flat, ctx)
 	if err != nil {

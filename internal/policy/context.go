@@ -1,29 +1,31 @@
 package policy
 
 import (
-	"gavel/internal/core"
 	"gavel/internal/lp"
 )
 
 // SolveContext carries per-policy state across Allocate calls so a reset
 // event (job arrival/completion, throughput update) does incremental work
-// instead of a cold rebuild. It caches the optimal simplex basis of every LP
-// a policy solves (keyed by a policy-chosen label), the previous allocation,
-// and solve statistics. A nil *SolveContext is valid everywhere and selects
-// the cold path, so callers that do not persist state pass nil.
+// instead of a cold rebuild. For every LP a policy solves (keyed by a
+// policy-chosen label) it caches the optimal simplex basis together with the
+// column identities the basis was built over, the previous allocation, and
+// solve statistics. On the next solve under the same label it picks the
+// cheapest usable seed:
+//
+//   - identical column IDs and row count: positional warm start (SolveFrom);
+//   - anything else — arrivals, departures, simultaneous churn, or a changed
+//     constraint structure: remap the basis across shapes (Basis.Remap +
+//     SolveFromMapped), dropping departed columns and entering newcomers
+//     nonbasic;
+//   - no cached entry, or an unusable seed: the cold two-phase path.
+//
+// A nil *SolveContext is valid everywhere and selects the cold path, so
+// callers that do not persist state pass nil.
 //
 // Contexts are not safe for concurrent use; each simulation or scheduler
 // instance owns one.
 type SolveContext struct {
-	bases map[string]*lp.Basis
-	// Prev is the allocation returned by the previous Allocate call, and
-	// PrevJobIDs the job IDs (in input order) it was computed for; both are
-	// set by the driver (e.g. the simulator). No policy consumes them yet:
-	// they are the inputs the planned cross-reset basis remapping needs to
-	// interpret a cached basis after the job set changes (see ROADMAP.md),
-	// recorded now so drivers already maintain the invariant.
-	Prev       *core.Allocation
-	PrevJobIDs []int
+	bases map[string]*cachedBasis
 	// Stats accumulates solve accounting across the context's lifetime.
 	Stats SolveStats
 	// NoWarm disables warm starting while keeping the accounting: every
@@ -32,75 +34,163 @@ type SolveContext struct {
 	NoWarm bool
 }
 
+// cachedBasis pairs a cached simplex basis with the column identities of the
+// problem that produced it, which is what makes the basis portable across
+// job-set changes.
+type cachedBasis struct {
+	basis *lp.Basis
+	ids   []lp.ColumnID
+}
+
 // SolveStats counts LP work issued through a SolveContext.
 type SolveStats struct {
-	Solves       int // LP solves issued (including fractional programs)
-	WarmAttempts int // solves that had a cached basis to seed from
-	WarmHits     int // solves that actually ran warm (no cold fallback)
-	Iterations   int // simplex iterations across all solves
-	Pivots       int // tableau pivots across all solves
+	Solves        int // LP solves issued (including fractional programs)
+	WarmAttempts  int // solves seeded positionally from a same-shape basis
+	WarmHits      int // positional seeds that actually ran warm
+	RemapAttempts int // solves seeded from a basis remapped across shapes
+	RemapHits     int // remapped seeds that actually ran warm
+	Iterations    int // simplex iterations across all solves
+	Pivots        int // tableau pivots across all solves
 }
 
 // NewSolveContext returns an empty context.
 func NewSolveContext() *SolveContext {
-	return &SolveContext{bases: map[string]*lp.Basis{}}
+	return &SolveContext{bases: map[string]*cachedBasis{}}
 }
 
-// Solve solves p, warm-starting from the basis cached under key when the
-// shapes match, and caches the new optimal basis for the next call with the
-// same key. With a nil receiver it is exactly p.Solve().
-func (c *SolveContext) Solve(key string, p *lp.Problem) (*lp.Result, error) {
-	if c == nil {
-		return p.Solve()
+// seed selects the warm-start strategy for a problem with the given column
+// IDs and row count against the cached entry, returning the positional basis
+// to use (may be nil) and the mapped basis to use (may be nil); at most one
+// is non-nil.
+func (c *SolveContext) seed(key string, ids []lp.ColumnID, numRows int) (*lp.Basis, *lp.MappedBasis) {
+	ent := c.bases[key]
+	if ent == nil || c.NoWarm {
+		return nil, nil
 	}
-	c.Stats.Solves++
-	prev := c.bases[key]
-	if c.NoWarm {
-		prev = nil
+	if ids == nil || ent.ids == nil {
+		// No identities to compare: legacy positional behavior, where
+		// SolveFrom itself rejects shape mismatches.
+		return ent.basis, nil
 	}
-	if prev != nil {
-		c.Stats.WarmAttempts++
+	if sameIDs(ent.ids, ids) && ent.basis.NumRows() == numRows {
+		return ent.basis, nil
 	}
-	res, err := p.SolveFrom(prev)
-	if err != nil {
-		return res, err
+	return nil, ent.basis.Remap(ent.ids, ids)
+}
+
+func sameIDs(a, b []lp.ColumnID) bool {
+	if len(a) != len(b) {
+		return false
 	}
-	if res.WarmStarted {
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// record folds a solve's outcome into the stats and caches its basis.
+func (c *SolveContext) record(key string, ids []lp.ColumnID, res *lp.Result) {
+	switch {
+	case res.Remapped:
+		c.Stats.RemapHits++
+	case res.WarmStarted:
 		c.Stats.WarmHits++
 	}
 	c.Stats.Iterations += res.Iterations
 	c.Stats.Pivots += res.Pivots
 	if res.Status == lp.Optimal && res.Basis != nil {
-		c.bases[key] = res.Basis
+		c.bases[key] = &cachedBasis{basis: res.Basis, ids: ids}
 	}
+}
+
+// Solve solves p, seeding from the basis cached under key — positionally
+// when the column IDs and row count match, remapped across shapes otherwise
+// — and caches the new optimal basis (with ids) for the next call with the
+// same key. ids names p's variables in order (e.g. Program.ColumnIDs); nil
+// disables cross-shape reuse but keeps same-shape warm starts. With a nil
+// receiver it is exactly p.Solve().
+func (c *SolveContext) Solve(key string, p *lp.Problem, ids []lp.ColumnID) (*lp.Result, error) {
+	if c == nil {
+		return p.Solve()
+	}
+	c.Stats.Solves++
+	prev, mapped := c.seed(key, ids, p.NumConstraints())
+	var res *lp.Result
+	var err error
+	switch {
+	case prev != nil:
+		c.Stats.WarmAttempts++
+		res, err = p.SolveFrom(prev)
+	case mapped != nil:
+		c.Stats.RemapAttempts++
+		res, err = p.SolveFromMapped(mapped)
+	default:
+		res, err = p.Solve()
+	}
+	if err != nil {
+		return res, err
+	}
+	c.record(key, ids, res)
+	return res, nil
+}
+
+// SolveCold solves p on the cold two-phase path unconditionally, keeping
+// only the accounting. For procedures whose *result* depends on which
+// optimal vertex the solver lands on (hierarchical water filling freezes
+// whatever incidental throughput zero-weight jobs received), any seeded
+// solve — positional or remapped — could change the outcome rather than
+// just the cost, so they must not reuse bases at all.
+func (c *SolveContext) SolveCold(p *lp.Problem) (*lp.Result, error) {
+	if c == nil {
+		return p.Solve()
+	}
+	c.Stats.Solves++
+	res, err := p.Solve()
+	if err != nil {
+		return res, err
+	}
+	c.Stats.Iterations += res.Iterations
+	c.Stats.Pivots += res.Pivots
 	return res, nil
 }
 
 // SolveFractional solves the linear-fractional program with the same basis
-// caching as Solve, keyed on the transformed LP's shape.
-func (c *SolveContext) SolveFractional(key string, f *lp.Fractional) ([]float64, float64, error) {
+// caching and cross-shape remapping as Solve. ids names f's variables (len
+// f.NumVars); the Charnes-Cooper homogenizing column is accounted for
+// internally.
+func (c *SolveContext) SolveFractional(key string, f *lp.Fractional, ids []lp.ColumnID) ([]float64, float64, error) {
 	if c == nil {
 		x, ratio, err := lp.SolveFractional(f)
 		return x, ratio, err
 	}
 	c.Stats.Solves++
-	prev := c.bases[key]
-	if c.NoWarm {
-		prev = nil
+	var tids []lp.ColumnID
+	if ids != nil {
+		tids = make([]lp.ColumnID, 0, len(ids)+1)
+		tids = append(tids, ids...)
+		tids = append(tids, lp.CharnesCooperID)
 	}
-	if prev != nil {
+	// The transformed LP has one row per constraint plus the denominator
+	// normalization row.
+	prev, mapped := c.seed(key, tids, len(f.Cons)+1)
+	var x []float64
+	var ratio float64
+	var res *lp.Result
+	var err error
+	switch {
+	case prev != nil:
 		c.Stats.WarmAttempts++
+		x, ratio, res, err = lp.SolveFractionalFrom(f, prev)
+	case mapped != nil:
+		c.Stats.RemapAttempts++
+		x, ratio, res, err = lp.SolveFractionalFromMapped(f, mapped)
+	default:
+		x, ratio, res, err = lp.SolveFractionalFrom(f, nil)
 	}
-	x, ratio, res, err := lp.SolveFractionalFrom(f, prev)
 	if res != nil {
-		if res.WarmStarted {
-			c.Stats.WarmHits++
-		}
-		c.Stats.Iterations += res.Iterations
-		c.Stats.Pivots += res.Pivots
-		if res.Status == lp.Optimal && res.Basis != nil {
-			c.bases[key] = res.Basis
-		}
+		c.record(key, tids, res)
 	}
 	return x, ratio, err
 }

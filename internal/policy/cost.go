@@ -46,11 +46,18 @@ func (p *MinCost) Allocate(in *Input, ctx *SolveContext) (*core.Allocation, erro
 	numTypes := len(in.Workers)
 	sf := in.scaleFactors()
 
-	// Flatten usable (unit, type) pairs into fractional-program variables.
+	// Flatten usable (unit, type) pairs into fractional-program variables,
+	// naming each by the unit's stable key so the transformed LP's basis
+	// can be remapped across job arrivals and departures.
 	varOf := make([][]int, len(in.Units))
+	var colIDs []lp.ColumnID
 	nv := 0
 	for ui := range in.Units {
 		varOf[ui] = make([]int, numTypes)
+		key := in.Units[ui].Key
+		if key == "" {
+			key = fmt.Sprintf("u%d", ui)
+		}
 		for j := 0; j < numTypes; j++ {
 			usable := false
 			for k := range in.Units[ui].Jobs {
@@ -61,6 +68,7 @@ func (p *MinCost) Allocate(in *Input, ctx *SolveContext) (*core.Allocation, erro
 			}
 			if usable {
 				varOf[ui][j] = nv
+				colIDs = append(colIDs, lp.ColumnID(fmt.Sprintf("%s@%d", key, j)))
 				nv++
 			} else {
 				varOf[ui][j] = -1
@@ -128,7 +136,9 @@ func (p *MinCost) Allocate(in *Input, ctx *SolveContext) (*core.Allocation, erro
 			}
 		}
 		if len(terms) > 0 {
-			f.Cons = append(f.Cons, lp.FractionalConstraint{Terms: terms, Op: lp.LE, RHS: 1})
+			f.Cons = append(f.Cons, lp.FractionalConstraint{
+				Terms: terms, Op: lp.LE, RHS: 1, ID: fmt.Sprintf("b:%d", in.Jobs[m].ID),
+			})
 		}
 	}
 	// Per-type capacity.
@@ -146,7 +156,9 @@ func (p *MinCost) Allocate(in *Input, ctx *SolveContext) (*core.Allocation, erro
 			}
 		}
 		if len(terms) > 0 {
-			f.Cons = append(f.Cons, lp.FractionalConstraint{Terms: terms, Op: lp.LE, RHS: in.Workers[j]})
+			f.Cons = append(f.Cons, lp.FractionalConstraint{
+				Terms: terms, Op: lp.LE, RHS: in.Workers[j], ID: fmt.Sprintf("c:%d", j),
+			})
 		}
 	}
 	// SLO floor constraints. An SLO that cannot be met even on the job's
@@ -184,9 +196,10 @@ func (p *MinCost) Allocate(in *Input, ctx *SolveContext) (*core.Allocation, erro
 		for _, s := range slos[:nSLO] {
 			f.Cons = append(f.Cons, lp.FractionalConstraint{
 				Terms: throughputTerms(s.job), Op: lp.GE, RHS: s.need,
+				ID: fmt.Sprintf("slo:%d", in.Jobs[s.job].ID),
 			})
 		}
-		x, _, err := ctx.SolveFractional("mincost", f)
+		x, _, err := ctx.SolveFractional("mincost", f, colIDs)
 		return x, err
 	}
 	nSLO := len(slos)
@@ -244,7 +257,7 @@ func (MaxTotalThroughput) Allocate(in *Input, ctx *SolveContext) (*core.Allocati
 			pr.P.AddObj(tm.Var, tm.Coeff)
 		}
 	}
-	res, err := ctx.Solve("maxtput", pr.P)
+	res, err := ctx.Solve("maxtput", pr.P, pr.ColumnIDs())
 	if err != nil {
 		return nil, fmt.Errorf("max_total_throughput LP: %w", err)
 	}

@@ -49,7 +49,7 @@ func (FIFO) Allocate(in *Input, ctx *SolveContext) (*core.Allocation, error) {
 			pr.P.AddObj(tm.Var, tm.Coeff)
 		}
 	}
-	res, err := ctx.Solve("fifo", pr.P)
+	res, err := ctx.Solve("fifo", pr.P, pr.ColumnIDs())
 	if err != nil {
 		return nil, fmt.Errorf("fifo LP: %w", err)
 	}
@@ -108,7 +108,7 @@ func (ShortestJobFirst) Allocate(in *Input, ctx *SolveContext) (*core.Allocation
 			pr.P.AddObj(tm.Var, tm.Coeff)
 		}
 	}
-	res, err := ctx.Solve("sjf", pr.P)
+	res, err := ctx.Solve("sjf", pr.P, pr.ColumnIDs())
 	if err != nil {
 		return nil, fmt.Errorf("sjf LP: %w", err)
 	}

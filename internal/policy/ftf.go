@@ -86,9 +86,9 @@ func (p *FinishTimeFairness) Allocate(in *Input, ctx *SolveContext) (*core.Alloc
 					pr.P.AddObj(tm.Var, tm.Coeff/fastest)
 				}
 			}
-			pr.P.AddConstraint(terms, lp.GE, need)
+			pr.AddRow(terms, lp.GE, need, fmt.Sprintf("r:%d", in.Jobs[m].ID))
 		}
-		res, err := ctx.Solve("ftf/feas", pr.P)
+		res, err := ctx.Solve("ftf/feas", pr.P, pr.ColumnIDs())
 		if err != nil || res.Status != lp.Optimal {
 			return nil, false
 		}

@@ -218,7 +218,7 @@ func (p *Hierarchical) jobWeights(in *Input, entities []entityGroup, frozen []bo
 // allocation and every job's achieved normalized throughput.
 func (p *Hierarchical) solveIteration(in *Input, ctx *SolveContext, wjob, norm []float64, frozen []bool, floor, prev []float64) (*core.Allocation, []float64, error) {
 	pr := core.NewProgram(lp.Maximize, in.Units, in.scaleFactors(), in.Workers)
-	t := pr.P.AddVar(1, "t")
+	t := pr.AddVar(1, "t")
 	for m := range in.Jobs {
 		if norm[m] <= 0 {
 			continue
@@ -242,7 +242,15 @@ func (p *Hierarchical) solveIteration(in *Input, ctx *SolveContext, wjob, norm [
 			pr.P.AddConstraint(terms, lp.GE, prev[m]*(1-1e-6))
 		}
 	}
-	res, err := ctx.Solve("hier/iter", pr.P)
+	// Water filling is vertex-sensitive: jobs carrying no weight in an
+	// iteration (e.g. non-head jobs of a FIFO entity) receive only
+	// incidental throughput, and whichever optimal vertex the solver lands
+	// on gets frozen as a floor for later iterations. Any seeded solve —
+	// remapped across a job-set change or warm-started positionally — can
+	// legitimately land on a different optimal vertex than the cold
+	// two-phase path, which would change the final shares rather than just
+	// the solve cost, so the hierarchical LPs always run cold.
+	res, err := ctx.SolveCold(pr.P)
 	if err != nil {
 		return nil, nil, err
 	}
@@ -295,14 +303,16 @@ func (p *Hierarchical) findBottlenecks(in *Input, ctx *SolveContext, wjob, norm 
 			pr.P.AddConstraint(terms, lp.GE, floor[m]*(1-1e-6))
 		case wjob[m] > 0:
 			eps := 1e-3 * (achieved[m] + 1)
-			s := pr.P.AddVar(1, "s")
+			s := pr.AddVar(1, fmt.Sprintf("s:%d", in.Jobs[m].ID))
 			slack[m] = s
 			pr.P.AddConstraint([]lp.Term{{Var: s, Coeff: 1}}, lp.LE, eps)
 			terms = append(terms, lp.Term{Var: s, Coeff: -1})
 			pr.P.AddConstraint(terms, lp.GE, achieved[m]*(1-1e-6))
 		}
 	}
-	res, err := ctx.Solve("hier/bn", pr.P)
+	// Always cold, for the same vertex-sensitivity reason as the
+	// water-filling iteration LP above.
+	res, err := ctx.SolveCold(pr.P)
 	if err != nil || res.Status != lp.Optimal {
 		// Numerical trouble: freeze everything so the caller terminates.
 		var out []int

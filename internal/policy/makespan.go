@@ -35,7 +35,7 @@ func (Makespan) Allocate(in *Input, ctx *SolveContext) (*core.Allocation, error)
 	}
 
 	pr := core.NewProgram(lp.Maximize, in.Units, in.scaleFactors(), in.Workers)
-	z := pr.P.AddVar(1, "z")
+	z := pr.AddVar(1, "z")
 	nConstrained := 0
 	for m := range in.Jobs {
 		steps := in.Jobs[m].RemainingSteps
@@ -44,13 +44,13 @@ func (Makespan) Allocate(in *Input, ctx *SolveContext) (*core.Allocation, error)
 		}
 		terms := pr.ThroughputTerms(m, 1)
 		terms = append(terms, lp.Term{Var: z, Coeff: -steps})
-		pr.P.AddConstraint(terms, lp.GE, 0)
+		pr.AddRow(terms, lp.GE, 0, fmt.Sprintf("r:%d", in.Jobs[m].ID))
 		nConstrained++
 	}
 	if nConstrained == 0 {
 		return emptyAllocation(in), nil
 	}
-	res, err := ctx.Solve("makespan/z", pr.P)
+	res, err := ctx.Solve("makespan/z", pr.P, pr.ColumnIDs())
 	if err != nil {
 		return nil, fmt.Errorf("makespan LP: %w", err)
 	}
@@ -76,10 +76,10 @@ func (Makespan) Allocate(in *Input, ctx *SolveContext) (*core.Allocation, error)
 			pr2.P.AddObj(tm.Var, tm.Coeff/fastest)
 		}
 		if steps > 0 {
-			pr2.P.AddConstraint(terms, lp.GE, steps*zStar*(1-1e-6))
+			pr2.AddRow(terms, lp.GE, steps*zStar*(1-1e-6), fmt.Sprintf("r:%d", in.Jobs[m].ID))
 		}
 	}
-	res2, err := ctx.Solve("makespan/refine", pr2.P)
+	res2, err := ctx.Solve("makespan/refine", pr2.P, pr2.ColumnIDs())
 	if err != nil || res2.Status != lp.Optimal {
 		return pr.Extract(res.X), nil
 	}

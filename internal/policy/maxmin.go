@@ -42,16 +42,16 @@ func (p *MaxMinFairness) Allocate(in *Input, ctx *SolveContext) (*core.Allocatio
 
 	// Pass 1: maximize the minimum normalized throughput t.
 	pr := core.NewProgram(lp.Maximize, in.Units, in.scaleFactors(), in.Workers)
-	t := pr.P.AddVar(1, "t")
+	t := pr.AddVar(1, "t")
 	for m := range in.Jobs {
 		if coeff[m] == 0 {
 			continue
 		}
 		terms := pr.ThroughputTerms(m, coeff[m])
 		terms = append(terms, lp.Term{Var: t, Coeff: -1})
-		pr.P.AddConstraint(terms, lp.GE, 0)
+		pr.AddRow(terms, lp.GE, 0, fmt.Sprintf("r:%d", in.Jobs[m].ID))
 	}
-	res, err := ctx.Solve("maxmin/minmax", pr.P)
+	res, err := ctx.Solve("maxmin/minmax", pr.P, pr.ColumnIDs())
 	if err != nil {
 		return nil, fmt.Errorf("max-min LP: %w", err)
 	}
@@ -71,9 +71,9 @@ func (p *MaxMinFairness) Allocate(in *Input, ctx *SolveContext) (*core.Allocatio
 		for _, tm := range terms {
 			pr2.P.AddObj(tm.Var, tm.Coeff)
 		}
-		pr2.P.AddConstraint(terms, lp.GE, tStar*(1-1e-6))
+		pr2.AddRow(terms, lp.GE, tStar*(1-1e-6), fmt.Sprintf("r:%d", in.Jobs[m].ID))
 	}
-	res2, err := ctx.Solve("maxmin/refine", pr2.P)
+	res2, err := ctx.Solve("maxmin/refine", pr2.P, pr2.ColumnIDs())
 	if err != nil || res2.Status != lp.Optimal {
 		// The floor should always be feasible; fall back to pass 1 if the
 		// refinement hits numerical trouble.

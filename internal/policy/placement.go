@@ -55,7 +55,9 @@ func (p *PlacementAwareMaxMin) Allocate(in *Input, ctx *SolveContext) (*core.All
 		vt := make([]float64, 2*numTypes)
 		copy(vt, cons)
 		copy(vt[numTypes:], uncons)
-		virtUnits[m] = core.Single(m, vt)
+		// Keyed by the external job ID so the placement LP's basis survives
+		// job churn like every other policy's.
+		virtUnits[m] = core.Single(m, vt).Keyed(core.JobKey(in.Jobs[m].ID))
 	}
 
 	pr := core.NewProgram(lp.Maximize, virtUnits, in.scaleFactors(), virtWorkers)
@@ -75,11 +77,11 @@ func (p *PlacementAwareMaxMin) Allocate(in *Input, ctx *SolveContext) (*core.All
 			}
 		}
 		if len(terms) > 0 {
-			pr.P.AddConstraint(terms, lp.LE, in.Workers[j])
+			pr.AddRow(terms, lp.LE, in.Workers[j], fmt.Sprintf("pc:%d", j))
 		}
 	}
 
-	t := pr.P.AddVar(1, "t")
+	t := pr.AddVar(1, "t")
 	any := false
 	for m := range in.Jobs {
 		w := in.Jobs[m].Weight
@@ -98,13 +100,13 @@ func (p *PlacementAwareMaxMin) Allocate(in *Input, ctx *SolveContext) (*core.All
 		}
 		terms := pr.ThroughputTerms(m, sf/(w*norm))
 		terms = append(terms, lp.Term{Var: t, Coeff: -1})
-		pr.P.AddConstraint(terms, lp.GE, 0)
+		pr.AddRow(terms, lp.GE, 0, fmt.Sprintf("r:%d", in.Jobs[m].ID))
 		any = true
 	}
 	if !any {
 		return emptyAllocation(in), nil
 	}
-	res, err := ctx.Solve("placement", pr.P)
+	res, err := ctx.Solve("placement", pr.P, pr.ColumnIDs())
 	if err != nil {
 		return nil, fmt.Errorf("placement max-min LP: %w", err)
 	}

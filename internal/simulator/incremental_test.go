@@ -48,8 +48,9 @@ func TestIncrementalMatchesColdSolves(t *testing.T) {
 	base := Config{
 		Cluster: cluster.Simulated108(), Policy: &policy.MaxMinFairness{},
 		Trace: trace, RoundSeconds: 360, Seed: 7,
-		// Periodic reallocs create consecutive same-shaped solves, the case
-		// warm starts accelerate; event-driven reallocs change the LP shape.
+		// Periodic reallocs create consecutive same-shaped solves, which
+		// warm-start positionally; the event-driven reallocs in between
+		// change the LP shape and exercise the remapped path.
 		ReallocEveryRounds: 2,
 	}
 
@@ -105,8 +106,19 @@ func TestIncrementalMatchesColdSolves(t *testing.T) {
 		warmRes.Rounds, warmRes.PolicyCalls, warmRes.LPSolves, warmRes.WarmSolves, warmRes.SimplexIterations)
 }
 
-// TestIncrementalSpaceSharingMatches runs the same equivalence check with
-// space sharing on, which exercises the pair rows of the throughput cache.
+// TestIncrementalSpaceSharingMatches runs the equivalence check with space
+// sharing on, which exercises the pair rows of the throughput cache and the
+// pair-keyed LP columns of the remap. Space-sharing LPs have alternate
+// optimal vertices — a job's throughput can be composed from its single and
+// pair units in equally-optimal splits, and at degenerate resets even the
+// per-job throughput vector can tie — so warm and cold runs may take
+// different (both optimal) trajectories. The run uses ideal execution
+// (progress equals effective throughput exactly, removing mechanism
+// round-off) and checks that end-to-end outcomes stay within a tight band:
+// most jobs identical, every job's completion within 0.5% relative, while
+// the remapped path actually engages. Per-solve objective parity, the exact
+// guarantee, is enforced by internal/lp's warmstart/remap tests and the
+// policy-level churn tests.
 func TestIncrementalSpaceSharingMatches(t *testing.T) {
 	trace := workload.GenerateTrace(workload.TraceOptions{NumJobs: 24, LambdaPerHour: 1.2, Seed: 9})
 	for i := range trace {
@@ -116,7 +128,69 @@ func TestIncrementalSpaceSharingMatches(t *testing.T) {
 		Cluster: cluster.Small12(), Policy: &policy.MaxMinFairness{},
 		Trace: trace, RoundSeconds: 360, Seed: 9,
 		SpaceSharing: true, ReallocEveryRounds: 3,
+		IdealExecution: true,
 	}
+	warmRes, err := Run(base)
+	if err != nil {
+		t.Fatalf("warm run: %v", err)
+	}
+	coldCfg := base
+	coldCfg.ColdSolves = true
+	coldRes, err := Run(coldCfg)
+	if err != nil {
+		t.Fatalf("cold run: %v", err)
+	}
+	exact := 0
+	for i := range warmRes.Jobs {
+		wj, cj := warmRes.Jobs[i], coldRes.Jobs[i]
+		if math.IsNaN(wj.JCT) || math.IsNaN(cj.JCT) {
+			if math.IsNaN(wj.JCT) != math.IsNaN(cj.JCT) {
+				t.Fatalf("job %d finished in one pipeline only: warm %v cold %v", wj.ID, wj.JCT, cj.JCT)
+			}
+			continue
+		}
+		d := math.Abs(wj.JCT - cj.JCT)
+		if d <= 1e-6 {
+			exact++
+		} else if d > 0.005*cj.JCT {
+			t.Fatalf("job %d JCT diverged beyond band: warm %v cold %v", wj.ID, wj.JCT, cj.JCT)
+		}
+	}
+	if exact < len(warmRes.Jobs)*2/3 {
+		t.Fatalf("only %d/%d jobs matched cold exactly", exact, len(warmRes.Jobs))
+	}
+	if d := math.Abs(warmRes.Makespan - coldRes.Makespan); d > 0.005*coldRes.Makespan {
+		t.Fatalf("makespan diverged: warm %v cold %v", warmRes.Makespan, coldRes.Makespan)
+	}
+	if warmRes.WarmSolves == 0 {
+		t.Fatal("space-sharing incremental run never warm-started")
+	}
+	if warmRes.RemappedSolves == 0 {
+		t.Fatal("space-sharing run with arrivals/completions never remapped a basis")
+	}
+	t.Logf("rounds=%d lpSolves=%d warm=%d remapped=%d iterations=%d exact=%d/%d",
+		warmRes.Rounds, warmRes.LPSolves, warmRes.WarmSolves, warmRes.RemappedSolves,
+		warmRes.SimplexIterations, exact, len(warmRes.Jobs))
+}
+
+// TestEventDrivenChurnMatchesColdSolves is the cross-shape equivalence
+// check: with no periodic refresh, every reallocation is triggered by a job
+// arrival or completion, so every cross-reset solve faces a changed LP
+// shape. The remapped warm pipeline must produce the same per-round
+// allocations as the stateless cold pipeline within 1e-6 while actually
+// taking the remapped path on a substantial share of solves.
+func TestEventDrivenChurnMatchesColdSolves(t *testing.T) {
+	trace := workload.GenerateTrace(workload.TraceOptions{NumJobs: 40, LambdaPerHour: 3, Seed: 17})
+	for i := range trace {
+		trace[i].Weight = 1 + 0.01*float64(i)
+	}
+	base := Config{
+		Cluster: cluster.Simulated108(), Policy: &policy.MaxMinFairness{},
+		Trace: trace, RoundSeconds: 360, Seed: 17,
+		// No ReallocEveryRounds: resets come only from arrivals and
+		// completions, i.e. 100% of resets change the job set.
+	}
+
 	var warm, cold roundTrace
 	warmCfg := base
 	warmCfg.OnRound = captureRounds(&warm)
@@ -127,13 +201,31 @@ func TestIncrementalSpaceSharingMatches(t *testing.T) {
 	coldCfg := base
 	coldCfg.ColdSolves = true
 	coldCfg.OnRound = captureRounds(&cold)
-	if _, err := Run(coldCfg); err != nil {
+	coldRes, err := Run(coldCfg)
+	if err != nil {
 		t.Fatalf("cold run: %v", err)
+	}
+
+	if warmRes.RemappedSolves == 0 {
+		t.Fatal("event-driven churn run never took the remapped path")
+	}
+	// With every reset changing the job set, remapped solves should carry
+	// the bulk of the cross-reset reuse (the first solve of each label is
+	// necessarily cold).
+	if warmRes.RemappedSolves < warmRes.LPSolves/2 {
+		t.Fatalf("only %d/%d solves remapped under pure churn (warm=%d)",
+			warmRes.RemappedSolves, warmRes.LPSolves, warmRes.WarmSolves)
+	}
+	if warmRes.Rounds != coldRes.Rounds {
+		t.Fatalf("round counts diverged: warm %d cold %d", warmRes.Rounds, coldRes.Rounds)
 	}
 	if len(warm.x) != len(cold.x) {
 		t.Fatalf("captured %d warm rounds, %d cold", len(warm.x), len(cold.x))
 	}
 	for r := range warm.x {
+		if len(warm.units[r]) != len(cold.units[r]) {
+			t.Fatalf("round %d: unit structure diverged", r)
+		}
 		for k := range warm.units[r] {
 			if warm.units[r][k] != cold.units[r][k] {
 				t.Fatalf("round %d: unit members diverged at %d", r, k)
@@ -141,13 +233,19 @@ func TestIncrementalSpaceSharingMatches(t *testing.T) {
 		}
 		for k := range warm.x[r] {
 			if d := math.Abs(warm.x[r][k] - cold.x[r][k]); d > 1e-6 {
-				t.Fatalf("round %d: allocation diverged by %v at entry %d", r, d, k)
+				t.Fatalf("round %d: allocation diverged by %v at entry %d (warm %v, cold %v)",
+					r, d, k, warm.x[r][k], cold.x[r][k])
 			}
 		}
 	}
-	if warmRes.WarmSolves == 0 {
-		t.Fatal("space-sharing incremental run never warm-started")
+	for i := range warmRes.Jobs {
+		wj, cj := warmRes.Jobs[i], coldRes.Jobs[i]
+		if math.Abs(wj.JCT-cj.JCT) > 1e-6 && !(math.IsNaN(wj.JCT) && math.IsNaN(cj.JCT)) {
+			t.Fatalf("job %d JCT diverged: warm %v cold %v", wj.ID, wj.JCT, cj.JCT)
+		}
 	}
+	t.Logf("rounds=%d lpSolves=%d warm=%d remapped=%d iterations=%d",
+		warmRes.Rounds, warmRes.LPSolves, warmRes.WarmSolves, warmRes.RemappedSolves, warmRes.SimplexIterations)
 }
 
 // TestPeriodicReallocAccounting checks the reset accounting: periodic

@@ -143,13 +143,19 @@ type Result struct {
 	// rather than being inferred as "one cold solve per reset".
 	PolicyTime  time.Duration
 	PolicyCalls int
-	// LPSolves counts individual LP solves across all policy calls;
-	// WarmSolves is how many of those ran seeded from a cached basis
-	// instead of the cold two-phase path; SimplexIterations sums simplex
-	// iterations over all solves. All zero when ColdSolves is set (the
-	// stateless path has no context to account through).
+	// LPSolves counts individual LP solves across all policy calls. Every
+	// solve lands in exactly one of three buckets, regardless of what kind
+	// of reset triggered it — shape-preserving refreshes and job
+	// arrival/departure resets are no longer distinguished in the
+	// accounting: WarmSolves ran seeded positionally from a same-shape
+	// cached basis, RemappedSolves ran seeded from a basis remapped across
+	// a job-set change, and the remainder (LPSolves - WarmSolves -
+	// RemappedSolves) ran the cold two-phase path. SimplexIterations sums
+	// simplex iterations over all solves. All zero when ColdSolves is set
+	// (the stateless path has no context to account through).
 	LPSolves          int
 	WarmSolves        int
+	RemappedSolves    int
 	SimplexIterations int
 	Unfinished        int
 }
@@ -333,6 +339,7 @@ func Run(cfg Config) (*Result, error) {
 	if ctx != nil {
 		res.LPSolves = ctx.Stats.Solves
 		res.WarmSolves = ctx.Stats.WarmHits
+		res.RemappedSolves = ctx.Stats.RemapHits
 		res.SimplexIterations = ctx.Stats.Iterations
 	}
 
@@ -483,10 +490,6 @@ func computeAllocation(cfg Config, builder *inputBuilder, ctx *policy.SolveConte
 	res.PolicyCalls++
 	if err != nil {
 		return nil, nil, nil, fmt.Errorf("policy %s: %w", cfg.Policy.Name(), err)
-	}
-	if ctx != nil {
-		ctx.Prev = alloc
-		ctx.PrevJobIDs = ids
 	}
 	return in, alloc, allocJobs, nil
 }
