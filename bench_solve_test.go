@@ -21,6 +21,7 @@ import (
 	"time"
 
 	"gavel/internal/core"
+	"gavel/internal/lp"
 	"gavel/internal/policy"
 	"gavel/internal/workload"
 )
@@ -112,16 +113,24 @@ var solveResetPolicies = []struct {
 
 // BenchmarkPolicySolveReset measures repeated-solve latency after reset
 // events, cold (no basis reuse) vs warm (basis reuse across resets), at
-// 2^7..2^9 jobs. The "perturb" scenario keeps the job set fixed and jitters
+// 2^7..2^10 jobs. The "perturb" scenario keeps the job set fixed and jitters
 // observed throughputs (shape-preserving warm starts); the "churn" scenario
 // additionally changes the job set on 25% of resets (a departure + an
 // arrival), which forces the warm path through the cross-shape basis remap.
+// The LP engine follows lp.DefaultEngine (GAVEL_LP_ENGINE), so the CI
+// bench-smoke job runs the matrix once per engine and diffs the outputs;
+// the 1024-job cells run only on the sparse revised engine — a dense cold
+// solve at that size costs minutes per reset, which is exactly the scaling
+// wall the revised core removes.
 func BenchmarkPolicySolveReset(b *testing.B) {
 	for _, pol := range solveResetPolicies {
-		for _, n := range []int{128, 256, 512} {
+		for _, n := range []int{128, 256, 512, 1024} {
 			for _, scenario := range []string{"perturb", "churn"} {
 				for _, mode := range []string{"cold", "warm"} {
 					b.Run(fmt.Sprintf("%s/jobs=%d/%s/%s", pol.name, n, scenario, mode), func(b *testing.B) {
+						if n >= 1024 && (lp.DefaultEngine != lp.Revised || pol.name == "ftf") {
+							b.Skip("1024 jobs is only feasible with the sparse revised engine (and ftf's binary search is out of budget even there)")
+						}
 						in := solveResetInput(n)
 						p := pol.make()
 						ctx := policy.NewSolveContext()
@@ -157,6 +166,7 @@ type solveBenchRecord struct {
 	Jobs              int     `json:"jobs"`
 	Scenario          string  `json:"scenario"`
 	Mode              string  `json:"mode"`
+	Engine            string  `json:"engine"`
 	Resets            int     `json:"resets"`
 	LPSolves          int     `json:"lp_solves"`
 	WarmSolves        int     `json:"warm_solves"`
@@ -167,12 +177,13 @@ type solveBenchRecord struct {
 
 // measureSolveResets runs a fixed number of re-solves under the given
 // scenario ("perturb" jitters throughputs; "churn" additionally changes the
-// job set on every 4th reset) and returns the record. Iteration counts are
-// deterministic; timings are hardware-local.
-func measureSolveResets(polName string, p policy.Policy, n, resets int, scenario string, warm bool) solveBenchRecord {
+// job set on every 4th reset) and engine, and returns the record. Iteration
+// counts are deterministic; timings are hardware-local.
+func measureSolveResets(polName string, p policy.Policy, n, resets int, scenario string, warm bool, engine lp.Engine) solveBenchRecord {
 	in := solveResetInput(n)
 	ctx := policy.NewSolveContext()
 	ctx.NoWarm = !warm
+	ctx.Engine = engine
 	rng := rand.New(rand.NewSource(99))
 	nextID := n
 	if _, err := p.Allocate(in, ctx); err != nil {
@@ -194,8 +205,12 @@ func measureSolveResets(polName string, p policy.Policy, n, resets int, scenario
 	if warm {
 		mode = "warm"
 	}
+	engName := engine.String()
+	if engine == lp.EngineAuto {
+		engName = lp.DefaultEngine.String()
+	}
 	return solveBenchRecord{
-		Policy: polName, Jobs: n, Scenario: scenario, Mode: mode, Resets: resets,
+		Policy: polName, Jobs: n, Scenario: scenario, Mode: mode, Engine: engName, Resets: resets,
 		LPSolves:          ctx.Stats.Solves - prime.Solves,
 		WarmSolves:        ctx.Stats.WarmHits - prime.WarmHits,
 		RemappedSolves:    ctx.Stats.RemapHits - prime.RemapHits,
@@ -214,17 +229,34 @@ func TestWriteSolveBenchJSON(t *testing.T) {
 	}
 	var records []solveBenchRecord
 	for _, pol := range solveResetPolicies {
-		for _, n := range []int{128, 256, 512} {
-			for _, scenario := range []string{"perturb", "churn"} {
-				for _, warm := range []bool{false, true} {
-					records = append(records, measureSolveResets(pol.name, pol.make(), n, 10, scenario, warm))
+		for _, engine := range []lp.Engine{lp.Dense, lp.Revised} {
+			sizes := []int{128, 256, 512}
+			if engine == lp.Revised && pol.name != "ftf" {
+				// The 1024-job scenario exists only on the sparse revised
+				// core: the dense tableau needs minutes per cold reset at
+				// that size (and ftf's binary search multiplies that by
+				// ~20 solves per reset).
+				sizes = append(sizes, 1024)
+			}
+			for _, n := range sizes {
+				resets := 10
+				if engine == lp.Dense && n >= 512 {
+					// The dense oracle's 512-job cells take minutes each;
+					// fewer resets keep regeneration tractable while the
+					// per-reset numbers stay comparable.
+					resets = 4
+				}
+				for _, scenario := range []string{"perturb", "churn"} {
+					for _, warm := range []bool{false, true} {
+						records = append(records, measureSolveResets(pol.name, pol.make(), n, resets, scenario, warm, engine))
+					}
 				}
 			}
 		}
 	}
 	out, err := json.MarshalIndent(map[string]any{
 		"benchmark": "PolicySolveReset",
-		"unit_note": "resets perturb throughputs by 1%; the churn scenario additionally changes the job set (departure+arrival) on 25% of resets; ns_per_reset is hardware-local, iteration counts are deterministic",
+		"unit_note": "resets perturb throughputs by 1%; the churn scenario additionally changes the job set (departure+arrival) on 25% of resets; ns_per_reset is hardware-local, iteration counts are deterministic; engine selects the simplex core (the 1024-job cells exist only on the sparse revised engine — dense needs minutes per reset at that size)",
 		"records":   records,
 	}, "", "  ")
 	if err != nil {
@@ -245,8 +277,8 @@ func TestWarmSolveResetSavings(t *testing.T) {
 	}
 	for _, pol := range solveResetPolicies {
 		for _, n := range []int{128, 256} {
-			cold := measureSolveResets(pol.name, pol.make(), n, 6, "perturb", false)
-			warm := measureSolveResets(pol.name, pol.make(), n, 6, "perturb", true)
+			cold := measureSolveResets(pol.name, pol.make(), n, 6, "perturb", false, lp.EngineAuto)
+			warm := measureSolveResets(pol.name, pol.make(), n, 6, "perturb", true, lp.EngineAuto)
 			if warm.WarmSolves == 0 {
 				t.Fatalf("%s jobs=%d: no warm solves", pol.name, n)
 			}
@@ -280,8 +312,8 @@ func TestRemappedSolveChurnSavings(t *testing.T) {
 			sizes = []int{128, 256}
 		}
 		for _, n := range sizes {
-			cold := measureSolveResets(pol.name, pol.make(), n, 8, "churn", false)
-			warm := measureSolveResets(pol.name, pol.make(), n, 8, "churn", true)
+			cold := measureSolveResets(pol.name, pol.make(), n, 8, "churn", false, lp.EngineAuto)
+			warm := measureSolveResets(pol.name, pol.make(), n, 8, "churn", true, lp.EngineAuto)
 			if warm.RemappedSolves == 0 {
 				t.Fatalf("%s jobs=%d: churn resets never took the remapped path", pol.name, n)
 			}

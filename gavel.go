@@ -43,6 +43,7 @@ import (
 	"gavel/internal/cluster"
 	"gavel/internal/core"
 	"gavel/internal/estimator"
+	"gavel/internal/lp"
 	"gavel/internal/policy"
 	"gavel/internal/simulator"
 	"gavel/internal/workload"
@@ -81,6 +82,9 @@ type (
 	// ThroughputCache maintains job/pair throughput matrices incrementally
 	// under add/remove/observe, for callers driving policies directly.
 	ThroughputCache = core.ThroughputCache
+	// LPEngine selects the simplex implementation
+	// (SimulationConfig.LPEngine, SolveContext.Engine).
+	LPEngine = lp.Engine
 )
 
 // NewSolveContext returns an empty per-policy solve context for callers that
@@ -95,6 +99,16 @@ func NewThroughputCache(numTypes int) *ThroughputCache { return core.NewThroughp
 const (
 	EntityFairness = policy.EntityFairness
 	EntityFIFO     = policy.EntityFIFO
+)
+
+// Simplex engine selectors. LPEngineRevised — the sparse revised simplex
+// core — is the default; LPEngineDense is the reference tableau oracle
+// (also reachable fleet-wide via GAVEL_LP_ENGINE=dense); LPEngineAuto
+// follows the package default.
+const (
+	LPEngineAuto    = lp.EngineAuto
+	LPEngineDense   = lp.Dense
+	LPEngineRevised = lp.Revised
 )
 
 // Cluster constructors matching the paper's testbeds.

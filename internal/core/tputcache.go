@@ -18,6 +18,34 @@ type ThroughputCache struct {
 	numTypes int
 	jobs     map[int]*cachedJob
 	pairs    map[[2]int]*cachedPair
+	// Incremental pair-candidate state: Units used to rebuild and re-sort
+	// the full O(n²) scored candidate list on every call even when nothing
+	// changed. Instead, scored holds every cached pair with positive gain,
+	// sorted by (gain desc, pair key asc), and is patched lazily from the
+	// dirty-pair set that mutations maintain; a Units call then only
+	// filters the pre-sorted list against the requested job set.
+	peers    map[int]map[int]bool // job id -> peer ids with a cached pair
+	scored   []pairScore
+	inScored map[[2]int]float64 // exact gain each scored entry carries
+	dirty    map[[2]int]bool
+}
+
+// pairScore is one entry of the sorted candidate list.
+type pairScore struct {
+	key  [2]int
+	gain float64
+}
+
+// scoreLess orders candidates by decreasing gain, ties by ascending pair
+// key, making the list deterministic and binary-searchable.
+func scoreLess(x, y pairScore) bool {
+	if x.gain != y.gain {
+		return x.gain > y.gain
+	}
+	if x.key[0] != y.key[0] {
+		return x.key[0] < y.key[0]
+	}
+	return x.key[1] < y.key[1]
 }
 
 type cachedJob struct {
@@ -37,7 +65,63 @@ func NewThroughputCache(numTypes int) *ThroughputCache {
 		numTypes: numTypes,
 		jobs:     map[int]*cachedJob{},
 		pairs:    map[[2]int]*cachedPair{},
+		peers:    map[int]map[int]bool{},
+		inScored: map[[2]int]float64{},
+		dirty:    map[[2]int]bool{},
 	}
+}
+
+// markPairDirty queues one pair for a candidate-list patch.
+func (c *ThroughputCache) markPairDirty(key [2]int) { c.dirty[key] = true }
+
+// markJobDirty queues every cached pair involving the job: a new isolated
+// throughput row changes all of the job's pair gains.
+func (c *ThroughputCache) markJobDirty(id int) {
+	for peer := range c.peers[id] {
+		c.dirty[pairIDKey(id, peer)] = true
+	}
+}
+
+// flushDirty patches the sorted candidate list: the k dirty pairs' fresh
+// gains are re-scored and sorted, stale entries are dropped in one
+// compaction pass, and the two sorted runs are merged — O(p + k·log k) for
+// p list entries, with only the k dirty gains recomputed (a per-entry
+// splice would make one job's departure cost O(n·p), and a full rebuild
+// would re-score every pair).
+func (c *ThroughputCache) flushDirty() {
+	if len(c.dirty) == 0 {
+		return
+	}
+	fresh := make([]pairScore, 0, len(c.dirty))
+	for key := range c.dirty {
+		delete(c.inScored, key)
+		if g := c.PairGain(key[0], key[1]); g > 0 {
+			fresh = append(fresh, pairScore{key: key, gain: g})
+			c.inScored[key] = g
+		}
+	}
+	sort.Slice(fresh, func(a, b int) bool { return scoreLess(fresh[a], fresh[b]) })
+	kept := make([]pairScore, 0, len(c.scored)+len(fresh))
+	for _, s := range c.scored {
+		if !c.dirty[s.key] {
+			kept = append(kept, s)
+		}
+	}
+	// Merge the two sorted runs back into scored.
+	c.scored = c.scored[:0]
+	i, j := 0, 0
+	for i < len(kept) && j < len(fresh) {
+		if scoreLess(kept[i], fresh[j]) {
+			c.scored = append(c.scored, kept[i])
+			i++
+		} else {
+			c.scored = append(c.scored, fresh[j])
+			j++
+		}
+	}
+	c.scored = append(c.scored, kept[i:]...)
+	c.scored = append(c.scored, fresh[j:]...)
+	c.dirty = map[[2]int]bool{}
 }
 
 // NumTypes returns the accelerator-type count the cache was built for.
@@ -66,6 +150,7 @@ func (c *ThroughputCache) AddJob(id, scaleFactor int, tput []float64) {
 		scaleFactor = 1
 	}
 	c.jobs[id] = &cachedJob{tput: append([]float64(nil), tput...), scaleFactor: scaleFactor}
+	c.markJobDirty(id)
 }
 
 // RemoveJob drops a job and every pair involving it.
@@ -74,11 +159,13 @@ func (c *ThroughputCache) RemoveJob(id int) {
 		return
 	}
 	delete(c.jobs, id)
-	for key := range c.pairs {
-		if key[0] == id || key[1] == id {
-			delete(c.pairs, key)
-		}
+	for peer := range c.peers[id] {
+		key := pairIDKey(id, peer)
+		delete(c.pairs, key)
+		delete(c.peers[peer], id)
+		c.markPairDirty(key)
 	}
+	delete(c.peers, id)
 }
 
 // ObserveJob replaces a job's isolated throughput row (a measured update).
@@ -90,6 +177,7 @@ func (c *ThroughputCache) ObserveJob(id int, tput []float64) {
 		return
 	}
 	j.tput = append([]float64(nil), tput...)
+	c.markJobDirty(id)
 }
 
 // JobTput returns the cached isolated throughput row (shared, read-only),
@@ -130,6 +218,14 @@ func (c *ThroughputCache) SetPair(a, b int, ta, tb []float64) {
 		lo: append([]float64(nil), ta...),
 		hi: append([]float64(nil), tb...),
 	}
+	if c.peers[a] == nil {
+		c.peers[a] = map[int]bool{}
+	}
+	if c.peers[b] == nil {
+		c.peers[b] = map[int]bool{}
+	}
+	c.peers[a][b], c.peers[b][a] = true, true
+	c.markPairDirty(key)
 }
 
 // HasPair reports whether the pair has a cached row.
@@ -166,6 +262,7 @@ func (c *ThroughputCache) ObservePair(a, b, typ int, ta, tb float64) {
 	hi := append([]float64(nil), p.hi...)
 	lo[typ], hi[typ] = ta, tb
 	c.pairs[pairIDKey(a, b)] = &cachedPair{lo: lo, hi: hi}
+	c.markPairDirty(pairIDKey(a, b))
 }
 
 // PairGain returns the pair's best combined normalized throughput across
@@ -200,6 +297,13 @@ func (c *ThroughputCache) PairGain(a, b int) float64 {
 // positions within ids, matching the policy input contract. Unknown IDs get
 // an all-zero throughput row rather than a panic.
 //
+// Candidates come from the incrementally maintained scored list (see
+// flushDirty), so a call after k mutations re-scores only the k dirty
+// pairs (one O(p) compaction-merge over the p cached entries) rather than
+// all O(n²) id pairs; a negative minGain takes the legacy exhaustive scan,
+// whose semantics (unknown pairs count as gain 0) the list intentionally
+// does not reproduce.
+//
 // Every unit carries its stable identity (JobKey for singles, PairKey for
 // pairs), giving the LP columns built over these units a deterministic,
 // job-ID-keyed ordering that survives arrivals and departures — the handle
@@ -223,17 +327,49 @@ func (c *ThroughputCache) Units(ids []int, minGain float64, maxPairs int) []Unit
 		gain float64
 	}
 	var cands []scored
-	for a := 0; a < len(ids); a++ {
-		if c.ScaleFactor(ids[a]) > 1 {
-			continue
-		}
-		for b := a + 1; b < len(ids); b++ {
-			if c.ScaleFactor(ids[b]) > 1 {
+	if minGain < 0 {
+		// A negative threshold admits pairs the cache has never seen
+		// (gain 0), which the candidate list deliberately excludes; keep
+		// the exhaustive legacy scan for that semantic corner.
+		for a := 0; a < len(ids); a++ {
+			if c.ScaleFactor(ids[a]) > 1 {
 				continue
 			}
-			if g := c.PairGain(ids[a], ids[b]); g > minGain {
-				cands = append(cands, scored{a: a, b: b, gain: g})
+			for b := a + 1; b < len(ids); b++ {
+				if c.ScaleFactor(ids[b]) > 1 {
+					continue
+				}
+				if g := c.PairGain(ids[a], ids[b]); g > minGain {
+					cands = append(cands, scored{a: a, b: b, gain: g})
+				}
 			}
+		}
+	} else {
+		// Filter the incrementally maintained, pre-sorted candidate list
+		// against the requested job set: O(matches) after the dirty-pair
+		// patch, instead of recomputing O(n²) gains.
+		c.flushDirty()
+		pos := make(map[int]int, len(ids))
+		for m, id := range ids {
+			pos[id] = m
+		}
+		for i := range c.scored {
+			s := &c.scored[i]
+			if s.gain <= minGain {
+				break // sorted by decreasing gain
+			}
+			a, ok := pos[s.key[0]]
+			if !ok || c.ScaleFactor(s.key[0]) > 1 {
+				continue
+			}
+			b, ok := pos[s.key[1]]
+			if !ok || c.ScaleFactor(s.key[1]) > 1 {
+				continue
+			}
+			if a > b {
+				a, b = b, a
+			}
+			cands = append(cands, scored{a: a, b: b, gain: s.gain})
 		}
 	}
 	sort.Slice(cands, func(i, j int) bool {

@@ -298,3 +298,176 @@ func TestUnitsCarryStableKeys(t *testing.T) {
 		t.Fatal("PairKey is order-sensitive")
 	}
 }
+
+// referenceUnits is the pre-incremental Units algorithm — a full O(n²)
+// rescan of every id pair — kept as the oracle for the incremental
+// candidate list.
+func referenceUnits(c *ThroughputCache, ids []int, minGain float64, maxPairs int) []Unit {
+	units := make([]Unit, 0, len(ids))
+	for m, id := range ids {
+		tput := c.JobTput(id)
+		if tput == nil {
+			tput = make([]float64, c.NumTypes())
+		}
+		units = append(units, Single(m, tput).Keyed(JobKey(id)))
+	}
+	if maxPairs <= 0 {
+		return units
+	}
+	type scored struct {
+		a, b int
+		gain float64
+	}
+	var cands []scored
+	for a := 0; a < len(ids); a++ {
+		if c.ScaleFactor(ids[a]) > 1 {
+			continue
+		}
+		for b := a + 1; b < len(ids); b++ {
+			if c.ScaleFactor(ids[b]) > 1 {
+				continue
+			}
+			if g := c.PairGain(ids[a], ids[b]); g > minGain {
+				cands = append(cands, scored{a: a, b: b, gain: g})
+			}
+		}
+	}
+	sort.Slice(cands, func(i, j int) bool {
+		if cands[i].gain != cands[j].gain {
+			return cands[i].gain > cands[j].gain
+		}
+		if cands[i].a != cands[j].a {
+			return cands[i].a < cands[j].a
+		}
+		return cands[i].b < cands[j].b
+	})
+	pairCount := make([]int, len(ids))
+	for _, s := range cands {
+		if pairCount[s.a] >= maxPairs || pairCount[s.b] >= maxPairs {
+			continue
+		}
+		pairCount[s.a]++
+		pairCount[s.b]++
+		ta, tb, _ := c.PairTput(ids[s.a], ids[s.b])
+		units = append(units, Pair(s.a, s.b, ta, tb).Keyed(PairKey(ids[s.a], ids[s.b])))
+	}
+	return units
+}
+
+func sameUnitList(a, b []Unit) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i].Key != b[i].Key || len(a[i].Jobs) != len(b[i].Jobs) {
+			return false
+		}
+		for k := range a[i].Jobs {
+			if a[i].Jobs[k] != b[i].Jobs[k] {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// TestUnitsIncrementalMatchesScan drives the cache through randomized
+// add/remove/observe/pair mutations and checks after every step that the
+// incrementally maintained candidate list assembles exactly the units the
+// exhaustive rescan would.
+func TestUnitsIncrementalMatchesScan(t *testing.T) {
+	rng := rand.New(rand.NewSource(77))
+	const numTypes = 3
+	c := NewThroughputCache(numTypes)
+	randRow := func() []float64 {
+		row := make([]float64, numTypes)
+		for i := range row {
+			row[i] = rng.Float64() * 5
+		}
+		return row
+	}
+	var live []int
+	nextID := 0
+	for step := 0; step < 400; step++ {
+		switch op := rng.Intn(10); {
+		case op < 4 || len(live) < 4:
+			sf := 1
+			if rng.Intn(8) == 0 {
+				sf = 2
+			}
+			c.AddJob(nextID, sf, randRow())
+			live = append(live, nextID)
+			nextID++
+		case op < 5:
+			i := rng.Intn(len(live))
+			c.RemoveJob(live[i])
+			live = append(live[:i], live[i+1:]...)
+		case op < 7:
+			c.ObserveJob(live[rng.Intn(len(live))], randRow())
+		case op < 9:
+			a, b := live[rng.Intn(len(live))], live[rng.Intn(len(live))]
+			c.SetPair(a, b, randRow(), randRow())
+		default:
+			a, b := live[rng.Intn(len(live))], live[rng.Intn(len(live))]
+			c.ObservePair(a, b, rng.Intn(numTypes), rng.Float64()*5, rng.Float64()*5)
+		}
+		// Query over a random subset, in random order, with varying
+		// thresholds and caps.
+		ids := append([]int(nil), live...)
+		rng.Shuffle(len(ids), func(i, j int) { ids[i], ids[j] = ids[j], ids[i] })
+		if len(ids) > 2 {
+			ids = ids[:2+rng.Intn(len(ids)-2)]
+		}
+		minGain := []float64{0, 0.5, 1.05}[rng.Intn(3)]
+		maxPairs := rng.Intn(4)
+		got := c.Units(ids, minGain, maxPairs)
+		want := referenceUnits(c, ids, minGain, maxPairs)
+		if !sameUnitList(got, want) {
+			t.Fatalf("step %d: units diverged from reference (ids=%v minGain=%v maxPairs=%d)\n got: %d units\nwant: %d units",
+				step, ids, minGain, maxPairs, len(got), len(want))
+		}
+	}
+}
+
+// BenchmarkThroughputCacheUnits is the regression benchmark for the
+// incremental candidate list: one observed-throughput update per reset,
+// then a Units call, at a size where the old full rescan's O(n²) pair
+// scoring dominated.
+func BenchmarkThroughputCacheUnits(b *testing.B) {
+	const n, numTypes = 256, 3
+	rng := rand.New(rand.NewSource(5))
+	row := func() []float64 {
+		r := make([]float64, numTypes)
+		for i := range r {
+			r[i] = 1 + rng.Float64()
+		}
+		return r
+	}
+	c := NewThroughputCache(numTypes)
+	ids := make([]int, n)
+	for i := range ids {
+		ids[i] = i
+		c.AddJob(i, 1, row())
+	}
+	for i := 0; i < n; i++ {
+		for k := 0; k < 4; k++ {
+			c.SetPair(i, (i+7*k+1)%n, row(), row())
+		}
+	}
+	b.Run("incremental", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			c.ObserveJob(ids[i%n], row())
+			if got := c.Units(ids, 1.05, 4); len(got) < n {
+				b.Fatal("lost the singles")
+			}
+		}
+	})
+	b.Run("fullscan", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			c.ObserveJob(ids[i%n], row())
+			if got := referenceUnits(c, ids, 1.05, 4); len(got) < n {
+				b.Fatal("lost the singles")
+			}
+		}
+	})
+}

@@ -1,0 +1,279 @@
+package lp
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// The engine equivalence harness: the sparse revised simplex engine must
+// agree with the dense tableau oracle on status and objective (within 1e-9
+// relative) across randomized problems — feasible, infeasible, unbounded,
+// and degenerate — and across every seeding path: cold, positionally
+// warm-started from a perturbed predecessor, and remapped across column
+// churn. This is what licenses making Revised the default solve path.
+
+// fuzzProblem is a randomly generated LP plus the scaffolding to rebuild,
+// perturb, and churn it.
+type fuzzProblem struct {
+	sense Sense
+	obj   []float64
+	ids   []ColumnID
+	rows  []fuzzRow
+}
+
+type fuzzRow struct {
+	coeff []float64 // parallel to obj/ids
+	op    Op
+	rhs   float64
+	id    string
+}
+
+func (fp *fuzzProblem) build(engine Engine) *Problem {
+	p := NewProblem(fp.sense)
+	p.SetEngine(engine)
+	for j, c := range fp.obj {
+		p.AddVar(c, string(fp.ids[j]))
+	}
+	for _, r := range fp.rows {
+		var terms []Term
+		for j, c := range r.coeff {
+			if c != 0 {
+				terms = append(terms, Term{Var: j, Coeff: c})
+			}
+		}
+		p.AddConstraintRow(terms, r.op, r.rhs, r.id)
+	}
+	return p
+}
+
+// genFuzz generates a random LP. Feasibility is arranged by construction
+// around a random interior point x0 (margins keep LE/GE rows comfortably
+// satisfiable); flavor selects deliberate corruptions.
+func genFuzz(rng *rand.Rand, nextID *int, flavor string) *fuzzProblem {
+	n := 2 + rng.Intn(12)
+	m := 1 + rng.Intn(8)
+	fp := &fuzzProblem{sense: Sense(rng.Intn(2))}
+	fp.obj = make([]float64, n)
+	fp.ids = make([]ColumnID, n)
+	for j := 0; j < n; j++ {
+		fp.obj[j] = math.Round((4*rng.Float64()-2)*8) / 8
+		fp.ids[j] = ColumnID(fmt.Sprintf("v%d", *nextID))
+		*nextID++
+	}
+	x0 := make([]float64, n)
+	for j := range x0 {
+		x0[j] = 2 * rng.Float64()
+	}
+	for i := 0; i < m; i++ {
+		r := fuzzRow{coeff: make([]float64, n), id: fmt.Sprintf("r%d", i)}
+		ax := 0.0
+		for j := 0; j < n; j++ {
+			if rng.Float64() < 0.4 {
+				r.coeff[j] = math.Round((4*rng.Float64()-2)*8) / 8
+				ax += r.coeff[j] * x0[j]
+			}
+		}
+		margin := 0.1 + rng.Float64()
+		switch rng.Intn(3) {
+		case 0:
+			r.op, r.rhs = LE, ax+margin
+		case 1:
+			r.op, r.rhs = GE, ax-margin
+		default:
+			r.op, r.rhs = EQ, ax
+		}
+		fp.rows = append(fp.rows, r)
+	}
+	// Bound every variable so the feasible-by-construction flavor is also
+	// bounded (maximization over free columns would otherwise race off).
+	for j := 0; j < n; j++ {
+		r := fuzzRow{coeff: make([]float64, n), op: LE, rhs: x0[j] + 1 + 2*rng.Float64(), id: fmt.Sprintf("b%d", j)}
+		r.coeff[j] = 1
+		fp.rows = append(fp.rows, r)
+	}
+	switch flavor {
+	case "infeasible":
+		// Contradictory pair on a fresh random row.
+		r := fuzzRow{coeff: make([]float64, n), id: "x1"}
+		for j := 0; j < n; j++ {
+			r.coeff[j] = rng.Float64()
+		}
+		lo := fuzzRow{coeff: r.coeff, op: GE, rhs: 5, id: "x2"}
+		hi := fuzzRow{coeff: r.coeff, op: LE, rhs: 4, id: "x3"}
+		fp.rows = append(fp.rows, lo, hi)
+	case "unbounded":
+		// A column no row touches, pushed by the objective.
+		fp.obj = append(fp.obj, 1)
+		if fp.sense == Minimize {
+			fp.obj[len(fp.obj)-1] = -1
+		}
+		fp.ids = append(fp.ids, ColumnID(fmt.Sprintf("v%d", *nextID)))
+		*nextID++
+		for i := range fp.rows {
+			fp.rows[i].coeff = append(fp.rows[i].coeff, 0)
+		}
+	case "degenerate":
+		// Duplicate a row, zero a rhs, and duplicate a column's coefficients
+		// (exact objective ties): the classic cycling and tie-breaking traps.
+		if len(fp.rows) > 0 {
+			dup := fp.rows[rng.Intn(len(fp.rows))]
+			dup.id = "dup"
+			fp.rows = append(fp.rows, dup)
+		}
+		fp.rows[rng.Intn(len(fp.rows))].rhs = 0
+		if len(fp.obj) >= 2 {
+			fp.obj[1] = fp.obj[0]
+			for i := range fp.rows {
+				fp.rows[i].coeff[1] = fp.rows[i].coeff[0]
+			}
+		}
+	}
+	return fp
+}
+
+// checkEngines solves fp under both engines and enforces status and
+// objective agreement. Returns the two results for seeding follow-ups.
+func checkEngines(t *testing.T, label string, fp *fuzzProblem, solve func(*Problem) (*Result, error)) (*Result, *Result) {
+	t.Helper()
+	dense, err := solve(fp.build(Dense))
+	if err != nil {
+		t.Fatalf("%s: dense: %v", label, err)
+	}
+	revised, err := solve(fp.build(Revised))
+	if err != nil {
+		t.Fatalf("%s: revised: %v", label, err)
+	}
+	if dense.Status != revised.Status {
+		t.Fatalf("%s: dense status %v, revised %v", label, dense.Status, revised.Status)
+	}
+	if dense.Status == Optimal {
+		scale := 1 + math.Abs(dense.Objective)
+		if d := math.Abs(dense.Objective - revised.Objective); d > 1e-9*scale {
+			t.Fatalf("%s: dense objective %v, revised %v (diff %g)", label, dense.Objective, revised.Objective, d)
+		}
+	}
+	return dense, revised
+}
+
+// TestEnginesAgreeCold fuzzes cold solves across all flavors.
+func TestEnginesAgreeCold(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	nextID := 0
+	flavors := []string{"feasible", "feasible", "infeasible", "unbounded", "degenerate"}
+	for trial := 0; trial < 300; trial++ {
+		flavor := flavors[trial%len(flavors)]
+		fp := genFuzz(rng, &nextID, flavor)
+		checkEngines(t, fmt.Sprintf("trial %d (%s)", trial, flavor), fp,
+			func(p *Problem) (*Result, error) { return p.Solve() })
+	}
+}
+
+// TestEnginesAgreeWarm fuzzes the positional warm path: solve, perturb the
+// rhs and objective, then re-solve seeded from each engine's own basis —
+// and cross-seeded from the other engine's basis, since Basis is engine
+// portable by design.
+func TestEnginesAgreeWarm(t *testing.T) {
+	rng := rand.New(rand.NewSource(13))
+	nextID := 0
+	for trial := 0; trial < 150; trial++ {
+		flavor := "feasible"
+		if trial%5 == 4 {
+			flavor = "degenerate"
+		}
+		fp := genFuzz(rng, &nextID, flavor)
+		dense0, revised0, err := solveBoth(fp)
+		if err != nil || dense0.Status != Optimal || revised0.Status != Optimal {
+			continue // only optimal bases seed warm starts
+		}
+		// Perturb in place: rhs jitter plus objective jitter.
+		for i := range fp.rows {
+			fp.rows[i].rhs *= 1 + 0.02*(2*rng.Float64()-1)
+		}
+		for j := range fp.obj {
+			fp.obj[j] *= 1 + 0.02*(2*rng.Float64()-1)
+		}
+		label := fmt.Sprintf("trial %d warm", trial)
+		seeds := []*Basis{dense0.Basis, revised0.Basis}
+		seed := seeds[trial%2]
+		checkEngines(t, label, fp,
+			func(p *Problem) (*Result, error) { return p.SolveFrom(seed) })
+	}
+}
+
+func solveBoth(fp *fuzzProblem) (*Result, *Result, error) {
+	dense, err := fp.build(Dense).Solve()
+	if err != nil {
+		return nil, nil, err
+	}
+	revised, err := fp.build(Revised).Solve()
+	if err != nil {
+		return nil, nil, err
+	}
+	return dense, revised, nil
+}
+
+// churn drops a random suffix of columns and appends fresh ones, the same
+// reshaping a job departure + arrival applies to an allocation LP.
+func churn(rng *rand.Rand, fp *fuzzProblem, nextID *int) *fuzzProblem {
+	out := &fuzzProblem{sense: fp.sense}
+	keep := 1 + rng.Intn(len(fp.obj))
+	perm := rng.Perm(len(fp.obj))[:keep]
+	for _, j := range perm {
+		out.obj = append(out.obj, fp.obj[j])
+		out.ids = append(out.ids, fp.ids[j])
+	}
+	for _, r := range fp.rows {
+		nr := fuzzRow{op: r.op, rhs: r.rhs * (1 + 0.02*(2*rng.Float64()-1)), id: r.id}
+		for _, j := range perm {
+			nr.coeff = append(nr.coeff, r.coeff[j])
+		}
+		out.rows = append(out.rows, nr)
+	}
+	for a := rng.Intn(3); a > 0; a-- {
+		out.obj = append(out.obj, math.Round((4*rng.Float64()-2)*8)/8)
+		out.ids = append(out.ids, ColumnID(fmt.Sprintf("v%d", *nextID)))
+		*nextID++
+		for i := range out.rows {
+			out.rows[i].coeff = append(out.rows[i].coeff, math.Round((4*rng.Float64()-2)*8)/8*float64(rng.Intn(2)))
+		}
+	}
+	return out
+}
+
+// TestEnginesAgreeRemapped fuzzes the cross-shape path: churn the column
+// set, remap each engine's basis onto the new problem, and require both
+// engines to match their own cold solves and each other.
+func TestEnginesAgreeRemapped(t *testing.T) {
+	rng := rand.New(rand.NewSource(17))
+	nextID := 0
+	engaged := 0
+	for trial := 0; trial < 150; trial++ {
+		fp := genFuzz(rng, &nextID, "feasible")
+		dense0, revised0, err := solveBoth(fp)
+		if err != nil || dense0.Status != Optimal || revised0.Status != Optimal {
+			continue
+		}
+		next := churn(rng, fp, &nextID)
+		seeds := []*Basis{dense0.Basis, revised0.Basis}
+		mb := seeds[trial%2].Remap(fp.ids, next.ids)
+		label := fmt.Sprintf("trial %d remap", trial)
+		dense, revised := checkEngines(t, label, next,
+			func(p *Problem) (*Result, error) { return p.SolveFromMapped(mb) })
+		// The remapped solves must also match a cold solve of the same
+		// problem: the mapping may only change speed, never the answer.
+		coldD, coldR, err := solveBoth(next)
+		if err != nil {
+			t.Fatalf("%s: cold: %v", label, err)
+		}
+		checkParity(t, label+" dense-vs-cold", dense, coldD)
+		checkParity(t, label+" revised-vs-cold", revised, coldR)
+		if revised.Remapped {
+			engaged++
+		}
+	}
+	if engaged < 50 {
+		t.Fatalf("remapped path engaged on only %d churned solves", engaged)
+	}
+}

@@ -1,0 +1,94 @@
+package lp
+
+// This file holds the basis factorization for the revised simplex engine: a
+// sparse LU of the basis matrix (internal/linalg) extended by product-form
+// eta updates, so a pivot costs O(nnz) instead of a refactorization, with a
+// periodic refresh that bounds both eta-file growth and numerical drift.
+
+import "gavel/internal/linalg"
+
+// etaVec is one product-form update: the entering column's basis-space image
+// w = B⁻¹ a_enter, stored sparse, replacing basis position pos.
+type etaVec struct {
+	pos int
+	wr  float64 // w[pos], the pivot element
+	ind []int   // positions != pos with nonzero w
+	val []float64
+}
+
+// basisFactor is a factorization of the current basis: an LU of the basis at
+// the last refresh plus the etas accumulated since. FTRAN/BTRAN apply the LU
+// solves and then the eta file (in opposite orders).
+type basisFactor struct {
+	lu     *linalg.LU
+	etas   []etaVec
+	etaNNZ int
+}
+
+const (
+	// refactorEvery bounds the eta file length before a refresh.
+	refactorEvery = 64
+	// etaDropTol below which an eta component is not worth storing.
+	etaDropTol = 1e-12
+)
+
+// reset installs a fresh LU and clears the eta file.
+func (bf *basisFactor) reset(lu *linalg.LU) {
+	bf.lu = lu
+	bf.etas = bf.etas[:0]
+	bf.etaNNZ = 0
+}
+
+// dirty reports whether any etas have accumulated since the last refresh.
+func (bf *basisFactor) dirty() bool { return len(bf.etas) > 0 }
+
+// needRefresh reports whether the eta file is long or dense enough that a
+// refactorization is cheaper than carrying it further.
+func (bf *basisFactor) needRefresh(m int) bool {
+	return len(bf.etas) >= refactorEvery || bf.etaNNZ > 8*m+256
+}
+
+// push appends the eta for the pivot that replaced basis position pos with a
+// column whose basis-space image is w (dense, position-indexed).
+func (bf *basisFactor) push(pos int, w []float64) {
+	e := etaVec{pos: pos, wr: w[pos]}
+	for i, v := range w {
+		if i != pos && (v > etaDropTol || v < -etaDropTol) {
+			e.ind = append(e.ind, i)
+			e.val = append(e.val, v)
+		}
+	}
+	bf.etas = append(bf.etas, e)
+	bf.etaNNZ += len(e.ind) + 1
+}
+
+// ftran solves B w = b in place: x enters indexed by constraint row and
+// leaves indexed by basis position.
+func (bf *basisFactor) ftran(x []float64) {
+	bf.lu.FTran(x, x)
+	for t := range bf.etas {
+		e := &bf.etas[t]
+		zr := x[e.pos] / e.wr
+		x[e.pos] = zr
+		if zr == 0 {
+			continue
+		}
+		for i, idx := range e.ind {
+			x[idx] -= e.val[i] * zr
+		}
+	}
+}
+
+// btran solves Bᵀ y = c in place: x enters indexed by basis position and
+// leaves indexed by constraint row.
+func (bf *basisFactor) btran(x []float64) {
+	for t := len(bf.etas) - 1; t >= 0; t-- {
+		e := &bf.etas[t]
+		s := x[e.pos]
+		for i, idx := range e.ind {
+			s -= e.val[i] * x[idx]
+		}
+		x[e.pos] = s / e.wr
+	}
+	bf.lu.BTran(x, x)
+}

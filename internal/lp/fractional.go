@@ -28,6 +28,9 @@ type Fractional struct {
 	Den     []float64 // d, len NumVars
 	DenC    float64   // beta
 	Cons    []FractionalConstraint
+	// Engine selects the simplex implementation for the transformed LP;
+	// EngineAuto follows DefaultEngine.
+	Engine Engine
 }
 
 // FractionalConstraint is one row a.x (op) b of a Fractional program. ID,
@@ -64,6 +67,7 @@ func (f *Fractional) transform() (*Problem, []int, int, error) {
 		return nil, nil, 0, fmt.Errorf("%w: coefficient vectors must have NumVars entries", ErrBadProblem)
 	}
 	p := NewProblem(Maximize)
+	p.SetEngine(f.Engine)
 	y := make([]int, f.NumVars)
 	for j := 0; j < f.NumVars; j++ {
 		y[j] = p.AddVar(f.Num[j], fmt.Sprintf("y%d", j))

@@ -24,7 +24,49 @@ import (
 	"errors"
 	"fmt"
 	"math"
+	"os"
+	"strings"
 )
+
+// Engine selects the simplex implementation a Problem solves with.
+type Engine int
+
+const (
+	// EngineAuto (the zero value) follows DefaultEngine.
+	EngineAuto Engine = iota
+	// Dense is the textbook two-phase tableau simplex: O(m·n) per pivot,
+	// O(m·n) memory. It is kept as the reference oracle for the revised
+	// engine and as the fallback when a factorization goes singular.
+	Dense
+	// Revised is the sparse revised simplex engine (revised.go): CSC
+	// constraint storage, LU-factorized basis with eta updates, partial
+	// pricing over sparse reduced costs. O(nnz + m) per pivot.
+	Revised
+)
+
+func (e Engine) String() string {
+	switch e {
+	case EngineAuto:
+		return "auto"
+	case Dense:
+		return "dense"
+	case Revised:
+		return "revised"
+	}
+	return "unknown"
+}
+
+// DefaultEngine is the engine used by problems with no explicit engine set
+// (SetEngine(EngineAuto)). It is initialized from GAVEL_LP_ENGINE ("dense"
+// or "revised"); unset or unrecognized values select Revised.
+var DefaultEngine = engineFromEnv()
+
+func engineFromEnv() Engine {
+	if strings.EqualFold(os.Getenv("GAVEL_LP_ENGINE"), "dense") {
+		return Dense
+	}
+	return Revised
+}
 
 // Sense selects minimization or maximization of the objective.
 type Sense int
@@ -95,15 +137,32 @@ type constraint struct {
 // Problem is a linear program under construction. The zero value is not
 // usable; create one with NewProblem.
 type Problem struct {
-	sense Sense
-	obj   []float64
-	names []string
-	cons  []constraint
+	sense  Sense
+	obj    []float64
+	names  []string
+	cons   []constraint
+	engine Engine
 }
 
 // NewProblem returns an empty problem with the given objective sense.
 func NewProblem(sense Sense) *Problem {
 	return &Problem{sense: sense}
+}
+
+// SetEngine selects the simplex implementation for this problem;
+// EngineAuto (the default) follows the package-level DefaultEngine.
+func (p *Problem) SetEngine(e Engine) { p.engine = e }
+
+// resolveEngine returns the engine this problem will actually solve with.
+func (p *Problem) resolveEngine() Engine {
+	e := p.engine
+	if e == EngineAuto {
+		e = DefaultEngine
+	}
+	if e != Dense {
+		e = Revised
+	}
+	return e
 }
 
 // NumVars returns the number of variables added so far.
@@ -165,6 +224,9 @@ type Result struct {
 	// Remapped reports whether the seed came from a basis remapped across a
 	// shape change (SolveFromMapped); implies WarmStarted.
 	Remapped bool
+	// Engine reports which simplex implementation produced this result;
+	// Dense when the revised engine was selected but fell back.
+	Engine Engine
 }
 
 // Basis is an opaque snapshot of a simplex basis, tied to the shape of the
@@ -177,6 +239,10 @@ type Basis struct {
 	ops     []Op     // normalized (rhs >= 0) constraint ops, in order
 	cols    []int    // basic column per row; -1 for dropped redundant rows
 	rowIDs  []string // stable row identities ("" = anonymous), in order
+	// polished marks a basis that reproduces the revised engine's
+	// canonical (vertex-polished) optimum and is dual feasible, so a
+	// seeded re-solve that needs no pivots can skip re-canonicalizing.
+	polished bool
 }
 
 // NumVars returns the structural variable count the basis was built for.
@@ -332,7 +398,6 @@ func (p *Problem) SolveFromMapped(mb *MappedBasis) (*Result, error) { return p.s
 
 func (p *Problem) solve(prev *Basis, mapped *MappedBasis) (*Result, error) {
 	n := len(p.obj)
-	m := len(p.cons)
 	for _, c := range p.cons {
 		for _, t := range c.terms {
 			if t.Var < 0 || t.Var >= n {
@@ -340,6 +405,28 @@ func (p *Problem) solve(prev *Basis, mapped *MappedBasis) (*Result, error) {
 			}
 		}
 	}
+	if p.resolveEngine() == Revised {
+		if res, ok := p.solveRevised(prev, mapped); ok {
+			res.Engine = Revised
+			return res, nil
+		}
+		// The revised engine hit something it cannot certify — a singular
+		// factorization repair could not fix, a stuck pivot, a verification
+		// loop that failed to converge. The dense tableau is the oracle of
+		// last resort, so selecting Revised changes only speed, never
+		// correctness.
+	}
+	res, err := p.solveDense(prev, mapped)
+	if res != nil {
+		res.Engine = Dense
+	}
+	return res, err
+}
+
+// solveDense is the original dense-tableau two-phase simplex path.
+func (p *Problem) solveDense(prev *Basis, mapped *MappedBasis) (*Result, error) {
+	n := len(p.obj)
+	m := len(p.cons)
 
 	// Normalize rows so rhs >= 0 and count auxiliary columns.
 	rows := make([][]float64, m)
@@ -569,8 +656,16 @@ func (p *Problem) warmSolve(rows [][]float64, rhs []float64, nSlack int, prev *B
 	}
 
 	// Re-factorize: make prev.cols[i] basic in row i, swapping in the
-	// largest-magnitude row each step.
+	// largest-magnitude row each step. rowOrder tracks which original
+	// constraint row ends up at each tableau position, so the snapshot can
+	// pair basic columns with their true host rows (Remap pins by row
+	// identity; recording against post-swap positions would pin survivors
+	// to the wrong rows after the next job churn).
 	basis := make([]int, m)
+	rowOrder := make([]int, m)
+	for i := range rowOrder {
+		rowOrder[i] = i
+	}
 	pivots := 0
 	for i, col := range prev.cols {
 		best, bestAbs := -1, warmPivotTol
@@ -583,11 +678,12 @@ func (p *Problem) warmSolve(rows [][]float64, rhs []float64, nSlack int, prev *B
 			return nil, false // singular under this problem's coefficients
 		}
 		tab[i], tab[best] = tab[best], tab[i]
+		rowOrder[i], rowOrder[best] = rowOrder[best], rowOrder[i]
 		pivot(tab, basis, i, col)
 		pivots++
 	}
 
-	return p.finishSeeded(tab, basis, pivots, 0, total, nil, prev.ops, false)
+	return p.finishSeeded(tab, basis, pivots, 0, total, nil, prev.ops, false, rowOrder)
 }
 
 // mappedSolve attempts a seeded solve from a basis remapped across a shape
@@ -805,7 +901,7 @@ func (p *Problem) mappedSolve(rows [][]float64, ops []Op, rhs []float64, nSlack 
 		total = wide
 	}
 
-	return p.finishSeeded(tab, basis, pivots, repairIters, total, forbidden, ops, true)
+	return p.finishSeeded(tab, basis, pivots, repairIters, total, forbidden, ops, true, nil)
 }
 
 // finishSeeded completes a seeded solve once every row has a basic column:
@@ -814,9 +910,11 @@ func (p *Problem) mappedSolve(rows [][]float64, ops []Op, rhs []float64, nSlack 
 // a reset moves the binding constraints slightly, which is exactly the case
 // dual simplex fixes cheaply; the mapped path arrives here already feasible
 // after its phase-1-lite repair (preIters, with its artificial columns
-// marked in forbidden) — and run primal iterations to optimality. Returns
-// ok=false when the seed must be abandoned for the cold path.
-func (p *Problem) finishSeeded(tab [][]float64, basis []int, pivots, preIters, total int, forbidden []bool, ops []Op, remapped bool) (*Result, bool) {
+// marked in forbidden) — and run primal iterations to optimality. rowOrder
+// maps tableau positions to original constraint rows (nil = identity) so
+// the snapshot records each basic column against its true host row.
+// Returns ok=false when the seed must be abandoned for the cold path.
+func (p *Problem) finishSeeded(tab [][]float64, basis []int, pivots, preIters, total int, forbidden []bool, ops []Op, remapped bool, rowOrder []int) (*Result, bool) {
 	n := len(p.obj)
 	cost := make([]float64, total+1)
 	for j := 0; j < n; j++ {
@@ -863,7 +961,14 @@ func (p *Problem) finishSeeded(tab [][]float64, basis []int, pivots, preIters, t
 		obj += c * x[j]
 	}
 	res.X, res.Objective = x, obj
-	res.Basis = p.snapshotBasis(ops, basis)
+	snapBasis := basis
+	if rowOrder != nil {
+		snapBasis = make([]int, len(basis))
+		for i, b := range basis {
+			snapBasis[rowOrder[i]] = b
+		}
+	}
+	res.Basis = p.snapshotBasis(ops, snapBasis)
 	return res, true
 }
 

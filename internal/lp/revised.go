@@ -1,0 +1,1099 @@
+package lp
+
+// This file implements the sparse revised simplex engine (lp.Revised), the
+// default solve path. The constraint matrix is held in compressed
+// sparse-column form built directly from the Problem's Term lists; the basis
+// is factorized with a sparse LU (internal/linalg) and updated with
+// product-form etas, refactorizing every few dozen pivots; pricing runs over
+// sparse reduced costs with rotating partial pricing (Dantzig within the
+// window, Bland after the stall threshold), and ratio tests work on
+// FTRAN/BTRAN images of sparse vectors instead of full tableau rows. Gavel's
+// allocation programs are structurally sparse (an allocation column touches
+// exactly two rows), so per-iteration cost drops from the dense tableau's
+// O(m·n) to O(nnz + m), and memory from O(m·n) to O(nnz).
+//
+// Seeding mirrors the dense paths in spirit: a same-shape Basis is
+// factorized directly (SolveFrom), a MappedBasis is re-assembled from its
+// row-pinned projection with unit-column repair for dependent columns
+// (SolveFromMapped), and lost primal feasibility is restored by a composite
+// phase 1 that minimizes the sum of infeasibilities from the seeded basis,
+// so repair work scales with the damage. Any numerical trouble — a singular
+// factorization that repair cannot fix, a stuck pivot, a verification loop
+// that does not converge — abandons the engine and falls back to the dense
+// tableau oracle, so the revised engine can change only speed, never
+// correctness.
+
+import (
+	"math"
+	"sort"
+
+	"gavel/internal/linalg"
+)
+
+const (
+	// feasTol is the primal feasibility tolerance on basic values.
+	feasTol = 1e-7
+	// pivotTol is the minimum acceptable pivot magnitude |w[leave]|; a
+	// smaller pivot forces a refresh (and, if fresh, a bailout to dense).
+	pivotTol = 1e-7
+	// verifyRounds bounds the refresh-and-reverify loop at optimality.
+	verifyRounds = 6
+)
+
+// colEntry is one nonzero of a CSC column.
+type colEntry struct {
+	row int
+	val float64
+}
+
+// revEngine is the per-solve state of the revised simplex engine.
+type revEngine struct {
+	p      *Problem
+	m      int // constraint rows
+	n      int // structural variables
+	nTotal int // structural + slack columns; >= nTotal means artificial e_i
+
+	cols    [][]colEntry // CSC over the n structural + slack columns
+	ops     []Op         // normalized (rhs >= 0) ops, dense-path compatible
+	rhs     []float64
+	obj     []float64 // minimize-sense structural costs; slacks 0
+	slackOf []int     // row -> its slack column, -1 for EQ rows
+
+	basis   []int // basic column per position (position == row slot)
+	inBasis []bool
+	xB      []float64
+	factor  basisFactor
+
+	iterations    int
+	pivots        int
+	priceStart    int
+	polishedX     []float64 // canonical structural values from polishVertex
+	polished      bool      // a vertex polish ran; basis factors may be stale
+	seedCanonical bool      // the seed basis came from a polished snapshot
+	snapPolished  bool      // this solve's snapshot reproduces the canonical vertex
+	protectRow    int       // basis position the ratio test avoids evicting (-1 = none)
+
+	wsY, wsW, wsZ []float64 // BTRAN / FTRAN / polish workspaces
+}
+
+// newRevEngine normalizes the problem into CSC form. ok=false hands the
+// solve to the dense path (degenerate shapes the engine does not model).
+func newRevEngine(p *Problem) (*revEngine, bool) {
+	n := len(p.obj)
+	m := len(p.cons)
+	if m == 0 {
+		return nil, false
+	}
+	e := &revEngine{
+		p: p, m: m, n: n,
+		ops:     make([]Op, m),
+		rhs:     make([]float64, m),
+		slackOf: make([]int, m),
+	}
+	scratch := make([]float64, n)
+	var touched []int
+	structural := make([][]colEntry, n)
+	nSlack := 0
+	var slackRows []int // row per slack column, in slack order
+	var slackSign []float64
+	for i, c := range p.cons {
+		touched = touched[:0]
+		for _, t := range c.terms {
+			if scratch[t.Var] == 0 && t.Coeff != 0 {
+				touched = append(touched, t.Var)
+			}
+			scratch[t.Var] += t.Coeff
+		}
+		b, op, sign := c.rhs, c.op, 1.0
+		if b < 0 {
+			b, sign = -b, -1
+			switch op {
+			case LE:
+				op = GE
+			case GE:
+				op = LE
+			}
+		}
+		for _, v := range touched {
+			if val := scratch[v] * sign; val != 0 {
+				structural[v] = append(structural[v], colEntry{row: i, val: val})
+			}
+			scratch[v] = 0
+		}
+		e.ops[i], e.rhs[i] = op, b
+		e.slackOf[i] = -1
+		switch op {
+		case LE:
+			e.slackOf[i] = n + nSlack
+			slackRows = append(slackRows, i)
+			slackSign = append(slackSign, 1)
+			nSlack++
+		case GE:
+			e.slackOf[i] = n + nSlack
+			slackRows = append(slackRows, i)
+			slackSign = append(slackSign, -1)
+			nSlack++
+		}
+	}
+	e.nTotal = n + nSlack
+	e.cols = make([][]colEntry, e.nTotal)
+	copy(e.cols, structural)
+	for s, row := range slackRows {
+		e.cols[n+s] = []colEntry{{row: row, val: slackSign[s]}}
+	}
+	e.obj = make([]float64, e.nTotal)
+	for j := 0; j < n; j++ {
+		if p.sense == Maximize {
+			e.obj[j] = -p.obj[j]
+		} else {
+			e.obj[j] = p.obj[j]
+		}
+	}
+	e.basis = make([]int, m)
+	e.inBasis = make([]bool, e.nTotal)
+	e.xB = make([]float64, m)
+	e.wsY = make([]float64, m)
+	e.wsW = make([]float64, m)
+	e.wsZ = make([]float64, m)
+	e.protectRow = -1
+	return e, true
+}
+
+// factorize rebuilds the LU from the current basis. With repair=true,
+// columns the factorization finds linearly dependent are replaced by
+// artificials on still-free rows until it succeeds (each replacement is a
+// unit column, so the loop terminates); with repair=false a singular basis
+// reports false.
+func (e *revEngine) factorize(repair bool) bool {
+	cols := make([]linalg.SparseCol, e.m)
+	for attempt := 0; attempt <= e.m; attempt++ {
+		for i, c := range e.basis {
+			if c >= e.nTotal {
+				cols[i] = linalg.SparseCol{Rows: []int{c - e.nTotal}, Vals: []float64{1}}
+				continue
+			}
+			src := e.cols[c]
+			rows := make([]int, len(src))
+			vals := make([]float64, len(src))
+			for t, en := range src {
+				rows[t], vals[t] = en.row, en.val
+			}
+			cols[i] = linalg.SparseCol{Rows: rows, Vals: vals}
+		}
+		lu, err := linalg.FactorizeSparse(e.m, cols)
+		if err == nil {
+			e.factor.reset(lu)
+			return true
+		}
+		se, ok := err.(*linalg.SingularError)
+		if !ok || !repair || len(se.FreeRows) == 0 {
+			return false
+		}
+		if old := e.basis[se.Col]; old < e.nTotal {
+			e.inBasis[old] = false
+		}
+		e.basis[se.Col] = e.nTotal + se.FreeRows[0]
+	}
+	return false
+}
+
+// refresh refactorizes the current basis and recomputes the basic values
+// from scratch, clearing accumulated eta drift.
+func (e *revEngine) refresh() bool {
+	if !e.factorize(false) {
+		return false
+	}
+	copy(e.wsW, e.rhs)
+	e.factor.ftran(e.wsW)
+	copy(e.xB, e.wsW)
+	return true
+}
+
+// ftranCol computes w = B⁻¹ a_j into wsW (position-indexed).
+func (e *revEngine) ftranCol(j int) []float64 {
+	w := e.wsW
+	for i := range w {
+		w[i] = 0
+	}
+	for _, en := range e.cols[j] {
+		w[en.row] = en.val
+	}
+	e.factor.ftran(w)
+	return w
+}
+
+// reducedCost returns d_j = c_j - y·a_j for a nonbasic column; phase-1
+// structural costs are zero.
+func (e *revEngine) reducedCost(j int, y []float64, phase1 bool) float64 {
+	var d float64
+	if !phase1 {
+		d = e.obj[j]
+	}
+	for _, en := range e.cols[j] {
+		d -= y[en.row] * en.val
+	}
+	return d
+}
+
+// priceEnter picks the entering column: rotating partial pricing with the
+// Dantzig rule inside the window, or Bland's rule (first eligible in fixed
+// order, required for anti-cycling) after the stall threshold.
+func (e *revEngine) priceEnter(y []float64, bland, phase1 bool) int {
+	total := e.nTotal
+	if bland {
+		for j := 0; j < total; j++ {
+			if !e.inBasis[j] && e.reducedCost(j, y, phase1) < -eps {
+				return j
+			}
+		}
+		return -1
+	}
+	seg := total / 8
+	if seg < 64 {
+		seg = 64
+	}
+	best, bestJ := -eps, -1
+	scanned := 0
+	for scanned < total {
+		stop := scanned + seg
+		if stop > total {
+			stop = total
+		}
+		for ; scanned < stop; scanned++ {
+			j := e.priceStart + scanned
+			if j >= total {
+				j -= total
+			}
+			if e.inBasis[j] {
+				continue
+			}
+			if d := e.reducedCost(j, y, phase1); d < best {
+				best, bestJ = d, j
+			}
+		}
+		if bestJ >= 0 {
+			break
+		}
+	}
+	if bestJ >= 0 {
+		e.priceStart += scanned
+		if e.priceStart >= total {
+			e.priceStart -= total
+		}
+	}
+	return bestJ
+}
+
+// applyPivot replaces basis position leave with column enter, moving the
+// basic values along the entering direction w by step theta, and records the
+// eta (refreshing factors when the eta file has grown enough).
+func (e *revEngine) applyPivot(enter, leave int, theta float64, w []float64) bool {
+	if theta != 0 {
+		for i := range e.xB {
+			e.xB[i] -= theta * w[i]
+		}
+	}
+	e.xB[leave] = theta
+	if old := e.basis[leave]; old < e.nTotal {
+		e.inBasis[old] = false
+	}
+	e.basis[leave] = enter
+	e.inBasis[enter] = true
+	e.factor.push(leave, w)
+	e.iterations++
+	e.pivots++
+	if e.factor.needRefresh(e.m) {
+		return e.refresh()
+	}
+	return true
+}
+
+// maxInfeas returns the largest primal infeasibility: negative basic values,
+// plus any artificial's distance from zero.
+func (e *revEngine) maxInfeas() float64 {
+	worst := 0.0
+	for i, c := range e.basis {
+		v := e.xB[i]
+		if c >= e.nTotal {
+			if v < 0 {
+				v = -v
+			}
+			if v > worst {
+				worst = v
+			}
+		} else if -v > worst {
+			worst = -v
+		}
+	}
+	return worst
+}
+
+// phase1 runs the composite phase 1: minimize the sum of infeasibilities
+// (negative real basic values, nonzero artificials) from the current basis.
+// The cost vector is rebuilt every iteration from the infeasible set, and the
+// ratio test blocks at every sign change so the piecewise-linear objective
+// stays consistent. Returns Optimal once feasible, Infeasible when no
+// improving column remains, IterationLimit at the cap; ok=false means
+// numerical trouble (caller falls back).
+func (e *revEngine) phase1() (Status, bool) {
+	total := e.nTotal
+	stall := stallFactor * (e.m + total)
+	hard := hardFactor * (e.m + total)
+	if hard < 2000 {
+		hard = 2000
+	}
+	for it := 0; it < hard; it++ {
+		y := e.wsY
+		any := false
+		for i, c := range e.basis {
+			v := e.xB[i]
+			switch {
+			case c >= e.nTotal && v > feasTol:
+				y[i], any = 1, true
+			case v < -feasTol:
+				y[i], any = -1, true
+			default:
+				y[i] = 0
+			}
+		}
+		if !any {
+			return Optimal, true
+		}
+		e.factor.btran(y)
+		enter := e.priceEnter(y, it >= stall, true)
+		if enter < 0 {
+			if e.factor.dirty() {
+				if !e.refresh() {
+					return 0, false
+				}
+				continue
+			}
+			return Infeasible, true
+		}
+		dEnter := e.reducedCost(enter, y, true)
+		w := e.ftranCol(enter)
+		leave, theta := e.phase1Ratio(w, dEnter, it >= stall)
+		if leave < 0 {
+			// A convex objective bounded below always has a breakpoint;
+			// reaching here means the numerics went bad.
+			if e.factor.dirty() {
+				if !e.refresh() {
+					return 0, false
+				}
+				continue
+			}
+			return 0, false
+		}
+		if a := math.Abs(w[leave]); a < pivotTol {
+			if e.factor.dirty() {
+				if !e.refresh() {
+					return 0, false
+				}
+				continue
+			}
+			return 0, false
+		}
+		if !e.applyPivot(enter, leave, theta, w) {
+			return 0, false
+		}
+	}
+	return IterationLimit, true
+}
+
+// phase1Bp is one breakpoint of the piecewise-linear phase-1 objective
+// along the entering direction: basis position i crosses zero at step theta,
+// increasing the directional derivative by delta.
+type phase1Bp struct {
+	i     int
+	theta float64
+	delta float64
+}
+
+// phase1Ratio runs the long-step (piecewise-linear) ratio test of the
+// composite phase 1: starting from the entering column's reduced cost
+// dEnter (the initial directional derivative, negative), it walks the
+// breakpoints — infeasible basic values reaching zero, feasible ones going
+// negative, artificials crossing or leaving zero — in step order,
+// accumulating each crossing's slope contribution, and pivots at the
+// breakpoint where the derivative turns nonnegative. Passing breakpoints
+// instead of blocking at the first one is what makes repairing a heavily
+// churned seed cost a handful of pivots rather than one per violated row.
+// Under Bland's rule it degrades to the blocking short step for anti-cycling.
+func (e *revEngine) phase1Ratio(w []float64, dEnter float64, bland bool) (int, float64) {
+	bps := e.phase1Breakpoints(w)
+	if len(bps) == 0 {
+		return -1, 0
+	}
+	if bland {
+		leave, best := -1, 0.0
+		for _, b := range bps {
+			if leave < 0 || b.theta < best-eps ||
+				(b.theta < best+eps && e.basis[b.i] < e.basis[leave]) {
+				leave, best = b.i, b.theta
+			}
+		}
+		return leave, best
+	}
+	sortBreakpoints(bps)
+	s := dEnter
+	stop := len(bps) - 1
+	for k, b := range bps {
+		s += b.delta
+		if s >= -1e-12 {
+			stop = k
+			break
+		}
+	}
+	// Among breakpoints at (numerically) the same step, pivot on the
+	// largest-magnitude entry for stability.
+	leave, best := bps[stop].i, bps[stop].theta
+	for _, b := range bps {
+		if math.Abs(b.theta-best) <= eps && math.Abs(w[b.i]) > math.Abs(w[leave]) {
+			leave = b.i
+		}
+	}
+	return leave, best
+}
+
+// phase1Breakpoints collects the zero crossings of the basic values along
+// the entering direction, with each crossing's slope increase.
+func (e *revEngine) phase1Breakpoints(w []float64) []phase1Bp {
+	var bps []phase1Bp
+	for i, c := range e.basis {
+		v, wi := e.xB[i], w[i]
+		art := c >= e.nTotal
+		switch {
+		case art && v > feasTol:
+			if wi > eps {
+				bps = append(bps, phase1Bp{i, v / wi, 2 * wi})
+			}
+		case art && v < -feasTol:
+			if wi < -eps {
+				bps = append(bps, phase1Bp{i, v / wi, -2 * wi})
+			}
+		case art:
+			if wi > eps {
+				bps = append(bps, phase1Bp{i, 0, wi})
+			} else if wi < -eps {
+				bps = append(bps, phase1Bp{i, 0, -wi})
+			}
+		case v < -feasTol:
+			if wi < -eps {
+				bps = append(bps, phase1Bp{i, v / wi, -wi})
+			}
+		default:
+			if wi > eps {
+				if v < 0 {
+					v = 0
+				}
+				bps = append(bps, phase1Bp{i, v / wi, wi})
+			}
+		}
+	}
+	return bps
+}
+
+func sortBreakpoints(bps []phase1Bp) {
+	sort.Slice(bps, func(a, b int) bool { return bps[a].theta < bps[b].theta })
+}
+
+// better reports whether candidate row i at ratio theta beats the incumbent:
+// strictly smaller ratio wins; near-ties prefer the larger pivot magnitude
+// for stability, or the smaller basis column under Bland's rule.
+func (e *revEngine) better(i int, theta float64, leave int, best float64, w []float64, bland bool) bool {
+	if leave < 0 || theta < best-eps {
+		return true
+	}
+	if theta > best+eps {
+		return false
+	}
+	if bland {
+		return e.basis[i] < e.basis[leave]
+	}
+	return math.Abs(w[i]) > math.Abs(w[leave])
+}
+
+// phase2 runs primal simplex on the real objective from the current
+// (feasible) basis. Basic artificials are held at zero by the ratio test.
+func (e *revEngine) phase2() (Status, bool) {
+	total := e.nTotal
+	stall := stallFactor * (e.m + total)
+	hard := hardFactor * (e.m + total)
+	if hard < 2000 {
+		hard = 2000
+	}
+	for it := 0; it < hard; it++ {
+		y := e.wsY
+		for i, c := range e.basis {
+			if c < e.nTotal {
+				y[i] = e.obj[c]
+			} else {
+				y[i] = 0
+			}
+		}
+		e.factor.btran(y)
+		enter := e.priceEnter(y, it >= stall, false)
+		if enter < 0 {
+			return Optimal, true
+		}
+		w := e.ftranCol(enter)
+		leave, theta := e.phase2Ratio(w, it >= stall)
+		if leave < 0 {
+			return Unbounded, true
+		}
+		if a := math.Abs(w[leave]); a < pivotTol {
+			if e.factor.dirty() {
+				if !e.refresh() {
+					return 0, false
+				}
+				continue
+			}
+			return 0, false
+		}
+		if !e.applyPivot(enter, leave, theta, w) {
+			return 0, false
+		}
+	}
+	return IterationLimit, true
+}
+
+// phase2Ratio is the standard primal ratio test, with basic artificials
+// blocking at zero (they may pivot out on a degenerate step but never move).
+func (e *revEngine) phase2Ratio(w []float64, bland bool) (int, float64) {
+	leave, best := -1, 0.0
+	for i, c := range e.basis {
+		v, wi := e.xB[i], w[i]
+		cand, theta := false, 0.0
+		if c >= e.nTotal {
+			if wi > eps || wi < -eps {
+				cand, theta = true, 0
+			}
+		} else if wi > eps {
+			if v < 0 {
+				v = 0
+			}
+			cand, theta = true, v/wi
+		}
+		if cand && e.better(i, theta, leave, best, w, bland) {
+			leave, best = i, theta
+		}
+	}
+	if leave == e.protectRow && leave >= 0 {
+		// The polish protects its face row's artificial so the polished
+		// basis truncates to an exact original-shape basis; evict any
+		// other candidate tied at the same step instead, when one exists.
+		alt, altW := -1, 0.0
+		for i, c := range e.basis {
+			if i == e.protectRow {
+				continue
+			}
+			wi := w[i]
+			var ok bool
+			if c >= e.nTotal {
+				ok = wi > eps || wi < -eps
+			} else if wi > eps {
+				v := e.xB[i]
+				if v < 0 {
+					v = 0
+				}
+				ok = v/wi <= best+eps
+			}
+			if ok && math.Abs(wi) > altW {
+				alt, altW = i, math.Abs(wi)
+			}
+		}
+		if alt >= 0 {
+			leave = alt
+		}
+	}
+	return leave, best
+}
+
+// bestReducedCost returns the most negative phase-2 reduced cost under the
+// current factors (used by the post-optimality verification).
+func (e *revEngine) bestReducedCost() float64 {
+	y := e.wsY
+	for i, c := range e.basis {
+		if c < e.nTotal {
+			y[i] = e.obj[c]
+		} else {
+			y[i] = 0
+		}
+	}
+	e.factor.btran(y)
+	best := 0.0
+	for j := 0; j < e.nTotal; j++ {
+		if e.inBasis[j] {
+			continue
+		}
+		if d := e.reducedCost(j, y, false); d < best {
+			best = d
+		}
+	}
+	return best
+}
+
+// optimize drives the current basis to a verified optimum: restore
+// feasibility (composite phase 1) when needed, run phase 2, then refresh the
+// factorization and re-verify feasibility and optimality — eta drift can
+// make a stale optimum only look optimal. A verification failure loops;
+// failure to converge in verifyRounds rounds reports ok=false.
+func (e *revEngine) optimize() (Status, bool) {
+	for round := 0; round < verifyRounds; round++ {
+		if e.maxInfeas() > feasTol {
+			st, ok := e.phase1()
+			if !ok {
+				return 0, false
+			}
+			if st != Optimal {
+				return st, true
+			}
+		}
+		st, ok := e.phase2()
+		if !ok {
+			return 0, false
+		}
+		if st != Optimal {
+			return st, true
+		}
+		if e.factor.dirty() {
+			if !e.refresh() {
+				return 0, false
+			}
+		}
+		if e.maxInfeas() <= feasTol && e.bestReducedCost() >= -eps {
+			// A zero-pivot solve from a polished snapshot is sitting on
+			// the canonical vertex already (the seed reproduced it and
+			// nothing moved), so re-canonicalizing would be pure waste:
+			// this is what makes periodic refreshes of an unchanged
+			// problem cost zero iterations.
+			if e.seedCanonical && e.iterations == 0 {
+				e.snapPolished = true
+				return Optimal, true
+			}
+			// Clean zero-valued artificials out of the basis first (their
+			// snapshot entries would be -1, which seeding rejects), then
+			// canonicalize the vertex: the polish works on a clone with
+			// the optimal objective pinned as a row, so the engine's own
+			// state stays certified regardless of its outcome.
+			if !e.driveOutArtificials() {
+				return 0, false
+			}
+			e.polishVertex()
+			return Optimal, true
+		}
+	}
+	return 0, false
+}
+
+// sigmaCost is the deterministic pseudo-random secondary objective used by
+// polishVertex to pick a canonical vertex of a degenerate optimal face. It
+// depends only on the column index, so cold, warm, and remapped solves of
+// the same problem minimize the same tie-break and land on the same vertex.
+// Slack columns carry no weight: bases differing only in slack arrangement
+// report the same x.
+func (e *revEngine) sigmaCost(j int) float64 {
+	if j >= e.n {
+		return 0
+	}
+	// Full splitmix64 mixing, and 52 bits of it in the mantissa: a weaker
+	// hash (one multiply + xorshift) stays *linear* in j in its top bits,
+	// making swap circuits with equal index sums near-ties below the
+	// pricing tolerance — exactly the degeneracy the polish must break —
+	// and truncated bits would re-tie distinct columns outright.
+	h := uint64(j) + 0x9E3779B97F4A7C15
+	h ^= h >> 30
+	h *= 0xBF58476D1CE4E5B9
+	h ^= h >> 27
+	h *= 0x94D049BB133111EB
+	h ^= h >> 31
+	return 0.5 + float64(h>>12)/float64(1<<53)
+}
+
+// polishVertex canonicalizes which optimal vertex the solve reports. The
+// simplex walk's endpoint on a degenerate optimal face depends on the seed
+// (a cold start and a remapped basis legitimately stop at different, equally
+// optimal vertices), which would make warm starts change results, not just
+// speed. The face is imposed *explicitly* — a lexicographic second stage:
+// clone the engine with one extra row, obj·x = obj*, whose artificial the
+// ordinary ratio test already holds at zero, then minimize the fixed
+// sigmaCost tie-break with plain phase-2 simplex. Filtering entering
+// columns by one basis's reduced costs would NOT work here: under
+// degeneracy the set {j : d_j = 0} is basis-dependent, and a walk so
+// restricted can stall at a vertex that is not the face optimum, leaving
+// the result path-dependent — the explicit row makes the restricted LP's
+// unique optimum (generic sigma weights) reachable from every seed. On any
+// numerical trouble the current (already optimal) vertex is kept.
+func (e *revEngine) polishVertex() {
+	objStar := 0.0
+	for i, c := range e.basis {
+		if c < e.nTotal {
+			objStar += e.obj[c] * e.xB[i]
+		}
+	}
+	m2 := e.m + 1
+	e2 := &revEngine{p: e.p, m: m2, n: e.n, nTotal: e.nTotal}
+	e2.cols = make([][]colEntry, e.nTotal)
+	for j := 0; j < e.nTotal; j++ {
+		col := e.cols[j]
+		if j < e.n && e.obj[j] != 0 {
+			ext := make([]colEntry, 0, len(col)+1)
+			ext = append(ext, col...)
+			ext = append(ext, colEntry{row: e.m, val: e.obj[j]})
+			col = ext
+		}
+		e2.cols[j] = col
+	}
+	e2.ops = append(append(make([]Op, 0, m2), e.ops...), EQ)
+	e2.rhs = append(append(make([]float64, 0, m2), e.rhs...), objStar)
+	e2.slackOf = append(append(make([]int, 0, m2), e.slackOf...), -1)
+	e2.obj = make([]float64, e.nTotal)
+	for j := 0; j < e.n; j++ {
+		e2.obj[j] = e.sigmaCost(j)
+	}
+	e2.basis = append(append(make([]int, 0, m2), e.basis...), e.nTotal+e.m)
+	e2.inBasis = append([]bool(nil), e.inBasis...)
+	e2.xB = make([]float64, m2)
+	e2.wsY = make([]float64, m2)
+	e2.wsW = make([]float64, m2)
+	e2.wsZ = make([]float64, m2)
+	e2.protectRow = e.m
+	if !e2.refresh() {
+		return
+	}
+	for round := 0; ; round++ {
+		st, ok := e2.phase2()
+		if !ok || st != Optimal {
+			return
+		}
+		if e2.factor.dirty() && !e2.refresh() {
+			return
+		}
+		if e2.maxInfeas() <= feasTol && e2.bestReducedCost() >= -eps {
+			break
+		}
+		if round >= verifyRounds {
+			return
+		}
+	}
+	// Adopt the canonical vertex.
+	e.iterations += e2.iterations
+	e.pivots += e2.pivots
+	e.polished = true
+	if faceArt := e.nTotal + e.m; e2.basis[e.m] != faceArt && math.Abs(e2.xB[e.m]) <= feasTol {
+		// Degenerate sigma pivots (dual-feasibility proof steps) evict the
+		// face artificial while leaving x untouched; its value — the slack
+		// of obj·x = obj* — is still zero, so pivot it straight back. This
+		// restores the exact-basis case below, which is what lets the next
+		// warm start skip the polish outright.
+		w := e2.wsW
+		for i := range w {
+			w[i] = 0
+		}
+		w[e.m] = 1
+		e2.factor.ftran(w)
+		if math.Abs(w[e.m]) > pivotTol {
+			if old := e2.basis[e.m]; old < e2.nTotal {
+				e2.inBasis[old] = false
+			}
+			theta := e2.xB[e.m] / w[e.m]
+			for i := range e2.xB {
+				e2.xB[i] -= theta * w[i]
+			}
+			e2.xB[e.m] = theta
+			e2.basis[e.m] = faceArt
+			e2.factor.push(e.m, w)
+			e2.pivots++
+		}
+	}
+	if e2.basis[e.m] == e.nTotal+e.m {
+		// The face row still hosts its (protected) artificial, so dropping
+		// that row leaves an exact basis of the canonical vertex for the
+		// original shape. The sigma walk's final basis need not be dual
+		// feasible for the *true* objective, so run one more phase-2 pass:
+		// at an optimum every improving column is blocked at step zero,
+		// meaning the pass only swaps basis columns and never moves x —
+		// and it is what lets the next warm start verify this snapshot in
+		// zero pivots and skip the polish entirely.
+		copy(e.basis, e2.basis[:e.m])
+		copy(e.inBasis, e2.inBasis)
+		copy(e.xB, e2.xB[:e.m])
+		if !e.refresh() {
+			return
+		}
+		if st, ok := e.phase2(); ok && st == Optimal {
+			e.snapPolished = true
+		}
+		return
+	}
+	// A degenerate step evicted the artificial despite the protection: the
+	// truncated basis is best-effort (it may not factorize for the original
+	// shape, and the next seed attempt then falls back), but the x vector is
+	// taken from the extended basis directly, so the reported allocation is
+	// canonical regardless.
+	x := make([]float64, e.n)
+	for i, c := range e2.basis {
+		if c < e.n {
+			x[c] = e2.xB[i]
+		}
+	}
+	e.polishedX = x
+	copy(e.basis, e2.basis[:e.m])
+	copy(e.xB, e2.xB[:e.m])
+}
+
+// driveOutArtificials pivots zero-valued basic artificials onto real columns
+// where possible (a degenerate pivot), so the snapshot basis stays portable;
+// rows whose artificial cannot move host a truly redundant constraint and
+// snapshot as -1, exactly like the dense path's dropped rows.
+func (e *revEngine) driveOutArtificials() bool {
+	for i, c := range e.basis {
+		if c < e.nTotal {
+			continue
+		}
+		rho := e.wsY
+		for k := range rho {
+			rho[k] = 0
+		}
+		rho[i] = 1
+		e.factor.btran(rho)
+		enter := -1
+		for j := 0; j < e.nTotal && enter < 0; j++ {
+			if e.inBasis[j] {
+				continue
+			}
+			var a float64
+			for _, en := range e.cols[j] {
+				a += rho[en.row] * en.val
+			}
+			if math.Abs(a) > 1e-7 {
+				enter = j
+			}
+		}
+		if enter < 0 {
+			continue
+		}
+		w := e.ftranCol(enter)
+		if math.Abs(w[i]) <= pivotTol {
+			continue
+		}
+		if !e.applyPivot(enter, i, 0, w) {
+			return false
+		}
+	}
+	return true
+}
+
+// finish assembles the Result from an optimal basis.
+func (e *revEngine) finish(warm, remapped bool) *Result {
+	p := e.p
+	x := make([]float64, e.n)
+	if e.polishedX != nil {
+		copy(x, e.polishedX)
+		for j, v := range x {
+			if v < 0 && v > -1e-9 {
+				x[j] = 0
+			}
+		}
+	} else {
+		for i, c := range e.basis {
+			if c < e.n {
+				v := e.xB[i]
+				if v < 0 && v > -1e-9 {
+					v = 0
+				}
+				x[c] = v
+			}
+		}
+	}
+	obj := 0.0
+	for j, c := range p.obj {
+		obj += c * x[j]
+	}
+	cols := make([]int, e.m)
+	for i, c := range e.basis {
+		if c < e.nTotal {
+			cols[i] = c
+		} else {
+			cols[i] = -1 // redundant row, dense-path compatible
+		}
+	}
+	snap := p.snapshotBasis(e.ops, cols)
+	snap.polished = e.snapPolished
+	return &Result{
+		Status: Optimal, X: x, Objective: obj,
+		Iterations: e.iterations, Pivots: e.pivots,
+		Basis: snap, WarmStarted: warm, Remapped: remapped,
+	}
+}
+
+// statusResult wraps a non-optimal terminal status.
+func (e *revEngine) statusResult(st Status, warm, remapped bool) *Result {
+	return &Result{Status: st, Iterations: e.iterations, Pivots: e.pivots, WarmStarted: warm, Remapped: remapped}
+}
+
+// solveCold runs the two-phase revised simplex from the slack/artificial
+// starting basis. ok=false falls back to the dense path.
+func (e *revEngine) solveCold() (*Result, bool) {
+	for i := 0; i < e.m; i++ {
+		col := e.slackOf[i]
+		switch {
+		case e.ops[i] == LE:
+			// Slack basic at rhs >= 0: feasible.
+		case e.ops[i] == GE && e.rhs[i] <= feasTol:
+			// Surplus basic at -rhs ~ 0: feasible enough.
+		default:
+			col = e.nTotal + i // artificial
+		}
+		e.basis[i] = col
+		if col < e.nTotal {
+			e.inBasis[col] = true
+		}
+	}
+	if !e.refresh() {
+		return nil, false
+	}
+	st, ok := e.optimize()
+	if !ok {
+		return nil, false
+	}
+	if st != Optimal {
+		return e.statusResult(st, false, false), true
+	}
+	return e.finish(false, false), true
+}
+
+// solveSeeded runs from a same-shape previous basis (the positional warm
+// start). ok=false means the seed was unusable; the caller retries cold.
+func (e *revEngine) solveSeeded(prev *Basis) (*Result, bool) {
+	for _, c := range prev.cols {
+		if c < 0 || c >= e.nTotal {
+			return nil, false
+		}
+	}
+	for i, c := range prev.cols {
+		e.basis[i] = c
+		e.inBasis[c] = true
+	}
+	e.seedCanonical = prev.polished
+	if !e.factorize(false) {
+		return nil, false
+	}
+	copy(e.wsW, e.rhs)
+	e.factor.ftran(e.wsW)
+	copy(e.xB, e.wsW)
+	st, ok := e.optimize()
+	if !ok || st == IterationLimit {
+		return nil, false
+	}
+	if st != Optimal {
+		return e.statusResult(st, true, false), true
+	}
+	return e.finish(true, false), true
+}
+
+// solveMapped runs from a basis remapped across a shape change: surviving
+// slacks and structural columns are pinned to their old host rows, loose
+// columns take any free row (the factorization orders pivots itself),
+// uncovered rows take their own slack or an artificial, and dependent
+// columns are repaired away during factorization. Feasibility lost to the
+// churn is restored by the composite phase 1. ok=false retries cold.
+func (e *revEngine) solveMapped(mb *MappedBasis) (*Result, bool) {
+	rowAt := make(map[string]int, e.m)
+	for i, c := range e.p.cons {
+		if c.id != "" {
+			rowAt[c.id] = i
+		}
+	}
+	for i := range e.basis {
+		e.basis[i] = -1
+	}
+	for _, id := range mb.slackRows {
+		i, ok := rowAt[id]
+		if !ok || e.basis[i] != -1 {
+			continue
+		}
+		if col := e.slackOf[i]; col >= 0 && !e.inBasis[col] {
+			e.basis[i] = col
+			e.inBasis[col] = true
+		}
+	}
+	var loose []int
+	for k, col := range mb.cands {
+		if col < 0 || col >= e.n {
+			return nil, false
+		}
+		if e.inBasis[col] {
+			continue
+		}
+		if i, ok := rowAt[mb.candRows[k]]; ok && e.basis[i] == -1 {
+			e.basis[i] = col
+			e.inBasis[col] = true
+			continue
+		}
+		loose = append(loose, col)
+	}
+	free := 0
+	place := func(col int) {
+		for ; free < e.m; free++ {
+			if e.basis[free] == -1 {
+				e.basis[free] = col
+				if col < e.nTotal {
+					e.inBasis[col] = true
+				}
+				free++
+				return
+			}
+		}
+	}
+	for _, col := range loose {
+		place(col)
+	}
+	for i := 0; i < e.m; i++ {
+		if e.basis[i] != -1 {
+			continue
+		}
+		if col := e.slackOf[i]; col >= 0 && !e.inBasis[col] {
+			e.basis[i] = col
+			e.inBasis[col] = true
+		} else {
+			e.basis[i] = e.nTotal + i
+		}
+	}
+	if !e.factorize(true) {
+		return nil, false
+	}
+	copy(e.wsW, e.rhs)
+	e.factor.ftran(e.wsW)
+	copy(e.xB, e.wsW)
+	st, ok := e.optimize()
+	if !ok || st == IterationLimit {
+		return nil, false
+	}
+	if st != Optimal {
+		return e.statusResult(st, true, true), true
+	}
+	return e.finish(true, true), true
+}
+
+// solveRevised is the revised-engine entry point, mirroring the dense
+// dispatch: try the positional seed, then the mapped seed, then cold.
+// ok=false sends the whole solve to the dense tableau.
+func (p *Problem) solveRevised(prev *Basis, mapped *MappedBasis) (*Result, bool) {
+	e, ok := newRevEngine(p)
+	if !ok {
+		return nil, false
+	}
+	if prev.compatible(e.n, e.ops) {
+		if res, ok := e.solveSeeded(prev); ok {
+			return res, true
+		}
+		e, _ = newRevEngine(p)
+	} else if mapped != nil && mapped.numVars == e.n && len(mapped.cands) > 0 {
+		if res, ok := e.solveMapped(mapped); ok {
+			return res, true
+		}
+		e, _ = newRevEngine(p)
+	}
+	return e.solveCold()
+}

@@ -32,6 +32,11 @@ type SolveContext struct {
 	// solve runs the cold two-phase path. Used to measure the cold
 	// baseline's iteration counts in benchmarks.
 	NoWarm bool
+	// Engine selects the simplex implementation for every LP issued
+	// through this context: lp.Revised (the sparse revised engine),
+	// lp.Dense (the tableau oracle), or lp.EngineAuto (the default) to
+	// follow lp.DefaultEngine.
+	Engine lp.Engine
 }
 
 // cachedBasis pairs a cached simplex basis with the column identities of the
@@ -51,6 +56,9 @@ type SolveStats struct {
 	RemapHits     int // remapped seeds that actually ran warm
 	Iterations    int // simplex iterations across all solves
 	Pivots        int // tableau pivots across all solves
+	RevisedSolves int // solves completed by the sparse revised engine
+	DenseSolves   int // solves completed by the dense tableau
+	Fallbacks     int // revised-engine solves that fell back to dense
 }
 
 // NewSolveContext returns an empty context.
@@ -100,9 +108,27 @@ func (c *SolveContext) record(key string, ids []lp.ColumnID, res *lp.Result) {
 	}
 	c.Stats.Iterations += res.Iterations
 	c.Stats.Pivots += res.Pivots
+	c.recordEngine(res)
 	if res.Status == lp.Optimal && res.Basis != nil {
 		c.bases[key] = &cachedBasis{basis: res.Basis, ids: ids}
 	}
+}
+
+// recordEngine buckets a solve by the engine that completed it, counting
+// revised-to-dense fallbacks separately.
+func (c *SolveContext) recordEngine(res *lp.Result) {
+	if res.Engine == lp.Dense {
+		c.Stats.DenseSolves++
+		selected := c.Engine
+		if selected == lp.EngineAuto {
+			selected = lp.DefaultEngine
+		}
+		if selected == lp.Revised {
+			c.Stats.Fallbacks++
+		}
+		return
+	}
+	c.Stats.RevisedSolves++
 }
 
 // Solve solves p, seeding from the basis cached under key — positionally
@@ -116,6 +142,7 @@ func (c *SolveContext) Solve(key string, p *lp.Problem, ids []lp.ColumnID) (*lp.
 		return p.Solve()
 	}
 	c.Stats.Solves++
+	p.SetEngine(c.Engine)
 	prev, mapped := c.seed(key, ids, p.NumConstraints())
 	var res *lp.Result
 	var err error
@@ -137,22 +164,27 @@ func (c *SolveContext) Solve(key string, p *lp.Problem, ids []lp.ColumnID) (*lp.
 }
 
 // SolveCold solves p on the cold two-phase path unconditionally, keeping
-// only the accounting. For procedures whose *result* depends on which
-// optimal vertex the solver lands on (hierarchical water filling freezes
-// whatever incidental throughput zero-weight jobs received), any seeded
-// solve — positional or remapped — could change the outcome rather than
-// just the cost, so they must not reuse bases at all.
+// only the accounting. It exists for procedures whose *result* depends on
+// which optimal vertex the solver lands on, where a seeded solve could
+// change the outcome rather than just the cost. Hierarchical water filling
+// — the original user — no longer needs it: its iteration LPs pin
+// zero-weight jobs' incidental throughput with explicit rows, making the
+// optimum vertex-insensitive, and warm-start like every other policy's.
+// The method is retained deliberately for callers building procedures with
+// that vertex-sensitivity outside this package.
 func (c *SolveContext) SolveCold(p *lp.Problem) (*lp.Result, error) {
 	if c == nil {
 		return p.Solve()
 	}
 	c.Stats.Solves++
+	p.SetEngine(c.Engine)
 	res, err := p.Solve()
 	if err != nil {
 		return res, err
 	}
 	c.Stats.Iterations += res.Iterations
 	c.Stats.Pivots += res.Pivots
+	c.recordEngine(res)
 	return res, nil
 }
 
@@ -166,6 +198,7 @@ func (c *SolveContext) SolveFractional(key string, f *lp.Fractional, ids []lp.Co
 		return x, ratio, err
 	}
 	c.Stats.Solves++
+	f.Engine = c.Engine
 	var tids []lp.ColumnID
 	if ids != nil {
 		tids = make([]lp.ColumnID, 0, len(ids)+1)

@@ -216,6 +216,15 @@ func (p *Hierarchical) jobWeights(in *Input, entities []entityGroup, frozen []bo
 // cumulative share proportional to its weight: every iteration distributes
 // the remaining capacity across entities in weight ratio. Returns the
 // allocation and every job's achieved normalized throughput.
+//
+// Jobs carrying no weight this iteration (e.g. non-head jobs of a FIFO
+// entity) are *pinned* at their previous level with an explicit pair of
+// rows rather than just floored: historically they soaked up whatever
+// incidental throughput the solver's optimal vertex happened to hand them,
+// which made the procedure's outcome vertex-sensitive and forced every
+// hierarchical LP onto the cold path. With the pin, every optimal vertex
+// assigns zero-weight jobs the same level, so seeded solves (positional or
+// remapped) are safe and the LPs warm-start like every other policy's.
 func (p *Hierarchical) solveIteration(in *Input, ctx *SolveContext, wjob, norm []float64, frozen []bool, floor, prev []float64) (*core.Allocation, []float64, error) {
 	pr := core.NewProgram(lp.Maximize, in.Units, in.scaleFactors(), in.Workers)
 	t := pr.AddVar(1, "t")
@@ -223,6 +232,7 @@ func (p *Hierarchical) solveIteration(in *Input, ctx *SolveContext, wjob, norm [
 		if norm[m] <= 0 {
 			continue
 		}
+		id := in.Jobs[m].ID
 		sf := float64(in.Jobs[m].ScaleFactor)
 		if sf < 1 {
 			sf = 1
@@ -231,26 +241,25 @@ func (p *Hierarchical) solveIteration(in *Input, ctx *SolveContext, wjob, norm [
 		case frozen[m]:
 			// Do not degrade a bottlenecked job below its frozen level.
 			terms := pr.ThroughputTerms(m, sf/norm[m])
-			pr.P.AddConstraint(terms, lp.GE, floor[m]*(1-1e-6))
+			pr.AddRow(terms, lp.GE, floor[m]*(1-1e-6), fmt.Sprintf("wf:%d", id))
 		case wjob[m] > 0:
 			// (normThpt - prev)/wjob >= t, plus non-degradation.
 			terms := pr.ThroughputTerms(m, sf/(wjob[m]*norm[m]))
 			terms = append(terms, lp.Term{Var: t, Coeff: -1})
-			pr.P.AddConstraint(terms, lp.GE, prev[m]/wjob[m]*(1-1e-6))
-		case prev[m] > 0:
+			pr.AddRow(terms, lp.GE, prev[m]/wjob[m]*(1-1e-6), fmt.Sprintf("wf:%d", id))
+		default:
+			// Zero-weight this iteration: pin the incidental throughput to
+			// the previous level from both sides so the optimum is
+			// vertex-insensitive (for prev = 0 the job simply gets nothing
+			// until it carries weight).
 			terms := pr.ThroughputTerms(m, sf/norm[m])
-			pr.P.AddConstraint(terms, lp.GE, prev[m]*(1-1e-6))
+			if prev[m] > 0 {
+				pr.AddRow(terms, lp.GE, prev[m]*(1-1e-6), fmt.Sprintf("wf:%d", id))
+			}
+			pr.AddRow(terms, lp.LE, prev[m]*(1+1e-6), fmt.Sprintf("wfc:%d", id))
 		}
 	}
-	// Water filling is vertex-sensitive: jobs carrying no weight in an
-	// iteration (e.g. non-head jobs of a FIFO entity) receive only
-	// incidental throughput, and whichever optimal vertex the solver lands
-	// on gets frozen as a floor for later iterations. Any seeded solve —
-	// remapped across a job-set change or warm-started positionally — can
-	// legitimately land on a different optimal vertex than the cold
-	// two-phase path, which would change the final shares rather than just
-	// the solve cost, so the hierarchical LPs always run cold.
-	res, err := ctx.SolveCold(pr.P)
+	res, err := ctx.Solve("hier/wf", pr.P, pr.ColumnIDs())
 	if err != nil {
 		return nil, nil, err
 	}
@@ -293,6 +302,7 @@ func (p *Hierarchical) findBottlenecks(in *Input, ctx *SolveContext, wjob, norm 
 		if norm[m] <= 0 {
 			continue
 		}
+		id := in.Jobs[m].ID
 		sf := float64(in.Jobs[m].ScaleFactor)
 		if sf < 1 {
 			sf = 1
@@ -300,19 +310,21 @@ func (p *Hierarchical) findBottlenecks(in *Input, ctx *SolveContext, wjob, norm 
 		terms := pr.ThroughputTerms(m, sf/norm[m])
 		switch {
 		case frozen[m]:
-			pr.P.AddConstraint(terms, lp.GE, floor[m]*(1-1e-6))
+			pr.AddRow(terms, lp.GE, floor[m]*(1-1e-6), fmt.Sprintf("bn:%d", id))
 		case wjob[m] > 0:
 			eps := 1e-3 * (achieved[m] + 1)
-			s := pr.AddVar(1, fmt.Sprintf("s:%d", in.Jobs[m].ID))
+			s := pr.AddVar(1, fmt.Sprintf("s:%d", id))
 			slack[m] = s
-			pr.P.AddConstraint([]lp.Term{{Var: s, Coeff: 1}}, lp.LE, eps)
+			pr.AddRow([]lp.Term{{Var: s, Coeff: 1}}, lp.LE, eps, fmt.Sprintf("bs:%d", id))
 			terms = append(terms, lp.Term{Var: s, Coeff: -1})
-			pr.P.AddConstraint(terms, lp.GE, achieved[m]*(1-1e-6))
+			pr.AddRow(terms, lp.GE, achieved[m]*(1-1e-6), fmt.Sprintf("bn:%d", id))
 		}
 	}
-	// Always cold, for the same vertex-sensitivity reason as the
-	// water-filling iteration LP above.
-	res, err := ctx.SolveCold(pr.P)
+	// The bottleneck test reads only which slacks are stuck at zero, a
+	// property of the optimum rather than the vertex, so it warm-starts
+	// under its own label (the LP's shape tracks the freezing progress, so
+	// successive iterations reuse the basis via the cross-shape remap).
+	res, err := ctx.Solve("hier/bn", pr.P, pr.ColumnIDs())
 	if err != nil || res.Status != lp.Optimal {
 		// Numerical trouble: freeze everything so the caller terminates.
 		var out []int

@@ -141,6 +141,57 @@ func TestHierarchicalHeterogeneousEntities(t *testing.T) {
 	}
 }
 
+// TestHierarchicalWarmMatchesCold is the seed-safety guard for water
+// filling: with zero-weight jobs' incidental throughput pinned by explicit
+// rows, the LP optimum is vertex-insensitive, so solving the hierarchical
+// LPs from cached bases (positional or remapped across the churn steps)
+// must reproduce the cold pipeline's shares exactly — warm starts change
+// only cost, never outcome. This is what let the policy drop its SolveCold
+// exception.
+func TestHierarchicalWarmMatchesCold(t *testing.T) {
+	workers := []float64{6, 6, 6}
+	steps := [][]int{
+		{1, 2, 3, 4, 5, 6},
+		{1, 2, 3, 4, 5, 6, 7},  // arrival
+		{1, 3, 4, 5, 6, 7},     // departure
+		{1, 3, 4, 5, 6, 8},     // simultaneous arrival + departure
+		{3, 4, 5, 6, 8, 9, 10}, // departure + two arrivals
+	}
+	pol := &Hierarchical{
+		EntityWeight:   map[int]float64{0: 1, 1: 2},
+		EntityPolicyOf: map[int]EntityPolicy{1: EntityFIFO},
+	}
+	ctx := NewSolveContext()
+	for si, ids := range steps {
+		in := churnInput(ids, workers)
+		for m := range in.Jobs {
+			in.Jobs[m].Entity = in.Jobs[m].ID % 2
+		}
+		warm, err := pol.Allocate(in, ctx)
+		if err != nil {
+			t.Fatalf("step %d warm: %v", si, err)
+		}
+		inCold := churnInput(ids, workers)
+		for m := range inCold.Jobs {
+			inCold.Jobs[m].Entity = inCold.Jobs[m].ID % 2
+		}
+		cold, err := pol.Allocate(inCold, nil)
+		if err != nil {
+			t.Fatalf("step %d cold: %v", si, err)
+		}
+		for m := range in.Jobs {
+			w, c := warm.EffectiveThroughput(m), cold.EffectiveThroughput(m)
+			if d := math.Abs(w - c); d > 1e-6*(1+math.Abs(c)) {
+				t.Errorf("step %d job %d: warm throughput %v, cold %v", si, in.Jobs[m].ID, w, c)
+			}
+		}
+	}
+	if ctx.Stats.WarmHits+ctx.Stats.RemapHits == 0 {
+		t.Fatalf("hierarchical solves never warm-started: %+v", ctx.Stats)
+	}
+	t.Logf("stats: %+v", ctx.Stats)
+}
+
 // Pareto efficiency (§4.4): after water filling, no job's throughput can be
 // raised without another dropping — verified by checking all devices are
 // fully allocated when every job still wants time.

@@ -17,6 +17,7 @@ import (
 
 	"gavel/internal/cluster"
 	"gavel/internal/core"
+	"gavel/internal/lp"
 	"gavel/internal/policy"
 	"gavel/internal/scheduler"
 	"gavel/internal/workload"
@@ -103,6 +104,10 @@ type Config struct {
 	// Gavel does. Used for benchmarking and equivalence testing against the
 	// incremental pipeline.
 	ColdSolves bool
+	// LPEngine selects the simplex implementation for the run's solve
+	// context: lp.Revised, lp.Dense, or lp.EngineAuto (default) to follow
+	// lp.DefaultEngine. Ignored under ColdSolves (no context).
+	LPEngine lp.Engine
 	// ReallocEveryRounds, when > 0, recomputes the allocation every k
 	// rounds even without an arrival or completion (modeling Gavel's
 	// periodic refresh as observed throughputs stream in). 0 recomputes
@@ -157,7 +162,14 @@ type Result struct {
 	WarmSolves        int
 	RemappedSolves    int
 	SimplexIterations int
-	Unfinished        int
+	// Per-engine accounting: RevisedSolves ran on the sparse revised
+	// simplex engine, DenseSolves on the dense tableau (either selected
+	// explicitly via Config.LPEngine or as a fallback from a revised solve
+	// that could not be certified, counted in EngineFallbacks).
+	RevisedSolves   int
+	DenseSolves     int
+	EngineFallbacks int
+	Unfinished      int
 }
 
 // AvgJCT returns the mean JCT in hours over finished jobs, optionally
@@ -256,6 +268,7 @@ func Run(cfg Config) (*Result, error) {
 	var ctx *policy.SolveContext
 	if !cfg.ColdSolves {
 		ctx = policy.NewSolveContext()
+		ctx.Engine = cfg.LPEngine
 	}
 
 	var active []int // indices into states
@@ -341,6 +354,9 @@ func Run(cfg Config) (*Result, error) {
 		res.WarmSolves = ctx.Stats.WarmHits
 		res.RemappedSolves = ctx.Stats.RemapHits
 		res.SimplexIterations = ctx.Stats.Iterations
+		res.RevisedSolves = ctx.Stats.RevisedSolves
+		res.DenseSolves = ctx.Stats.DenseSolves
+		res.EngineFallbacks = ctx.Stats.Fallbacks
 	}
 
 	for _, st := range states {
