@@ -21,7 +21,7 @@ import (
 
 func main() {
 	var (
-		exp   = flag.String("exp", "all", "experiment id (fig1, table2, table3, fig8..fig21, cost, all)")
+		exp   = flag.String("exp", "all", "experiment id (fig1, table2, table3, fig8..fig21, cost, sharded, all)")
 		jobs  = flag.Int("jobs", 120, "jobs per trace")
 		seeds = flag.Int("seeds", 1, "seeds per data point")
 		full  = flag.Bool("full", false, "paper-scale runs (long): 600 jobs, 3 seeds")
@@ -100,6 +100,10 @@ func main() {
 		},
 		"cost": func() (string, error) {
 			o, err := experiments.CostPolicies(opt)
+			return reportOf(o, err)
+		},
+		"sharded": func() (string, error) {
+			o, err := experiments.Sharded(opt, []int{1, 4})
 			return reportOf(o, err)
 		},
 	}

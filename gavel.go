@@ -23,6 +23,12 @@
 //     baselines it evaluates against (heterogeneity-agnostic LAS/FIFO/FTF,
 //     Gandiva ad-hoc packing, AlloX);
 //   - internal/scheduler: the round-based mechanism (§5, Algorithm 1);
+//   - internal/cluster: cluster specs, plus the sharded scheduler service —
+//     jobs and devices partitioned across K shards, each with its own solve
+//     context, throughput cache, and mechanism, driven concurrently by a
+//     coordinator that routes arrivals, rebalances via warm-basis job
+//     migration, and merges rounds under the global worker budget
+//     (SimulationConfig.NumShards);
 //   - internal/simulator: the discrete-event evaluation substrate;
 //   - internal/estimator: the matrix-completion throughput estimator
 //     (§3.3);
@@ -85,6 +91,20 @@ type (
 	// LPEngine selects the simplex implementation
 	// (SimulationConfig.LPEngine, SolveContext.Engine).
 	LPEngine = lp.Engine
+	// ShardStat is one shard's solve/migration accounting within a sharded
+	// SimulationResult (SimulationConfig.NumShards > 0).
+	ShardStat = simulator.ShardStat
+	// ShardRoutePolicy selects how the sharded engine routes arriving jobs
+	// (SimulationConfig.ShardRoute).
+	ShardRoutePolicy = cluster.RoutePolicy
+)
+
+// Shard routing policies for the sharded engine: RouteHash assigns jobs by
+// ID modulo the shard count, RouteLeastLoaded to the shard with the
+// smallest device demand.
+const (
+	RouteHash        = cluster.RouteHash
+	RouteLeastLoaded = cluster.RouteLeastLoaded
 )
 
 // NewSolveContext returns an empty per-policy solve context for callers that

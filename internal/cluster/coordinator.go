@@ -1,0 +1,446 @@
+package cluster
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
+
+	"gavel/internal/lp"
+	"gavel/internal/policy"
+	"gavel/internal/scheduler"
+)
+
+// RoutePolicy selects how the coordinator assigns arriving jobs to shards.
+type RoutePolicy int
+
+const (
+	// RouteHash routes job ID modulo the shard count: stateless,
+	// deterministic, and stable under churn.
+	RouteHash RoutePolicy = iota
+	// RouteLeastLoaded routes to the shard with the smallest device demand,
+	// ties broken by lowest shard index.
+	RouteLeastLoaded
+)
+
+// String implements fmt.Stringer.
+func (r RoutePolicy) String() string {
+	switch r {
+	case RouteLeastLoaded:
+		return "least-loaded"
+	default:
+		return "hash"
+	}
+}
+
+// CoordinatorConfig parameterizes a sharded scheduling service.
+type CoordinatorConfig struct {
+	// NumShards is the partition count K (>= 1).
+	NumShards int
+	// Cluster is the global cluster; its per-type device counts are split
+	// across shards (the first count%K shards get one extra device).
+	Cluster Spec
+	// Engine selects the simplex implementation of every shard's context.
+	Engine lp.Engine
+	// ColdSolves disables per-shard solve contexts: every allocation then
+	// solves its LPs from scratch (benchmark baseline).
+	ColdSolves bool
+	// Route selects arrival routing (default RouteHash).
+	Route RoutePolicy
+	// PairGainThreshold is the minimum combined normalized throughput for a
+	// space-sharing pair to become a candidate unit; MaxPairsPerJob caps
+	// candidates per job (0 disables pair units). Pairs only ever form
+	// within a shard — partitioning the job set partitions the pair set.
+	PairGainThreshold float64
+	MaxPairsPerJob    int
+}
+
+// Migration records one job moved between shards by a rebalance.
+type Migration struct {
+	Job  int
+	From int
+	To   int
+}
+
+// RoundAssignment tags a shard-local assignment with its shard, the merged
+// form of one global round.
+type RoundAssignment struct {
+	Shard int
+	scheduler.Assignment
+}
+
+// ShardStats is one shard's accounting snapshot.
+type ShardStats struct {
+	Shard       int
+	Jobs        int // currently resident
+	Admitted    int // routed here on arrival
+	MigratedIn  int
+	MigratedOut int
+	// Solve is the shard context's LP accounting (zero under ColdSolves).
+	Solve policy.SolveStats
+}
+
+// Coordinator drives a sharded scheduling service: it partitions jobs and
+// devices across K shards, routes arrivals, periodically rebalances by
+// migrating jobs (carrying warm LP seeds across so migration never forces a
+// cold solve while any seed exists), fans allocation and round assignment
+// out over a bounded worker pool, and merges per-shard rounds under the
+// global per-type worker budget. All mutating entry points are
+// single-threaded by design — the concurrency lives inside ForEachShard,
+// where shards touch only their own state — so a fixed call order yields a
+// byte-identical outcome regardless of GOMAXPROCS.
+type Coordinator struct {
+	cfg        CoordinatorConfig
+	numTypes   int
+	globalInts []int
+	shards     []*Shard
+	shardOf    map[int]int
+	migrations int
+	rebalances int
+}
+
+// NewCoordinator validates the config and builds K empty shards over a
+// per-type split of the cluster's devices.
+func NewCoordinator(cfg CoordinatorConfig) (*Coordinator, error) {
+	if cfg.NumShards < 1 {
+		return nil, fmt.Errorf("cluster: NumShards %d < 1", cfg.NumShards)
+	}
+	if err := cfg.Cluster.Validate(); err != nil {
+		return nil, err
+	}
+	numTypes := cfg.Cluster.NumTypes()
+	counts := make([]int, numTypes)
+	perServer := make([]int, numTypes)
+	for j, t := range cfg.Cluster.Types {
+		counts[j] = t.Count
+		perServer[j] = t.PerServer
+	}
+	prices := cfg.Cluster.Prices()
+	split := SplitWorkerCounts(counts, cfg.NumShards)
+	c := &Coordinator{
+		cfg:        cfg,
+		numTypes:   numTypes,
+		globalInts: counts,
+		shardOf:    map[int]int{},
+	}
+	for k := 0; k < cfg.NumShards; k++ {
+		var ctx *policy.SolveContext
+		if !cfg.ColdSolves {
+			ctx = policy.NewSolveContext()
+			ctx.Engine = cfg.Engine
+		}
+		c.shards = append(c.shards, newShard(k, numTypes, split[k], perServer, prices, ctx))
+	}
+	return c, nil
+}
+
+// SplitWorkerCounts partitions per-type device counts across numShards:
+// shard k receives counts[j]/numShards devices of type j, with the first
+// counts[j]%numShards shards taking one extra. The slices always sum back to
+// the global counts — the invariant that lets per-shard rounds merge without
+// ever exceeding the cluster's budget.
+func SplitWorkerCounts(counts []int, numShards int) [][]int {
+	out := make([][]int, numShards)
+	for k := range out {
+		out[k] = make([]int, len(counts))
+	}
+	for j, n := range counts {
+		base, extra := n/numShards, n%numShards
+		for k := 0; k < numShards; k++ {
+			out[k][j] = base
+			if k < extra {
+				out[k][j]++
+			}
+		}
+	}
+	return out
+}
+
+// NumShards returns the partition count.
+func (c *Coordinator) NumShards() int { return len(c.shards) }
+
+// Shards returns the shard slice (callers must not reorder it).
+func (c *Coordinator) Shards() []*Shard { return c.shards }
+
+// Shard returns shard k.
+func (c *Coordinator) Shard(k int) *Shard { return c.shards[k] }
+
+// ShardOf returns the index of the shard holding the job, or -1.
+func (c *Coordinator) ShardOf(id int) int {
+	if k, ok := c.shardOf[id]; ok {
+		return k
+	}
+	return -1
+}
+
+// NumJobs returns the total resident job count across shards.
+func (c *Coordinator) NumJobs() int { return len(c.shardOf) }
+
+// Migrations returns the total jobs moved between shards by rebalancing.
+func (c *Coordinator) Migrations() int { return c.migrations }
+
+// Rebalances returns how many Rebalance calls actually moved jobs.
+func (c *Coordinator) Rebalances() int { return c.rebalances }
+
+// route picks the destination shard for an arriving job.
+func (c *Coordinator) route(id int) *Shard {
+	switch c.cfg.Route {
+	case RouteLeastLoaded:
+		best := c.shards[0]
+		for _, s := range c.shards[1:] {
+			if s.load < best.load {
+				best = s
+			}
+		}
+		return best
+	default:
+		k := id % len(c.shards)
+		if k < 0 {
+			k += len(c.shards)
+		}
+		return c.shards[k]
+	}
+}
+
+// Admit routes an arriving job to a shard and installs its isolated
+// throughput row, returning the destination shard.
+func (c *Coordinator) Admit(id, scaleFactor int, tput []float64) *Shard {
+	s := c.route(id)
+	s.add(id, scaleFactor, tput)
+	s.Admitted++
+	c.shardOf[id] = s.Index
+	return s
+}
+
+// Remove drops a departed (completed) job from its shard.
+func (c *Coordinator) Remove(id int) {
+	k, ok := c.shardOf[id]
+	if !ok {
+		return
+	}
+	c.shards[k].remove(id)
+	delete(c.shardOf, id)
+}
+
+// migrate moves one resident job between shards, carrying warm LP seeds to a
+// destination that has none: the adopted basis remaps across the job-set
+// change on the destination's next solve exactly like any arrival, and the
+// source's own basis remaps the departure — so migration costs two remapped
+// solves, never a cold one, as long as either side has ever solved.
+func (c *Coordinator) migrate(id int, from, to *Shard) {
+	sf := from.Cache.ScaleFactor(id)
+	tput := append([]float64(nil), from.Cache.JobTput(id)...)
+	from.remove(id)
+	to.add(id, sf, tput)
+	from.MigratedOut++
+	to.MigratedIn++
+	if !to.Ctx.HasSeeds() {
+		to.Ctx.AdoptSeedsFrom(from.Ctx)
+	}
+	c.shardOf[id] = to.Index
+	c.migrations++
+}
+
+// Rebalance evens device demand across shards by migrating the most
+// recently admitted movable job from the most loaded shard to the least
+// loaded one until the gap stops shrinking. Ties always break to the lowest
+// shard index and candidates are scanned in reverse admission order, so the
+// migration set is a pure function of the coordinator's state.
+func (c *Coordinator) Rebalance() []Migration {
+	if len(c.shards) < 2 {
+		return nil
+	}
+	var migs []Migration
+	for moves := 0; moves <= len(c.shardOf); moves++ {
+		hi, lo := c.shards[0], c.shards[0]
+		for _, s := range c.shards[1:] {
+			if s.load > hi.load {
+				hi = s
+			}
+			if s.load < lo.load {
+				lo = s
+			}
+		}
+		gap := hi.load - lo.load
+		if gap <= 1 {
+			break
+		}
+		// Most recent admission whose demand strictly shrinks the gap:
+		// moving demand d turns the gap into |gap - 2d|, an improvement
+		// exactly when d < gap.
+		pick := -1
+		for i := len(hi.jobs) - 1; i >= 0; i-- {
+			if hi.Cache.ScaleFactor(hi.jobs[i]) < gap {
+				pick = hi.jobs[i]
+				break
+			}
+		}
+		if pick < 0 {
+			break
+		}
+		c.migrate(pick, hi, lo)
+		migs = append(migs, Migration{Job: pick, From: hi.Index, To: lo.Index})
+	}
+	if len(migs) > 0 {
+		c.rebalances++
+	}
+	return migs
+}
+
+// ForEachShard runs fn on every shard concurrently over a worker pool
+// bounded by GOMAXPROCS. Each invocation may mutate only its own shard;
+// outputs land in per-shard state or caller-owned slots indexed by
+// Shard.Index, so results are deterministic regardless of goroutine
+// scheduling. The returned error is the lowest-index failure.
+func (c *Coordinator) ForEachShard(fn func(s *Shard) error) error {
+	n := len(c.shards)
+	workers := runtime.GOMAXPROCS(0)
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 {
+		for _, s := range c.shards {
+			if err := fn(s); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	errs := make([]error, n)
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= n {
+					return
+				}
+				errs[i] = fn(c.shards[i])
+			}
+		}()
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// AllocateAll recomputes every stale shard's allocation concurrently. force
+// recomputes clean shards too (periodic refresh).
+func (c *Coordinator) AllocateAll(pol policy.Policy, info JobInfoFn, force bool) error {
+	return c.ForEachShard(func(s *Shard) error {
+		if !force && !s.Dirty && s.Alloc != nil {
+			return nil
+		}
+		return s.Allocate(pol, c.cfg.PairGainThreshold, c.cfg.MaxPairsPerJob, info)
+	})
+}
+
+// AssignRound runs one mechanism round on every shard concurrently and
+// merges the result under the global budget. skip masks jobs that must not
+// run (may be nil).
+func (c *Coordinator) AssignRound(roundSeconds float64, skip func(id int) bool) ([]RoundAssignment, error) {
+	perShard := make([][]scheduler.Assignment, len(c.shards))
+	err := c.ForEachShard(func(s *Shard) error {
+		assigns, err := s.AssignRound(roundSeconds, skip)
+		perShard[s.Index] = assigns
+		return err
+	})
+	if err != nil {
+		return nil, err
+	}
+	return c.MergeRound(perShard)
+}
+
+// ValidateRound verifies one global round's budget invariants without
+// materializing the merged assignment list: every shard must stay within
+// its own worker slice and the union within the global per-type budget. The
+// shards' slices partition the cluster, so a violation is an invariant
+// breach. This is the per-round check the sharded simulator runs.
+func (c *Coordinator) ValidateRound(perShard [][]scheduler.Assignment) error {
+	if len(perShard) != len(c.shards) {
+		return fmt.Errorf("cluster: %d assignment sets for %d shards", len(perShard), len(c.shards))
+	}
+	total := make([]int, c.numTypes)
+	for k, assigns := range perShard {
+		s := c.shards[k]
+		used := scheduler.UsedWorkers(assigns, s.unitScaleFactor, c.numTypes)
+		if err := scheduler.WithinBudget(used, s.WorkerInts); err != nil {
+			return fmt.Errorf("cluster: shard %d: %w", k, err)
+		}
+		for j := range used {
+			total[j] += used[j]
+		}
+	}
+	if err := scheduler.WithinBudget(total, c.globalInts); err != nil {
+		return fmt.Errorf("cluster: merged round: %w", err)
+	}
+	return nil
+}
+
+// MergeRound validates per-shard assignments (indexed by shard) and
+// flattens them into one shard-tagged global round.
+func (c *Coordinator) MergeRound(perShard [][]scheduler.Assignment) ([]RoundAssignment, error) {
+	if err := c.ValidateRound(perShard); err != nil {
+		return nil, err
+	}
+	var out []RoundAssignment
+	for k, assigns := range perShard {
+		for _, a := range assigns {
+			out = append(out, RoundAssignment{Shard: k, Assignment: a})
+		}
+	}
+	return out, nil
+}
+
+// JobAllocations merges the shards' current allocations into per-job
+// per-type time fractions: each job's row sums X over every unit containing
+// it in its shard's allocation. This is the partition-respecting view used
+// to compare sharded and monolithic solves.
+func (c *Coordinator) JobAllocations() map[int][]float64 {
+	out := map[int][]float64{}
+	for _, s := range c.shards {
+		if s.Alloc == nil {
+			continue
+		}
+		for u := range s.Alloc.Units {
+			for _, local := range s.Alloc.Units[u].Jobs {
+				id := s.AllocIDs[local]
+				row := out[id]
+				if row == nil {
+					row = make([]float64, c.numTypes)
+					out[id] = row
+				}
+				for j, x := range s.Alloc.X[u] {
+					row[j] += x
+				}
+			}
+		}
+	}
+	return out
+}
+
+// Stats snapshots per-shard accounting in shard order.
+func (c *Coordinator) Stats() []ShardStats {
+	out := make([]ShardStats, len(c.shards))
+	for k, s := range c.shards {
+		st := ShardStats{
+			Shard:       k,
+			Jobs:        len(s.jobs),
+			Admitted:    s.Admitted,
+			MigratedIn:  s.MigratedIn,
+			MigratedOut: s.MigratedOut,
+		}
+		if s.Ctx != nil {
+			st.Solve = s.Ctx.Stats
+		}
+		out[k] = st
+	}
+	return out
+}

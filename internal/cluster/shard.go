@@ -1,0 +1,230 @@
+package cluster
+
+import (
+	"fmt"
+	"time"
+
+	"gavel/internal/core"
+	"gavel/internal/policy"
+	"gavel/internal/scheduler"
+)
+
+// Shard is one partition of a sharded scheduling service: it owns a disjoint
+// subset of the cluster's jobs and a per-type slice of its devices, and runs
+// Gavel's full per-cluster machinery — a policy solve context with cached
+// simplex bases, an incrementally maintained throughput cache, and a
+// round-based mechanism — over just that subset. Shards never share mutable
+// state, so a Coordinator can drive allocation and round assignment on all
+// of them concurrently; the only cross-shard traffic is job migration, which
+// moves a job's throughput rows and (via SolveContext.AdoptSeedsFrom) warm
+// LP seeds between shards.
+type Shard struct {
+	// Index is the shard's position within the coordinator, fixed at
+	// construction. Routing, merging, and stats all iterate shards in index
+	// order, which is what keeps sharded runs deterministic.
+	Index int
+
+	// Workers is this shard's per-type device slice; WorkerInts the same as
+	// integers; PerServer the per-type devices-per-server (shared with every
+	// shard); Prices the per-type dollar rates.
+	Workers    []float64
+	WorkerInts []int
+	PerServer  []int
+	Prices     []float64
+
+	// Ctx carries the shard's warm-start state across solves. Nil selects
+	// cold solves (the coordinator's ColdSolves mode).
+	Ctx *policy.SolveContext
+	// Cache holds the shard's job/pair throughput matrices.
+	Cache *core.ThroughputCache
+	// Mech is the shard's round-based mechanism over its worker slice.
+	Mech *scheduler.Mechanism
+
+	// Dirty marks the allocation stale: a job arrived, departed, or
+	// migrated since it was computed.
+	Dirty bool
+	// Alloc is the current allocation (nil before the first Allocate);
+	// AllocIDs the external job IDs it was computed over, in unit order for
+	// the single-job prefix.
+	Alloc    *core.Allocation
+	AllocIDs []int
+
+	// Admitted counts jobs routed here by Admit; MigratedIn/MigratedOut
+	// count rebalance moves; PolicyTime/PolicyCalls account Allocate work.
+	Admitted    int
+	MigratedIn  int
+	MigratedOut int
+	PolicyTime  time.Duration
+	PolicyCalls int
+
+	jobs   []int // resident job IDs in admission order (deterministic)
+	jobPos map[int]int
+	load   int // total device demand (sum of scale factors)
+}
+
+// newShard builds an empty shard over the given worker slice.
+func newShard(index, numTypes int, workerInts, perServer []int, prices []float64, ctx *policy.SolveContext) *Shard {
+	workers := make([]float64, numTypes)
+	for j, w := range workerInts {
+		workers[j] = float64(w)
+	}
+	return &Shard{
+		Index:      index,
+		Workers:    workers,
+		WorkerInts: append([]int(nil), workerInts...),
+		PerServer:  append([]int(nil), perServer...),
+		Prices:     append([]float64(nil), prices...),
+		Ctx:        ctx,
+		Cache:      core.NewThroughputCache(numTypes),
+		Mech:       scheduler.New(numTypes, perServer),
+		jobPos:     map[int]int{},
+	}
+}
+
+// add inserts a job (admission or migration target).
+func (s *Shard) add(id, scaleFactor int, tput []float64) {
+	if scaleFactor < 1 {
+		scaleFactor = 1
+	}
+	s.Cache.AddJob(id, scaleFactor, tput)
+	s.jobPos[id] = len(s.jobs)
+	s.jobs = append(s.jobs, id)
+	s.load += scaleFactor
+	s.Dirty = true
+}
+
+// remove drops a job (completion or migration source), preserving the
+// admission order of the remainder.
+func (s *Shard) remove(id int) {
+	pos, ok := s.jobPos[id]
+	if !ok {
+		return
+	}
+	s.load -= s.Cache.ScaleFactor(id)
+	s.Cache.RemoveJob(id)
+	s.jobs = append(s.jobs[:pos], s.jobs[pos+1:]...)
+	delete(s.jobPos, id)
+	for i := pos; i < len(s.jobs); i++ {
+		s.jobPos[s.jobs[i]] = i
+	}
+	s.Dirty = true
+}
+
+// Has reports whether the job is resident.
+func (s *Shard) Has(id int) bool { _, ok := s.jobPos[id]; return ok }
+
+// Jobs returns the resident job IDs in admission order (copy).
+func (s *Shard) Jobs() []int { return append([]int(nil), s.jobs...) }
+
+// NumJobs returns the resident job count.
+func (s *Shard) NumJobs() int { return len(s.jobs) }
+
+// Load returns the shard's total device demand (sum of scale factors), the
+// balance metric routing and rebalancing use.
+func (s *Shard) Load() int { return s.load }
+
+// JobInfoFn supplies the caller-side view of one job when a shard builds a
+// policy input: weights, remaining work, elapsed time, SLOs. The shard
+// overwrites ID, Tput, ScaleFactor, and NumActiveJobs from its own state
+// (NumActiveJobs becomes the shard-local active count — the job's fairness
+// baseline is its shard's slice of the cluster).
+type JobInfoFn func(id int) policy.JobInfo
+
+// Allocate recomputes the shard's allocation: it assembles the policy input
+// from the throughput cache (single units in admission order, then pair
+// candidates above minGain, capped at maxPairs per job), solves through the
+// shard's context — warm, remapped, or cold, per the context's usual seed
+// selection — and resets the mechanism's received-time accounting. An empty
+// shard gets an empty allocation without invoking the policy.
+func (s *Shard) Allocate(pol policy.Policy, minGain float64, maxPairs int, info JobInfoFn) error {
+	if len(s.jobs) == 0 {
+		s.Alloc = &core.Allocation{}
+		s.AllocIDs = nil
+		s.Mech.ResetReceived()
+		s.Dirty = false
+		return nil
+	}
+	ids := append([]int(nil), s.jobs...)
+	in := &policy.Input{
+		Workers: s.Workers,
+		Prices:  s.Prices,
+		Units:   s.Cache.Units(ids, minGain, maxPairs),
+	}
+	for _, id := range ids {
+		ji := info(id)
+		ji.ID = id
+		ji.Tput = s.Cache.JobTput(id)
+		ji.ScaleFactor = s.Cache.ScaleFactor(id)
+		ji.NumActiveJobs = len(ids)
+		in.Jobs = append(in.Jobs, ji)
+	}
+	start := time.Now()
+	alloc, err := pol.Allocate(in, s.Ctx)
+	s.PolicyTime += time.Since(start)
+	s.PolicyCalls++
+	if err != nil {
+		return fmt.Errorf("shard %d: %w", s.Index, err)
+	}
+	s.Alloc = alloc
+	s.AllocIDs = ids
+	s.Mech.ResetReceived()
+	s.Dirty = false
+	return nil
+}
+
+// unitJobIDs maps unit u's member positions to external job IDs.
+func (s *Shard) unitJobIDs(u int) []int {
+	members := s.Alloc.Units[u].Jobs
+	ids := make([]int, len(members))
+	for k, local := range members {
+		ids[k] = s.AllocIDs[local]
+	}
+	return ids
+}
+
+// unitScaleFactor is the max member scale factor of unit u.
+func (s *Shard) unitScaleFactor(u int) int {
+	sf := 1
+	for _, local := range s.Alloc.Units[u].Jobs {
+		if v := s.Cache.ScaleFactor(s.AllocIDs[local]); v > sf {
+			sf = v
+		}
+	}
+	return sf
+}
+
+// AssignRound runs one mechanism round over the shard's current allocation
+// and records the received time. skip, when non-nil, masks units any of
+// whose member jobs must not run this round (e.g. finished since the
+// allocation was computed). Returned assignments index into s.Alloc.Units.
+func (s *Shard) AssignRound(roundSeconds float64, skip func(id int) bool) ([]scheduler.Assignment, error) {
+	if s.Alloc == nil || len(s.Alloc.Units) == 0 {
+		return nil, nil
+	}
+	alloc := s.Alloc
+	if skip != nil {
+		filtered := &core.Allocation{Units: alloc.Units, X: make([][]float64, len(alloc.X))}
+		numTypes := len(s.WorkerInts)
+		for u := range alloc.X {
+			masked := false
+			for _, local := range alloc.Units[u].Jobs {
+				if skip(s.AllocIDs[local]) {
+					masked = true
+					break
+				}
+			}
+			if masked {
+				filtered.X[u] = make([]float64, numTypes)
+			} else {
+				filtered.X[u] = alloc.X[u]
+			}
+		}
+		alloc = filtered
+	}
+	assigns, err := s.Mech.Assign(alloc, scheduler.Workers{Free: s.WorkerInts}, s.unitScaleFactor, s.unitJobIDs)
+	if err != nil {
+		return nil, fmt.Errorf("shard %d: %w", s.Index, err)
+	}
+	s.Mech.RecordRound(alloc, assigns, roundSeconds, s.unitJobIDs)
+	return assigns, nil
+}

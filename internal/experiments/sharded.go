@@ -1,0 +1,84 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+	"time"
+
+	"gavel/internal/cluster"
+	"gavel/internal/policy"
+	"gavel/internal/simulator"
+	"gavel/internal/workload"
+)
+
+// ShardedOutcome reports the sharded scheduler service against the
+// monolithic loop: end-to-end policy wall-clock and solve buckets per shard
+// count, on the same trace.
+type ShardedOutcome struct {
+	Report string
+	Shards []int
+	// PolicySeconds[i] is total Policy.Allocate wall-clock under Shards[i]
+	// (0 = monolithic); AvgJCTHours[i] the corresponding mean JCT.
+	PolicySeconds []float64
+	AvgJCTHours   []float64
+}
+
+// String implements fmt.Stringer.
+func (o *ShardedOutcome) String() string { return o.Report }
+
+// Sharded compares the monolithic scheduler (K=0) against the sharded
+// service at the given shard counts on one trace: jobs and devices are
+// partitioned per shard, allocations and rounds run concurrently, and the
+// coordinator rebalances every 10 rounds with warm-basis job migration. The
+// interesting outputs are the policy wall-clock (per-shard LPs are
+// superlinearly cheaper than the monolithic one, and they solve in
+// parallel) and the solve buckets (migrations land in the remapped bucket,
+// not the cold one).
+func Sharded(opt Options, shardCounts []int) (*ShardedOutcome, error) {
+	if len(shardCounts) == 0 {
+		shardCounts = []int{1, 4}
+	}
+	jobs := opt.Jobs
+	if jobs <= 0 {
+		jobs = 120
+	}
+	trace := workload.GenerateTrace(workload.TraceOptions{
+		NumJobs: jobs, LambdaPerHour: 12, Seed: 1,
+	})
+	out := &ShardedOutcome{}
+	var b strings.Builder
+	b.WriteString("Sharded scheduler service: monolithic vs K-shard runs (same trace)\n")
+	fmt.Fprintf(&b, "%-12s %12s %10s %10s %10s %10s %12s\n",
+		"engine", "policy time", "avg JCT", "solves", "remapped", "cold", "migrations")
+	runs := append([]int{0}, shardCounts...)
+	for _, k := range runs {
+		cfg := simulator.Config{
+			Cluster:      cluster.Simulated108(),
+			Policy:       &policy.MaxMinFairness{},
+			Trace:        trace,
+			SpaceSharing: true,
+			NumShards:    k,
+		}
+		if k > 0 {
+			cfg.RebalanceEveryRounds = 10
+			cfg.ShardRoute = cluster.RouteLeastLoaded
+		}
+		res, err := simulator.Run(cfg)
+		if err != nil {
+			return nil, fmt.Errorf("sharded k=%d: %w", k, err)
+		}
+		label := "monolithic"
+		if k > 0 {
+			label = fmt.Sprintf("K=%d", k)
+		}
+		cold := res.LPSolves - res.WarmSolves - res.RemappedSolves
+		fmt.Fprintf(&b, "%-12s %12v %9.2fh %10d %10d %10d %12d\n",
+			label, res.PolicyTime.Round(time.Millisecond), res.AvgJCT(5),
+			res.LPSolves, res.RemappedSolves, cold, res.Migrations)
+		out.Shards = append(out.Shards, k)
+		out.PolicySeconds = append(out.PolicySeconds, res.PolicyTime.Seconds())
+		out.AvgJCTHours = append(out.AvgJCTHours, res.AvgJCT(5))
+	}
+	out.Report = b.String()
+	return out, nil
+}

@@ -256,6 +256,24 @@ func (b *Basis) NumRows() int {
 	return len(b.ops)
 }
 
+// Clone returns an independent deep copy of the basis. Solvers never mutate
+// a snapshot they were seeded from, but a clone is what lets two solve
+// contexts — e.g. the source and destination shards of a job migration —
+// hold the same seed without sharing any state across goroutines. Cloning
+// nil yields nil.
+func (b *Basis) Clone() *Basis {
+	if b == nil {
+		return nil
+	}
+	return &Basis{
+		numVars:  b.numVars,
+		ops:      append([]Op(nil), b.ops...),
+		cols:     append([]int(nil), b.cols...),
+		rowIDs:   append([]string(nil), b.rowIDs...),
+		polished: b.polished,
+	}
+}
+
 // ColumnID is a stable, caller-chosen identity for a structural variable,
 // used to carry a basis across problems whose variable sets differ (job
 // arrival/departure in Gavel's allocation LPs). Callers must keep IDs unique

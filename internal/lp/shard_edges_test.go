@@ -1,0 +1,116 @@
+package lp
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+)
+
+// TestRemapIntoEmptyUniverse covers the shard-drained-by-migration edge: a
+// basis remapped onto an empty column universe (every job migrated away) must
+// yield a harmless mapping — no candidates, no panic — and a later remap of
+// the same basis onto a fresh universe must still work.
+func TestRemapIntoEmptyUniverse(t *testing.T) {
+	rng := rand.New(rand.NewSource(41))
+	jobs := make([]fakeJob, 5)
+	for v := range jobs {
+		jobs[v] = newFakeJob(rng, ColumnID(fmt.Sprintf("m%d", v)), 2)
+	}
+	rhs := []float64{2, 2}
+	p, ids := buildJobLP(jobs, rhs)
+	res, err := p.Solve()
+	if err != nil || res.Status != Optimal {
+		t.Fatalf("solve: %v %v", err, res.Status)
+	}
+
+	mb := res.Basis.Remap(ids, nil)
+	if mb == nil {
+		t.Fatal("remap onto an empty universe should yield a (harmless) mapping, not nil")
+	}
+	if mb.NumCandidates() != 0 {
+		t.Fatalf("empty universe kept %d candidates", mb.NumCandidates())
+	}
+
+	// The drained shard's basis stays usable: remapping it onto a later
+	// nonempty universe (jobs migrated back in) must still carry survivors.
+	mb2 := res.Basis.Remap(ids, []ColumnID{ids[2], "fresh", ids[0]})
+	if mb2 == nil || mb2.NumCandidates() == 0 {
+		t.Fatal("re-remap after drain lost all candidates")
+	}
+}
+
+// TestRemapZeroCandidateMappingSolvesCold drives a zero-candidate mapping
+// (the empty-shard-receives-jobs edge: the adopted basis shares no column
+// with the new LP) through SolveFromMapped: it must fall back to the cold
+// two-phase path, not panic and not claim a warm start.
+func TestRemapZeroCandidateMappingSolvesCold(t *testing.T) {
+	rng := rand.New(rand.NewSource(43))
+	old := []fakeJob{newFakeJob(rng, "gone0", 2), newFakeJob(rng, "gone1", 2)}
+	rhs := []float64{2, 2}
+	p, oldIDs := buildJobLP(old, rhs)
+	res, err := p.Solve()
+	if err != nil || res.Status != Optimal {
+		t.Fatalf("solve: %v %v", err, res.Status)
+	}
+
+	fresh := []fakeJob{newFakeJob(rng, "new0", 2), newFakeJob(rng, "new1", 2), newFakeJob(rng, "new2", 2)}
+	next, nextIDs := buildJobLP(fresh, rhs)
+	cold, err := next.Solve()
+	if err != nil || cold.Status != Optimal {
+		t.Fatalf("cold: %v %v", err, cold.Status)
+	}
+	mapped, err := next.SolveFromMapped(res.Basis.Remap(oldIDs, nextIDs))
+	if err != nil {
+		t.Fatalf("mapped: %v", err)
+	}
+	if mapped.Remapped || mapped.WarmStarted {
+		t.Fatal("zero-candidate mapping must run cold")
+	}
+	checkParity(t, "zero-candidate mapping", mapped, cold)
+}
+
+// TestBasisCloneIsIndependent checks the migration-sharing contract: a clone
+// seeds solves exactly like the original, and the two share no backing
+// arrays (a shard mutating nothing is the norm, but the contexts must not be
+// entangled even in principle).
+func TestBasisCloneIsIndependent(t *testing.T) {
+	rng := rand.New(rand.NewSource(47))
+	jobs := make([]fakeJob, 4)
+	for v := range jobs {
+		jobs[v] = newFakeJob(rng, ColumnID(fmt.Sprintf("c%d", v)), 2)
+	}
+	rhs := []float64{2, 2}
+	p, _ := buildJobLP(jobs, rhs)
+	res, err := p.Solve()
+	if err != nil || res.Status != Optimal {
+		t.Fatalf("solve: %v %v", err, res.Status)
+	}
+
+	clone := res.Basis.Clone()
+	if clone == res.Basis {
+		t.Fatal("clone returned the same pointer")
+	}
+	if clone.NumVars() != res.Basis.NumVars() || clone.NumRows() != res.Basis.NumRows() {
+		t.Fatal("clone changed shape")
+	}
+	// Seeding from the clone must warm-start identically to the original.
+	q, _ := buildJobLP(jobs, jitterRHS(rng, rhs, 0.02))
+	fromOrig, err := q.SolveFrom(res.Basis)
+	if err != nil {
+		t.Fatalf("from original: %v", err)
+	}
+	fromClone, err := q.SolveFrom(clone)
+	if err != nil {
+		t.Fatalf("from clone: %v", err)
+	}
+	if fromOrig.Status != fromClone.Status || fromOrig.WarmStarted != fromClone.WarmStarted {
+		t.Fatalf("clone seeded differently: %v/%v vs %v/%v",
+			fromOrig.Status, fromOrig.WarmStarted, fromClone.Status, fromClone.WarmStarted)
+	}
+	checkParity(t, "clone parity", fromClone, fromOrig)
+
+	var nilBasis *Basis
+	if nilBasis.Clone() != nil {
+		t.Fatal("nil clone should be nil")
+	}
+}

@@ -86,6 +86,40 @@ func (c *SolveContext) seed(key string, ids []lp.ColumnID, numRows int) (*lp.Bas
 	return nil, ent.basis.Remap(ent.ids, ids)
 }
 
+// HasSeeds reports whether the context holds any cached basis. A context
+// that has never completed a solve has nothing to warm-start from; the
+// sharded coordinator uses this to decide whether a migration destination
+// should adopt the source's seeds.
+func (c *SolveContext) HasSeeds() bool {
+	return c != nil && len(c.bases) > 0
+}
+
+// AdoptSeedsFrom copies every cached (basis, column-identity) entry of src
+// whose label the receiver has no entry for, cloning the bases so the two
+// contexts never share mutable state across goroutines. It is the warm-basis
+// half of job migration between shards: when a job moves into a shard whose
+// context has never solved under some label, the source shard's basis —
+// remapped across the job-set change by the next Solve, which drops the
+// columns of jobs that stayed behind and enters the migrated jobs' columns
+// nonbasic — replaces what would otherwise be a cold two-phase solve.
+// Labels the receiver already caches are kept: the local basis covers more
+// of the destination's surviving columns than the source's ever could.
+// Nil receivers and nil sources are no-ops.
+func (c *SolveContext) AdoptSeedsFrom(src *SolveContext) {
+	if c == nil || src == nil {
+		return
+	}
+	for key, ent := range src.bases {
+		if _, ok := c.bases[key]; ok || ent == nil {
+			continue
+		}
+		c.bases[key] = &cachedBasis{
+			basis: ent.basis.Clone(),
+			ids:   append([]lp.ColumnID(nil), ent.ids...),
+		}
+	}
+}
+
 func sameIDs(a, b []lp.ColumnID) bool {
 	if len(a) != len(b) {
 		return false

@@ -38,6 +38,10 @@ func NewGandivaSpaceSharing(seed int64) *GandivaSpaceSharing {
 // Name implements Policy.
 func (p *GandivaSpaceSharing) Name() string { return "gandiva_ss" }
 
+// SerialOnly implements SerialPolicy: Allocate advances the exploration rng
+// and mutates the matched-pair set without synchronization.
+func (p *GandivaSpaceSharing) SerialOnly() {}
+
 // Allocate implements Policy.
 func (p *GandivaSpaceSharing) Allocate(in *Input, ctx *SolveContext) (*core.Allocation, error) {
 	if p.rng == nil {

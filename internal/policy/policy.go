@@ -69,6 +69,27 @@ type Policy interface {
 	Allocate(in *Input, ctx *SolveContext) (*core.Allocation, error)
 }
 
+// SerialPolicy marks a policy whose Allocate mutates unsynchronized
+// internal state (random exploration streams, learned pairings) and must
+// therefore never be invoked from multiple goroutines at once. The sharded
+// engine, which solves its shards concurrently, rejects such policies.
+type SerialPolicy interface {
+	SerialOnly()
+}
+
+// ConcurrentSafe reports whether p's Allocate may run concurrently,
+// unwrapping the heterogeneity-agnostic baseline wrapper to inspect the
+// policy that actually does the work.
+func ConcurrentSafe(p Policy) bool {
+	switch v := p.(type) {
+	case SerialPolicy:
+		return false
+	case *Agnostic:
+		return ConcurrentSafe(v.Inner)
+	}
+	return true
+}
+
 // scaleFactors extracts the per-job scale-factor slice the core constraint
 // builder consumes.
 func (in *Input) scaleFactors() []int {

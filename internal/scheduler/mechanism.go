@@ -29,7 +29,8 @@ import (
 // reorder units.
 type UnitKey string
 
-// KeyFor builds the canonical key from member job IDs.
+// KeyFor builds the canonical key from member job IDs. The input slice is
+// never mutated (the sort runs on a copy).
 func KeyFor(jobIDs []int) UnitKey {
 	ids := append([]int(nil), jobIDs...)
 	sort.Ints(ids)
@@ -41,6 +42,21 @@ func KeyFor(jobIDs []int) UnitKey {
 		b.WriteString(strconv.Itoa(id))
 	}
 	return UnitKey(b.String())
+}
+
+// unitKey returns the received-time accounting key for unit u of alloc: the
+// unit's memoized stable identity when present (units assembled by
+// core.ThroughputCache.Units carry JobKey/PairKey, already derived from
+// external job IDs), falling back to building one from the member job IDs.
+// The memoized path is what keeps sharded rounds from rebuilding O(units)
+// strings per shard per round; the two key namespaces never mix within one
+// mechanism because a unit's identity either is or is not keyed for the
+// whole run.
+func unitKey(alloc *core.Allocation, u int, jobIDs func(u int) []int) UnitKey {
+	if k := alloc.Units[u].Key; k != "" {
+		return UnitKey(k)
+	}
+	return KeyFor(jobIDs(u))
 }
 
 // Assignment is one scheduled unit for the upcoming round.
@@ -92,7 +108,7 @@ func (m *Mechanism) Priorities(alloc *core.Allocation, jobIDs func(u int) []int)
 	pri := make([][]float64, len(alloc.Units))
 	for ui := range alloc.Units {
 		pri[ui] = make([]float64, m.numTypes)
-		key := KeyFor(jobIDs(ui))
+		key := unitKey(alloc, ui, jobIDs)
 		recv := m.timeOn[key]
 		for j := 0; j < m.numTypes; j++ {
 			x := alloc.X[ui][j]
@@ -255,10 +271,10 @@ func (m *Mechanism) placeOnServers(out []Assignment, workers Workers, scaleFacto
 	}
 }
 
-// RecordRound accumulates received time for the units that ran.
-func (m *Mechanism) RecordRound(ran []Assignment, roundSeconds float64, jobIDs func(u int) []int) {
+// RecordRound accumulates received time for the units of alloc that ran.
+func (m *Mechanism) RecordRound(alloc *core.Allocation, ran []Assignment, roundSeconds float64, jobIDs func(u int) []int) {
 	for _, a := range ran {
-		key := KeyFor(jobIDs(a.UnitIdx))
+		key := unitKey(alloc, a.UnitIdx, jobIDs)
 		recv := m.timeOn[key]
 		if recv == nil {
 			recv = make([]float64, m.numTypes)

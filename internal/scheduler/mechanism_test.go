@@ -120,7 +120,7 @@ func TestFractionsTrackAllocation(t *testing.T) {
 		if err != nil {
 			t.Fatalf("Assign: %v", err)
 		}
-		m.RecordRound(got, 1, ids(alloc))
+		m.RecordRound(alloc, got, 1, ids(alloc))
 		for _, a := range got {
 			recv[a.UnitIdx][a.Type]++
 		}
@@ -166,7 +166,7 @@ func TestResetReceivedClearsState(t *testing.T) {
 	alloc := singleAlloc([][]float64{{1}}, [][]float64{{1}})
 	m := New(1, []int{1})
 	got, _ := m.Assign(alloc, Workers{Free: []int{1}}, sfOne, ids(alloc))
-	m.RecordRound(got, 60, ids(alloc))
+	m.RecordRound(alloc, got, 60, ids(alloc))
 	if m.ReceivedSeconds(KeyFor([]int{0}))[0] != 60 {
 		t.Fatal("time not recorded")
 	}
@@ -228,7 +228,7 @@ func TestPropertyAssignInvariants(t *testing.T) {
 					return false
 				}
 			}
-			m.RecordRound(got, 1, ids(alloc))
+			m.RecordRound(alloc, got, 1, ids(alloc))
 		}
 		return true
 	}

@@ -1,0 +1,37 @@
+package scheduler
+
+import "fmt"
+
+// UsedWorkers tallies the per-type device demand of one round's assignments:
+// each assignment consumes its unit's scale factor on its type. The sharded
+// coordinator uses it to verify that the union of per-shard rounds respects
+// the global per-type worker budget.
+func UsedWorkers(assigns []Assignment, scaleFactor func(u int) int, numTypes int) []int {
+	used := make([]int, numTypes)
+	for _, a := range assigns {
+		sf := scaleFactor(a.UnitIdx)
+		if sf <= 0 {
+			sf = 1
+		}
+		if a.Type >= 0 && a.Type < numTypes {
+			used[a.Type] += sf
+		}
+	}
+	return used
+}
+
+// WithinBudget verifies used <= budget per type. The shards' worker slices
+// partition the cluster, so a violation after a merge means a shard
+// overscheduled its own slice — an invariant breach, not a recoverable
+// condition, which is why this reports an error instead of clamping.
+func WithinBudget(used, budget []int) error {
+	if len(used) != len(budget) {
+		return fmt.Errorf("scheduler: %d used-worker types for %d budget types", len(used), len(budget))
+	}
+	for j := range used {
+		if used[j] > budget[j] {
+			return fmt.Errorf("scheduler: type %d oversubscribed in merged round: %d > %d", j, used[j], budget[j])
+		}
+	}
+	return nil
+}

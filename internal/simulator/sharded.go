@@ -1,0 +1,283 @@
+package simulator
+
+import (
+	"fmt"
+	"math"
+	"time"
+
+	"gavel/internal/cluster"
+	"gavel/internal/core"
+	"gavel/internal/policy"
+	"gavel/internal/scheduler"
+	"gavel/internal/workload"
+)
+
+// shardObserver feeds measured pair throughputs back into one shard's cache.
+type shardObserver struct{ cache *core.ThroughputCache }
+
+func (o shardObserver) observePair(aID, bID, typ int, ta, tb float64) {
+	o.cache.ObservePair(aID, bID, typ, ta, tb)
+}
+
+// runSharded executes the simulation on the sharded engine: a
+// cluster.Coordinator partitions jobs and devices across Config.NumShards
+// shards, each owning its own solve context, throughput cache, and round
+// mechanism. Per round, every stale shard recomputes its allocation and
+// every shard runs its mechanism concurrently over a bounded worker pool;
+// arrivals, departures, rebalancing migrations, and progress application are
+// serialized in deterministic (trace and shard) order, so the merged Result
+// is a pure function of the config — independent of GOMAXPROCS and
+// goroutine scheduling.
+func runSharded(cfg Config) (*Result, error) {
+	e, err := newRunEnv(cfg)
+	if err != nil {
+		return nil, err
+	}
+	if s, ok := e.provider.(StableProvider); !ok || !s.StableEstimates() {
+		return nil, fmt.Errorf("simulator: the sharded engine requires a stable throughput provider (per-shard caches cannot track cross-pair learning)")
+	}
+	if !policy.ConcurrentSafe(cfg.Policy) {
+		return nil, fmt.Errorf("simulator: policy %s mutates internal state in Allocate and cannot run sharded (shards solve concurrently)", cfg.Policy.Name())
+	}
+	pairCap := 0
+	if cfg.SpaceSharing {
+		pairCap = e.maxPairs
+	}
+	coord, err := cluster.NewCoordinator(cluster.CoordinatorConfig{
+		NumShards:         cfg.NumShards,
+		Cluster:           cfg.Cluster,
+		Engine:            cfg.LPEngine,
+		ColdSolves:        cfg.ColdSolves,
+		Route:             cfg.ShardRoute,
+		PairGainThreshold: pairGainThreshold,
+		MaxPairsPerJob:    pairCap,
+	})
+	if err != nil {
+		return nil, err
+	}
+	trace, states, res := e.trace, e.states, e.res
+	numShards := coord.NumShards()
+
+	stateOf := make(map[int]int, len(trace)) // job ID -> state index
+	allocStates := make([][]int, numShards)  // per shard: state indices parallel to AllocIDs
+	shardRounds := make([]int, numShards)    // rounds since the shard's last allocation
+	reallocated := make([]bool, numShards)
+
+	// syncPairs queries the provider for every uncached single-worker
+	// pairing of job j within shard s (arrival or migration destination).
+	// Pairs never cross shards: partitioning the jobs partitions the pairs.
+	syncPairs := func(s *cluster.Shard, j *workload.Job) {
+		if !cfg.SpaceSharing || j.ScaleFactor > 1 {
+			return
+		}
+		for _, otherID := range s.Jobs() {
+			if otherID == j.ID {
+				continue
+			}
+			other := states[stateOf[otherID]].job
+			if other.ScaleFactor > 1 || s.Cache.HasPair(j.ID, otherID) {
+				continue
+			}
+			ta := make([]float64, len(e.workers))
+			tb := make([]float64, len(e.workers))
+			for t := range ta {
+				if ca, cb, ok := e.provider.Colocated(j, other, t); ok {
+					ta[t], tb[t] = ca, cb
+				}
+			}
+			s.Cache.SetPair(j.ID, otherID, ta, tb)
+		}
+	}
+
+	now := 0.0
+	completed := 0
+	nextArrival := 0
+
+	for completed < len(trace) && now < e.maxSec {
+		// Retire finished jobs. Only stale shards can hold one: a finishing
+		// job marks its shard dirty.
+		for _, s := range coord.Shards() {
+			if !s.Dirty {
+				continue
+			}
+			for _, id := range s.Jobs() {
+				if states[stateOf[id]].done {
+					coord.Remove(id)
+				}
+			}
+		}
+		// Admit arrivals up to now, routed by the coordinator.
+		for nextArrival < len(trace) && trace[nextArrival].Arrival <= now {
+			st := states[nextArrival]
+			j := st.job
+			st.arrivalN = coord.NumJobs() + 1
+			tput := make([]float64, len(e.workers))
+			for t := range tput {
+				tput[t] = e.provider.Isolated(j, t)
+			}
+			stateOf[j.ID] = nextArrival
+			dest := coord.Admit(j.ID, j.ScaleFactor, tput)
+			syncPairs(dest, j)
+			nextArrival++
+		}
+		if coord.NumJobs() == 0 {
+			// Fast-forward to the next arrival boundary.
+			if nextArrival >= len(trace) {
+				break
+			}
+			steps := math.Ceil((trace[nextArrival].Arrival - now) / e.round)
+			if steps < 1 {
+				steps = 1
+			}
+			now += steps * e.round
+			continue
+		}
+
+		// Periodic rebalance: migrate jobs from the most to the least
+		// loaded shard; their warm LP bases travel with them.
+		if cfg.RebalanceEveryRounds > 0 && res.Rounds > 0 && res.Rounds%cfg.RebalanceEveryRounds == 0 {
+			for _, m := range coord.Rebalance() {
+				st := states[stateOf[m.Job]]
+				// A migration is a physical placement change: server
+				// indices are shard-local, so the old coordinates must not
+				// suppress the checkpoint penalty or preemption count when
+				// the destination shard happens to reuse the same numbers.
+				st.lastType, st.lastServer, st.lastPartner = -1, -1, -1
+				syncPairs(coord.Shard(m.To), st.job)
+			}
+		}
+
+		// Recompute every stale shard's allocation concurrently.
+		info := func(id int) policy.JobInfo {
+			st := states[stateOf[id]]
+			j := st.job
+			ji := policy.JobInfo{
+				Weight:         j.Weight,
+				Priority:       j.Priority,
+				RemainingSteps: j.TotalSteps - st.steps,
+				TotalSteps:     j.TotalSteps,
+				Elapsed:        now - j.Arrival,
+				ArrivalSeq:     st.seq,
+				Entity:         j.Entity,
+			}
+			if j.SLO > 0 {
+				ji.SLORemaining = j.Arrival + j.SLO - now
+				if ji.SLORemaining < 1 {
+					ji.SLORemaining = 1
+				}
+			}
+			return ji
+		}
+		anyStale := false
+		for k := range reallocated {
+			s := coord.Shard(k)
+			reallocated[k] = s.Dirty || s.Alloc == nil
+			anyStale = anyStale || reallocated[k]
+		}
+		// PolicyTime is the wall-clock of the concurrent allocation phase —
+		// what a caller actually waits for — not the sum of per-shard solve
+		// times, which would overstate it by up to min(K, cores).
+		allocStart := time.Now()
+		if err := coord.AllocateAll(cfg.Policy, info, false); err != nil {
+			return nil, fmt.Errorf("policy %s: %w", cfg.Policy.Name(), err)
+		}
+		if anyStale {
+			res.PolicyTime += time.Since(allocStart)
+		}
+		for k, did := range reallocated {
+			if !did {
+				continue
+			}
+			s := coord.Shard(k)
+			shardRounds[k] = 0
+			allocStates[k] = allocStates[k][:0]
+			for _, id := range s.AllocIDs {
+				allocStates[k] = append(allocStates[k], stateOf[id])
+			}
+		}
+
+		if cfg.IdealExecution {
+			for k, s := range coord.Shards() {
+				if s.Alloc == nil || len(s.Alloc.Units) == 0 {
+					continue
+				}
+				advanceIdeal(cfg, states, allocStates[k], s.Alloc, e.round, now, e.prices, e.noise, &s.Dirty, &completed, res)
+			}
+		} else {
+			// Round assignment runs concurrently per shard; the merge
+			// validates the global budget invariant.
+			skip := func(id int) bool { return states[stateOf[id]].done }
+			perShard := make([][]scheduler.Assignment, numShards)
+			err := coord.ForEachShard(func(s *cluster.Shard) error {
+				assigns, err := s.AssignRound(e.round, skip)
+				perShard[s.Index] = assigns
+				return err
+			})
+			if err != nil {
+				return nil, err
+			}
+			if err := coord.ValidateRound(perShard); err != nil {
+				return nil, err
+			}
+			// Progress, cost, and completion apply serially in shard order.
+			for k, s := range coord.Shards() {
+				if s.Alloc == nil || len(s.Alloc.Units) == 0 {
+					continue
+				}
+				if cfg.OnRound != nil {
+					cfg.OnRound(now, s.Alloc, allocStates[k], perShard[k])
+				}
+				applyAssignments(cfg, shardObserver{s.Cache}, states, allocStates[k], s.Alloc, perShard[k], e.round, now, e.prices, e.noise, &s.Dirty, &completed, res)
+			}
+		}
+
+		now += e.round
+		res.Rounds++
+		for k := range shardRounds {
+			shardRounds[k]++
+			if cfg.ReallocEveryRounds > 0 && shardRounds[k] >= cfg.ReallocEveryRounds {
+				coord.Shard(k).Dirty = true
+			}
+		}
+	}
+
+	// Merge per-shard accounting into the Result.
+	res.NumShards = numShards
+	res.Migrations = coord.Migrations()
+	res.Rebalances = coord.Rebalances()
+	for _, st := range coord.Stats() {
+		s := coord.Shard(st.Shard)
+		res.PolicyCalls += s.PolicyCalls
+		cold := st.Solve.Solves - st.Solve.WarmHits - st.Solve.RemapHits
+		res.ShardStats = append(res.ShardStats, ShardStat{
+			Shard:             st.Shard,
+			JobsAdmitted:      st.Admitted,
+			MigratedIn:        st.MigratedIn,
+			MigratedOut:       st.MigratedOut,
+			LPSolves:          st.Solve.Solves,
+			WarmSolves:        st.Solve.WarmHits,
+			RemappedSolves:    st.Solve.RemapHits,
+			ColdSolves:        cold,
+			SimplexIterations: st.Solve.Iterations,
+		})
+		res.LPSolves += st.Solve.Solves
+		res.WarmSolves += st.Solve.WarmHits
+		res.RemappedSolves += st.Solve.RemapHits
+		res.SimplexIterations += st.Solve.Iterations
+		res.RevisedSolves += st.Solve.RevisedSolves
+		res.DenseSolves += st.Solve.DenseSolves
+		res.EngineFallbacks += st.Solve.Fallbacks
+	}
+
+	for _, st := range states {
+		if !st.done {
+			res.Unfinished++
+		}
+	}
+	for i := range res.Jobs {
+		if res.Jobs[i].SLOViolated {
+			res.SLOViolations++
+		}
+	}
+	return res, nil
+}

@@ -1,0 +1,210 @@
+package simulator
+
+import (
+	"encoding/json"
+	"math"
+	"runtime"
+	"testing"
+
+	"gavel/internal/cluster"
+	"gavel/internal/policy"
+	"gavel/internal/workload"
+)
+
+func shardedTestConfig(numShards int, jobs int) Config {
+	return Config{
+		Cluster: cluster.Simulated108(),
+		Policy:  &policy.MaxMinFairness{},
+		Trace: workload.GenerateTrace(workload.TraceOptions{
+			NumJobs: jobs, LambdaPerHour: 12, Seed: 7,
+		}),
+		NumShards:            numShards,
+		RebalanceEveryRounds: 5,
+		SpaceSharing:         true,
+		Seed:                 7,
+	}
+}
+
+// fingerprint serializes everything deterministic about a Result. PolicyTime
+// is wall-clock and inherently run-local (the monolithic engine's is too),
+// so it is zeroed; every other field — per-job outcomes, float cost sums,
+// solve buckets, per-shard stats — must be byte-identical.
+func fingerprint(t *testing.T, r *Result) string {
+	t.Helper()
+	c := *r
+	c.PolicyTime = 0
+	b, err := json.Marshal(&c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return string(b)
+}
+
+// TestShardedDeterminism is the no-ordering-leak acceptance: the same trace
+// and shard count produce byte-identical results across runs and across
+// GOMAXPROCS values, so neither map iteration nor goroutine scheduling can
+// reach the merged allocations, assignments, or stats.
+func TestShardedDeterminism(t *testing.T) {
+	cfg := shardedTestConfig(3, 24)
+	base, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := fingerprint(t, base)
+
+	again, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := fingerprint(t, again); got != want {
+		t.Fatal("sharded run is not reproducible across runs")
+	}
+
+	prev := runtime.GOMAXPROCS(0)
+	for _, procs := range []int{1, 4} {
+		runtime.GOMAXPROCS(procs)
+		r, err := Run(cfg)
+		runtime.GOMAXPROCS(prev)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got := fingerprint(t, r); got != want {
+			t.Fatalf("sharded run differs at GOMAXPROCS=%d", procs)
+		}
+	}
+}
+
+// TestShardedRunCompletes sanity-checks the sharded engine end to end: all
+// jobs finish, stats land in the sharded buckets, per-shard buckets sum to
+// the global ones, and rebalancing actually migrated jobs warm.
+func TestShardedRunCompletes(t *testing.T) {
+	res, err := Run(shardedTestConfig(4, 32))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Unfinished != 0 {
+		t.Fatalf("%d jobs unfinished", res.Unfinished)
+	}
+	if res.NumShards != 4 || len(res.ShardStats) != 4 {
+		t.Fatalf("shard stats missing: NumShards=%d len=%d", res.NumShards, len(res.ShardStats))
+	}
+	var solves, warm, remapped, iters, admitted int
+	for _, st := range res.ShardStats {
+		solves += st.LPSolves
+		warm += st.WarmSolves
+		remapped += st.RemappedSolves
+		iters += st.SimplexIterations
+		admitted += st.JobsAdmitted
+		if st.ColdSolves != st.LPSolves-st.WarmSolves-st.RemappedSolves {
+			t.Fatalf("shard %d: inconsistent solve buckets %+v", st.Shard, st)
+		}
+	}
+	if solves != res.LPSolves || warm != res.WarmSolves || remapped != res.RemappedSolves || iters != res.SimplexIterations {
+		t.Fatalf("per-shard buckets do not sum to the merged stats: %+v", res.ShardStats)
+	}
+	if admitted != len(res.Jobs) {
+		t.Fatalf("admitted %d jobs across shards, trace has %d", admitted, len(res.Jobs))
+	}
+	if res.LPSolves == 0 || res.WarmSolves+res.RemappedSolves == 0 {
+		t.Fatalf("sharded run never warm-started: %+v", res)
+	}
+}
+
+// TestShardedMigrationsAreWarm checks the simulator-level half of the
+// migration acceptance: a run with rebalancing enabled migrates jobs, and
+// those migrations show up as remapped solves — the post-rebalance solve
+// count stays consistent with at most one cold solve per shard (its first).
+func TestShardedMigrationsAreWarm(t *testing.T) {
+	res, err := Run(shardedTestConfig(3, 32))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Migrations == 0 || res.Rebalances == 0 {
+		t.Skipf("trace produced no migrations (%d/%d)", res.Migrations, res.Rebalances)
+	}
+	if res.RemappedSolves == 0 {
+		t.Fatal("migrations happened but no solve took the remapped path")
+	}
+	for _, st := range res.ShardStats {
+		if st.MigratedIn == 0 || st.LPSolves == 0 {
+			continue
+		}
+		// A shard that received migrants cold-solves only its genuinely
+		// first LPs (before any seed exists) and the rare churn event where
+		// no basis column survives; migrations must not push the cold
+		// bucket beyond that floor. maxmin solves two labeled LPs per
+		// allocation, so the floor is 2 plus a small no-survivor allowance.
+		if limit := 2 + st.LPSolves/10; st.ColdSolves > limit {
+			t.Errorf("shard %d: %d cold solves (> %d) despite warm migration (stats %+v)",
+				st.Shard, st.ColdSolves, limit, st)
+		}
+		if st.RemappedSolves == 0 {
+			t.Errorf("shard %d received migrants but never remapped: %+v", st.Shard, st)
+		}
+	}
+}
+
+// TestShardedK1MatchesMonolithicOutcomes pins the K=1 sharded engine to the
+// monolithic loop: one shard owns the whole cluster and the whole job set,
+// so every job must complete at the same time with the same cost in both
+// engines (the engines share the allocation, mechanism, and progress code).
+func TestShardedK1MatchesMonolithicOutcomes(t *testing.T) {
+	cfg := shardedTestConfig(1, 24)
+	cfg.RebalanceEveryRounds = 0
+	sharded, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg.NumShards = 0
+	mono, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(sharded.Jobs) != len(mono.Jobs) {
+		t.Fatal("job count mismatch")
+	}
+	for i := range mono.Jobs {
+		a, b := sharded.Jobs[i], mono.Jobs[i]
+		if a.ID != b.ID {
+			t.Fatalf("job order diverged at %d", i)
+		}
+		if math.Abs(a.Completion-b.Completion) > 1e-6 || math.Abs(a.CostDollars-b.CostDollars) > 1e-6 {
+			t.Errorf("job %d: sharded (%.3f, $%.4f) vs monolithic (%.3f, $%.4f)",
+				a.ID, a.Completion, a.CostDollars, b.Completion, b.CostDollars)
+		}
+	}
+	if sharded.Makespan != mono.Makespan {
+		t.Errorf("makespan %v vs %v", sharded.Makespan, mono.Makespan)
+	}
+}
+
+// TestShardedRejectsUnstableProvider pins the documented restriction: a
+// provider with cross-pair learning cannot back per-shard caches.
+func TestShardedRejectsUnstableProvider(t *testing.T) {
+	cfg := shardedTestConfig(2, 4)
+	cfg.Provider = unstableProvider{}
+	if _, err := Run(cfg); err == nil {
+		t.Fatal("expected an error for a non-stable provider")
+	}
+}
+
+// unstableProvider is an Oracle that refuses the StableProvider contract.
+type unstableProvider struct{ Oracle }
+
+func (unstableProvider) StableEstimates() bool { return false }
+
+// TestShardedRejectsSerialPolicy pins the concurrency guard: policies that
+// mutate unsynchronized state in Allocate (Gandiva's random exploration)
+// must be rejected rather than raced across shards — including when hidden
+// behind the heterogeneity-agnostic wrapper.
+func TestShardedRejectsSerialPolicy(t *testing.T) {
+	cfg := shardedTestConfig(2, 4)
+	cfg.Policy = policy.NewGandivaSpaceSharing(1)
+	if _, err := Run(cfg); err == nil {
+		t.Fatal("expected an error for a serial-only policy")
+	}
+	cfg.Policy = &policy.Agnostic{Inner: policy.NewGandivaSpaceSharing(1)}
+	if _, err := Run(cfg); err == nil {
+		t.Fatal("expected an error for a wrapped serial-only policy")
+	}
+}

@@ -111,8 +111,29 @@ type Config struct {
 	// ReallocEveryRounds, when > 0, recomputes the allocation every k
 	// rounds even without an arrival or completion (modeling Gavel's
 	// periodic refresh as observed throughputs stream in). 0 recomputes
-	// only on reset events.
+	// only on reset events. In the sharded engine the counter is per shard:
+	// each shard refreshes k rounds after its own last allocation.
 	ReallocEveryRounds int
+	// NumShards > 0 runs the sharded engine: jobs and devices are
+	// partitioned across K shards, each owning its own solve context,
+	// throughput cache, and round mechanism; allocations and round
+	// assignments run concurrently across shards and a coordinator routes
+	// arrivals, rebalances by migrating jobs (warm-basis carry), and merges
+	// per-shard rounds into this Result under the global worker budget.
+	// 0 (the default) runs the single monolithic loop. The sharded engine
+	// requires a StableProvider (the default Oracle is one) and a Policy
+	// whose Allocate is safe for concurrent use from multiple goroutines
+	// (every LP-based catalog policy is; Gandiva's random packer is not).
+	NumShards int
+	// RebalanceEveryRounds > 0 rebalances shard load every k rounds by
+	// migrating jobs from the most to the least loaded shard. Migrated
+	// jobs' warm LP bases travel with them (SolveContext.AdoptSeedsFrom +
+	// lp.Basis.Remap), so migrations cost remapped solves, not cold ones.
+	// Sharded engine only.
+	RebalanceEveryRounds int
+	// ShardRoute selects arrival routing across shards (hash of the job ID
+	// by default, or least-loaded). Sharded engine only.
+	ShardRoute cluster.RoutePolicy
 	// OnRound, if set, is invoked after every executed round with the
 	// current time, the allocation in force, the active job state indices,
 	// and the round's assignments (testing/observability hook).
@@ -140,9 +161,12 @@ type Result struct {
 	TotalCost     float64 // dollars across all busy devices
 	SLOViolations int
 	Rounds        int
-	// PolicyTime is total wall time inside Policy.Allocate; PolicyCalls the
-	// number of Allocate invocations (one per reset event or periodic
-	// refresh). One call may solve several LPs — binary-search and
+	// PolicyTime is total wall time inside Policy.Allocate (in a sharded
+	// run: the wall-clock of the concurrent per-shard allocation phases —
+	// what the round loop actually waits for, not the sum of per-shard
+	// solve times); PolicyCalls the number of Allocate invocations (one per
+	// reset event or periodic refresh; per shard when sharded). One call
+	// may solve several LPs — binary-search and
 	// water-filling policies routinely solve a dozen — so per-solve
 	// accounting lives in LPSolves/WarmSolves/SimplexIterations below
 	// rather than being inferred as "one cold solve per reset".
@@ -170,6 +194,31 @@ type Result struct {
 	DenseSolves     int
 	EngineFallbacks int
 	Unfinished      int
+	// Sharded-engine accounting (zero values under the monolithic loop):
+	// NumShards echoes the partition count the run used, Migrations counts
+	// jobs moved between shards by rebalancing, Rebalances the rebalance
+	// passes that moved at least one job, and ShardStats holds per-shard
+	// solve buckets in shard order. The global LPSolves/WarmSolves/
+	// RemappedSolves/SimplexIterations fields are the sums over ShardStats.
+	NumShards  int
+	Migrations int
+	Rebalances int
+	ShardStats []ShardStat
+}
+
+// ShardStat is one shard's accounting within a sharded run.
+type ShardStat struct {
+	Shard        int
+	JobsAdmitted int // arrivals routed to this shard
+	MigratedIn   int // jobs received from rebalancing
+	MigratedOut  int // jobs handed off by rebalancing
+	// Per-shard LP solve buckets: every solve is warm (positional seed),
+	// remapped (cross-shape seed, including migrations), or cold.
+	LPSolves          int
+	WarmSolves        int
+	RemappedSolves    int
+	ColdSolves        int
+	SimplexIterations int
 }
 
 // AvgJCT returns the mean JCT in hours over finished jobs, optionally
@@ -208,8 +257,27 @@ type jobState struct {
 	seq         int
 }
 
-// Run executes the simulation.
-func Run(cfg Config) (*Result, error) {
+// runEnv is the setup shared by the monolithic and sharded run loops:
+// validated config knobs, the sorted trace with per-job state, the cluster
+// shape, and the Result skeleton.
+type runEnv struct {
+	round    float64
+	maxPairs int
+	provider ThroughputProvider
+	maxSec   float64
+
+	trace      []workload.Job
+	states     []*jobState
+	workers    []float64
+	workerInts []int
+	perServer  []int
+	prices     []float64
+	res        *Result
+	noise      func(jobID, typ int) float64
+}
+
+// newRunEnv validates cfg and assembles the shared run state.
+func newRunEnv(cfg Config) (*runEnv, error) {
 	if err := cfg.Cluster.Validate(); err != nil {
 		return nil, err
 	}
@@ -219,51 +287,77 @@ func Run(cfg Config) (*Result, error) {
 	if len(cfg.Cluster.Types) != workload.NumTypes {
 		return nil, fmt.Errorf("simulator: cluster must use the %v universe", workload.TypeNames)
 	}
-	round := cfg.RoundSeconds
-	if round <= 0 {
-		round = 360
+	e := &runEnv{
+		round:    cfg.RoundSeconds,
+		maxPairs: cfg.MaxPairsPerJob,
+		provider: cfg.Provider,
+		maxSec:   cfg.MaxSimulatedSeconds,
 	}
-	maxPairs := cfg.MaxPairsPerJob
-	if maxPairs <= 0 {
-		maxPairs = 4
+	if e.round <= 0 {
+		e.round = 360
 	}
-	provider := cfg.Provider
-	if provider == nil {
-		provider = Oracle{}
+	if e.maxPairs <= 0 {
+		e.maxPairs = 4
 	}
-	maxSec := cfg.MaxSimulatedSeconds
-	if maxSec <= 0 {
-		maxSec = 10 * 365 * 24 * 3600
+	if e.provider == nil {
+		e.provider = Oracle{}
 	}
-	rng := rand.New(rand.NewSource(cfg.Seed))
-
-	trace := append([]workload.Job(nil), cfg.Trace...)
-	sort.SliceStable(trace, func(a, b int) bool { return trace[a].Arrival < trace[b].Arrival })
-
-	states := make([]*jobState, len(trace))
-	for i := range trace {
-		states[i] = &jobState{job: &trace[i], lastType: -1, lastPartner: -1, seq: i}
+	if e.maxSec <= 0 {
+		e.maxSec = 10 * 365 * 24 * 3600
 	}
 
-	workers := cfg.Cluster.Workers()
-	workerInts := make([]int, len(workers))
-	perServer := make([]int, len(workers))
+	e.trace = append([]workload.Job(nil), cfg.Trace...)
+	sort.SliceStable(e.trace, func(a, b int) bool { return e.trace[a].Arrival < e.trace[b].Arrival })
+	e.states = make([]*jobState, len(e.trace))
+	for i := range e.trace {
+		e.states[i] = &jobState{job: &e.trace[i], lastType: -1, lastPartner: -1, seq: i}
+	}
+
+	e.workers = cfg.Cluster.Workers()
+	e.workerInts = make([]int, len(e.workers))
+	e.perServer = make([]int, len(e.workers))
 	for j, t := range cfg.Cluster.Types {
-		workerInts[j] = t.Count
-		perServer[j] = t.PerServer
+		e.workerInts[j] = t.Count
+		e.perServer[j] = t.PerServer
 	}
-	prices := cfg.Cluster.Prices()
+	e.prices = cfg.Cluster.Prices()
 
-	mech := scheduler.New(len(workers), perServer)
-	res := &Result{Jobs: make([]JobResult, len(trace))}
-	for i := range res.Jobs {
-		res.Jobs[i] = JobResult{
-			ID: trace[i].ID, Arrival: trace[i].Arrival,
+	e.res = &Result{Jobs: make([]JobResult, len(e.trace))}
+	for i := range e.res.Jobs {
+		e.res.Jobs[i] = JobResult{
+			ID: e.trace[i].ID, Arrival: e.trace[i].Arrival,
 			Completion: math.NaN(), JCT: math.NaN(),
-			Priority: trace[i].Priority, RefDuration: trace[i].RefDuration,
+			Priority: e.trace[i].Priority, RefDuration: e.trace[i].RefDuration,
 		}
 	}
 
+	// testbed noise: a deterministic per-(job,type) jitter factor.
+	e.noise = func(jobID, typ int) float64 {
+		if cfg.TestbedNoise <= 0 {
+			return 1
+		}
+		h := rand.New(rand.NewSource(cfg.Seed ^ int64(jobID)*1000003 ^ int64(typ)*7919))
+		return 1 + cfg.TestbedNoise*(2*h.Float64()-1)
+	}
+	return e, nil
+}
+
+// Run executes the simulation: the monolithic loop by default, or the
+// sharded engine when Config.NumShards > 0.
+func Run(cfg Config) (*Result, error) {
+	if cfg.NumShards > 0 {
+		return runSharded(cfg)
+	}
+	e, err := newRunEnv(cfg)
+	if err != nil {
+		return nil, err
+	}
+	round, maxPairs, provider, maxSec := e.round, e.maxPairs, e.provider, e.maxSec
+	trace, states := e.trace, e.states
+	workers, workerInts, perServer, prices := e.workers, e.workerInts, e.perServer, e.prices
+	res, noise := e.res, e.noise
+
+	mech := scheduler.New(len(workers), perServer)
 	builder := newInputBuilder(provider, len(workers))
 	var ctx *policy.SolveContext
 	if !cfg.ColdSolves {
@@ -280,15 +374,6 @@ func Run(cfg Config) (*Result, error) {
 	now := 0.0
 	completed := 0
 	roundsSinceAlloc := 0
-
-	// testbed noise: a deterministic per-(job,type) jitter factor.
-	noise := func(jobID, typ int) float64 {
-		if cfg.TestbedNoise <= 0 {
-			return 1
-		}
-		h := rand.New(rand.NewSource(cfg.Seed ^ int64(jobID)*1000003 ^ int64(typ)*7919))
-		return 1 + cfg.TestbedNoise*(2*h.Float64()-1)
-	}
 
 	for completed < len(trace) && now < maxSec {
 		// Retire finished jobs from the active set.
@@ -337,7 +422,7 @@ func Run(cfg Config) (*Result, error) {
 		if cfg.IdealExecution {
 			advanceIdeal(cfg, states, allocJobs, alloc, round, now, prices, noise, &needRealloc, &completed, res)
 		} else {
-			if err := advanceRound(cfg, mech, builder, states, allocJobs, alloc, workerInts, round, now, prices, noise, rng, &needRealloc, &completed, res); err != nil {
+			if err := advanceRound(cfg, mech, builder, states, allocJobs, alloc, workerInts, round, now, prices, noise, &needRealloc, &completed, res); err != nil {
 				return nil, err
 			}
 		}
@@ -510,17 +595,18 @@ func computeAllocation(cfg Config, builder *inputBuilder, ctx *policy.SolveConte
 	return in, alloc, allocJobs, nil
 }
 
-// advanceRound runs one mechanism round and advances job progress with the
-// ground-truth oracle.
-func advanceRound(cfg Config, mech *scheduler.Mechanism, builder *inputBuilder, states []*jobState, allocJobs []int, alloc *core.Allocation, workerInts []int, round, now float64, prices []float64, noise func(int, int) float64, rng *rand.Rand, needRealloc *bool, completed *int, res *Result) error {
-	jobIDs := func(u int) []int {
+// roundClosures builds the member-ID and scale-factor views of alloc's units
+// the mechanism consumes, mapping unit-local positions through allocJobs to
+// job states.
+func roundClosures(states []*jobState, allocJobs []int, alloc *core.Allocation) (jobIDs func(u int) []int, scaleFactor func(u int) int) {
+	jobIDs = func(u int) []int {
 		ids := make([]int, len(alloc.Units[u].Jobs))
 		for k, local := range alloc.Units[u].Jobs {
 			ids[k] = states[allocJobs[local]].job.ID
 		}
 		return ids
 	}
-	scaleFactor := func(u int) int {
+	scaleFactor = func(u int) int {
 		sf := 1
 		for _, local := range alloc.Units[u].Jobs {
 			if s := states[allocJobs[local]].job.ScaleFactor; s > sf {
@@ -529,7 +615,12 @@ func advanceRound(cfg Config, mech *scheduler.Mechanism, builder *inputBuilder, 
 		}
 		return sf
 	}
-	// Only schedule units whose members are all still unfinished.
+	return jobIDs, scaleFactor
+}
+
+// filterFinished zeroes the allocation rows of units with finished members,
+// so the mechanism only schedules units that can still run.
+func filterFinished(states []*jobState, allocJobs []int, alloc *core.Allocation, numTypes int) *core.Allocation {
 	filtered := &core.Allocation{Units: alloc.Units, X: make([][]float64, len(alloc.X))}
 	for u := range alloc.X {
 		ok := true
@@ -542,19 +633,42 @@ func advanceRound(cfg Config, mech *scheduler.Mechanism, builder *inputBuilder, 
 		if ok {
 			filtered.X[u] = alloc.X[u]
 		} else {
-			filtered.X[u] = make([]float64, len(workerInts))
+			filtered.X[u] = make([]float64, numTypes)
 		}
 	}
+	return filtered
+}
 
+// pairObserver receives measured pair throughputs after a round runs so the
+// backing cache mirrors what the provider would now report. The monolithic
+// loop's inputBuilder and the sharded engine's per-shard caches both
+// implement it.
+type pairObserver interface {
+	observePair(aID, bID, typ int, ta, tb float64)
+}
+
+// advanceRound runs one mechanism round and advances job progress with the
+// ground-truth oracle.
+func advanceRound(cfg Config, mech *scheduler.Mechanism, obs pairObserver, states []*jobState, allocJobs []int, alloc *core.Allocation, workerInts []int, round, now float64, prices []float64, noise func(int, int) float64, needRealloc *bool, completed *int, res *Result) error {
+	jobIDs, scaleFactor := roundClosures(states, allocJobs, alloc)
+	filtered := filterFinished(states, allocJobs, alloc, len(workerInts))
 	assigns, err := mech.Assign(filtered, scheduler.Workers{Free: workerInts}, scaleFactor, jobIDs)
 	if err != nil {
 		return err
 	}
-	mech.RecordRound(assigns, round, jobIDs)
+	mech.RecordRound(filtered, assigns, round, jobIDs)
 	if cfg.OnRound != nil {
 		cfg.OnRound(now, alloc, allocJobs, assigns)
 	}
+	applyAssignments(cfg, obs, states, allocJobs, alloc, assigns, round, now, prices, noise, needRealloc, completed, res)
+	return nil
+}
 
+// applyAssignments advances progress, cost, preemption, and completion
+// accounting for one executed round. It touches only the job states reachable
+// through allocJobs, so the sharded engine can apply per-shard rounds in
+// shard order without any cross-shard interference.
+func applyAssignments(cfg Config, obs pairObserver, states []*jobState, allocJobs []int, alloc *core.Allocation, assigns []scheduler.Assignment, round, now float64, prices []float64, noise func(int, int) float64, needRealloc *bool, completed *int, res *Result) {
 	running := map[int]bool{}
 	for _, a := range assigns {
 		u := &alloc.Units[a.UnitIdx]
@@ -574,7 +688,7 @@ func advanceRound(cfg Config, mech *scheduler.Mechanism, builder *inputBuilder, 
 			if cfg.Provider != nil {
 				cfg.Provider.Observe(ja, jb, a.Type, pairTa, pairTb)
 			}
-			builder.observePair(ja.ID, jb.ID, a.Type, pairTa, pairTb)
+			obs.observePair(ja.ID, jb.ID, a.Type, pairTa, pairTb)
 		}
 		for k, local := range u.Jobs {
 			st := states[allocJobs[local]]
@@ -632,7 +746,6 @@ func advanceRound(cfg Config, mech *scheduler.Mechanism, builder *inputBuilder, 
 		st := states[si]
 		st.wasRunning = running[st.job.ID]
 	}
-	return nil
 }
 
 // advanceIdeal advances every job exactly per its allocated fractions
