@@ -73,6 +73,18 @@ func perturbInput(in *policy.Input, rng *rand.Rand, frac float64) {
 	}
 }
 
+// driftWorkers jitters the per-type worker capacities by up to +-frac in
+// place, modeling machines joining or leaving between resets while the job
+// set and observed throughputs hold still. Capacities only appear on the
+// LP's right-hand side, so this is the dual simplex's home scenario: the
+// cached basis stays dual feasible and the warm solve should finish in a
+// handful of dual pivots (visible as dual_iterations in the bench records).
+func driftWorkers(in *policy.Input, rng *rand.Rand, frac float64) {
+	for t, w := range in.Workers {
+		in.Workers[t] = w * (1 + frac*(2*rng.Float64()-1))
+	}
+}
+
 // churnInput applies a job departure + arrival to the input in place: the
 // oldest job leaves, a new job with a fresh ID (and a fresh unit key) enters
 // at the back, and every position shifts — exactly what a reset event that
@@ -145,6 +157,7 @@ func BenchmarkPolicySolveReset(b *testing.B) {
 						if _, err := p.Allocate(in, ctx); err != nil {
 							b.Fatal(err)
 						}
+						b.ReportAllocs()
 						b.ResetTimer()
 						for i := 0; i < b.N; i++ {
 							perturbInput(in, rng, 0.01)
@@ -302,6 +315,11 @@ type shardedShardRecord struct {
 	RemappedSolves    int `json:"remapped_solves"`
 	ColdSolves        int `json:"cold_solves"`
 	SimplexIterations int `json:"simplex_iterations"`
+	// PresolveReductions sums rows/columns/bounds the LP presolve removed or
+	// tightened; DualIterations counts dual-simplex repair pivots (a subset
+	// of SimplexIterations).
+	PresolveReductions int `json:"presolve_reductions"`
+	DualIterations     int `json:"dual_iterations"`
 }
 
 type shardedBenchRecord struct {
@@ -350,6 +368,8 @@ func measureShardedResets(n, shards, resets int, engine lp.Engine) (shardedBench
 		d.WarmHits -= prime[k].WarmHits
 		d.RemapHits -= prime[k].RemapHits
 		d.Iterations -= prime[k].Iterations
+		d.PresolveReductions -= prime[k].PresolveReductions
+		d.DualIterations -= prime[k].DualIterations
 		rec.PerShard = append(rec.PerShard, shardedShardRecord{
 			Shard:             k,
 			LPSolves:          d.Solves,
@@ -357,6 +377,9 @@ func measureShardedResets(n, shards, resets int, engine lp.Engine) (shardedBench
 			RemappedSolves:    d.RemapHits,
 			ColdSolves:        d.Solves - d.WarmHits - d.RemapHits,
 			SimplexIterations: d.Iterations,
+
+			PresolveReductions: d.PresolveReductions,
+			DualIterations:     d.DualIterations,
 		})
 	}
 	return rec, nil
@@ -392,28 +415,41 @@ func TestWriteShardStats(t *testing.T) {
 }
 
 type solveBenchRecord struct {
-	Policy            string  `json:"policy"`
-	Jobs              int     `json:"jobs"`
-	Scenario          string  `json:"scenario"`
-	Mode              string  `json:"mode"`
-	Engine            string  `json:"engine"`
-	Resets            int     `json:"resets"`
-	LPSolves          int     `json:"lp_solves"`
-	WarmSolves        int     `json:"warm_solves"`
-	RemappedSolves    int     `json:"remapped_solves"`
-	SimplexIterations int     `json:"simplex_iterations"`
-	NsPerReset        float64 `json:"ns_per_reset"`
+	Policy   string `json:"policy"`
+	Jobs     int    `json:"jobs"`
+	Scenario string `json:"scenario"`
+	Mode     string `json:"mode"`
+	Engine   string `json:"engine"`
+	// Pricing is the entering-column rule the revised engine used ("devex"
+	// or "partial"; the dense tableau ignores it).
+	Pricing           string `json:"pricing"`
+	Resets            int    `json:"resets"`
+	LPSolves          int    `json:"lp_solves"`
+	WarmSolves        int    `json:"warm_solves"`
+	RemappedSolves    int    `json:"remapped_solves"`
+	SimplexIterations int    `json:"simplex_iterations"`
+	// PresolveReductions sums rows/columns/bounds the LP presolve removed or
+	// tightened across the measured resets; DualIterations counts the
+	// dual-simplex repair pivots warm starts took (subset of
+	// SimplexIterations — nonzero only when the warm path found a seed it
+	// could repair on the dual side).
+	PresolveReductions int     `json:"presolve_reductions"`
+	DualIterations     int     `json:"dual_iterations"`
+	NsPerReset         float64 `json:"ns_per_reset"`
 }
 
 // measureSolveResets runs a fixed number of re-solves under the given
 // scenario ("perturb" jitters throughputs; "churn" additionally changes the
-// job set on every 4th reset) and engine, and returns the record. Iteration
-// counts are deterministic; timings are hardware-local.
-func measureSolveResets(polName string, p policy.Policy, n, resets int, scenario string, warm bool, engine lp.Engine) solveBenchRecord {
+// job set on every 4th reset; "drift" jitters only the worker capacities —
+// a pure rhs drift that keeps cached bases dual feasible), engine, and
+// pricing rule, and returns the record. Iteration counts are deterministic;
+// timings are hardware-local.
+func measureSolveResets(polName string, p policy.Policy, n, resets int, scenario string, warm bool, engine lp.Engine, pricing lp.Pricing) solveBenchRecord {
 	in := solveResetInput(n)
 	ctx := policy.NewSolveContext()
 	ctx.NoWarm = !warm
 	ctx.Engine = engine
+	ctx.Pricing = pricing
 	rng := rand.New(rand.NewSource(99))
 	nextID := n
 	if _, err := p.Allocate(in, ctx); err != nil {
@@ -422,9 +458,13 @@ func measureSolveResets(polName string, p policy.Policy, n, resets int, scenario
 	prime := ctx.Stats
 	start := time.Now()
 	for i := 0; i < resets; i++ {
-		perturbInput(in, rng, 0.01)
-		if scenario == "churn" && i%4 == 1 {
-			nextID = churnInput(in, nextID)
+		if scenario == "drift" {
+			driftWorkers(in, rng, 0.05)
+		} else {
+			perturbInput(in, rng, 0.01)
+			if scenario == "churn" && i%4 == 1 {
+				nextID = churnInput(in, nextID)
+			}
 		}
 		if _, err := p.Allocate(in, ctx); err != nil {
 			panic(err)
@@ -439,13 +479,19 @@ func measureSolveResets(polName string, p policy.Policy, n, resets int, scenario
 	if engine == lp.EngineAuto {
 		engName = lp.DefaultEngine.String()
 	}
+	prName := pricing.String()
+	if pricing == lp.PricingAuto {
+		prName = lp.DefaultPricing.String()
+	}
 	return solveBenchRecord{
-		Policy: polName, Jobs: n, Scenario: scenario, Mode: mode, Engine: engName, Resets: resets,
-		LPSolves:          ctx.Stats.Solves - prime.Solves,
-		WarmSolves:        ctx.Stats.WarmHits - prime.WarmHits,
-		RemappedSolves:    ctx.Stats.RemapHits - prime.RemapHits,
-		SimplexIterations: ctx.Stats.Iterations - prime.Iterations,
-		NsPerReset:        float64(elapsed.Nanoseconds()) / float64(resets),
+		Policy: polName, Jobs: n, Scenario: scenario, Mode: mode, Engine: engName, Pricing: prName, Resets: resets,
+		LPSolves:           ctx.Stats.Solves - prime.Solves,
+		WarmSolves:         ctx.Stats.WarmHits - prime.WarmHits,
+		RemappedSolves:     ctx.Stats.RemapHits - prime.RemapHits,
+		SimplexIterations:  ctx.Stats.Iterations - prime.Iterations,
+		PresolveReductions: ctx.Stats.PresolveReductions - prime.PresolveReductions,
+		DualIterations:     ctx.Stats.DualIterations - prime.DualIterations,
+		NsPerReset:         float64(elapsed.Nanoseconds()) / float64(resets),
 	}
 }
 
@@ -478,11 +524,27 @@ func TestWriteSolveBenchJSON(t *testing.T) {
 			for _, engine := range []lp.Engine{lp.Dense, lp.Revised} {
 				sizes := []int{128, 256, 512}
 				if engine == lp.Revised && pol.name != "ftf" {
-					// The 1024-job scenario exists only on the sparse revised
+					// The 1024-job tier exists only on the sparse revised
 					// core: the dense tableau needs minutes per cold reset at
 					// that size (and ftf's binary search multiplies that by
 					// ~20 solves per reset).
 					sizes = append(sizes, 1024)
+				}
+				if engine == lp.Revised && pol.name == "cost" {
+					// The 4096-job tier is cost-only for now: presolve
+					// collapses the Charnes-Cooper program to a few dozen
+					// effective rows, so its cold reset lands well under a
+					// second, while maxmin's two-rows-per-job LP still costs
+					// ~10s cold at this size (the remaining open item on the
+					// LP-core roadmap).
+					sizes = append(sizes, 4096)
+				}
+				scenarios := []string{"perturb", "churn"}
+				if engine == lp.Revised {
+					// The rhs-only drift scenario showcases the dual-simplex
+					// warm path; the dense tableau has no dual path, so the
+					// cells would be noise there.
+					scenarios = append(scenarios, "drift")
 				}
 				for _, n := range sizes {
 					resets := 10
@@ -492,16 +554,19 @@ func TestWriteSolveBenchJSON(t *testing.T) {
 						// per-reset numbers stay comparable.
 						resets = 4
 					}
-					for _, scenario := range []string{"perturb", "churn"} {
+					if n >= 4096 {
+						resets = 4
+					}
+					for _, scenario := range scenarios {
 						for _, warm := range []bool{false, true} {
-							records = append(records, measureSolveResets(pol.name, pol.make(), n, resets, scenario, warm, engine))
+							records = append(records, measureSolveResets(pol.name, pol.make(), n, resets, scenario, warm, engine, lp.PricingAuto))
 						}
 					}
 				}
 			}
 		}
 		doc["benchmark"] = "PolicySolveReset"
-		doc["unit_note"] = "resets perturb throughputs by 1%; the churn scenario additionally changes the job set (departure+arrival) on 25% of resets; ns_per_reset is hardware-local, iteration counts are deterministic; engine selects the simplex core (the 1024-job cells exist only on the sparse revised engine — dense needs minutes per reset at that size)"
+		doc["unit_note"] = "resets perturb throughputs by 1%; the churn scenario additionally changes the job set (departure+arrival) on 25% of resets; the drift scenario (revised only) jitters worker capacities — a pure rhs drift repaired by the dual simplex; ns_per_reset is hardware-local, iteration counts are deterministic; engine selects the simplex core (the 1024/4096-job cells exist only on the sparse revised engine — dense needs minutes per reset at those sizes)"
 		doc["records"] = records
 	}
 
@@ -537,8 +602,8 @@ func TestWarmSolveResetSavings(t *testing.T) {
 	}
 	for _, pol := range solveResetPolicies {
 		for _, n := range []int{128, 256} {
-			cold := measureSolveResets(pol.name, pol.make(), n, 6, "perturb", false, lp.EngineAuto)
-			warm := measureSolveResets(pol.name, pol.make(), n, 6, "perturb", true, lp.EngineAuto)
+			cold := measureSolveResets(pol.name, pol.make(), n, 6, "perturb", false, lp.EngineAuto, lp.PricingAuto)
+			warm := measureSolveResets(pol.name, pol.make(), n, 6, "perturb", true, lp.EngineAuto, lp.PricingAuto)
 			if warm.WarmSolves == 0 {
 				t.Fatalf("%s jobs=%d: no warm solves", pol.name, n)
 			}
@@ -572,8 +637,8 @@ func TestRemappedSolveChurnSavings(t *testing.T) {
 			sizes = []int{128, 256}
 		}
 		for _, n := range sizes {
-			cold := measureSolveResets(pol.name, pol.make(), n, 8, "churn", false, lp.EngineAuto)
-			warm := measureSolveResets(pol.name, pol.make(), n, 8, "churn", true, lp.EngineAuto)
+			cold := measureSolveResets(pol.name, pol.make(), n, 8, "churn", false, lp.EngineAuto, lp.PricingAuto)
+			warm := measureSolveResets(pol.name, pol.make(), n, 8, "churn", true, lp.EngineAuto, lp.PricingAuto)
 			if warm.RemappedSolves == 0 {
 				t.Fatalf("%s jobs=%d: churn resets never took the remapped path", pol.name, n)
 			}
@@ -586,5 +651,88 @@ func TestRemappedSolveChurnSavings(t *testing.T) {
 					pol.name, n, 100*saving)
 			}
 		}
+	}
+}
+
+// TestPresolveReductionsNonzero asserts the LP presolve actually fires on
+// every policy's allocation program — the per-solve reduction count surfaced
+// through SolveStats (and from there the bench records) must be nonzero.
+// Allocation LPs always give it material: maxmin and ftf rows carry implied
+// upper bounds (per-job shares bounded by effective throughput), and the
+// cost policy's Charnes-Cooper normalization row bounds every transformed
+// column.
+func TestPresolveReductionsNonzero(t *testing.T) {
+	for _, pol := range solveResetPolicies {
+		in := solveResetInput(64)
+		ctx := policy.NewSolveContext()
+		if _, err := pol.make().Allocate(in, ctx); err != nil {
+			t.Fatal(err)
+		}
+		t.Logf("%s: %d presolve reductions over %d solves", pol.name, ctx.Stats.PresolveReductions, ctx.Stats.Solves)
+		if ctx.Stats.PresolveReductions == 0 {
+			t.Errorf("%s: presolve removed nothing on a 64-job allocation LP", pol.name)
+		}
+	}
+}
+
+// TestDualIterationsOnDrift asserts the dual-simplex warm path is live: on
+// the rhs-only drift scenario a warm context must take at least one dual
+// repair pivot.
+func TestDualIterationsOnDrift(t *testing.T) {
+	if testing.Short() {
+		t.Skip("drift measurement is not -short")
+	}
+	if lp.DefaultEngine != lp.Revised {
+		t.Skip("the dual path exists only on the revised engine")
+	}
+	totalDual := 0
+	for _, pol := range solveResetPolicies {
+		warm := measureSolveResets(pol.name, pol.make(), 128, 6, "drift", true, lp.EngineAuto, lp.PricingAuto)
+		t.Logf("%s: %d dual iterations of %d simplex iterations over %d warm solves",
+			pol.name, warm.DualIterations, warm.SimplexIterations, warm.WarmSolves)
+		totalDual += warm.DualIterations
+	}
+	if totalDual == 0 {
+		t.Errorf("no policy took a single dual-simplex pivot on rhs-only drift")
+	}
+}
+
+// TestWritePricingMatrix writes the pricing-rule matrix artifact for the CI
+// bench-smoke job (gated by GAVEL_PRICING_MATRIX=<path>): the same cold
+// reset scenario measured under Devex and rotating partial pricing. On the
+// revised engine it runs the 1024-job tier, where Devex's iteration
+// advantage over partial pricing is the tentpole claim; the dense tableau
+// ignores pricing, so under GAVEL_LP_ENGINE=dense it runs a small tier just
+// to prove the knob is inert there.
+func TestWritePricingMatrix(t *testing.T) {
+	path := os.Getenv("GAVEL_PRICING_MATRIX")
+	if path == "" {
+		t.Skip("set GAVEL_PRICING_MATRIX=<path> to write the pricing-matrix artifact")
+	}
+	n, resets := 1024, 4
+	if lp.DefaultEngine != lp.Revised {
+		n, resets = 128, 6
+	}
+	var records []solveBenchRecord
+	for _, pol := range solveResetPolicies {
+		if pol.name == "ftf" {
+			continue // ~20 binary-search solves per reset; out of smoke budget
+		}
+		for _, pr := range []lp.Pricing{lp.PricingDevex, lp.PricingPartial} {
+			rec := measureSolveResets(pol.name, pol.make(), n, resets, "perturb", false, lp.EngineAuto, pr)
+			t.Logf("%s pricing=%s: %d simplex iterations, %.0f ns/reset", pol.name, rec.Pricing, rec.SimplexIterations, rec.NsPerReset)
+			records = append(records, rec)
+		}
+	}
+	out, err := json.MarshalIndent(map[string]any{
+		"benchmark": "PolicySolveReset/pricing-matrix",
+		"unit_note": "cold resets per policy x pricing rule; on the revised engine devex needs fewer simplex iterations than partial — modestly on the maxmin LP (whose optimum needs ~1 pivot per job under any rule), and by well over the 30% acceptance bar on the cost policy's Charnes-Cooper LPs, where Dantzig-style pricing is blind to the normalization row's column geometry",
+		"records":   records,
+	}, "", "  ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(path, append(out, '\n'), 0o644); err != nil {
+		t.Fatal(err)
 	}
 }

@@ -66,14 +66,66 @@ const (
 	luAbsTol = 1e-11
 )
 
-// FactorizeSparse computes the LU factorization of the n x n matrix whose
-// columns are cols. It returns a *SingularError when a column turns out
-// linearly dependent on the columns already pivoted.
-func FactorizeSparse(n int, cols []SparseCol) (*LU, error) {
-	if len(cols) != n {
-		return nil, fmt.Errorf("linalg: FactorizeSparse wants %d columns, got %d", n, len(cols))
+// Scratch holds the transient workspaces of FactorizeSparseInto plus a pool
+// of retired LU shells, so a caller that refactorizes the same-sized basis
+// every few dozen pivots (the revised simplex engine) reuses the backing
+// arrays instead of reallocating them per factorization. The zero value is
+// ready to use; a Scratch is not safe for concurrent factorizations.
+type Scratch struct {
+	x       []float64
+	seen    []int
+	visited []int
+	touched []int
+	reach   []int
+	order   []int
+	rowCnt  []int
+	spare   []*LU
+}
+
+func growF(s []float64, n int) []float64 {
+	if cap(s) < n {
+		return make([]float64, n)
 	}
-	f := &LU{
+	return s[:n]
+}
+
+func growI(s []int, n int) []int {
+	if cap(s) < n {
+		return make([]int, n)
+	}
+	return s[:n]
+}
+
+// Recycle returns a retired factorization's arrays to the pool. The caller
+// must not use lu after recycling it.
+func (sc *Scratch) Recycle(lu *LU) {
+	if sc == nil || lu == nil || len(sc.spare) >= 2 {
+		return
+	}
+	sc.spare = append(sc.spare, lu)
+}
+
+// shell returns an LU whose top-level arrays are sized for n, reusing a
+// recycled factorization's backing storage when one fits.
+func (sc *Scratch) shell(n int) *LU {
+	if sc != nil {
+		for i, lu := range sc.spare {
+			if cap(lu.p) >= n && cap(lu.lcols) >= n {
+				sc.spare = append(sc.spare[:i], sc.spare[i+1:]...)
+				lu.n = n
+				lu.p, lu.q, lu.stepOfRow = lu.p[:n], lu.q[:n], lu.stepOfRow[:n]
+				lu.diag, lu.z = lu.diag[:n], lu.z[:n]
+				lu.lcols, lu.ucols = lu.lcols[:n], lu.ucols[:n]
+				for k := 0; k < n; k++ {
+					lu.lcols[k] = lu.lcols[k][:0]
+					lu.ucols[k] = lu.ucols[k][:0]
+				}
+				lu.nnz = 0
+				return lu
+			}
+		}
+	}
+	return &LU{
 		n:         n,
 		p:         make([]int, n),
 		q:         make([]int, n),
@@ -83,20 +135,46 @@ func FactorizeSparse(n int, cols []SparseCol) (*LU, error) {
 		diag:      make([]float64, n),
 		z:         make([]float64, n),
 	}
+}
+
+// FactorizeSparse computes the LU factorization of the n x n matrix whose
+// columns are cols. It returns a *SingularError when a column turns out
+// linearly dependent on the columns already pivoted.
+func FactorizeSparse(n int, cols []SparseCol) (*LU, error) {
+	return FactorizeSparseInto(n, cols, nil)
+}
+
+// FactorizeSparseInto is FactorizeSparse with caller-owned scratch buffers:
+// a non-nil sc supplies (and keeps) every transient workspace, so repeated
+// factorizations allocate only the factor entries themselves. sc may be nil.
+func FactorizeSparseInto(n int, cols []SparseCol, sc *Scratch) (*LU, error) {
+	if len(cols) != n {
+		return nil, fmt.Errorf("linalg: FactorizeSparse wants %d columns, got %d", n, len(cols))
+	}
+	var local Scratch
+	if sc == nil {
+		sc = &local
+	}
+	f := sc.shell(n)
 	for i := range f.stepOfRow {
 		f.stepOfRow[i] = -1
 	}
 
 	// Static Markowitz ordering: columns by ascending nonzero count; original
 	// row counts for the dynamic row choice.
-	order := make([]int, n)
+	sc.order = growI(sc.order, n)
+	order := sc.order
 	for j := range order {
 		order[j] = j
 	}
 	sort.SliceStable(order, func(a, b int) bool {
 		return len(cols[order[a]].Rows) < len(cols[order[b]].Rows)
 	})
-	rowCount := make([]int, n)
+	sc.rowCnt = growI(sc.rowCnt, n)
+	rowCount := sc.rowCnt
+	for i := range rowCount {
+		rowCount[i] = 0
+	}
 	for j := range cols {
 		for _, r := range cols[j].Rows {
 			if r < 0 || r >= n {
@@ -106,11 +184,18 @@ func FactorizeSparse(n int, cols []SparseCol) (*LU, error) {
 		}
 	}
 
-	x := make([]float64, n)      // dense numeric workspace, row-indexed
-	seen := make([]int, n)       // row-touch epochs
-	visited := make([]int, n)    // step-visit epochs for the reach DFS
-	touched := make([]int, 0, n) // rows touched this column
-	reach := make([]int, 0, n)   // pivot steps reached this column
+	sc.x = growF(sc.x, n)
+	sc.seen = growI(sc.seen, n)
+	sc.visited = growI(sc.visited, n)
+	x := sc.x // dense numeric workspace, row-indexed
+	seen := sc.seen
+	visited := sc.visited
+	for i := 0; i < n; i++ {
+		x[i], seen[i], visited[i] = 0, 0, 0
+	}
+	touched := sc.touched[:0] // rows touched this column
+	reach := sc.reach[:0]     // pivot steps reached this column
+	defer func() { sc.touched, sc.reach = touched[:0], reach[:0] }()
 
 	var dfs func(s int)
 	dfs = func(s int) {

@@ -31,6 +31,15 @@ type Fractional struct {
 	// Engine selects the simplex implementation for the transformed LP;
 	// EngineAuto follows DefaultEngine.
 	Engine Engine
+	// Pricing selects the entering-column rule for the transformed LP;
+	// PricingAuto follows DefaultPricing.
+	Pricing Pricing
+	// Dual selects whether seeded solves of the transformed LP may repair
+	// with the dual simplex; DualAuto follows DefaultDual.
+	Dual DualMode
+	// Workspace, when set, supplies the reusable per-solve scratch arena to
+	// the transformed LP (see Problem.SetWorkspace).
+	Workspace *Workspace
 }
 
 // FractionalConstraint is one row a.x (op) b of a Fractional program. ID,
@@ -68,6 +77,11 @@ func (f *Fractional) transform() (*Problem, []int, int, error) {
 	}
 	p := NewProblem(Maximize)
 	p.SetEngine(f.Engine)
+	p.SetPricing(f.Pricing)
+	p.SetDual(f.Dual)
+	if f.Workspace != nil {
+		p.SetWorkspace(f.Workspace)
+	}
 	y := make([]int, f.NumVars)
 	for j := 0; j < f.NumVars; j++ {
 		y[j] = p.AddVar(f.Num[j], fmt.Sprintf("y%d", j))

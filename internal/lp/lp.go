@@ -137,11 +137,23 @@ type constraint struct {
 // Problem is a linear program under construction. The zero value is not
 // usable; create one with NewProblem.
 type Problem struct {
-	sense  Sense
-	obj    []float64
-	names  []string
-	cons   []constraint
-	engine Engine
+	sense   Sense
+	obj     []float64
+	names   []string
+	cons    []constraint
+	engine  Engine
+	pricing Pricing
+	presolv PresolveMode
+	dual    DualMode
+	ws      *Workspace
+	// ub holds per-variable upper bounds on problems produced by presolve
+	// (bound rows extracted into implicit bounds); nil on user-built
+	// problems, whose bounds stay explicit rows. Entries are +Inf when
+	// unbounded. Only the revised engine consumes it.
+	ub []float64
+	// noPresolve marks internally built reduced problems so the solve
+	// dispatch never presolves a presolved problem.
+	noPresolve bool
 }
 
 // NewProblem returns an empty problem with the given objective sense.
@@ -152,6 +164,26 @@ func NewProblem(sense Sense) *Problem {
 // SetEngine selects the simplex implementation for this problem;
 // EngineAuto (the default) follows the package-level DefaultEngine.
 func (p *Problem) SetEngine(e Engine) { p.engine = e }
+
+// SetPricing selects the revised engine's pricing rule for this problem;
+// PricingAuto (the default) follows the package-level DefaultPricing.
+func (p *Problem) SetPricing(r Pricing) { p.pricing = r }
+
+// SetPresolve selects whether the solve runs the presolve pass;
+// PresolveAuto (the default) follows the package-level DefaultPresolve.
+func (p *Problem) SetPresolve(m PresolveMode) { p.presolv = m }
+
+// SetDual selects whether seeded revised solves may repair primal
+// infeasibility with the dual simplex; DualAuto (the default) follows the
+// package-level DefaultDual.
+func (p *Problem) SetDual(m DualMode) { p.dual = m }
+
+// SetWorkspace attaches a reusable scratch arena. Solves through the revised
+// engine draw every per-solve vector (FTRAN/BTRAN images, pricing weights,
+// CSC slabs, factorization scratch) from it instead of allocating, so a
+// caller solving in a loop — SolveContext, the simulator — pays near-zero
+// allocation per solve. A Workspace is not safe for concurrent solves.
+func (p *Problem) SetWorkspace(ws *Workspace) { p.ws = ws }
 
 // resolveEngine returns the engine this problem will actually solve with.
 func (p *Problem) resolveEngine() Engine {
@@ -227,6 +259,14 @@ type Result struct {
 	// Engine reports which simplex implementation produced this result;
 	// Dense when the revised engine was selected but fell back.
 	Engine Engine
+	// PresolveReductions counts the presolve pass's reductions on this
+	// solve: rows removed, columns fixed, and bounds extracted or
+	// tightened. Zero when presolve found nothing or was disabled.
+	PresolveReductions int
+	// DualIterations counts simplex iterations performed by the dual
+	// simplex repair of a warm-started basis; those iterations are also
+	// included in Iterations.
+	DualIterations int
 }
 
 // Basis is an opaque snapshot of a simplex basis, tied to the shape of the
@@ -239,6 +279,12 @@ type Basis struct {
 	ops     []Op     // normalized (rhs >= 0) constraint ops, in order
 	cols    []int    // basic column per row; -1 for dropped redundant rows
 	rowIDs  []string // stable row identities ("" = anonymous), in order
+	// atUpper lists structural variables that are nonbasic at their
+	// presolve-derived upper bound (ascending). A bounded-variable vertex
+	// is (basis, bound-status) jointly; without this list a seeded solve
+	// would place every nonbasic variable at zero and have to repair the
+	// difference. Engines without bound support ignore it.
+	atUpper []int
 	// polished marks a basis that reproduces the revised engine's
 	// canonical (vertex-polished) optimum and is dual feasible, so a
 	// seeded re-solve that needs no pivots can skip re-canonicalizing.
@@ -270,6 +316,7 @@ func (b *Basis) Clone() *Basis {
 		ops:      append([]Op(nil), b.ops...),
 		cols:     append([]int(nil), b.cols...),
 		rowIDs:   append([]string(nil), b.rowIDs...),
+		atUpper:  append([]int(nil), b.atUpper...),
 		polished: b.polished,
 	}
 }
@@ -295,14 +342,18 @@ type MappedBasis struct {
 	cands     []int    // surviving basic structural columns (target indices)
 	candRows  []string // parallel: identity of the old host row ("" = greedy)
 	slackRows []string // identities of rows whose own slack was basic
+	uppers    []int    // surviving nonbasic-at-upper columns (target indices)
 }
 
-// NumCandidates returns how many basic columns survived the remap.
+// NumCandidates returns how many columns survived the remap with their basis
+// status intact: basic structural columns plus nonbasic-at-upper columns (a
+// job pinned at its cap carries just as much warm-start information as a
+// basic one).
 func (mb *MappedBasis) NumCandidates() int {
 	if mb == nil {
 		return 0
 	}
-	return len(mb.cands)
+	return len(mb.cands) + len(mb.uppers)
 }
 
 // Remap projects the basis onto a problem with a different column set.
@@ -360,6 +411,16 @@ func (b *Basis) Remap(oldCols, newCols []ColumnID) *MappedBasis {
 					mb.slackRows = append(mb.slackRows, id)
 				}
 			}
+		}
+	}
+	// Nonbasic-at-upper survivors keep their bound status so the mapped
+	// vertex starts as close to the old one as the new bounds allow.
+	for _, c := range b.atUpper {
+		if c < 0 || c >= len(oldCols) {
+			continue
+		}
+		if j, ok := idx[oldCols[c]]; ok && !seen[j] {
+			mb.uppers = append(mb.uppers, j)
 		}
 	}
 	return mb
@@ -423,7 +484,19 @@ func (p *Problem) solve(prev *Basis, mapped *MappedBasis) (*Result, error) {
 			}
 		}
 	}
-	if p.resolveEngine() == Revised {
+	engine := p.resolveEngine()
+	if !p.noPresolve && p.resolvePresolve() == PresolveOn {
+		if ps := newPresolve(p, engine == Revised); ps != nil {
+			if res, ok := ps.run(prev, mapped, engine); ok {
+				return res, nil
+			}
+			// The presolved path could not certify its answer (the reduced
+			// solve bailed); retry on the raw problem below — with explicit
+			// bound rows back in place, so the dense oracle needs no bound
+			// support.
+		}
+	}
+	if engine == Revised {
 		if res, ok := p.solveRevised(prev, mapped); ok {
 			res.Engine = Revised
 			return res, nil

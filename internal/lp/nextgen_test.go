@@ -1,0 +1,276 @@
+package lp
+
+// Tests for the next-gen solve path: presolve round-trips, pricing-rule
+// equivalence, dual-vs-primal warm-start equivalence, remapping of
+// nonbasic-at-upper columns, and the anti-cycling audit. They share the
+// fuzz harness of engines_test.go.
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// buildWith builds fp with the full knob set.
+func (fp *fuzzProblem) buildWith(engine Engine, presolve PresolveMode, pricing Pricing, dual DualMode) *Problem {
+	p := fp.build(engine)
+	p.SetPresolve(presolve)
+	p.SetPricing(pricing)
+	p.SetDual(dual)
+	return p
+}
+
+// TestPresolvedMatchesRawFuzz is the presolve round-trip gate: on fuzzed
+// LPs of every flavor, solving with the presolve pass must agree with the
+// raw solve — same status, objective within 1e-9 — on both engines, and the
+// postsolved x must satisfy every original row. Presolve may only change
+// speed, never the answer.
+func TestPresolvedMatchesRawFuzz(t *testing.T) {
+	rng := rand.New(rand.NewSource(61))
+	nextID := 0
+	flavors := []string{"feasible", "feasible", "infeasible", "unbounded", "degenerate"}
+	reductions := 0
+	for trial := 0; trial < 300; trial++ {
+		flavor := flavors[trial%len(flavors)]
+		fp := genFuzz(rng, &nextID, flavor)
+		for _, engine := range []Engine{Dense, Revised} {
+			label := fmt.Sprintf("trial %d (%s) %v", trial, flavor, engine)
+			raw, err := fp.buildWith(engine, PresolveOff, PricingAuto, DualAuto).Solve()
+			if err != nil {
+				t.Fatalf("%s: raw: %v", label, err)
+			}
+			pre, err := fp.buildWith(engine, PresolveOn, PricingAuto, DualAuto).Solve()
+			if err != nil {
+				t.Fatalf("%s: presolved: %v", label, err)
+			}
+			reductions += pre.PresolveReductions
+			if raw.Status != pre.Status {
+				t.Fatalf("%s: raw status %v, presolved %v", label, raw.Status, pre.Status)
+			}
+			if raw.Status != Optimal {
+				continue
+			}
+			scale := 1 + math.Abs(raw.Objective)
+			if d := math.Abs(raw.Objective - pre.Objective); d > 1e-9*scale {
+				t.Fatalf("%s: raw objective %v, presolved %v (diff %g)", label, raw.Objective, pre.Objective, d)
+			}
+			// The postsolved point must satisfy every ORIGINAL row: the
+			// postsolve map has to undo each reduction exactly.
+			for _, r := range fp.rows {
+				ax := 0.0
+				for j, c := range r.coeff {
+					ax += c * pre.X[j]
+				}
+				viol := false
+				switch r.op {
+				case LE:
+					viol = ax > r.rhs+1e-7
+				case GE:
+					viol = ax < r.rhs-1e-7
+				default:
+					viol = math.Abs(ax-r.rhs) > 1e-7
+				}
+				if viol {
+					t.Fatalf("%s: postsolved x violates row %s: ax=%v %v rhs=%v", label, r.id, ax, r.op, r.rhs)
+				}
+			}
+		}
+	}
+	if reductions == 0 {
+		t.Fatal("presolve never removed anything across 300 fuzzed LPs")
+	}
+}
+
+// TestPricingRulesAgree is the pricing equivalence gate: Devex and rotating
+// partial pricing must reach the same certified optimum on every fuzzed LP
+// (pricing is about speed, never the answer), and both must match the dense
+// oracle.
+func TestPricingRulesAgree(t *testing.T) {
+	rng := rand.New(rand.NewSource(67))
+	nextID := 0
+	flavors := []string{"feasible", "feasible", "degenerate"}
+	for trial := 0; trial < 200; trial++ {
+		flavor := flavors[trial%len(flavors)]
+		fp := genFuzz(rng, &nextID, flavor)
+		label := fmt.Sprintf("trial %d (%s)", trial, flavor)
+		oracle, err := fp.build(Dense).Solve()
+		if err != nil {
+			t.Fatalf("%s: dense: %v", label, err)
+		}
+		for _, pr := range []Pricing{PricingDevex, PricingPartial} {
+			res, err := fp.buildWith(Revised, PresolveAuto, pr, DualAuto).Solve()
+			if err != nil {
+				t.Fatalf("%s %v: %v", label, pr, err)
+			}
+			if res.Status != oracle.Status {
+				t.Fatalf("%s: dense status %v, %v status %v", label, oracle.Status, pr, res.Status)
+			}
+			if res.Status != Optimal {
+				continue
+			}
+			scale := 1 + math.Abs(oracle.Objective)
+			if d := math.Abs(oracle.Objective - res.Objective); d > 1e-9*scale {
+				t.Fatalf("%s: dense objective %v, %v objective %v (diff %g)", label, oracle.Objective, pr, res.Objective, d)
+			}
+		}
+	}
+}
+
+// TestDualMatchesPrimalWarm is the dual-path equivalence gate: a warm solve
+// allowed to repair with the dual simplex must reach the same optimum as one
+// forced through the primal composite phase 1, on fuzzed rhs-drifted
+// re-solves — and the dual path must actually engage (nonzero DualIterations
+// over the run).
+func TestDualMatchesPrimalWarm(t *testing.T) {
+	rng := rand.New(rand.NewSource(71))
+	nextID := 0
+	dualIters := 0
+	for trial := 0; trial < 200; trial++ {
+		fp := genFuzz(rng, &nextID, "feasible")
+		first, err := fp.build(Revised).Solve()
+		if err != nil || first.Status != Optimal {
+			continue
+		}
+		// Drift only the rhs: the textbook dual-simplex scenario (the basis
+		// stays dual feasible, a few basic values stray out of bounds).
+		for i := range fp.rows {
+			fp.rows[i].rhs *= 1 + 0.05*(2*rng.Float64()-1)
+		}
+		label := fmt.Sprintf("trial %d", trial)
+		viaDual, err := fp.buildWith(Revised, PresolveAuto, PricingAuto, DualOn).SolveFrom(first.Basis)
+		if err != nil {
+			t.Fatalf("%s: dual: %v", label, err)
+		}
+		viaPrimal, err := fp.buildWith(Revised, PresolveAuto, PricingAuto, DualOff).SolveFrom(first.Basis)
+		if err != nil {
+			t.Fatalf("%s: primal: %v", label, err)
+		}
+		dualIters += viaDual.DualIterations
+		if viaPrimal.DualIterations != 0 {
+			t.Fatalf("%s: DualOff solve reported %d dual iterations", label, viaPrimal.DualIterations)
+		}
+		if viaDual.Status != viaPrimal.Status {
+			t.Fatalf("%s: dual status %v, primal %v", label, viaDual.Status, viaPrimal.Status)
+		}
+		if viaDual.Status != Optimal {
+			continue
+		}
+		scale := 1 + math.Abs(viaPrimal.Objective)
+		if d := math.Abs(viaDual.Objective - viaPrimal.Objective); d > 1e-9*scale {
+			t.Fatalf("%s: dual objective %v, primal %v (diff %g)", label, viaDual.Objective, viaPrimal.Objective, d)
+		}
+	}
+	if dualIters == 0 {
+		t.Fatal("the dual simplex never took a pivot across 200 rhs-drifted warm solves")
+	}
+	t.Logf("dual iterations across run: %d", dualIters)
+}
+
+// TestRemapCarriesNonBasicAtUpper is the Basis.Remap edge gate for the
+// bounded-variable vertex: a column nonbasic at its presolve-derived upper
+// bound must survive a remap with its bound status (MappedBasis counts it as
+// a candidate), and the mapped solve must match cold. The LP is built so the
+// optimum pins two columns at their caps with only one basic structural.
+func TestRemapCarriesNonBasicAtUpper(t *testing.T) {
+	build := func(ids []ColumnID, obj []float64, caps []float64, budget float64) *Problem {
+		p := NewProblem(Maximize)
+		p.SetEngine(Revised)
+		var terms []Term
+		for j, id := range ids {
+			p.AddVar(obj[j], string(id))
+			// Singleton cap row: presolve converts it to an implicit bound,
+			// so at the optimum the saturated columns sit nonbasic AT their
+			// upper bound rather than basic against a slack.
+			p.AddConstraintRow([]Term{{Var: j, Coeff: 1}}, LE, caps[j], fmt.Sprintf("cap:%s", id))
+			terms = append(terms, Term{Var: j, Coeff: 1})
+		}
+		p.AddConstraintRow(terms, LE, budget, "budget")
+		return p
+	}
+	oldIDs := []ColumnID{"a", "b", "c"}
+	// maximize 3a+2b+c, a<=1, b<=2, c<=3, a+b+c<=4: optimum a=1 (at cap),
+	// b=2 (at cap), c=1 (basic on the budget row).
+	first, err := build(oldIDs, []float64{3, 2, 1}, []float64{1, 2, 3}, 4).Solve()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if first.Status != Optimal || math.Abs(first.Objective-8) > 1e-9 {
+		t.Fatalf("unexpected first solve: %v obj=%v", first.Status, first.Objective)
+	}
+	if len(first.Basis.atUpper) == 0 {
+		t.Fatalf("optimum pinned columns at caps but Basis.atUpper is empty (cols=%v)", first.Basis.cols)
+	}
+	// Churn: b departs, d arrives; a and c survive — a was nonbasic at its
+	// cap and must carry that status through the remap.
+	newIDs := []ColumnID{"a", "c", "d"}
+	mb := first.Basis.Remap(oldIDs, newIDs)
+	if mb == nil {
+		t.Fatal("remap returned nil")
+	}
+	if len(mb.uppers) == 0 {
+		t.Fatalf("no nonbasic-at-upper column survived the remap (cands=%v uppers=%v)", mb.cands, mb.uppers)
+	}
+	if mb.NumCandidates() != len(mb.cands)+len(mb.uppers) {
+		t.Fatalf("NumCandidates %d does not count the %d upper survivors", mb.NumCandidates(), len(mb.uppers))
+	}
+	next := build(newIDs, []float64{3, 1, 2}, []float64{1, 3, 2}, 4)
+	mapped, err := next.SolveFromMapped(mb)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cold, err := build(newIDs, []float64{3, 1, 2}, []float64{1, 3, 2}, 4).Solve()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if mapped.Status != Optimal || math.Abs(mapped.Objective-cold.Objective) > 1e-9 {
+		t.Fatalf("mapped %v obj=%v, cold %v obj=%v", mapped.Status, mapped.Objective, cold.Status, cold.Objective)
+	}
+	for j := range cold.X {
+		if math.Abs(mapped.X[j]-cold.X[j]) > 1e-9 {
+			t.Fatalf("mapped x%d=%v, cold %v", j, mapped.X[j], cold.X[j])
+		}
+	}
+}
+
+// TestBealeCyclingRegression is the anti-cycling audit: Beale's classic
+// cycling LP (pure Dantzig pricing loops forever on it) must reach the known
+// optimum under every pricing rule on both engines, within a hard iteration
+// budget — the degenerate-streak Bland switch is what guarantees
+// termination.
+func TestBealeCyclingRegression(t *testing.T) {
+	beale := func(engine Engine, pricing Pricing) *Problem {
+		p := NewProblem(Minimize)
+		p.SetEngine(engine)
+		p.SetPricing(pricing)
+		x1 := p.AddVar(-0.75, "x1")
+		x2 := p.AddVar(150, "x2")
+		x3 := p.AddVar(-0.02, "x3")
+		x4 := p.AddVar(6, "x4")
+		p.AddConstraint([]Term{{x1, 0.25}, {x2, -60}, {x3, -0.04}, {x4, 9}}, LE, 0)
+		p.AddConstraint([]Term{{x1, 0.5}, {x2, -90}, {x3, -0.02}, {x4, 3}}, LE, 0)
+		p.AddConstraint([]Term{{x3, 1}}, LE, 1)
+		return p
+	}
+	for _, engine := range []Engine{Dense, Revised} {
+		for _, pricing := range []Pricing{PricingDevex, PricingPartial} {
+			res, err := beale(engine, pricing).Solve()
+			if err != nil {
+				t.Fatalf("%v/%v: %v", engine, pricing, err)
+			}
+			if res.Status != Optimal {
+				t.Fatalf("%v/%v: status %v", engine, pricing, res.Status)
+			}
+			if math.Abs(res.Objective-(-0.05)) > 1e-9 {
+				t.Fatalf("%v/%v: objective %v, want -0.05", engine, pricing, res.Objective)
+			}
+			// The bound is loose on purpose: the dense tableau only switches
+			// to Bland's rule at its stall threshold (stallFactor*(m+n) ≈ 200
+			// here), while the revised engine's degenerate-streak counter
+			// fires much earlier. Cycling means never terminating at all.
+			if res.Iterations > 500 {
+				t.Fatalf("%v/%v: %d iterations on a 3-row LP — cycling guard not engaging", engine, pricing, res.Iterations)
+			}
+		}
+	}
+}

@@ -5,23 +5,33 @@ package lp
 // sparse-column form built directly from the Problem's Term lists; the basis
 // is factorized with a sparse LU (internal/linalg) and updated with
 // product-form etas, refactorizing every few dozen pivots; pricing runs over
-// sparse reduced costs with rotating partial pricing (Dantzig within the
-// window, Bland after the stall threshold), and ratio tests work on
-// FTRAN/BTRAN images of sparse vectors instead of full tableau rows. Gavel's
-// allocation programs are structurally sparse (an allocation column touches
-// exactly two rows), so per-iteration cost drops from the dense tableau's
-// O(m·n) to O(nnz + m), and memory from O(m·n) to O(nnz).
+// sparse reduced costs — Devex reference weights by default, rotating partial
+// pricing as the cheap alternative, Bland's rule after a stall or a long
+// degenerate streak — and ratio tests work on FTRAN/BTRAN images of sparse
+// vectors instead of full tableau rows. Gavel's allocation programs are
+// structurally sparse (an allocation column touches exactly two rows), so
+// per-iteration cost drops from the dense tableau's O(m·n) to O(nnz + m),
+// and memory from O(m·n) to O(nnz).
+//
+// The engine is a bounded-variable simplex: presolve extracts singleton cap
+// rows (x_j <= u_j) into the per-column bound vector p.ub, and the engine
+// enforces those bounds without rows. A nonbasic variable then rests at zero
+// OR at its upper bound (e.atUpper), every ratio test also blocks where a
+// basic value would cross its upper bound, and a step that hits the entering
+// column's own opposite bound becomes a bound flip — no pivot, no basis
+// change, strict objective progress.
 //
 // Seeding mirrors the dense paths in spirit: a same-shape Basis is
 // factorized directly (SolveFrom), a MappedBasis is re-assembled from its
 // row-pinned projection with unit-column repair for dependent columns
-// (SolveFromMapped), and lost primal feasibility is restored by a composite
-// phase 1 that minimizes the sum of infeasibilities from the seeded basis,
-// so repair work scales with the damage. Any numerical trouble — a singular
-// factorization that repair cannot fix, a stuck pivot, a verification loop
-// that does not converge — abandons the engine and falls back to the dense
-// tableau oracle, so the revised engine can change only speed, never
-// correctness.
+// (SolveFromMapped), and lost primal feasibility is restored either by the
+// dual simplex (dual.go, when the seed is still dual feasible — the common
+// shape-preserving drift case) or by a composite phase 1 that minimizes the
+// sum of infeasibilities, so repair work scales with the damage. Any
+// numerical trouble — a singular factorization that repair cannot fix, a
+// stuck pivot, a verification loop that does not converge — abandons the
+// engine and falls back to the dense tableau oracle, so the revised engine
+// can change only speed, never correctness.
 
 import (
 	"math"
@@ -38,6 +48,10 @@ const (
 	pivotTol = 1e-7
 	// verifyRounds bounds the refresh-and-reverify loop at optimality.
 	verifyRounds = 6
+	// flipLeave is the ratio-test sentinel for "the entering column reaches
+	// its own opposite bound before any basic variable blocks": the step is
+	// a bound flip, not a pivot.
+	flipLeave = -2
 )
 
 // colEntry is one nonzero of a CSC column.
@@ -64,8 +78,17 @@ type revEngine struct {
 	xB      []float64
 	factor  basisFactor
 
+	hasUB   bool
+	ub      []float64 // structural upper bounds (+Inf = none); nil without bounds
+	atUpper []bool    // structural nonbasic-at-upper flags; nil without bounds
+
+	devex  []float64 // Devex reference weights (nil under partial pricing)
+	seeded bool      // solve started from a previous basis (warm or remapped)
+
 	iterations    int
 	pivots        int
+	dualIters     int // dual-simplex pivots and flips (included in iterations)
+	degenStreak   int // consecutive zero-step pivots; triggers Bland early
 	priceStart    int
 	polishedX     []float64 // canonical structural values from polishVertex
 	polished      bool      // a vertex polish ran; basis factors may be stale
@@ -73,29 +96,71 @@ type revEngine struct {
 	snapPolished  bool      // this solve's snapshot reproduces the canonical vertex
 	protectRow    int       // basis position the ratio test avoids evicting (-1 = none)
 
-	wsY, wsW, wsZ []float64 // BTRAN / FTRAN / polish workspaces
+	arena         *Workspace // shared scratch (nil = allocate plainly)
+	wsY, wsW, wsZ []float64  // BTRAN / FTRAN / pivot-row workspaces
 }
 
 // newRevEngine normalizes the problem into CSC form. ok=false hands the
 // solve to the dense path (degenerate shapes the engine does not model).
+// With a Workspace attached to the problem, every per-solve array is carved
+// from the arena; the CSC entries go into one slab sized by a counting pass.
 func newRevEngine(p *Problem) (*revEngine, bool) {
 	n := len(p.obj)
 	m := len(p.cons)
 	if m == 0 {
 		return nil, false
 	}
-	e := &revEngine{
-		p: p, m: m, n: n,
-		ops:     make([]Op, m),
-		rhs:     make([]float64, m),
-		slackOf: make([]int, m),
+	e := &revEngine{p: p, m: m, n: n, arena: p.ws}
+	ws := e.arena
+
+	var scratch []float64
+	var rawCnt []int
+	if ws != nil {
+		e.ops = ws.opsBuf(m)
+		e.rhs = ws.floats(wsF64RHS, m)
+		e.slackOf = ws.intsBuf(wsIntSlackOf, m)
+		scratch = ws.floats(wsF64Scratch, n)
+		rawCnt = ws.intsBuf(wsIntColCount, n)
+		for j := 0; j < n; j++ {
+			scratch[j], rawCnt[j] = 0, 0
+		}
+	} else {
+		e.ops = make([]Op, m)
+		e.rhs = make([]float64, m)
+		e.slackOf = make([]int, m)
+		scratch = make([]float64, n)
+		rawCnt = make([]int, n)
 	}
-	scratch := make([]float64, n)
+
+	// Counting pass: raw per-column term counts bound the deduplicated CSC
+	// sizes, so one slab holds every column.
+	rawNNZ, nSlack := 0, 0
+	for _, c := range p.cons {
+		for _, t := range c.terms {
+			rawCnt[t.Var]++
+			rawNNZ++
+		}
+		if c.op != EQ {
+			nSlack++
+		}
+	}
+	e.nTotal = n + nSlack
+	var slab []colEntry
+	if ws != nil {
+		e.cols = ws.colHeaders(e.nTotal)
+		slab = ws.colEntries(rawNNZ + nSlack)
+	} else {
+		e.cols = make([][]colEntry, e.nTotal)
+		slab = make([]colEntry, 0, rawNNZ+nSlack)
+	}
+	pos := 0
+	for j := 0; j < n; j++ {
+		e.cols[j] = slab[pos : pos : pos+rawCnt[j]]
+		pos += rawCnt[j]
+	}
+
 	var touched []int
-	structural := make([][]colEntry, n)
-	nSlack := 0
-	var slackRows []int // row per slack column, in slack order
-	var slackSign []float64
+	nS := 0
 	for i, c := range p.cons {
 		touched = touched[:0]
 		for _, t := range c.terms {
@@ -104,9 +169,9 @@ func newRevEngine(p *Problem) (*revEngine, bool) {
 			}
 			scratch[t.Var] += t.Coeff
 		}
-		b, op, sign := c.rhs, c.op, 1.0
+		b, op, sgn := c.rhs, c.op, 1.0
 		if b < 0 {
-			b, sign = -b, -1
+			b, sgn = -b, -1
 			switch op {
 			case LE:
 				op = GE
@@ -115,8 +180,8 @@ func newRevEngine(p *Problem) (*revEngine, bool) {
 			}
 		}
 		for _, v := range touched {
-			if val := scratch[v] * sign; val != 0 {
-				structural[v] = append(structural[v], colEntry{row: i, val: val})
+			if val := scratch[v] * sgn; val != 0 {
+				e.cols[v] = append(e.cols[v], colEntry{row: i, val: val})
 			}
 			scratch[v] = 0
 		}
@@ -124,24 +189,41 @@ func newRevEngine(p *Problem) (*revEngine, bool) {
 		e.slackOf[i] = -1
 		switch op {
 		case LE:
-			e.slackOf[i] = n + nSlack
-			slackRows = append(slackRows, i)
-			slackSign = append(slackSign, 1)
-			nSlack++
+			e.slackOf[i] = n + nS
+			e.cols[n+nS] = append(slab[pos:pos:pos+1], colEntry{row: i, val: 1})
+			pos++
+			nS++
 		case GE:
-			e.slackOf[i] = n + nSlack
-			slackRows = append(slackRows, i)
-			slackSign = append(slackSign, -1)
-			nSlack++
+			e.slackOf[i] = n + nS
+			e.cols[n+nS] = append(slab[pos:pos:pos+1], colEntry{row: i, val: -1})
+			pos++
+			nS++
 		}
 	}
-	e.nTotal = n + nSlack
-	e.cols = make([][]colEntry, e.nTotal)
-	copy(e.cols, structural)
-	for s, row := range slackRows {
-		e.cols[n+s] = []colEntry{{row: row, val: slackSign[s]}}
+
+	if ws != nil {
+		e.obj = ws.floats(wsF64Obj, e.nTotal)
+		e.basis = ws.intsBuf(wsIntBasis, m)
+		e.inBasis = ws.boolsBuf(wsBoolInBasis, e.nTotal)
+		e.xB = ws.floats(wsF64XB, m)
+		e.wsY = ws.floats(wsF64Y, m)
+		e.wsW = ws.floats(wsF64W, m)
+		e.wsZ = ws.floats(wsF64Z, m)
+		for j := range e.inBasis {
+			e.inBasis[j] = false
+		}
+	} else {
+		e.obj = make([]float64, e.nTotal)
+		e.basis = make([]int, m)
+		e.inBasis = make([]bool, e.nTotal)
+		e.xB = make([]float64, m)
+		e.wsY = make([]float64, m)
+		e.wsW = make([]float64, m)
+		e.wsZ = make([]float64, m)
 	}
-	e.obj = make([]float64, e.nTotal)
+	for j := n; j < e.nTotal; j++ {
+		e.obj[j] = 0
+	}
 	for j := 0; j < n; j++ {
 		if p.sense == Maximize {
 			e.obj[j] = -p.obj[j]
@@ -149,14 +231,45 @@ func newRevEngine(p *Problem) (*revEngine, bool) {
 			e.obj[j] = p.obj[j]
 		}
 	}
-	e.basis = make([]int, m)
-	e.inBasis = make([]bool, e.nTotal)
-	e.xB = make([]float64, m)
-	e.wsY = make([]float64, m)
-	e.wsW = make([]float64, m)
-	e.wsZ = make([]float64, m)
+	if p.ub != nil {
+		e.hasUB = true
+		if ws != nil {
+			e.ub = ws.floats(wsF64UB, n)
+			e.atUpper = ws.boolsBuf(wsBoolAtUpper, n)
+			for j := 0; j < n; j++ {
+				e.atUpper[j] = false
+			}
+		} else {
+			e.ub = make([]float64, n)
+			e.atUpper = make([]bool, n)
+		}
+		copy(e.ub, p.ub)
+	}
+	if p.resolvePricing() == PricingDevex {
+		if ws != nil {
+			e.devex = ws.floats(wsF64Devex, e.nTotal)
+		} else {
+			e.devex = make([]float64, e.nTotal)
+		}
+		e.devexInit()
+	}
 	e.protectRow = -1
 	return e, true
+}
+
+// nbAtUpper reports whether nonbasic column j currently rests at its upper
+// bound. Only structural columns with finite bounds ever do.
+func (e *revEngine) nbAtUpper(j int) bool {
+	return e.hasUB && j < e.n && e.atUpper[j]
+}
+
+// colUB returns column j's upper bound (+Inf for slacks, artificials, and
+// unbounded structurals).
+func (e *revEngine) colUB(j int) float64 {
+	if e.hasUB && j < e.n {
+		return e.ub[j]
+	}
+	return math.Inf(1)
 }
 
 // factorize rebuilds the LU from the current basis. With repair=true,
@@ -165,23 +278,46 @@ func newRevEngine(p *Problem) (*revEngine, bool) {
 // unit column, so the loop terminates); with repair=false a singular basis
 // reports false.
 func (e *revEngine) factorize(repair bool) bool {
-	cols := make([]linalg.SparseCol, e.m)
 	for attempt := 0; attempt <= e.m; attempt++ {
-		for i, c := range e.basis {
+		nnz := 0
+		for _, c := range e.basis {
 			if c >= e.nTotal {
-				cols[i] = linalg.SparseCol{Rows: []int{c - e.nTotal}, Vals: []float64{1}}
-				continue
+				nnz++
+			} else {
+				nnz += len(e.cols[c])
 			}
-			src := e.cols[c]
-			rows := make([]int, len(src))
-			vals := make([]float64, len(src))
-			for t, en := range src {
-				rows[t], vals[t] = en.row, en.val
-			}
-			cols[i] = linalg.SparseCol{Rows: rows, Vals: vals}
 		}
-		lu, err := linalg.FactorizeSparse(e.m, cols)
+		var cols []linalg.SparseCol
+		var rows []int
+		var vals []float64
+		var sc *linalg.Scratch
+		if e.arena != nil {
+			cols, rows, vals = e.arena.sparseCols(e.m, nnz)
+			sc = &e.arena.lin
+		} else {
+			cols = make([]linalg.SparseCol, e.m)
+			rows = make([]int, nnz)
+			vals = make([]float64, nnz)
+		}
+		pos := 0
+		for i, c := range e.basis {
+			start := pos
+			if c >= e.nTotal {
+				rows[pos], vals[pos] = c-e.nTotal, 1
+				pos++
+			} else {
+				for _, en := range e.cols[c] {
+					rows[pos], vals[pos] = en.row, en.val
+					pos++
+				}
+			}
+			cols[i] = linalg.SparseCol{Rows: rows[start:pos], Vals: vals[start:pos]}
+		}
+		lu, err := linalg.FactorizeSparseInto(e.m, cols, sc)
 		if err == nil {
+			if sc != nil && e.factor.lu != nil {
+				sc.Recycle(e.factor.lu)
+			}
 			e.factor.reset(lu)
 			return true
 		}
@@ -197,15 +333,35 @@ func (e *revEngine) factorize(repair bool) bool {
 	return false
 }
 
+// computeXB recomputes the basic values from scratch under the current
+// factors and nonbasic bound assignment: xB = B⁻¹(b − Σ_{j at upper} u_j a_j).
+func (e *revEngine) computeXB() {
+	w := e.wsW
+	copy(w, e.rhs)
+	if e.hasUB {
+		for j := 0; j < e.n; j++ {
+			if e.atUpper[j] && !e.inBasis[j] {
+				u := e.ub[j]
+				if u == 0 {
+					continue
+				}
+				for _, en := range e.cols[j] {
+					w[en.row] -= u * en.val
+				}
+			}
+		}
+	}
+	e.factor.ftran(w)
+	copy(e.xB, w)
+}
+
 // refresh refactorizes the current basis and recomputes the basic values
 // from scratch, clearing accumulated eta drift.
 func (e *revEngine) refresh() bool {
 	if !e.factorize(false) {
 		return false
 	}
-	copy(e.wsW, e.rhs)
-	e.factor.ftran(e.wsW)
-	copy(e.xB, e.wsW)
+	e.computeXB()
 	return true
 }
 
@@ -235,18 +391,48 @@ func (e *revEngine) reducedCost(j int, y []float64, phase1 bool) float64 {
 	return d
 }
 
-// priceEnter picks the entering column: rotating partial pricing with the
-// Dantzig rule inside the window, or Bland's rule (first eligible in fixed
-// order, required for anti-cycling) after the stall threshold.
+// effCost is the reduced cost in the column's movement direction: a column
+// at its lower bound improves by increasing (d_j < 0 eligible), one at its
+// upper bound by decreasing (d_j > 0 eligible, so the effective cost is
+// -d_j). Eligibility is uniformly effCost < -eps.
+func (e *revEngine) effCost(j int, y []float64, phase1 bool) float64 {
+	d := e.reducedCost(j, y, phase1)
+	if e.nbAtUpper(j) {
+		return -d
+	}
+	return d
+}
+
+// priceEnter picks the entering column. Under Devex (the default) every
+// nonbasic column is scored d_j²/γ_j against the reference weights; under
+// partial pricing the Dantzig rule runs inside a rotating window; Bland's
+// rule (first eligible in fixed order, required for anti-cycling) takes over
+// after the stall threshold or a long degenerate streak.
 func (e *revEngine) priceEnter(y []float64, bland, phase1 bool) int {
 	total := e.nTotal
 	if bland {
 		for j := 0; j < total; j++ {
-			if !e.inBasis[j] && e.reducedCost(j, y, phase1) < -eps {
+			if !e.inBasis[j] && e.effCost(j, y, phase1) < -eps {
 				return j
 			}
 		}
 		return -1
+	}
+	if e.devex != nil {
+		best, bestJ := 0.0, -1
+		for j := 0; j < total; j++ {
+			if e.inBasis[j] {
+				continue
+			}
+			d := e.effCost(j, y, phase1)
+			if d >= -eps {
+				continue
+			}
+			if score := d * d / e.devex[j]; score > best {
+				best, bestJ = score, j
+			}
+		}
+		return bestJ
 	}
 	seg := total / 8
 	if seg < 64 {
@@ -267,7 +453,7 @@ func (e *revEngine) priceEnter(y []float64, bland, phase1 bool) int {
 			if e.inBasis[j] {
 				continue
 			}
-			if d := e.reducedCost(j, y, phase1); d < best {
+			if d := e.effCost(j, y, phase1); d < best {
 				best, bestJ = d, j
 			}
 		}
@@ -284,32 +470,76 @@ func (e *revEngine) priceEnter(y []float64, bland, phase1 bool) int {
 	return bestJ
 }
 
-// applyPivot replaces basis position leave with column enter, moving the
-// basic values along the entering direction w by step theta, and records the
-// eta (refreshing factors when the eta file has grown enough).
+// boundFlip moves the entering column across to its opposite bound without a
+// pivot: the basic values shift by the full bound range along the entering
+// direction and the nonbasic state toggles. The objective strictly improves
+// (|d|·u > 0), so flips can never cycle.
+func (e *revEngine) boundFlip(enter int, s float64, w []float64) {
+	delta := s * e.ub[enter]
+	for i := range e.xB {
+		e.xB[i] -= delta * w[i]
+	}
+	e.atUpper[enter] = !e.atUpper[enter]
+	e.iterations++
+	e.degenStreak = 0
+}
+
+// applyPivot is the bounds-oblivious pivot used where the entering column is
+// known to move from zero and the leaving one lands at zero (artificial
+// drive-out): step and value coincide.
 func (e *revEngine) applyPivot(enter, leave int, theta float64, w []float64) bool {
-	if theta != 0 {
+	return e.applyPivotB(enter, leave, theta, theta, w, false)
+}
+
+// applyPivotB replaces basis position leave with column enter. delta is the
+// entering column's signed displacement from its current bound (negative when
+// it descends from its upper bound), enterVal its resulting value, and
+// leaveToUpper tells which bound the leaving variable lands on. Devex weights
+// absorb the pivot before the factors do, the eta is recorded, and the
+// degenerate-streak counter feeds the early-Bland anti-cycling switch.
+func (e *revEngine) applyPivotB(enter, leave int, delta, enterVal float64, w []float64, leaveToUpper bool) bool {
+	e.devexUpdate(enter, leave, w)
+	if delta != 0 {
 		for i := range e.xB {
-			e.xB[i] -= theta * w[i]
+			e.xB[i] -= delta * w[i]
 		}
 	}
-	e.xB[leave] = theta
+	e.xB[leave] = enterVal
 	if old := e.basis[leave]; old < e.nTotal {
 		e.inBasis[old] = false
+		if e.hasUB && old < e.n {
+			e.atUpper[old] = leaveToUpper
+		}
 	}
 	e.basis[leave] = enter
 	e.inBasis[enter] = true
+	if e.hasUB && enter < e.n {
+		e.atUpper[enter] = false
+	}
 	e.factor.push(leave, w)
 	e.iterations++
 	e.pivots++
+	if delta > 1e-12 || delta < -1e-12 {
+		e.degenStreak = 0
+	} else {
+		e.degenStreak++
+	}
 	if e.factor.needRefresh(e.m) {
 		return e.refresh()
 	}
 	return true
 }
 
+// degenCap is the degenerate-streak length that switches pricing to Bland's
+// rule even before the stall threshold: a streak this long is the signature
+// of a cycling (or near-cycling) degenerate vertex.
+func (e *revEngine) degenCap() int {
+	return 500 + (e.m+e.nTotal)/2
+}
+
 // maxInfeas returns the largest primal infeasibility: negative basic values,
-// plus any artificial's distance from zero.
+// basic values above their upper bound, plus any artificial's distance from
+// zero.
 func (e *revEngine) maxInfeas() float64 {
 	worst := 0.0
 	for i, c := range e.basis {
@@ -321,20 +551,72 @@ func (e *revEngine) maxInfeas() float64 {
 			if v > worst {
 				worst = v
 			}
-		} else if -v > worst {
+			continue
+		}
+		if -v > worst {
 			worst = -v
+		}
+		if e.hasUB && c < e.n {
+			if over := v - e.ub[c]; over > worst {
+				worst = over
+			}
 		}
 	}
 	return worst
 }
 
+// dualRepairSlots is the largest number of violated basic slots for which a
+// seeded solve tries the dual simplex even without dual feasibility.
+const dualRepairSlots = 8
+
+// dualRepairable reports whether the current seed's primal violations have
+// the shape the dual simplex fixes well even from a dual-infeasible basis: a
+// nonbasic column parked at its upper bound (the only way a mapped seed can
+// overfill a row), and at most dualRepairSlots violated positions, every one
+// a bound overshoot (a basic value below zero or above its upper bound). In
+// that shape the repair is eviction-led — move each overshot basic to its
+// bound — and the dual ratio test finds the compensating column (typically a
+// slack freeing a mis-pinned variable) in one pivot per violation. An
+// artificial sitting above zero means a row is missing structural mass
+// instead; the entering column for that repair should be chosen by reduced
+// cost (primal pricing), which a meaningless dual ratio test cannot do.
+// Returns the violated-slot count when repairable, 0 otherwise.
+func (e *revEngine) dualRepairable() int {
+	if !e.hasUB {
+		return 0
+	}
+	parked := false
+	for j := 0; j < e.n && !parked; j++ {
+		parked = e.atUpper[j] && !e.inBasis[j]
+	}
+	if !parked {
+		return 0
+	}
+	bad := 0
+	for i, c := range e.basis {
+		v := e.xB[i]
+		switch {
+		case c >= e.nTotal && v > feasTol:
+			return 0
+		case v < -feasTol:
+			bad++
+		case c < e.n && e.hasUB && !math.IsInf(e.ub[c], 1) && v > e.ub[c]+feasTol:
+			bad++
+		}
+	}
+	if bad > dualRepairSlots {
+		return 0
+	}
+	return bad
+}
+
 // phase1 runs the composite phase 1: minimize the sum of infeasibilities
-// (negative real basic values, nonzero artificials) from the current basis.
-// The cost vector is rebuilt every iteration from the infeasible set, and the
-// ratio test blocks at every sign change so the piecewise-linear objective
-// stays consistent. Returns Optimal once feasible, Infeasible when no
-// improving column remains, IterationLimit at the cap; ok=false means
-// numerical trouble (caller falls back).
+// (negative real basic values, values above their upper bounds, nonzero
+// artificials) from the current basis. The cost vector is rebuilt every
+// iteration from the infeasible set, and the ratio test blocks at every sign
+// change so the piecewise-linear objective stays consistent. Returns Optimal
+// once feasible, Infeasible when no improving column remains, IterationLimit
+// at the cap; ok=false means numerical trouble (caller falls back).
 func (e *revEngine) phase1() (Status, bool) {
 	total := e.nTotal
 	stall := stallFactor * (e.m + total)
@@ -352,6 +634,8 @@ func (e *revEngine) phase1() (Status, bool) {
 				y[i], any = 1, true
 			case v < -feasTol:
 				y[i], any = -1, true
+			case c < e.n && e.hasUB && v > e.ub[c]+feasTol:
+				y[i], any = 1, true
 			default:
 				y[i] = 0
 			}
@@ -360,7 +644,8 @@ func (e *revEngine) phase1() (Status, bool) {
 			return Optimal, true
 		}
 		e.factor.btran(y)
-		enter := e.priceEnter(y, it >= stall, true)
+		bland := it >= stall || e.degenStreak >= e.degenCap()
+		enter := e.priceEnter(y, bland, true)
 		if enter < 0 {
 			if e.factor.dirty() {
 				if !e.refresh() {
@@ -370,9 +655,17 @@ func (e *revEngine) phase1() (Status, bool) {
 			}
 			return Infeasible, true
 		}
-		dEnter := e.reducedCost(enter, y, true)
+		dEnter := e.effCost(enter, y, true)
+		s := 1.0
+		if e.nbAtUpper(enter) {
+			s = -1
+		}
 		w := e.ftranCol(enter)
-		leave, theta := e.phase1Ratio(w, dEnter, it >= stall)
+		leave, theta, toUpper := e.phase1Ratio(w, s, dEnter, e.colUB(enter), bland)
+		if leave == flipLeave {
+			e.boundFlip(enter, s, w)
+			continue
+		}
 		if leave < 0 {
 			// A convex objective bounded below always has a breakpoint;
 			// reaching here means the numerics went bad.
@@ -393,7 +686,12 @@ func (e *revEngine) phase1() (Status, bool) {
 			}
 			return 0, false
 		}
-		if !e.applyPivot(enter, leave, theta, w) {
+		base := 0.0
+		if e.nbAtUpper(enter) {
+			base = e.ub[enter]
+		}
+		delta := s * theta
+		if !e.applyPivotB(enter, leave, delta, base+delta, w, toUpper) {
 			return 0, false
 		}
 	}
@@ -401,92 +699,129 @@ func (e *revEngine) phase1() (Status, bool) {
 }
 
 // phase1Bp is one breakpoint of the piecewise-linear phase-1 objective
-// along the entering direction: basis position i crosses zero at step theta,
-// increasing the directional derivative by delta.
+// along the entering direction: basis position i crosses a bound at step
+// theta, increasing the directional derivative by delta; up marks an
+// upper-bound crossing (the leaving variable lands at its upper bound).
 type phase1Bp struct {
 	i     int
 	theta float64
 	delta float64
+	up    bool
 }
 
 // phase1Ratio runs the long-step (piecewise-linear) ratio test of the
-// composite phase 1: starting from the entering column's reduced cost
-// dEnter (the initial directional derivative, negative), it walks the
-// breakpoints — infeasible basic values reaching zero, feasible ones going
-// negative, artificials crossing or leaving zero — in step order,
-// accumulating each crossing's slope contribution, and pivots at the
-// breakpoint where the derivative turns nonnegative. Passing breakpoints
-// instead of blocking at the first one is what makes repairing a heavily
-// churned seed cost a handful of pivots rather than one per violated row.
-// Under Bland's rule it degrades to the blocking short step for anti-cycling.
-func (e *revEngine) phase1Ratio(w []float64, dEnter float64, bland bool) (int, float64) {
-	bps := e.phase1Breakpoints(w)
+// composite phase 1: starting from the entering column's effective reduced
+// cost dEnter (the initial directional derivative, negative), it walks the
+// breakpoints — infeasible basic values reaching their violated bound,
+// feasible ones going negative or crossing their upper bound, artificials
+// crossing or leaving zero — in step order, accumulating each crossing's
+// slope contribution, and pivots at the breakpoint where the derivative
+// turns nonnegative. Passing breakpoints instead of blocking at the first
+// one is what makes repairing a heavily churned seed cost a handful of
+// pivots rather than one per violated row. A step that would pass the
+// entering column's own bound range uEnter becomes a bound flip (flipLeave).
+// Under Bland's rule it degrades to the blocking short step for
+// anti-cycling.
+func (e *revEngine) phase1Ratio(w []float64, s, dEnter, uEnter float64, bland bool) (int, float64, bool) {
+	bps := e.phase1Breakpoints(w, s)
 	if len(bps) == 0 {
-		return -1, 0
+		if !math.IsInf(uEnter, 1) {
+			return flipLeave, uEnter, false
+		}
+		return -1, 0, false
 	}
 	if bland {
-		leave, best := -1, 0.0
-		for _, b := range bps {
-			if leave < 0 || b.theta < best-eps ||
-				(b.theta < best+eps && e.basis[b.i] < e.basis[leave]) {
-				leave, best = b.i, b.theta
+		best := -1
+		for k, b := range bps {
+			if best < 0 || b.theta < bps[best].theta-eps ||
+				(b.theta < bps[best].theta+eps && e.basis[b.i] < e.basis[bps[best].i]) {
+				best = k
 			}
 		}
-		return leave, best
+		if !math.IsInf(uEnter, 1) && bps[best].theta > uEnter+eps {
+			return flipLeave, uEnter, false
+		}
+		return bps[best].i, bps[best].theta, bps[best].up
 	}
 	sortBreakpoints(bps)
-	s := dEnter
+	sl := dEnter
 	stop := len(bps) - 1
 	for k, b := range bps {
-		s += b.delta
-		if s >= -1e-12 {
+		sl += b.delta
+		if sl >= -1e-12 {
 			stop = k
 			break
 		}
 	}
 	// Among breakpoints at (numerically) the same step, pivot on the
 	// largest-magnitude entry for stability.
-	leave, best := bps[stop].i, bps[stop].theta
+	best := bps[stop]
 	for _, b := range bps {
-		if math.Abs(b.theta-best) <= eps && math.Abs(w[b.i]) > math.Abs(w[leave]) {
-			leave = b.i
+		if math.Abs(b.theta-best.theta) <= eps && math.Abs(w[b.i]) > math.Abs(w[best.i]) {
+			best = b
 		}
 	}
-	return leave, best
+	if !math.IsInf(uEnter, 1) && best.theta > uEnter+eps {
+		return flipLeave, uEnter, false
+	}
+	return best.i, best.theta, best.up
 }
 
-// phase1Breakpoints collects the zero crossings of the basic values along
-// the entering direction, with each crossing's slope increase.
-func (e *revEngine) phase1Breakpoints(w []float64) []phase1Bp {
+// phase1Breakpoints collects the bound crossings of the basic values along
+// the entering direction (xB[i](t) = xB[i] - t·r_i with r_i = s·w[i]), with
+// each crossing's slope increase. An infeasible value contributes two
+// breakpoints when the direction carries it across the whole feasible band
+// and out the other side.
+func (e *revEngine) phase1Breakpoints(w []float64, s float64) []phase1Bp {
 	var bps []phase1Bp
 	for i, c := range e.basis {
-		v, wi := e.xB[i], w[i]
-		art := c >= e.nTotal
+		v, r := e.xB[i], s*w[i]
+		if c >= e.nTotal {
+			switch {
+			case v > feasTol:
+				if r > eps {
+					bps = append(bps, phase1Bp{i, v / r, 2 * r, false})
+				}
+			case v < -feasTol:
+				if r < -eps {
+					bps = append(bps, phase1Bp{i, v / r, -2 * r, false})
+				}
+			default:
+				if r > eps {
+					bps = append(bps, phase1Bp{i, 0, r, false})
+				} else if r < -eps {
+					bps = append(bps, phase1Bp{i, 0, -r, false})
+				}
+			}
+			continue
+		}
+		u := e.colUB(c)
 		switch {
-		case art && v > feasTol:
-			if wi > eps {
-				bps = append(bps, phase1Bp{i, v / wi, 2 * wi})
-			}
-		case art && v < -feasTol:
-			if wi < -eps {
-				bps = append(bps, phase1Bp{i, v / wi, -2 * wi})
-			}
-		case art:
-			if wi > eps {
-				bps = append(bps, phase1Bp{i, 0, wi})
-			} else if wi < -eps {
-				bps = append(bps, phase1Bp{i, 0, -wi})
-			}
 		case v < -feasTol:
-			if wi < -eps {
-				bps = append(bps, phase1Bp{i, v / wi, -wi})
+			if r < -eps {
+				bps = append(bps, phase1Bp{i, v / r, -r, false})
+				if !math.IsInf(u, 1) {
+					bps = append(bps, phase1Bp{i, (v - u) / r, -r, true})
+				}
+			}
+		case !math.IsInf(u, 1) && v > u+feasTol:
+			if r > eps {
+				bps = append(bps, phase1Bp{i, (v - u) / r, r, true})
+				bps = append(bps, phase1Bp{i, v / r, r, false})
 			}
 		default:
-			if wi > eps {
-				if v < 0 {
-					v = 0
+			if r > eps {
+				vv := v
+				if vv < 0 {
+					vv = 0
 				}
-				bps = append(bps, phase1Bp{i, v / wi, wi})
+				bps = append(bps, phase1Bp{i, vv / r, r, false})
+			} else if r < -eps && !math.IsInf(u, 1) {
+				room := u - v
+				if room < 0 {
+					room = 0
+				}
+				bps = append(bps, phase1Bp{i, room / (-r), -r, true})
 			}
 		}
 	}
@@ -514,7 +849,9 @@ func (e *revEngine) better(i int, theta float64, leave int, best float64, w []fl
 }
 
 // phase2 runs primal simplex on the real objective from the current
-// (feasible) basis. Basic artificials are held at zero by the ratio test.
+// (feasible) basis. Basic artificials are held at zero by the ratio test;
+// basic values block at both their bounds, and a step blocked first by the
+// entering column's own bound becomes a flip.
 func (e *revEngine) phase2() (Status, bool) {
 	total := e.nTotal
 	stall := stallFactor * (e.m + total)
@@ -532,12 +869,21 @@ func (e *revEngine) phase2() (Status, bool) {
 			}
 		}
 		e.factor.btran(y)
-		enter := e.priceEnter(y, it >= stall, false)
+		bland := it >= stall || e.degenStreak >= e.degenCap()
+		enter := e.priceEnter(y, bland, false)
 		if enter < 0 {
 			return Optimal, true
 		}
+		s := 1.0
+		if e.nbAtUpper(enter) {
+			s = -1
+		}
 		w := e.ftranCol(enter)
-		leave, theta := e.phase2Ratio(w, it >= stall)
+		leave, theta, toUpper := e.phase2Ratio(w, s, e.colUB(enter), bland)
+		if leave == flipLeave {
+			e.boundFlip(enter, s, w)
+			continue
+		}
 		if leave < 0 {
 			return Unbounded, true
 		}
@@ -550,33 +896,53 @@ func (e *revEngine) phase2() (Status, bool) {
 			}
 			return 0, false
 		}
-		if !e.applyPivot(enter, leave, theta, w) {
+		base := 0.0
+		if e.nbAtUpper(enter) {
+			base = e.ub[enter]
+		}
+		delta := s * theta
+		if !e.applyPivotB(enter, leave, delta, base+delta, w, toUpper) {
 			return 0, false
 		}
 	}
 	return IterationLimit, true
 }
 
-// phase2Ratio is the standard primal ratio test, with basic artificials
-// blocking at zero (they may pivot out on a degenerate step but never move).
-func (e *revEngine) phase2Ratio(w []float64, bland bool) (int, float64) {
+// phase2Ratio is the primal ratio test with bounds: basic artificials block
+// at zero (they may pivot out on a degenerate step but never move), real
+// basic values block where they would go negative or cross their upper
+// bound, and the entering column's own bound range uEnter caps the step
+// (flipLeave when it binds first).
+func (e *revEngine) phase2Ratio(w []float64, s, uEnter float64, bland bool) (int, float64, bool) {
 	leave, best := -1, 0.0
+	var toUpper bool
 	for i, c := range e.basis {
-		v, wi := e.xB[i], w[i]
-		cand, theta := false, 0.0
+		v, r := e.xB[i], s*w[i]
+		cand, theta, up := false, 0.0, false
 		if c >= e.nTotal {
-			if wi > eps || wi < -eps {
+			if r > eps || r < -eps {
 				cand, theta = true, 0
 			}
-		} else if wi > eps {
+		} else if r > eps {
 			if v < 0 {
 				v = 0
 			}
-			cand, theta = true, v/wi
+			cand, theta = true, v/r
+		} else if r < -eps {
+			if u := e.colUB(c); !math.IsInf(u, 1) {
+				room := u - v
+				if room < 0 {
+					room = 0
+				}
+				cand, theta, up = true, room/(-r), true
+			}
 		}
 		if cand && e.better(i, theta, leave, best, w, bland) {
-			leave, best = i, theta
+			leave, best, toUpper = i, theta, up
 		}
+	}
+	if !math.IsInf(uEnter, 1) && (leave < 0 || uEnter < best-eps) {
+		return flipLeave, uEnter, false
 	}
 	if leave == e.protectRow && leave >= 0 {
 		// The polish protects its face row's artificial so the polished
@@ -587,30 +953,40 @@ func (e *revEngine) phase2Ratio(w []float64, bland bool) (int, float64) {
 			if i == e.protectRow {
 				continue
 			}
-			wi := w[i]
+			r := s * w[i]
 			var ok bool
 			if c >= e.nTotal {
-				ok = wi > eps || wi < -eps
-			} else if wi > eps {
+				ok = r > eps || r < -eps
+			} else if r > eps {
 				v := e.xB[i]
 				if v < 0 {
 					v = 0
 				}
-				ok = v/wi <= best+eps
+				ok = v/r <= best+eps
+			} else if r < -eps {
+				if u := e.colUB(c); !math.IsInf(u, 1) {
+					room := u - e.xB[i]
+					if room < 0 {
+						room = 0
+					}
+					ok = room/(-r) <= best+eps
+				}
 			}
-			if ok && math.Abs(wi) > altW {
-				alt, altW = i, math.Abs(wi)
+			if ok && math.Abs(w[i]) > altW {
+				alt, altW = i, math.Abs(w[i])
 			}
 		}
 		if alt >= 0 {
 			leave = alt
+			c := e.basis[alt]
+			toUpper = c < e.nTotal && s*w[alt] < -eps
 		}
 	}
-	return leave, best
+	return leave, best, toUpper
 }
 
-// bestReducedCost returns the most negative phase-2 reduced cost under the
-// current factors (used by the post-optimality verification).
+// bestReducedCost returns the most negative phase-2 effective reduced cost
+// under the current factors (used by the post-optimality verification).
 func (e *revEngine) bestReducedCost() float64 {
 	y := e.wsY
 	for i, c := range e.basis {
@@ -626,7 +1002,7 @@ func (e *revEngine) bestReducedCost() float64 {
 		if e.inBasis[j] {
 			continue
 		}
-		if d := e.reducedCost(j, y, false); d < best {
+		if d := e.effCost(j, y, false); d < best {
 			best = d
 		}
 	}
@@ -634,19 +1010,52 @@ func (e *revEngine) bestReducedCost() float64 {
 }
 
 // optimize drives the current basis to a verified optimum: restore
-// feasibility (composite phase 1) when needed, run phase 2, then refresh the
-// factorization and re-verify feasibility and optimality — eta drift can
-// make a stale optimum only look optimal. A verification failure loops;
-// failure to converge in verifyRounds rounds reports ok=false.
+// feasibility when needed — a seeded basis that kept dual feasibility is
+// repaired by the dual simplex, anything else by the composite phase 1 —
+// then run phase 2, refresh the factorization and re-verify feasibility and
+// optimality (eta drift can make a stale optimum only look optimal). A
+// verification failure loops; failure to converge in verifyRounds rounds
+// reports ok=false.
 func (e *revEngine) optimize() (Status, bool) {
 	for round := 0; round < verifyRounds; round++ {
 		if e.maxInfeas() > feasTol {
-			st, ok := e.phase1()
-			if !ok {
-				return 0, false
+			repaired := false
+			// The dual simplex is the preferred repair for seeded starts. With
+			// a dual-feasible basis it is the textbook move; with only a
+			// handful of violated basic slots it is attempted anyway — a
+			// churned remap often needs exactly one eviction (e.g. the
+			// homogenizing variable of a fractional objective pinned to the
+			// wrong row), which the dual finds directly while the composite
+			// phase 1's greedy pricing can wander across hundreds of columns.
+			// Success is always followed by phase 2, so a dual-infeasible
+			// start costs nothing in correctness, and the stall guard bounds
+			// the damage when the repair goes nowhere.
+			if round == 0 && e.seeded && e.p.resolveDual() == DualOn {
+				budget := 0
+				attempt := e.dualFeasible()
+				if !attempt {
+					if bad := e.dualRepairable(); bad > 0 {
+						attempt, budget = true, 4*bad+8
+					}
+				}
+				if attempt {
+					repaired = e.dualSimplex(budget)
+				}
+				if repaired && e.factor.dirty() {
+					if !e.refresh() {
+						return 0, false
+					}
+					repaired = e.maxInfeas() <= feasTol
+				}
 			}
-			if st != Optimal {
-				return st, true
+			if !repaired && e.maxInfeas() > feasTol {
+				st, ok := e.phase1()
+				if !ok {
+					return 0, false
+				}
+				if st != Optimal {
+					return st, true
+				}
 			}
 		}
 		st, ok := e.phase2()
@@ -722,7 +1131,10 @@ func (e *revEngine) sigmaCost(j int) float64 {
 // degeneracy the set {j : d_j = 0} is basis-dependent, and a walk so
 // restricted can stall at a vertex that is not the face optimum, leaving
 // the result path-dependent — the explicit row makes the restricted LP's
-// unique optimum (generic sigma weights) reachable from every seed. On any
+// unique optimum (generic sigma weights) reachable from every seed. The
+// clone inherits the upper bounds and the nonbasic-at-upper state (a vertex
+// of the bounded polytope is a basis plus a bound assignment, and sigma's
+// positive weights pull flippable columns to their canonical bound). On any
 // numerical trouble the current (already optimal) vertex is kept.
 func (e *revEngine) polishVertex() {
 	objStar := 0.0
@@ -731,8 +1143,15 @@ func (e *revEngine) polishVertex() {
 			objStar += e.obj[c] * e.xB[i]
 		}
 	}
+	if e.hasUB {
+		for j := 0; j < e.n; j++ {
+			if e.atUpper[j] && !e.inBasis[j] {
+				objStar += e.obj[j] * e.ub[j]
+			}
+		}
+	}
 	m2 := e.m + 1
-	e2 := &revEngine{p: e.p, m: m2, n: e.n, nTotal: e.nTotal}
+	e2 := &revEngine{p: e.p, m: m2, n: e.n, nTotal: e.nTotal, arena: e.arena}
 	e2.cols = make([][]colEntry, e.nTotal)
 	for j := 0; j < e.nTotal; j++ {
 		col := e.cols[j]
@@ -757,6 +1176,11 @@ func (e *revEngine) polishVertex() {
 	e2.wsY = make([]float64, m2)
 	e2.wsW = make([]float64, m2)
 	e2.wsZ = make([]float64, m2)
+	e2.hasUB = e.hasUB
+	e2.ub = e.ub
+	if e.hasUB {
+		e2.atUpper = append([]bool(nil), e.atUpper...)
+	}
 	e2.protectRow = e.m
 	if !e2.refresh() {
 		return
@@ -780,30 +1204,60 @@ func (e *revEngine) polishVertex() {
 	e.iterations += e2.iterations
 	e.pivots += e2.pivots
 	e.polished = true
-	if faceArt := e.nTotal + e.m; e2.basis[e.m] != faceArt && math.Abs(e2.xB[e.m]) <= feasTol {
+	if faceArt := e.nTotal + e.m; e2.basis[e.m] != faceArt {
 		// Degenerate sigma pivots (dual-feasibility proof steps) evict the
 		// face artificial while leaving x untouched; its value — the slack
-		// of obj·x = obj* — is still zero, so pivot it straight back. This
-		// restores the exact-basis case below, which is what lets the next
-		// warm start skip the polish outright.
+		// of obj·x = obj* — is still zero, so pivot it straight back. The
+		// incumbent in the face slot need not be at zero (a bound-flipping
+		// entry can park a column there at its upper bound), so scan every
+		// slot whose incumbent rests at a bound: pivoting the artificial
+		// onto any such slot k with w[k] != 0 keeps the basis invertible and
+		// leaves x untouched, and a swap then moves it into the face slot.
+		// This restores the exact-basis case below, which is what lets the
+		// next warm start skip the polish outright.
 		w := e2.wsW
 		for i := range w {
 			w[i] = 0
 		}
 		w[e.m] = 1
 		e2.factor.ftran(w)
-		if math.Abs(w[e.m]) > pivotTol {
-			if old := e2.basis[e.m]; old < e2.nTotal {
-				e2.inBasis[old] = false
+		k, kw, kUpper := -1, pivotTol, false
+		for i, c := range e2.basis {
+			aw := math.Abs(w[i])
+			if aw <= kw {
+				continue
 			}
-			theta := e2.xB[e.m] / w[e.m]
+			switch {
+			case math.Abs(e2.xB[i]) <= feasTol:
+				k, kw, kUpper = i, aw, false
+			case e2.hasUB && c < e2.n && !math.IsInf(e2.ub[c], 1) &&
+				math.Abs(e2.ub[c]-e2.xB[i]) <= feasTol:
+				k, kw, kUpper = i, aw, true
+			}
+		}
+		if k >= 0 {
+			old := e2.basis[k]
+			target := 0.0
+			if old < e2.nTotal {
+				e2.inBasis[old] = false
+				if kUpper {
+					e2.atUpper[old] = true
+					target = e2.ub[old]
+				}
+			}
+			theta := (e2.xB[k] - target) / w[k]
 			for i := range e2.xB {
 				e2.xB[i] -= theta * w[i]
 			}
-			e2.xB[e.m] = theta
-			e2.basis[e.m] = faceArt
-			e2.factor.push(e.m, w)
+			e2.xB[k] = theta
+			e2.basis[k] = faceArt
 			e2.pivots++
+			if k != e.m {
+				e2.basis[k], e2.basis[e.m] = e2.basis[e.m], e2.basis[k]
+				e2.xB[k], e2.xB[e.m] = e2.xB[e.m], e2.xB[k]
+			}
+			// e2's factorization is stale after the swap; the adoption path
+			// below refactorizes e from scratch before trusting anything.
 		}
 	}
 	if e2.basis[e.m] == e.nTotal+e.m {
@@ -818,6 +1272,9 @@ func (e *revEngine) polishVertex() {
 		copy(e.basis, e2.basis[:e.m])
 		copy(e.inBasis, e2.inBasis)
 		copy(e.xB, e2.xB[:e.m])
+		if e.hasUB {
+			copy(e.atUpper, e2.atUpper)
+		}
 		if !e.refresh() {
 			return
 		}
@@ -832,6 +1289,11 @@ func (e *revEngine) polishVertex() {
 	// taken from the extended basis directly, so the reported allocation is
 	// canonical regardless.
 	x := make([]float64, e.n)
+	for j := 0; j < e.n; j++ {
+		if e2.nbAtUpper(j) {
+			x[j] = e2.ub[j]
+		}
+	}
 	for i, c := range e2.basis {
 		if c < e.n {
 			x[c] = e2.xB[i]
@@ -839,13 +1301,19 @@ func (e *revEngine) polishVertex() {
 	}
 	e.polishedX = x
 	copy(e.basis, e2.basis[:e.m])
+	copy(e.inBasis, e2.inBasis)
 	copy(e.xB, e2.xB[:e.m])
+	if e.hasUB {
+		copy(e.atUpper, e2.atUpper)
+	}
 }
 
 // driveOutArtificials pivots zero-valued basic artificials onto real columns
 // where possible (a degenerate pivot), so the snapshot basis stays portable;
 // rows whose artificial cannot move host a truly redundant constraint and
-// snapshot as -1, exactly like the dense path's dropped rows.
+// snapshot as -1, exactly like the dense path's dropped rows. Columns
+// resting at their upper bound are not candidates: a zero-step entry would
+// teleport them to zero.
 func (e *revEngine) driveOutArtificials() bool {
 	for i, c := range e.basis {
 		if c < e.nTotal {
@@ -859,7 +1327,7 @@ func (e *revEngine) driveOutArtificials() bool {
 		e.factor.btran(rho)
 		enter := -1
 		for j := 0; j < e.nTotal && enter < 0; j++ {
-			if e.inBasis[j] {
+			if e.inBasis[j] || e.nbAtUpper(j) {
 				continue
 			}
 			var a float64
@@ -896,6 +1364,11 @@ func (e *revEngine) finish(warm, remapped bool) *Result {
 			}
 		}
 	} else {
+		for j := 0; j < e.n; j++ {
+			if e.nbAtUpper(j) {
+				x[j] = e.ub[j]
+			}
+		}
 		for i, c := range e.basis {
 			if c < e.n {
 				v := e.xB[i]
@@ -920,16 +1393,27 @@ func (e *revEngine) finish(warm, remapped bool) *Result {
 	}
 	snap := p.snapshotBasis(e.ops, cols)
 	snap.polished = e.snapPolished
+	if e.hasUB {
+		for j := 0; j < e.n; j++ {
+			if e.atUpper[j] && !e.inBasis[j] {
+				snap.atUpper = append(snap.atUpper, j)
+			}
+		}
+	}
 	return &Result{
 		Status: Optimal, X: x, Objective: obj,
 		Iterations: e.iterations, Pivots: e.pivots,
-		Basis: snap, WarmStarted: warm, Remapped: remapped,
+		DualIterations: e.dualIters,
+		Basis:          snap, WarmStarted: warm, Remapped: remapped,
 	}
 }
 
 // statusResult wraps a non-optimal terminal status.
 func (e *revEngine) statusResult(st Status, warm, remapped bool) *Result {
-	return &Result{Status: st, Iterations: e.iterations, Pivots: e.pivots, WarmStarted: warm, Remapped: remapped}
+	return &Result{
+		Status: st, Iterations: e.iterations, Pivots: e.pivots,
+		DualIterations: e.dualIters, WarmStarted: warm, Remapped: remapped,
+	}
 }
 
 // solveCold runs the two-phase revised simplex from the slack/artificial
@@ -964,7 +1448,9 @@ func (e *revEngine) solveCold() (*Result, bool) {
 }
 
 // solveSeeded runs from a same-shape previous basis (the positional warm
-// start). ok=false means the seed was unusable; the caller retries cold.
+// start), restoring the seed's nonbasic-at-upper assignment where the bounds
+// still allow it. ok=false means the seed was unusable; the caller retries
+// cold.
 func (e *revEngine) solveSeeded(prev *Basis) (*Result, bool) {
 	for _, c := range prev.cols {
 		if c < 0 || c >= e.nTotal {
@@ -976,12 +1462,18 @@ func (e *revEngine) solveSeeded(prev *Basis) (*Result, bool) {
 		e.inBasis[c] = true
 	}
 	e.seedCanonical = prev.polished
+	e.seeded = true
+	if e.hasUB {
+		for _, j := range prev.atUpper {
+			if j >= 0 && j < e.n && !e.inBasis[j] && !math.IsInf(e.ub[j], 1) {
+				e.atUpper[j] = true
+			}
+		}
+	}
 	if !e.factorize(false) {
 		return nil, false
 	}
-	copy(e.wsW, e.rhs)
-	e.factor.ftran(e.wsW)
-	copy(e.xB, e.wsW)
+	e.computeXB()
 	st, ok := e.optimize()
 	if !ok || st == IterationLimit {
 		return nil, false
@@ -996,8 +1488,11 @@ func (e *revEngine) solveSeeded(prev *Basis) (*Result, bool) {
 // slacks and structural columns are pinned to their old host rows, loose
 // columns take any free row (the factorization orders pivots itself),
 // uncovered rows take their own slack or an artificial, and dependent
-// columns are repaired away during factorization. Feasibility lost to the
-// churn is restored by the composite phase 1. ok=false retries cold.
+// columns are repaired away during factorization. Surviving at-upper
+// assignments are restored before the basic values are computed.
+// Feasibility lost to the churn is restored by the composite phase 1 (or
+// the dual simplex when the seed stayed dual feasible). ok=false retries
+// cold.
 func (e *revEngine) solveMapped(mb *MappedBasis) (*Result, bool) {
 	rowAt := make(map[string]int, e.m)
 	for i, c := range e.p.cons {
@@ -1060,12 +1555,18 @@ func (e *revEngine) solveMapped(mb *MappedBasis) (*Result, bool) {
 			e.basis[i] = e.nTotal + i
 		}
 	}
+	e.seeded = true
 	if !e.factorize(true) {
 		return nil, false
 	}
-	copy(e.wsW, e.rhs)
-	e.factor.ftran(e.wsW)
-	copy(e.xB, e.wsW)
+	if e.hasUB {
+		for _, j := range mb.uppers {
+			if j >= 0 && j < e.n && !e.inBasis[j] && !math.IsInf(e.ub[j], 1) {
+				e.atUpper[j] = true
+			}
+		}
+	}
+	e.computeXB()
 	st, ok := e.optimize()
 	if !ok || st == IterationLimit {
 		return nil, false
@@ -1089,7 +1590,7 @@ func (p *Problem) solveRevised(prev *Basis, mapped *MappedBasis) (*Result, bool)
 			return res, true
 		}
 		e, _ = newRevEngine(p)
-	} else if mapped != nil && mapped.numVars == e.n && len(mapped.cands) > 0 {
+	} else if mapped != nil && mapped.numVars == e.n && (len(mapped.cands) > 0 || len(mapped.uppers) > 0) {
 		if res, ok := e.solveMapped(mapped); ok {
 			return res, true
 		}

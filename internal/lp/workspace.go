@@ -1,0 +1,134 @@
+package lp
+
+import "gavel/internal/linalg"
+
+// Workspace is a reusable scratch arena for the revised simplex engine.
+// Attach one to a Problem with SetWorkspace; every per-solve vector — the
+// FTRAN/BTRAN images, basic-value and pricing-weight arrays, the CSC column
+// slabs, and the sparse-LU factorization scratch — is then carved from the
+// arena instead of allocated, so a caller that solves in a loop (SolveContext,
+// the simulator's reset path) performs near-zero allocation per solve.
+//
+// Buffers grow monotonically to the largest problem seen and are reused
+// verbatim afterwards. A Workspace is not safe for concurrent solves; each
+// solve context owns one.
+type Workspace struct {
+	lin linalg.Scratch
+
+	f64   [][]float64 // named float64 buffers, by slot
+	ints  [][]int
+	bools [][]bool
+	ops   []Op
+
+	colSlab   []colEntry // CSC entries for structural + slack columns
+	colHdr    [][]colEntry
+	colCounts []int
+	spCols    []linalg.SparseCol
+	spRows    []int
+	spVals    []float64
+}
+
+// Buffer slots. Each engine buffer has a fixed slot so two live engines never
+// alias (the engine and its polish clone use disjoint arenas: the clone
+// allocates plainly).
+const (
+	wsF64Y = iota
+	wsF64W
+	wsF64Z
+	wsF64XB
+	wsF64RHS
+	wsF64Obj
+	wsF64UB
+	wsF64Devex
+	wsF64Scratch
+	wsF64Count
+)
+
+const (
+	wsIntBasis = iota
+	wsIntSlackOf
+	wsIntColCount
+	wsIntCount
+)
+
+const (
+	wsBoolInBasis = iota
+	wsBoolAtUpper
+	wsBoolCount
+)
+
+func (ws *Workspace) floats(slot, n int) []float64 {
+	if ws.f64 == nil {
+		ws.f64 = make([][]float64, wsF64Count)
+	}
+	b := ws.f64[slot]
+	if cap(b) < n {
+		b = make([]float64, n)
+	}
+	b = b[:n]
+	ws.f64[slot] = b
+	return b
+}
+
+func (ws *Workspace) intsBuf(slot, n int) []int {
+	if ws.ints == nil {
+		ws.ints = make([][]int, wsIntCount)
+	}
+	b := ws.ints[slot]
+	if cap(b) < n {
+		b = make([]int, n)
+	}
+	b = b[:n]
+	ws.ints[slot] = b
+	return b
+}
+
+func (ws *Workspace) boolsBuf(slot, n int) []bool {
+	if ws.bools == nil {
+		ws.bools = make([][]bool, wsBoolCount)
+	}
+	b := ws.bools[slot]
+	if cap(b) < n {
+		b = make([]bool, n)
+	}
+	b = b[:n]
+	ws.bools[slot] = b
+	return b
+}
+
+func (ws *Workspace) opsBuf(n int) []Op {
+	if cap(ws.ops) < n {
+		ws.ops = make([]Op, n)
+	}
+	ws.ops = ws.ops[:n]
+	return ws.ops
+}
+
+// colHeaders returns the CSC column-header slice (n column slots).
+func (ws *Workspace) colHeaders(n int) [][]colEntry {
+	if cap(ws.colHdr) < n {
+		ws.colHdr = make([][]colEntry, n)
+	}
+	return ws.colHdr[:n]
+}
+
+// colEntries returns a slab with capacity for n CSC entries, length 0.
+func (ws *Workspace) colEntries(n int) []colEntry {
+	if cap(ws.colSlab) < n {
+		ws.colSlab = make([]colEntry, 0, n)
+	}
+	return ws.colSlab[:0]
+}
+
+// sparseCols returns headers and row/val slabs for a basis factorization
+// with m columns and at most nnz entries.
+func (ws *Workspace) sparseCols(m, nnz int) ([]linalg.SparseCol, []int, []float64) {
+	if cap(ws.spCols) < m {
+		ws.spCols = make([]linalg.SparseCol, m)
+	}
+	if cap(ws.spRows) < nnz {
+		ws.spRows = make([]int, nnz)
+		ws.spVals = make([]float64, nnz)
+	}
+	return ws.spCols[:m], ws.spRows[:nnz], ws.spVals[:nnz]
+}

@@ -37,6 +37,20 @@ type SolveContext struct {
 	// lp.Dense (the tableau oracle), or lp.EngineAuto (the default) to
 	// follow lp.DefaultEngine.
 	Engine lp.Engine
+	// Pricing selects the entering-column rule for every LP issued through
+	// this context: lp.Devex, lp.PartialPricing, or lp.PricingAuto (the
+	// default) to follow lp.DefaultPricing (GAVEL_LP_PRICING).
+	Pricing lp.Pricing
+	// Dual selects whether seeded solves may repair primal infeasibility
+	// with the dual simplex: lp.DualOn, lp.DualOff, or lp.DualAuto (the
+	// default) to follow lp.DefaultDual (GAVEL_LP_DUAL).
+	Dual lp.DualMode
+
+	// ws is the lazily created scratch arena shared by every revised-engine
+	// solve issued through this context, eliminating per-solve allocation of
+	// the engine's working vectors. Solves through a context are serial, so
+	// one arena suffices.
+	ws *lp.Workspace
 }
 
 // cachedBasis pairs a cached simplex basis with the column identities of the
@@ -59,6 +73,23 @@ type SolveStats struct {
 	RevisedSolves int // solves completed by the sparse revised engine
 	DenseSolves   int // solves completed by the dense tableau
 	Fallbacks     int // revised-engine solves that fell back to dense
+
+	PresolveReductions int // presolve row/column/bound reductions across all solves
+	DualIterations     int // dual-simplex repair iterations across all solves
+
+	// Labels breaks Iterations/DualIterations/PresolveReductions down by the
+	// policy-chosen solve label, so multi-LP policies (e.g. the fairness
+	// binary search plus its refine pass) can be attributed separately. Keys
+	// are the labels passed to Solve/SolveFractional.
+	Labels map[string]LabelStats
+}
+
+// LabelStats is the per-label slice of SolveStats.
+type LabelStats struct {
+	Solves             int
+	Iterations         int
+	DualIterations     int
+	PresolveReductions int
 }
 
 // NewSolveContext returns an empty context.
@@ -142,10 +173,39 @@ func (c *SolveContext) record(key string, ids []lp.ColumnID, res *lp.Result) {
 	}
 	c.Stats.Iterations += res.Iterations
 	c.Stats.Pivots += res.Pivots
+	c.recordCounters(key, res)
 	c.recordEngine(res)
 	if res.Status == lp.Optimal && res.Basis != nil {
 		c.bases[key] = &cachedBasis{basis: res.Basis, ids: ids}
 	}
+}
+
+// recordCounters folds the presolve/dual accounting of one result into the
+// aggregate and per-label stats.
+func (c *SolveContext) recordCounters(key string, res *lp.Result) {
+	c.Stats.PresolveReductions += res.PresolveReductions
+	c.Stats.DualIterations += res.DualIterations
+	if c.Stats.Labels == nil {
+		c.Stats.Labels = map[string]LabelStats{}
+	}
+	ls := c.Stats.Labels[key]
+	ls.Solves++
+	ls.Iterations += res.Iterations
+	ls.DualIterations += res.DualIterations
+	ls.PresolveReductions += res.PresolveReductions
+	c.Stats.Labels[key] = ls
+}
+
+// apply pushes the context's engine/pricing/dual knobs and scratch arena
+// onto a problem about to be solved.
+func (c *SolveContext) apply(p *lp.Problem) {
+	p.SetEngine(c.Engine)
+	p.SetPricing(c.Pricing)
+	p.SetDual(c.Dual)
+	if c.ws == nil {
+		c.ws = &lp.Workspace{}
+	}
+	p.SetWorkspace(c.ws)
 }
 
 // recordEngine buckets a solve by the engine that completed it, counting
@@ -176,7 +236,7 @@ func (c *SolveContext) Solve(key string, p *lp.Problem, ids []lp.ColumnID) (*lp.
 		return p.Solve()
 	}
 	c.Stats.Solves++
-	p.SetEngine(c.Engine)
+	c.apply(p)
 	prev, mapped := c.seed(key, ids, p.NumConstraints())
 	var res *lp.Result
 	var err error
@@ -211,13 +271,14 @@ func (c *SolveContext) SolveCold(p *lp.Problem) (*lp.Result, error) {
 		return p.Solve()
 	}
 	c.Stats.Solves++
-	p.SetEngine(c.Engine)
+	c.apply(p)
 	res, err := p.Solve()
 	if err != nil {
 		return res, err
 	}
 	c.Stats.Iterations += res.Iterations
 	c.Stats.Pivots += res.Pivots
+	c.recordCounters("cold", res)
 	c.recordEngine(res)
 	return res, nil
 }
@@ -233,6 +294,12 @@ func (c *SolveContext) SolveFractional(key string, f *lp.Fractional, ids []lp.Co
 	}
 	c.Stats.Solves++
 	f.Engine = c.Engine
+	f.Pricing = c.Pricing
+	f.Dual = c.Dual
+	if c.ws == nil {
+		c.ws = &lp.Workspace{}
+	}
+	f.Workspace = c.ws
 	var tids []lp.ColumnID
 	if ids != nil {
 		tids = make([]lp.ColumnID, 0, len(ids)+1)

@@ -259,6 +259,9 @@ func runSharded(cfg Config) (*Result, error) {
 			RemappedSolves:    st.Solve.RemapHits,
 			ColdSolves:        cold,
 			SimplexIterations: st.Solve.Iterations,
+
+			PresolveReductions: st.Solve.PresolveReductions,
+			DualIterations:     st.Solve.DualIterations,
 		})
 		res.LPSolves += st.Solve.Solves
 		res.WarmSolves += st.Solve.WarmHits
@@ -267,6 +270,8 @@ func runSharded(cfg Config) (*Result, error) {
 		res.RevisedSolves += st.Solve.RevisedSolves
 		res.DenseSolves += st.Solve.DenseSolves
 		res.EngineFallbacks += st.Solve.Fallbacks
+		res.PresolveReductions += st.Solve.PresolveReductions
+		res.DualIterations += st.Solve.DualIterations
 	}
 
 	for _, st := range states {

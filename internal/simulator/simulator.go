@@ -193,7 +193,13 @@ type Result struct {
 	RevisedSolves   int
 	DenseSolves     int
 	EngineFallbacks int
-	Unfinished      int
+	// PresolveReductions sums rows/columns/bounds removed or tightened by
+	// the LP presolve across all solves; DualIterations counts simplex
+	// pivots taken by the dual-simplex warm-start repair (a subset of
+	// SimplexIterations).
+	PresolveReductions int
+	DualIterations     int
+	Unfinished         int
 	// Sharded-engine accounting (zero values under the monolithic loop):
 	// NumShards echoes the partition count the run used, Migrations counts
 	// jobs moved between shards by rebalancing, Rebalances the rebalance
@@ -219,6 +225,10 @@ type ShardStat struct {
 	RemappedSolves    int
 	ColdSolves        int
 	SimplexIterations int
+	// Presolve/dual accounting for this shard's solves (see the Result
+	// fields of the same names).
+	PresolveReductions int
+	DualIterations     int
 }
 
 // AvgJCT returns the mean JCT in hours over finished jobs, optionally
@@ -442,6 +452,8 @@ func Run(cfg Config) (*Result, error) {
 		res.RevisedSolves = ctx.Stats.RevisedSolves
 		res.DenseSolves = ctx.Stats.DenseSolves
 		res.EngineFallbacks = ctx.Stats.Fallbacks
+		res.PresolveReductions = ctx.Stats.PresolveReductions
+		res.DualIterations = ctx.Stats.DualIterations
 	}
 
 	for _, st := range states {
