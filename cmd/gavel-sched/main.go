@@ -1,42 +1,348 @@
-// gavel-sched is the scheduler daemon for physical deployments: it serves
-// the Gavel control plane (internal/rpc) on a TCP port, accepts a synthetic
-// batch of jobs from the model zoo, and hands out round-based micro-task
-// leases to gavel-worker processes until the batch completes.
+// gavel-sched is the scheduler daemon for physical deployments. It serves
+// the worker lease plane (internal/rpc) on a TCP port and runs in one of two
+// modes:
+//
+//   - Coordinator (-shards addr,addr): the daemon drives remote gavel-shard
+//     processes through the versioned coordinator <-> shard control plane —
+//     round-synchronized allocation, warm-basis rebalance migrations,
+//     periodic recovery snapshots — and leases the merged round assignments
+//     to workers. This is the paper's scheduler architecture as separate
+//     processes: policy on the shards, mechanism merged at the coordinator.
+//   - Standalone (no -shards): the seed's single-process scheduler, leasing
+//     by least attained service.
 //
 // Usage:
 //
 //	gavel-sched -listen :8642 -jobs 8 -round 10
+//	gavel-sched -listen :8642 -shards 127.0.0.1:8650,127.0.0.1:8651 -policy max_min_fairness
 package main
 
 import (
 	"flag"
 	"fmt"
 	"log"
+	"strconv"
+	"strings"
+	"sync"
 	"time"
 
+	"gavel/internal/cluster"
+	"gavel/internal/lp"
+	"gavel/internal/policy"
 	"gavel/internal/rpc"
 	"gavel/internal/workload"
 )
 
 func main() {
 	var (
-		listen = flag.String("listen", "127.0.0.1:8642", "address to serve the control plane on")
+		listen = flag.String("listen", "127.0.0.1:8642", "address to serve the worker lease plane on")
+		shards = flag.String("shards", "", "comma-separated gavel-shard addresses (empty = standalone mode)")
 		jobs   = flag.Int("jobs", 4, "number of synthetic jobs to run")
 		round  = flag.Float64("round", 10, "round duration in seconds")
 		steps  = flag.Float64("steps", 2000, "training steps per job")
+
+		policyName = flag.String("policy", "max_min_fairness", "allocation policy (coordinator mode)")
+		gpus       = flag.String("gpus", "v100:4,p100:4,k80:8", "cluster spec: name:count[:perServer],...")
+		rebalance  = flag.Int("rebalance-every", 10, "rounds between shard rebalances (0 = off)")
+		realloc    = flag.Int("realloc-every", 4, "rounds between forced reallocations (0 = off)")
+		snapshot   = flag.Int("snapshot-every", 1, "rounds between recovery snapshots")
+
+		lpEngine   = flag.String("lp-engine", "", "LP engine: dense|revised (default auto)")
+		lpPricing  = flag.String("lp-pricing", "", "LP pricing: dantzig|devex (default auto)")
+		lpPresolve = flag.String("lp-presolve", "", "LP presolve: on|off (default auto)")
+		lpDual     = flag.String("lp-dual", "", "LP dual warm starts: on|off (default auto)")
 	)
 	flag.Parse()
 
-	sched := rpc.NewScheduler(*round)
-	addr, err := sched.Serve(*listen)
+	if *shards == "" {
+		runStandalone(*listen, *jobs, *round, *steps)
+		return
+	}
+	opts, err := lp.ParseOptions(*lpEngine, *lpPricing, *lpPresolve, *lpDual)
+	if err != nil {
+		log.Fatalf("gavel-sched: %v", err)
+	}
+	cfg := coordinatorConfig{
+		listen:     *listen,
+		shardAddrs: strings.Split(*shards, ","),
+		jobs:       *jobs,
+		round:      *round,
+		steps:      *steps,
+		policy:     *policyName,
+		gpus:       *gpus,
+		rebalance:  *rebalance,
+		realloc:    *realloc,
+		snapshot:   *snapshot,
+		lp:         opts,
+	}
+	if err := runCoordinator(cfg); err != nil {
+		log.Fatalf("gavel-sched: %v", err)
+	}
+}
+
+// parseCluster reads "name:count[:perServer],..." into a cluster spec, with
+// on-demand prices filled from the standard price table.
+func parseCluster(s string) (cluster.Spec, error) {
+	prices := map[string]float64{
+		"v100": cluster.PriceV100, "p100": cluster.PriceP100, "k80": cluster.PriceK80,
+	}
+	var spec cluster.Spec
+	for _, entry := range strings.Split(s, ",") {
+		parts := strings.Split(strings.TrimSpace(entry), ":")
+		if len(parts) < 2 {
+			return spec, fmt.Errorf("bad -gpus entry %q (want name:count[:perServer])", entry)
+		}
+		count, err := strconv.Atoi(parts[1])
+		if err != nil || count <= 0 {
+			return spec, fmt.Errorf("bad device count in -gpus entry %q", entry)
+		}
+		perServer := count
+		if len(parts) > 2 {
+			if perServer, err = strconv.Atoi(parts[2]); err != nil || perServer <= 0 {
+				return spec, fmt.Errorf("bad per-server count in -gpus entry %q", entry)
+			}
+		}
+		spec.Types = append(spec.Types, cluster.AcceleratorType{
+			Name: parts[0], Count: count, PricePerHour: prices[parts[0]], PerServer: perServer,
+		})
+	}
+	return spec, nil
+}
+
+// planSource leases the coordinator's merged round assignments to workers:
+// one queue of job IDs per accelerator type, refilled each round, popped per
+// lease request. It implements rpc.LeaseSource (called under the scheduler's
+// lock; it only takes its own).
+type planSource struct {
+	mu    sync.Mutex
+	queue map[string][]int
+}
+
+func (p *planSource) NextLease(_ int, accType, _ string) []int {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	q := p.queue[accType]
+	if len(q) == 0 {
+		return nil
+	}
+	p.queue[accType] = q[1:]
+	return []int{q[0]}
+}
+
+func (p *planSource) set(plan map[string][]int) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.queue = plan
+}
+
+type coordinatorConfig struct {
+	listen     string
+	shardAddrs []string
+	jobs       int
+	round      float64
+	steps      float64
+	policy     string
+	gpus       string
+	rebalance  int
+	realloc    int
+	snapshot   int
+	lp         lp.Options
+}
+
+// runCoordinator drives remote shard daemons through the control plane and
+// leases the merged assignments to workers, round by round, until the
+// synthetic batch completes.
+func runCoordinator(cfg coordinatorConfig) error {
+	spec, err := parseCluster(cfg.gpus)
+	if err != nil {
+		return err
+	}
+	// Map spec types onto the model zoo's oracle indices for throughput hints.
+	wIdx := make([]int, len(spec.Types))
+	for i, t := range spec.Types {
+		wIdx[i] = -1
+		for j, name := range workload.TypeNames {
+			if name == t.Name {
+				wIdx[i] = j
+			}
+		}
+		if wIdx[i] < 0 {
+			return fmt.Errorf("accelerator type %q has no oracle throughputs (known: %v)", t.Name, workload.TypeNames)
+		}
+	}
+
+	clients := make([]rpc.ShardClient, len(cfg.shardAddrs))
+	for i, addr := range cfg.shardAddrs {
+		c, err := rpc.DialShard(strings.TrimSpace(addr))
+		if err != nil {
+			return fmt.Errorf("shard %s: %w", addr, err)
+		}
+		clients[i] = c
+	}
+	svc, err := rpc.NewService(rpc.ServiceConfig{
+		Cluster: spec,
+		Policy:  rpc.PolicySpec{Name: cfg.policy},
+		LP:      cfg.lp,
+	}, clients)
+	if err != nil {
+		return err
+	}
+	defer svc.Close()
+
+	sched := rpc.NewScheduler(cfg.round)
+	plan := &planSource{}
+	sched.SetLeaseSource(plan)
+	addr, err := sched.Serve(cfg.listen)
+	if err != nil {
+		return err
+	}
+	defer sched.Close()
+	log.Printf("gavel-sched: coordinator mode, protocol v%d, lease plane on %s, %d shards, policy %s, lp[%s]",
+		rpc.ProtocolVersion, addr, len(clients), cfg.policy, cfg.lp.Resolve())
+
+	// Submit the synthetic batch to both planes: leases need specs, shards
+	// need throughput rows over the spec's accelerator types.
+	zoo := workload.Zoo()
+	submitted := time.Now()
+	resident := map[int]bool{}
+	for i := 0; i < cfg.jobs; i++ {
+		model := zoo[(i*7)%len(zoo)]
+		hint := map[string]float64{}
+		tput := make([]float64, len(spec.Types))
+		for t, at := range spec.Types {
+			if workload.Fits(model, wIdx[t]) {
+				hint[at.Name] = workload.Throughput(model, wIdx[t])
+				tput[t] = hint[at.Name]
+			}
+		}
+		sched.Submit(rpc.JobSpec{JobID: i, Name: model.Name(), TotalSteps: cfg.steps, ThroughputHint: hint})
+		shard, err := svc.Admit(i, 1, tput)
+		if err != nil {
+			return fmt.Errorf("admit job %d: %w", i, err)
+		}
+		resident[i] = true
+		log.Printf("gavel-sched: job %d (%s) -> shard %d", i, model.Name(), shard)
+	}
+
+	info := func(id int) policy.JobInfo {
+		return policy.JobInfo{
+			Weight:         1,
+			RemainingSteps: cfg.steps - sched.Steps(id),
+			TotalSteps:     cfg.steps,
+			Elapsed:        time.Since(submitted).Seconds(),
+			ArrivalSeq:     id,
+		}
+	}
+	done := func(id int) bool { return sched.JobDone(id) }
+
+	for r := 0; ; r++ {
+		// Retire completed jobs from the shards.
+		completed := 0
+		for id := range resident {
+			if !sched.JobDone(id) {
+				continue
+			}
+			if err := svc.Remove(id); err != nil {
+				return err
+			}
+			delete(resident, id)
+		}
+		for i := 0; i < cfg.jobs; i++ {
+			if sched.JobDone(i) {
+				completed++
+			}
+		}
+		log.Printf("gavel-sched: round %d, %d/%d jobs complete", r, completed, cfg.jobs)
+		if completed == cfg.jobs {
+			break
+		}
+
+		if cfg.rebalance > 0 && r > 0 && r%cfg.rebalance == 0 {
+			migs, err := svc.Rebalance()
+			if err != nil {
+				return err
+			}
+			for _, m := range migs {
+				log.Printf("gavel-sched: rebalanced job %d: shard %d -> %d (warm basis shipped)", m.Job, m.From, m.To)
+			}
+		}
+		if cfg.realloc > 0 && r > 0 && r%cfg.realloc == 0 {
+			for k := 0; k < svc.NumShards(); k++ {
+				*svc.DirtyFlag(k) = true
+			}
+		}
+
+		if err := svc.AllocateAll(int64(r), info, false); err != nil {
+			return err
+		}
+		perShard, err := svc.AssignRound(int64(r), cfg.round, done)
+		if err != nil {
+			return err
+		}
+		// Merge the shards' assignments into per-type lease queues.
+		queues := map[string][]int{}
+		for k, assigns := range perShard {
+			alloc, ids := svc.Alloc(k)
+			if alloc == nil {
+				continue
+			}
+			for _, a := range assigns {
+				name := spec.Types[a.Type].Name
+				for _, local := range alloc.Units[a.UnitIdx].Jobs {
+					queues[name] = append(queues[name], ids[local])
+				}
+			}
+		}
+		plan.set(queues)
+
+		if cfg.snapshot > 0 && r%cfg.snapshot == 0 {
+			if err := svc.SnapshotAll(); err != nil {
+				return err
+			}
+		}
+		if svc.AnyDown() {
+			migs, err := svc.Recover()
+			if err != nil {
+				return err
+			}
+			log.Printf("gavel-sched: shard daemon lost; recovered %d jobs onto survivors (warm from last snapshot)", len(migs))
+			for _, m := range migs {
+				log.Printf("gavel-sched: recovered job %d: shard %d -> %d", m.Job, m.From, m.To)
+			}
+		}
+
+		time.Sleep(time.Duration(cfg.round * float64(time.Second)))
+	}
+
+	stats, err := svc.Stats()
+	if err != nil {
+		return err
+	}
+	for _, st := range stats {
+		cold := st.Solve.Solves - st.Solve.WarmHits - st.Solve.RemapHits
+		log.Printf("gavel-sched: shard %d: %d admitted, %d in, %d out, solves %d (%d warm, %d remapped, %d cold)",
+			st.Index, st.Admitted, st.MigratedIn, st.MigratedOut,
+			st.Solve.Solves, st.Solve.WarmHits, st.Solve.RemapHits, cold)
+	}
+	log.Printf("gavel-sched: batch complete (%d migrations, %d rebalance passes, %d recoveries)",
+		svc.Migrations(), svc.Rebalances(), svc.Recoveries())
+	return nil
+}
+
+// runStandalone is the single-process mode: the lease plane alone, leasing
+// by least attained service.
+func runStandalone(listen string, jobs int, round, steps float64) {
+	sched := rpc.NewScheduler(round)
+	addr, err := sched.Serve(listen)
 	if err != nil {
 		log.Fatalf("gavel-sched: %v", err)
 	}
 	defer sched.Close()
-	log.Printf("gavel-sched: serving on %s, %d jobs, %gs rounds", addr, *jobs, *round)
+	log.Printf("gavel-sched: standalone mode, protocol v%d, serving on %s, %d jobs, %gs rounds",
+		rpc.ProtocolVersion, addr, jobs, round)
 
 	zoo := workload.Zoo()
-	for i := 0; i < *jobs; i++ {
+	for i := 0; i < jobs; i++ {
 		cfg := zoo[(i*7)%len(zoo)]
 		hint := map[string]float64{}
 		for t, name := range workload.TypeNames {
@@ -47,24 +353,24 @@ func main() {
 		sched.Submit(rpc.JobSpec{
 			JobID:          i,
 			Name:           cfg.Name(),
-			TotalSteps:     *steps,
+			TotalSteps:     steps,
 			ThroughputHint: hint,
 		})
-		log.Printf("gavel-sched: submitted job %d (%s, %.0f steps)", i, cfg.Name(), *steps)
+		log.Printf("gavel-sched: submitted job %d (%s, %.0f steps)", i, cfg.Name(), steps)
 	}
 
 	for {
 		done := 0
-		for i := 0; i < *jobs; i++ {
+		for i := 0; i < jobs; i++ {
 			if sched.JobDone(i) {
 				done++
 			}
 		}
-		fmt.Printf("gavel-sched: %d/%d jobs complete\n", done, *jobs)
-		if done == *jobs {
+		fmt.Printf("gavel-sched: %d/%d jobs complete\n", done, jobs)
+		if done == jobs {
 			log.Printf("gavel-sched: batch complete")
 			return
 		}
-		time.Sleep(time.Duration(*round) * time.Second / 2)
+		time.Sleep(time.Duration(round) * time.Second / 2)
 	}
 }

@@ -1,0 +1,39 @@
+// gavel-shard is the shard daemon of the multi-process cluster service: it
+// serves the coordinator <-> shard control plane (internal/rpc) on a TCP
+// port and runs one partition of the cluster — its own solve context, warm
+// LP bases, throughput cache, and round mechanism. Daemons start bare (OPA
+// bundle-style) and receive their identity from the coordinator's Configure
+// push, so the same binary serves any shard.
+//
+// Usage:
+//
+//	gavel-shard -listen 127.0.0.1:8650
+package main
+
+import (
+	"flag"
+	"log"
+	"os"
+	"os/signal"
+	"syscall"
+
+	"gavel/internal/rpc"
+)
+
+func main() {
+	listen := flag.String("listen", "127.0.0.1:8650", "address to serve the shard control plane on")
+	flag.Parse()
+
+	srv := rpc.NewShardServer()
+	addr, err := srv.Serve(*listen)
+	if err != nil {
+		log.Fatalf("gavel-shard: %v", err)
+	}
+	log.Printf("gavel-shard: protocol v%d, serving on %s, awaiting Configure", rpc.ProtocolVersion, addr)
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	<-sig
+	log.Printf("gavel-shard: shutting down")
+	srv.Close()
+}

@@ -42,7 +42,8 @@ func main() {
 		log.Fatalf("gavel-worker: %v", err)
 	}
 	defer client.Close()
-	log.Printf("gavel-worker: registered as worker %d (%s), %s rounds", client.WorkerID, *accType, client.Round)
+	log.Printf("gavel-worker: protocol v%d, registered as worker %d (%s), %s rounds",
+		rpc.ProtocolVersion, client.WorkerID, *accType, client.Round)
 
 	idle := 0
 	for {

@@ -51,6 +51,7 @@ import (
 	"gavel/internal/estimator"
 	"gavel/internal/lp"
 	"gavel/internal/policy"
+	"gavel/internal/rpc"
 	"gavel/internal/simulator"
 	"gavel/internal/workload"
 )
@@ -97,6 +98,22 @@ type (
 	// ShardRoutePolicy selects how the sharded engine routes arriving jobs
 	// (SimulationConfig.ShardRoute).
 	ShardRoutePolicy = cluster.RoutePolicy
+	// LPOptions bundles every LP solver knob (engine, pricing, presolve,
+	// dual warm starts), resolved once at startup and threaded through
+	// SimulationConfig.LPOptions, the cluster service, and the daemons.
+	LPOptions = lp.Options
+	// ShardClient is the coordinator-side handle on one shard daemon —
+	// in-memory (NewLocalShard) or remote (DialShard); both drive the
+	// identical engine code path.
+	ShardClient = rpc.ShardClient
+	// ShardServer is the shard daemon engine behind a ShardClient.
+	ShardServer = rpc.ShardServer
+	// ClusterService drives shard daemons through the versioned control
+	// plane: routed admission, round-synchronized allocation, warm-basis
+	// rebalance migrations, snapshot-based crash recovery.
+	ClusterService = rpc.Service
+	// ClusterServiceConfig parameterizes a ClusterService.
+	ClusterServiceConfig = rpc.ServiceConfig
 )
 
 // Shard routing policies for the sharded engine: RouteHash assigns jobs by
@@ -149,6 +166,34 @@ func NewTrace(opt TraceOptions) []Job { return workload.GenerateTrace(opt) }
 
 // Simulate runs a trace through a policy on a simulated cluster.
 func Simulate(cfg SimulationConfig) (*SimulationResult, error) { return simulator.Run(cfg) }
+
+// LPOptionsFromEnv reads the GAVEL_LP_* environment knobs into an LPOptions,
+// the one sanctioned env read — resolve it at startup and thread the value
+// through configs instead of re-reading the environment.
+func LPOptionsFromEnv() LPOptions { return lp.OptionsFromEnv() }
+
+// ParseLPOptions parses textual solver knobs ("dense"/"revised",
+// "dantzig"/"devex", "on"/"off" twice; empty strings mean auto), the form
+// daemon flags use.
+func ParseLPOptions(engine, pricing, presolve, dual string) (LPOptions, error) {
+	return lp.ParseOptions(engine, pricing, presolve, dual)
+}
+
+// NewLocalShard returns a shard daemon engine and an in-memory client on it,
+// so tests and simulations drive the exact service code path without
+// sockets (SimulationConfig.ShardClients).
+func NewLocalShard() (*ShardServer, ShardClient) { return rpc.NewLocalShard() }
+
+// DialShard connects to a gavel-shard daemon, performing the protocol
+// handshake.
+func DialShard(addr string) (ShardClient, error) { return rpc.DialShard(addr) }
+
+// NewClusterService assembles the coordinator over the given shard clients:
+// it pushes each daemon's configuration and then drives admission,
+// allocation, rounds, rebalancing, and recovery through the control plane.
+func NewClusterService(cfg ClusterServiceConfig, shards []ShardClient) (*ClusterService, error) {
+	return rpc.NewService(cfg, shards)
+}
 
 // MaxMinFairnessPolicy returns the heterogeneity-aware Least Attained
 // Service policy (§4.1), the paper's flagship fairness policy. Enable

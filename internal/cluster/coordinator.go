@@ -41,7 +41,12 @@ type CoordinatorConfig struct {
 	// across shards (the first count%K shards get one extra device).
 	Cluster Spec
 	// Engine selects the simplex implementation of every shard's context.
+	// Retained for compatibility; LP is the full knob set (Engine, when set,
+	// overrides LP.Engine).
 	Engine lp.Engine
+	// LP bundles all solver knobs for every shard's context; Auto fields
+	// follow the lp package defaults.
+	LP lp.Options
 	// ColdSolves disables per-shard solve contexts: every allocation then
 	// solves its LPs from scratch (benchmark baseline).
 	ColdSolves bool
@@ -126,8 +131,10 @@ func NewCoordinator(cfg CoordinatorConfig) (*Coordinator, error) {
 	for k := 0; k < cfg.NumShards; k++ {
 		var ctx *policy.SolveContext
 		if !cfg.ColdSolves {
-			ctx = policy.NewSolveContext()
-			ctx.Engine = cfg.Engine
+			ctx = policy.NewSolveContextWith(cfg.LP)
+			if cfg.Engine != lp.EngineAuto {
+				ctx.Engine = cfg.Engine
+			}
 		}
 		c.shards = append(c.shards, newShard(k, numTypes, split[k], perServer, prices, ctx))
 	}

@@ -62,6 +62,43 @@ type Shard struct {
 	load   int // total device demand (sum of scale factors)
 }
 
+// NewShard builds an empty standalone shard over the given per-type worker
+// slice. It is the entry point for a shard *daemon* — a process that owns
+// exactly one partition of the cluster and is driven over the control plane
+// (internal/rpc) by a remote coordinator, which computed the worker split
+// with SplitWorkerCounts. In-process coordinators construct their shards
+// through NewCoordinator instead.
+func NewShard(index int, workerInts, perServer []int, prices []float64, ctx *policy.SolveContext) *Shard {
+	return newShard(index, len(workerInts), workerInts, perServer, prices, ctx)
+}
+
+// Add inserts a job with its isolated throughput row: an admission or the
+// receiving half of a migration. Exported for the shard daemon; the
+// in-process coordinator books its own accounting around the unexported
+// form.
+func (s *Shard) Add(id, scaleFactor int, tput []float64) { s.add(id, scaleFactor, tput) }
+
+// Remove drops a resident job: a completion or the sending half of a
+// migration. Unknown IDs are no-ops.
+func (s *Shard) Remove(id int) { s.remove(id) }
+
+// SetPairIfAbsent installs a space-sharing pair's throughput rows unless the
+// pair is already cached. The HasPair gate lives shard-side so a remote
+// coordinator can send candidate rows unconditionally and still leave the
+// cache byte-identical to an in-process run, which skips cached pairs at the
+// source.
+func (s *Shard) SetPairIfAbsent(a, b int, ta, tb []float64) {
+	if s.Cache.HasPair(a, b) {
+		return
+	}
+	s.Cache.SetPair(a, b, ta, tb)
+}
+
+// Observe feeds one measured pair throughput into the shard's cache.
+func (s *Shard) Observe(a, b, typ int, ta, tb float64) {
+	s.Cache.ObservePair(a, b, typ, ta, tb)
+}
+
 // newShard builds an empty shard over the given worker slice.
 func newShard(index, numTypes int, workerInts, perServer []int, prices []float64, ctx *policy.SolveContext) *Shard {
 	workers := make([]float64, numTypes)

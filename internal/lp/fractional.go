@@ -34,6 +34,9 @@ type Fractional struct {
 	// Pricing selects the entering-column rule for the transformed LP;
 	// PricingAuto follows DefaultPricing.
 	Pricing Pricing
+	// Presolve selects whether the transformed LP runs the presolve pass;
+	// PresolveAuto follows DefaultPresolve.
+	Presolve PresolveMode
 	// Dual selects whether seeded solves of the transformed LP may repair
 	// with the dual simplex; DualAuto follows DefaultDual.
 	Dual DualMode
@@ -78,6 +81,7 @@ func (f *Fractional) transform() (*Problem, []int, int, error) {
 	p := NewProblem(Maximize)
 	p.SetEngine(f.Engine)
 	p.SetPricing(f.Pricing)
+	p.SetPresolve(f.Presolve)
 	p.SetDual(f.Dual)
 	if f.Workspace != nil {
 		p.SetWorkspace(f.Workspace)

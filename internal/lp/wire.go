@@ -1,0 +1,68 @@
+package lp
+
+import (
+	"bytes"
+	"encoding/gob"
+	"fmt"
+)
+
+// basisWire is the exported mirror of Basis used for gob encoding. Basis
+// itself keeps its fields unexported (callers must not reach into a
+// snapshot), so the wire form is an explicit, versioned projection: a new
+// field added to Basis must be added here and bumped below, or it silently
+// stops surviving the trip between shard daemons.
+type basisWire struct {
+	Version  int
+	NumVars  int
+	Ops      []Op
+	Cols     []int
+	RowIDs   []string
+	AtUpper  []int
+	Polished bool
+}
+
+// basisWireVersion stamps the serialized form. Decode rejects versions it
+// does not understand rather than guessing: a stale basis is worthless (the
+// receiver just solves cold), a misdecoded one is wrong.
+const basisWireVersion = 1
+
+// GobEncode implements gob.GobEncoder, letting a *Basis ride inside any gob
+// message (the control plane's snapshot, migration, and warm-start
+// payloads) without exposing its internals.
+func (b *Basis) GobEncode() ([]byte, error) {
+	var buf bytes.Buffer
+	w := basisWire{
+		Version:  basisWireVersion,
+		NumVars:  b.numVars,
+		Ops:      b.ops,
+		Cols:     b.cols,
+		RowIDs:   b.rowIDs,
+		AtUpper:  b.atUpper,
+		Polished: b.polished,
+	}
+	if err := gob.NewEncoder(&buf).Encode(&w); err != nil {
+		return nil, err
+	}
+	return buf.Bytes(), nil
+}
+
+// GobDecode implements gob.GobDecoder.
+func (b *Basis) GobDecode(data []byte) error {
+	var w basisWire
+	if err := gob.NewDecoder(bytes.NewReader(data)).Decode(&w); err != nil {
+		return err
+	}
+	if w.Version != basisWireVersion {
+		return fmt.Errorf("lp: basis wire version %d, this build speaks %d", w.Version, basisWireVersion)
+	}
+	if len(w.Cols) != len(w.Ops) {
+		return fmt.Errorf("lp: malformed basis wire: %d basic columns for %d rows", len(w.Cols), len(w.Ops))
+	}
+	b.numVars = w.NumVars
+	b.ops = w.Ops
+	b.cols = w.Cols
+	b.rowIDs = w.RowIDs
+	b.atUpper = w.AtUpper
+	b.polished = w.Polished
+	return nil
+}

@@ -1,6 +1,8 @@
 package policy
 
 import (
+	"sort"
+
 	"gavel/internal/lp"
 )
 
@@ -45,6 +47,10 @@ type SolveContext struct {
 	// with the dual simplex: lp.DualOn, lp.DualOff, or lp.DualAuto (the
 	// default) to follow lp.DefaultDual (GAVEL_LP_DUAL).
 	Dual lp.DualMode
+	// Presolve selects whether solves run the LP presolve pass:
+	// lp.PresolveOn, lp.PresolveOff, or lp.PresolveAuto (the default) to
+	// follow lp.DefaultPresolve (GAVEL_LP_PRESOLVE).
+	Presolve lp.PresolveMode
 
 	// ws is the lazily created scratch arena shared by every revised-engine
 	// solve issued through this context, eliminating per-solve allocation of
@@ -95,6 +101,96 @@ type LabelStats struct {
 // NewSolveContext returns an empty context.
 func NewSolveContext() *SolveContext {
 	return &SolveContext{bases: map[string]*cachedBasis{}}
+}
+
+// NewSolveContextWith returns an empty context carrying the given solver
+// options (the typed replacement for setting Engine/Pricing/Dual/Presolve
+// individually).
+func NewSolveContextWith(opts lp.Options) *SolveContext {
+	c := NewSolveContext()
+	c.SetOptions(opts)
+	return c
+}
+
+// SetOptions installs all four solver knobs from one lp.Options value.
+func (c *SolveContext) SetOptions(opts lp.Options) {
+	c.Engine = opts.Engine
+	c.Pricing = opts.Pricing
+	c.Presolve = opts.Presolve
+	c.Dual = opts.Dual
+}
+
+// Options returns the context's solver knobs as one lp.Options value.
+func (c *SolveContext) Options() lp.Options {
+	return lp.Options{Engine: c.Engine, Pricing: c.Pricing, Presolve: c.Presolve, Dual: c.Dual}
+}
+
+// Seed is one exported warm-start entry: a cached simplex basis together
+// with the column identities it was built over, keyed by the solve label it
+// caches under. It is the unit of warm-start state the cluster service
+// ships between processes — periodic shard snapshots, and the
+// basis-carrying half of a job migration between shard daemons. Basis
+// serializes through gob (lp.Basis implements GobEncoder), so a Seed can
+// ride in any control-plane message as-is.
+type Seed struct {
+	Label string
+	IDs   []lp.ColumnID
+	Basis *lp.Basis
+}
+
+// ExportSeeds snapshots every cached (label, basis, column-identity) entry,
+// cloning the bases so the snapshot shares no mutable state with the
+// context. Entries come out in label order, so a snapshot is deterministic.
+// Nil contexts export nil.
+func (c *SolveContext) ExportSeeds() []Seed {
+	if c == nil || len(c.bases) == 0 {
+		return nil
+	}
+	labels := make([]string, 0, len(c.bases))
+	for k := range c.bases {
+		labels = append(labels, k)
+	}
+	sort.Strings(labels)
+	out := make([]Seed, 0, len(labels))
+	for _, k := range labels {
+		ent := c.bases[k]
+		if ent == nil || ent.basis == nil {
+			continue
+		}
+		out = append(out, Seed{
+			Label: k,
+			IDs:   append([]lp.ColumnID(nil), ent.ids...),
+			Basis: ent.basis.Clone(),
+		})
+	}
+	return out
+}
+
+// ImportSeeds installs exported seeds for every label the context has no
+// entry for, cloning the bases (the caller may reuse the slice). It is
+// ExportSeeds' other half, with AdoptSeedsFrom's keep-local-entries
+// semantics: a label the receiver already caches is never overwritten — the
+// local basis covers more of the local column universe than a shipped one
+// could. The next Solve under an imported label remaps the basis across
+// whatever job-set difference exists (lp.Basis.Remap), so recovery from a
+// snapshot lands in the remapped bucket, never the cold one. Nil receivers
+// are no-ops.
+func (c *SolveContext) ImportSeeds(seeds []Seed) {
+	if c == nil {
+		return
+	}
+	for _, s := range seeds {
+		if s.Basis == nil {
+			continue
+		}
+		if _, ok := c.bases[s.Label]; ok {
+			continue
+		}
+		c.bases[s.Label] = &cachedBasis{
+			basis: s.Basis.Clone(),
+			ids:   append([]lp.ColumnID(nil), s.IDs...),
+		}
+	}
 }
 
 // seed selects the warm-start strategy for a problem with the given column
@@ -201,6 +297,7 @@ func (c *SolveContext) recordCounters(key string, res *lp.Result) {
 func (c *SolveContext) apply(p *lp.Problem) {
 	p.SetEngine(c.Engine)
 	p.SetPricing(c.Pricing)
+	p.SetPresolve(c.Presolve)
 	p.SetDual(c.Dual)
 	if c.ws == nil {
 		c.ws = &lp.Workspace{}
@@ -295,6 +392,7 @@ func (c *SolveContext) SolveFractional(key string, f *lp.Fractional, ids []lp.Co
 	c.Stats.Solves++
 	f.Engine = c.Engine
 	f.Pricing = c.Pricing
+	f.Presolve = c.Presolve
 	f.Dual = c.Dual
 	if c.ws == nil {
 		c.ws = &lp.Workspace{}

@@ -1,0 +1,165 @@
+// Package rpc is Gavel's control plane for physical deployments. It carries
+// two protocols over Go's net/rpc (the stdlib substitution for the paper's
+// gRPC; see DESIGN.md):
+//
+//   - the scheduler <-> worker lease protocol of §6 (rpc.go): workers
+//     register their accelerator type, lease micro-tasks round by round, and
+//     report measured throughputs;
+//   - the coordinator <-> shard protocol (shardapi.go, shardserver.go,
+//     service.go): a remote coordinator drives shard daemons — each owning
+//     one partition of the cluster and running the full in-process machinery
+//     of internal/cluster — through round-synchronized Allocate/AssignRound
+//     calls, admission and migration messages that carry warm LP bases, and
+//     periodic basis snapshots that let a crashed daemon's jobs recover warm
+//     on the survivors.
+//
+// Both protocols are versioned: every connection opens with a handshake and
+// a version mismatch is a typed error, not a garbled gob stream. Round
+// boundaries are the batching unit of the wire protocol (Obladi-style
+// epochs), which is what lets the served engine stay byte-deterministic with
+// the in-process one: everything inside a round is a pure function of the
+// shard's state, and the coordinator serializes state changes between
+// rounds.
+package rpc
+
+import (
+	"errors"
+	"fmt"
+	"regexp"
+	"strconv"
+)
+
+// ProtocolVersion is the control-plane protocol spoken by this build.
+// Version 1 was the seed's unversioned lease-only protocol; version 2 added
+// the handshake, typed errors, and the coordinator <-> shard surface.
+const ProtocolVersion = 2
+
+// MinProtocolVersion is the oldest peer version this build accepts.
+// Everything since the handshake was introduced is compatible so far.
+const MinProtocolVersion = 2
+
+// ErrorCode classifies control-plane failures so callers can branch on the
+// failure class instead of matching error strings.
+type ErrorCode int
+
+const (
+	// CodeUnknown tags errors that did not originate as a typed Error.
+	CodeUnknown ErrorCode = iota
+	// CodeVersionMismatch: the peer speaks an incompatible protocol version.
+	CodeVersionMismatch
+	// CodeBadRequest: the message was structurally invalid.
+	CodeBadRequest
+	// CodeNotConfigured: the shard daemon has not received Configure yet.
+	CodeNotConfigured
+	// CodeAlreadyConfigured: a second Configure tried to change the shard's
+	// identity.
+	CodeAlreadyConfigured
+	// CodeUnknownWorker: the worker ID is not registered.
+	CodeUnknownWorker
+	// CodeUnknownJob: the job ID is not resident.
+	CodeUnknownJob
+	// CodeUnknownPolicy: the policy spec names no registered policy.
+	CodeUnknownPolicy
+	// CodeNoAllocation: AssignRound was called before any Allocate.
+	CodeNoAllocation
+	// CodeShardDown: a shard daemon stopped answering (connection-level
+	// failures are folded into this code by the client wrappers).
+	CodeShardDown
+	// CodeInternal: the shard's engine failed (LP error, budget violation).
+	CodeInternal
+)
+
+func (c ErrorCode) String() string {
+	switch c {
+	case CodeVersionMismatch:
+		return "version-mismatch"
+	case CodeBadRequest:
+		return "bad-request"
+	case CodeNotConfigured:
+		return "not-configured"
+	case CodeAlreadyConfigured:
+		return "already-configured"
+	case CodeUnknownWorker:
+		return "unknown-worker"
+	case CodeUnknownJob:
+		return "unknown-job"
+	case CodeUnknownPolicy:
+		return "unknown-policy"
+	case CodeNoAllocation:
+		return "no-allocation"
+	case CodeShardDown:
+		return "shard-down"
+	case CodeInternal:
+		return "internal"
+	}
+	return "unknown"
+}
+
+// Error is a typed control-plane error. net/rpc flattens server-side errors
+// to strings on the wire, so Error renders itself with a parsable prefix and
+// CodeOf recovers the code client-side — the standard trick for typed errors
+// over stdlib rpc.
+type Error struct {
+	Code ErrorCode
+	Msg  string
+}
+
+// Errorf builds a typed error.
+func Errorf(code ErrorCode, format string, args ...any) *Error {
+	return &Error{Code: code, Msg: fmt.Sprintf(format, args...)}
+}
+
+// Error implements error with the wire-parsable "gavelrpc[N]: msg" form.
+func (e *Error) Error() string {
+	return fmt.Sprintf("gavelrpc[%d]: %s", int(e.Code), e.Msg)
+}
+
+var wireErrRe = regexp.MustCompile(`^gavelrpc\[(\d+)\]: (.*)$`)
+
+// ParseError recovers a typed Error from an error that crossed the wire as a
+// string. Errors without the wire prefix come back with CodeUnknown.
+func ParseError(err error) *Error {
+	if err == nil {
+		return nil
+	}
+	var typed *Error
+	if errors.As(err, &typed) {
+		return typed
+	}
+	if m := wireErrRe.FindStringSubmatch(err.Error()); m != nil {
+		n, _ := strconv.Atoi(m[1])
+		return &Error{Code: ErrorCode(n), Msg: m[2]}
+	}
+	return &Error{Code: CodeUnknown, Msg: err.Error()}
+}
+
+// CodeOf extracts the error code, CodeUnknown for nil or untyped errors.
+func CodeOf(err error) ErrorCode {
+	if err == nil {
+		return CodeUnknown
+	}
+	return ParseError(err).Code
+}
+
+// HelloArgs opens every control-plane connection: the caller announces its
+// protocol version and role before any other call.
+type HelloArgs struct {
+	Version int
+	// Role is informational ("coordinator", "worker", "test"), logged by the
+	// server.
+	Role string
+}
+
+// HelloReply acknowledges the handshake with the server's version.
+type HelloReply struct {
+	Version int
+}
+
+// CheckVersion is the server half of the handshake.
+func CheckVersion(v int) error {
+	if v < MinProtocolVersion || v > ProtocolVersion {
+		return Errorf(CodeVersionMismatch,
+			"peer speaks protocol %d, this build accepts %d..%d", v, MinProtocolVersion, ProtocolVersion)
+	}
+	return nil
+}

@@ -1,16 +1,14 @@
-// Package rpc is Gavel's control plane for physical deployments: the
-// narrow scheduler <-> worker API of §6 carried over Go's net/rpc (the
-// stdlib substitution for the paper's gRPC; see DESIGN.md). Workers
-// register their accelerator type, lease micro-tasks round by round, renew
-// leases near round end, and report measured throughputs, which feed the
-// policy's throughput matrix exactly as in the simulator.
 package rpc
 
+// This file is the scheduler <-> worker lease plane of §6: workers register
+// their accelerator type, lease micro-tasks round by round, and report
+// measured throughputs. Protocol version 2 added the handshake and typed
+// errors; an unversioned (v1) worker's Register decodes with Version 0 and
+// is rejected with CodeVersionMismatch instead of garbling state.
+
 import (
-	"errors"
-	"fmt"
 	"net"
-	"net/rpc"
+	gorpc "net/rpc"
 	"sort"
 	"sync"
 	"time"
@@ -18,13 +16,17 @@ import (
 
 // RegisterArgs announces a worker to the scheduler.
 type RegisterArgs struct {
+	// Version is the worker's protocol version; see CheckVersion.
+	Version         int
 	Addr            string // worker callback address (informational)
 	AcceleratorType string // e.g. "v100"
 	Server          string // physical server id, for consolidation
 }
 
-// RegisterReply returns the assigned worker ID and round length.
+// RegisterReply returns the assigned worker ID, round length, and the
+// scheduler's protocol version.
 type RegisterReply struct {
+	Version      int
 	WorkerID     int
 	RoundSeconds float64
 }
@@ -54,9 +56,6 @@ type ThroughputReport struct {
 	StepsPerSecond float64
 }
 
-// Ack is an empty RPC reply.
-type Ack struct{}
-
 // JobSpec is the unit of work submitted to the scheduler daemon.
 type JobSpec struct {
 	JobID      int
@@ -67,13 +66,31 @@ type JobSpec struct {
 	ThroughputHint map[string]float64
 }
 
-// Scheduler is the RPC server half: it tracks workers and runnable jobs
-// and hands out leases per round, using received-time priorities like the
-// in-process mechanism. It is deliberately small — the heavy lifting
-// (policies, the full mechanism) is reused from the core library by the
-// daemon in cmd/gavel-sched; this type provides the wire surface plus a
-// self-contained priority scheduler good enough for the lease protocol
-// tests and the quickstart physical deployment.
+// WorkerInfo is one registered worker's identity, for daemons that build
+// their cluster view from registrations.
+type WorkerInfo struct {
+	ID              int
+	AcceleratorType string
+	Server          string
+}
+
+// LeaseSource supplies leases for registered workers, letting a daemon drive
+// the wire surface from real policy output — the coordinator's merged round
+// assignments — instead of the built-in least-attained-service fallback.
+// NextLease returns the job IDs the worker should run this round (empty =
+// idle). Implementations are called under the scheduler's lock and must not
+// call back into it.
+type LeaseSource interface {
+	NextLease(workerID int, accType, server string) []int
+}
+
+// Scheduler is the lease-plane server: it tracks workers and runnable jobs
+// and hands out leases per round. Leases expire: a worker that stops calling
+// (crashed, partitioned) loses its lease one round after it was granted, and
+// the job returns to the runnable set — without this, a dead worker strands
+// its job forever. The built-in lease policy is least attained service; a
+// daemon with a real coordinator installs a LeaseSource and drives the same
+// wire surface from policy output.
 type Scheduler struct {
 	mu           sync.Mutex
 	roundSeconds float64
@@ -81,17 +98,21 @@ type Scheduler struct {
 	nextWorker int
 	workers    map[int]*workerState
 
-	jobs map[int]*jobClientState
+	jobs   map[int]*jobClientState
+	source LeaseSource
 
-	listener net.Listener
-	server   *rpc.Server
+	// clock is injectable for lease-expiry tests.
+	clock func() time.Time
+
+	srv *tcpServer
 }
 
 type workerState struct {
 	id      int
 	accType string
 	server  string
-	current int // job id leased this round, -1 none
+	current int       // job id leased this round, -1 none
+	leaseAt time.Time // when the current lease was granted
 }
 
 type jobClientState struct {
@@ -111,14 +132,26 @@ func NewScheduler(roundSeconds float64) *Scheduler {
 		roundSeconds: roundSeconds,
 		workers:      map[int]*workerState{},
 		jobs:         map[int]*jobClientState{},
+		clock:        time.Now,
 	}
 }
+
+// SetLeaseSource installs a lease policy, replacing the built-in
+// least-attained-service fallback. Pass nil to restore the fallback.
+func (s *Scheduler) SetLeaseSource(src LeaseSource) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.source = src
+}
+
+// leaseServiceName is the net/rpc service name of the lease plane.
+const leaseServiceName = "Gavel"
 
 // Serve starts listening on addr ("host:port"); it returns the bound
 // address (useful with ":0").
 func (s *Scheduler) Serve(addr string) (string, error) {
-	srv := rpc.NewServer()
-	if err := srv.RegisterName("Gavel", &schedulerRPC{s: s}); err != nil {
+	srv := gorpc.NewServer()
+	if err := srv.RegisterName(leaseServiceName, &schedulerRPC{s: s}); err != nil {
 		return "", err
 	}
 	ln, err := net.Listen("tcp", addr)
@@ -126,29 +159,21 @@ func (s *Scheduler) Serve(addr string) (string, error) {
 		return "", err
 	}
 	s.mu.Lock()
-	s.listener = ln
-	s.server = srv
+	s.srv = newTCPServer(ln, srv)
 	s.mu.Unlock()
-	go func() {
-		for {
-			conn, err := ln.Accept()
-			if err != nil {
-				return
-			}
-			go srv.ServeConn(conn)
-		}
-	}()
 	return ln.Addr().String(), nil
 }
 
-// Close stops the listener.
+// Close stops the listener and tears down every in-flight connection,
+// joining their ServeConn goroutines.
 func (s *Scheduler) Close() error {
 	s.mu.Lock()
-	defer s.mu.Unlock()
-	if s.listener != nil {
-		return s.listener.Close()
+	srv := s.srv
+	s.mu.Unlock()
+	if srv == nil {
+		return nil
 	}
-	return nil
+	return srv.close()
 }
 
 // Submit adds a job to the runnable set.
@@ -170,6 +195,17 @@ func (s *Scheduler) JobDone(jobID int) bool {
 	return ok && j.done
 }
 
+// Steps returns the job's accumulated training steps.
+func (s *Scheduler) Steps(jobID int) float64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	j, ok := s.jobs[jobID]
+	if !ok {
+		return 0
+	}
+	return j.steps
+}
+
 // Throughput returns the scheduler's current steps/sec belief for a job on
 // an accelerator type (measurement if present, else hint).
 func (s *Scheduler) Throughput(jobID int, accType string) float64 {
@@ -185,40 +221,101 @@ func (s *Scheduler) Throughput(jobID int, accType string) float64 {
 	return j.spec.ThroughputHint[accType]
 }
 
+// Workers returns the registered workers sorted by ID.
+func (s *Scheduler) Workers() []WorkerInfo {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make([]WorkerInfo, 0, len(s.workers))
+	for _, w := range s.workers {
+		out = append(out, WorkerInfo{ID: w.id, AcceleratorType: w.accType, Server: w.server})
+	}
+	sort.Slice(out, func(a, b int) bool { return out[a].ID < out[b].ID })
+	return out
+}
+
+// leaseTTL is how long a granted lease is honored without renewal: one round
+// (the lease's own duration). A worker that neither renews nor reports
+// within it is presumed dead and its job returns to the runnable set.
+func (s *Scheduler) leaseTTL() time.Duration {
+	return time.Duration(s.roundSeconds * float64(time.Second))
+}
+
+// expireLeases (callers hold mu) frees every lease older than the TTL.
+func (s *Scheduler) expireLeases() {
+	now := s.clock()
+	for _, w := range s.workers {
+		if w.current >= 0 && now.Sub(w.leaseAt) > s.leaseTTL() {
+			w.current = -1
+		}
+	}
+}
+
 // schedulerRPC is the exported RPC surface.
 type schedulerRPC struct{ s *Scheduler }
 
+// Hello is the protocol handshake.
+func (r *schedulerRPC) Hello(args HelloArgs, reply *HelloReply) error {
+	if err := CheckVersion(args.Version); err != nil {
+		return err
+	}
+	*reply = HelloReply{Version: ProtocolVersion}
+	return nil
+}
+
 // RegisterWorker implements the worker-registration RPC.
 func (r *schedulerRPC) RegisterWorker(args RegisterArgs, reply *RegisterReply) error {
+	if err := CheckVersion(args.Version); err != nil {
+		return err
+	}
 	s := r.s
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	if args.AcceleratorType == "" {
-		return errors.New("rpc: worker must declare an accelerator type")
+		return Errorf(CodeBadRequest, "worker must declare an accelerator type")
 	}
 	id := s.nextWorker
 	s.nextWorker++
 	s.workers[id] = &workerState{id: id, accType: args.AcceleratorType, server: args.Server, current: -1}
-	*reply = RegisterReply{WorkerID: id, RoundSeconds: s.roundSeconds}
+	*reply = RegisterReply{Version: ProtocolVersion, WorkerID: id, RoundSeconds: s.roundSeconds}
 	return nil
 }
 
-// LeaseMicroTask hands the next micro-task to a worker. The job picked is
-// the runnable job with the least attained service on the worker's
-// accelerator type (a worker-pull variant of the round mechanism: exact
-// allocation tracking lives in cmd/gavel-sched, which drives this same
-// wire surface with policy output).
+// LeaseMicroTask hands the next micro-task to a worker. With a LeaseSource
+// installed, the lease comes from it (the coordinator's round assignments);
+// otherwise the fallback picks the runnable job with the least attained
+// service on the worker's accelerator type. Either way, unrenewed leases
+// expire after one round so crashed workers cannot strand jobs.
 func (r *schedulerRPC) LeaseMicroTask(args LeaseArgs, reply *Lease) error {
 	s := r.s
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	w, ok := s.workers[args.WorkerID]
 	if !ok {
-		return fmt.Errorf("rpc: unknown worker %d", args.WorkerID)
+		return Errorf(CodeUnknownWorker, "unknown worker %d", args.WorkerID)
 	}
-	// Free the previous lease.
+	// Free the previous lease and any lease whose holder went silent.
 	prev := w.current
 	w.current = -1
+	s.expireLeases()
+
+	if s.source != nil {
+		ids := s.source.NextLease(w.id, w.accType, w.server)
+		if len(ids) == 0 {
+			*reply = Lease{Empty: true, RoundSeconds: s.roundSeconds}
+			return nil
+		}
+		w.current = ids[0]
+		w.leaseAt = s.clock()
+		if j, ok := s.jobs[ids[0]]; ok {
+			j.received[w.accType] += s.roundSeconds
+		}
+		*reply = Lease{
+			JobIDs:       append([]int(nil), ids...),
+			RoundSeconds: s.roundSeconds,
+			Renewed:      prev == ids[0],
+		}
+		return nil
+	}
 
 	leased := map[int]bool{}
 	for _, ws := range s.workers {
@@ -253,6 +350,7 @@ func (r *schedulerRPC) LeaseMicroTask(args LeaseArgs, reply *Lease) error {
 	})
 	pick := cands[0].id
 	w.current = pick
+	w.leaseAt = s.clock()
 	s.jobs[pick].received[w.accType] += s.roundSeconds
 	*reply = Lease{
 		JobIDs:       []int{pick},
@@ -269,11 +367,15 @@ func (r *schedulerRPC) ReportThroughput(rep ThroughputReport, _ *Ack) error {
 	defer s.mu.Unlock()
 	w, ok := s.workers[rep.WorkerID]
 	if !ok {
-		return fmt.Errorf("rpc: unknown worker %d", rep.WorkerID)
+		return Errorf(CodeUnknownWorker, "unknown worker %d", rep.WorkerID)
 	}
 	j, ok := s.jobs[rep.JobID]
 	if !ok {
-		return fmt.Errorf("rpc: unknown job %d", rep.JobID)
+		return Errorf(CodeUnknownJob, "unknown job %d", rep.JobID)
+	}
+	// A report is also a liveness signal: refresh the lease clock.
+	if w.current == rep.JobID {
+		w.leaseAt = s.clock()
 	}
 	j.measured[w.accType] = rep.StepsPerSecond
 	j.steps += rep.StepsPerSecond * s.roundSeconds
@@ -285,19 +387,26 @@ func (r *schedulerRPC) ReportThroughput(rep ThroughputReport, _ *Ack) error {
 
 // Client is the worker-side handle.
 type Client struct {
-	c        *rpc.Client
+	c        *gorpc.Client
 	WorkerID int
 	Round    time.Duration
 }
 
-// Dial connects a worker to the scheduler and registers it.
+// Dial connects a worker to the scheduler, performs the version handshake,
+// and registers it.
 func Dial(addr string, reg RegisterArgs) (*Client, error) {
-	c, err := rpc.Dial("tcp", addr)
+	c, err := gorpc.Dial("tcp", addr)
 	if err != nil {
 		return nil, err
 	}
+	var hello HelloReply
+	if err := c.Call(leaseServiceName+".Hello", HelloArgs{Version: ProtocolVersion, Role: "worker"}, &hello); err != nil {
+		c.Close()
+		return nil, err
+	}
+	reg.Version = ProtocolVersion
 	var reply RegisterReply
-	if err := c.Call("Gavel.RegisterWorker", reg, &reply); err != nil {
+	if err := c.Call(leaseServiceName+".RegisterWorker", reg, &reply); err != nil {
 		c.Close()
 		return nil, err
 	}
@@ -311,7 +420,7 @@ func Dial(addr string, reg RegisterArgs) (*Client, error) {
 // Lease requests the next micro-task.
 func (c *Client) Lease() (*Lease, error) {
 	var l Lease
-	if err := c.c.Call("Gavel.LeaseMicroTask", LeaseArgs{WorkerID: c.WorkerID}, &l); err != nil {
+	if err := c.c.Call(leaseServiceName+".LeaseMicroTask", LeaseArgs{WorkerID: c.WorkerID}, &l); err != nil {
 		return nil, err
 	}
 	return &l, nil
@@ -320,7 +429,7 @@ func (c *Client) Lease() (*Lease, error) {
 // Report sends a measured throughput.
 func (c *Client) Report(jobID int, stepsPerSecond float64) error {
 	var ack Ack
-	return c.c.Call("Gavel.ReportThroughput",
+	return c.c.Call(leaseServiceName+".ReportThroughput",
 		ThroughputReport{WorkerID: c.WorkerID, JobID: jobID, StepsPerSecond: stepsPerSecond}, &ack)
 }
 

@@ -1,0 +1,723 @@
+package rpc
+
+import (
+	"sync"
+
+	"gavel/internal/cluster"
+	"gavel/internal/core"
+	"gavel/internal/lp"
+	"gavel/internal/policy"
+	"gavel/internal/scheduler"
+)
+
+// PairSource supplies the colocated throughput rows for a candidate
+// space-sharing pair (ta for job a, tb for job b, indexed by accelerator
+// type). The service queries it when a job lands on a shard — admission,
+// migration, or recovery — to ship pair candidates alongside the job; shards
+// apply them HasPair-gated, so the source may answer for already-cached pairs
+// without harm. Nil disables space sharing.
+type PairSource func(a, b int) (ta, tb []float64)
+
+// ServiceConfig parameterizes a remote coordinator over shard daemons. The
+// fields mirror cluster.CoordinatorConfig — same cluster split, same routing,
+// same pair knobs — because the Service must make byte-identical decisions to
+// the in-process Coordinator; the additions are the wire-only concerns
+// (policy by name, resolved LP options, the pair source).
+type ServiceConfig struct {
+	// Cluster is the global cluster; its per-type device counts are split
+	// across the shard daemons with cluster.SplitWorkerCounts.
+	Cluster cluster.Spec
+	// Policy names the scheduling policy every daemon instantiates.
+	Policy PolicySpec
+	// LP carries the solver knobs. NewService resolves Auto fields against
+	// this process's defaults before pushing, so daemons solve with the
+	// coordinator's settings regardless of their local environment.
+	LP lp.Options
+	// ColdSolves disables the daemons' solve contexts (benchmark baseline).
+	ColdSolves bool
+	// Route selects arrival routing (default hash by job ID).
+	Route cluster.RoutePolicy
+	// PairGainThreshold / MaxPairsPerJob parameterize space-sharing pair
+	// candidates exactly as in cluster.CoordinatorConfig.
+	PairGainThreshold float64
+	MaxPairsPerJob    int
+	// Pairs supplies colocated throughput rows for pair candidates; nil
+	// disables pair shipping (no space sharing).
+	Pairs PairSource
+}
+
+// shardMirror is the coordinator's local view of one shard daemon: enough
+// membership, demand, and allocation state to make every routing, rebalance,
+// and staleness decision without a remote read, plus the last recovery
+// snapshot. The mirror is authoritative for control decisions; the daemon is
+// authoritative for solves and round mechanics.
+type shardMirror struct {
+	index  int
+	client ShardClient
+	down   bool
+
+	jobs   []int // resident job IDs in admission order
+	jobPos map[int]int
+	sf     map[int]int       // clamped scale factors
+	tput   map[int][]float64 // isolated throughput rows (recovery re-install)
+	load   int               // total device demand (sum of scale factors)
+	dirty  bool              // membership changed since the last allocation
+
+	alloc    *core.Allocation // last AllocateReply, rebuilt coordinator-side
+	allocIDs []int
+
+	seeds  []policy.Seed // last snapshot's warm seeds
+	status ShardStatus   // last known accounting (survives the daemon)
+}
+
+func (m *shardMirror) add(id, scaleFactor int, tput []float64) {
+	if scaleFactor < 1 {
+		scaleFactor = 1
+	}
+	m.jobPos[id] = len(m.jobs)
+	m.jobs = append(m.jobs, id)
+	m.sf[id] = scaleFactor
+	m.tput[id] = append([]float64(nil), tput...)
+	m.load += scaleFactor
+	m.dirty = true
+}
+
+func (m *shardMirror) remove(id int) {
+	pos, ok := m.jobPos[id]
+	if !ok {
+		return
+	}
+	m.load -= m.sf[id]
+	m.jobs = append(m.jobs[:pos], m.jobs[pos+1:]...)
+	delete(m.jobPos, id)
+	delete(m.sf, id)
+	delete(m.tput, id)
+	for i := pos; i < len(m.jobs); i++ {
+		m.jobPos[m.jobs[i]] = i
+	}
+	m.dirty = true
+}
+
+// unitScaleFactor is the max member scale factor of unit u in the mirrored
+// allocation — the mirror's copy of Shard.unitScaleFactor, used to validate
+// merged rounds against the worker budgets.
+func (m *shardMirror) unitScaleFactor(u int) int {
+	sf := 1
+	for _, local := range m.alloc.Units[u].Jobs {
+		if v := m.sf[m.allocIDs[local]]; v > sf {
+			sf = v
+		}
+	}
+	return sf
+}
+
+// Service is the remote coordinator of the cluster service: the
+// cluster.Coordinator algorithms — deterministic routing, rebalance by
+// warm-basis migration, concurrent allocation fan-out, round merging under
+// the global budget — re-expressed over the control plane, driving shard
+// daemons through ShardClients instead of in-process Shards. It keeps a
+// local mirror of each daemon's membership and load so every control
+// decision replicates the in-process coordinator's byte for byte, pulls
+// periodic basis snapshots, and on daemon death re-routes the dead shard's
+// jobs onto the survivors with the snapshot seeds so their next solves land
+// remapped, not cold.
+//
+// A Service is not safe for concurrent use; like the in-process Coordinator,
+// all mutating entry points are single-threaded by design and the
+// concurrency lives inside the fan-out calls.
+type Service struct {
+	cfg        ServiceConfig
+	numTypes   int
+	globalInts []int
+	split      [][]int
+	shards     []*shardMirror
+	shardOf    map[int]int
+	migrations int
+	rebalances int
+	recoveries int
+}
+
+// NewService validates the config, splits the cluster across the clients,
+// and pushes each daemon its configuration (handshake included). The caller
+// retains ownership of the clients; Close closes them.
+func NewService(cfg ServiceConfig, clients []ShardClient) (*Service, error) {
+	if len(clients) == 0 {
+		return nil, Errorf(CodeBadRequest, "no shard clients")
+	}
+	if err := cfg.Cluster.Validate(); err != nil {
+		return nil, err
+	}
+	numTypes := cfg.Cluster.NumTypes()
+	counts := make([]int, numTypes)
+	perServer := make([]int, numTypes)
+	for j, t := range cfg.Cluster.Types {
+		counts[j] = t.Count
+		perServer[j] = t.PerServer
+	}
+	prices := cfg.Cluster.Prices()
+	split := cluster.SplitWorkerCounts(counts, len(clients))
+	// Resolve Auto knobs here so every daemon solves with this process's
+	// settings, not its own environment's.
+	lpOpts := cfg.LP.Resolve()
+
+	s := &Service{
+		cfg:        cfg,
+		numTypes:   numTypes,
+		globalInts: counts,
+		split:      split,
+		shardOf:    map[int]int{},
+	}
+	for k, client := range clients {
+		if _, err := client.Hello(HelloArgs{Version: ProtocolVersion, Role: "coordinator"}); err != nil {
+			return nil, err
+		}
+		err := client.Configure(ShardConfig{
+			Index:             k,
+			WorkerInts:        split[k],
+			PerServer:         perServer,
+			Prices:            prices,
+			Policy:            cfg.Policy,
+			LP:                lpOpts,
+			ColdSolves:        cfg.ColdSolves,
+			PairGainThreshold: cfg.PairGainThreshold,
+			MaxPairsPerJob:    cfg.MaxPairsPerJob,
+		})
+		if err != nil {
+			return nil, err
+		}
+		s.shards = append(s.shards, &shardMirror{
+			index:  k,
+			client: client,
+			jobPos: map[int]int{},
+			sf:     map[int]int{},
+			tput:   map[int][]float64{},
+			status: ShardStatus{Index: k},
+		})
+	}
+	return s, nil
+}
+
+// NumShards returns the partition count (live and dead).
+func (s *Service) NumShards() int { return len(s.shards) }
+
+// NumJobs returns the total resident job count across shards.
+func (s *Service) NumJobs() int { return len(s.shardOf) }
+
+// Migrations returns the total jobs moved between shards by rebalancing.
+func (s *Service) Migrations() int { return s.migrations }
+
+// Rebalances returns how many Rebalance calls actually moved jobs.
+func (s *Service) Rebalances() int { return s.rebalances }
+
+// Recoveries returns the total jobs re-routed off dead shards.
+func (s *Service) Recoveries() int { return s.recoveries }
+
+// Down reports whether shard k's daemon has been marked dead.
+func (s *Service) Down(k int) bool { return s.shards[k].down }
+
+// AnyDown reports whether any dead shard still holds jobs awaiting Recover.
+func (s *Service) AnyDown() bool {
+	for _, m := range s.shards {
+		if m.down && len(m.jobs) > 0 {
+			return true
+		}
+	}
+	return false
+}
+
+// ShardJobs returns shard k's resident job IDs in admission order (copy).
+func (s *Service) ShardJobs(k int) []int {
+	return append([]int(nil), s.shards[k].jobs...)
+}
+
+// IsDirty reports whether shard k's membership changed since its last
+// allocation.
+func (s *Service) IsDirty(k int) bool { return s.shards[k].dirty }
+
+// DirtyFlag exposes shard k's staleness flag so round-progress code can mark
+// a shard stale when one of its jobs completes (the simulator passes it as
+// applyAssignments' needRealloc pointer, exactly as it does with
+// cluster.Shard.Dirty).
+func (s *Service) DirtyFlag(k int) *bool { return &s.shards[k].dirty }
+
+// Alloc returns shard k's mirrored allocation and the job IDs it was
+// computed over (nil before the first allocation). Callers must not mutate.
+func (s *Service) Alloc(k int) (*core.Allocation, []int) {
+	return s.shards[k].alloc, s.shards[k].allocIDs
+}
+
+// markDown flags a shard dead after a transport-level failure.
+func (s *Service) markDown(m *shardMirror) {
+	m.down = true
+	m.alloc = nil
+	m.allocIDs = nil
+}
+
+// downOrErr marks the shard dead and returns nil when err is a transport
+// failure (the caller continues without the shard; Recover picks its jobs
+// up), and returns err itself for real protocol errors.
+func (s *Service) downOrErr(m *shardMirror, err error) error {
+	if err == nil {
+		return nil
+	}
+	if CodeOf(err) == CodeShardDown {
+		s.markDown(m)
+		return nil
+	}
+	return err
+}
+
+// live returns the live shards in index order.
+func (s *Service) live() []*shardMirror {
+	out := make([]*shardMirror, 0, len(s.shards))
+	for _, m := range s.shards {
+		if !m.down {
+			out = append(out, m)
+		}
+	}
+	return out
+}
+
+// leastLoaded picks the lowest-load shard of ms, ties to the lowest index.
+func leastLoaded(ms []*shardMirror) *shardMirror {
+	best := ms[0]
+	for _, m := range ms[1:] {
+		if m.load < best.load {
+			best = m
+		}
+	}
+	return best
+}
+
+// route picks the destination shard for an arriving job — the
+// cluster.Coordinator routing verbatim while every shard is live, falling
+// back to least-loaded-live when hash routing lands on a dead daemon.
+func (s *Service) route(id int) (*shardMirror, error) {
+	live := s.live()
+	if len(live) == 0 {
+		return nil, Errorf(CodeShardDown, "no live shard daemons")
+	}
+	switch s.cfg.Route {
+	case cluster.RouteLeastLoaded:
+		return leastLoaded(live), nil
+	default:
+		k := id % len(s.shards)
+		if k < 0 {
+			k += len(s.shards)
+		}
+		if !s.shards[k].down {
+			return s.shards[k], nil
+		}
+		return leastLoaded(live), nil
+	}
+}
+
+// pairRows builds the pair candidates to ship with a job landing on m: one
+// row pair per co-resident single-worker job, in admission order — the order
+// the in-process engine installs them. The destination applies them
+// HasPair-gated, so rows for already-cached pairs are harmless.
+func (s *Service) pairRows(m *shardMirror, id, scaleFactor int) []PairRows {
+	if s.cfg.Pairs == nil || scaleFactor > 1 {
+		return nil
+	}
+	var out []PairRows
+	for _, other := range m.jobs {
+		if other == id || m.sf[other] > 1 {
+			continue
+		}
+		ta, tb := s.cfg.Pairs(id, other)
+		if ta == nil {
+			continue
+		}
+		out = append(out, PairRows{A: id, B: other, Ta: ta, Tb: tb})
+	}
+	return out
+}
+
+// install lands a job on shard m — over the wire and in the mirror.
+func (s *Service) install(m *shardMirror, args InstallArgs) error {
+	args.Pairs = s.pairRows(m, args.JobID, args.ScaleFactor)
+	if err := m.client.Install(args); err != nil {
+		return err
+	}
+	m.add(args.JobID, args.ScaleFactor, args.Tput)
+	s.shardOf[args.JobID] = m.index
+	return nil
+}
+
+// Admit routes an arriving job to a shard and installs its isolated
+// throughput row (pair candidates ride along), returning the destination
+// shard index. If the routed daemon turns out dead, the job re-routes to the
+// next choice.
+func (s *Service) Admit(id, scaleFactor int, tput []float64) (int, error) {
+	for attempt := 0; attempt <= len(s.shards); attempt++ {
+		m, err := s.route(id)
+		if err != nil {
+			return -1, err
+		}
+		err = s.install(m, InstallArgs{JobID: id, ScaleFactor: scaleFactor, Tput: tput})
+		if err == nil {
+			return m.index, nil
+		}
+		if err = s.downOrErr(m, err); err != nil {
+			return -1, err
+		}
+	}
+	return -1, Errorf(CodeShardDown, "no live shard daemons")
+}
+
+// Remove drops a departed (completed) job from its shard. A dead daemon's
+// mirror is still updated so Recover never resurrects finished jobs.
+func (s *Service) Remove(id int) error {
+	k, ok := s.shardOf[id]
+	if !ok {
+		return nil
+	}
+	m := s.shards[k]
+	if !m.down {
+		if err := s.downOrErr(m, m.client.Remove(RemoveArgs{JobID: id})); err != nil {
+			return err
+		}
+	}
+	m.remove(id)
+	delete(s.shardOf, id)
+	return nil
+}
+
+// migrate moves one resident job between live shards, carrying the source's
+// warm seeds: Extract pulls the row and seeds and books MigratedOut; Install
+// with Migrated set books MigratedIn and imports the seeds only when the
+// destination has none — the exact in-process AdoptSeedsFrom gate, evaluated
+// daemon-side.
+func (s *Service) migrate(id int, from, to *shardMirror) error {
+	rep, err := from.client.Extract(ExtractArgs{JobID: id})
+	if err != nil {
+		return err
+	}
+	from.remove(id)
+	delete(s.shardOf, id)
+	err = s.install(to, InstallArgs{
+		JobID:       id,
+		ScaleFactor: rep.ScaleFactor,
+		Tput:        rep.Tput,
+		Seeds:       rep.Seeds,
+		Migrated:    true,
+	})
+	if err != nil {
+		return err
+	}
+	s.migrations++
+	return nil
+}
+
+// Rebalance evens device demand across the live shards by migrating the most
+// recently admitted movable job from the most loaded shard to the least
+// loaded one until the gap stops shrinking — the cluster.Coordinator
+// algorithm verbatim, decided entirely on the mirror.
+func (s *Service) Rebalance() ([]cluster.Migration, error) {
+	live := s.live()
+	if len(live) < 2 {
+		return nil, nil
+	}
+	var migs []cluster.Migration
+	for moves := 0; moves <= len(s.shardOf); moves++ {
+		hi, lo := live[0], live[0]
+		for _, m := range live[1:] {
+			if m.load > hi.load {
+				hi = m
+			}
+			if m.load < lo.load {
+				lo = m
+			}
+		}
+		gap := hi.load - lo.load
+		if gap <= 1 {
+			break
+		}
+		// Most recent admission whose demand strictly shrinks the gap:
+		// moving demand d turns the gap into |gap - 2d|, an improvement
+		// exactly when d < gap.
+		pick := -1
+		for i := len(hi.jobs) - 1; i >= 0; i-- {
+			if hi.sf[hi.jobs[i]] < gap {
+				pick = hi.jobs[i]
+				break
+			}
+		}
+		if pick < 0 {
+			break
+		}
+		if err := s.migrate(pick, hi, lo); err != nil {
+			// A daemon died mid-rebalance: stop moving, let Recover sort the
+			// membership out, and surface real protocol errors.
+			if CodeOf(err) == CodeShardDown {
+				break
+			}
+			return migs, err
+		}
+		migs = append(migs, cluster.Migration{Job: pick, From: hi.index, To: lo.index})
+	}
+	if len(migs) > 0 {
+		s.rebalances++
+	}
+	return migs, nil
+}
+
+// AllocateAll recomputes every stale live shard's allocation concurrently
+// (stale: membership changed since the last allocation, or none exists; force
+// recomputes clean shards too). Results land in the mirror; a daemon death
+// marks the shard down instead of failing the call. The returned error is
+// the lowest-index protocol failure.
+func (s *Service) AllocateAll(round int64, info func(id int) policy.JobInfo, force bool) error {
+	type slot struct {
+		rep AllocateReply
+		err error
+		ran bool
+	}
+	slots := make([]slot, len(s.shards))
+	var wg sync.WaitGroup
+	for k, m := range s.shards {
+		if m.down || (!force && !m.dirty && m.alloc != nil) {
+			continue
+		}
+		infos := make([]policy.JobInfo, 0, len(m.jobs))
+		for _, id := range m.jobs {
+			ji := info(id)
+			ji.ID = id
+			infos = append(infos, ji)
+		}
+		slots[k].ran = true
+		wg.Add(1)
+		go func(k int, m *shardMirror, args AllocateArgs) {
+			defer wg.Done()
+			slots[k].rep, slots[k].err = m.client.Allocate(args)
+		}(k, m, AllocateArgs{Round: round, Infos: infos})
+	}
+	wg.Wait()
+	for k, m := range s.shards {
+		if !slots[k].ran {
+			continue
+		}
+		if err := slots[k].err; err != nil {
+			if err = s.downOrErr(m, err); err != nil {
+				return err
+			}
+			continue
+		}
+		m.alloc = &core.Allocation{Units: slots[k].rep.Units, X: slots[k].rep.X}
+		m.allocIDs = slots[k].rep.IDs
+		m.dirty = false
+	}
+	return nil
+}
+
+// AssignRound runs one mechanism round on every live shard concurrently,
+// validates the merged result against the per-shard and global worker
+// budgets, and returns the per-shard assignments indexed by shard. skip
+// masks jobs that must not run (may be nil); a dead daemon contributes an
+// empty round.
+func (s *Service) AssignRound(round int64, roundSeconds float64, skip func(id int) bool) ([][]scheduler.Assignment, error) {
+	perShard := make([][]scheduler.Assignment, len(s.shards))
+	errs := make([]error, len(s.shards))
+	var wg sync.WaitGroup
+	for k, m := range s.shards {
+		if m.down || m.alloc == nil || len(m.alloc.Units) == 0 {
+			continue
+		}
+		var skipIDs []int
+		if skip != nil {
+			for _, id := range m.allocIDs {
+				if skip(id) {
+					skipIDs = append(skipIDs, id)
+				}
+			}
+		}
+		wg.Add(1)
+		go func(k int, m *shardMirror, args AssignRoundArgs) {
+			defer wg.Done()
+			rep, err := m.client.AssignRound(args)
+			perShard[k], errs[k] = rep.Assigns, err
+		}(k, m, AssignRoundArgs{Round: round, RoundSeconds: roundSeconds, SkipJobs: skipIDs})
+	}
+	wg.Wait()
+	for k, m := range s.shards {
+		if err := errs[k]; err != nil {
+			perShard[k] = nil
+			if err = s.downOrErr(m, err); err != nil {
+				return nil, err
+			}
+		}
+	}
+	if err := s.ValidateRound(perShard); err != nil {
+		return nil, err
+	}
+	return perShard, nil
+}
+
+// ValidateRound verifies one global round's budget invariants on the mirror:
+// every shard within its own worker slice, and the union within the global
+// per-type budget — cluster.Coordinator.ValidateRound over mirrored state.
+func (s *Service) ValidateRound(perShard [][]scheduler.Assignment) error {
+	if len(perShard) != len(s.shards) {
+		return Errorf(CodeInternal, "%d assignment sets for %d shards", len(perShard), len(s.shards))
+	}
+	total := make([]int, s.numTypes)
+	for k, assigns := range perShard {
+		if len(assigns) == 0 {
+			continue
+		}
+		m := s.shards[k]
+		used := scheduler.UsedWorkers(assigns, m.unitScaleFactor, s.numTypes)
+		if err := scheduler.WithinBudget(used, s.split[k]); err != nil {
+			return Errorf(CodeInternal, "shard %d: %v", k, err)
+		}
+		for j := range used {
+			total[j] += used[j]
+		}
+	}
+	if err := scheduler.WithinBudget(total, s.globalInts); err != nil {
+		return Errorf(CodeInternal, "merged round: %v", err)
+	}
+	return nil
+}
+
+// Observe flushes one round's measured pair throughputs to shard k, in
+// observation order.
+func (s *Service) Observe(k int, obs []PairObservation) error {
+	m := s.shards[k]
+	if m.down || len(obs) == 0 {
+		return nil
+	}
+	return s.downOrErr(m, m.client.Observe(ObserveArgs{Obs: obs}))
+}
+
+// SnapshotAll pulls every live shard's recovery snapshot — warm seeds plus
+// accounting — into the mirror. This is the coordinator's periodic
+// checkpoint: if a daemon later dies, its jobs re-route with these seeds and
+// its last status stays mergeable.
+func (s *Service) SnapshotAll() error {
+	for _, m := range s.shards {
+		if m.down {
+			continue
+		}
+		rep, err := m.client.Snapshot()
+		if err != nil {
+			if err = s.downOrErr(m, err); err != nil {
+				return err
+			}
+			continue
+		}
+		m.seeds = rep.Seeds
+		m.status = rep.Status
+	}
+	return nil
+}
+
+// PingAll probes every live daemon, marking the unresponsive ones down, and
+// returns the indices of newly dead shards.
+func (s *Service) PingAll() []int {
+	var dead []int
+	for _, m := range s.shards {
+		if m.down {
+			continue
+		}
+		if m.client.Ping() != nil {
+			s.markDown(m)
+			dead = append(dead, m.index)
+		}
+	}
+	return dead
+}
+
+// Recover re-routes every job resident on dead shards onto the live ones, in
+// the dead shard's admission order, least-loaded destination first. Each job
+// re-installs from the mirror's throughput row with the dead shard's last
+// snapshot seeds, so the destination — or a fresh replacement daemon — warm
+// starts via basis remap instead of solving cold; destinations that already
+// hold seeds keep their own (the better cover) and still solve the enlarged
+// job set remapped. The dead shard's last snapshot status remains mergeable
+// through Stats. Returns the moves for the caller's placement bookkeeping.
+func (s *Service) Recover() ([]cluster.Migration, error) {
+	var migs []cluster.Migration
+	for _, dead := range s.shards {
+		if !dead.down || len(dead.jobs) == 0 {
+			continue
+		}
+		jobs := append([]int(nil), dead.jobs...)
+		for _, id := range jobs {
+			live := s.live()
+			if len(live) == 0 {
+				return migs, Errorf(CodeShardDown, "no live shard daemons to recover onto")
+			}
+			to := leastLoaded(live)
+			sf, tput := dead.sf[id], dead.tput[id]
+			dead.remove(id)
+			delete(s.shardOf, id)
+			err := s.install(to, InstallArgs{
+				JobID:       id,
+				ScaleFactor: sf,
+				Tput:        tput,
+				Seeds:       dead.seeds,
+				Migrated:    true,
+			})
+			if err != nil {
+				if err = s.downOrErr(to, err); err != nil {
+					return migs, err
+				}
+				// Destination died too; retry this job on the remaining live
+				// set by re-entering the loop body via a fresh install.
+				dead.add(id, sf, tput)
+				s.shardOf[id] = dead.index
+				continue
+			}
+			s.recoveries++
+			migs = append(migs, cluster.Migration{Job: id, From: dead.index, To: to.index})
+		}
+	}
+	return migs, nil
+}
+
+// Stats returns per-shard accounting in shard order: a fresh Status pull for
+// live daemons, the last snapshot for dead ones — so a crashed shard's solve
+// work stays countable in the merged result.
+func (s *Service) Stats() ([]ShardStatus, error) {
+	out := make([]ShardStatus, len(s.shards))
+	for k, m := range s.shards {
+		if m.down {
+			out[k] = m.status
+			continue
+		}
+		st, err := m.client.Status()
+		if err != nil {
+			if err = s.downOrErr(m, err); err != nil {
+				return nil, err
+			}
+			out[k] = m.status
+			continue
+		}
+		m.status = st
+		out[k] = st
+	}
+	return out, nil
+}
+
+// JobShards returns the job → shard index placement map (copy; exposed for
+// tests and observability).
+func (s *Service) JobShards() map[int]int {
+	out := make(map[int]int, len(s.shardOf))
+	for id, k := range s.shardOf {
+		out[id] = k
+	}
+	return out
+}
+
+// Close closes every shard client connection.
+func (s *Service) Close() error {
+	var first error
+	for _, m := range s.shards {
+		if err := m.client.Close(); err != nil && first == nil {
+			first = err
+		}
+	}
+	return first
+}

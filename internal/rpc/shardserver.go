@@ -1,0 +1,340 @@
+package rpc
+
+import (
+	"net"
+	gorpc "net/rpc"
+	"sync"
+
+	"gavel/internal/cluster"
+	"gavel/internal/policy"
+)
+
+// ShardServer is one shard daemon's engine: a cluster.Shard (solve context,
+// throughput cache, round mechanism over its device slice) behind the
+// coordinator <-> shard protocol. A daemon starts bare — NewShardServer,
+// then Serve — and receives its identity (device slice, policy, LP options)
+// from the coordinator's Configure push. Every exported method below is a
+// net/rpc handler; LocalShardClient calls the same methods directly, so the
+// in-memory transport exercises the identical code path minus the sockets.
+//
+// Calls are serialized by a mutex: the control plane is round-synchronous by
+// design (one coordinator, one call in flight per shard per phase), so
+// serialization costs nothing and keeps the shard's state transitions
+// byte-deterministic.
+type ShardServer struct {
+	mu    sync.Mutex
+	shard *cluster.Shard
+	pol   policy.Policy
+	cfg   ShardConfig
+
+	srv *tcpServer
+}
+
+// NewShardServer returns an unconfigured shard daemon engine.
+func NewShardServer() *ShardServer { return &ShardServer{} }
+
+// shardServiceName is the net/rpc service name of the shard surface.
+const shardServiceName = "GavelShard"
+
+// Serve starts the daemon's TCP listener on addr ("host:port"), returning
+// the bound address (useful with ":0").
+func (s *ShardServer) Serve(addr string) (string, error) {
+	srv := gorpc.NewServer()
+	if err := srv.RegisterName(shardServiceName, s); err != nil {
+		return "", err
+	}
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return "", err
+	}
+	s.mu.Lock()
+	s.srv = newTCPServer(ln, srv)
+	s.mu.Unlock()
+	return ln.Addr().String(), nil
+}
+
+// Close stops the listener and tears down every in-flight connection,
+// joining their ServeConn goroutines.
+func (s *ShardServer) Close() error {
+	s.mu.Lock()
+	srv := s.srv
+	s.mu.Unlock()
+	if srv == nil {
+		return nil
+	}
+	return srv.close()
+}
+
+// Hello is the protocol handshake.
+func (s *ShardServer) Hello(args HelloArgs, reply *HelloReply) error {
+	if err := CheckVersion(args.Version); err != nil {
+		return err
+	}
+	*reply = HelloReply{Version: ProtocolVersion}
+	return nil
+}
+
+// Ping is the liveness probe.
+func (s *ShardServer) Ping(_ StatusArgs, _ *Ack) error { return nil }
+
+// Configure installs the shard's identity. A repeat Configure with the same
+// index is idempotent (a coordinator restart re-pushes config); changing the
+// index of a live shard is an error.
+func (s *ShardServer) Configure(cfg ShardConfig, _ *Ack) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.shard != nil {
+		if cfg.Index != s.cfg.Index {
+			return Errorf(CodeAlreadyConfigured,
+				"shard %d cannot become shard %d", s.cfg.Index, cfg.Index)
+		}
+		return nil
+	}
+	if len(cfg.WorkerInts) == 0 {
+		return Errorf(CodeBadRequest, "empty worker slice")
+	}
+	pol, err := PolicyFromSpec(cfg.Policy)
+	if err != nil {
+		return err
+	}
+	if !policy.ConcurrentSafe(pol) {
+		return Errorf(CodeBadRequest, "policy %s is not safe for the sharded engine", pol.Name())
+	}
+	var ctx *policy.SolveContext
+	if !cfg.ColdSolves {
+		ctx = policy.NewSolveContextWith(cfg.LP)
+	}
+	s.shard = cluster.NewShard(cfg.Index, cfg.WorkerInts, cfg.PerServer, cfg.Prices, ctx)
+	s.pol = pol
+	s.cfg = cfg
+	return nil
+}
+
+// ready returns the shard under lock or a typed not-configured error.
+func (s *ShardServer) ready() (*cluster.Shard, error) {
+	if s.shard == nil {
+		return nil, Errorf(CodeNotConfigured, "shard daemon has not been configured")
+	}
+	return s.shard, nil
+}
+
+// Install admits a job (arrival, migration target, or crash-recovery
+// re-route). See InstallArgs for the seed-import gate.
+func (s *ShardServer) Install(args InstallArgs, _ *Ack) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	sh, err := s.ready()
+	if err != nil {
+		return err
+	}
+	sh.Add(args.JobID, args.ScaleFactor, args.Tput)
+	if args.Migrated {
+		sh.MigratedIn++
+	} else {
+		sh.Admitted++
+	}
+	for _, p := range args.Pairs {
+		sh.SetPairIfAbsent(p.A, p.B, p.Ta, p.Tb)
+	}
+	if len(args.Seeds) > 0 && !sh.Ctx.HasSeeds() {
+		sh.Ctx.ImportSeeds(args.Seeds)
+	}
+	return nil
+}
+
+// Remove drops a completed job.
+func (s *ShardServer) Remove(args RemoveArgs, _ *Ack) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	sh, err := s.ready()
+	if err != nil {
+		return err
+	}
+	sh.Remove(args.JobID)
+	return nil
+}
+
+// Extract removes a job for migration, returning its throughput row and the
+// shard's warm seeds for the destination.
+func (s *ShardServer) Extract(args ExtractArgs, reply *ExtractReply) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	sh, err := s.ready()
+	if err != nil {
+		return err
+	}
+	if !sh.Has(args.JobID) {
+		return Errorf(CodeUnknownJob, "job %d is not resident on shard %d", args.JobID, s.cfg.Index)
+	}
+	reply.ScaleFactor = sh.Cache.ScaleFactor(args.JobID)
+	reply.Tput = append([]float64(nil), sh.Cache.JobTput(args.JobID)...)
+	reply.Seeds = sh.Ctx.ExportSeeds()
+	sh.Remove(args.JobID)
+	sh.MigratedOut++
+	return nil
+}
+
+// Allocate recomputes the shard's allocation over its residents, using the
+// coordinator-supplied per-job info, and returns the full allocation.
+func (s *ShardServer) Allocate(args AllocateArgs, reply *AllocateReply) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	sh, err := s.ready()
+	if err != nil {
+		return err
+	}
+	infos := make(map[int]policy.JobInfo, len(args.Infos))
+	for _, ji := range args.Infos {
+		infos[ji.ID] = ji
+	}
+	info := func(id int) policy.JobInfo { return infos[id] }
+	if err := sh.Allocate(s.pol, s.cfg.PairGainThreshold, s.cfg.MaxPairsPerJob, info); err != nil {
+		return Errorf(CodeInternal, "allocate: %v", err)
+	}
+	reply.IDs = append([]int(nil), sh.AllocIDs...)
+	reply.Units = sh.Alloc.Units
+	reply.X = sh.Alloc.X
+	return nil
+}
+
+// AssignRound runs one mechanism round over the current allocation.
+func (s *ShardServer) AssignRound(args AssignRoundArgs, reply *AssignRoundReply) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	sh, err := s.ready()
+	if err != nil {
+		return err
+	}
+	if sh.Alloc == nil && sh.NumJobs() > 0 {
+		return Errorf(CodeNoAllocation, "AssignRound before any Allocate on shard %d", s.cfg.Index)
+	}
+	var skip func(id int) bool
+	if len(args.SkipJobs) > 0 {
+		set := make(map[int]bool, len(args.SkipJobs))
+		for _, id := range args.SkipJobs {
+			set[id] = true
+		}
+		skip = func(id int) bool { return set[id] }
+	}
+	assigns, err := sh.AssignRound(args.RoundSeconds, skip)
+	if err != nil {
+		return Errorf(CodeInternal, "assign round: %v", err)
+	}
+	reply.Assigns = assigns
+	return nil
+}
+
+// Observe replays a round's measured pair throughputs into the cache.
+func (s *ShardServer) Observe(args ObserveArgs, _ *Ack) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	sh, err := s.ready()
+	if err != nil {
+		return err
+	}
+	for _, o := range args.Obs {
+		sh.Observe(o.A, o.B, o.Type, o.Ta, o.Tb)
+	}
+	return nil
+}
+
+// Snapshot returns the shard's recovery snapshot: warm seeds plus status.
+func (s *ShardServer) Snapshot(_ SnapshotArgs, reply *SnapshotReply) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	sh, err := s.ready()
+	if err != nil {
+		return err
+	}
+	reply.Seeds = sh.Ctx.ExportSeeds()
+	reply.Status = s.statusLocked(sh)
+	return nil
+}
+
+// Status returns the shard's accounting.
+func (s *ShardServer) Status(_ StatusArgs, reply *ShardStatus) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	sh, err := s.ready()
+	if err != nil {
+		return err
+	}
+	*reply = s.statusLocked(sh)
+	return nil
+}
+
+func (s *ShardServer) statusLocked(sh *cluster.Shard) ShardStatus {
+	st := ShardStatus{
+		Index:       s.cfg.Index,
+		Jobs:        sh.Jobs(),
+		Admitted:    sh.Admitted,
+		MigratedIn:  sh.MigratedIn,
+		MigratedOut: sh.MigratedOut,
+		PolicyCalls: sh.PolicyCalls,
+		PolicyTime:  sh.PolicyTime,
+	}
+	if sh.Ctx != nil {
+		st.Solve = sh.Ctx.Stats
+	}
+	return st
+}
+
+// tcpServer owns a listener and its per-connection goroutines so Close can
+// actually stop everything (the seed's lease server leaked its ServeConn
+// goroutines until process exit).
+type tcpServer struct {
+	ln net.Listener
+
+	mu     sync.Mutex
+	closed bool
+	conns  map[net.Conn]struct{}
+	wg     sync.WaitGroup
+}
+
+func newTCPServer(ln net.Listener, srv *gorpc.Server) *tcpServer {
+	t := &tcpServer{ln: ln, conns: map[net.Conn]struct{}{}}
+	t.wg.Add(1)
+	go func() {
+		defer t.wg.Done()
+		for {
+			conn, err := ln.Accept()
+			if err != nil {
+				return
+			}
+			t.mu.Lock()
+			if t.closed {
+				t.mu.Unlock()
+				conn.Close()
+				return
+			}
+			t.conns[conn] = struct{}{}
+			t.mu.Unlock()
+			t.wg.Add(1)
+			go func() {
+				defer t.wg.Done()
+				srv.ServeConn(conn)
+				t.mu.Lock()
+				delete(t.conns, conn)
+				t.mu.Unlock()
+				conn.Close()
+			}()
+		}
+	}()
+	return t
+}
+
+func (t *tcpServer) close() error {
+	t.mu.Lock()
+	if t.closed {
+		t.mu.Unlock()
+		return nil
+	}
+	t.closed = true
+	err := t.ln.Close()
+	for conn := range t.conns {
+		conn.Close()
+	}
+	t.mu.Unlock()
+	t.wg.Wait()
+	return err
+}

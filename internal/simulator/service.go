@@ -1,0 +1,316 @@
+package simulator
+
+import (
+	"fmt"
+	"math"
+	"time"
+
+	"gavel/internal/policy"
+	"gavel/internal/rpc"
+)
+
+// batchObserver collects one shard's measured pair throughputs in
+// observation order, for a single Observe flush to the shard daemon after
+// the round's progress is applied. Observations only feed the shard's
+// throughput cache — nothing reads the cache again before the next
+// allocation — so flushing a round's batch at once leaves the daemon's cache
+// byte-identical to the in-process engine's interleaved writes.
+type batchObserver struct{ obs []rpc.PairObservation }
+
+func (b *batchObserver) observePair(aID, bID, typ int, ta, tb float64) {
+	b.obs = append(b.obs, rpc.PairObservation{A: aID, B: bID, Type: typ, Ta: ta, Tb: tb})
+}
+
+// runService executes the simulation on the cluster-service engine: the
+// sharded round loop of runSharded, driven through an rpc.Service over
+// Config.ShardClients instead of an in-process cluster.Coordinator. The two
+// engines are mirrors — same routing, same rebalance, same staleness and
+// retirement rules, applied in the same order — and gob moves floats
+// bit-exactly, so a service run over K clients produces a byte-identical
+// Result to an in-process run with NumShards = K. Unlike the in-process
+// engine, shard daemons can die mid-run: the coordinator detects the loss on
+// the next call, re-routes the dead shard's jobs onto the survivors with its
+// last snapshot's warm seeds, and the recovered jobs' next solves land
+// remapped, not cold.
+func runService(cfg Config) (*Result, error) {
+	e, err := newRunEnv(cfg)
+	if err != nil {
+		return nil, err
+	}
+	if s, ok := e.provider.(StableProvider); !ok || !s.StableEstimates() {
+		return nil, fmt.Errorf("simulator: the cluster-service engine requires a stable throughput provider (per-shard caches cannot track cross-pair learning)")
+	}
+	if !policy.ConcurrentSafe(cfg.Policy) {
+		return nil, fmt.Errorf("simulator: policy %s mutates internal state in Allocate and cannot run sharded (shards solve concurrently)", cfg.Policy.Name())
+	}
+	spec, ok := rpc.SpecForPolicy(cfg.Policy)
+	if !ok {
+		return nil, fmt.Errorf("simulator: policy %s is not in the rpc catalog", cfg.Policy.Name())
+	}
+	pairCap := 0
+	if cfg.SpaceSharing {
+		pairCap = e.maxPairs
+	}
+	snapEvery := cfg.SnapshotEveryRounds
+	if snapEvery <= 0 {
+		snapEvery = 10
+	}
+
+	trace, states, res := e.trace, e.states, e.res
+	numShards := len(cfg.ShardClients)
+	stateOf := make(map[int]int, len(trace)) // job ID -> state index
+
+	// The service ships pair candidates with every job placement; rows come
+	// from the provider exactly as syncPairs builds them in-process. The
+	// shard daemons apply them HasPair-gated, so answering for an
+	// already-cached pair is harmless.
+	var pairs rpc.PairSource
+	if cfg.SpaceSharing {
+		pairs = func(aID, bID int) ([]float64, []float64) {
+			a, b := states[stateOf[aID]].job, states[stateOf[bID]].job
+			ta := make([]float64, len(e.workers))
+			tb := make([]float64, len(e.workers))
+			for t := range ta {
+				if ca, cb, ok := e.provider.Colocated(a, b, t); ok {
+					ta[t], tb[t] = ca, cb
+				}
+			}
+			return ta, tb
+		}
+	}
+
+	svc, err := rpc.NewService(rpc.ServiceConfig{
+		Cluster:           cfg.Cluster,
+		Policy:            spec,
+		LP:                cfg.lpOptions(),
+		ColdSolves:        cfg.ColdSolves,
+		Route:             cfg.ShardRoute,
+		PairGainThreshold: pairGainThreshold,
+		MaxPairsPerJob:    pairCap,
+		Pairs:             pairs,
+	}, cfg.ShardClients)
+	if err != nil {
+		return nil, err
+	}
+
+	allocStates := make([][]int, numShards) // per shard: state indices parallel to AllocIDs
+	shardRounds := make([]int, numShards)   // rounds since the shard's last allocation
+	reallocated := make([]bool, numShards)
+
+	now := 0.0
+	completed := 0
+	nextArrival := 0
+
+	for completed < len(trace) && now < e.maxSec {
+		// Retire finished jobs. Only stale shards can hold one: a finishing
+		// job marks its shard dirty.
+		for k := 0; k < numShards; k++ {
+			if !svc.IsDirty(k) {
+				continue
+			}
+			for _, id := range svc.ShardJobs(k) {
+				if states[stateOf[id]].done {
+					if err := svc.Remove(id); err != nil {
+						return nil, err
+					}
+				}
+			}
+		}
+		// Admit arrivals up to now, routed by the coordinator.
+		for nextArrival < len(trace) && trace[nextArrival].Arrival <= now {
+			st := states[nextArrival]
+			j := st.job
+			st.arrivalN = svc.NumJobs() + 1
+			tput := make([]float64, len(e.workers))
+			for t := range tput {
+				tput[t] = e.provider.Isolated(j, t)
+			}
+			stateOf[j.ID] = nextArrival
+			if _, err := svc.Admit(j.ID, j.ScaleFactor, tput); err != nil {
+				return nil, err
+			}
+			nextArrival++
+		}
+		if svc.NumJobs() == 0 {
+			// Fast-forward to the next arrival boundary.
+			if nextArrival >= len(trace) {
+				break
+			}
+			steps := math.Ceil((trace[nextArrival].Arrival - now) / e.round)
+			if steps < 1 {
+				steps = 1
+			}
+			now += steps * e.round
+			continue
+		}
+
+		// Periodic rebalance: migrate jobs from the most to the least
+		// loaded shard; their warm LP bases travel in the Extract/Install
+		// payloads.
+		if cfg.RebalanceEveryRounds > 0 && res.Rounds > 0 && res.Rounds%cfg.RebalanceEveryRounds == 0 {
+			migs, err := svc.Rebalance()
+			if err != nil {
+				return nil, err
+			}
+			for _, m := range migs {
+				st := states[stateOf[m.Job]]
+				// A migration is a physical placement change: server
+				// indices are shard-local, so the old coordinates must not
+				// suppress the checkpoint penalty or preemption count when
+				// the destination shard happens to reuse the same numbers.
+				st.lastType, st.lastServer, st.lastPartner = -1, -1, -1
+			}
+		}
+
+		// Recompute every stale shard's allocation concurrently across the
+		// daemons.
+		info := func(id int) policy.JobInfo {
+			st := states[stateOf[id]]
+			j := st.job
+			ji := policy.JobInfo{
+				Weight:         j.Weight,
+				Priority:       j.Priority,
+				RemainingSteps: j.TotalSteps - st.steps,
+				TotalSteps:     j.TotalSteps,
+				Elapsed:        now - j.Arrival,
+				ArrivalSeq:     st.seq,
+				Entity:         j.Entity,
+			}
+			if j.SLO > 0 {
+				ji.SLORemaining = j.Arrival + j.SLO - now
+				if ji.SLORemaining < 1 {
+					ji.SLORemaining = 1
+				}
+			}
+			return ji
+		}
+		anyStale := false
+		for k := range reallocated {
+			alloc, _ := svc.Alloc(k)
+			reallocated[k] = svc.IsDirty(k) || alloc == nil
+			anyStale = anyStale || reallocated[k]
+		}
+		allocStart := time.Now()
+		if err := svc.AllocateAll(int64(res.Rounds), info, false); err != nil {
+			return nil, fmt.Errorf("policy %s: %w", cfg.Policy.Name(), err)
+		}
+		if anyStale {
+			res.PolicyTime += time.Since(allocStart)
+		}
+		for k, did := range reallocated {
+			if !did {
+				continue
+			}
+			_, ids := svc.Alloc(k)
+			shardRounds[k] = 0
+			allocStates[k] = allocStates[k][:0]
+			for _, id := range ids {
+				allocStates[k] = append(allocStates[k], stateOf[id])
+			}
+		}
+
+		// Round assignment fans out to the daemons; the merge validates the
+		// per-shard and global budget invariants on the mirror. Progress,
+		// cost, and completion apply serially in shard order, with each
+		// shard's pair observations flushed back before the next shard.
+		skip := func(id int) bool { return states[stateOf[id]].done }
+		perShard, err := svc.AssignRound(int64(res.Rounds), e.round, skip)
+		if err != nil {
+			return nil, err
+		}
+		for k := 0; k < numShards; k++ {
+			alloc, _ := svc.Alloc(k)
+			if alloc == nil || len(alloc.Units) == 0 {
+				continue
+			}
+			if cfg.OnRound != nil {
+				cfg.OnRound(now, alloc, allocStates[k], perShard[k])
+			}
+			batch := &batchObserver{}
+			applyAssignments(cfg, batch, states, allocStates[k], alloc, perShard[k], e.round, now, e.prices, e.noise, svc.DirtyFlag(k), &completed, res)
+			if err := svc.Observe(k, batch.obs); err != nil {
+				return nil, err
+			}
+		}
+
+		now += e.round
+		res.Rounds++
+		for k := range shardRounds {
+			shardRounds[k]++
+			if cfg.ReallocEveryRounds > 0 && shardRounds[k] >= cfg.ReallocEveryRounds {
+				*svc.DirtyFlag(k) = true
+			}
+		}
+		// Periodic recovery snapshot: pull every daemon's warm seeds and
+		// accounting. Read-only — results are unaffected by the cadence.
+		if res.Rounds%snapEvery == 0 {
+			if err := svc.SnapshotAll(); err != nil {
+				return nil, err
+			}
+		}
+		// A daemon died this round (any call above marks it down on a
+		// transport failure): re-route its jobs onto the survivors with the
+		// last snapshot's seeds. The destinations turn dirty and reallocate
+		// next round — remapped solves, not cold ones.
+		if svc.AnyDown() {
+			migs, err := svc.Recover()
+			if err != nil {
+				return nil, err
+			}
+			for _, m := range migs {
+				st := states[stateOf[m.Job]]
+				st.lastType, st.lastServer, st.lastPartner = -1, -1, -1
+			}
+		}
+	}
+
+	// Merge per-shard accounting into the Result. Dead daemons contribute
+	// their last snapshot's accounting.
+	res.NumShards = numShards
+	res.Migrations = svc.Migrations()
+	res.Rebalances = svc.Rebalances()
+	res.Recoveries = svc.Recoveries()
+	stats, err := svc.Stats()
+	if err != nil {
+		return nil, err
+	}
+	for _, st := range stats {
+		res.PolicyCalls += st.PolicyCalls
+		cold := st.Solve.Solves - st.Solve.WarmHits - st.Solve.RemapHits
+		res.ShardStats = append(res.ShardStats, ShardStat{
+			Shard:             st.Index,
+			JobsAdmitted:      st.Admitted,
+			MigratedIn:        st.MigratedIn,
+			MigratedOut:       st.MigratedOut,
+			LPSolves:          st.Solve.Solves,
+			WarmSolves:        st.Solve.WarmHits,
+			RemappedSolves:    st.Solve.RemapHits,
+			ColdSolves:        cold,
+			SimplexIterations: st.Solve.Iterations,
+
+			PresolveReductions: st.Solve.PresolveReductions,
+			DualIterations:     st.Solve.DualIterations,
+		})
+		res.LPSolves += st.Solve.Solves
+		res.WarmSolves += st.Solve.WarmHits
+		res.RemappedSolves += st.Solve.RemapHits
+		res.SimplexIterations += st.Solve.Iterations
+		res.RevisedSolves += st.Solve.RevisedSolves
+		res.DenseSolves += st.Solve.DenseSolves
+		res.EngineFallbacks += st.Solve.Fallbacks
+		res.PresolveReductions += st.Solve.PresolveReductions
+		res.DualIterations += st.Solve.DualIterations
+	}
+
+	for _, st := range states {
+		if !st.done {
+			res.Unfinished++
+		}
+	}
+	for i := range res.Jobs {
+		if res.Jobs[i].SLOViolated {
+			res.SLOViolations++
+		}
+	}
+	return res, nil
+}

@@ -46,7 +46,7 @@ func runSharded(cfg Config) (*Result, error) {
 	coord, err := cluster.NewCoordinator(cluster.CoordinatorConfig{
 		NumShards:         cfg.NumShards,
 		Cluster:           cfg.Cluster,
-		Engine:            cfg.LPEngine,
+		LP:                cfg.lpOptions(),
 		ColdSolves:        cfg.ColdSolves,
 		Route:             cfg.ShardRoute,
 		PairGainThreshold: pairGainThreshold,

@@ -19,6 +19,7 @@ import (
 	"gavel/internal/core"
 	"gavel/internal/lp"
 	"gavel/internal/policy"
+	"gavel/internal/rpc"
 	"gavel/internal/scheduler"
 	"gavel/internal/workload"
 )
@@ -106,8 +107,15 @@ type Config struct {
 	ColdSolves bool
 	// LPEngine selects the simplex implementation for the run's solve
 	// context: lp.Revised, lp.Dense, or lp.EngineAuto (default) to follow
-	// lp.DefaultEngine. Ignored under ColdSolves (no context).
+	// lp.DefaultEngine. Ignored under ColdSolves (no context). Retained for
+	// compatibility; LPOptions is the full knob set and wins when its Engine
+	// is set.
 	LPEngine lp.Engine
+	// LPOptions bundles every solver knob — engine, pricing, presolve, dual
+	// repair — resolved once at startup (lp.OptionsFromEnv, flags) instead of
+	// per-solve getenv reads. Auto fields follow the lp package defaults, so
+	// the zero value preserves the environment-driven behavior.
+	LPOptions lp.Options
 	// ReallocEveryRounds, when > 0, recomputes the allocation every k
 	// rounds even without an arrival or completion (modeling Gavel's
 	// periodic refresh as observed throughputs stream in). 0 recomputes
@@ -134,10 +142,65 @@ type Config struct {
 	// ShardRoute selects arrival routing across shards (hash of the job ID
 	// by default, or least-loaded). Sharded engine only.
 	ShardRoute cluster.RoutePolicy
+	// ShardClients, when non-empty, runs the cluster-service engine: the
+	// same round loop as the sharded engine, but driven through an
+	// rpc.Service over the given shard clients — in-memory transports
+	// (rpc.NewLocalShard) or TCP connections to real shard daemons
+	// (rpc.DialShard). The service run is byte-identical to an in-process
+	// run with NumShards == len(ShardClients): gob moves floats bit-exactly
+	// and the coordinator mirrors every routing and rebalance decision.
+	// Requires a policy registered in the rpc catalog (rpc.SpecForPolicy), a
+	// StableProvider, and real (non-Ideal) execution.
+	ShardClients []rpc.ShardClient
+	// SnapshotEveryRounds is the service engine's basis/throughput snapshot
+	// cadence (default 10): every k rounds the coordinator pulls each shard
+	// daemon's warm seeds and accounting, the state it recovers from if the
+	// daemon dies. Snapshots never perturb shard state, so the cadence does
+	// not affect results — only how warm a recovery starts.
+	SnapshotEveryRounds int
 	// OnRound, if set, is invoked after every executed round with the
 	// current time, the allocation in force, the active job state indices,
 	// and the round's assignments (testing/observability hook).
 	OnRound func(now float64, alloc *core.Allocation, active []int, assigns []scheduler.Assignment)
+}
+
+// lpOptions folds the legacy LPEngine knob into the typed option set: the
+// run's solve contexts are configured from one resolved value.
+func (c Config) lpOptions() lp.Options {
+	o := c.LPOptions
+	if o.Engine == lp.EngineAuto {
+		o.Engine = c.LPEngine
+	}
+	return o
+}
+
+// Validate checks the configuration without running it: the cluster shape,
+// the policy, and the cross-field constraints of the sharded and service
+// engines. Run performs the same checks; Validate exists so daemons and
+// tools can reject a bad configuration before spawning processes.
+func (c Config) Validate() error {
+	if err := c.Cluster.Validate(); err != nil {
+		return err
+	}
+	if c.Policy == nil {
+		return fmt.Errorf("simulator: no policy")
+	}
+	if len(c.Cluster.Types) != workload.NumTypes {
+		return fmt.Errorf("simulator: cluster must use the %v universe", workload.TypeNames)
+	}
+	if len(c.ShardClients) > 0 {
+		if c.NumShards > 0 && c.NumShards != len(c.ShardClients) {
+			return fmt.Errorf("simulator: NumShards %d != %d shard clients (set one or make them agree)",
+				c.NumShards, len(c.ShardClients))
+		}
+		if c.IdealExecution {
+			return fmt.Errorf("simulator: the cluster-service engine schedules through the round mechanism; IdealExecution is not supported")
+		}
+		if _, ok := rpc.SpecForPolicy(c.Policy); !ok {
+			return fmt.Errorf("simulator: policy %s is not in the rpc catalog and cannot be configured on shard daemons", c.Policy.Name())
+		}
+	}
+	return nil
 }
 
 // JobResult records one job's outcome.
@@ -209,6 +272,10 @@ type Result struct {
 	NumShards  int
 	Migrations int
 	Rebalances int
+	// Recoveries counts jobs re-routed off crashed shard daemons by the
+	// cluster-service engine (always zero in-process, where shards cannot
+	// die independently).
+	Recoveries int
 	ShardStats []ShardStat
 }
 
@@ -288,14 +355,8 @@ type runEnv struct {
 
 // newRunEnv validates cfg and assembles the shared run state.
 func newRunEnv(cfg Config) (*runEnv, error) {
-	if err := cfg.Cluster.Validate(); err != nil {
+	if err := cfg.Validate(); err != nil {
 		return nil, err
-	}
-	if cfg.Policy == nil {
-		return nil, fmt.Errorf("simulator: no policy")
-	}
-	if len(cfg.Cluster.Types) != workload.NumTypes {
-		return nil, fmt.Errorf("simulator: cluster must use the %v universe", workload.TypeNames)
 	}
 	e := &runEnv{
 		round:    cfg.RoundSeconds,
@@ -352,9 +413,13 @@ func newRunEnv(cfg Config) (*runEnv, error) {
 	return e, nil
 }
 
-// Run executes the simulation: the monolithic loop by default, or the
-// sharded engine when Config.NumShards > 0.
+// Run executes the simulation: the monolithic loop by default, the sharded
+// engine when Config.NumShards > 0, or the cluster-service engine when
+// Config.ShardClients is set.
 func Run(cfg Config) (*Result, error) {
+	if len(cfg.ShardClients) > 0 {
+		return runService(cfg)
+	}
 	if cfg.NumShards > 0 {
 		return runSharded(cfg)
 	}
@@ -371,8 +436,7 @@ func Run(cfg Config) (*Result, error) {
 	builder := newInputBuilder(provider, len(workers))
 	var ctx *policy.SolveContext
 	if !cfg.ColdSolves {
-		ctx = policy.NewSolveContext()
-		ctx.Engine = cfg.LPEngine
+		ctx = policy.NewSolveContextWith(cfg.lpOptions())
 	}
 
 	var active []int // indices into states
