@@ -26,6 +26,7 @@ import (
 	"sync"
 	"time"
 
+	"gavel/internal/chaos"
 	"gavel/internal/cluster"
 	"gavel/internal/lp"
 	"gavel/internal/policy"
@@ -51,6 +52,12 @@ func main() {
 		lpPricing  = flag.String("lp-pricing", "", "LP pricing: dantzig|devex (default auto)")
 		lpPresolve = flag.String("lp-presolve", "", "LP presolve: on|off (default auto)")
 		lpDual     = flag.String("lp-dual", "", "LP dual warm starts: on|off (default auto)")
+
+		journal    = flag.String("journal", "", "coordinator write-ahead-log path (empty = not durable; an existing journal resumes the run)")
+		chaosSpec  = flag.String("chaos", "", "fault-injection spec, e.g. seed=42,drop=0.05,dup=0.01,delay=0.1,maxdelay=20ms,partition=40+10,crash=200")
+		rpcTimeout = flag.Duration("rpc-timeout", 0, "per-call shard RPC deadline (0 = GAVEL_RPC_TIMEOUT or default)")
+		rpcRetries = flag.Int("rpc-retries", -1, "transient-failure retries per shard call (-1 = GAVEL_RPC_RETRIES or default)")
+		rpcBackoff = flag.Duration("rpc-backoff", 0, "base retry backoff (0 = GAVEL_RPC_BACKOFF or default)")
 	)
 	flag.Parse()
 
@@ -61,6 +68,20 @@ func main() {
 	opts, err := lp.ParseOptions(*lpEngine, *lpPricing, *lpPresolve, *lpDual)
 	if err != nil {
 		log.Fatalf("gavel-sched: %v", err)
+	}
+	faults, err := chaos.ParseSpec(*chaosSpec)
+	if err != nil {
+		log.Fatalf("gavel-sched: %v", err)
+	}
+	pol := rpc.CallPolicyFromEnv()
+	if *rpcTimeout > 0 {
+		pol.Timeout = *rpcTimeout
+	}
+	if *rpcRetries >= 0 {
+		pol.Retries = *rpcRetries
+	}
+	if *rpcBackoff > 0 {
+		pol.Backoff = *rpcBackoff
 	}
 	cfg := coordinatorConfig{
 		listen:     *listen,
@@ -74,6 +95,9 @@ func main() {
 		realloc:    *realloc,
 		snapshot:   *snapshot,
 		lp:         opts,
+		journal:    *journal,
+		chaos:      faults,
+		rpcPolicy:  pol,
 	}
 	if err := runCoordinator(cfg); err != nil {
 		log.Fatalf("gavel-sched: %v", err)
@@ -147,6 +171,9 @@ type coordinatorConfig struct {
 	realloc    int
 	snapshot   int
 	lp         lp.Options
+	journal    string
+	chaos      chaos.Config
+	rpcPolicy  rpc.CallPolicy
 }
 
 // runCoordinator drives remote shard daemons through the control plane and
@@ -172,8 +199,25 @@ func runCoordinator(cfg coordinatorConfig) error {
 	}
 
 	clients := make([]rpc.ShardClient, len(cfg.shardAddrs))
+	var transports []*chaos.Transport
 	for i, addr := range cfg.shardAddrs {
-		c, err := rpc.DialShard(strings.TrimSpace(addr))
+		if cfg.chaos.Enabled() {
+			// Chaos sits between the transport and the retry layer: dial with
+			// retries off (the deadline stays on the socket), inject faults,
+			// then re-layer the retry policy on top so injected transients
+			// exercise the production retry/degrade/recover path.
+			noRetry := cfg.rpcPolicy
+			noRetry.Retries = 0
+			c, err := rpc.DialShardWith(strings.TrimSpace(addr), noRetry)
+			if err != nil {
+				return fmt.Errorf("shard %s: %w", addr, err)
+			}
+			tr := chaos.Wrap(c, cfg.chaos, i).(*chaos.Transport)
+			transports = append(transports, tr)
+			clients[i] = rpc.WithRetry(tr, cfg.rpcPolicy)
+			continue
+		}
+		c, err := rpc.DialShardWith(strings.TrimSpace(addr), cfg.rpcPolicy)
 		if err != nil {
 			return fmt.Errorf("shard %s: %w", addr, err)
 		}
@@ -183,11 +227,18 @@ func runCoordinator(cfg coordinatorConfig) error {
 		Cluster: spec,
 		Policy:  rpc.PolicySpec{Name: cfg.policy},
 		LP:      cfg.lp,
+		Journal: cfg.journal,
 	}, clients)
 	if err != nil {
 		return err
 	}
 	defer svc.Close()
+	startRound := 0
+	if svc.Resumed() {
+		startRound = int(svc.Round()) + 1
+		log.Printf("gavel-sched: resumed from journal (round %d, %d jobs resident, %d recoveries so far)",
+			svc.Round(), svc.NumJobs(), svc.Recoveries())
+	}
 
 	sched := rpc.NewScheduler(cfg.round)
 	plan := &planSource{}
@@ -216,6 +267,14 @@ func runCoordinator(cfg coordinatorConfig) error {
 			}
 		}
 		sched.Submit(rpc.JobSpec{JobID: i, Name: model.Name(), TotalSteps: cfg.steps, ThroughputHint: hint})
+		if svc.HasJob(i) {
+			// Already resident from the replayed journal; the lease plane's
+			// progress restarts (leases are in-memory) but the placement and
+			// the shard's warm state carry over.
+			resident[i] = true
+			log.Printf("gavel-sched: job %d (%s) already on shard %d (journal)", i, model.Name(), svc.JobShards()[i])
+			continue
+		}
 		shard, err := svc.Admit(i, 1, tput)
 		if err != nil {
 			return fmt.Errorf("admit job %d: %w", i, err)
@@ -235,7 +294,7 @@ func runCoordinator(cfg coordinatorConfig) error {
 	}
 	done := func(id int) bool { return sched.JobDone(id) }
 
-	for r := 0; ; r++ {
+	for r := startRound; ; r++ {
 		// Retire completed jobs from the shards.
 		completed := 0
 		for id := range resident {
@@ -268,7 +327,9 @@ func runCoordinator(cfg coordinatorConfig) error {
 		}
 		if cfg.realloc > 0 && r > 0 && r%cfg.realloc == 0 {
 			for k := 0; k < svc.NumShards(); k++ {
-				*svc.DirtyFlag(k) = true
+				if err := svc.MarkDirty(k); err != nil {
+					return err
+				}
 			}
 		}
 
@@ -310,6 +371,11 @@ func runCoordinator(cfg coordinatorConfig) error {
 				log.Printf("gavel-sched: recovered job %d: shard %d -> %d", m.Job, m.From, m.To)
 			}
 		}
+		// Seal the round: with -journal this fsyncs the round's records, the
+		// point a killed coordinator replays back to.
+		if err := svc.EndRound(int64(r)); err != nil {
+			return err
+		}
 
 		time.Sleep(time.Duration(cfg.round * float64(time.Second)))
 	}
@@ -324,8 +390,17 @@ func runCoordinator(cfg coordinatorConfig) error {
 			st.Index, st.Admitted, st.MigratedIn, st.MigratedOut,
 			st.Solve.Solves, st.Solve.WarmHits, st.Solve.RemapHits, cold)
 	}
-	log.Printf("gavel-sched: batch complete (%d migrations, %d rebalance passes, %d recoveries)",
-		svc.Migrations(), svc.Rebalances(), svc.Recoveries())
+	// The injected-fault schedule: every fault the seeded chaos plane fired,
+	// all masked by retry / degradation / recovery if the batch got here.
+	for k, tr := range transports {
+		counts := map[chaos.FaultKind]int{}
+		for _, e := range tr.Schedule() {
+			counts[e.Kind]++
+		}
+		log.Printf("gavel-sched: chaos schedule shard %d: %d faults injected %v", k, len(tr.Schedule()), counts)
+	}
+	log.Printf("gavel-sched: batch complete (%d migrations, %d rebalance passes, %d recoveries, %d degraded rounds)",
+		svc.Migrations(), svc.Rebalances(), svc.Recoveries(), svc.DegradedRounds())
 	return nil
 }
 

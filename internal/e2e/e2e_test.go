@@ -156,6 +156,146 @@ func TestMultiProcessMatchesInProcess(t *testing.T) {
 	}
 }
 
+// restartDriver drives one manual coordinator round against a Service over
+// live daemon processes: admissions (two jobs at rounds 0..2, one at round 5),
+// a dirty sweep every third round, allocation, round assignment, a snapshot
+// every other round, and the sealing EndRound. Returns the post-allocation
+// mirror fingerprint.
+func restartDriver(t *testing.T, svc *rpc.Service, r int) string {
+	t.Helper()
+	tput := func(id int) []float64 {
+		return []float64{1 + float64(id%5)*0.25, 0.5 + float64(id%3)*0.125}
+	}
+	info := func(id int) policy.JobInfo {
+		return policy.JobInfo{Weight: 1, RemainingSteps: 1000 + float64(id), TotalSteps: 2000, ArrivalSeq: id}
+	}
+	switch {
+	case r < 3:
+		for i := 0; i < 2; i++ {
+			id := r*2 + i
+			if _, err := svc.Admit(id, 1+id%2, tput(id)); err != nil {
+				t.Fatalf("round %d: admit %d: %v", r, id, err)
+			}
+		}
+	case r == 5:
+		if _, err := svc.Admit(11, 1, tput(11)); err != nil {
+			t.Fatalf("round %d: admit: %v", r, err)
+		}
+	}
+	if r > 0 && r%3 == 0 {
+		for k := 0; k < svc.NumShards(); k++ {
+			if err := svc.MarkDirty(k); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	if err := svc.AllocateAll(int64(r), info, false); err != nil {
+		t.Fatalf("round %d: AllocateAll: %v", r, err)
+	}
+	if _, err := svc.AssignRound(int64(r), 10, nil); err != nil {
+		t.Fatalf("round %d: AssignRound: %v", r, err)
+	}
+	if r%2 == 0 {
+		if err := svc.SnapshotAll(); err != nil {
+			t.Fatalf("round %d: SnapshotAll: %v", r, err)
+		}
+	}
+	if err := svc.EndRound(int64(r)); err != nil {
+		t.Fatalf("round %d: EndRound: %v", r, err)
+	}
+	var s strings.Builder
+	for k := 0; k < svc.NumShards(); k++ {
+		alloc, ids := svc.Alloc(k)
+		if alloc == nil {
+			fmt.Fprintf(&s, "shard %d: nil\n", k)
+			continue
+		}
+		fmt.Fprintf(&s, "shard %d: ids=%v units=%v x=%v\n", k, ids, alloc.Units, alloc.X)
+	}
+	return s.String()
+}
+
+func restartServiceConfig(journal string) rpc.ServiceConfig {
+	return rpc.ServiceConfig{
+		Cluster: cluster.Spec{Types: []cluster.AcceleratorType{
+			{Name: "v100", Count: 4, PricePerHour: cluster.PriceV100, PerServer: 4},
+			{Name: "k80", Count: 4, PricePerHour: cluster.PriceK80, PerServer: 4},
+		}},
+		Policy:  rpc.PolicySpec{Name: "max_min_fairness"},
+		Journal: journal,
+	}
+}
+
+// TestCoordinatorRestartReplaysJournal is the multi-process durability
+// acceptance: a coordinator process dies mid-run (its Service abandoned, its
+// client connections severed) while the shard daemon processes keep running.
+// A new coordinator over the same journal must replay to the exact pre-crash
+// mirror and drive the remaining rounds byte-identically to an uninterrupted
+// run against its own fresh daemons.
+func TestCoordinatorRestartReplaysJournal(t *testing.T) {
+	if testing.Short() {
+		t.Skip("spawns processes")
+	}
+	const rounds = 10
+	dial := func(d *shardDaemon) rpc.ShardClient {
+		c, err := rpc.DialShard(d.addr)
+		if err != nil {
+			t.Fatalf("DialShard: %v", err)
+		}
+		return c
+	}
+
+	// Reference: one uninterrupted coordinator over its own daemons.
+	var want [rounds]string
+	{
+		c0, c1 := dial(startShardDaemon(t)), dial(startShardDaemon(t))
+		svc, err := rpc.NewService(restartServiceConfig(t.TempDir()+"/ref.wal"), []rpc.ShardClient{c0, c1})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for r := 0; r < rounds; r++ {
+			want[r] = restartDriver(t, svc, r)
+		}
+		if err := svc.Close(); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	// Interrupted: same schedule, coordinator dies after sealing round 4.
+	journal := t.TempDir() + "/crash.wal"
+	d0, d1 := startShardDaemon(t), startShardDaemon(t)
+	c0, c1 := dial(d0), dial(d1)
+	svc, err := rpc.NewService(restartServiceConfig(journal), []rpc.ShardClient{c0, c1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for r := 0; r <= 4; r++ {
+		if got := restartDriver(t, svc, r); got != want[r] {
+			t.Fatalf("pre-crash round %d diverged:\n got %s\nwant %s", r, got, want[r])
+		}
+	}
+	// The coordinator process dies: connections drop, no clean Close. Every
+	// sealed round is already fsynced in the journal.
+	c0.Close()
+	c1.Close()
+	svc = nil
+
+	// A new coordinator process: re-dial the surviving daemons, replay.
+	resumed, err := rpc.NewService(restartServiceConfig(journal), []rpc.ShardClient{dial(d0), dial(d1)})
+	if err != nil {
+		t.Fatalf("restart over journal: %v", err)
+	}
+	defer resumed.Close()
+	if !resumed.Resumed() || resumed.Round() != 4 {
+		t.Fatalf("resumed=%v round=%d, want resumed at round 4", resumed.Resumed(), resumed.Round())
+	}
+	for r := 5; r < rounds; r++ {
+		if got := restartDriver(t, resumed, r); got != want[r] {
+			t.Fatalf("post-restart round %d diverged from uninterrupted run:\n got %s\nwant %s", r, got, want[r])
+		}
+	}
+}
+
 // TestShardDaemonKillRecoversWarm kills one shard daemon process mid-run.
 // The coordinator must detect the loss, re-route the dead daemon's jobs onto
 // the survivor with the last snapshot's seeds, and finish every job — with

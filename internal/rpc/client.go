@@ -3,6 +3,7 @@ package rpc
 import (
 	"fmt"
 	gorpc "net/rpc"
+	"time"
 )
 
 // ShardClient is the coordinator's handle to one shard daemon. Both
@@ -107,20 +108,28 @@ func (c *localShardClient) Ping() error {
 
 func (c *localShardClient) Close() error { return nil }
 
-// netShardClient speaks the shard protocol over TCP gob.
+// netShardClient speaks the shard protocol over TCP gob, bounding every call
+// by the policy's per-call deadline.
 type netShardClient struct {
-	c *gorpc.Client
+	c       *gorpc.Client
+	timeout time.Duration
 }
 
-// DialShard connects to a shard daemon and performs the version handshake.
-// A version mismatch is returned as a CodeVersionMismatch error and the
-// connection is closed.
+// DialShard connects to a shard daemon with the environment's call policy
+// (CallPolicyFromEnv: GAVEL_RPC_TIMEOUT deadline, retry-with-backoff on
+// transient failures) and performs the version handshake. A version mismatch
+// is returned as a CodeVersionMismatch error and the connection is closed.
 func DialShard(addr string) (ShardClient, error) {
+	return DialShardWith(addr, CallPolicyFromEnv())
+}
+
+// DialShardWith is DialShard under an explicit call policy.
+func DialShardWith(addr string, pol CallPolicy) (ShardClient, error) {
 	c, err := gorpc.Dial("tcp", addr)
 	if err != nil {
 		return nil, fmt.Errorf("rpc: dial shard %s: %w", addr, err)
 	}
-	nc := &netShardClient{c: c}
+	nc := WithRetry(&netShardClient{c: c, timeout: pol.Timeout}, pol)
 	if _, err := nc.Hello(HelloArgs{Version: ProtocolVersion, Role: "coordinator"}); err != nil {
 		c.Close()
 		return nil, err
@@ -128,11 +137,29 @@ func DialShard(addr string) (ShardClient, error) {
 	return nc, nil
 }
 
-// call wraps net/rpc Call, folding transport-level failures (closed
-// connection, EOF: the daemon died) into typed CodeShardDown errors while
+// call wraps net/rpc Call under the per-call deadline, folding
+// transport-level failures (closed connection, EOF: the daemon died) into
+// typed CodeShardDown errors and deadline expiry into CodeTimeout, while
 // passing server-side typed errors through for ParseError.
 func (c *netShardClient) call(method string, args, reply any) error {
-	err := c.c.Call(shardServiceName+"."+method, args, reply)
+	var err error
+	if c.timeout > 0 {
+		done := c.c.Go(shardServiceName+"."+method, args, reply, make(chan *gorpc.Call, 1))
+		timer := time.NewTimer(c.timeout)
+		select {
+		case call := <-done.Done:
+			timer.Stop()
+			err = call.Error
+		case <-timer.C:
+			// The reply, if it ever arrives, is discarded by net/rpc's read
+			// loop; the pending-call entry is reclaimed when the connection
+			// closes. A daemon that stays hung is escalated by the caller
+			// (retries, then the coordinator's degrade/recover ladder).
+			return Errorf(CodeTimeout, "%s: no reply within %v", method, c.timeout)
+		}
+	} else {
+		err = c.c.Call(shardServiceName+"."+method, args, reply)
+	}
 	if err == nil {
 		return nil
 	}

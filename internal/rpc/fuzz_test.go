@@ -1,0 +1,78 @@
+package rpc
+
+// Chaos-seeded fuzzing of the protocol's parsing surfaces: the typed-error
+// wire format (which must survive net/rpc's error-string flattening) and the
+// version handshake. `go test` runs the seed corpus as unit tests; `go test
+// -fuzz` explores further.
+
+import (
+	"errors"
+	"strings"
+	"testing"
+)
+
+// FuzzParseError: ParseError must be total — any string round-trips to some
+// error without panicking — and wire-formatted errors must round-trip their
+// code and message exactly.
+func FuzzParseError(f *testing.F) {
+	f.Add("gavelrpc[3]: shard 1 is down")
+	f.Add("gavelrpc[999]: unknown code")
+	f.Add("gavelrpc[-1]: negative")
+	f.Add("gavelrpc[]: empty")
+	f.Add("gavelrpc[3x]: trailing junk")
+	f.Add("plain error text")
+	f.Add("")
+	f.Add("gavelrpc[")
+	f.Add("gavelrpc[18446744073709551616]: overflow")
+	f.Fuzz(func(t *testing.T, s string) {
+		err := ParseError(errors.New(s))
+		if err == nil {
+			t.Fatal("ParseError returned nil for a non-nil error")
+		}
+		_ = CodeOf(err) // must not panic either
+	})
+}
+
+// FuzzErrorRoundTrip: every code crossing the wire as a flattened string
+// must parse back to the same code and message.
+func FuzzErrorRoundTrip(f *testing.F) {
+	f.Add(int64(3), "shard 1 is down")
+	f.Add(int64(0), "")
+	f.Add(int64(12), "msg with ]: brackets [7] inside")
+	f.Fuzz(func(t *testing.T, code int64, msg string) {
+		if strings.ContainsAny(msg, "\x00") {
+			return
+		}
+		orig := Errorf(ErrorCode(code), "%s", msg)
+		// net/rpc flattens server-side errors to their string.
+		flattened := errors.New(orig.Error())
+		parsed := ParseError(flattened)
+		if CodeOf(parsed) != ErrorCode(code) {
+			t.Fatalf("code %d flattened to %q reparsed as %d", code, orig.Error(), CodeOf(parsed))
+		}
+	})
+}
+
+// FuzzCheckVersion: the handshake must reject mismatches with a typed error
+// and never panic, whatever version a peer claims.
+func FuzzCheckVersion(f *testing.F) {
+	f.Add(0)
+	f.Add(ProtocolVersion)
+	f.Add(-1)
+	f.Add(1 << 40)
+	f.Fuzz(func(t *testing.T, v int) {
+		err := CheckVersion(v)
+		if v == ProtocolVersion {
+			if err != nil {
+				t.Fatalf("matching version rejected: %v", err)
+			}
+			return
+		}
+		if err == nil {
+			t.Fatalf("version %d accepted, want mismatch error", v)
+		}
+		if CodeOf(err) != CodeVersionMismatch {
+			t.Fatalf("version %d rejected with code %v, want CodeVersionMismatch", v, CodeOf(err))
+		}
+	})
+}

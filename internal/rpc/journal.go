@@ -1,0 +1,231 @@
+package rpc
+
+// This file is the coordinator's durability plane: a versioned write-ahead
+// log of every mirror mutation the Service makes — admissions, removals,
+// migrations, recoveries, down-markings, per-shard allocations, and the
+// periodic seed snapshots — so a restarted coordinator can replay the log
+// and resume with the exact pre-crash mirror, warm bases included.
+//
+// Records are appended through a buffered writer and fsynced in batches at
+// round boundaries (Service.EndRound): the round is the durability unit,
+// matching the protocol's round-synchronous batching. Each record is framed
+// as [4-byte length][4-byte crc32][gob payload], every frame a standalone
+// gob stream, so a torn tail write — the crash case — is detected by length
+// or checksum, the log is truncated at the last intact frame, and replay
+// proceeds from what was durably committed. Warm seeds ride the same
+// versioned gob wire forms as the control plane itself (lp.Basis's
+// basisWire), so a journaled snapshot is exactly as usable as a live one.
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/binary"
+	"encoding/gob"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"os"
+
+	"gavel/internal/core"
+	"gavel/internal/policy"
+)
+
+// JournalVersion stamps the log's record vocabulary. A journal written by an
+// incompatible build is rejected at open, not misreplayed.
+const JournalVersion = 1
+
+// recordKind tags the journal's record union.
+type recordKind uint8
+
+const (
+	recConfig    recordKind = iota + 1 // first record of every journal
+	recInstall                         // job landed on a shard (admit/migrate/recover)
+	recRemove                          // job left a shard (departure or migration source)
+	recDown                            // shard marked dead
+	recDirty                           // shard marked stale by the driver
+	recAlloc                           // shard's allocation recomputed
+	recSnapshot                        // shard's seeds + status pulled
+	recRebalance                       // a rebalance pass moved >= 1 job
+	recDegrade                         // shard's allocation went stale (transient failure)
+	recRound                           // round boundary (fsync batch point)
+)
+
+// installReason distinguishes the three ways a job lands on a shard, so
+// replay rebuilds the migration/recovery counters exactly.
+type installReason uint8
+
+const (
+	reasonAdmit installReason = iota
+	reasonMigrate
+	reasonRecover
+)
+
+// journalRecord is the tagged union written to the log. Exactly the fields
+// for the active Kind are set; gob omits the nil rest.
+type journalRecord struct {
+	Kind recordKind
+
+	Config   *journalConfig
+	Install  *journalInstall
+	Remove   *journalRemove
+	Shard    int // recDown, recDirty, recSnapshot, recDegrade target
+	Alloc    *journalAlloc
+	Snapshot *journalSnapshot
+	Round    int64 // recRound
+	Degraded bool  // recRound: some shard ran degraded this round
+}
+
+// journalConfig is the log's header record: enough identity to refuse
+// replaying a journal into a differently-shaped service.
+type journalConfig struct {
+	Version   int
+	NumShards int
+	Policy    PolicySpec
+	Route     int
+}
+
+type journalInstall struct {
+	Shard       int
+	JobID       int
+	ScaleFactor int
+	Tput        []float64
+	Reason      installReason
+}
+
+type journalRemove struct {
+	Shard int
+	JobID int
+}
+
+type journalAlloc struct {
+	Shard int
+	IDs   []int
+	Units []core.Unit
+	X     [][]float64
+}
+
+type journalSnapshot struct {
+	Shard  int
+	Seeds  []policy.Seed
+	Status ShardStatus
+}
+
+// journal is an append-only framed record log with batched fsync.
+type journal struct {
+	f *os.File
+	w *bufio.Writer
+}
+
+// openJournal opens (or creates) the log at path, replays every intact
+// record, truncates any torn tail so appends restart from a clean frame
+// boundary, and returns the journal positioned for appending.
+func openJournal(path string) (*journal, []journalRecord, error) {
+	f, err := os.OpenFile(path, os.O_RDWR|os.O_CREATE, 0o644)
+	if err != nil {
+		return nil, nil, fmt.Errorf("rpc: open journal: %w", err)
+	}
+	recs, good, err := readJournal(f)
+	if err != nil {
+		f.Close()
+		return nil, nil, err
+	}
+	if err := f.Truncate(good); err != nil {
+		f.Close()
+		return nil, nil, fmt.Errorf("rpc: truncate journal tail: %w", err)
+	}
+	if _, err := f.Seek(good, io.SeekStart); err != nil {
+		f.Close()
+		return nil, nil, err
+	}
+	return &journal{f: f, w: bufio.NewWriterSize(f, 1<<16)}, recs, nil
+}
+
+// readJournal decodes records until EOF or the first damaged frame,
+// returning the records and the byte offset of the last intact frame's end.
+func readJournal(f *os.File) ([]journalRecord, int64, error) {
+	r := bufio.NewReaderSize(f, 1<<16)
+	var (
+		recs []journalRecord
+		good int64
+		hdr  [8]byte
+	)
+	for {
+		if _, err := io.ReadFull(r, hdr[:]); err != nil {
+			if errors.Is(err, io.EOF) || errors.Is(err, io.ErrUnexpectedEOF) {
+				return recs, good, nil // clean end or torn length header
+			}
+			return nil, 0, fmt.Errorf("rpc: read journal: %w", err)
+		}
+		n := binary.BigEndian.Uint32(hdr[:4])
+		sum := binary.BigEndian.Uint32(hdr[4:])
+		if n == 0 || n > 1<<30 {
+			return recs, good, nil // corrupt length: treat as torn tail
+		}
+		payload := make([]byte, n)
+		if _, err := io.ReadFull(r, payload); err != nil {
+			if errors.Is(err, io.EOF) || errors.Is(err, io.ErrUnexpectedEOF) {
+				return recs, good, nil // torn payload
+			}
+			return nil, 0, fmt.Errorf("rpc: read journal: %w", err)
+		}
+		if crc32.ChecksumIEEE(payload) != sum {
+			return recs, good, nil // torn or bit-rotted frame
+		}
+		var rec journalRecord
+		if err := gob.NewDecoder(bytes.NewReader(payload)).Decode(&rec); err != nil {
+			return nil, 0, fmt.Errorf("rpc: decode journal record %d: %w", len(recs), err)
+		}
+		if len(recs) == 0 {
+			if rec.Kind != recConfig || rec.Config == nil {
+				return nil, 0, fmt.Errorf("rpc: journal does not start with a config record")
+			}
+			if rec.Config.Version != JournalVersion {
+				return nil, 0, fmt.Errorf("rpc: journal version %d, this build speaks %d",
+					rec.Config.Version, JournalVersion)
+			}
+		}
+		recs = append(recs, rec)
+		good += int64(8 + n)
+	}
+}
+
+// append frames one record into the write buffer. Durability waits for the
+// next commit; ordering is already fixed here.
+func (j *journal) append(rec *journalRecord) error {
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(rec); err != nil {
+		return fmt.Errorf("rpc: encode journal record: %w", err)
+	}
+	var hdr [8]byte
+	binary.BigEndian.PutUint32(hdr[:4], uint32(buf.Len()))
+	binary.BigEndian.PutUint32(hdr[4:], crc32.ChecksumIEEE(buf.Bytes()))
+	if _, err := j.w.Write(hdr[:]); err != nil {
+		return fmt.Errorf("rpc: append journal record: %w", err)
+	}
+	if _, err := j.w.Write(buf.Bytes()); err != nil {
+		return fmt.Errorf("rpc: append journal record: %w", err)
+	}
+	return nil
+}
+
+// commit flushes the buffered records and fsyncs: everything appended so far
+// survives a crash after commit returns.
+func (j *journal) commit() error {
+	if err := j.w.Flush(); err != nil {
+		return fmt.Errorf("rpc: flush journal: %w", err)
+	}
+	if err := j.f.Sync(); err != nil {
+		return fmt.Errorf("rpc: fsync journal: %w", err)
+	}
+	return nil
+}
+
+// close commits and releases the file.
+func (j *journal) close() error {
+	if err := j.commit(); err != nil {
+		j.f.Close()
+		return err
+	}
+	return j.f.Close()
+}

@@ -1,0 +1,161 @@
+package rpc
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func writeTestJournal(t *testing.T, path string, recs ...*journalRecord) {
+	t.Helper()
+	j, got, err := openJournal(path)
+	if err != nil {
+		t.Fatalf("openJournal: %v", err)
+	}
+	if len(got) != 0 {
+		t.Fatalf("fresh journal replayed %d records", len(got))
+	}
+	for _, rec := range recs {
+		if err := j.append(rec); err != nil {
+			t.Fatalf("append: %v", err)
+		}
+	}
+	if err := j.close(); err != nil {
+		t.Fatalf("close: %v", err)
+	}
+}
+
+func testConfigRecord() *journalRecord {
+	return &journalRecord{Kind: recConfig, Config: &journalConfig{
+		Version:   JournalVersion,
+		NumShards: 2,
+		Policy:    PolicySpec{Name: "max_min_fairness"},
+	}}
+}
+
+// TestJournalRoundTrip writes a record of every kind and replays them intact.
+func TestJournalRoundTrip(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "j.wal")
+	writeTestJournal(t, path,
+		testConfigRecord(),
+		&journalRecord{Kind: recInstall, Install: &journalInstall{Shard: 1, JobID: 7, ScaleFactor: 2, Tput: []float64{1.5, 0.25}, Reason: reasonMigrate}},
+		&journalRecord{Kind: recDirty, Shard: 1},
+		&journalRecord{Kind: recAlloc, Alloc: &journalAlloc{Shard: 0, IDs: []int{7}, X: [][]float64{{0.5, 0.5}}}},
+		&journalRecord{Kind: recDown, Shard: 0},
+		&journalRecord{Kind: recRemove, Remove: &journalRemove{Shard: 1, JobID: 7}},
+		&journalRecord{Kind: recDegrade, Shard: 1},
+		&journalRecord{Kind: recRound, Round: 3, Degraded: true},
+	)
+
+	j, recs, err := openJournal(path)
+	if err != nil {
+		t.Fatalf("reopen: %v", err)
+	}
+	defer j.close()
+	if len(recs) != 8 {
+		t.Fatalf("replayed %d records, want 8", len(recs))
+	}
+	if recs[0].Kind != recConfig || recs[0].Config.NumShards != 2 {
+		t.Fatalf("bad config record: %+v", recs[0])
+	}
+	in := recs[1].Install
+	if recs[1].Kind != recInstall || in.JobID != 7 || in.ScaleFactor != 2 || in.Reason != reasonMigrate ||
+		len(in.Tput) != 2 || in.Tput[0] != 1.5 {
+		t.Fatalf("bad install record: %+v", in)
+	}
+	if recs[7].Kind != recRound || recs[7].Round != 3 || !recs[7].Degraded {
+		t.Fatalf("bad round record: %+v", recs[7])
+	}
+}
+
+// TestJournalTornTailTruncates simulates a crash mid-append: a journal with a
+// partial final frame must replay every intact record and truncate the tail
+// so the next append starts at a clean frame boundary.
+func TestJournalTornTailTruncates(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "j.wal")
+	writeTestJournal(t, path,
+		testConfigRecord(),
+		&journalRecord{Kind: recRound, Round: 1},
+	)
+	intact, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A torn frame: a plausible length header plus half a payload.
+	torn := append(append([]byte(nil), intact...), 0, 0, 0, 40, 0xde, 0xad, 0xbe, 0xef, 1, 2, 3)
+	if err := os.WriteFile(path, torn, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	j, recs, err := openJournal(path)
+	if err != nil {
+		t.Fatalf("open torn journal: %v", err)
+	}
+	if len(recs) != 2 {
+		t.Fatalf("replayed %d records from torn journal, want 2", len(recs))
+	}
+	if err := j.append(&journalRecord{Kind: recRound, Round: 2}); err != nil {
+		t.Fatal(err)
+	}
+	if err := j.close(); err != nil {
+		t.Fatal(err)
+	}
+
+	j, recs, err = openJournal(path)
+	if err != nil {
+		t.Fatalf("reopen after truncate+append: %v", err)
+	}
+	defer j.close()
+	if len(recs) != 3 || recs[2].Round != 2 {
+		t.Fatalf("post-truncation append did not replay: %d records", len(recs))
+	}
+}
+
+// TestJournalCorruptFrameStopsReplay flips a payload byte in the middle of
+// the log: replay must stop at the damage (treating everything after as
+// lost), not decode garbage.
+func TestJournalCorruptFrameStopsReplay(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "j.wal")
+	writeTestJournal(t, path, testConfigRecord(), &journalRecord{Kind: recRound, Round: 1})
+	short, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Corrupt a byte inside the second frame's payload (first frame is the
+	// config record; its frame length is at the head).
+	data := append([]byte(nil), short...)
+	data[len(data)-1] ^= 0xff
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	j, recs, err := openJournal(path)
+	if err != nil {
+		t.Fatalf("open corrupt journal: %v", err)
+	}
+	defer j.close()
+	if len(recs) != 1 {
+		t.Fatalf("replayed %d records past a corrupt frame, want 1", len(recs))
+	}
+}
+
+// TestJournalVersionMismatchRejected: a journal from an incompatible build
+// must be rejected at open, not misreplayed.
+func TestJournalVersionMismatchRejected(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "j.wal")
+	writeTestJournal(t, path, &journalRecord{Kind: recConfig, Config: &journalConfig{
+		Version: JournalVersion + 1, NumShards: 2,
+	}})
+	if _, _, err := openJournal(path); err == nil {
+		t.Fatal("journal with a future version opened without error")
+	}
+}
+
+// TestJournalBadHeaderRejected: a log not starting with a config record is
+// not a journal.
+func TestJournalBadHeaderRejected(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "j.wal")
+	writeTestJournal(t, path, &journalRecord{Kind: recRound, Round: 1})
+	if _, _, err := openJournal(path); err == nil {
+		t.Fatal("journal without a config header opened without error")
+	}
+}

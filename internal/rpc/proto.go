@@ -67,6 +67,15 @@ const (
 	CodeShardDown
 	// CodeInternal: the shard's engine failed (LP error, budget violation).
 	CodeInternal
+	// CodeTimeout: a call exceeded its per-call deadline. Transient — the
+	// daemon may be slow but alive, so the retry layer re-sends and the
+	// coordinator degrades (proceeds on the last allocation) rather than
+	// recovering immediately.
+	CodeTimeout
+	// CodeUnavailable: the message was lost in transit (the chaos plane's
+	// injected drops and partitions use this code). Transient, like
+	// CodeTimeout.
+	CodeUnavailable
 )
 
 func (c ErrorCode) String() string {
@@ -91,8 +100,21 @@ func (c ErrorCode) String() string {
 		return "shard-down"
 	case CodeInternal:
 		return "internal"
+	case CodeTimeout:
+		return "timeout"
+	case CodeUnavailable:
+		return "unavailable"
 	}
 	return "unknown"
+}
+
+// IsTransient reports whether the failure class is worth retrying: the call
+// may have been lost (dropped, partitioned) or merely slow (deadline), and
+// re-sending it against the same daemon can succeed. CodeShardDown is NOT
+// transient — the connection itself is dead, and the correct escalation is
+// the coordinator's Recover path, not a retry.
+func IsTransient(c ErrorCode) bool {
+	return c == CodeTimeout || c == CodeUnavailable
 }
 
 // Error is a typed control-plane error. net/rpc flattens server-side errors

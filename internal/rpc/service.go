@@ -44,7 +44,24 @@ type ServiceConfig struct {
 	// Pairs supplies colocated throughput rows for pair candidates; nil
 	// disables pair shipping (no space sharing).
 	Pairs PairSource
+	// Journal, when non-empty, is the path of the coordinator's write-ahead
+	// log. Every mirror mutation is journaled after the daemon acknowledges
+	// it and fsynced at round boundaries (EndRound), so a restarted
+	// coordinator replays to the exact pre-crash mirror — warm seeds included
+	// — and resumes mid-run. An existing journal at the path triggers the
+	// resume path (see Resumed).
+	Journal string
+	// StaleAfterRounds bounds graceful degradation: a shard whose Allocate
+	// keeps failing transiently serves its last allocation for this many
+	// consecutive rounds before being escalated to down (0 means the default
+	// of 3; a shard with no allocation to serve escalates immediately).
+	StaleAfterRounds int
 }
+
+// defaultStaleAfter is the StaleAfterRounds default: long enough to ride out
+// a transient stall, short enough that a wedged daemon's jobs recover within
+// a handful of rounds.
+const defaultStaleAfter = 3
 
 // shardMirror is the coordinator's local view of one shard daemon: enough
 // membership, demand, and allocation state to make every routing, rebalance,
@@ -68,6 +85,13 @@ type shardMirror struct {
 
 	seeds  []policy.Seed // last snapshot's warm seeds
 	status ShardStatus   // last known accounting (survives the daemon)
+
+	// Degradation ladder: staleRounds counts consecutive rounds this shard's
+	// allocation went stale because Allocate failed transiently (reset on the
+	// next success); staleAllocs is the lifetime total, surfaced through
+	// StaleAllocs for the round report.
+	staleRounds int
+	staleAllocs int
 }
 
 func (m *shardMirror) add(id, scaleFactor int, tput []float64) {
@@ -135,6 +159,14 @@ type Service struct {
 	migrations int
 	rebalances int
 	recoveries int
+
+	// Durability plane (nil/zero when ServiceConfig.Journal is empty).
+	j              *journal
+	resumed        bool
+	round          int64 // last round sealed by EndRound
+	staleAfter     int
+	roundDegraded  bool // some shard ran degraded since the last EndRound
+	degradedRounds int  // lifetime count of degraded rounds
 }
 
 // NewService validates the config, splits the cluster across the clients,
@@ -166,6 +198,10 @@ func NewService(cfg ServiceConfig, clients []ShardClient) (*Service, error) {
 		globalInts: counts,
 		split:      split,
 		shardOf:    map[int]int{},
+		staleAfter: cfg.StaleAfterRounds,
+	}
+	if s.staleAfter <= 0 {
+		s.staleAfter = defaultStaleAfter
 	}
 	for k, client := range clients {
 		if _, err := client.Hello(HelloArgs{Version: ProtocolVersion, Role: "coordinator"}); err != nil {
@@ -194,7 +230,191 @@ func NewService(cfg ServiceConfig, clients []ShardClient) (*Service, error) {
 			status: ShardStatus{Index: k},
 		})
 	}
+	if cfg.Journal != "" {
+		j, recs, err := openJournal(cfg.Journal)
+		if err != nil {
+			return nil, err
+		}
+		s.j = j
+		if len(recs) > 0 {
+			hdr := recs[0].Config
+			if hdr.NumShards != len(clients) {
+				j.f.Close()
+				return nil, Errorf(CodeBadRequest,
+					"journal was written for %d shards, service has %d", hdr.NumShards, len(clients))
+			}
+			if err := s.replay(recs[1:]); err != nil {
+				j.f.Close()
+				return nil, err
+			}
+			s.resumed = true
+			if err := s.reconcile(); err != nil {
+				j.f.Close()
+				return nil, err
+			}
+		} else {
+			err := j.append(&journalRecord{Kind: recConfig, Config: &journalConfig{
+				Version:   JournalVersion,
+				NumShards: len(clients),
+				Policy:    cfg.Policy,
+				Route:     int(cfg.Route),
+			}})
+			if err == nil {
+				err = j.commit()
+			}
+			if err != nil {
+				j.f.Close()
+				return nil, err
+			}
+		}
+	}
 	return s, nil
+}
+
+// replay applies the journal's post-header records to the mirror, rebuilding
+// the exact pre-crash coordinator state without touching any daemon. It is
+// the read-side twin of the journaling mutators below: every applyX helper is
+// shared with the live path, so replayed and lived-through state cannot
+// drift.
+func (s *Service) replay(recs []journalRecord) error {
+	for i := range recs {
+		rec := &recs[i]
+		bad := func(k int) bool { return k < 0 || k >= len(s.shards) }
+		switch rec.Kind {
+		case recInstall:
+			in := rec.Install
+			if in == nil || bad(in.Shard) {
+				return Errorf(CodeBadRequest, "journal record %d: malformed install", i+1)
+			}
+			m := s.shards[in.Shard]
+			m.add(in.JobID, in.ScaleFactor, in.Tput)
+			s.shardOf[in.JobID] = m.index
+			switch in.Reason {
+			case reasonMigrate:
+				s.migrations++
+			case reasonRecover:
+				s.recoveries++
+			}
+		case recRemove:
+			rm := rec.Remove
+			if rm == nil || bad(rm.Shard) {
+				return Errorf(CodeBadRequest, "journal record %d: malformed remove", i+1)
+			}
+			s.applyRemove(rm.Shard, rm.JobID)
+		case recDown:
+			if bad(rec.Shard) {
+				return Errorf(CodeBadRequest, "journal record %d: bad shard", i+1)
+			}
+			s.applyDown(s.shards[rec.Shard])
+		case recDirty:
+			if bad(rec.Shard) {
+				return Errorf(CodeBadRequest, "journal record %d: bad shard", i+1)
+			}
+			s.shards[rec.Shard].dirty = true
+		case recAlloc:
+			al := rec.Alloc
+			if al == nil || bad(al.Shard) {
+				return Errorf(CodeBadRequest, "journal record %d: malformed alloc", i+1)
+			}
+			m := s.shards[al.Shard]
+			m.alloc = &core.Allocation{Units: al.Units, X: al.X}
+			m.allocIDs = al.IDs
+			m.dirty = false
+			m.staleRounds = 0
+		case recSnapshot:
+			sn := rec.Snapshot
+			if sn == nil || bad(sn.Shard) {
+				return Errorf(CodeBadRequest, "journal record %d: malformed snapshot", i+1)
+			}
+			m := s.shards[sn.Shard]
+			m.seeds = sn.Seeds
+			m.status = sn.Status
+		case recRebalance:
+			s.rebalances++
+		case recDegrade:
+			if bad(rec.Shard) {
+				return Errorf(CodeBadRequest, "journal record %d: bad shard", i+1)
+			}
+			m := s.shards[rec.Shard]
+			m.staleRounds++
+			m.staleAllocs++
+		case recRound:
+			s.round = rec.Round
+			if rec.Degraded {
+				s.degradedRounds++
+			}
+		default:
+			return Errorf(CodeBadRequest, "journal record %d: unknown kind %d", i+1, rec.Kind)
+		}
+	}
+	return nil
+}
+
+// reconcile squares the replayed mirror with what each live daemon actually
+// holds. Daemons that survived the coordinator crash already match (the
+// journal is written after their acks); a daemon that restarted bare gets its
+// mirror jobs re-installed with the last snapshot seeds (warm via remap, not
+// cold), and any daemon-side job the mirror no longer lists is removed.
+func (s *Service) reconcile() error {
+	for _, m := range s.shards {
+		if m.down {
+			continue
+		}
+		st, err := m.client.Status()
+		if err != nil {
+			if err = s.downOrErr(m, err); err != nil {
+				return err
+			}
+			continue
+		}
+		resident := make(map[int]bool, len(st.Jobs))
+		for _, id := range st.Jobs {
+			resident[id] = true
+		}
+		for _, id := range m.jobs {
+			if resident[id] {
+				continue
+			}
+			args := InstallArgs{
+				JobID:       id,
+				ScaleFactor: m.sf[id],
+				Tput:        m.tput[id],
+				Seeds:       m.seeds,
+				Migrated:    true,
+			}
+			args.Pairs = s.pairRows(m, id, args.ScaleFactor)
+			if err := m.client.Install(args); err != nil {
+				if err = s.downOrErr(m, err); err != nil {
+					return err
+				}
+				break
+			}
+		}
+		if m.down {
+			continue
+		}
+		for id := range resident {
+			if _, ok := m.jobPos[id]; ok {
+				continue
+			}
+			if err := m.client.Remove(RemoveArgs{JobID: id}); err != nil {
+				if err = s.downOrErr(m, err); err != nil {
+					return err
+				}
+				break
+			}
+		}
+	}
+	return nil
+}
+
+// record appends one record to the journal (no-op without one). Durability
+// waits for the next EndRound commit; ordering is fixed at append time.
+func (s *Service) record(rec *journalRecord) error {
+	if s.j == nil {
+		return nil
+	}
+	return s.j.append(rec)
 }
 
 // NumShards returns the partition count (live and dead).
@@ -240,31 +460,149 @@ func (s *Service) IsDirty(k int) bool { return s.shards[k].dirty }
 // cluster.Shard.Dirty).
 func (s *Service) DirtyFlag(k int) *bool { return &s.shards[k].dirty }
 
+// MarkDirty flags shard k stale (its membership or demand changed and the
+// next AllocateAll must recompute it) and journals the transition. Journaled
+// drivers should prefer this over writing through DirtyFlag, which cannot
+// journal.
+func (s *Service) MarkDirty(k int) error {
+	m := s.shards[k]
+	if m.dirty {
+		return nil
+	}
+	m.dirty = true
+	return s.record(&journalRecord{Kind: recDirty, Shard: k})
+}
+
+// HasJob reports whether the job is resident on some shard — true for jobs
+// already admitted before a coordinator restart, which a resuming driver must
+// not re-admit.
+func (s *Service) HasJob(id int) bool {
+	_, ok := s.shardOf[id]
+	return ok
+}
+
+// Resumed reports whether NewService replayed an existing journal (the
+// coordinator restarted mid-run) rather than starting fresh.
+func (s *Service) Resumed() bool { return s.resumed }
+
+// Round returns the last round sealed by EndRound (0 before any). A resuming
+// driver continues from Round()+1.
+func (s *Service) Round() int64 { return s.round }
+
+// DegradedRounds returns how many rounds proceeded with at least one shard
+// degraded (stale allocation or missed round-plane call).
+func (s *Service) DegradedRounds() int { return s.degradedRounds }
+
+// StaleAllocs returns how many rounds shard k served a stale allocation
+// because its Allocate failed transiently.
+func (s *Service) StaleAllocs(k int) int { return s.shards[k].staleAllocs }
+
+// EndRound seals round r: the round-boundary record is journaled and the
+// whole round's records are fsynced in one batch. The round is the
+// durability unit — after EndRound returns, a coordinator crash replays up
+// to and including round r.
+func (s *Service) EndRound(r int64) error {
+	s.round = r
+	degraded := s.roundDegraded
+	s.roundDegraded = false
+	if degraded {
+		s.degradedRounds++
+	}
+	if s.j == nil {
+		return nil
+	}
+	if err := s.j.append(&journalRecord{Kind: recRound, Round: r, Degraded: degraded}); err != nil {
+		return err
+	}
+	return s.j.commit()
+}
+
 // Alloc returns shard k's mirrored allocation and the job IDs it was
 // computed over (nil before the first allocation). Callers must not mutate.
 func (s *Service) Alloc(k int) (*core.Allocation, []int) {
 	return s.shards[k].alloc, s.shards[k].allocIDs
 }
 
-// markDown flags a shard dead after a transport-level failure.
-func (s *Service) markDown(m *shardMirror) {
+// applyDown is the mirror-side effect of marking a shard dead — shared by the
+// live path (markDown) and journal replay.
+func (s *Service) applyDown(m *shardMirror) {
 	m.down = true
 	m.alloc = nil
 	m.allocIDs = nil
 }
 
-// downOrErr marks the shard dead and returns nil when err is a transport
-// failure (the caller continues without the shard; Recover picks its jobs
-// up), and returns err itself for real protocol errors.
+// applyRemove drops a job from shard k's mirror. The placement map entry is
+// cleared only if it still points at k: during recovery the install on the
+// new shard lands (and is journaled) before the removal from the dead one, so
+// an unconditional delete would erase the new placement.
+func (s *Service) applyRemove(k, id int) {
+	s.shards[k].remove(id)
+	if at, ok := s.shardOf[id]; ok && at == k {
+		delete(s.shardOf, id)
+	}
+}
+
+// markDown flags a shard dead and journals the transition.
+func (s *Service) markDown(m *shardMirror) error {
+	if m.down {
+		return nil
+	}
+	s.applyDown(m)
+	return s.record(&journalRecord{Kind: recDown, Shard: m.index})
+}
+
+// downOrErr marks the shard dead and returns nil when err means the daemon is
+// gone or unreachable — a dead connection (CodeShardDown) or a transient
+// failure that outlived its retries on a call the round cannot proceed
+// without (membership: Install, Remove, Status during reconcile). The caller
+// continues without the shard and Recover picks its jobs up. Real protocol
+// errors return as-is.
 func (s *Service) downOrErr(m *shardMirror, err error) error {
 	if err == nil {
 		return nil
 	}
-	if CodeOf(err) == CodeShardDown {
-		s.markDown(m)
-		return nil
+	if code := CodeOf(err); code == CodeShardDown || IsTransient(code) {
+		return s.markDown(m)
 	}
 	return err
+}
+
+// degradeOrErr handles failures of round-plane calls the coordinator can
+// proceed without (AssignRound, Observe, Snapshot, Status): a transient
+// failure degrades the round — the last known state stands and the round
+// report flags it — while a dead connection marks the shard down. This is
+// the slow-but-alive path: a daemon that misses one fan-out keeps its jobs.
+func (s *Service) degradeOrErr(m *shardMirror, err error) error {
+	if err == nil {
+		return nil
+	}
+	code := CodeOf(err)
+	if IsTransient(code) {
+		s.roundDegraded = true
+		return nil
+	}
+	if code == CodeShardDown {
+		return s.markDown(m)
+	}
+	return err
+}
+
+// degradeAlloc records that shard m's Allocate failed transiently this round:
+// the round proceeds on m's last allocation, the staleness is journaled and
+// flagged, and after staleAfter consecutive stale rounds — or immediately,
+// when there is no allocation to fall back on — the shard escalates to down
+// so Recover re-routes its jobs.
+func (s *Service) degradeAlloc(m *shardMirror) error {
+	m.staleRounds++
+	m.staleAllocs++
+	s.roundDegraded = true
+	if err := s.record(&journalRecord{Kind: recDegrade, Shard: m.index}); err != nil {
+		return err
+	}
+	if m.alloc == nil || m.staleRounds >= s.staleAfter {
+		return s.markDown(m)
+	}
+	return nil
 }
 
 // live returns the live shards in index order.
@@ -334,15 +672,51 @@ func (s *Service) pairRows(m *shardMirror, id, scaleFactor int) []PairRows {
 	return out
 }
 
-// install lands a job on shard m — over the wire and in the mirror.
-func (s *Service) install(m *shardMirror, args InstallArgs) error {
+// install lands a job on shard m — over the wire, in the mirror, and in the
+// journal (after the daemon's ack, so the journal never claims more than the
+// daemons hold; a crash between ack and append re-runs as an idempotent
+// re-install during reconcile).
+func (s *Service) install(m *shardMirror, args InstallArgs, reason installReason) error {
 	args.Pairs = s.pairRows(m, args.JobID, args.ScaleFactor)
 	if err := m.client.Install(args); err != nil {
 		return err
 	}
 	m.add(args.JobID, args.ScaleFactor, args.Tput)
 	s.shardOf[args.JobID] = m.index
-	return nil
+	return s.record(&journalRecord{Kind: recInstall, Install: &journalInstall{
+		Shard:       m.index,
+		JobID:       args.JobID,
+		ScaleFactor: args.ScaleFactor,
+		Tput:        args.Tput,
+		Reason:      reason,
+	}})
+}
+
+// place installs a job on the least-loaded live shard, walking down the
+// survivor list as destinations fail — the shared landing path of recovery
+// and of migrations whose destination dies mid-move. Each failed attempt
+// marks one more shard down, so the walk terminates.
+func (s *Service) place(id, scaleFactor int, tput []float64, seeds []policy.Seed, reason installReason) (*shardMirror, error) {
+	for {
+		live := s.live()
+		if len(live) == 0 {
+			return nil, Errorf(CodeShardDown, "no live shard daemons")
+		}
+		to := leastLoaded(live)
+		err := s.install(to, InstallArgs{
+			JobID:       id,
+			ScaleFactor: scaleFactor,
+			Tput:        tput,
+			Seeds:       seeds,
+			Migrated:    reason != reasonAdmit,
+		}, reason)
+		if err == nil {
+			return to, nil
+		}
+		if err = s.downOrErr(to, err); err != nil {
+			return nil, err
+		}
+	}
 }
 
 // Admit routes an arriving job to a shard and installs its isolated
@@ -350,12 +724,17 @@ func (s *Service) install(m *shardMirror, args InstallArgs) error {
 // shard index. If the routed daemon turns out dead, the job re-routes to the
 // next choice.
 func (s *Service) Admit(id, scaleFactor int, tput []float64) (int, error) {
+	// Admission is idempotent: a job already resident (a resumed driver
+	// re-submitting its batch) keeps its placement.
+	if k, ok := s.shardOf[id]; ok {
+		return k, nil
+	}
 	for attempt := 0; attempt <= len(s.shards); attempt++ {
 		m, err := s.route(id)
 		if err != nil {
 			return -1, err
 		}
-		err = s.install(m, InstallArgs{JobID: id, ScaleFactor: scaleFactor, Tput: tput})
+		err = s.install(m, InstallArgs{JobID: id, ScaleFactor: scaleFactor, Tput: tput}, reasonAdmit)
 		if err == nil {
 			return m.index, nil
 		}
@@ -379,9 +758,8 @@ func (s *Service) Remove(id int) error {
 			return err
 		}
 	}
-	m.remove(id)
-	delete(s.shardOf, id)
-	return nil
+	s.applyRemove(k, id)
+	return s.record(&journalRecord{Kind: recRemove, Remove: &journalRemove{Shard: k, JobID: id}})
 }
 
 // migrate moves one resident job between live shards, carrying the source's
@@ -392,19 +770,51 @@ func (s *Service) Remove(id int) error {
 func (s *Service) migrate(id int, from, to *shardMirror) error {
 	rep, err := from.client.Extract(ExtractArgs{JobID: id})
 	if err != nil {
+		if IsTransient(CodeOf(err)) {
+			// Extract is the one non-idempotent call on the surface: a lost
+			// reply is ambiguous — the daemon may or may not have removed the
+			// job. Reinstall from the mirror to resolve it: a no-op if the
+			// extract never landed, a restore (warm via the shard's own seeds)
+			// if it did. Either way the job stays put and the move is dropped.
+			args := InstallArgs{
+				JobID:       id,
+				ScaleFactor: from.sf[id],
+				Tput:        from.tput[id],
+				Seeds:       from.seeds,
+				Migrated:    true,
+			}
+			args.Pairs = s.pairRows(from, id, args.ScaleFactor)
+			if rerr := from.client.Install(args); rerr != nil {
+				if derr := s.downOrErr(from, rerr); derr != nil {
+					return derr
+				}
+			}
+		}
 		return err
 	}
-	from.remove(id)
-	delete(s.shardOf, id)
+	// Extract landed: the source daemon no longer holds the job, so the
+	// mirror and journal reflect that before any install attempt (place may
+	// otherwise pick the source as a fallback destination and double-add).
+	if err := s.record(&journalRecord{Kind: recRemove, Remove: &journalRemove{Shard: from.index, JobID: id}}); err != nil {
+		return err
+	}
+	s.applyRemove(from.index, id)
 	err = s.install(to, InstallArgs{
 		JobID:       id,
 		ScaleFactor: rep.ScaleFactor,
 		Tput:        rep.Tput,
 		Seeds:       rep.Seeds,
 		Migrated:    true,
-	})
+	}, reasonMigrate)
 	if err != nil {
-		return err
+		if err = s.downOrErr(to, err); err != nil {
+			return err
+		}
+		// The destination died holding nothing (Install failed); the job is
+		// already extracted, so land it on a surviving shard instead.
+		if _, err = s.place(id, rep.ScaleFactor, rep.Tput, rep.Seeds, reasonMigrate); err != nil {
+			return err
+		}
 	}
 	s.migrations++
 	return nil
@@ -448,9 +858,11 @@ func (s *Service) Rebalance() ([]cluster.Migration, error) {
 			break
 		}
 		if err := s.migrate(pick, hi, lo); err != nil {
-			// A daemon died mid-rebalance: stop moving, let Recover sort the
-			// membership out, and surface real protocol errors.
-			if CodeOf(err) == CodeShardDown {
+			// A daemon died or went unreachable mid-rebalance: stop moving,
+			// let Recover sort the membership out, and surface real protocol
+			// errors. (A transient Extract failure already reinstalled the
+			// job at its source inside migrate.)
+			if code := CodeOf(err); code == CodeShardDown || IsTransient(code) {
 				break
 			}
 			return migs, err
@@ -459,6 +871,9 @@ func (s *Service) Rebalance() ([]cluster.Migration, error) {
 	}
 	if len(migs) > 0 {
 		s.rebalances++
+		if err := s.record(&journalRecord{Kind: recRebalance}); err != nil {
+			return migs, err
+		}
 	}
 	return migs, nil
 }
@@ -499,7 +914,19 @@ func (s *Service) AllocateAll(round int64, info func(id int) policy.JobInfo, for
 			continue
 		}
 		if err := slots[k].err; err != nil {
-			if err = s.downOrErr(m, err); err != nil {
+			switch code := CodeOf(err); {
+			case code == CodeShardDown:
+				if err := s.markDown(m); err != nil {
+					return err
+				}
+			case IsTransient(code):
+				// Slow but alive: the round proceeds on this shard's last
+				// allocation, flagged stale; repeated staleness escalates to
+				// down inside degradeAlloc.
+				if err := s.degradeAlloc(m); err != nil {
+					return err
+				}
+			default:
 				return err
 			}
 			continue
@@ -507,6 +934,16 @@ func (s *Service) AllocateAll(round int64, info func(id int) policy.JobInfo, for
 		m.alloc = &core.Allocation{Units: slots[k].rep.Units, X: slots[k].rep.X}
 		m.allocIDs = slots[k].rep.IDs
 		m.dirty = false
+		m.staleRounds = 0
+		err := s.record(&journalRecord{Kind: recAlloc, Alloc: &journalAlloc{
+			Shard: k,
+			IDs:   slots[k].rep.IDs,
+			Units: slots[k].rep.Units,
+			X:     slots[k].rep.X,
+		}})
+		if err != nil {
+			return err
+		}
 	}
 	return nil
 }
@@ -543,7 +980,7 @@ func (s *Service) AssignRound(round int64, roundSeconds float64, skip func(id in
 	for k, m := range s.shards {
 		if err := errs[k]; err != nil {
 			perShard[k] = nil
-			if err = s.downOrErr(m, err); err != nil {
+			if err = s.degradeOrErr(m, err); err != nil {
 				return nil, err
 			}
 		}
@@ -588,7 +1025,7 @@ func (s *Service) Observe(k int, obs []PairObservation) error {
 	if m.down || len(obs) == 0 {
 		return nil
 	}
-	return s.downOrErr(m, m.client.Observe(ObserveArgs{Obs: obs}))
+	return s.degradeOrErr(m, m.client.Observe(ObserveArgs{Obs: obs}))
 }
 
 // SnapshotAll pulls every live shard's recovery snapshot — warm seeds plus
@@ -602,31 +1039,41 @@ func (s *Service) SnapshotAll() error {
 		}
 		rep, err := m.client.Snapshot()
 		if err != nil {
-			if err = s.downOrErr(m, err); err != nil {
+			if err = s.degradeOrErr(m, err); err != nil {
 				return err
 			}
 			continue
 		}
 		m.seeds = rep.Seeds
 		m.status = rep.Status
+		err = s.record(&journalRecord{Kind: recSnapshot, Snapshot: &journalSnapshot{
+			Shard:  m.index,
+			Seeds:  rep.Seeds,
+			Status: rep.Status,
+		}})
+		if err != nil {
+			return err
+		}
 	}
 	return nil
 }
 
 // PingAll probes every live daemon, marking the unresponsive ones down, and
 // returns the indices of newly dead shards.
-func (s *Service) PingAll() []int {
+func (s *Service) PingAll() ([]int, error) {
 	var dead []int
 	for _, m := range s.shards {
 		if m.down {
 			continue
 		}
 		if m.client.Ping() != nil {
-			s.markDown(m)
+			if err := s.markDown(m); err != nil {
+				return dead, err
+			}
 			dead = append(dead, m.index)
 		}
 	}
-	return dead
+	return dead, nil
 }
 
 // Recover re-routes every job resident on dead shards onto the live ones, in
@@ -637,44 +1084,39 @@ func (s *Service) PingAll() []int {
 // hold seeds keep their own (the better cover) and still solve the enlarged
 // job set remapped. The dead shard's last snapshot status remains mergeable
 // through Stats. Returns the moves for the caller's placement bookkeeping.
+// The pass runs to a fixpoint: any number of shards may be dead on entry —
+// concurrent loss in one round — and destinations may die mid-recovery; the
+// outer loop re-scans until no dead shard holds jobs, so every job either
+// lands on a survivor or the pass reports that none remain. Each job's
+// install on its new shard is journaled before the dead shard's mirror drops
+// it, so a coordinator crash mid-recovery replays to a state where the job is
+// placed exactly once.
 func (s *Service) Recover() ([]cluster.Migration, error) {
 	var migs []cluster.Migration
-	for _, dead := range s.shards {
-		if !dead.down || len(dead.jobs) == 0 {
-			continue
+	for {
+		var dead *shardMirror
+		for _, m := range s.shards {
+			if m.down && len(m.jobs) > 0 {
+				dead = m
+				break
+			}
 		}
-		jobs := append([]int(nil), dead.jobs...)
-		for _, id := range jobs {
-			live := s.live()
-			if len(live) == 0 {
-				return migs, Errorf(CodeShardDown, "no live shard daemons to recover onto")
-			}
-			to := leastLoaded(live)
-			sf, tput := dead.sf[id], dead.tput[id]
-			dead.remove(id)
-			delete(s.shardOf, id)
-			err := s.install(to, InstallArgs{
-				JobID:       id,
-				ScaleFactor: sf,
-				Tput:        tput,
-				Seeds:       dead.seeds,
-				Migrated:    true,
-			})
+		if dead == nil {
+			return migs, nil
+		}
+		for _, id := range append([]int(nil), dead.jobs...) {
+			to, err := s.place(id, dead.sf[id], dead.tput[id], dead.seeds, reasonRecover)
 			if err != nil {
-				if err = s.downOrErr(to, err); err != nil {
-					return migs, err
-				}
-				// Destination died too; retry this job on the remaining live
-				// set by re-entering the loop body via a fresh install.
-				dead.add(id, sf, tput)
-				s.shardOf[id] = dead.index
-				continue
+				return migs, err
 			}
+			if err := s.record(&journalRecord{Kind: recRemove, Remove: &journalRemove{Shard: dead.index, JobID: id}}); err != nil {
+				return migs, err
+			}
+			s.applyRemove(dead.index, id)
 			s.recoveries++
 			migs = append(migs, cluster.Migration{Job: id, From: dead.index, To: to.index})
 		}
 	}
-	return migs, nil
 }
 
 // Stats returns per-shard accounting in shard order: a fresh Status pull for
@@ -689,7 +1131,9 @@ func (s *Service) Stats() ([]ShardStatus, error) {
 		}
 		st, err := m.client.Status()
 		if err != nil {
-			if err = s.downOrErr(m, err); err != nil {
+			// Degrade to the last known accounting; a dead connection marks
+			// the shard down so its jobs recover.
+			if err = s.degradeOrErr(m, err); err != nil {
 				return nil, err
 			}
 			out[k] = m.status
@@ -711,13 +1155,20 @@ func (s *Service) JobShards() map[int]int {
 	return out
 }
 
-// Close closes every shard client connection.
+// Close closes every shard client connection and commits and closes the
+// journal, if any.
 func (s *Service) Close() error {
 	var first error
 	for _, m := range s.shards {
 		if err := m.client.Close(); err != nil && first == nil {
 			first = err
 		}
+	}
+	if s.j != nil {
+		if err := s.j.close(); err != nil && first == nil {
+			first = err
+		}
+		s.j = nil
 	}
 	return first
 }

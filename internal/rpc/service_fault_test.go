@@ -1,0 +1,489 @@
+package rpc
+
+// Durability and fault-handling tests for the Service: coordinator
+// kill-and-restart over a journal (byte-identical resumption), graceful
+// degradation under transient Allocate failures, and recovery from
+// concurrent shard loss — including destinations that die mid-recovery.
+
+import (
+	"fmt"
+	"path/filepath"
+	"testing"
+
+	"gavel/internal/cluster"
+	"gavel/internal/policy"
+)
+
+func testClusterSpec() cluster.Spec {
+	return cluster.Spec{Types: []cluster.AcceleratorType{
+		{Name: "v100", Count: 4, PricePerHour: cluster.PriceV100, PerServer: 4},
+		{Name: "k80", Count: 4, PricePerHour: cluster.PriceK80, PerServer: 4},
+	}}
+}
+
+func testServiceConfig(journal string) ServiceConfig {
+	return ServiceConfig{
+		Cluster: testClusterSpec(),
+		Policy:  PolicySpec{Name: "max_min_fairness"},
+		Journal: journal,
+	}
+}
+
+func testJobInfo(id int) policy.JobInfo {
+	return policy.JobInfo{
+		Weight:         1,
+		RemainingSteps: 1000 + float64(id),
+		TotalSteps:     2000,
+		ArrivalSeq:     id,
+	}
+}
+
+// testTput is a deterministic per-job throughput row over the test cluster's
+// two accelerator types.
+func testTput(id int) []float64 {
+	return []float64{1 + float64(id%5)*0.25, 0.5 + float64(id%3)*0.125}
+}
+
+// allocFingerprint renders every shard's mirrored allocation — IDs, unit
+// shapes, and the full X matrix — into a string. Byte-identical runs produce
+// byte-identical fingerprints (float formatting is exact for equal bits).
+func allocFingerprint(svc *Service) string {
+	var s string
+	for k := 0; k < svc.NumShards(); k++ {
+		alloc, ids := svc.Alloc(k)
+		if alloc == nil {
+			s += fmt.Sprintf("shard %d: nil\n", k)
+			continue
+		}
+		s += fmt.Sprintf("shard %d: ids=%v units=%v x=%v\n", k, ids, alloc.Units, alloc.X)
+	}
+	return s
+}
+
+// driveRound runs one manual coordinator round r against svc: admissions for
+// r (two jobs land at rounds 0..2, one more at rounds 5 and 7), a dirty-mark
+// sweep every third round, allocation, round assignment, a snapshot every
+// other round, and the sealing EndRound. Returns the post-allocation
+// fingerprint.
+func driveRound(t *testing.T, svc *Service, r int) string {
+	t.Helper()
+	switch {
+	case r < 3:
+		for i := 0; i < 2; i++ {
+			id := r*2 + i
+			if _, err := svc.Admit(id, 1+id%2, testTput(id)); err != nil {
+				t.Fatalf("round %d: admit %d: %v", r, id, err)
+			}
+		}
+	case r == 5 || r == 7:
+		id := 6 + r
+		if _, err := svc.Admit(id, 1, testTput(id)); err != nil {
+			t.Fatalf("round %d: admit %d: %v", r, id, err)
+		}
+	}
+	if r > 0 && r%3 == 0 {
+		for k := 0; k < svc.NumShards(); k++ {
+			if err := svc.MarkDirty(k); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	if err := svc.AllocateAll(int64(r), testJobInfo, false); err != nil {
+		t.Fatalf("round %d: AllocateAll: %v", r, err)
+	}
+	if _, err := svc.AssignRound(int64(r), 10, nil); err != nil {
+		t.Fatalf("round %d: AssignRound: %v", r, err)
+	}
+	if r%2 == 0 {
+		if err := svc.SnapshotAll(); err != nil {
+			t.Fatalf("round %d: SnapshotAll: %v", r, err)
+		}
+	}
+	if err := svc.EndRound(int64(r)); err != nil {
+		t.Fatalf("round %d: EndRound: %v", r, err)
+	}
+	return allocFingerprint(svc)
+}
+
+// TestServiceRestartReplaysByteIdentical is the durability acceptance: a
+// coordinator killed after round 5 and restarted over its journal must
+// replay to the exact pre-crash mirror and produce byte-identical
+// allocations for the remaining rounds, against shard daemons that survived
+// the coordinator's death.
+func TestServiceRestartReplaysByteIdentical(t *testing.T) {
+	const rounds = 12
+	dir := t.TempDir()
+
+	// Reference: one uninterrupted run.
+	var want [rounds]string
+	{
+		_, c0 := NewLocalShard()
+		_, c1 := NewLocalShard()
+		svc, err := NewService(testServiceConfig(filepath.Join(dir, "ref.wal")), []ShardClient{c0, c1})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for r := 0; r < rounds; r++ {
+			want[r] = driveRound(t, svc, r)
+		}
+		if err := svc.Close(); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	// Interrupted run: fresh daemons, same schedule, coordinator "killed"
+	// after round 5 (the Service value is abandoned without Close — every
+	// sealed round is already fsynced).
+	journal := filepath.Join(dir, "crash.wal")
+	srv0, c0 := NewLocalShard()
+	srv1, c1 := NewLocalShard()
+	svc, err := NewService(testServiceConfig(journal), []ShardClient{c0, c1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for r := 0; r <= 5; r++ {
+		if got := driveRound(t, svc, r); got != want[r] {
+			t.Fatalf("pre-crash round %d diverged from reference:\n got %s\nwant %s", r, got, want[r])
+		}
+	}
+	preCrashJobs := svc.JobShards()
+	svc = nil // the crash
+
+	// Restart: a new Service over the same journal and the surviving daemons.
+	resumed, err := NewService(testServiceConfig(journal),
+		[]ShardClient{NewLocalShardClient(srv0), NewLocalShardClient(srv1)})
+	if err != nil {
+		t.Fatalf("restart over journal: %v", err)
+	}
+	defer resumed.Close()
+	if !resumed.Resumed() {
+		t.Fatal("restarted service did not detect the journal")
+	}
+	if resumed.Round() != 5 {
+		t.Fatalf("resumed at round %d, want 5", resumed.Round())
+	}
+	if got := allocFingerprint(resumed); got != want[5] {
+		t.Fatalf("replayed mirror allocation differs from pre-crash state:\n got %s\nwant %s", got, want[5])
+	}
+	got := resumed.JobShards()
+	if len(got) != len(preCrashJobs) {
+		t.Fatalf("replayed %d jobs, had %d before the crash", len(got), len(preCrashJobs))
+	}
+	for id, k := range preCrashJobs {
+		if got[id] != k {
+			t.Fatalf("job %d replayed onto shard %d, was on %d", id, got[id], k)
+		}
+	}
+	// A resumed driver re-submits its batch; admission must be idempotent.
+	if k, err := resumed.Admit(0, 1, testTput(0)); err != nil || k != preCrashJobs[0] {
+		t.Fatalf("re-admitting a resident job: shard %d, err %v", k, err)
+	}
+	for r := 6; r < rounds; r++ {
+		if got := driveRound(t, resumed, r); got != want[r] {
+			t.Fatalf("post-restart round %d diverged from uninterrupted run:\n got %s\nwant %s", r, got, want[r])
+		}
+	}
+}
+
+// TestServiceRestartReconcilesBareDaemons covers the double-crash case: the
+// coordinator AND a shard daemon restart together. The journal rebuilds the
+// mirror; reconcile detects the bare daemon and re-installs its jobs with
+// the last snapshot's seeds, so the run continues with every job placed.
+func TestServiceRestartReconcilesBareDaemons(t *testing.T) {
+	journal := filepath.Join(t.TempDir(), "j.wal")
+	_, c0 := NewLocalShard()
+	srv1, c1 := NewLocalShard()
+	svc, err := NewService(testServiceConfig(journal), []ShardClient{c0, c1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for r := 0; r <= 5; r++ {
+		driveRound(t, svc, r)
+	}
+	jobs := svc.JobShards()
+	svc = nil // coordinator crash
+
+	// Shard 0's daemon also restarts, losing all state; shard 1 survives.
+	freshSrv0, _ := NewLocalShard()
+	resumed, err := NewService(testServiceConfig(journal),
+		[]ShardClient{NewLocalShardClient(freshSrv0), NewLocalShardClient(srv1)})
+	if err != nil {
+		t.Fatalf("restart with a bare daemon: %v", err)
+	}
+	defer resumed.Close()
+	st, err := resumed.Stats()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for id, k := range jobs {
+		found := false
+		for _, j := range st[k].Jobs {
+			if j == id {
+				found = true
+			}
+		}
+		if !found {
+			t.Fatalf("job %d not re-installed on restarted shard %d", id, k)
+		}
+	}
+	for r := 6; r < 9; r++ {
+		driveRound(t, resumed, r)
+	}
+	// Rounds 6..8 admit one more job (round 7) on top of the replayed set.
+	if resumed.NumJobs() != len(jobs)+1 {
+		t.Fatalf("%d jobs after reconcile, want %d", resumed.NumJobs(), len(jobs)+1)
+	}
+}
+
+// flakyClient wraps a ShardClient with an injectable per-method fault,
+// simulating a slow or dead daemon without sockets.
+type flakyClient struct {
+	ShardClient
+	fail func(method string) error
+}
+
+func (c *flakyClient) check(method string) error {
+	if c.fail == nil {
+		return nil
+	}
+	return c.fail(method)
+}
+
+func (c *flakyClient) Install(args InstallArgs) error {
+	if err := c.check("Install"); err != nil {
+		return err
+	}
+	return c.ShardClient.Install(args)
+}
+
+func (c *flakyClient) Remove(args RemoveArgs) error {
+	if err := c.check("Remove"); err != nil {
+		return err
+	}
+	return c.ShardClient.Remove(args)
+}
+
+func (c *flakyClient) Allocate(args AllocateArgs) (AllocateReply, error) {
+	if err := c.check("Allocate"); err != nil {
+		return AllocateReply{}, err
+	}
+	return c.ShardClient.Allocate(args)
+}
+
+func (c *flakyClient) AssignRound(args AssignRoundArgs) (AssignRoundReply, error) {
+	if err := c.check("AssignRound"); err != nil {
+		return AssignRoundReply{}, err
+	}
+	return c.ShardClient.AssignRound(args)
+}
+
+func (c *flakyClient) Snapshot() (SnapshotReply, error) {
+	if err := c.check("Snapshot"); err != nil {
+		return SnapshotReply{}, err
+	}
+	return c.ShardClient.Snapshot()
+}
+
+func (c *flakyClient) Status() (ShardStatus, error) {
+	if err := c.check("Status"); err != nil {
+		return ShardStatus{}, err
+	}
+	return c.ShardClient.Status()
+}
+
+func (c *flakyClient) Ping() error {
+	if err := c.check("Ping"); err != nil {
+		return err
+	}
+	return c.ShardClient.Ping()
+}
+
+// TestServiceDegradesThenEscalates drives the degradation ladder: a shard
+// whose Allocate fails transiently serves its last allocation (flagged
+// stale), and after StaleAfterRounds consecutive stale rounds it escalates
+// to down and its jobs recover onto the survivor.
+func TestServiceDegradesThenEscalates(t *testing.T) {
+	_, inner0 := NewLocalShard()
+	_, inner1 := NewLocalShard()
+	f1 := &flakyClient{ShardClient: inner1}
+	cfg := testServiceConfig("")
+	cfg.StaleAfterRounds = 3
+	svc, err := NewService(cfg, []ShardClient{inner0, f1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer svc.Close()
+	for id := 0; id < 6; id++ {
+		if _, err := svc.Admit(id, 1, testTput(id)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := svc.AllocateAll(0, testJobInfo, false); err != nil {
+		t.Fatal(err)
+	}
+	if err := svc.EndRound(0); err != nil {
+		t.Fatal(err)
+	}
+	oldAlloc, oldIDs := svc.Alloc(1)
+	if oldAlloc == nil {
+		t.Fatal("shard 1 has no allocation before the fault")
+	}
+
+	// Shard 1 goes slow-but-alive: Allocate times out, everything else works.
+	f1.fail = func(method string) error {
+		if method == "Allocate" {
+			return Errorf(CodeTimeout, "injected timeout")
+		}
+		return nil
+	}
+	for r := int64(1); r <= 2; r++ {
+		for k := 0; k < svc.NumShards(); k++ {
+			if err := svc.MarkDirty(k); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if err := svc.AllocateAll(r, testJobInfo, false); err != nil {
+			t.Fatalf("round %d: AllocateAll should degrade, got %v", r, err)
+		}
+		if svc.Down(1) {
+			t.Fatalf("round %d: shard escalated before StaleAfterRounds", r)
+		}
+		gotAlloc, gotIDs := svc.Alloc(1)
+		if gotAlloc != oldAlloc || fmt.Sprint(gotIDs) != fmt.Sprint(oldIDs) {
+			t.Fatalf("round %d: degraded shard did not keep its last allocation", r)
+		}
+		if svc.StaleAllocs(1) != int(r) {
+			t.Fatalf("round %d: StaleAllocs = %d, want %d", r, svc.StaleAllocs(1), r)
+		}
+		if err := svc.EndRound(r); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if svc.DegradedRounds() != 2 {
+		t.Fatalf("DegradedRounds = %d, want 2", svc.DegradedRounds())
+	}
+
+	// Third consecutive stale round: escalate to down, recover onto shard 0.
+	if err := svc.MarkDirty(1); err != nil {
+		t.Fatal(err)
+	}
+	if err := svc.AllocateAll(3, testJobInfo, false); err != nil {
+		t.Fatal(err)
+	}
+	if !svc.Down(1) {
+		t.Fatal("shard did not escalate to down after StaleAfterRounds stale rounds")
+	}
+	migs, err := svc.Recover()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(migs) == 0 || svc.AnyDown() {
+		t.Fatalf("recovery after escalation moved %d jobs, AnyDown=%v", len(migs), svc.AnyDown())
+	}
+	for id, k := range svc.JobShards() {
+		if k != 0 {
+			t.Fatalf("job %d still on shard %d after recovery", id, k)
+		}
+	}
+}
+
+// TestServiceRecoverConcurrentLoss is the double-failure case: two of three
+// daemons die in the same round — including one that fails while being used
+// as a recovery destination — and a single Recover pass must land every job
+// on the survivor, stranding none.
+func TestServiceRecoverConcurrentLoss(t *testing.T) {
+	_, inner0 := NewLocalShard()
+	_, inner1 := NewLocalShard()
+	_, inner2 := NewLocalShard()
+	f0 := &flakyClient{ShardClient: inner0}
+	f1 := &flakyClient{ShardClient: inner1}
+	svc, err := NewService(testServiceConfig(filepath.Join(t.TempDir(), "j.wal")),
+		[]ShardClient{f0, f1, inner2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer svc.Close()
+	for id := 0; id < 9; id++ {
+		if _, err := svc.Admit(id, 1, testTput(id)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := svc.AllocateAll(0, testJobInfo, false); err != nil {
+		t.Fatal(err)
+	}
+	if err := svc.SnapshotAll(); err != nil {
+		t.Fatal(err)
+	}
+	total := svc.NumJobs()
+
+	// Both daemons die at once, but only shard 0's death has been observed
+	// when Recover starts: shard 1 is still marked live, so the pass picks
+	// it as the least-loaded destination, watches the install fail, and must
+	// recover shard 1's own jobs in the same pass.
+	dead := func(string) error { return Errorf(CodeShardDown, "injected death") }
+	f0.fail = dead
+	if err := svc.AllocateAll(1, testJobInfo, true); err != nil {
+		t.Fatal(err)
+	}
+	if !svc.Down(0) {
+		t.Fatal("shard 0 not marked down")
+	}
+	f1.fail = dead
+	migs, err := svc.Recover()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if svc.AnyDown() {
+		t.Fatal("jobs still stranded on dead shards after Recover")
+	}
+	if !svc.Down(0) || !svc.Down(1) {
+		t.Fatalf("down flags: shard0=%v shard1=%v, want both true", svc.Down(0), svc.Down(1))
+	}
+	if svc.NumJobs() != total {
+		t.Fatalf("%d jobs after concurrent loss, want %d", svc.NumJobs(), total)
+	}
+	for id, k := range svc.JobShards() {
+		if k != 2 {
+			t.Fatalf("job %d on shard %d, want survivor 2", id, k)
+		}
+	}
+	if svc.Recoveries() != len(migs) {
+		t.Fatalf("Recoveries() = %d, migrations reported = %d", svc.Recoveries(), len(migs))
+	}
+	// The survivor reallocates over the full job set.
+	if err := svc.AllocateAll(2, testJobInfo, false); err != nil {
+		t.Fatal(err)
+	}
+	if _, ids := svc.Alloc(2); len(ids) != total {
+		t.Fatalf("survivor allocated over %d jobs, want %d", len(ids), total)
+	}
+}
+
+// TestServiceTransientMembershipFailureMarksDown: an Install that keeps
+// failing transiently (retries exhausted below the Service) cannot be
+// degraded around — the shard is marked down and admission re-routes.
+func TestServiceTransientMembershipFailureMarksDown(t *testing.T) {
+	_, inner0 := NewLocalShard()
+	_, inner1 := NewLocalShard()
+	f0 := &flakyClient{ShardClient: inner0}
+	svc, err := NewService(testServiceConfig(""), []ShardClient{f0, inner1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer svc.Close()
+	f0.fail = func(method string) error {
+		if method == "Install" {
+			return Errorf(CodeUnavailable, "injected partition")
+		}
+		return nil
+	}
+	// Job 0 hash-routes to shard 0, whose Install fails transiently; it must
+	// land on shard 1 with shard 0 marked down.
+	k, err := svc.Admit(0, 1, testTput(0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if k != 1 || !svc.Down(0) {
+		t.Fatalf("admit landed on shard %d (down0=%v), want re-route to 1 with shard 0 down", k, svc.Down(0))
+	}
+}

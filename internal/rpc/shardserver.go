@@ -27,8 +27,22 @@ type ShardServer struct {
 	pol   policy.Policy
 	cfg   ShardConfig
 
+	// Round-keyed reply caches make Allocate and AssignRound idempotent
+	// under at-least-once delivery: the protocol is round-synchronous, so
+	// the round number is a natural request ID, and a retried or duplicated
+	// call for the round already served returns the cached reply instead of
+	// re-running the engine (which would skew solve and received-time
+	// accounting).
+	lastAllocRound  int64
+	lastAlloc       AllocateReply
+	lastAssignRound int64
+	lastAssign      AssignRoundReply
+
 	srv *tcpServer
 }
+
+// noRound is the reply caches' "nothing served yet" sentinel.
+const noRound = int64(-1) << 62
 
 // NewShardServer returns an unconfigured shard daemon engine.
 func NewShardServer() *ShardServer { return &ShardServer{} }
@@ -107,6 +121,7 @@ func (s *ShardServer) Configure(cfg ShardConfig, _ *Ack) error {
 	s.shard = cluster.NewShard(cfg.Index, cfg.WorkerInts, cfg.PerServer, cfg.Prices, ctx)
 	s.pol = pol
 	s.cfg = cfg
+	s.lastAllocRound, s.lastAssignRound = noRound, noRound
 	return nil
 }
 
@@ -119,13 +134,18 @@ func (s *ShardServer) ready() (*cluster.Shard, error) {
 }
 
 // Install admits a job (arrival, migration target, or crash-recovery
-// re-route). See InstallArgs for the seed-import gate.
+// re-route). See InstallArgs for the seed-import gate. Installing an
+// already-resident job is a no-op success: that is what makes Install safe
+// to retry or duplicate when a reply is lost in transit.
 func (s *ShardServer) Install(args InstallArgs, _ *Ack) error {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	sh, err := s.ready()
 	if err != nil {
 		return err
+	}
+	if sh.Has(args.JobID) {
+		return nil
 	}
 	sh.Add(args.JobID, args.ScaleFactor, args.Tput)
 	if args.Migrated {
@@ -183,6 +203,10 @@ func (s *ShardServer) Allocate(args AllocateArgs, reply *AllocateReply) error {
 	if err != nil {
 		return err
 	}
+	if args.Round == s.lastAllocRound {
+		*reply = s.lastAlloc
+		return nil
+	}
 	infos := make(map[int]policy.JobInfo, len(args.Infos))
 	for _, ji := range args.Infos {
 		infos[ji.ID] = ji
@@ -194,6 +218,7 @@ func (s *ShardServer) Allocate(args AllocateArgs, reply *AllocateReply) error {
 	reply.IDs = append([]int(nil), sh.AllocIDs...)
 	reply.Units = sh.Alloc.Units
 	reply.X = sh.Alloc.X
+	s.lastAllocRound, s.lastAlloc = args.Round, *reply
 	return nil
 }
 
@@ -208,6 +233,10 @@ func (s *ShardServer) AssignRound(args AssignRoundArgs, reply *AssignRoundReply)
 	if sh.Alloc == nil && sh.NumJobs() > 0 {
 		return Errorf(CodeNoAllocation, "AssignRound before any Allocate on shard %d", s.cfg.Index)
 	}
+	if args.Round == s.lastAssignRound {
+		*reply = s.lastAssign
+		return nil
+	}
 	var skip func(id int) bool
 	if len(args.SkipJobs) > 0 {
 		set := make(map[int]bool, len(args.SkipJobs))
@@ -221,6 +250,7 @@ func (s *ShardServer) AssignRound(args AssignRoundArgs, reply *AssignRoundReply)
 		return Errorf(CodeInternal, "assign round: %v", err)
 	}
 	reply.Assigns = assigns
+	s.lastAssignRound, s.lastAssign = args.Round, *reply
 	return nil
 }
 

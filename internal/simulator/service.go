@@ -5,6 +5,7 @@ import (
 	"math"
 	"time"
 
+	"gavel/internal/chaos"
 	"gavel/internal/policy"
 	"gavel/internal/rpc"
 )
@@ -79,6 +80,17 @@ func runService(cfg Config) (*Result, error) {
 		}
 	}
 
+	// The fault plane layers per client: the chaos transport injects seeded
+	// faults below the retry policy, so every injected transient exercises
+	// the production retry/degrade/recover path.
+	clients := cfg.ShardClients
+	if cfg.Chaos.Enabled() || !cfg.RPC.IsZero() {
+		clients = make([]rpc.ShardClient, len(cfg.ShardClients))
+		for k, c := range cfg.ShardClients {
+			clients[k] = rpc.WithRetry(chaos.Wrap(c, cfg.Chaos, k), cfg.RPC)
+		}
+	}
+
 	svc, err := rpc.NewService(rpc.ServiceConfig{
 		Cluster:           cfg.Cluster,
 		Policy:            spec,
@@ -88,9 +100,16 @@ func runService(cfg Config) (*Result, error) {
 		PairGainThreshold: pairGainThreshold,
 		MaxPairsPerJob:    pairCap,
 		Pairs:             pairs,
-	}, cfg.ShardClients)
+		Journal:           cfg.Journal,
+		StaleAfterRounds:  cfg.StaleAfterRounds,
+	}, clients)
 	if err != nil {
 		return nil, err
+	}
+	if cfg.Journal != "" {
+		// The journal's lifetime is tied to the service: commit and release
+		// it (and the wrapped clients) when the run ends.
+		defer svc.Close()
 	}
 
 	allocStates := make([][]int, numShards) // per shard: state indices parallel to AllocIDs
@@ -227,7 +246,13 @@ func runService(cfg Config) (*Result, error) {
 				cfg.OnRound(now, alloc, allocStates[k], perShard[k])
 			}
 			batch := &batchObserver{}
-			applyAssignments(cfg, batch, states, allocStates[k], alloc, perShard[k], e.round, now, e.prices, e.noise, svc.DirtyFlag(k), &completed, res)
+			var dirtied bool
+			applyAssignments(cfg, batch, states, allocStates[k], alloc, perShard[k], e.round, now, e.prices, e.noise, &dirtied, &completed, res)
+			if dirtied {
+				if err := svc.MarkDirty(k); err != nil {
+					return nil, err
+				}
+			}
 			if err := svc.Observe(k, batch.obs); err != nil {
 				return nil, err
 			}
@@ -238,7 +263,9 @@ func runService(cfg Config) (*Result, error) {
 		for k := range shardRounds {
 			shardRounds[k]++
 			if cfg.ReallocEveryRounds > 0 && shardRounds[k] >= cfg.ReallocEveryRounds {
-				*svc.DirtyFlag(k) = true
+				if err := svc.MarkDirty(k); err != nil {
+					return nil, err
+				}
 			}
 		}
 		// Periodic recovery snapshot: pull every daemon's warm seeds and
@@ -262,6 +289,11 @@ func runService(cfg Config) (*Result, error) {
 				st.lastType, st.lastServer, st.lastPartner = -1, -1, -1
 			}
 		}
+		// Seal the round: the journal's fsync batch point. Without a journal
+		// this only advances the service's round counter.
+		if err := svc.EndRound(int64(res.Rounds)); err != nil {
+			return nil, err
+		}
 	}
 
 	// Merge per-shard accounting into the Result. Dead daemons contribute
@@ -270,6 +302,7 @@ func runService(cfg Config) (*Result, error) {
 	res.Migrations = svc.Migrations()
 	res.Rebalances = svc.Rebalances()
 	res.Recoveries = svc.Recoveries()
+	res.DegradedRounds = svc.DegradedRounds()
 	stats, err := svc.Stats()
 	if err != nil {
 		return nil, err
@@ -290,6 +323,7 @@ func runService(cfg Config) (*Result, error) {
 
 			PresolveReductions: st.Solve.PresolveReductions,
 			DualIterations:     st.Solve.DualIterations,
+			StaleAllocs:        svc.StaleAllocs(st.Index),
 		})
 		res.LPSolves += st.Solve.Solves
 		res.WarmSolves += st.Solve.WarmHits

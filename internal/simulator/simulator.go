@@ -15,6 +15,7 @@ import (
 	"sort"
 	"time"
 
+	"gavel/internal/chaos"
 	"gavel/internal/cluster"
 	"gavel/internal/core"
 	"gavel/internal/lp"
@@ -158,6 +159,27 @@ type Config struct {
 	// daemon dies. Snapshots never perturb shard state, so the cadence does
 	// not affect results — only how warm a recovery starts.
 	SnapshotEveryRounds int
+	// Journal, when non-empty, makes the cluster-service coordinator durable:
+	// every mirror mutation is journaled to this write-ahead-log path and
+	// fsynced at round boundaries, and a run started over an existing journal
+	// resumes from the pre-crash state instead of starting fresh. Service
+	// engine only. Journal-enabled runs close the shard clients on return
+	// (the journal's lifetime is tied to the service).
+	Journal string
+	// Chaos injects seeded transport faults (drops, delays, duplicates,
+	// partitions, crashes) between the coordinator and every shard daemon.
+	// The zero value injects nothing. Service engine only.
+	Chaos chaos.Config
+	// RPC is the per-call fault policy (deadline, retries, backoff) layered
+	// over the shard clients. The zero value adds no retry layer — callers
+	// that built their clients with rpc.DialShard already have the
+	// environment's policy on the transport. Service engine only.
+	RPC rpc.CallPolicy
+	// StaleAfterRounds bounds graceful degradation: a shard whose Allocate
+	// keeps failing transiently serves its stale allocation for this many
+	// consecutive rounds before being declared down (default 3). Service
+	// engine only.
+	StaleAfterRounds int
 	// OnRound, if set, is invoked after every executed round with the
 	// current time, the allocation in force, the active job state indices,
 	// and the round's assignments (testing/observability hook).
@@ -276,7 +298,12 @@ type Result struct {
 	// cluster-service engine (always zero in-process, where shards cannot
 	// die independently).
 	Recoveries int
-	ShardStats []ShardStat
+	// DegradedRounds counts rounds the cluster-service coordinator completed
+	// with at least one shard degraded — a stale allocation served after a
+	// transient Allocate failure, or a missed round-plane call (always zero
+	// in-process).
+	DegradedRounds int
+	ShardStats     []ShardStat
 }
 
 // ShardStat is one shard's accounting within a sharded run.
@@ -296,6 +323,10 @@ type ShardStat struct {
 	// fields of the same names).
 	PresolveReductions int
 	DualIterations     int
+	// StaleAllocs counts rounds this shard served a stale allocation because
+	// its Allocate failed transiently (cluster-service engine under faults;
+	// always zero otherwise).
+	StaleAllocs int
 }
 
 // AvgJCT returns the mean JCT in hours over finished jobs, optionally
