@@ -11,16 +11,24 @@
 //   - Standalone (no -shards): the seed's single-process scheduler, leasing
 //     by least attained service.
 //
+// With -submit-listen, the coordinator also serves the client submission
+// plane (protocol v3): tenants stream jobs through gavel-submit, admission is
+// rationed by the GAVEL_SUBMIT_* quotas, and the declared-vs-measured trust
+// review runs between rounds; shed/quarantine decisions are logged and, with
+// -decision-log, rewritten to a file each round.
+//
 // Usage:
 //
 //	gavel-sched -listen :8642 -jobs 8 -round 10
 //	gavel-sched -listen :8642 -shards 127.0.0.1:8650,127.0.0.1:8651 -policy max_min_fairness
+//	gavel-sched -listen :8642 -shards ... -submit-listen :8643 -decision-log decisions.log
 package main
 
 import (
 	"flag"
 	"fmt"
 	"log"
+	"os"
 	"strconv"
 	"strings"
 	"sync"
@@ -53,6 +61,10 @@ func main() {
 		lpPresolve = flag.String("lp-presolve", "", "LP presolve: on|off (default auto)")
 		lpDual     = flag.String("lp-dual", "", "LP dual warm starts: on|off (default auto)")
 
+		submitListen = flag.String("submit-listen", "", "address to serve the client submission plane on (coordinator mode; empty = off)")
+		decisionLog  = flag.String("decision-log", "", "file rewritten each round with the admission decision log (shed/quarantine/abandon)")
+		drainRounds  = flag.Int("drain-rounds", 3, "with -submit-listen, idle rounds with no resident or queued submissions before exiting")
+
 		journal    = flag.String("journal", "", "coordinator write-ahead-log path (empty = not durable; an existing journal resumes the run)")
 		chaosSpec  = flag.String("chaos", "", "fault-injection spec, e.g. seed=42,drop=0.05,dup=0.01,delay=0.1,maxdelay=20ms,partition=40+10,crash=200")
 		rpcTimeout = flag.Duration("rpc-timeout", 0, "per-call shard RPC deadline (0 = GAVEL_RPC_TIMEOUT or default)")
@@ -62,6 +74,9 @@ func main() {
 	flag.Parse()
 
 	if *shards == "" {
+		if *submitListen != "" {
+			log.Fatalf("gavel-sched: -submit-listen requires coordinator mode (-shards)")
+		}
 		runStandalone(*listen, *jobs, *round, *steps)
 		return
 	}
@@ -84,20 +99,23 @@ func main() {
 		pol.Backoff = *rpcBackoff
 	}
 	cfg := coordinatorConfig{
-		listen:     *listen,
-		shardAddrs: strings.Split(*shards, ","),
-		jobs:       *jobs,
-		round:      *round,
-		steps:      *steps,
-		policy:     *policyName,
-		gpus:       *gpus,
-		rebalance:  *rebalance,
-		realloc:    *realloc,
-		snapshot:   *snapshot,
-		lp:         opts,
-		journal:    *journal,
-		chaos:      faults,
-		rpcPolicy:  pol,
+		listen:       *listen,
+		shardAddrs:   strings.Split(*shards, ","),
+		jobs:         *jobs,
+		round:        *round,
+		steps:        *steps,
+		policy:       *policyName,
+		gpus:         *gpus,
+		rebalance:    *rebalance,
+		realloc:      *realloc,
+		snapshot:     *snapshot,
+		lp:           opts,
+		journal:      *journal,
+		chaos:        faults,
+		rpcPolicy:    pol,
+		submitListen: *submitListen,
+		decisionLog:  *decisionLog,
+		drainRounds:  *drainRounds,
 	}
 	if err := runCoordinator(cfg); err != nil {
 		log.Fatalf("gavel-sched: %v", err)
@@ -174,6 +192,10 @@ type coordinatorConfig struct {
 	journal    string
 	chaos      chaos.Config
 	rpcPolicy  rpc.CallPolicy
+
+	submitListen string
+	decisionLog  string
+	drainRounds  int
 }
 
 // runCoordinator drives remote shard daemons through the control plane and
@@ -223,12 +245,18 @@ func runCoordinator(cfg coordinatorConfig) error {
 		}
 		clients[i] = c
 	}
-	svc, err := rpc.NewService(rpc.ServiceConfig{
+	svcCfg := rpc.ServiceConfig{
 		Cluster: spec,
 		Policy:  rpc.PolicySpec{Name: cfg.policy},
 		LP:      cfg.lp,
 		Journal: cfg.journal,
-	}, clients)
+	}
+	submission := cfg.submitListen != ""
+	if submission {
+		adm := rpc.AdmissionConfigFromEnv()
+		svcCfg.Admission = &adm
+	}
+	svc, err := rpc.NewService(svcCfg, clients)
 	if err != nil {
 		return err
 	}
@@ -251,6 +279,34 @@ func runCoordinator(cfg coordinatorConfig) error {
 	log.Printf("gavel-sched: coordinator mode, protocol v%d, lease plane on %s, %d shards, policy %s, lp[%s]",
 		rpc.ProtocolVersion, addr, len(clients), cfg.policy, cfg.lp.Resolve())
 
+	// jobSteps is every lease-plane job's training length — the synthetic
+	// batch at cfg.steps plus each streamed submission at its declared length.
+	jobSteps := map[int]float64{}
+	if submission {
+		sub := rpc.NewSubmitServer(svc)
+		subAddr, err := sub.Serve(cfg.submitListen)
+		if err != nil {
+			return err
+		}
+		defer sub.Close()
+		log.Printf("gavel-sched: submission plane on %s", subAddr)
+		// A resumed journal replays the ingress too: re-install lease specs
+		// for every submission that was admitted when the coordinator died.
+		// Queued submissions stay queued and re-enter through AdmitPending.
+		for _, si := range svc.Submissions() {
+			if si.State != rpc.SubmissionAdmitted {
+				continue
+			}
+			sched.Submit(rpc.JobSpec{
+				JobID: si.JobID, Name: si.Name, TotalSteps: si.TotalSteps,
+				ThroughputHint: hintFor(spec, si.Tput),
+			})
+			jobSteps[si.JobID] = si.TotalSteps
+			log.Printf("gavel-sched: submission job %d (%s/%s) resumed on shard %d (journal)",
+				si.JobID, si.Tenant, si.Key, si.Shard)
+		}
+	}
+
 	// Submit the synthetic batch to both planes: leases need specs, shards
 	// need throughput rows over the spec's accelerator types.
 	zoo := workload.Zoo()
@@ -267,6 +323,7 @@ func runCoordinator(cfg coordinatorConfig) error {
 			}
 		}
 		sched.Submit(rpc.JobSpec{JobID: i, Name: model.Name(), TotalSteps: cfg.steps, ThroughputHint: hint})
+		jobSteps[i] = cfg.steps
 		if svc.HasJob(i) {
 			// Already resident from the replayed journal; the lease plane's
 			// progress restarts (leases are in-memory) but the placement and
@@ -284,15 +341,23 @@ func runCoordinator(cfg coordinatorConfig) error {
 	}
 
 	info := func(id int) policy.JobInfo {
+		total := jobSteps[id]
 		return policy.JobInfo{
 			Weight:         1,
-			RemainingSteps: cfg.steps - sched.Steps(id),
-			TotalSteps:     cfg.steps,
+			RemainingSteps: total - sched.Steps(id),
+			TotalSteps:     total,
 			Elapsed:        time.Since(submitted).Seconds(),
 			ArrivalSeq:     id,
 		}
 	}
 	done := func(id int) bool { return sched.JobDone(id) }
+
+	// drained counts consecutive rounds the submission plane was idle (no
+	// queued or resident submissions); the coordinator exits once the
+	// synthetic batch is complete and the plane has stayed idle -drain-rounds
+	// rounds. loggedDecisions marks how much of the decision log has been
+	// printed already.
+	drained, loggedDecisions := 0, 0
 
 	for r := startRound; ; r++ {
 		// Retire completed jobs from the shards.
@@ -312,8 +377,47 @@ func runCoordinator(cfg coordinatorConfig) error {
 			}
 		}
 		log.Printf("gavel-sched: round %d, %d/%d jobs complete", r, completed, cfg.jobs)
-		if completed == cfg.jobs {
+		if completed == cfg.jobs && (!submission || drained >= cfg.drainRounds) {
 			break
+		}
+
+		if submission {
+			// Retire completed streamed jobs, sweep abandoned tenants, then
+			// admit from the ingress queue under the round's quota budget.
+			// Newly admitted submissions enter the lease plane here — the
+			// journal already holds them, so a crash between admit and
+			// EndRound replays to the same placement.
+			for _, si := range svc.Submissions() {
+				if si.State == rpc.SubmissionAdmitted && sched.JobDone(si.JobID) {
+					if err := svc.Remove(si.JobID); err != nil {
+						return err
+					}
+					log.Printf("gavel-sched: submission job %d (%s/%s) complete", si.JobID, si.Tenant, si.Key)
+				}
+			}
+			if err := svc.ExpireAbandoned(int64(r)); err != nil {
+				return err
+			}
+			admitted, err := svc.AdmitPending(int64(r))
+			if err != nil {
+				return err
+			}
+			if len(admitted) > 0 {
+				byID := map[int]rpc.SubmissionInfo{}
+				for _, si := range svc.Submissions() {
+					byID[si.JobID] = si
+				}
+				for _, id := range admitted {
+					si := byID[id]
+					sched.Submit(rpc.JobSpec{
+						JobID: id, Name: si.Name, TotalSteps: si.TotalSteps,
+						ThroughputHint: hintFor(spec, si.Tput),
+					})
+					jobSteps[id] = si.TotalSteps
+					log.Printf("gavel-sched: admitted submission job %d (%s/%s) -> shard %d",
+						id, si.Tenant, si.Key, si.Shard)
+				}
+			}
 		}
 
 		if cfg.rebalance > 0 && r > 0 && r%cfg.rebalance == 0 {
@@ -371,10 +475,55 @@ func runCoordinator(cfg coordinatorConfig) error {
 				log.Printf("gavel-sched: recovered job %d: shard %d -> %d", m.Job, m.From, m.To)
 			}
 		}
+		if submission {
+			// Feed the workers' measured throughputs into the trust review:
+			// what each streamed job actually achieved this round, keyed back
+			// to the cluster's accelerator-type indices.
+			outstanding := 0
+			for _, si := range svc.Submissions() {
+				switch si.State {
+				case rpc.SubmissionQueued:
+					outstanding++
+					continue
+				case rpc.SubmissionAdmitted:
+					outstanding++
+				default:
+					continue
+				}
+				measured := sched.Measured(si.JobID)
+				for t, at := range spec.Types {
+					if rate, ok := measured[at.Name]; ok && rate > 0 {
+						if err := svc.ObserveMeasured(si.JobID, t, rate); err != nil {
+							return err
+						}
+					}
+				}
+			}
+			if outstanding == 0 {
+				drained++
+			} else {
+				drained = 0
+			}
+		}
+
 		// Seal the round: with -journal this fsyncs the round's records, the
 		// point a killed coordinator replays back to.
 		if err := svc.EndRound(int64(r)); err != nil {
 			return err
+		}
+
+		if submission {
+			decisions := svc.Decisions()
+			for _, d := range decisions[loggedDecisions:] {
+				log.Printf("gavel-sched: admission decision round=%d action=%s tenant=%s key=%s detail=%q",
+					d.Round, d.Action, d.Tenant, d.Key, d.Detail)
+			}
+			loggedDecisions = len(decisions)
+			if cfg.decisionLog != "" {
+				if err := writeDecisionLog(cfg.decisionLog, decisions); err != nil {
+					return err
+				}
+			}
 		}
 
 		time.Sleep(time.Duration(cfg.round * float64(time.Second)))
@@ -390,6 +539,17 @@ func runCoordinator(cfg coordinatorConfig) error {
 			st.Index, st.Admitted, st.MigratedIn, st.MigratedOut,
 			st.Solve.Solves, st.Solve.WarmHits, st.Solve.RemapHits, cold)
 	}
+	if submission {
+		for _, ts := range svc.TenantStats() {
+			log.Printf("gavel-sched: tenant %s: submitted=%d admitted=%d done=%d refused=%d shed=%d withdrawn=%d quarantined=%v clamp=%.3f",
+				ts.Tenant, ts.Submitted, ts.Admitted, ts.Done, ts.Refused, ts.Shed, ts.Withdrawn, ts.Quarantined, ts.ClampRatio)
+		}
+		if cfg.decisionLog != "" {
+			if err := writeDecisionLog(cfg.decisionLog, svc.Decisions()); err != nil {
+				return err
+			}
+		}
+	}
 	// The injected-fault schedule: every fault the seeded chaos plane fired,
 	// all masked by retry / degradation / recovery if the batch got here.
 	for k, tr := range transports {
@@ -402,6 +562,30 @@ func runCoordinator(cfg coordinatorConfig) error {
 	log.Printf("gavel-sched: batch complete (%d migrations, %d rebalance passes, %d recoveries, %d degraded rounds)",
 		svc.Migrations(), svc.Rebalances(), svc.Recoveries(), svc.DegradedRounds())
 	return nil
+}
+
+// hintFor maps a submission's throughput row (indexed by cluster type) into
+// the lease plane's name-keyed hint.
+func hintFor(spec cluster.Spec, tput []float64) map[string]float64 {
+	hint := map[string]float64{}
+	for t, at := range spec.Types {
+		if t < len(tput) && tput[t] > 0 {
+			hint[at.Name] = tput[t]
+		}
+	}
+	return hint
+}
+
+// writeDecisionLog rewrites the admission decision log, one decision per
+// line in the same key=value form the daemon logs — the artifact CI uploads
+// to show what the shed ladder and quarantine validator actually did.
+func writeDecisionLog(path string, decisions []rpc.AdmissionDecision) error {
+	var b strings.Builder
+	for _, d := range decisions {
+		fmt.Fprintf(&b, "round=%d action=%s tenant=%s key=%s detail=%q\n",
+			d.Round, d.Action, d.Tenant, d.Key, d.Detail)
+	}
+	return os.WriteFile(path, []byte(b.String()), 0o644)
 }
 
 // runStandalone is the single-process mode: the lease plane alone, leasing

@@ -1,0 +1,157 @@
+// gavel-submit is the tenant-side client of the coordinator's submission
+// plane. It streams jobs into a running gavel-sched (-submit-listen), honors
+// backpressure (a CodeOverload refusal carries a retry-after hint in rounds,
+// which the client sleeps out before retrying), and polls every submission to
+// a terminal state — polling doubles as the liveness signal that keeps the
+// tenant clear of the abandoned-client TTL.
+//
+// Two input forms:
+//
+//   - -client "tenant=flood,jobs=12,seed=7,lie=3,steps=0.01": a seeded
+//     synthetic tenant (internal/chaos.ClientSpec) expanded into its
+//     deterministic submission stream — what the chaos-smoke CI job uses for
+//     its flooding and misreporting tenants.
+//   - -submit "tenant=acme,key=job-7,name=resnet50,steps=5000,tput=120;80;30":
+//     one explicit submission (rpc.ParseSubmitSpec).
+//   - -withdraw "tenant=acme,key=job-7": withdraw a submission and exit.
+//
+// The final summary line is machine-greppable:
+//
+//	gavel-submit: tenant=flood summary submitted=12 done=9 rejected=3 withdrawn=0 backpressured=5
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"time"
+
+	"gavel/internal/chaos"
+	"gavel/internal/rpc"
+)
+
+func main() {
+	var (
+		scheduler  = flag.String("scheduler", "127.0.0.1:8643", "coordinator submission-plane address (gavel-sched -submit-listen)")
+		clientSpec = flag.String("client", "", "synthetic tenant spec, e.g. tenant=flood,jobs=12,seed=7,lie=3,steps=0.01")
+		submitSpec = flag.String("submit", "", "one submission, e.g. tenant=acme,key=job-7,name=resnet50,steps=5000,tput=120;80;30")
+		withdraw   = flag.String("withdraw", "", "withdraw a submission by tenant=...,key=... and exit")
+		roundHint  = flag.Duration("round", time.Second, "what one round of a retry-after hint is worth in wall time")
+		pollEvery  = flag.Duration("poll-every", time.Second, "poll interval while waiting for terminal states")
+		timeout    = flag.Duration("timeout", 10*time.Minute, "overall deadline for the stream to reach terminal states")
+		noWait     = flag.Bool("no-wait", false, "exit after submitting instead of polling to terminal states")
+	)
+	flag.Parse()
+
+	modes := 0
+	for _, s := range []string{*clientSpec, *submitSpec, *withdraw} {
+		if s != "" {
+			modes++
+		}
+	}
+	if modes != 1 {
+		log.Fatalf("gavel-submit: exactly one of -client, -submit, or -withdraw is required")
+	}
+
+	c, err := rpc.DialSubmit(*scheduler)
+	if err != nil {
+		log.Fatalf("gavel-submit: %v", err)
+	}
+	defer c.Close()
+
+	if *withdraw != "" {
+		args, err := rpc.ParseSubmitSpec(*withdraw)
+		if err != nil {
+			log.Fatalf("gavel-submit: %v", err)
+		}
+		rep, err := c.Withdraw(rpc.WithdrawArgs{Tenant: args.Tenant, Key: args.Key})
+		if err != nil {
+			log.Fatalf("gavel-submit: withdraw %s/%s: %v", args.Tenant, args.Key, err)
+		}
+		log.Printf("gavel-submit: withdrew %s/%s (state %s)", args.Tenant, args.Key, rep.State)
+		return
+	}
+
+	var stream []rpc.SubmitArgs
+	if *clientSpec != "" {
+		cs, err := chaos.ParseClientSpec(*clientSpec)
+		if err != nil {
+			log.Fatalf("gavel-submit: %v", err)
+		}
+		stream = cs.Submissions()
+		log.Printf("gavel-submit: tenant=%s expanding spec %q into %d submissions", cs.Tenant, cs.String(), len(stream))
+	} else {
+		args, err := rpc.ParseSubmitSpec(*submitSpec)
+		if err != nil {
+			log.Fatalf("gavel-submit: %v", err)
+		}
+		stream = []rpc.SubmitArgs{args}
+	}
+	tenant := stream[0].Tenant
+
+	deadline := time.Now().Add(*timeout)
+	backpressured := 0
+	for _, a := range stream {
+		for {
+			rep, err := c.Submit(a)
+			if err == nil {
+				log.Printf("gavel-submit: %s/%s -> job %d (%s)", a.Tenant, a.Key, rep.JobID, rep.State)
+				break
+			}
+			// Backpressure is ours to honor: sleep out the hint and retry the
+			// same key — the server dedupes, so a refusal-then-accept cannot
+			// double-submit.
+			if ra := rpc.RetryAfter(err); ra > 0 {
+				backpressured++
+				log.Printf("gavel-submit: %s/%s refused (retry-after=%d rounds): %v", a.Tenant, a.Key, ra, err)
+				if time.Now().After(deadline) {
+					log.Fatalf("gavel-submit: gave up on %s/%s: still refused at deadline", a.Tenant, a.Key)
+				}
+				time.Sleep(time.Duration(ra) * *roundHint)
+				continue
+			}
+			log.Fatalf("gavel-submit: submit %s/%s: %v", a.Tenant, a.Key, err)
+		}
+	}
+	log.Printf("gavel-submit: tenant=%s streamed %d submissions (%d backpressure refusals honored)",
+		tenant, len(stream), backpressured)
+	if *noWait {
+		return
+	}
+
+	// Poll every key until the whole stream is terminal. Each poll refreshes
+	// the tenant's liveness clock server-side.
+	counts := map[rpc.SubmissionState]int{}
+	for {
+		counts = map[rpc.SubmissionState]int{}
+		pending := 0
+		for _, a := range stream {
+			rep, err := c.Poll(rpc.PollArgs{Tenant: a.Tenant, Key: a.Key})
+			if err != nil {
+				log.Fatalf("gavel-submit: poll %s/%s: %v", a.Tenant, a.Key, err)
+			}
+			counts[rep.State]++
+			switch rep.State {
+			case rpc.SubmissionQueued, rpc.SubmissionAdmitted:
+				pending++
+			}
+		}
+		if pending == 0 {
+			break
+		}
+		if time.Now().After(deadline) {
+			log.Printf("gavel-submit: tenant=%s timed out with %d submissions still pending", tenant, pending)
+			summarize(tenant, len(stream), counts, backpressured)
+			os.Exit(1)
+		}
+		time.Sleep(*pollEvery)
+	}
+	summarize(tenant, len(stream), counts, backpressured)
+}
+
+func summarize(tenant string, n int, counts map[rpc.SubmissionState]int, backpressured int) {
+	fmt.Printf("gavel-submit: tenant=%s summary submitted=%d done=%d rejected=%d withdrawn=%d backpressured=%d\n",
+		tenant, n, counts[rpc.SubmissionDone], counts[rpc.SubmissionRejected],
+		counts[rpc.SubmissionWithdrawn], backpressured)
+}

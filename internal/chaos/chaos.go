@@ -287,6 +287,10 @@ func (t *Transport) Observe(args rpc.ObserveArgs) error {
 	return t.do("Observe", true, func() error { return t.inner.Observe(args) })
 }
 
+func (t *Transport) ObserveJob(args rpc.ObserveJobArgs) error {
+	return t.do("ObserveJob", true, func() error { return t.inner.ObserveJob(args) })
+}
+
 func (t *Transport) Snapshot() (rpc.SnapshotReply, error) {
 	var reply rpc.SnapshotReply
 	err := t.do("Snapshot", true, func() error {

@@ -38,6 +38,10 @@ func (n *nopClient) AssignRound(args rpc.AssignRoundArgs) (rpc.AssignRoundReply,
 	return rpc.AssignRoundReply{}, nil
 }
 func (n *nopClient) Observe(args rpc.ObserveArgs) error { n.hit("Observe"); return nil }
+func (n *nopClient) ObserveJob(args rpc.ObserveJobArgs) error {
+	n.hit("ObserveJob")
+	return nil
+}
 func (n *nopClient) Snapshot() (rpc.SnapshotReply, error) {
 	n.hit("Snapshot")
 	return rpc.SnapshotReply{}, nil

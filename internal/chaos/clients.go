@@ -1,0 +1,132 @@
+package chaos
+
+// Seeded synthetic tenant clients for the submission plane: a ClientSpec
+// describes one tenant's behavior (volume, arrival rate, SLO class, and how
+// honestly it declares throughputs) and expands deterministically into the
+// exact submission stream. The chaos-smoke CI job and gavel-submit both
+// build their flooding and misreporting tenants from these specs, so a
+// failure reproduces from the spec string alone.
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"gavel/internal/rpc"
+	"gavel/internal/workload"
+)
+
+// ClientSpec is one synthetic tenant. Lie scales the declared throughputs
+// relative to the truth (1 or 0 = honest; 3 = a tenant inflating its rows
+// 3x to win allocation share). StepsScale shortens jobs for smoke runs
+// (0 = full length).
+type ClientSpec struct {
+	Tenant        string
+	Jobs          int
+	Seed          int64
+	SLOClass      int
+	Lie           float64
+	LambdaPerHour float64
+	StepsScale    float64
+}
+
+// ParseClientSpec parses "tenant=flood,jobs=40,seed=7,slo=0,lie=3,
+// lambda=3600,steps=0.001". Only tenant and jobs are required; unknown keys
+// are an error so typos fail loudly.
+func ParseClientSpec(s string) (ClientSpec, error) {
+	var cs ClientSpec
+	for _, part := range strings.Split(s, ",") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		k, v, ok := strings.Cut(part, "=")
+		if !ok {
+			return cs, fmt.Errorf("chaos: client spec field %q is not key=value", part)
+		}
+		var err error
+		switch k {
+		case "tenant":
+			cs.Tenant = v
+		case "jobs":
+			cs.Jobs, err = strconv.Atoi(v)
+		case "seed":
+			cs.Seed, err = strconv.ParseInt(v, 10, 64)
+		case "slo":
+			cs.SLOClass, err = strconv.Atoi(v)
+		case "lie":
+			cs.Lie, err = strconv.ParseFloat(v, 64)
+		case "lambda":
+			cs.LambdaPerHour, err = strconv.ParseFloat(v, 64)
+		case "steps":
+			cs.StepsScale, err = strconv.ParseFloat(v, 64)
+		default:
+			return cs, fmt.Errorf("chaos: unknown client spec key %q", k)
+		}
+		if err != nil {
+			return cs, fmt.Errorf("chaos: client spec %s=%q: %v", k, v, err)
+		}
+	}
+	if cs.Tenant == "" || cs.Jobs <= 0 {
+		return cs, fmt.Errorf("chaos: client spec needs tenant= and jobs=")
+	}
+	return cs, nil
+}
+
+// String renders the spec back into ParseClientSpec's format.
+func (cs ClientSpec) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "tenant=%s,jobs=%d,seed=%d", cs.Tenant, cs.Jobs, cs.Seed)
+	if cs.SLOClass != 0 {
+		fmt.Fprintf(&b, ",slo=%d", cs.SLOClass)
+	}
+	if cs.Lie != 0 {
+		fmt.Fprintf(&b, ",lie=%s", strconv.FormatFloat(cs.Lie, 'g', -1, 64))
+	}
+	if cs.LambdaPerHour != 0 {
+		fmt.Fprintf(&b, ",lambda=%s", strconv.FormatFloat(cs.LambdaPerHour, 'g', -1, 64))
+	}
+	if cs.StepsScale != 0 {
+		fmt.Fprintf(&b, ",steps=%s", strconv.FormatFloat(cs.StepsScale, 'g', -1, 64))
+	}
+	return b.String()
+}
+
+// Submissions expands the spec into its deterministic submission stream:
+// jobs sampled from the workload zoo under the spec's seed, declared
+// throughputs = truth x Lie, idempotency keys derived from the tenant name
+// and sequence number (so a retried stream dedupes server-side).
+func (cs ClientSpec) Submissions() []rpc.SubmitArgs {
+	lie := cs.Lie
+	if lie <= 0 {
+		lie = 1
+	}
+	scale := cs.StepsScale
+	if scale <= 0 {
+		scale = 1
+	}
+	jobs := workload.GenerateTrace(workload.TraceOptions{
+		NumJobs:       cs.Jobs,
+		LambdaPerHour: cs.LambdaPerHour,
+		Seed:          cs.Seed,
+	})
+	out := make([]rpc.SubmitArgs, 0, len(jobs))
+	for i, j := range jobs {
+		tput := make([]float64, workload.NumTypes)
+		for t := range tput {
+			if workload.Fits(j.Config, t) {
+				tput[t] = workload.ScaledThroughput(j.Config, t, j.ScaleFactor, true) * lie
+			}
+		}
+		out = append(out, rpc.SubmitArgs{
+			Tenant:      cs.Tenant,
+			Key:         fmt.Sprintf("%s-%04d", cs.Tenant, i),
+			Name:        j.Config.Name(),
+			TotalSteps:  j.TotalSteps * scale,
+			ScaleFactor: j.ScaleFactor,
+			Tput:        tput,
+			SLOClass:    cs.SLOClass,
+		})
+	}
+	return out
+}

@@ -1,0 +1,76 @@
+package chaos
+
+// ClientSpec tests: the spec string round-trips, rejects typos loudly, and
+// expands into a deterministic submission stream whose declared rows scale
+// with the lie factor — the properties the chaos-smoke CI job leans on to
+// reproduce a failing tenant from its spec string alone.
+
+import (
+	"reflect"
+	"testing"
+)
+
+func TestParseClientSpecRoundTrip(t *testing.T) {
+	specs := []ClientSpec{
+		{Tenant: "flood", Jobs: 40, Seed: 7},
+		{Tenant: "liar", Jobs: 4, Seed: 11, SLOClass: 2, Lie: 3, LambdaPerHour: 3600, StepsScale: 0.001},
+	}
+	for _, cs := range specs {
+		got, err := ParseClientSpec(cs.String())
+		if err != nil {
+			t.Fatalf("parse %q: %v", cs.String(), err)
+		}
+		if got != cs {
+			t.Fatalf("round trip changed: %+v -> %+v", cs, got)
+		}
+	}
+	bad := []string{
+		"",
+		"jobs=4",                    // missing tenant
+		"tenant=a",                  // missing jobs
+		"tenant=a,jobs=0",           // non-positive jobs
+		"tenant=a,jobs=4,bogus=1",   // unknown key fails loudly
+		"tenant=a,jobs=four",        // unparsable int
+		"tenant=a,jobs=4,lie=solid", // unparsable float
+		"tenant=a,jobs=4,seed",      // not key=value
+	}
+	for _, s := range bad {
+		if _, err := ParseClientSpec(s); err == nil {
+			t.Fatalf("parse %q: want error", s)
+		}
+	}
+}
+
+func TestClientSpecSubmissionsDeterministic(t *testing.T) {
+	cs := ClientSpec{Tenant: "acme", Jobs: 6, Seed: 5, StepsScale: 0.01}
+	a, b := cs.Submissions(), cs.Submissions()
+	if !reflect.DeepEqual(a, b) {
+		t.Fatal("two expansions of the same spec differ")
+	}
+	if len(a) != 6 {
+		t.Fatalf("expanded %d submissions, want 6", len(a))
+	}
+	keys := map[string]bool{}
+	for _, s := range a {
+		if s.Tenant != "acme" || s.Key == "" || s.TotalSteps <= 0 {
+			t.Fatalf("malformed submission %+v", s)
+		}
+		if keys[s.Key] {
+			t.Fatalf("duplicate idempotency key %q", s.Key)
+		}
+		keys[s.Key] = true
+	}
+
+	// The lie factor scales every declared rate; the jobs are otherwise the
+	// same sample.
+	liar := cs
+	liar.Lie = 3
+	l := liar.Submissions()
+	for i := range a {
+		for j := range a[i].Tput {
+			if got, want := l[i].Tput[j], a[i].Tput[j]*3; got != want {
+				t.Fatalf("submission %d type %d: lying rate %v, want %v", i, j, got, want)
+			}
+		}
+	}
+}

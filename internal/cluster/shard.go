@@ -99,6 +99,18 @@ func (s *Shard) Observe(a, b, typ int, ta, tb float64) {
 	s.Cache.ObservePair(a, b, typ, ta, tb)
 }
 
+// ObserveJob overwrites one resident job's isolated throughput row with
+// measured values and marks the shard dirty so the next allocation uses
+// them. Non-resident IDs are ignored (the cache no-ops them too), keeping
+// the update idempotent against departures.
+func (s *Shard) ObserveJob(id int, tput []float64) {
+	if !s.Has(id) {
+		return
+	}
+	s.Cache.ObserveJob(id, tput)
+	s.Dirty = true
+}
+
 // newShard builds an empty shard over the given worker slice.
 func newShard(index, numTypes int, workerInts, perServer []int, prices []float64, ctx *policy.SolveContext) *Shard {
 	workers := make([]float64, numTypes)

@@ -20,6 +20,7 @@ type ShardClient interface {
 	Allocate(args AllocateArgs) (AllocateReply, error)
 	AssignRound(args AssignRoundArgs) (AssignRoundReply, error)
 	Observe(args ObserveArgs) error
+	ObserveJob(args ObserveJobArgs) error
 	Snapshot() (SnapshotReply, error)
 	Status() (ShardStatus, error)
 	Ping() error
@@ -87,6 +88,11 @@ func (c *localShardClient) AssignRound(args AssignRoundArgs) (AssignRoundReply, 
 func (c *localShardClient) Observe(args ObserveArgs) error {
 	var ack Ack
 	return c.srv.Observe(args, &ack)
+}
+
+func (c *localShardClient) ObserveJob(args ObserveJobArgs) error {
+	var ack Ack
+	return c.srv.ObserveJob(args, &ack)
 }
 
 func (c *localShardClient) Snapshot() (SnapshotReply, error) {
@@ -211,6 +217,11 @@ func (c *netShardClient) AssignRound(args AssignRoundArgs) (AssignRoundReply, er
 func (c *netShardClient) Observe(args ObserveArgs) error {
 	var ack Ack
 	return c.call("Observe", args, &ack)
+}
+
+func (c *netShardClient) ObserveJob(args ObserveJobArgs) error {
+	var ack Ack
+	return c.call("ObserveJob", args, &ack)
 }
 
 func (c *netShardClient) Snapshot() (SnapshotReply, error) {

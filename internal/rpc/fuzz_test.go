@@ -7,6 +7,7 @@ package rpc
 
 import (
 	"errors"
+	"reflect"
 	"strings"
 	"testing"
 )
@@ -73,6 +74,39 @@ func FuzzCheckVersion(f *testing.F) {
 		}
 		if CodeOf(err) != CodeVersionMismatch {
 			t.Fatalf("version %d rejected with code %v, want CodeVersionMismatch", v, CodeOf(err))
+		}
+	})
+}
+
+// FuzzParseSubmitSpec: the submission spec parser must be total — any input
+// either parses or fails with a typed CodeBadRequest, never panics — and
+// every successful parse must round-trip exactly through SpecString.
+func FuzzParseSubmitSpec(f *testing.F) {
+	f.Add("tenant=acme,key=job-7,name=resnet50,steps=5000,sf=2,slo=1,tput=120;80;30")
+	f.Add("tenant=a,key=k")
+	f.Add("tenant=a,key=k,tput=0;0;0")
+	f.Add("tenant=a,key=k,steps=1e308")
+	f.Add("tenant=,key=")
+	f.Add("tenant=a,key=k,steps=NaN")
+	f.Add("tenant=a,key=k,tput=1;;2")
+	f.Add("steps=5,tenant=a,key=k")
+	f.Add(",,,")
+	f.Add("tenant=a=b,key=k")
+	f.Add("")
+	f.Fuzz(func(t *testing.T, s string) {
+		a, err := ParseSubmitSpec(s)
+		if err != nil {
+			if CodeOf(err) != CodeBadRequest {
+				t.Fatalf("parse %q failed with code %v, want CodeBadRequest", s, CodeOf(err))
+			}
+			return
+		}
+		b, err := ParseSubmitSpec(a.SpecString())
+		if err != nil {
+			t.Fatalf("reparse of %q (from %q) failed: %v", a.SpecString(), s, err)
+		}
+		if !reflect.DeepEqual(a, b) {
+			t.Fatalf("round trip of %q changed:\n first %+v\nsecond %+v", s, a, b)
 		}
 	})
 }

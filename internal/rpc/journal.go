@@ -26,14 +26,16 @@ import (
 	"hash/crc32"
 	"io"
 	"os"
+	"sync"
 
 	"gavel/internal/core"
 	"gavel/internal/policy"
 )
 
 // JournalVersion stamps the log's record vocabulary. A journal written by an
-// incompatible build is rejected at open, not misreplayed.
-const JournalVersion = 1
+// incompatible build is rejected at open, not misreplayed. Version 2 added
+// the submission-plane records (recSubmit through recMeasure).
+const JournalVersion = 2
 
 // recordKind tags the journal's record union.
 type recordKind uint8
@@ -49,6 +51,11 @@ const (
 	recRebalance                       // a rebalance pass moved >= 1 job
 	recDegrade                         // shard's allocation went stale (transient failure)
 	recRound                           // round boundary (fsync batch point)
+	recSubmit                          // submission accepted into the ingress queue
+	recReject                          // queued submission shed by the overload ladder
+	recWithdraw                        // submission withdrawn (client or abandoned-TTL)
+	recTouch                           // tenant liveness advanced by a Poll
+	recMeasure                         // one worker-measured throughput sample
 )
 
 // installReason distinguishes the three ways a job lands on a shard, so
@@ -74,6 +81,9 @@ type journalRecord struct {
 	Snapshot *journalSnapshot
 	Round    int64 // recRound
 	Degraded bool  // recRound: some shard ran degraded this round
+	Submit   *journalSubmit
+	Ref      *journalSubmitRef // recReject, recWithdraw, recTouch target
+	Measure  *journalMeasure
 }
 
 // journalConfig is the log's header record: enough identity to refuse
@@ -111,10 +121,54 @@ type journalSnapshot struct {
 	Status ShardStatus
 }
 
-// journal is an append-only framed record log with batched fsync.
+// journalSubmit is one accepted submission: everything needed to rebuild the
+// queued entry and the coordinator-assigned job-ID counter on replay.
+type journalSubmit struct {
+	Tenant      string
+	Key         string
+	Name        string
+	JobID       int
+	ScaleFactor int
+	SLOClass    int
+	TotalSteps  float64
+	Tput        []float64
+	Round       int64
+}
+
+// withdrawReason distinguishes client withdrawals from abandoned-client TTL
+// expiry (only client contact advances the liveness clock on replay).
+type withdrawReason uint8
+
+const (
+	withdrawClient withdrawReason = iota
+	withdrawAbandoned
+)
+
+// journalSubmitRef names an existing submission (recReject, recWithdraw) or
+// a tenant (recTouch, with an empty Key).
+type journalSubmitRef struct {
+	Tenant string
+	Key    string
+	Reason withdrawReason
+	Round  int64
+}
+
+// journalMeasure is one worker-measured throughput sample; replay re-folds
+// it through the same EWMA as the live path.
+type journalMeasure struct {
+	JobID int
+	Type  int
+	Rate  float64
+}
+
+// journal is an append-only framed record log with batched fsync. The mutex
+// serializes the submission plane's RPC-goroutine appends (recSubmit,
+// recWithdraw, recTouch) against the round loop's; it is always acquired
+// after ing.mu when both are held.
 type journal struct {
-	f *os.File
-	w *bufio.Writer
+	mu sync.Mutex
+	f  *os.File
+	w  *bufio.Writer
 }
 
 // openJournal opens (or creates) the log at path, replays every intact
@@ -193,6 +247,8 @@ func readJournal(f *os.File) ([]journalRecord, int64, error) {
 // append frames one record into the write buffer. Durability waits for the
 // next commit; ordering is already fixed here.
 func (j *journal) append(rec *journalRecord) error {
+	j.mu.Lock()
+	defer j.mu.Unlock()
 	var buf bytes.Buffer
 	if err := gob.NewEncoder(&buf).Encode(rec); err != nil {
 		return fmt.Errorf("rpc: encode journal record: %w", err)
@@ -212,6 +268,8 @@ func (j *journal) append(rec *journalRecord) error {
 // commit flushes the buffered records and fsyncs: everything appended so far
 // survives a crash after commit returns.
 func (j *journal) commit() error {
+	j.mu.Lock()
+	defer j.mu.Unlock()
 	if err := j.w.Flush(); err != nil {
 		return fmt.Errorf("rpc: flush journal: %w", err)
 	}

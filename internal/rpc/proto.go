@@ -31,12 +31,16 @@ import (
 
 // ProtocolVersion is the control-plane protocol spoken by this build.
 // Version 1 was the seed's unversioned lease-only protocol; version 2 added
-// the handshake, typed errors, and the coordinator <-> shard surface.
-const ProtocolVersion = 2
+// the handshake, typed errors, and the coordinator <-> shard surface;
+// version 3 added the client submission plane (Submit/Withdraw/Poll, the
+// CodeOverload backpressure class, and the shard ObserveJob row update).
+const ProtocolVersion = 3
 
-// MinProtocolVersion is the oldest peer version this build accepts.
-// Everything since the handshake was introduced is compatible so far.
-const MinProtocolVersion = 2
+// MinProtocolVersion is the oldest peer version this build accepts. Version 3
+// changed the ShardClient surface (ObserveJob) and the error-code vocabulary,
+// so older peers are rejected — every peer in a deployment ships from the
+// same tree.
+const MinProtocolVersion = 3
 
 // ErrorCode classifies control-plane failures so callers can branch on the
 // failure class instead of matching error strings.
@@ -76,6 +80,12 @@ const (
 	// injected drops and partitions use this code). Transient, like
 	// CodeTimeout.
 	CodeUnavailable
+	// CodeOverload: the submission plane refused new work — a tenant's
+	// ingress queue is full or its quota is exhausted. Deliberately NOT
+	// transient: an immediate retry would be re-refused; the error message
+	// carries a "retry-after=N" rounds hint (RetryAfter) and well-behaved
+	// clients back off by it.
+	CodeOverload
 )
 
 func (c ErrorCode) String() string {
@@ -104,6 +114,8 @@ func (c ErrorCode) String() string {
 		return "timeout"
 	case CodeUnavailable:
 		return "unavailable"
+	case CodeOverload:
+		return "overload"
 	}
 	return "unknown"
 }

@@ -182,6 +182,10 @@ func (c *retryClient) Observe(args ObserveArgs) error {
 	return c.retry(func() error { return c.inner.Observe(args) })
 }
 
+func (c *retryClient) ObserveJob(args ObserveJobArgs) error {
+	return c.retry(func() error { return c.inner.ObserveJob(args) })
+}
+
 func (c *retryClient) Snapshot() (SnapshotReply, error) {
 	var reply SnapshotReply
 	err := c.retry(func() error {

@@ -221,6 +221,24 @@ func (s *Scheduler) Throughput(jobID int, accType string) float64 {
 	return j.spec.ThroughputHint[accType]
 }
 
+// Measured returns a copy of the job's measured steps/sec per accelerator
+// type — what workers actually reported, as opposed to what the submitter
+// declared. The coordinator feeds these into the submission plane's trust
+// review between rounds.
+func (s *Scheduler) Measured(jobID int) map[string]float64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	j, ok := s.jobs[jobID]
+	if !ok || len(j.measured) == 0 {
+		return nil
+	}
+	out := make(map[string]float64, len(j.measured))
+	for k, v := range j.measured {
+		out[k] = v
+	}
+	return out
+}
+
 // Workers returns the registered workers sorted by ID.
 func (s *Scheduler) Workers() []WorkerInfo {
 	s.mu.Lock()

@@ -56,6 +56,11 @@ type ServiceConfig struct {
 	// consecutive rounds before being escalated to down (0 means the default
 	// of 3; a shard with no allocation to serve escalates immediately).
 	StaleAfterRounds int
+	// Admission, when non-nil, enables the streaming submission plane
+	// (Submit/Withdraw/Poll, per-tenant quotas, the overload ladder, and the
+	// declared-vs-measured trust review; see service_submit.go). Nil keeps
+	// the legacy driver-admitted batch behavior byte-identical.
+	Admission *AdmissionConfig
 }
 
 // defaultStaleAfter is the StaleAfterRounds default: long enough to ride out
@@ -167,6 +172,11 @@ type Service struct {
 	staleAfter     int
 	roundDegraded  bool // some shard ran degraded since the last EndRound
 	degradedRounds int  // lifetime count of degraded rounds
+
+	// Submission plane (nil when ServiceConfig.Admission is nil). The
+	// ingress has its own mutex: Submit/Withdraw/Poll are the one
+	// concurrent-safe surface of the Service.
+	ing *ingress
 }
 
 // NewService validates the config, splits the cluster across the clients,
@@ -202,6 +212,11 @@ func NewService(cfg ServiceConfig, clients []ShardClient) (*Service, error) {
 	}
 	if s.staleAfter <= 0 {
 		s.staleAfter = defaultStaleAfter
+	}
+	if cfg.Admission != nil {
+		// Built before any journal replay: replayed submission records apply
+		// straight into the ingress.
+		s.ing = newIngress(*cfg.Admission, numTypes)
 	}
 	for k, client := range clients {
 		if _, err := client.Hello(HelloArgs{Version: ProtocolVersion, Role: "coordinator"}); err != nil {
@@ -289,6 +304,9 @@ func (s *Service) replay(recs []journalRecord) error {
 			m := s.shards[in.Shard]
 			m.add(in.JobID, in.ScaleFactor, in.Tput)
 			s.shardOf[in.JobID] = m.index
+			if s.ing != nil {
+				s.ing.noteAdmitted(in.JobID, m.index)
+			}
 			switch in.Reason {
 			case reasonMigrate:
 				s.migrations++
@@ -343,6 +361,49 @@ func (s *Service) replay(recs []journalRecord) error {
 			if rec.Degraded {
 				s.degradedRounds++
 			}
+			if s.ing != nil {
+				// Re-run the round boundary's deterministic ingress work
+				// (token refill, overload ladder, trust review) so counters,
+				// quarantine flags, and mirror throughput clamps land exactly
+				// as they did live. No daemon push during replay: reconcile
+				// re-installs from the clamped mirror rows where needed.
+				s.applyClamps(s.ing.endRound(rec.Round), false)
+			}
+		case recSubmit:
+			if rec.Submit == nil || s.ing == nil {
+				return Errorf(CodeBadRequest, "journal record %d: submission record without an admission config", i+1)
+			}
+			s.ing.mu.Lock()
+			s.ing.applySubmitLocked(rec.Submit)
+			s.ing.mu.Unlock()
+		case recReject:
+			if rec.Ref == nil || s.ing == nil {
+				return Errorf(CodeBadRequest, "journal record %d: malformed reject", i+1)
+			}
+			s.ing.mu.Lock()
+			s.ing.applyRejectLocked(rec.Ref)
+			s.ing.mu.Unlock()
+		case recWithdraw:
+			if rec.Ref == nil || s.ing == nil {
+				return Errorf(CodeBadRequest, "journal record %d: malformed withdraw", i+1)
+			}
+			s.ing.mu.Lock()
+			s.ing.applyWithdrawLocked(rec.Ref)
+			s.ing.mu.Unlock()
+		case recTouch:
+			if rec.Ref == nil || s.ing == nil {
+				return Errorf(CodeBadRequest, "journal record %d: malformed touch", i+1)
+			}
+			s.ing.mu.Lock()
+			s.ing.applyTouchLocked(rec.Ref)
+			s.ing.mu.Unlock()
+		case recMeasure:
+			if rec.Measure == nil || s.ing == nil {
+				return Errorf(CodeBadRequest, "journal record %d: malformed measure", i+1)
+			}
+			s.ing.mu.Lock()
+			s.ing.applyMeasureLocked(rec.Measure)
+			s.ing.mu.Unlock()
 		default:
 			return Errorf(CodeBadRequest, "journal record %d: unknown kind %d", i+1, rec.Kind)
 		}
@@ -502,6 +563,14 @@ func (s *Service) StaleAllocs(k int) int { return s.shards[k].staleAllocs }
 // durability unit — after EndRound returns, a coordinator crash replays up
 // to and including round r.
 func (s *Service) EndRound(r int64) error {
+	if s.ing != nil {
+		// Round-boundary ingress work first: token refill, overload ladder,
+		// and the trust review. Clamp pushes can degrade the round, so they
+		// run before the degraded flag is read below.
+		if err := s.applyClamps(s.ing.endRound(r), true); err != nil {
+			return err
+		}
+	}
 	s.round = r
 	degraded := s.roundDegraded
 	s.roundDegraded = false
@@ -539,6 +608,13 @@ func (s *Service) applyRemove(k, id int) {
 	s.shards[k].remove(id)
 	if at, ok := s.shardOf[id]; ok && at == k {
 		delete(s.shardOf, id)
+		if s.ing != nil {
+			// The job left its placement entirely (not a recovery's stale
+			// source entry): resolve its submission. A migration's
+			// remove-then-install transiently resolves and revives — the same
+			// sequence live and on replay.
+			s.ing.noteRemoved(id)
+		}
 	}
 }
 
@@ -683,6 +759,9 @@ func (s *Service) install(m *shardMirror, args InstallArgs, reason installReason
 	}
 	m.add(args.JobID, args.ScaleFactor, args.Tput)
 	s.shardOf[args.JobID] = m.index
+	if s.ing != nil {
+		s.ing.noteAdmitted(args.JobID, m.index)
+	}
 	return s.record(&journalRecord{Kind: recInstall, Install: &journalInstall{
 		Shard:       m.index,
 		JobID:       args.JobID,
@@ -729,6 +808,17 @@ func (s *Service) Admit(id, scaleFactor int, tput []float64) (int, error) {
 	if k, ok := s.shardOf[id]; ok {
 		return k, nil
 	}
+	// Validate the declared row at the edge: a wrong-length, NaN, infinite,
+	// or negative vector would corrupt the mirror and every LP downstream.
+	if err := ValidateTput(s.numTypes, tput); err != nil {
+		return -1, err
+	}
+	return s.admitJob(id, scaleFactor, tput)
+}
+
+// admitJob routes and installs one validated arrival — shared by Admit and
+// the submission plane's AdmitPending.
+func (s *Service) admitJob(id, scaleFactor int, tput []float64) (int, error) {
 	for attempt := 0; attempt <= len(s.shards); attempt++ {
 		m, err := s.route(id)
 		if err != nil {

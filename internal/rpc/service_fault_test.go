@@ -487,3 +487,173 @@ func TestServiceTransientMembershipFailureMarksDown(t *testing.T) {
 		t.Fatalf("admit landed on shard %d (down0=%v), want re-route to 1 with shard 0 down", k, svc.Down(0))
 	}
 }
+
+// submitFaultConfig is the submission-plane durability config: rationed
+// admission so some submissions are still queued when the coordinator dies.
+func submitFaultConfig(journal string) ServiceConfig {
+	cfg := testServiceConfig(journal)
+	cfg.Admission = &AdmissionConfig{RatePerRound: 1, Burst: 1, MaxQueuePerTenant: 8}
+	return cfg
+}
+
+// ingressFingerprint renders the whole externally visible submission-plane
+// state — submissions, tenant accounting, decision log — for byte-identity
+// checks across a crash.
+func ingressFingerprint(svc *Service) string {
+	return fmt.Sprintf("subs=%+v\ntenants=%+v\ndecisions=%+v\n",
+		svc.Submissions(), svc.TenantStats(), svc.Decisions())
+}
+
+// driveSubmitRound runs one coordinator round with the submission plane in
+// the loop: scripted submissions and a withdrawal land by round, the queue
+// drains under the token bucket, admitted jobs get measured samples, and the
+// round seals. Identical in the reference and crash runs.
+func driveSubmitRound(t *testing.T, svc *Service, r int) string {
+	t.Helper()
+	submitAt := map[int][]SubmitArgs{
+		0: {
+			{Tenant: "a", Key: "k0", Name: "m0", TotalSteps: 900, ScaleFactor: 1, Tput: testTput(0)},
+			{Tenant: "a", Key: "k1", Name: "m1", TotalSteps: 900, ScaleFactor: 1, Tput: testTput(1)},
+			{Tenant: "b", Key: "k0", Name: "m2", TotalSteps: 900, ScaleFactor: 2, Tput: testTput(2), SLOClass: 1},
+		},
+		1: {
+			{Tenant: "a", Key: "k2", Name: "m3", TotalSteps: 900, ScaleFactor: 1, Tput: testTput(3)},
+			{Tenant: "b", Key: "k1", Name: "m4", TotalSteps: 900, ScaleFactor: 1, Tput: testTput(4)},
+		},
+	}
+	for _, a := range submitAt[r] {
+		if _, err := svc.Submit(a); err != nil {
+			t.Fatalf("round %d: submit %s/%s: %v", r, a.Tenant, a.Key, err)
+		}
+	}
+	if r == 2 {
+		if _, err := svc.Withdraw(WithdrawArgs{Tenant: "a", Key: "k2"}); err != nil {
+			t.Fatalf("round %d: withdraw: %v", r, err)
+		}
+	}
+	if err := svc.ExpireAbandoned(int64(r)); err != nil {
+		t.Fatalf("round %d: ExpireAbandoned: %v", r, err)
+	}
+	if _, err := svc.AdmitPending(int64(r)); err != nil {
+		t.Fatalf("round %d: AdmitPending: %v", r, err)
+	}
+	if err := svc.AllocateAll(int64(r), testJobInfo, false); err != nil {
+		t.Fatalf("round %d: AllocateAll: %v", r, err)
+	}
+	if _, err := svc.AssignRound(int64(r), 10, nil); err != nil {
+		t.Fatalf("round %d: AssignRound: %v", r, err)
+	}
+	for _, si := range svc.Submissions() {
+		if si.State == SubmissionAdmitted {
+			if err := svc.ObserveMeasured(si.JobID, 0, 0.5+float64(si.JobID%3)*0.25); err != nil {
+				t.Fatalf("round %d: ObserveMeasured(%d): %v", r, si.JobID, err)
+			}
+		}
+	}
+	if r%2 == 0 {
+		if err := svc.SnapshotAll(); err != nil {
+			t.Fatalf("round %d: SnapshotAll: %v", r, err)
+		}
+	}
+	if err := svc.EndRound(int64(r)); err != nil {
+		t.Fatalf("round %d: EndRound: %v", r, err)
+	}
+	return allocFingerprint(svc) + ingressFingerprint(svc)
+}
+
+// TestSubmissionsSurviveCoordinatorCrash is the streaming-plane durability
+// acceptance: the coordinator is killed while submissions sit queued but
+// unadmitted (the token bucket admits one per tenant per round), and the
+// restarted coordinator must replay the ingress byte-identically — queued
+// work still queued, dedupe still effective, and the remaining rounds
+// producing the exact allocations of an uninterrupted run.
+func TestSubmissionsSurviveCoordinatorCrash(t *testing.T) {
+	const rounds = 6
+	dir := t.TempDir()
+
+	var want [rounds]string
+	{
+		_, c0 := NewLocalShard()
+		_, c1 := NewLocalShard()
+		svc, err := NewService(submitFaultConfig(filepath.Join(dir, "ref.wal")), []ShardClient{c0, c1})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for r := 0; r < rounds; r++ {
+			want[r] = driveSubmitRound(t, svc, r)
+		}
+		if err := svc.Close(); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	journal := filepath.Join(dir, "crash.wal")
+	srv0, c0 := NewLocalShard()
+	srv1, c1 := NewLocalShard()
+	svc, err := NewService(submitFaultConfig(journal), []ShardClient{c0, c1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for r := 0; r <= 1; r++ {
+		if got := driveSubmitRound(t, svc, r); got != want[r] {
+			t.Fatalf("pre-crash round %d diverged:\n got %s\nwant %s", r, got, want[r])
+		}
+	}
+	queued := 0
+	for _, si := range svc.Submissions() {
+		if si.State == SubmissionQueued {
+			queued++
+		}
+	}
+	if queued == 0 {
+		t.Fatal("test premise broken: no submissions queued at the crash point")
+	}
+	preCrash := allocFingerprint(svc) + ingressFingerprint(svc)
+	svc = nil // the crash
+
+	resumed, err := NewService(submitFaultConfig(journal),
+		[]ShardClient{NewLocalShardClient(srv0), NewLocalShardClient(srv1)})
+	if err != nil {
+		t.Fatalf("restart over journal: %v", err)
+	}
+	defer resumed.Close()
+	if !resumed.Resumed() {
+		t.Fatal("restarted service did not detect the journal")
+	}
+	if got := allocFingerprint(resumed) + ingressFingerprint(resumed); got != preCrash {
+		t.Fatalf("replayed state differs from pre-crash:\n got %s\nwant %s", got, preCrash)
+	}
+	// A client retrying its stream against the resumed coordinator dedupes.
+	rep, err := resumed.Submit(SubmitArgs{
+		Tenant: "a", Key: "k0", Name: "m0", TotalSteps: 900, ScaleFactor: 1, Tput: testTput(0),
+	})
+	if err != nil {
+		t.Fatalf("re-submit after resume: %v", err)
+	}
+	var wantID int
+	for _, si := range resumed.Submissions() {
+		if si.Tenant == "a" && si.Key == "k0" {
+			wantID = si.JobID
+		}
+	}
+	if rep.JobID != wantID {
+		t.Fatalf("resumed dedupe assigned job %d, original was %d", rep.JobID, wantID)
+	}
+	for r := 2; r < rounds; r++ {
+		if got := driveSubmitRound(t, resumed, r); got != want[r] {
+			t.Fatalf("post-restart round %d diverged:\n got %s\nwant %s", r, got, want[r])
+		}
+	}
+	// Every submission resolved identically: the withdrawn key is withdrawn,
+	// the rest admitted.
+	for _, si := range resumed.Submissions() {
+		switch {
+		case si.Tenant == "a" && si.Key == "k2":
+			if si.State != SubmissionWithdrawn {
+				t.Fatalf("withdrawn submission replayed as %v", si.State)
+			}
+		case si.State != SubmissionAdmitted:
+			t.Fatalf("submission %s/%s ended %v, want admitted", si.Tenant, si.Key, si.State)
+		}
+	}
+}

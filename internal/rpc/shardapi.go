@@ -192,6 +192,15 @@ type PairObservation struct {
 	Ta, Tb     float64
 }
 
+// ObserveJobArgs overwrites one resident job's isolated throughput row with
+// measured (or clamped) values — the trust review's feedback push. Daemons
+// treat it as an advisory idempotent update: unknown job IDs are a no-op, so
+// a push racing a departure is harmless and retries are safe.
+type ObserveJobArgs struct {
+	JobID int
+	Tput  []float64
+}
+
 // SnapshotArgs requests the shard's recovery snapshot.
 type SnapshotArgs struct{}
 

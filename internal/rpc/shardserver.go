@@ -268,6 +268,20 @@ func (s *ShardServer) Observe(args ObserveArgs, _ *Ack) error {
 	return nil
 }
 
+// ObserveJob overwrites one resident job's isolated throughput row (the
+// coordinator's measured/clamped feedback). Departed jobs are a no-op so a
+// push racing a removal stays harmless.
+func (s *ShardServer) ObserveJob(args ObserveJobArgs, _ *Ack) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	sh, err := s.ready()
+	if err != nil {
+		return err
+	}
+	sh.ObserveJob(args.JobID, args.Tput)
+	return nil
+}
+
 // Snapshot returns the shard's recovery snapshot: warm seeds plus status.
 func (s *ShardServer) Snapshot(_ SnapshotArgs, reply *SnapshotReply) error {
 	s.mu.Lock()

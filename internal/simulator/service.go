@@ -3,11 +3,13 @@ package simulator
 import (
 	"fmt"
 	"math"
+	"sort"
 	"time"
 
 	"gavel/internal/chaos"
 	"gavel/internal/policy"
 	"gavel/internal/rpc"
+	"gavel/internal/workload"
 )
 
 // batchObserver collects one shard's measured pair throughputs in
@@ -16,10 +18,31 @@ import (
 // throughput cache — nothing reads the cache again before the next
 // allocation — so flushing a round's batch at once leaves the daemon's cache
 // byte-identical to the in-process engine's interleaved writes.
-type batchObserver struct{ obs []rpc.PairObservation }
+//
+// Under the submission plane the coordinator assigns wire job IDs distinct
+// from trace IDs, so every observation is translated through wire; and the
+// realized isolated rates (jobObserver) are collected as the worker-measured
+// samples the trust review cross-checks against declarations.
+type batchObserver struct {
+	wire    func(int) int // trace job ID -> coordinator job ID
+	measure bool
+	obs     []rpc.PairObservation
+	meas    []measuredSample
+}
+
+type measuredSample struct {
+	id, typ int
+	rate    float64
+}
 
 func (b *batchObserver) observePair(aID, bID, typ int, ta, tb float64) {
-	b.obs = append(b.obs, rpc.PairObservation{A: aID, B: bID, Type: typ, Ta: ta, Tb: tb})
+	b.obs = append(b.obs, rpc.PairObservation{A: b.wire(aID), B: b.wire(bID), Type: typ, Ta: ta, Tb: tb})
+}
+
+func (b *batchObserver) observeJob(id, typ int, rate float64) {
+	if b.measure {
+		b.meas = append(b.meas, measuredSample{id: b.wire(id), typ: typ, rate: rate})
+	}
 }
 
 // runService executes the simulation on the cluster-service engine: the
@@ -59,7 +82,17 @@ func runService(cfg Config) (*Result, error) {
 
 	trace, states, res := e.trace, e.states, e.res
 	numShards := len(cfg.ShardClients)
-	stateOf := make(map[int]int, len(trace)) // job ID -> state index
+	stateOf := make(map[int]int, len(trace)) // coordinator job ID -> state index
+
+	// Under the submission plane the coordinator assigns its own job IDs;
+	// wireOf maps each trace job to the coordinator's ID (identity when
+	// arrivals are admitted directly).
+	admission := cfg.Admission != nil
+	wireOf := make(map[int]int, len(trace))
+	wire := func(id int) int { return id }
+	if admission {
+		wire = func(id int) int { return wireOf[id] }
+	}
 
 	// The service ships pair candidates with every job placement; rows come
 	// from the provider exactly as syncPairs builds them in-process. The
@@ -102,6 +135,7 @@ func runService(cfg Config) (*Result, error) {
 		Pairs:             pairs,
 		Journal:           cfg.Journal,
 		StaleAfterRounds:  cfg.StaleAfterRounds,
+		Admission:         cfg.Admission,
 	}, clients)
 	if err != nil {
 		return nil, err
@@ -115,6 +149,60 @@ func runService(cfg Config) (*Result, error) {
 	allocStates := make([][]int, numShards) // per shard: state indices parallel to AllocIDs
 	shardRounds := make([]int, numShards)   // rounds since the shard's last allocation
 	reallocated := make([]bool, numShards)
+
+	// Submission-plane bookkeeping: trace jobs submitted but not yet
+	// admitted (keyed by coordinator job ID), and submissions refused with
+	// CodeOverload, resubmitted next round — the simulator's stand-in for a
+	// client honoring backpressure.
+	pending := map[int]int{}
+	var deferred []int
+	tenantName := func(j *workload.Job) string {
+		if j.Tenant == "" {
+			return "tenant-0"
+		}
+		return j.Tenant
+	}
+	submitKey := func(j *workload.Job) string { return fmt.Sprintf("job-%d", j.ID) }
+	submit := func(si int) error {
+		st := states[si]
+		j := st.job
+		truth := make([]float64, len(e.workers))
+		for t := range truth {
+			truth[t] = e.provider.Isolated(j, t)
+		}
+		// The tenant declares truth x DeclareFactor; the trust review learns
+		// the truth back from the workers' measured rates.
+		df := j.DeclareFactor
+		if df <= 0 {
+			df = 1
+		}
+		decl := make([]float64, len(truth))
+		for t, v := range truth {
+			decl[t] = v * df
+		}
+		rep, err := svc.Submit(rpc.SubmitArgs{
+			Tenant:      tenantName(j),
+			Key:         submitKey(j),
+			Name:        j.Config.Name(),
+			TotalSteps:  j.TotalSteps,
+			ScaleFactor: j.ScaleFactor,
+			Tput:        decl,
+			SLOClass:    j.SLOClass,
+		})
+		if err != nil {
+			if rpc.CodeOf(err) == rpc.CodeOverload {
+				deferred = append(deferred, si)
+				return nil
+			}
+			return err
+		}
+		wireOf[j.ID] = rep.JobID
+		stateOf[rep.JobID] = si
+		if rep.State == rpc.SubmissionQueued {
+			pending[rep.JobID] = si
+		}
+		return nil
+	}
 
 	now := 0.0
 	completed := 0
@@ -135,31 +223,91 @@ func runService(cfg Config) (*Result, error) {
 				}
 			}
 		}
-		// Admit arrivals up to now, routed by the coordinator.
-		for nextArrival < len(trace) && trace[nextArrival].Arrival <= now {
-			st := states[nextArrival]
-			j := st.job
-			st.arrivalN = svc.NumJobs() + 1
-			tput := make([]float64, len(e.workers))
-			for t := range tput {
-				tput[t] = e.provider.Isolated(j, t)
+		// Admit arrivals up to now: directly through the coordinator's
+		// router, or — under the submission plane — streamed as tenant
+		// submissions that the AdmitPending pass below admits under the
+		// per-tenant quotas.
+		if admission {
+			retry := deferred
+			deferred = nil
+			for _, si := range retry {
+				if err := submit(si); err != nil {
+					return nil, err
+				}
 			}
-			stateOf[j.ID] = nextArrival
-			if _, err := svc.Admit(j.ID, j.ScaleFactor, tput); err != nil {
+			for nextArrival < len(trace) && trace[nextArrival].Arrival <= now {
+				if err := submit(nextArrival); err != nil {
+					return nil, err
+				}
+				nextArrival++
+			}
+			if err := svc.ExpireAbandoned(int64(res.Rounds)); err != nil {
 				return nil, err
 			}
-			nextArrival++
+			admitted, err := svc.AdmitPending(int64(res.Rounds))
+			if err != nil {
+				return nil, err
+			}
+			base := svc.NumJobs() - len(admitted)
+			for i, id := range admitted {
+				states[stateOf[id]].arrivalN = base + i + 1
+				delete(pending, id)
+			}
+			// Submissions shed by the overload ladder (or withdrawn by the
+			// abandoned-client TTL) will never be admitted: stop waiting on
+			// them. Poll doubles as the tenants' liveness heartbeat.
+			waiting := make([]int, 0, len(pending))
+			for id := range pending {
+				waiting = append(waiting, id)
+			}
+			sort.Ints(waiting)
+			for _, id := range waiting {
+				j := states[pending[id]].job
+				rep, err := svc.Poll(rpc.PollArgs{Tenant: tenantName(j), Key: submitKey(j)})
+				if err != nil {
+					return nil, err
+				}
+				if rep.State == rpc.SubmissionRejected || rep.State == rpc.SubmissionWithdrawn {
+					delete(pending, id)
+				}
+			}
+		} else {
+			for nextArrival < len(trace) && trace[nextArrival].Arrival <= now {
+				st := states[nextArrival]
+				j := st.job
+				st.arrivalN = svc.NumJobs() + 1
+				tput := make([]float64, len(e.workers))
+				for t := range tput {
+					tput[t] = e.provider.Isolated(j, t)
+				}
+				stateOf[j.ID] = nextArrival
+				if _, err := svc.Admit(j.ID, j.ScaleFactor, tput); err != nil {
+					return nil, err
+				}
+				nextArrival++
+			}
 		}
 		if svc.NumJobs() == 0 {
-			// Fast-forward to the next arrival boundary.
-			if nextArrival >= len(trace) {
-				break
+			if len(pending) == 0 && len(deferred) == 0 {
+				// Fast-forward to the next arrival boundary.
+				if nextArrival >= len(trace) {
+					break
+				}
+				steps := math.Ceil((trace[nextArrival].Arrival - now) / e.round)
+				if steps < 1 {
+					steps = 1
+				}
+				now += steps * e.round
+				continue
 			}
-			steps := math.Ceil((trace[nextArrival].Arrival - now) / e.round)
-			if steps < 1 {
-				steps = 1
+			// Nothing resident but submissions are waiting on quota or
+			// backpressure: advance one full round so tokens refill and the
+			// deferred resubmissions fire.
+			now += e.round
+			res.Rounds++
+			if err := svc.EndRound(int64(res.Rounds)); err != nil {
+				return nil, err
 			}
-			now += steps * e.round
 			continue
 		}
 
@@ -245,7 +393,7 @@ func runService(cfg Config) (*Result, error) {
 			if cfg.OnRound != nil {
 				cfg.OnRound(now, alloc, allocStates[k], perShard[k])
 			}
-			batch := &batchObserver{}
+			batch := &batchObserver{wire: wire, measure: admission}
 			var dirtied bool
 			applyAssignments(cfg, batch, states, allocStates[k], alloc, perShard[k], e.round, now, e.prices, e.noise, &dirtied, &completed, res)
 			if dirtied {
@@ -255,6 +403,13 @@ func runService(cfg Config) (*Result, error) {
 			}
 			if err := svc.Observe(k, batch.obs); err != nil {
 				return nil, err
+			}
+			// Worker-measured isolated rates flow back to the trust review,
+			// journaled so a resumed coordinator re-derives the same EWMAs.
+			for _, ms := range batch.meas {
+				if err := svc.ObserveMeasured(ms.id, ms.typ, ms.rate); err != nil {
+					return nil, err
+				}
 			}
 		}
 
@@ -296,6 +451,22 @@ func runService(cfg Config) (*Result, error) {
 		}
 	}
 
+	// Final retire pass under the submission plane: the loop exits as the
+	// last job completes, before the next iteration's retire would remove it
+	// — resolve those submissions to Done so the tenant accounting is
+	// terminal.
+	if admission {
+		for k := 0; k < numShards; k++ {
+			for _, id := range svc.ShardJobs(k) {
+				if states[stateOf[id]].done {
+					if err := svc.Remove(id); err != nil {
+						return nil, err
+					}
+				}
+			}
+		}
+	}
+
 	// Merge per-shard accounting into the Result. Dead daemons contribute
 	// their last snapshot's accounting.
 	res.NumShards = numShards
@@ -303,6 +474,8 @@ func runService(cfg Config) (*Result, error) {
 	res.Rebalances = svc.Rebalances()
 	res.Recoveries = svc.Recoveries()
 	res.DegradedRounds = svc.DegradedRounds()
+	res.Tenants = svc.TenantStats()
+	res.Decisions = svc.Decisions()
 	stats, err := svc.Stats()
 	if err != nil {
 		return nil, err
@@ -324,6 +497,7 @@ func runService(cfg Config) (*Result, error) {
 			PresolveReductions: st.Solve.PresolveReductions,
 			DualIterations:     st.Solve.DualIterations,
 			StaleAllocs:        svc.StaleAllocs(st.Index),
+			QuarantinedJobs:    svc.QuarantinedJobs(st.Index),
 		})
 		res.LPSolves += st.Solve.Solves
 		res.WarmSolves += st.Solve.WarmHits

@@ -180,6 +180,16 @@ type Config struct {
 	// consecutive rounds before being declared down (default 3). Service
 	// engine only.
 	StaleAfterRounds int
+	// Admission, when non-nil, routes arrivals through the streaming
+	// submission plane instead of direct Admit calls: each trace job is
+	// Submitted under its Tenant with an idempotency key, waits in the
+	// bounded ingress queue under the per-tenant quotas, and is admitted by
+	// the round loop's AdmitPending pass. Worker-measured throughputs (the
+	// realized isolated rates, noise included) are fed back via
+	// ObserveMeasured each round, so tenants whose declarations diverge from
+	// measurements (Job.DeclareFactor > 1) are quarantined and clamped by
+	// the trust review. Service engine only.
+	Admission *rpc.AdmissionConfig
 	// OnRound, if set, is invoked after every executed round with the
 	// current time, the allocation in force, the active job state indices,
 	// and the round's assignments (testing/observability hook).
@@ -221,6 +231,9 @@ func (c Config) Validate() error {
 		if _, ok := rpc.SpecForPolicy(c.Policy); !ok {
 			return fmt.Errorf("simulator: policy %s is not in the rpc catalog and cannot be configured on shard daemons", c.Policy.Name())
 		}
+	}
+	if c.Admission != nil && len(c.ShardClients) == 0 {
+		return fmt.Errorf("simulator: the streaming submission plane (Admission) requires the cluster-service engine (ShardClients)")
 	}
 	return nil
 }
@@ -304,6 +317,11 @@ type Result struct {
 	// in-process).
 	DegradedRounds int
 	ShardStats     []ShardStat
+	// Submission-plane accounting (service engine with Config.Admission):
+	// per-tenant admission counters in first-contact order, and the
+	// shed/quarantine/abandon decision log in decision order.
+	Tenants   []rpc.TenantStatus
+	Decisions []rpc.AdmissionDecision
 }
 
 // ShardStat is one shard's accounting within a sharded run.
@@ -327,6 +345,9 @@ type ShardStat struct {
 	// its Allocate failed transiently (cluster-service engine under faults;
 	// always zero otherwise).
 	StaleAllocs int
+	// QuarantinedJobs counts this shard's resident jobs owned by quarantined
+	// tenants at run end (submission plane only; always zero otherwise).
+	QuarantinedJobs int
 }
 
 // AvgJCT returns the mean JCT in hours over finished jobs, optionally
@@ -754,6 +775,16 @@ type pairObserver interface {
 	observePair(aID, bID, typ int, ta, tb float64)
 }
 
+// jobObserver optionally extends a pairObserver with per-job isolated
+// measurements: the realized rate (noise included) of every non-pair
+// assignment — the worker reports the submission plane's trust review
+// cross-checks against declared rows. Pair assignments are excluded: their
+// realized rates measure colocation, not the isolated row the declaration
+// claims.
+type jobObserver interface {
+	observeJob(id, typ int, rate float64)
+}
+
 // advanceRound runs one mechanism round and advances job progress with the
 // ground-truth oracle.
 func advanceRound(cfg Config, mech *scheduler.Mechanism, obs pairObserver, states []*jobState, allocJobs []int, alloc *core.Allocation, workerInts []int, round, now float64, prices []float64, noise func(int, int) float64, needRealloc *bool, completed *int, res *Result) error {
@@ -826,6 +857,11 @@ func applyAssignments(cfg Config, obs pairObserver, states []*jobState, allocJob
 				}
 			}
 			tp *= noise(st.job.ID, a.Type)
+			if !u.IsPair() && tp > 0 {
+				if jo, ok := obs.(jobObserver); ok {
+					jo.observeJob(st.job.ID, a.Type, tp)
+				}
+			}
 			before := st.steps
 			st.steps += tp * eff
 			sf := float64(st.job.ScaleFactor)

@@ -1,0 +1,58 @@
+package workload
+
+import (
+	"fmt"
+	"sort"
+)
+
+// TenantSpec describes one tenant's stream within a multi-tenant trace: how
+// many jobs it submits, how fast, what SLO class they carry, and how
+// honestly it declares throughputs. The zero DeclareFactor means truthful.
+type TenantSpec struct {
+	Name          string
+	NumJobs       int
+	LambdaPerHour float64
+	SLOClass      int
+	DeclareFactor float64
+	// Trace overrides the shared TraceOptions fields for this tenant's
+	// sample (duration bounds, families, multi-worker mix). NumJobs,
+	// LambdaPerHour, and Seed inside it are ignored — the spec and the
+	// merge control those.
+	Trace TraceOptions
+}
+
+// GenerateTenantTrace samples each tenant's stream independently —
+// per-tenant seeds derived from the base seed, so adding or removing a
+// tenant never reshuffles another's jobs — stamps the tenant metadata, and
+// merges the streams into one arrival-ordered trace with globally unique
+// IDs. A flooding tenant is just a spec with a high LambdaPerHour; a
+// misreporting one a spec with DeclareFactor > 1.
+func GenerateTenantTrace(seed int64, specs []TenantSpec) []Job {
+	var merged []Job
+	for i, sp := range specs {
+		opt := sp.Trace
+		opt.NumJobs = sp.NumJobs
+		opt.LambdaPerHour = sp.LambdaPerHour
+		opt.Seed = seed*31 + int64(i)
+		df := sp.DeclareFactor
+		if df <= 0 {
+			df = 1
+		}
+		name := sp.Name
+		if name == "" {
+			name = fmt.Sprintf("tenant-%d", i)
+		}
+		jobs := GenerateTrace(opt)
+		for j := range jobs {
+			jobs[j].Tenant = name
+			jobs[j].SLOClass = sp.SLOClass
+			jobs[j].DeclareFactor = df
+		}
+		merged = append(merged, jobs...)
+	}
+	sort.SliceStable(merged, func(a, b int) bool { return merged[a].Arrival < merged[b].Arrival })
+	for i := range merged {
+		merged[i].ID = i
+	}
+	return merged
+}

@@ -18,6 +18,16 @@ type Job struct {
 	SLO         float64 // completion deadline in seconds from arrival; 0 = none
 	RefDuration float64 // sampled duration in seconds on a dedicated V100
 	Entity      int     // hierarchical-policy entity; -1 = none
+
+	// Submission-plane metadata (zero values preserve the classic
+	// direct-admission behavior). Tenant names the submitting tenant;
+	// SLOClass ranks the job for the overload shedding ladder (lower sheds
+	// first); DeclareFactor scales the throughputs the tenant *declares*
+	// relative to the truth (1 or 0 = honest; >1 models a tenant inflating
+	// its rows to win allocation share).
+	Tenant        string
+	SLOClass      int
+	DeclareFactor float64
 }
 
 // TraceOptions parameterizes GenerateTrace. Zero values select the paper's
