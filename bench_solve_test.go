@@ -24,6 +24,7 @@ import (
 	"gavel/internal/cluster"
 	"gavel/internal/core"
 	"gavel/internal/lp"
+	"gavel/internal/obs"
 	"gavel/internal/policy"
 	"gavel/internal/workload"
 )
@@ -149,6 +150,13 @@ func BenchmarkPolicySolveReset(b *testing.B) {
 						p := pol.make()
 						ctx := policy.NewSolveContext()
 						ctx.NoWarm = mode == "cold"
+						// GAVEL_OBS_BENCH=1 attaches the live telemetry
+						// bundle to every solve, so CI can diff ns/op
+						// against an uninstrumented run and gate the
+						// instrumentation overhead.
+						if os.Getenv("GAVEL_OBS_BENCH") == "1" {
+							ctx.Metrics = obs.NewLPMetrics(obs.NewRegistry())
+						}
 						rng := rand.New(rand.NewSource(99))
 						nextID := n
 						// Prime the context so the first measured solve of

@@ -37,6 +37,7 @@ import (
 	"gavel/internal/chaos"
 	"gavel/internal/cluster"
 	"gavel/internal/lp"
+	"gavel/internal/obs"
 	"gavel/internal/policy"
 	"gavel/internal/rpc"
 	"gavel/internal/workload"
@@ -65,6 +66,10 @@ func main() {
 		decisionLog  = flag.String("decision-log", "", "file rewritten each round with the admission decision log (shed/quarantine/abandon)")
 		drainRounds  = flag.Int("drain-rounds", 3, "with -submit-listen, idle rounds with no resident or queued submissions before exiting")
 
+		obsDefaults = obs.OptionsFromEnv()
+		obsListen   = flag.String("obs-listen", obsDefaults.Listen, "address to serve /metrics, /statusz, /debug/trace, and pprof on (default GAVEL_OBS_LISTEN; empty = off)")
+		obsTrace    = flag.String("obs-trace", obsDefaults.TracePath, "JSONL span-log path (default GAVEL_OBS_TRACE; empty = ring buffer only)")
+
 		journal    = flag.String("journal", "", "coordinator write-ahead-log path (empty = not durable; an existing journal resumes the run)")
 		chaosSpec  = flag.String("chaos", "", "fault-injection spec, e.g. seed=42,drop=0.05,dup=0.01,delay=0.1,maxdelay=20ms,partition=40+10,crash=200")
 		rpcTimeout = flag.Duration("rpc-timeout", 0, "per-call shard RPC deadline (0 = GAVEL_RPC_TIMEOUT or default)")
@@ -73,11 +78,15 @@ func main() {
 	)
 	flag.Parse()
 
+	telemetry := obsDefaults
+	telemetry.Listen = *obsListen
+	telemetry.TracePath = *obsTrace
+
 	if *shards == "" {
 		if *submitListen != "" {
 			log.Fatalf("gavel-sched: -submit-listen requires coordinator mode (-shards)")
 		}
-		runStandalone(*listen, *jobs, *round, *steps)
+		runStandalone(*listen, *jobs, *round, *steps, telemetry)
 		return
 	}
 	opts, err := lp.ParseOptions(*lpEngine, *lpPricing, *lpPresolve, *lpDual)
@@ -116,6 +125,7 @@ func main() {
 		submitListen: *submitListen,
 		decisionLog:  *decisionLog,
 		drainRounds:  *drainRounds,
+		telemetry:    telemetry,
 	}
 	if err := runCoordinator(cfg); err != nil {
 		log.Fatalf("gavel-sched: %v", err)
@@ -196,6 +206,8 @@ type coordinatorConfig struct {
 	submitListen string
 	decisionLog  string
 	drainRounds  int
+
+	telemetry obs.Options
 }
 
 // runCoordinator drives remote shard daemons through the control plane and
@@ -220,6 +232,22 @@ func runCoordinator(cfg coordinatorConfig) error {
 		}
 	}
 
+	// The telemetry plane: one registry + trace ring shared by everything in
+	// this process — the coordinator, the lease plane, the retry layer, and
+	// the chaos transports. Nil when -obs-listen and -obs-trace are both off.
+	plane, obsSrv, traceFile, err := cfg.telemetry.Build()
+	if err != nil {
+		return err
+	}
+	if obsSrv != nil {
+		defer obsSrv.Close()
+		log.Printf("gavel-sched: telemetry on %s (/metrics /statusz /debug/trace /debug/pprof)", obsSrv.Addr())
+	}
+	if traceFile != nil {
+		defer traceFile.Close()
+	}
+	cfg.rpcPolicy.Obs = plane
+
 	clients := make([]rpc.ShardClient, len(cfg.shardAddrs))
 	var transports []*chaos.Transport
 	for i, addr := range cfg.shardAddrs {
@@ -230,11 +258,15 @@ func runCoordinator(cfg coordinatorConfig) error {
 			// exercise the production retry/degrade/recover path.
 			noRetry := cfg.rpcPolicy
 			noRetry.Retries = 0
+			// Only the outer retry layer observes calls — instrumenting the
+			// dial-time layer too would double-count every call.
+			noRetry.Obs = nil
 			c, err := rpc.DialShardWith(strings.TrimSpace(addr), noRetry)
 			if err != nil {
 				return fmt.Errorf("shard %s: %w", addr, err)
 			}
 			tr := chaos.Wrap(c, cfg.chaos, i).(*chaos.Transport)
+			tr.SetObs(plane)
 			transports = append(transports, tr)
 			clients[i] = rpc.WithRetry(tr, cfg.rpcPolicy)
 			continue
@@ -250,6 +282,7 @@ func runCoordinator(cfg coordinatorConfig) error {
 		Policy:  rpc.PolicySpec{Name: cfg.policy},
 		LP:      cfg.lp,
 		Journal: cfg.journal,
+		Obs:     plane,
 	}
 	submission := cfg.submitListen != ""
 	if submission {
@@ -269,6 +302,7 @@ func runCoordinator(cfg coordinatorConfig) error {
 	}
 
 	sched := rpc.NewScheduler(cfg.round)
+	sched.SetObs(plane)
 	plan := &planSource{}
 	sched.SetLeaseSource(plan)
 	addr, err := sched.Serve(cfg.listen)
@@ -276,6 +310,13 @@ func runCoordinator(cfg coordinatorConfig) error {
 		return err
 	}
 	defer sched.Close()
+	if obsSrv != nil {
+		obsSrv.AddStatus("coordinator", svc.StatusText)
+		obsSrv.AddStatus("leases", sched.StatusText)
+		if submission {
+			obsSrv.AddStatus("tenants", svc.TenantStatusText)
+		}
+	}
 	log.Printf("gavel-sched: coordinator mode, protocol v%d, lease plane on %s, %d shards, policy %s, lp[%s]",
 		rpc.ProtocolVersion, addr, len(clients), cfg.policy, cfg.lp.Resolve())
 
@@ -590,8 +631,21 @@ func writeDecisionLog(path string, decisions []rpc.AdmissionDecision) error {
 
 // runStandalone is the single-process mode: the lease plane alone, leasing
 // by least attained service.
-func runStandalone(listen string, jobs int, round, steps float64) {
+func runStandalone(listen string, jobs int, round, steps float64, telemetry obs.Options) {
 	sched := rpc.NewScheduler(round)
+	plane, obsSrv, traceFile, err := telemetry.Build()
+	if err != nil {
+		log.Fatalf("gavel-sched: %v", err)
+	}
+	sched.SetObs(plane)
+	if obsSrv != nil {
+		obsSrv.AddStatus("leases", sched.StatusText)
+		defer obsSrv.Close()
+		log.Printf("gavel-sched: telemetry on %s", obsSrv.Addr())
+	}
+	if traceFile != nil {
+		defer traceFile.Close()
+	}
 	addr, err := sched.Serve(listen)
 	if err != nil {
 		log.Fatalf("gavel-sched: %v", err)

@@ -17,14 +17,35 @@ import (
 	"os/signal"
 	"syscall"
 
+	"gavel/internal/obs"
 	"gavel/internal/rpc"
 )
 
 func main() {
+	obsDefaults := obs.OptionsFromEnv()
 	listen := flag.String("listen", "127.0.0.1:8650", "address to serve the shard control plane on")
+	obsListen := flag.String("obs-listen", obsDefaults.Listen, "address to serve /metrics, /statusz, /debug/trace, and pprof on (default GAVEL_OBS_LISTEN; empty = off)")
+	obsTrace := flag.String("obs-trace", obsDefaults.TracePath, "JSONL span-log path (default GAVEL_OBS_TRACE; empty = ring buffer only)")
 	flag.Parse()
 
+	telemetry := obsDefaults
+	telemetry.Listen = *obsListen
+	telemetry.TracePath = *obsTrace
+	plane, obsSrv, traceFile, err := telemetry.Build()
+	if err != nil {
+		log.Fatalf("gavel-shard: %v", err)
+	}
+	if traceFile != nil {
+		defer traceFile.Close()
+	}
+
 	srv := rpc.NewShardServer()
+	srv.SetObs(plane)
+	if obsSrv != nil {
+		obsSrv.AddStatus("shard", srv.StatusText)
+		defer obsSrv.Close()
+		log.Printf("gavel-shard: telemetry on %s (/metrics /statusz /debug/trace /debug/pprof)", obsSrv.Addr())
+	}
 	addr, err := srv.Serve(*listen)
 	if err != nil {
 		log.Fatalf("gavel-shard: %v", err)

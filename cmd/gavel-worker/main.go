@@ -21,18 +21,43 @@ import (
 	"time"
 
 	"gavel/internal/iterator"
+	"gavel/internal/obs"
 	"gavel/internal/rpc"
 )
 
 func main() {
+	obsDefaults := obs.OptionsFromEnv()
 	var (
 		schedAddr = flag.String("scheduler", "127.0.0.1:8642", "scheduler control-plane address")
 		accType   = flag.String("type", "v100", "accelerator type this worker exposes (v100|p100|k80)")
 		server    = flag.String("server", "srv0", "physical server id (consolidation unit)")
 		ckptDir   = flag.String("ckpt", os.TempDir(), "checkpoint directory")
 		stepsSec  = flag.Float64("steps-per-sec", 50, "synthetic training speed on this device")
+		obsListen = flag.String("obs-listen", obsDefaults.Listen, "address to serve /metrics, /statusz, and pprof on (default GAVEL_OBS_LISTEN; empty = off)")
+		obsTrace  = flag.String("obs-trace", obsDefaults.TracePath, "JSONL span-log path (default GAVEL_OBS_TRACE; empty = ring buffer only)")
 	)
 	flag.Parse()
+
+	telemetry := obsDefaults
+	telemetry.Listen = *obsListen
+	telemetry.TracePath = *obsTrace
+	plane, obsSrv, traceFile, err := telemetry.Build()
+	if err != nil {
+		log.Fatalf("gavel-worker: %v", err)
+	}
+	if obsSrv != nil {
+		defer obsSrv.Close()
+		log.Printf("gavel-worker: telemetry on %s", obsSrv.Addr())
+	}
+	if traceFile != nil {
+		defer traceFile.Close()
+	}
+	reg := plane.Registry()
+	leasesRun := reg.CounterVec("gavel_worker_leases_total", "Micro-task leases by outcome.", "outcome")
+	ckpts := reg.Counter("gavel_worker_checkpoints_total", "Checkpoints written when a lease was not renewed.")
+	for _, o := range []string{"run", "empty", "error"} {
+		leasesRun.With(o)
+	}
 
 	client, err := rpc.Dial(*schedAddr, rpc.RegisterArgs{
 		AcceleratorType: *accType,
@@ -52,6 +77,7 @@ func main() {
 			log.Fatalf("gavel-worker: lease: %v", err)
 		}
 		if lease.Empty {
+			leasesRun.With("empty").Inc()
 			idle++
 			if idle > 20 {
 				log.Printf("gavel-worker: no work for %d rounds, exiting", idle)
@@ -62,15 +88,18 @@ func main() {
 		}
 		idle = 0
 		jobID := lease.JobIDs[0]
-		if err := runLease(client, lease, jobID, *ckptDir, *stepsSec); err != nil {
+		if err := runLease(client, lease, jobID, *ckptDir, *stepsSec, ckpts); err != nil {
+			leasesRun.With("error").Inc()
 			log.Printf("gavel-worker: job %d: %v", jobID, err)
+		} else {
+			leasesRun.With("run").Inc()
 		}
 	}
 }
 
 // runLease executes one micro-task: a synthetic training loop under the
 // iterator, bounded by a scaled-down wall-clock round.
-func runLease(client *rpc.Client, lease *rpc.Lease, jobID int, ckptDir string, stepsPerSec float64) error {
+func runLease(client *rpc.Client, lease *rpc.Lease, jobID int, ckptDir string, stepsPerSec float64, ckpts *obs.Counter) error {
 	ckptPath := fmt.Sprintf("%s/gavel-job-%d.ckpt", ckptDir, jobID)
 	ck := iterator.Funcs{
 		Load: func() (int64, error) {
@@ -102,6 +131,7 @@ func runLease(client *rpc.Client, lease *rpc.Lease, jobID int, ckptDir string, s
 	})
 	err := it.RunRound(context.Background())
 	if errors.Is(err, iterator.ErrLeaseExpired) {
+		ckpts.Inc()
 		log.Printf("gavel-worker: job %d checkpointed at step %d", jobID, it.CurrentStep())
 		return nil
 	}

@@ -22,6 +22,7 @@ import (
 	"sync"
 	"time"
 
+	"gavel/internal/obs"
 	"gavel/internal/rpc"
 )
 
@@ -137,6 +138,11 @@ type Transport struct {
 	calls   int
 	crashed bool
 	events  []Event
+
+	// faults counts injected faults by kind (SetObs). The counter bumps where
+	// the event log appends — under the mutex, after the variate draws — so
+	// enabling it cannot shift the rand stream or the schedule.
+	faults *obs.CounterVec
 }
 
 // Wrap layers the fault schedule over a shard client. A disabled config
@@ -154,6 +160,29 @@ func Wrap(inner rpc.ShardClient, cfg Config, shard int) rpc.ShardClient {
 		shard: shard,
 		rng:   rand.New(rand.NewSource(cfg.Seed*31 + int64(shard))),
 	}
+}
+
+// SetObs registers the injected-fault counter
+// (gavel_chaos_faults_total{kind}) on the plane's registry. Metrics are
+// recorded strictly after the fault decision, so they never perturb the
+// seeded schedule.
+func (t *Transport) SetObs(p *obs.Plane) {
+	if t == nil || p == nil {
+		return
+	}
+	fv := p.Registry().CounterVec("gavel_chaos_faults_total", "Faults injected by the chaos transport, by kind.", "kind")
+	for _, k := range []FaultKind{FaultDrop, FaultDup, FaultDelay, FaultPartition, FaultCrash} {
+		fv.With(string(k))
+	}
+	t.mu.Lock()
+	t.faults = fv
+	t.mu.Unlock()
+}
+
+// inject logs one fault in the schedule and its counter (callers hold mu).
+func (t *Transport) inject(e Event) {
+	t.events = append(t.events, e)
+	t.faults.With(string(e.Kind)).Inc()
 }
 
 // Schedule returns a copy of the injected-fault log so far. Two runs with the
@@ -193,7 +222,7 @@ func (t *Transport) plan(method string, idempotent bool) plan {
 	}
 	if t.cfg.CrashAfter > 0 && call > t.cfg.CrashAfter {
 		t.crashed = true
-		t.events = append(t.events, Event{Call: call, Method: method, Kind: FaultCrash})
+		t.inject(Event{Call: call, Method: method, Kind: FaultCrash})
 		return plan{err: rpc.Errorf(rpc.CodeShardDown, "chaos: shard %d crashed", t.shard)}
 	}
 	// Draw all three variates unconditionally: the stream must not depend on
@@ -203,20 +232,20 @@ func (t *Transport) plan(method string, idempotent bool) plan {
 	dupDraw := t.rng.Float64()
 	delayDraw := t.rng.Float64()
 	if t.cfg.PartitionCalls > 0 && call >= t.cfg.PartitionStart && call < t.cfg.PartitionStart+t.cfg.PartitionCalls {
-		t.events = append(t.events, Event{Call: call, Method: method, Kind: FaultPartition})
+		t.inject(Event{Call: call, Method: method, Kind: FaultPartition})
 		return plan{err: rpc.Errorf(rpc.CodeUnavailable, "chaos: shard %d partitioned (call %d)", t.shard, call)}
 	}
 	if dropDraw < t.cfg.Drop {
-		t.events = append(t.events, Event{Call: call, Method: method, Kind: FaultDrop})
+		t.inject(Event{Call: call, Method: method, Kind: FaultDrop})
 		return plan{err: rpc.Errorf(rpc.CodeUnavailable, "chaos: call %d to shard %d dropped", call, t.shard)}
 	}
 	var p plan
 	if idempotent && dupDraw < t.cfg.Dup {
-		t.events = append(t.events, Event{Call: call, Method: method, Kind: FaultDup})
+		t.inject(Event{Call: call, Method: method, Kind: FaultDup})
 		p.dup = true
 	}
 	if delayDraw < t.cfg.Delay {
-		t.events = append(t.events, Event{Call: call, Method: method, Kind: FaultDelay})
+		t.inject(Event{Call: call, Method: method, Kind: FaultDelay})
 		p.delay = t.cfg.MaxDelay
 	}
 	return p

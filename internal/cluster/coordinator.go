@@ -7,6 +7,7 @@ import (
 	"sync/atomic"
 
 	"gavel/internal/lp"
+	"gavel/internal/obs"
 	"gavel/internal/policy"
 	"gavel/internal/scheduler"
 )
@@ -58,6 +59,11 @@ type CoordinatorConfig struct {
 	// within a shard — partitioning the job set partitions the pair set.
 	PairGainThreshold float64
 	MaxPairsPerJob    int
+	// Obs, when non-nil, wires every shard context's LP solve accounting
+	// (solves by kind, iterations, refactorizations, solve latency) into the
+	// plane's live series. Metrics never influence a solve, so enabling them
+	// cannot perturb allocations.
+	Obs *obs.Plane
 }
 
 // Migration records one job moved between shards by a rebalance.
@@ -128,6 +134,10 @@ func NewCoordinator(cfg CoordinatorConfig) (*Coordinator, error) {
 		globalInts: counts,
 		shardOf:    map[int]int{},
 	}
+	// One shared LPMetrics across the shard contexts: the series are
+	// aggregates, and the instruments are atomics, so concurrent shard solves
+	// accumulate deterministically. Nil plane -> nil metrics -> no-ops.
+	lpm := obs.NewLPMetrics(cfg.Obs.Registry())
 	for k := 0; k < cfg.NumShards; k++ {
 		var ctx *policy.SolveContext
 		if !cfg.ColdSolves {
@@ -135,6 +145,7 @@ func NewCoordinator(cfg CoordinatorConfig) (*Coordinator, error) {
 			if cfg.Engine != lp.EngineAuto {
 				ctx.Engine = cfg.Engine
 			}
+			ctx.Metrics = lpm
 		}
 		c.shards = append(c.shards, newShard(k, numTypes, split[k], perServer, prices, ctx))
 	}

@@ -15,7 +15,7 @@ import (
 	"strings"
 
 	"gavel/internal/cluster"
-	"gavel/internal/metrics"
+	metrics "gavel/internal/obs/stats"
 	"gavel/internal/policy"
 	"gavel/internal/simulator"
 	"gavel/internal/workload"

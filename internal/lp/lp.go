@@ -267,6 +267,10 @@ type Result struct {
 	// simplex repair of a warm-started basis; those iterations are also
 	// included in Iterations.
 	DualIterations int
+	// Refactorizations counts basis LU refactorizations the revised
+	// engine performed after its initial factorization (eta-file resets
+	// and post-polish refreshes). Always zero on the dense path.
+	Refactorizations int
 }
 
 // Basis is an opaque snapshot of a simplex basis, tied to the shape of the

@@ -656,6 +656,7 @@ func (ps *presolveState) lift(redRes *Result) *Result {
 		Remapped:           redRes.Remapped,
 		Engine:             redRes.Engine,
 		DualIterations:     redRes.DualIterations,
+		Refactorizations:   redRes.Refactorizations,
 		PresolveReductions: ps.reds,
 	}
 	if redRes.Status != Optimal {

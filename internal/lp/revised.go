@@ -88,6 +88,7 @@ type revEngine struct {
 	iterations    int
 	pivots        int
 	dualIters     int // dual-simplex pivots and flips (included in iterations)
+	refactors     int // refresh() calls: LU refactorizations after the first
 	degenStreak   int // consecutive zero-step pivots; triggers Bland early
 	priceStart    int
 	polishedX     []float64 // canonical structural values from polishVertex
@@ -361,6 +362,7 @@ func (e *revEngine) refresh() bool {
 	if !e.factorize(false) {
 		return false
 	}
+	e.refactors++
 	e.computeXB()
 	return true
 }
@@ -1403,8 +1405,8 @@ func (e *revEngine) finish(warm, remapped bool) *Result {
 	return &Result{
 		Status: Optimal, X: x, Objective: obj,
 		Iterations: e.iterations, Pivots: e.pivots,
-		DualIterations: e.dualIters,
-		Basis:          snap, WarmStarted: warm, Remapped: remapped,
+		DualIterations: e.dualIters, Refactorizations: e.refactors,
+		Basis: snap, WarmStarted: warm, Remapped: remapped,
 	}
 }
 
@@ -1412,7 +1414,8 @@ func (e *revEngine) finish(warm, remapped bool) *Result {
 func (e *revEngine) statusResult(st Status, warm, remapped bool) *Result {
 	return &Result{
 		Status: st, Iterations: e.iterations, Pivots: e.pivots,
-		DualIterations: e.dualIters, WarmStarted: warm, Remapped: remapped,
+		DualIterations: e.dualIters, Refactorizations: e.refactors,
+		WarmStarted: warm, Remapped: remapped,
 	}
 }
 

@@ -1,0 +1,138 @@
+package obs
+
+import (
+	"fmt"
+	"net"
+	"net/http"
+	"net/http/pprof"
+	"sort"
+	"sync"
+	"time"
+)
+
+// Server is the live introspection endpoint every daemon mounts under
+// -obs-listen. It serves:
+//
+//	/metrics      Prometheus text exposition of the registry
+//	/healthz      "ok" (liveness probe)
+//	/statusz      human-readable status sections registered by the host
+//	/debug/trace  the trace ring as JSONL, newest state at scrape time
+//	/debug/pprof  the standard Go profiling handlers
+//
+// Sections and handlers may be added before or after Serve; the server is
+// safe for concurrent scrapes, but the section callbacks must themselves be
+// safe to call from the scrape goroutine.
+type Server struct {
+	plane *Plane
+
+	mu       sync.Mutex
+	sections map[string]func() string
+	ln       net.Listener
+	srv      *http.Server
+}
+
+// NewServer returns a server over the given plane (which must be non-nil —
+// an obs-off daemon simply never constructs a Server).
+func NewServer(p *Plane) *Server {
+	return &Server{plane: p, sections: map[string]func() string{}}
+}
+
+// AddStatus registers a named /statusz section. The callback runs on every
+// scrape and must be concurrency-safe.
+func (s *Server) AddStatus(name string, fn func() string) {
+	if s == nil || fn == nil {
+		return
+	}
+	s.mu.Lock()
+	s.sections[name] = fn
+	s.mu.Unlock()
+}
+
+func (s *Server) handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		s.plane.Registry().WritePrometheus(w)
+	})
+	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		fmt.Fprintln(w, "ok")
+	})
+	mux.HandleFunc("/statusz", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		s.mu.Lock()
+		names := make([]string, 0, len(s.sections))
+		for n := range s.sections {
+			names = append(names, n)
+		}
+		fns := make([]func() string, 0, len(names))
+		sort.Strings(names)
+		for _, n := range names {
+			fns = append(fns, s.sections[n])
+		}
+		s.mu.Unlock()
+		for i, n := range names {
+			fmt.Fprintf(w, "=== %s ===\n%s\n", n, fns[i]())
+		}
+		if tr := s.plane.Tracer(); tr != nil {
+			fmt.Fprintf(w, "=== trace ring ===\n%s\n", tr.SummarizeSpans())
+		}
+	})
+	mux.HandleFunc("/debug/trace", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/x-ndjson")
+		s.plane.Tracer().WriteJSONL(w)
+	})
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	return mux
+}
+
+// Serve binds addr and serves in a background goroutine, returning the bound
+// address (useful with ":0"). Call Close to stop.
+func (s *Server) Serve(addr string) (string, error) {
+	if s == nil {
+		return "", nil
+	}
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return "", err
+	}
+	srv := &http.Server{Handler: s.handler(), ReadHeaderTimeout: 10 * time.Second}
+	s.mu.Lock()
+	s.ln = ln
+	s.srv = srv
+	s.mu.Unlock()
+	go srv.Serve(ln)
+	return ln.Addr().String(), nil
+}
+
+// Addr returns the bound address, or "" before Serve.
+func (s *Server) Addr() string {
+	if s == nil {
+		return ""
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.ln == nil {
+		return ""
+	}
+	return s.ln.Addr().String()
+}
+
+// Close stops the listener and in-flight handlers.
+func (s *Server) Close() error {
+	if s == nil {
+		return nil
+	}
+	s.mu.Lock()
+	srv := s.srv
+	s.srv, s.ln = nil, nil
+	s.mu.Unlock()
+	if srv == nil {
+		return nil
+	}
+	return srv.Close()
+}

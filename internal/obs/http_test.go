@@ -1,0 +1,136 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+	"testing"
+)
+
+func scrape(t *testing.T, url string) string {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatalf("GET %s: %v", url, err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("GET %s: status %d", url, resp.StatusCode)
+	}
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return string(body)
+}
+
+func TestServerEndpoints(t *testing.T) {
+	p := NewPlane()
+	RegisterRuntimeMetrics(p.Reg)
+	p.Reg.Counter("gavel_rounds_total", "Rounds.").Add(9)
+	p.Tr.Record(Span{Trace: RoundTrace(1), Name: "shard.allocate"})
+
+	srv := NewServer(p)
+	srv.AddStatus("shards", func() string { return "shard 0: 12 jobs\n" })
+	addr, err := srv.Serve("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	if srv.Addr() != addr {
+		t.Fatalf("Addr() = %q, want %q", srv.Addr(), addr)
+	}
+	base := fmt.Sprintf("http://%s", addr)
+
+	metrics := scrape(t, base+"/metrics")
+	if !strings.Contains(metrics, "gavel_rounds_total 9") {
+		t.Fatalf("/metrics missing counter:\n%s", metrics)
+	}
+	if !strings.Contains(metrics, "go_goroutines") {
+		t.Fatalf("/metrics missing runtime collectors:\n%s", metrics)
+	}
+
+	if got := scrape(t, base+"/healthz"); got != "ok\n" {
+		t.Fatalf("/healthz = %q", got)
+	}
+
+	statusz := scrape(t, base+"/statusz")
+	if !strings.Contains(statusz, "=== shards ===") || !strings.Contains(statusz, "12 jobs") {
+		t.Fatalf("/statusz missing section:\n%s", statusz)
+	}
+	if !strings.Contains(statusz, "shard.allocate") {
+		t.Fatalf("/statusz missing trace summary:\n%s", statusz)
+	}
+
+	trace := scrape(t, base+"/debug/trace")
+	if !strings.Contains(trace, `"name":"shard.allocate"`) {
+		t.Fatalf("/debug/trace = %q", trace)
+	}
+
+	pprofIdx := scrape(t, base+"/debug/pprof/")
+	if !strings.Contains(pprofIdx, "goroutine") {
+		t.Fatalf("/debug/pprof/ = %q", pprofIdx)
+	}
+
+	if err := srv.Close(); err != nil {
+		t.Fatal(err)
+	}
+	// Double-close and nil-safety.
+	if err := srv.Close(); err != nil {
+		t.Fatal(err)
+	}
+	var nilSrv *Server
+	nilSrv.AddStatus("x", func() string { return "" })
+	if _, err := nilSrv.Serve(""); err != nil {
+		t.Fatal(err)
+	}
+	if nilSrv.Addr() != "" || nilSrv.Close() != nil {
+		t.Fatal("nil server should no-op")
+	}
+}
+
+func TestOptionsFromEnv(t *testing.T) {
+	t.Setenv("GAVEL_OBS_LISTEN", "127.0.0.1:0")
+	t.Setenv("GAVEL_OBS_TRACE", "")
+	t.Setenv("GAVEL_OBS_RING", "128")
+	o := OptionsFromEnv()
+	if o.Listen != "127.0.0.1:0" || o.RingSpans != 128 || !o.Enabled() {
+		t.Fatalf("opts = %+v", o)
+	}
+	p, srv, f, err := o.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p == nil || srv == nil || f != nil {
+		t.Fatalf("build: plane=%v srv=%v f=%v", p, srv, f)
+	}
+	defer srv.Close()
+	if !strings.Contains(scrape(t, "http://"+srv.Addr()+"/metrics"), "go_goroutines") {
+		t.Fatal("built server should export runtime metrics")
+	}
+
+	t.Setenv("GAVEL_OBS_LISTEN", "")
+	t.Setenv("GAVEL_OBS_RING", "")
+	o = OptionsFromEnv()
+	if o.Enabled() || o.RingSpans != DefaultRingSpans {
+		t.Fatalf("opts = %+v", o)
+	}
+	p2, srv2, f2, err := o.Build()
+	if err != nil || p2 != nil || srv2 != nil || f2 != nil {
+		t.Fatal("disabled options should build nothing")
+	}
+
+	dir := t.TempDir()
+	t.Setenv("GAVEL_OBS_TRACE", dir+"/trace.jsonl")
+	o = OptionsFromEnv()
+	p3, srv3, f3, err := o.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p3 == nil || srv3 != nil || f3 == nil {
+		t.Fatalf("trace-only build: plane=%v srv=%v f=%v", p3, srv3, f3)
+	}
+	p3.Tr.Begin(RoundTrace(1), "x").End(nil)
+	f3.Close()
+}

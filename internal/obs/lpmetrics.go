@@ -1,0 +1,73 @@
+package obs
+
+import "time"
+
+// LPMetrics is the live-series bundle for the LP core. policy.SolveContext
+// feeds it on every solve, turning what used to be end-of-run SolveStats
+// aggregates into scrapeable counters. A nil *LPMetrics (and nil instruments
+// inside) no-ops, so the solver hot path pays only nil checks when
+// observability is off.
+//
+// Defined here rather than in policy to keep obs dependency-free: the
+// context passes plain numbers, obs never imports lp.
+type LPMetrics struct {
+	reg *Registry
+
+	Solves             *CounterVec // kind: warm | remap | cold | fallback
+	Iterations         *Counter
+	DualIterations     *Counter
+	PresolveReductions *Counter
+	Refactorizations   *Counter
+	LabelSolves        *CounterVec // per caller-supplied solve label
+	SolveSeconds       *Histogram
+}
+
+// NewLPMetrics registers the LP series on r (nil r yields a nil bundle).
+func NewLPMetrics(r *Registry) *LPMetrics {
+	if r == nil {
+		return nil
+	}
+	m := &LPMetrics{
+		reg:                r,
+		Solves:             r.CounterVec("gavel_lp_solves_total", "LP solves by warm-start outcome.", "kind"),
+		Iterations:         r.Counter("gavel_lp_iterations_total", "Simplex iterations across all solves."),
+		DualIterations:     r.Counter("gavel_lp_dual_iterations_total", "Dual simplex iterations across all solves."),
+		PresolveReductions: r.Counter("gavel_lp_presolve_reductions_total", "Rows+columns removed by presolve."),
+		Refactorizations:   r.Counter("gavel_lp_refactorizations_total", "Basis LU refactorizations in the revised engine."),
+		LabelSolves:        r.CounterVec("gavel_lp_label_solves_total", "LP solves by caller label.", "label"),
+		SolveSeconds:       r.Histogram("gavel_lp_solve_seconds", "Wall-clock per LP solve.", DurationBuckets),
+	}
+	// Pre-register the outcome children so scrapes see the full vocabulary
+	// at zero before the first solve of each kind lands.
+	for _, k := range []string{"warm", "remap", "cold", "fallback"} {
+		m.Solves.With(k)
+	}
+	return m
+}
+
+// Start reads the clock for a solve timing (zero time when nil, which makes
+// the matching Observe a no-op).
+func (m *LPMetrics) Start() time.Time {
+	if m == nil {
+		return time.Time{}
+	}
+	return m.reg.Now()
+}
+
+// RecordSolve feeds one completed solve into the live series.
+func (m *LPMetrics) RecordSolve(kind, label string, iterations, dualIterations, presolveReductions, refactorizations int, start time.Time) {
+	if m == nil {
+		return
+	}
+	m.Solves.With(kind).Inc()
+	m.Iterations.Add(iterations)
+	m.DualIterations.Add(dualIterations)
+	m.PresolveReductions.Add(presolveReductions)
+	m.Refactorizations.Add(refactorizations)
+	if label != "" {
+		m.LabelSolves.With(label).Inc()
+	}
+	if !start.IsZero() {
+		m.SolveSeconds.Observe(m.reg.Since(start))
+	}
+}

@@ -1,0 +1,529 @@
+// Package obs is Gavel's runtime telemetry plane: a dependency-free metrics
+// registry (counters, gauges, fixed-bucket histograms), per-round structured
+// tracing (trace.go), and the live introspection HTTP server every daemon
+// mounts under -obs-listen (http.go).
+//
+// Two properties shape the design:
+//
+//   - Determinism. Instrumentation must never perturb the scheduler's
+//     byte-determinism: instruments are lock-free atomics off the hot path,
+//     draw nothing from any rand stream, and the clock is injectable
+//     (SetClock) so duration observations are reproducible under a stub
+//     clock. Snapshots come out in sorted (name, label-values) order, and
+//     DumpDeterministic excludes the volatile sampled-at-scrape collectors
+//     (runtime.go), so two seeded runs of the same workload produce
+//     byte-identical deterministic dumps.
+//   - Nil-safety. Every constructor accepts a nil receiver and every
+//     instrument method accepts a nil instrument, all no-ops. Call sites
+//     instrument unconditionally; a deployment without -obs-listen pays a
+//     nil check per event and allocates nothing.
+//
+// Histogram sums accumulate in fixed-point (nanounits) rather than floating
+// point, so concurrent observers produce order-independent — deterministic —
+// sums.
+package obs
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"regexp"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Kind is the instrument family type.
+type Kind uint8
+
+const (
+	KindCounter Kind = iota + 1
+	KindGauge
+	KindHistogram
+)
+
+func (k Kind) String() string {
+	switch k {
+	case KindCounter:
+		return "counter"
+	case KindGauge:
+		return "gauge"
+	case KindHistogram:
+		return "histogram"
+	}
+	return "untyped"
+}
+
+// Registry holds instrument families and renders them in Prometheus text
+// exposition format. A nil *Registry is valid everywhere: constructors return
+// nil instruments whose methods no-op.
+type Registry struct {
+	mu   sync.Mutex
+	now  func() time.Time
+	fams map[string]*family
+}
+
+// NewRegistry returns an empty registry on the real clock.
+func NewRegistry() *Registry {
+	return &Registry{now: time.Now, fams: map[string]*family{}}
+}
+
+// SetClock replaces the registry's clock (Now/Since). Deterministic tests
+// install a stub so duration observations reproduce across runs.
+func (r *Registry) SetClock(fn func() time.Time) {
+	if r == nil || fn == nil {
+		return
+	}
+	r.mu.Lock()
+	r.now = fn
+	r.mu.Unlock()
+}
+
+// Now reads the registry's clock (zero time for a nil registry).
+func (r *Registry) Now() time.Time {
+	if r == nil {
+		return time.Time{}
+	}
+	r.mu.Lock()
+	fn := r.now
+	r.mu.Unlock()
+	return fn()
+}
+
+// Since returns seconds elapsed since t on the registry's clock (0 for a nil
+// registry or zero t, so an untimed start never yields a garbage duration).
+func (r *Registry) Since(t time.Time) float64 {
+	if r == nil || t.IsZero() {
+		return 0
+	}
+	return r.Now().Sub(t).Seconds()
+}
+
+var nameRe = regexp.MustCompile(`^[a-zA-Z_:][a-zA-Z0-9_:]*$`)
+
+// family is one named instrument family: a kind, help text, label names, and
+// the children keyed by joined label values.
+type family struct {
+	name     string
+	help     string
+	kind     Kind
+	labels   []string
+	buckets  []float64 // histograms only
+	volatile bool      // sampled at scrape; excluded from DumpDeterministic
+
+	mu       sync.Mutex
+	children map[string]*child
+	fn       func() float64 // volatile gauge callback
+}
+
+// child is one labeled instrument's state. Counters and histogram fields are
+// atomics so concurrent fan-out goroutines never contend on a lock.
+type child struct {
+	labelVals []string
+	count     atomic.Int64  // counter value
+	bits      atomic.Uint64 // gauge float64 bits
+	hcounts   []atomic.Int64
+	hsum      atomic.Int64 // fixed-point: value * 1e9, rounded
+	hcount    atomic.Int64
+}
+
+// register installs (or re-finds) a family. Re-registration with the same
+// shape returns the existing family; a shape mismatch panics — two call sites
+// disagreeing about an instrument is a programming error, not a runtime
+// condition.
+func (r *Registry) register(name, help string, kind Kind, labels []string, buckets []float64, volatile bool, fn func() float64) *family {
+	if !nameRe.MatchString(name) {
+		panic(fmt.Sprintf("obs: invalid metric name %q", name))
+	}
+	for _, l := range labels {
+		if !nameRe.MatchString(l) {
+			panic(fmt.Sprintf("obs: invalid label name %q on %q", l, name))
+		}
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if f, ok := r.fams[name]; ok {
+		if f.kind != kind || len(f.labels) != len(labels) {
+			panic(fmt.Sprintf("obs: metric %q re-registered with a different shape", name))
+		}
+		for i := range labels {
+			if f.labels[i] != labels[i] {
+				panic(fmt.Sprintf("obs: metric %q re-registered with different labels", name))
+			}
+		}
+		return f
+	}
+	f := &family{
+		name:     name,
+		help:     help,
+		kind:     kind,
+		labels:   append([]string(nil), labels...),
+		buckets:  append([]float64(nil), buckets...),
+		volatile: volatile,
+		children: map[string]*child{},
+		fn:       fn,
+	}
+	r.fams[name] = f
+	return f
+}
+
+// childKey joins label values unambiguously.
+func childKey(values []string) string { return strings.Join(values, "\x00") }
+
+func (f *family) child(values []string) *child {
+	if len(values) != len(f.labels) {
+		panic(fmt.Sprintf("obs: metric %q wants %d label values, got %d", f.name, len(f.labels), len(values)))
+	}
+	key := childKey(values)
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	c, ok := f.children[key]
+	if !ok {
+		c = &child{labelVals: append([]string(nil), values...)}
+		if f.kind == KindHistogram {
+			c.hcounts = make([]atomic.Int64, len(f.buckets)+1)
+		}
+		f.children[key] = c
+	}
+	return c
+}
+
+// Counter is a monotonically increasing integer instrument.
+type Counter struct{ c *child }
+
+// Inc adds one.
+func (c *Counter) Inc() { c.Add(1) }
+
+// Add adds n (negative deltas are ignored: counters only go up).
+func (c *Counter) Add(n int) {
+	if c == nil || c.c == nil || n <= 0 {
+		return
+	}
+	c.c.count.Add(int64(n))
+}
+
+// Value reads the current count (0 for nil).
+func (c *Counter) Value() int64 {
+	if c == nil || c.c == nil {
+		return 0
+	}
+	return c.c.count.Load()
+}
+
+// Gauge is a settable float instrument.
+type Gauge struct{ c *child }
+
+// Set stores v.
+func (g *Gauge) Set(v float64) {
+	if g == nil || g.c == nil {
+		return
+	}
+	g.c.bits.Store(math.Float64bits(v))
+}
+
+// Add adds d (CAS loop; safe for concurrent adders).
+func (g *Gauge) Add(d float64) {
+	if g == nil || g.c == nil {
+		return
+	}
+	for {
+		old := g.c.bits.Load()
+		next := math.Float64bits(math.Float64frombits(old) + d)
+		if g.c.bits.CompareAndSwap(old, next) {
+			return
+		}
+	}
+}
+
+// Value reads the gauge (0 for nil).
+func (g *Gauge) Value() float64 {
+	if g == nil || g.c == nil {
+		return 0
+	}
+	return math.Float64frombits(g.c.bits.Load())
+}
+
+// Histogram is a fixed-bucket distribution instrument. Observations
+// accumulate into cumulative bucket counts plus a fixed-point sum, so
+// concurrent observers yield order-independent state.
+type Histogram struct {
+	f *family
+	c *child
+}
+
+// Observe records one sample.
+func (h *Histogram) Observe(v float64) {
+	if h == nil || h.c == nil {
+		return
+	}
+	i := sort.SearchFloat64s(h.f.buckets, v) // first bucket with upper bound >= v
+	h.c.hcounts[i].Add(1)
+	h.c.hcount.Add(1)
+	h.c.hsum.Add(int64(math.Round(v * 1e9)))
+}
+
+// Count returns the total number of observations.
+func (h *Histogram) Count() int64 {
+	if h == nil || h.c == nil {
+		return 0
+	}
+	return h.c.hcount.Load()
+}
+
+// Sum returns the sum of all observed values.
+func (h *Histogram) Sum() float64 {
+	if h == nil || h.c == nil {
+		return 0
+	}
+	return float64(h.c.hsum.Load()) / 1e9
+}
+
+// CounterVec is a labeled counter family.
+type CounterVec struct{ f *family }
+
+// With returns the child counter for the given label values, creating it on
+// first use.
+func (v *CounterVec) With(values ...string) *Counter {
+	if v == nil || v.f == nil {
+		return nil
+	}
+	return &Counter{c: v.f.child(values)}
+}
+
+// GaugeVec is a labeled gauge family.
+type GaugeVec struct{ f *family }
+
+// With returns the child gauge for the given label values.
+func (v *GaugeVec) With(values ...string) *Gauge {
+	if v == nil || v.f == nil {
+		return nil
+	}
+	return &Gauge{c: v.f.child(values)}
+}
+
+// HistogramVec is a labeled histogram family.
+type HistogramVec struct{ f *family }
+
+// With returns the child histogram for the given label values.
+func (v *HistogramVec) With(values ...string) *Histogram {
+	if v == nil || v.f == nil {
+		return nil
+	}
+	return &Histogram{f: v.f, c: v.f.child(values)}
+}
+
+// Counter registers (or finds) an unlabeled counter.
+func (r *Registry) Counter(name, help string) *Counter {
+	if r == nil {
+		return nil
+	}
+	f := r.register(name, help, KindCounter, nil, nil, false, nil)
+	return &Counter{c: f.child(nil)}
+}
+
+// CounterVec registers (or finds) a labeled counter family.
+func (r *Registry) CounterVec(name, help string, labels ...string) *CounterVec {
+	if r == nil {
+		return nil
+	}
+	return &CounterVec{f: r.register(name, help, KindCounter, labels, nil, false, nil)}
+}
+
+// Gauge registers (or finds) an unlabeled gauge.
+func (r *Registry) Gauge(name, help string) *Gauge {
+	if r == nil {
+		return nil
+	}
+	f := r.register(name, help, KindGauge, nil, nil, false, nil)
+	return &Gauge{c: f.child(nil)}
+}
+
+// GaugeVec registers (or finds) a labeled gauge family.
+func (r *Registry) GaugeVec(name, help string, labels ...string) *GaugeVec {
+	if r == nil {
+		return nil
+	}
+	return &GaugeVec{f: r.register(name, help, KindGauge, labels, nil, false, nil)}
+}
+
+// GaugeFunc registers a gauge sampled by calling fn at scrape time. Sampled
+// gauges are volatile: they appear in WritePrometheus but not in
+// DumpDeterministic, because their values (goroutine counts, heap bytes)
+// cannot reproduce across runs. fn must be safe to call from the scrape
+// goroutine.
+func (r *Registry) GaugeFunc(name, help string, fn func() float64) {
+	if r == nil || fn == nil {
+		return
+	}
+	r.register(name, help, KindGauge, nil, nil, true, fn)
+}
+
+// Histogram registers (or finds) an unlabeled fixed-bucket histogram.
+// Buckets are the cumulative upper bounds, ascending; +Inf is implicit.
+func (r *Registry) Histogram(name, help string, buckets []float64) *Histogram {
+	if r == nil {
+		return nil
+	}
+	f := r.register(name, help, KindHistogram, nil, buckets, false, nil)
+	return &Histogram{f: f, c: f.child(nil)}
+}
+
+// HistogramVec registers (or finds) a labeled histogram family.
+func (r *Registry) HistogramVec(name, help string, buckets []float64, labels ...string) *HistogramVec {
+	if r == nil {
+		return nil
+	}
+	return &HistogramVec{f: r.register(name, help, KindHistogram, labels, buckets, false, nil)}
+}
+
+// ExpBuckets returns n exponential bucket bounds starting at start, each
+// factor times the previous.
+func ExpBuckets(start, factor float64, n int) []float64 {
+	out := make([]float64, n)
+	v := start
+	for i := range out {
+		out[i] = v
+		v *= factor
+	}
+	return out
+}
+
+// DurationBuckets is the default latency histogram layout: 10µs to ~2.6min
+// in powers of four — wide enough for both a sub-millisecond warm LP solve
+// and a multi-second journal fsync stall.
+var DurationBuckets = ExpBuckets(1e-5, 4, 12)
+
+// labelEscaper escapes Prometheus label values.
+var labelEscaper = strings.NewReplacer(`\`, `\\`, `"`, `\"`, "\n", `\n`)
+
+// formatValue renders a float without exponent noise for integral values.
+func formatValue(v float64) string {
+	if v == math.Trunc(v) && math.Abs(v) < 1e15 {
+		return fmt.Sprintf("%d", int64(v))
+	}
+	return fmt.Sprintf("%g", v)
+}
+
+func labelPairs(names, values []string, extra ...string) string {
+	if len(names) == 0 && len(extra) == 0 {
+		return ""
+	}
+	var b strings.Builder
+	b.WriteByte('{')
+	first := true
+	emit := func(k, v string) {
+		if !first {
+			b.WriteByte(',')
+		}
+		first = false
+		b.WriteString(k)
+		b.WriteString(`="`)
+		b.WriteString(labelEscaper.Replace(v))
+		b.WriteByte('"')
+	}
+	for i, n := range names {
+		emit(n, values[i])
+	}
+	for i := 0; i+1 < len(extra); i += 2 {
+		emit(extra[i], extra[i+1])
+	}
+	b.WriteByte('}')
+	return b.String()
+}
+
+// WritePrometheus renders every family — volatile collectors included — in
+// text exposition format, families sorted by name and children by label
+// values, so consecutive scrapes of unchanged state are byte-identical.
+func (r *Registry) WritePrometheus(w io.Writer) error {
+	return r.write(w, true)
+}
+
+// DumpDeterministic renders the non-volatile families as exposition text.
+// Under a stub clock this string is a pure function of the instrumented
+// events, so two seeded runs of the same workload produce equal dumps — the
+// reproducibility contract the chaos tests assert.
+func (r *Registry) DumpDeterministic() string {
+	var b strings.Builder
+	r.write(&b, false)
+	return b.String()
+}
+
+func (r *Registry) write(w io.Writer, volatile bool) error {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	names := make([]string, 0, len(r.fams))
+	for n := range r.fams {
+		names = append(names, n)
+	}
+	fams := make([]*family, 0, len(names))
+	sort.Strings(names)
+	for _, n := range names {
+		fams = append(fams, r.fams[n])
+	}
+	r.mu.Unlock()
+
+	for _, f := range fams {
+		if f.volatile && !volatile {
+			continue
+		}
+		if _, err := fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s %s\n", f.name, f.help, f.name, f.kind); err != nil {
+			return err
+		}
+		if f.fn != nil {
+			if _, err := fmt.Fprintf(w, "%s %s\n", f.name, formatValue(f.fn())); err != nil {
+				return err
+			}
+			continue
+		}
+		f.mu.Lock()
+		keys := make([]string, 0, len(f.children))
+		for k := range f.children {
+			keys = append(keys, k)
+		}
+		sort.Strings(keys)
+		kids := make([]*child, 0, len(keys))
+		for _, k := range keys {
+			kids = append(kids, f.children[k])
+		}
+		f.mu.Unlock()
+		for _, c := range kids {
+			if err := writeChild(w, f, c); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+func writeChild(w io.Writer, f *family, c *child) error {
+	switch f.kind {
+	case KindCounter:
+		_, err := fmt.Fprintf(w, "%s%s %d\n", f.name, labelPairs(f.labels, c.labelVals), c.count.Load())
+		return err
+	case KindGauge:
+		_, err := fmt.Fprintf(w, "%s%s %s\n", f.name, labelPairs(f.labels, c.labelVals), formatValue(math.Float64frombits(c.bits.Load())))
+		return err
+	case KindHistogram:
+		cum := int64(0)
+		for i, ub := range f.buckets {
+			cum += c.hcounts[i].Load()
+			if _, err := fmt.Fprintf(w, "%s_bucket%s %d\n", f.name, labelPairs(f.labels, c.labelVals, "le", fmt.Sprintf("%g", ub)), cum); err != nil {
+				return err
+			}
+		}
+		cum += c.hcounts[len(f.buckets)].Load()
+		if _, err := fmt.Fprintf(w, "%s_bucket%s %d\n", f.name, labelPairs(f.labels, c.labelVals, "le", "+Inf"), cum); err != nil {
+			return err
+		}
+		if _, err := fmt.Fprintf(w, "%s_sum%s %s\n", f.name, labelPairs(f.labels, c.labelVals), formatValue(float64(c.hsum.Load())/1e9)); err != nil {
+			return err
+		}
+		_, err := fmt.Fprintf(w, "%s_count%s %d\n", f.name, labelPairs(f.labels, c.labelVals), c.hcount.Load())
+		return err
+	}
+	return nil
+}

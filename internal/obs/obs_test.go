@@ -1,0 +1,216 @@
+package obs
+
+import (
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestNilSafety(t *testing.T) {
+	var r *Registry
+	c := r.Counter("x_total", "h")
+	c.Inc()
+	c.Add(5)
+	if c.Value() != 0 {
+		t.Fatal("nil counter should read 0")
+	}
+	g := r.Gauge("x", "h")
+	g.Set(3)
+	g.Add(1)
+	if g.Value() != 0 {
+		t.Fatal("nil gauge should read 0")
+	}
+	h := r.Histogram("x_seconds", "h", DurationBuckets)
+	h.Observe(1)
+	if h.Count() != 0 || h.Sum() != 0 {
+		t.Fatal("nil histogram should read 0")
+	}
+	r.CounterVec("v_total", "h", "k").With("a").Inc()
+	r.GaugeVec("vg", "h", "k").With("a").Set(1)
+	r.HistogramVec("vh", "h", nil, "k").With("a").Observe(1)
+	r.GaugeFunc("fn", "h", func() float64 { return 1 })
+	if r.DumpDeterministic() != "" {
+		t.Fatal("nil registry dump should be empty")
+	}
+	if err := r.WritePrometheus(&strings.Builder{}); err != nil {
+		t.Fatal(err)
+	}
+	r.SetClock(time.Now)
+	if !r.Now().IsZero() || r.Since(time.Now()) != 0 {
+		t.Fatal("nil registry clock should be zero")
+	}
+
+	var p *Plane
+	if p.Registry() != nil || p.Tracer() != nil {
+		t.Fatal("nil plane components should be nil")
+	}
+	p.SetClock(time.Now)
+
+	var m *LPMetrics
+	m.RecordSolve("warm", "l", 1, 0, 0, 0, m.Start())
+}
+
+func TestCounterGaugeExposition(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("gavel_rounds_total", "Rounds sealed.")
+	c.Add(3)
+	v := r.CounterVec("gavel_admission_decisions_total", "Decisions.", "action")
+	v.With("shed").Add(2)
+	v.With("refuse").Inc()
+	g := r.Gauge("gavel_jobs_resident", "Jobs resident.")
+	g.Set(17)
+	out := r.DumpDeterministic()
+	for _, want := range []string{
+		"# TYPE gavel_rounds_total counter",
+		"gavel_rounds_total 3",
+		`gavel_admission_decisions_total{action="refuse"} 1`,
+		`gavel_admission_decisions_total{action="shed"} 2`,
+		"gavel_jobs_resident 17",
+	} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("missing %q in:\n%s", want, out)
+		}
+	}
+	// Families sorted by name: admission before jobs before rounds.
+	ai := strings.Index(out, "gavel_admission_decisions_total")
+	ji := strings.Index(out, "gavel_jobs_resident")
+	ri := strings.Index(out, "gavel_rounds_total")
+	if !(ai < ji && ji < ri) {
+		t.Fatalf("families not sorted:\n%s", out)
+	}
+	// Children sorted by label values: refuse before shed.
+	if !(strings.Index(out, `action="refuse"`) < strings.Index(out, `action="shed"`)) {
+		t.Fatalf("children not sorted:\n%s", out)
+	}
+}
+
+func TestHistogramExposition(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("lat_seconds", "Latency.", []float64{0.1, 1})
+	h.Observe(0.05)
+	h.Observe(0.5)
+	h.Observe(0.5)
+	h.Observe(5)
+	out := r.DumpDeterministic()
+	for _, want := range []string{
+		`lat_seconds_bucket{le="0.1"} 1`,
+		`lat_seconds_bucket{le="1"} 3`,
+		`lat_seconds_bucket{le="+Inf"} 4`,
+		"lat_seconds_sum 6.05",
+		"lat_seconds_count 4",
+	} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("missing %q in:\n%s", want, out)
+		}
+	}
+	if h.Count() != 4 || h.Sum() != 6.05 {
+		t.Fatalf("count=%d sum=%v", h.Count(), h.Sum())
+	}
+	// Boundary lands in the bucket whose upper bound equals it (le is <=).
+	h2 := r.Histogram("edge_seconds", "h", []float64{1})
+	h2.Observe(1)
+	if !strings.Contains(r.DumpDeterministic(), `edge_seconds_bucket{le="1"} 1`) {
+		t.Fatal("boundary observation should count in le=1")
+	}
+}
+
+func TestVolatileExcludedFromDeterministicDump(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("stable_total", "h").Inc()
+	r.GaugeFunc("go_goroutines", "h", func() float64 { return 42 })
+	det := r.DumpDeterministic()
+	if strings.Contains(det, "go_goroutines") {
+		t.Fatalf("volatile family leaked into deterministic dump:\n%s", det)
+	}
+	var full strings.Builder
+	if err := r.WritePrometheus(&full); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(full.String(), "go_goroutines 42") {
+		t.Fatalf("volatile family missing from full exposition:\n%s", full.String())
+	}
+}
+
+func TestReRegistrationIdempotent(t *testing.T) {
+	r := NewRegistry()
+	a := r.Counter("x_total", "h")
+	b := r.Counter("x_total", "h")
+	a.Inc()
+	b.Inc()
+	if a.Value() != 2 || b.Value() != 2 {
+		t.Fatal("re-registration should share state")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("shape mismatch should panic")
+		}
+	}()
+	r.Gauge("x_total", "h")
+}
+
+// Concurrent increments from many goroutines must sum deterministically —
+// the property that lets shard fan-out goroutines share one LPMetrics.
+func TestConcurrentDeterminism(t *testing.T) {
+	run := func() string {
+		r := NewRegistry()
+		c := r.Counter("n_total", "h")
+		h := r.Histogram("d_seconds", "h", []float64{0.5, 1, 2})
+		var wg sync.WaitGroup
+		for g := 0; g < 8; g++ {
+			wg.Add(1)
+			go func(g int) {
+				defer wg.Done()
+				for i := 0; i < 1000; i++ {
+					c.Add(g + 1)
+					h.Observe(float64(i%4) * 0.6)
+				}
+			}(g)
+		}
+		wg.Wait()
+		return r.DumpDeterministic()
+	}
+	a, b := run(), run()
+	if a != b {
+		t.Fatalf("concurrent runs diverged:\n%s\n---\n%s", a, b)
+	}
+}
+
+func TestInjectableClock(t *testing.T) {
+	r := NewRegistry()
+	now := time.Unix(1000, 0)
+	r.SetClock(func() time.Time { return now })
+	start := r.Now()
+	now = now.Add(250 * time.Millisecond)
+	if got := r.Since(start); got != 0.25 {
+		t.Fatalf("Since = %v, want 0.25", got)
+	}
+	m := NewLPMetrics(r)
+	st := m.Start()
+	now = now.Add(time.Second)
+	m.RecordSolve("warm", "maxmin", 10, 2, 3, 1, st)
+	out := r.DumpDeterministic()
+	for _, want := range []string{
+		`gavel_lp_solves_total{kind="warm"} 1`,
+		`gavel_lp_solves_total{kind="cold"} 0`,
+		"gavel_lp_iterations_total 10",
+		"gavel_lp_dual_iterations_total 2",
+		"gavel_lp_presolve_reductions_total 3",
+		"gavel_lp_refactorizations_total 1",
+		`gavel_lp_label_solves_total{label="maxmin"} 1`,
+		"gavel_lp_solve_seconds_sum 1\n",
+	} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("missing %q in:\n%s", want, out)
+		}
+	}
+}
+
+func TestLabelEscaping(t *testing.T) {
+	r := NewRegistry()
+	r.CounterVec("x_total", "h", "k").With("a\"b\\c\nd").Inc()
+	out := r.DumpDeterministic()
+	if !strings.Contains(out, `x_total{k="a\"b\\c\nd"} 1`) {
+		t.Fatalf("bad escaping:\n%s", out)
+	}
+}

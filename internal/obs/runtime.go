@@ -1,0 +1,47 @@
+package obs
+
+import (
+	"runtime"
+	"sync"
+	"time"
+)
+
+// memSampler caches one runtime.ReadMemStats per short window so the four
+// heap/GC gauges below don't each stop the world on the same scrape.
+type memSampler struct {
+	mu   sync.Mutex
+	at   time.Time
+	stat runtime.MemStats
+}
+
+func (m *memSampler) read() runtime.MemStats {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if now := time.Now(); now.Sub(m.at) > 250*time.Millisecond {
+		runtime.ReadMemStats(&m.stat)
+		m.at = now
+	}
+	return m.stat
+}
+
+// RegisterRuntimeMetrics installs the Go runtime self-metrics every daemon
+// exports: goroutine count, heap in use, GC pause totals. All are volatile
+// (sampled at scrape time) and therefore excluded from deterministic dumps.
+func RegisterRuntimeMetrics(r *Registry) {
+	if r == nil {
+		return
+	}
+	ms := &memSampler{}
+	r.GaugeFunc("go_goroutines", "Number of live goroutines.", func() float64 {
+		return float64(runtime.NumGoroutine())
+	})
+	r.GaugeFunc("go_heap_inuse_bytes", "Bytes of heap memory in use.", func() float64 {
+		return float64(ms.read().HeapInuse)
+	})
+	r.GaugeFunc("go_gc_pause_seconds_total", "Cumulative stop-the-world GC pause time.", func() float64 {
+		return float64(ms.read().PauseTotalNs) / 1e9
+	})
+	r.GaugeFunc("go_gc_cycles_total", "Completed GC cycles.", func() float64 {
+		return float64(ms.read().NumGC)
+	})
+}

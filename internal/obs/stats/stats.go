@@ -1,6 +1,7 @@
-// Package metrics provides the small statistics helpers the experiment
+// Package stats provides the small statistics helpers the experiment
 // harness uses: means, percentiles, and CDF summaries over job metrics.
-package metrics
+// (Re-homed from internal/metrics when the obs telemetry plane landed.)
+package stats
 
 import (
 	"math"
@@ -20,7 +21,15 @@ func Mean(v []float64) float64 {
 }
 
 // Percentile returns the p-th percentile (0..100) using nearest-rank on a
-// sorted copy. NaN for empty input.
+// sorted copy: the smallest element whose cumulative fraction is >= p/100,
+// i.e. s[ceil(p*N/100) - 1]. NaN for empty input.
+//
+// The rank is computed multiply-first (p*N before the /100): the
+// division-first form p/100*N puts the rounding error of p/100 in front of
+// the multiply, so e.g. p=55 over 20 elements yields 11.000000000000002,
+// ceils to 12, and returns the wrong element. With multiply-first, p=50
+// over 2 elements is exactly rank 1 → the lower element, consistent with
+// the documented rule.
 func Percentile(v []float64, p float64) float64 {
 	if len(v) == 0 {
 		return math.NaN()
@@ -33,9 +42,12 @@ func Percentile(v []float64, p float64) float64 {
 	if p >= 100 {
 		return s[len(s)-1]
 	}
-	rank := int(math.Ceil(p/100*float64(len(s)))) - 1
+	rank := int(math.Ceil(p*float64(len(s))/100)) - 1
 	if rank < 0 {
 		rank = 0
+	}
+	if rank >= len(s) {
+		rank = len(s) - 1
 	}
 	return s[rank]
 }

@@ -1,0 +1,153 @@
+package stats
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestMean(t *testing.T) {
+	if Mean([]float64{1, 2, 3}) != 2 {
+		t.Fatal("Mean")
+	}
+	if !math.IsNaN(Mean(nil)) {
+		t.Fatal("Mean(nil) should be NaN")
+	}
+}
+
+func TestPercentile(t *testing.T) {
+	v := []float64{5, 1, 4, 2, 3}
+	if Percentile(v, 0) != 1 || Percentile(v, 100) != 5 {
+		t.Fatal("extremes")
+	}
+	if Median(v) != 3 {
+		t.Fatalf("median = %v", Median(v))
+	}
+	if !math.IsNaN(Percentile(nil, 50)) {
+		t.Fatal("empty percentile should be NaN")
+	}
+	// Input must not be mutated (sorted copy).
+	if v[0] != 5 {
+		t.Fatal("Percentile mutated input")
+	}
+}
+
+// Nearest-rank edges: p=50 over 2 elements is rank ceil(1.0)=1 → the lower
+// element, per the documented rule.
+func TestPercentileNearestRankEdges(t *testing.T) {
+	if got := Percentile([]float64{10, 20}, 50); got != 10 {
+		t.Fatalf("p50 of {10,20} = %v, want 10 (lower element)", got)
+	}
+	if got := Percentile([]float64{10, 20}, 51); got != 20 {
+		t.Fatalf("p51 of {10,20} = %v, want 20", got)
+	}
+	// p=55 over 20 elements: 55*20/100 = 11 exactly → rank 11 → s[10].
+	// The old division-first formula computed ceil(11.000000000000002)=12
+	// and returned s[11].
+	v := make([]float64, 20)
+	for i := range v {
+		v[i] = float64(i + 1)
+	}
+	if got := Percentile(v, 55); got != 11 {
+		t.Fatalf("p55 of 1..20 = %v, want 11", got)
+	}
+	// Same float hazard at p=30, N=10: 0.3*10 = 3.0000000000000004
+	// division-first; multiply-first is exactly 3 → s[2].
+	v10 := make([]float64, 10)
+	for i := range v10 {
+		v10[i] = float64(i + 1)
+	}
+	if got := Percentile(v10, 30); got != 3 {
+		t.Fatalf("p30 of 1..10 = %v, want 3", got)
+	}
+}
+
+func TestStdDev(t *testing.T) {
+	if StdDev([]float64{2, 2, 2}) != 0 {
+		t.Fatal("constant stddev")
+	}
+	got := StdDev([]float64{1, 3})
+	if math.Abs(got-1) > 1e-12 {
+		t.Fatalf("stddev = %v, want 1", got)
+	}
+}
+
+func TestCDF(t *testing.T) {
+	pts := CDF([]float64{4, 1, 3, 2}, 4)
+	if len(pts) != 4 {
+		t.Fatalf("len = %d", len(pts))
+	}
+	if pts[3].Value != 4 || pts[3].Fraction != 1 {
+		t.Fatalf("last point %+v", pts[3])
+	}
+	for i := 1; i < len(pts); i++ {
+		if pts[i].Value < pts[i-1].Value || pts[i].Fraction < pts[i-1].Fraction {
+			t.Fatal("CDF not monotone")
+		}
+	}
+	if CDF(nil, 5) != nil {
+		t.Fatal("empty CDF")
+	}
+}
+
+// Property: percentiles are monotone in p and bounded by min/max.
+func TestPropertyPercentileMonotone(t *testing.T) {
+	f := func(v []float64) bool {
+		if len(v) == 0 {
+			return true
+		}
+		for _, x := range v {
+			if math.IsNaN(x) {
+				return true
+			}
+		}
+		prev := math.Inf(-1)
+		for p := 0.0; p <= 100; p += 10 {
+			cur := Percentile(v, p)
+			if cur < prev {
+				return false
+			}
+			prev = cur
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: Percentile(v, p) always equals s[ceil(p*N/100)-1] computed with
+// integer arithmetic when p is integral — the float formula must agree with
+// the exact rule.
+func TestPropertyPercentileExactRank(t *testing.T) {
+	f := func(raw []float64, pRaw uint8) bool {
+		if len(raw) == 0 {
+			return true
+		}
+		for _, x := range raw {
+			if math.IsNaN(x) {
+				return true
+			}
+		}
+		p := int(pRaw%99) + 1 // 1..99
+		got := Percentile(raw, float64(p))
+		s := append([]float64(nil), raw...)
+		sortFloats(s)
+		rank := (p*len(s) + 99) / 100 // ceil with ints
+		if rank < 1 {
+			rank = 1
+		}
+		return got == s[rank-1]
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func sortFloats(s []float64) {
+	for i := 1; i < len(s); i++ {
+		for j := i; j > 0 && s[j] < s[j-1]; j-- {
+			s[j], s[j-1] = s[j-1], s[j]
+		}
+	}
+}

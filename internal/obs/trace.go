@@ -1,0 +1,272 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+)
+
+// RoundTrace mints the deterministic trace ID for a scheduling round. The
+// coordinator stamps it on every wire call it fans out for that round, so a
+// span anywhere in the deployment joins back to the round that caused it.
+func RoundTrace(round int64) string {
+	return fmt.Sprintf("round-%06d", round)
+}
+
+// Span is one completed timed operation, tagged with the round trace it
+// belongs to. Attrs is a flat string map so JSON output is stable (Go
+// marshals map keys sorted).
+type Span struct {
+	Trace   string            `json:"trace,omitempty"`
+	Name    string            `json:"name"`
+	Shard   int               `json:"shard,omitempty"`
+	StartNs int64             `json:"start_ns"`
+	DurNs   int64             `json:"dur_ns"`
+	Err     string            `json:"err,omitempty"`
+	Attrs   map[string]string `json:"attrs,omitempty"`
+}
+
+// Tracer records spans into a bounded ring buffer and, optionally, an
+// append-only JSONL writer. A nil *Tracer no-ops everywhere, so call sites
+// trace unconditionally. Recording draws nothing from any rand stream; under
+// a stub clock (SetClock) span timings are reproducible.
+type Tracer struct {
+	mu    sync.Mutex
+	now   func() time.Time
+	ring  []Span
+	next  int
+	full  bool
+	total int64
+	w     io.Writer
+	werr  error
+}
+
+// DefaultRingSpans is the trace ring capacity when no knob overrides it.
+const DefaultRingSpans = 4096
+
+// NewTracer returns a tracer with a ring of the given capacity (values < 1
+// fall back to DefaultRingSpans).
+func NewTracer(capacity int) *Tracer {
+	if capacity < 1 {
+		capacity = DefaultRingSpans
+	}
+	return &Tracer{now: time.Now, ring: make([]Span, capacity)}
+}
+
+// SetClock replaces the tracer's clock; deterministic tests install a stub.
+func (t *Tracer) SetClock(fn func() time.Time) {
+	if t == nil || fn == nil {
+		return
+	}
+	t.mu.Lock()
+	t.now = fn
+	t.mu.Unlock()
+}
+
+// SetWriter attaches a JSONL sink: every recorded span is marshaled and
+// appended as one line. Write errors are sticky and silence the sink — a
+// full disk must not take the scheduler down with it.
+func (t *Tracer) SetWriter(w io.Writer) {
+	if t == nil {
+		return
+	}
+	t.mu.Lock()
+	t.w = w
+	t.werr = nil
+	t.mu.Unlock()
+}
+
+// Record appends a finished span to the ring (and the JSONL sink, if set).
+func (t *Tracer) Record(sp Span) {
+	if t == nil {
+		return
+	}
+	t.mu.Lock()
+	t.ring[t.next] = sp
+	t.next++
+	if t.next == len(t.ring) {
+		t.next = 0
+		t.full = true
+	}
+	t.total++
+	if t.w != nil && t.werr == nil {
+		line, err := json.Marshal(sp)
+		if err == nil {
+			line = append(line, '\n')
+			_, err = t.w.Write(line)
+		}
+		t.werr = err
+	}
+	t.mu.Unlock()
+}
+
+// Total returns the number of spans recorded over the tracer's lifetime
+// (including ones the ring has since evicted).
+func (t *Tracer) Total() int64 {
+	if t == nil {
+		return 0
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.total
+}
+
+// Spans returns the ring's contents oldest-first.
+func (t *Tracer) Spans() []Span {
+	if t == nil {
+		return nil
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if !t.full {
+		return append([]Span(nil), t.ring[:t.next]...)
+	}
+	out := make([]Span, 0, len(t.ring))
+	out = append(out, t.ring[t.next:]...)
+	out = append(out, t.ring[:t.next]...)
+	return out
+}
+
+// WriteJSONL renders the ring oldest-first, one span per line.
+func (t *Tracer) WriteJSONL(w io.Writer) error {
+	for _, sp := range t.Spans() {
+		line, err := json.Marshal(sp)
+		if err != nil {
+			return err
+		}
+		line = append(line, '\n')
+		if _, err := w.Write(line); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// ActiveSpan is an in-flight span started by Begin. Methods on a nil
+// *ActiveSpan no-op, so tracing code never branches on whether a tracer is
+// attached.
+type ActiveSpan struct {
+	t     *Tracer
+	start time.Time
+	sp    Span
+}
+
+// Begin starts a span; finish it with End. Returns nil when the tracer is
+// nil.
+func (t *Tracer) Begin(trace, name string) *ActiveSpan {
+	if t == nil {
+		return nil
+	}
+	t.mu.Lock()
+	now := t.now()
+	t.mu.Unlock()
+	return &ActiveSpan{t: t, start: now, sp: Span{Trace: trace, Name: name, StartNs: now.UnixNano()}}
+}
+
+// Shard tags the span with a shard index.
+func (a *ActiveSpan) OnShard(shard int) *ActiveSpan {
+	if a != nil {
+		a.sp.Shard = shard
+	}
+	return a
+}
+
+// Attr attaches a key/value attribute.
+func (a *ActiveSpan) Attr(k, v string) *ActiveSpan {
+	if a == nil {
+		return nil
+	}
+	if a.sp.Attrs == nil {
+		a.sp.Attrs = map[string]string{}
+	}
+	a.sp.Attrs[k] = v
+	return a
+}
+
+// AttrInt attaches an integer attribute.
+func (a *ActiveSpan) AttrInt(k string, v int64) *ActiveSpan {
+	return a.Attr(k, fmt.Sprintf("%d", v))
+}
+
+// End completes the span, stamping its duration and error, and records it.
+func (a *ActiveSpan) End(err error) {
+	if a == nil {
+		return
+	}
+	a.t.mu.Lock()
+	now := a.t.now()
+	a.t.mu.Unlock()
+	a.sp.DurNs = now.Sub(a.start).Nanoseconds()
+	if err != nil {
+		a.sp.Err = err.Error()
+	}
+	a.t.Record(a.sp)
+}
+
+// CountSpans groups the ring's spans by name (a test helper for the
+// no-double-count assertions, and the /statusz trace summary).
+func (t *Tracer) CountSpans() map[string]int {
+	out := map[string]int{}
+	for _, sp := range t.Spans() {
+		out[sp.Name]++
+	}
+	return out
+}
+
+// SummarizeSpans renders a sorted name→count table for /statusz.
+func (t *Tracer) SummarizeSpans() string {
+	counts := t.CountSpans()
+	names := make([]string, 0, len(counts))
+	for n := range counts {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	var b strings.Builder
+	for _, n := range names {
+		fmt.Fprintf(&b, "%-28s %d\n", n, counts[n])
+	}
+	return b.String()
+}
+
+// Plane bundles the registry and tracer that ride together through every
+// layer. A nil *Plane (observability off) yields nil components, which are
+// themselves no-ops — the whole plane costs a few nil checks when disabled.
+type Plane struct {
+	Reg *Registry
+	Tr  *Tracer
+}
+
+// NewPlane returns a plane with a fresh registry and a default-capacity
+// tracer.
+func NewPlane() *Plane {
+	return &Plane{Reg: NewRegistry(), Tr: NewTracer(DefaultRingSpans)}
+}
+
+// Registry returns the plane's registry (nil for a nil plane).
+func (p *Plane) Registry() *Registry {
+	if p == nil {
+		return nil
+	}
+	return p.Reg
+}
+
+// Tracer returns the plane's tracer (nil for a nil plane).
+func (p *Plane) Tracer() *Tracer {
+	if p == nil {
+		return nil
+	}
+	return p.Tr
+}
+
+// SetClock stubs both components' clocks at once.
+func (p *Plane) SetClock(fn func() time.Time) {
+	if p == nil {
+		return
+	}
+	p.Reg.SetClock(fn)
+	p.Tr.SetClock(fn)
+}

@@ -1,0 +1,111 @@
+package obs
+
+import (
+	"errors"
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestRoundTrace(t *testing.T) {
+	if RoundTrace(7) != "round-000007" {
+		t.Fatalf("RoundTrace(7) = %q", RoundTrace(7))
+	}
+	if RoundTrace(7) != RoundTrace(7) || RoundTrace(7) == RoundTrace(8) {
+		t.Fatal("RoundTrace must be deterministic and distinct per round")
+	}
+}
+
+func TestTracerNilSafety(t *testing.T) {
+	var tr *Tracer
+	tr.Record(Span{Name: "x"})
+	tr.SetClock(time.Now)
+	tr.SetWriter(&strings.Builder{})
+	if tr.Total() != 0 || tr.Spans() != nil {
+		t.Fatal("nil tracer should be empty")
+	}
+	sp := tr.Begin("round-000001", "x")
+	if sp != nil {
+		t.Fatal("nil tracer Begin should return nil")
+	}
+	sp.OnShard(1).Attr("k", "v").AttrInt("n", 2).End(nil)
+	if err := tr.WriteJSONL(&strings.Builder{}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTracerRingEviction(t *testing.T) {
+	tr := NewTracer(3)
+	for i := 0; i < 5; i++ {
+		tr.Record(Span{Name: "s", StartNs: int64(i)})
+	}
+	got := tr.Spans()
+	if len(got) != 3 || tr.Total() != 5 {
+		t.Fatalf("ring len=%d total=%d", len(got), tr.Total())
+	}
+	for i, sp := range got {
+		if sp.StartNs != int64(i+2) {
+			t.Fatalf("ring not oldest-first: %+v", got)
+		}
+	}
+}
+
+func TestSpanLifecycleWithStubClock(t *testing.T) {
+	tr := NewTracer(8)
+	now := time.Unix(100, 0)
+	tr.SetClock(func() time.Time { return now })
+	sp := tr.Begin(RoundTrace(3), "shard.allocate").OnShard(2).AttrInt("jobs", 40)
+	now = now.Add(5 * time.Millisecond)
+	sp.End(errors.New("boom"))
+	spans := tr.Spans()
+	if len(spans) != 1 {
+		t.Fatalf("spans = %d", len(spans))
+	}
+	got := spans[0]
+	if got.Trace != "round-000003" || got.Name != "shard.allocate" || got.Shard != 2 {
+		t.Fatalf("span = %+v", got)
+	}
+	if got.DurNs != (5 * time.Millisecond).Nanoseconds() {
+		t.Fatalf("dur = %d", got.DurNs)
+	}
+	if got.Attrs["jobs"] != "40" || got.Err != "boom" {
+		t.Fatalf("span = %+v", got)
+	}
+}
+
+func TestTracerJSONL(t *testing.T) {
+	var sink strings.Builder
+	tr := NewTracer(4)
+	tr.SetClock(func() time.Time { return time.Unix(1, 0) })
+	tr.SetWriter(&sink)
+	tr.Begin(RoundTrace(1), "journal.commit").AttrInt("bytes", 128).End(nil)
+	line := sink.String()
+	if !strings.Contains(line, `"trace":"round-000001"`) || !strings.Contains(line, `"name":"journal.commit"`) {
+		t.Fatalf("jsonl = %q", line)
+	}
+	if !strings.HasSuffix(line, "\n") {
+		t.Fatal("jsonl line must end in newline")
+	}
+	var ring strings.Builder
+	if err := tr.WriteJSONL(&ring); err != nil {
+		t.Fatal(err)
+	}
+	if ring.String() != line {
+		t.Fatalf("ring jsonl %q != sink %q", ring.String(), line)
+	}
+}
+
+func TestSummarizeSpans(t *testing.T) {
+	tr := NewTracer(8)
+	tr.Record(Span{Name: "b"})
+	tr.Record(Span{Name: "a"})
+	tr.Record(Span{Name: "a"})
+	s := tr.SummarizeSpans()
+	ai, bi := strings.Index(s, "a"), strings.Index(s, "b")
+	if ai < 0 || bi < 0 || ai > bi {
+		t.Fatalf("summary = %q", s)
+	}
+	if tr.CountSpans()["a"] != 2 {
+		t.Fatalf("counts = %v", tr.CountSpans())
+	}
+}

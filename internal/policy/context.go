@@ -2,8 +2,10 @@ package policy
 
 import (
 	"sort"
+	"time"
 
 	"gavel/internal/lp"
+	"gavel/internal/obs"
 )
 
 // SolveContext carries per-policy state across Allocate calls so a reset
@@ -51,6 +53,11 @@ type SolveContext struct {
 	// lp.PresolveOn, lp.PresolveOff, or lp.PresolveAuto (the default) to
 	// follow lp.DefaultPresolve (GAVEL_LP_PRESOLVE).
 	Presolve lp.PresolveMode
+	// Metrics, when non-nil, receives every solve as live telemetry series
+	// (obs.LPMetrics) in addition to the Stats aggregates. The bundle's
+	// instruments are atomic, so shard contexts running in parallel
+	// goroutines may share one.
+	Metrics *obs.LPMetrics
 
 	// ws is the lazily created scratch arena shared by every revised-engine
 	// solve issued through this context, eliminating per-solve allocation of
@@ -82,6 +89,7 @@ type SolveStats struct {
 
 	PresolveReductions int // presolve row/column/bound reductions across all solves
 	DualIterations     int // dual-simplex repair iterations across all solves
+	Refactorizations   int // revised-engine basis LU refactorizations across all solves
 
 	// Labels breaks Iterations/DualIterations/PresolveReductions down by the
 	// policy-chosen solve label, so multi-LP policies (e.g. the fairness
@@ -276,11 +284,42 @@ func (c *SolveContext) record(key string, ids []lp.ColumnID, res *lp.Result) {
 	}
 }
 
+// solveKind classifies a result for the live-series kind label.
+func solveKind(res *lp.Result) string {
+	switch {
+	case res.Remapped:
+		return "remap"
+	case res.WarmStarted:
+		return "warm"
+	}
+	return "cold"
+}
+
+// emit feeds one completed solve into the live metrics bundle (no-op when
+// Metrics is nil). Dense fallbacks additionally count under kind=fallback.
+func (c *SolveContext) emit(key string, res *lp.Result, start time.Time) {
+	if c.Metrics == nil || res == nil {
+		return
+	}
+	c.Metrics.RecordSolve(solveKind(res), key, res.Iterations, res.DualIterations,
+		res.PresolveReductions, res.Refactorizations, start)
+	if res.Engine == lp.Dense {
+		selected := c.Engine
+		if selected == lp.EngineAuto {
+			selected = lp.DefaultEngine
+		}
+		if selected == lp.Revised {
+			c.Metrics.Solves.With("fallback").Inc()
+		}
+	}
+}
+
 // recordCounters folds the presolve/dual accounting of one result into the
 // aggregate and per-label stats.
 func (c *SolveContext) recordCounters(key string, res *lp.Result) {
 	c.Stats.PresolveReductions += res.PresolveReductions
 	c.Stats.DualIterations += res.DualIterations
+	c.Stats.Refactorizations += res.Refactorizations
 	if c.Stats.Labels == nil {
 		c.Stats.Labels = map[string]LabelStats{}
 	}
@@ -335,6 +374,7 @@ func (c *SolveContext) Solve(key string, p *lp.Problem, ids []lp.ColumnID) (*lp.
 	c.Stats.Solves++
 	c.apply(p)
 	prev, mapped := c.seed(key, ids, p.NumConstraints())
+	start := c.Metrics.Start()
 	var res *lp.Result
 	var err error
 	switch {
@@ -351,6 +391,7 @@ func (c *SolveContext) Solve(key string, p *lp.Problem, ids []lp.ColumnID) (*lp.
 		return res, err
 	}
 	c.record(key, ids, res)
+	c.emit(key, res, start)
 	return res, nil
 }
 
@@ -369,6 +410,7 @@ func (c *SolveContext) SolveCold(p *lp.Problem) (*lp.Result, error) {
 	}
 	c.Stats.Solves++
 	c.apply(p)
+	start := c.Metrics.Start()
 	res, err := p.Solve()
 	if err != nil {
 		return res, err
@@ -377,6 +419,7 @@ func (c *SolveContext) SolveCold(p *lp.Problem) (*lp.Result, error) {
 	c.Stats.Pivots += res.Pivots
 	c.recordCounters("cold", res)
 	c.recordEngine(res)
+	c.emit("cold", res, start)
 	return res, nil
 }
 
@@ -407,6 +450,7 @@ func (c *SolveContext) SolveFractional(key string, f *lp.Fractional, ids []lp.Co
 	// The transformed LP has one row per constraint plus the denominator
 	// normalization row.
 	prev, mapped := c.seed(key, tids, len(f.Cons)+1)
+	start := c.Metrics.Start()
 	var x []float64
 	var ratio float64
 	var res *lp.Result
@@ -423,6 +467,7 @@ func (c *SolveContext) SolveFractional(key string, f *lp.Fractional, ids []lp.Co
 	}
 	if res != nil {
 		c.record(key, tids, res)
+		c.emit(key, res, start)
 	}
 	return x, ratio, err
 }

@@ -22,6 +22,8 @@ import (
 	"math"
 	"sort"
 	"sync"
+
+	"gavel/internal/obs"
 )
 
 // submission tracks one client-submitted job through its lifecycle.
@@ -133,6 +135,12 @@ type ingress struct {
 	overloadRounds int   // consecutive rounds the global queue sat above ShedQueueDepth
 
 	decisions []AdmissionDecision
+
+	// dec counts every admission decision by action
+	// (gavel_admission_decisions_total{action}); incremented at the same
+	// choke point that feeds the decision log, including during journal
+	// replay, so post-resume counters match the rebuilt ingress state.
+	dec *obs.CounterVec
 }
 
 func newIngress(cfg AdmissionConfig, numTypes int) *ingress {
@@ -164,6 +172,47 @@ func (ing *ingress) tenantLocked(name string, round int64) *tenantState {
 func (ing *ingress) decideLocked(round int64, tenant, key, action, detail string) {
 	ing.decisions = append(ing.decisions, AdmissionDecision{
 		Round: round, Tenant: tenant, Key: key, Action: action, Detail: detail,
+	})
+	ing.dec.With(action).Inc()
+}
+
+// setObs registers the submission plane's instruments: the decision counters
+// (children pre-registered at zero so scrapes see the full action
+// vocabulary) and scrape-time gauges over the queue. The gauge closures take
+// ing.mu themselves — the ingress is the concurrent-safe part of the
+// Service, so sampling live state here is sound.
+func (ing *ingress) setObs(p *obs.Plane) {
+	if ing == nil || p == nil {
+		return
+	}
+	reg := p.Registry()
+	dec := reg.CounterVec("gavel_admission_decisions_total", "Admission-control decisions by action.", "action")
+	for _, a := range []string{"refuse", "shed", "quarantine", "abandon"} {
+		dec.With(a)
+	}
+	ing.mu.Lock()
+	ing.dec = dec
+	ing.mu.Unlock()
+	reg.GaugeFunc("gavel_ingress_queue_depth", "Submissions waiting in the ingress queue.", func() float64 {
+		ing.mu.Lock()
+		defer ing.mu.Unlock()
+		return float64(len(ing.queue))
+	})
+	reg.GaugeFunc("gavel_ingress_tenants", "Tenants that have contacted the coordinator.", func() float64 {
+		ing.mu.Lock()
+		defer ing.mu.Unlock()
+		return float64(len(ing.tenants))
+	})
+	reg.GaugeFunc("gavel_ingress_quarantined_tenants", "Tenants currently quarantined by the trust review.", func() float64 {
+		ing.mu.Lock()
+		defer ing.mu.Unlock()
+		n := 0
+		for _, t := range ing.tenants {
+			if t.quarantined {
+				n++
+			}
+		}
+		return float64(n)
 	})
 }
 

@@ -29,6 +29,7 @@ import (
 	"sync"
 
 	"gavel/internal/core"
+	"gavel/internal/obs"
 	"gavel/internal/policy"
 )
 
@@ -169,6 +170,30 @@ type journal struct {
 	mu sync.Mutex
 	f  *os.File
 	w  *bufio.Writer
+
+	// Telemetry (setObs): append/commit counters, appended bytes, and the
+	// fsync latency histogram — the signal that shows a slow disk stalling
+	// round seals.
+	reg      *obs.Registry
+	appends  *obs.Counter
+	commits  *obs.Counter
+	bytes    *obs.Counter
+	fsyncSec *obs.Histogram
+}
+
+// setObs registers the journal's instruments on the plane's registry.
+func (j *journal) setObs(p *obs.Plane) {
+	if j == nil || p == nil {
+		return
+	}
+	reg := p.Registry()
+	j.mu.Lock()
+	j.reg = reg
+	j.appends = reg.Counter("gavel_journal_appends_total", "Records appended to the write-ahead journal.")
+	j.commits = reg.Counter("gavel_journal_fsyncs_total", "Journal commit batches fsynced (one per sealed round).")
+	j.bytes = reg.Counter("gavel_journal_bytes_total", "Framed bytes appended to the journal.")
+	j.fsyncSec = reg.Histogram("gavel_journal_fsync_seconds", "Flush+fsync latency per journal commit.", obs.DurationBuckets)
+	j.mu.Unlock()
 }
 
 // openJournal opens (or creates) the log at path, replays every intact
@@ -262,6 +287,8 @@ func (j *journal) append(rec *journalRecord) error {
 	if _, err := j.w.Write(buf.Bytes()); err != nil {
 		return fmt.Errorf("rpc: append journal record: %w", err)
 	}
+	j.appends.Inc()
+	j.bytes.Add(8 + buf.Len())
 	return nil
 }
 
@@ -270,12 +297,15 @@ func (j *journal) append(rec *journalRecord) error {
 func (j *journal) commit() error {
 	j.mu.Lock()
 	defer j.mu.Unlock()
+	start := j.reg.Now()
 	if err := j.w.Flush(); err != nil {
 		return fmt.Errorf("rpc: flush journal: %w", err)
 	}
 	if err := j.f.Sync(); err != nil {
 		return fmt.Errorf("rpc: fsync journal: %w", err)
 	}
+	j.commits.Inc()
+	j.fsyncSec.Observe(j.reg.Since(start))
 	return nil
 }
 

@@ -18,6 +18,8 @@ import (
 	"os"
 	"strconv"
 	"time"
+
+	"gavel/internal/obs"
 )
 
 // DefaultCallTimeout bounds one control-plane call when GAVEL_RPC_TIMEOUT is
@@ -41,6 +43,12 @@ type CallPolicy struct {
 	// policy's first use deterministically — the zero value is still
 	// deterministic, which the chaos tests rely on).
 	JitterSeed int64
+	// Obs, when non-nil, counts every call outcome
+	// (gavel_rpc_calls_total{method,outcome}) and every re-send
+	// (gavel_rpc_retries_total{method}), and records one "rpc.retry" span
+	// per backoff sleep. Metrics never affect the retry schedule or the
+	// jitter stream, so enabling them cannot perturb determinism.
+	Obs *obs.Plane
 }
 
 // IsZero reports whether the policy disables both deadlines and retries.
@@ -87,6 +95,10 @@ type retryClient struct {
 	pol   CallPolicy
 	rng   *rand.Rand
 	sleep func(time.Duration) // injectable for tests
+
+	tr      *obs.Tracer
+	calls   *obs.CounterVec // method, outcome
+	retries *obs.CounterVec // method
 }
 
 // WithRetry layers the policy's retry loop over a shard client. A zero
@@ -94,7 +106,7 @@ type retryClient struct {
 // only (IsTransient); every other error — including CodeShardDown — surfaces
 // immediately. Extract and Close are never retried.
 func WithRetry(c ShardClient, pol CallPolicy) ShardClient {
-	if pol.Retries <= 0 {
+	if pol.Retries <= 0 && pol.Obs == nil {
 		return c
 	}
 	if pol.Backoff <= 0 {
@@ -103,26 +115,48 @@ func WithRetry(c ShardClient, pol CallPolicy) ShardClient {
 	if pol.MaxBackoff < pol.Backoff {
 		pol.MaxBackoff = pol.Backoff
 	}
-	return &retryClient{
+	rc := &retryClient{
 		inner: c,
 		pol:   pol,
 		rng:   rand.New(rand.NewSource(pol.JitterSeed ^ 0x67617665)), // "gave"
 		sleep: time.Sleep,
 	}
+	if pol.Obs != nil {
+		reg := pol.Obs.Registry()
+		rc.tr = pol.Obs.Tracer()
+		rc.calls = reg.CounterVec("gavel_rpc_calls_total", "Control-plane calls by method and outcome.", "method", "outcome")
+		rc.retries = reg.CounterVec("gavel_rpc_retries_total", "Transient-failure re-sends by method.", "method")
+		// Pre-register the retry children CI greps for, so the series
+		// exists at zero before the first fault.
+		for _, m := range []string{"Allocate", "AssignRound", "Install", "Remove", "Observe", "ObserveJob", "Snapshot", "Status", "Ping"} {
+			rc.retries.With(m)
+		}
+	}
+	return rc
 }
 
 // retry runs op up to 1+Retries times, backing off with jitter between
 // transient failures.
-func (c *retryClient) retry(op func() error) error {
+func (c *retryClient) retry(method string, op func() error) error {
 	backoff := c.pol.Backoff
 	var err error
 	for attempt := 0; ; attempt++ {
 		err = op()
-		if err == nil || !IsTransient(CodeOf(err)) || attempt >= c.pol.Retries {
+		if err == nil {
+			c.calls.With(method, "ok").Inc()
+			return nil
+		}
+		if !IsTransient(CodeOf(err)) || attempt >= c.pol.Retries {
+			c.calls.With(method, "error").Inc()
 			return err
 		}
+		c.calls.With(method, "transient").Inc()
+		c.retries.With(method).Inc()
 		d := backoff/2 + time.Duration(c.rng.Int63n(int64(backoff/2)+1))
+		sp := c.tr.Begin("", "rpc.retry").Attr("method", method).
+			AttrInt("attempt", int64(attempt+1)).AttrInt("backoff_ms", d.Milliseconds())
 		c.sleep(d)
+		sp.End(err)
 		if backoff *= 2; backoff > c.pol.MaxBackoff {
 			backoff = c.pol.MaxBackoff
 		}
@@ -131,7 +165,7 @@ func (c *retryClient) retry(op func() error) error {
 
 func (c *retryClient) Hello(args HelloArgs) (HelloReply, error) {
 	var reply HelloReply
-	err := c.retry(func() error {
+	err := c.retry("Hello", func() error {
 		var e error
 		reply, e = c.inner.Hello(args)
 		return e
@@ -140,15 +174,15 @@ func (c *retryClient) Hello(args HelloArgs) (HelloReply, error) {
 }
 
 func (c *retryClient) Configure(cfg ShardConfig) error {
-	return c.retry(func() error { return c.inner.Configure(cfg) })
+	return c.retry("Configure", func() error { return c.inner.Configure(cfg) })
 }
 
 func (c *retryClient) Install(args InstallArgs) error {
-	return c.retry(func() error { return c.inner.Install(args) })
+	return c.retry("Install", func() error { return c.inner.Install(args) })
 }
 
 func (c *retryClient) Remove(args RemoveArgs) error {
-	return c.retry(func() error { return c.inner.Remove(args) })
+	return c.retry("Remove", func() error { return c.inner.Remove(args) })
 }
 
 // Extract is deliberately not retried: it is the one non-idempotent call on
@@ -160,7 +194,7 @@ func (c *retryClient) Extract(args ExtractArgs) (ExtractReply, error) {
 
 func (c *retryClient) Allocate(args AllocateArgs) (AllocateReply, error) {
 	var reply AllocateReply
-	err := c.retry(func() error {
+	err := c.retry("Allocate", func() error {
 		var e error
 		reply, e = c.inner.Allocate(args)
 		return e
@@ -170,7 +204,7 @@ func (c *retryClient) Allocate(args AllocateArgs) (AllocateReply, error) {
 
 func (c *retryClient) AssignRound(args AssignRoundArgs) (AssignRoundReply, error) {
 	var reply AssignRoundReply
-	err := c.retry(func() error {
+	err := c.retry("AssignRound", func() error {
 		var e error
 		reply, e = c.inner.AssignRound(args)
 		return e
@@ -179,16 +213,16 @@ func (c *retryClient) AssignRound(args AssignRoundArgs) (AssignRoundReply, error
 }
 
 func (c *retryClient) Observe(args ObserveArgs) error {
-	return c.retry(func() error { return c.inner.Observe(args) })
+	return c.retry("Observe", func() error { return c.inner.Observe(args) })
 }
 
 func (c *retryClient) ObserveJob(args ObserveJobArgs) error {
-	return c.retry(func() error { return c.inner.ObserveJob(args) })
+	return c.retry("ObserveJob", func() error { return c.inner.ObserveJob(args) })
 }
 
 func (c *retryClient) Snapshot() (SnapshotReply, error) {
 	var reply SnapshotReply
-	err := c.retry(func() error {
+	err := c.retry("Snapshot", func() error {
 		var e error
 		reply, e = c.inner.Snapshot()
 		return e
@@ -198,7 +232,7 @@ func (c *retryClient) Snapshot() (SnapshotReply, error) {
 
 func (c *retryClient) Status() (ShardStatus, error) {
 	var reply ShardStatus
-	err := c.retry(func() error {
+	err := c.retry("Status", func() error {
 		var e error
 		reply, e = c.inner.Status()
 		return e
@@ -207,7 +241,7 @@ func (c *retryClient) Status() (ShardStatus, error) {
 }
 
 func (c *retryClient) Ping() error {
-	return c.retry(func() error { return c.inner.Ping() })
+	return c.retry("Ping", func() error { return c.inner.Ping() })
 }
 
 func (c *retryClient) Close() error { return c.inner.Close() }

@@ -7,11 +7,15 @@ package rpc
 // is rejected with CodeVersionMismatch instead of garbling state.
 
 import (
+	"fmt"
 	"net"
 	gorpc "net/rpc"
 	"sort"
+	"strings"
 	"sync"
 	"time"
+
+	"gavel/internal/obs"
 )
 
 // RegisterArgs announces a worker to the scheduler.
@@ -105,6 +109,12 @@ type Scheduler struct {
 	clock func() time.Time
 
 	srv *tcpServer
+
+	// Telemetry (SetObs; nil instruments no-op when observability is off).
+	leases   *obs.Counter // gavel_leases_granted_total
+	empties  *obs.Counter // gavel_leases_empty_total
+	expiries *obs.Counter // gavel_lease_expiries_total
+	reports  *obs.Counter // gavel_step_reports_total
 }
 
 type workerState struct {
@@ -134,6 +144,66 @@ func NewScheduler(roundSeconds float64) *Scheduler {
 		jobs:         map[int]*jobClientState{},
 		clock:        time.Now,
 	}
+}
+
+// SetObs registers the lease plane's instruments: lease grant/empty/expiry
+// counters, throughput-report counter, and live worker/runnable-job gauges
+// (sampled at scrape time under the scheduler's own lock).
+func (s *Scheduler) SetObs(p *obs.Plane) {
+	if s == nil || p == nil {
+		return
+	}
+	reg := p.Registry()
+	s.mu.Lock()
+	s.leases = reg.Counter("gavel_leases_granted_total", "Micro-task leases granted to workers.")
+	s.empties = reg.Counter("gavel_leases_empty_total", "Lease requests answered with no work.")
+	s.expiries = reg.Counter("gavel_lease_expiries_total", "Leases expired because the holder went silent for a round.")
+	s.reports = reg.Counter("gavel_step_reports_total", "Worker throughput reports folded into job progress.")
+	s.mu.Unlock()
+	reg.GaugeFunc("gavel_workers_registered", "Workers registered with the lease plane.", func() float64 {
+		s.mu.Lock()
+		defer s.mu.Unlock()
+		return float64(len(s.workers))
+	})
+	reg.GaugeFunc("gavel_jobs_runnable", "Jobs submitted to the lease plane and not yet done.", func() float64 {
+		s.mu.Lock()
+		defer s.mu.Unlock()
+		n := 0
+		for _, j := range s.jobs {
+			if !j.done {
+				n++
+			}
+		}
+		return float64(n)
+	})
+}
+
+// StatusText renders the lease plane's worker and job tables for /statusz.
+// Safe for concurrent use.
+func (s *Scheduler) StatusText() string {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	var b strings.Builder
+	fmt.Fprintf(&b, "workers %d  jobs %d\n", len(s.workers), len(s.jobs))
+	ids := make([]int, 0, len(s.workers))
+	for id := range s.workers {
+		ids = append(ids, id)
+	}
+	sort.Ints(ids)
+	for _, id := range ids {
+		w := s.workers[id]
+		fmt.Fprintf(&b, "worker %d  type %s  server %s  leased job %d\n", w.id, w.accType, w.server, w.current)
+	}
+	jids := make([]int, 0, len(s.jobs))
+	for id := range s.jobs {
+		jids = append(jids, id)
+	}
+	sort.Ints(jids)
+	for _, id := range jids {
+		j := s.jobs[id]
+		fmt.Fprintf(&b, "job %d  steps %.0f/%.0f  done %v\n", id, j.steps, j.spec.TotalSteps, j.done)
+	}
+	return b.String()
 }
 
 // SetLeaseSource installs a lease policy, replacing the built-in
@@ -264,6 +334,7 @@ func (s *Scheduler) expireLeases() {
 	for _, w := range s.workers {
 		if w.current >= 0 && now.Sub(w.leaseAt) > s.leaseTTL() {
 			w.current = -1
+			s.expiries.Inc()
 		}
 	}
 }
@@ -319,9 +390,11 @@ func (r *schedulerRPC) LeaseMicroTask(args LeaseArgs, reply *Lease) error {
 	if s.source != nil {
 		ids := s.source.NextLease(w.id, w.accType, w.server)
 		if len(ids) == 0 {
+			s.empties.Inc()
 			*reply = Lease{Empty: true, RoundSeconds: s.roundSeconds}
 			return nil
 		}
+		s.leases.Inc()
 		w.current = ids[0]
 		w.leaseAt = s.clock()
 		if j, ok := s.jobs[ids[0]]; ok {
@@ -357,6 +430,7 @@ func (r *schedulerRPC) LeaseMicroTask(args LeaseArgs, reply *Lease) error {
 		cands = append(cands, cand{id: id, recv: total})
 	}
 	if len(cands) == 0 {
+		s.empties.Inc()
 		*reply = Lease{Empty: true, RoundSeconds: s.roundSeconds}
 		return nil
 	}
@@ -367,6 +441,7 @@ func (r *schedulerRPC) LeaseMicroTask(args LeaseArgs, reply *Lease) error {
 		return cands[a].id < cands[b].id
 	})
 	pick := cands[0].id
+	s.leases.Inc()
 	w.current = pick
 	w.leaseAt = s.clock()
 	s.jobs[pick].received[w.accType] += s.roundSeconds
@@ -395,6 +470,7 @@ func (r *schedulerRPC) ReportThroughput(rep ThroughputReport, _ *Ack) error {
 	if w.current == rep.JobID {
 		w.leaseAt = s.clock()
 	}
+	s.reports.Inc()
 	j.measured[w.accType] = rep.StepsPerSecond
 	j.steps += rep.StepsPerSecond * s.roundSeconds
 	if j.steps >= j.spec.TotalSteps {

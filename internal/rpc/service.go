@@ -6,6 +6,7 @@ import (
 	"gavel/internal/cluster"
 	"gavel/internal/core"
 	"gavel/internal/lp"
+	"gavel/internal/obs"
 	"gavel/internal/policy"
 	"gavel/internal/scheduler"
 )
@@ -61,6 +62,13 @@ type ServiceConfig struct {
 	// declared-vs-measured trust review; see service_submit.go). Nil keeps
 	// the legacy driver-admitted batch behavior byte-identical.
 	Admission *AdmissionConfig
+	// Obs, when non-nil, registers the coordinator's telemetry: service
+	// counters and gauges, journal and admission instruments, and the
+	// per-round trace IDs stamped onto every control-plane call (see
+	// serviceobs.go). Nil disables all of it at the cost of nil checks;
+	// metrics never influence a scheduling decision, so enabling them cannot
+	// perturb determinism.
+	Obs *obs.Plane
 }
 
 // defaultStaleAfter is the StaleAfterRounds default: long enough to ride out
@@ -177,6 +185,13 @@ type Service struct {
 	// ingress has its own mutex: Submit/Withdraw/Poll are the one
 	// concurrent-safe surface of the Service.
 	ing *ingress
+
+	// Telemetry plane (all-nil instruments when ServiceConfig.Obs is nil;
+	// see serviceobs.go). curTrace is the trace ID stamped on every
+	// control-plane call until the next round seal — obs.RoundTrace of the
+	// round currently being built.
+	tel      serviceObs
+	curTrace string
 }
 
 // NewService validates the config, splits the cluster across the clients,
@@ -209,6 +224,7 @@ func NewService(cfg ServiceConfig, clients []ShardClient) (*Service, error) {
 		split:      split,
 		shardOf:    map[int]int{},
 		staleAfter: cfg.StaleAfterRounds,
+		curTrace:   obs.RoundTrace(1),
 	}
 	if s.staleAfter <= 0 {
 		s.staleAfter = defaultStaleAfter
@@ -263,6 +279,7 @@ func NewService(cfg ServiceConfig, clients []ShardClient) (*Service, error) {
 				return nil, err
 			}
 			s.resumed = true
+			s.curTrace = obs.RoundTrace(s.round + 1)
 			if err := s.reconcile(); err != nil {
 				j.f.Close()
 				return nil, err
@@ -283,6 +300,8 @@ func NewService(cfg ServiceConfig, clients []ShardClient) (*Service, error) {
 			}
 		}
 	}
+	s.setObs(cfg.Obs)
+	s.syncObs()
 	return s, nil
 }
 
@@ -442,6 +461,7 @@ func (s *Service) reconcile() error {
 				Tput:        m.tput[id],
 				Seeds:       m.seeds,
 				Migrated:    true,
+				Trace:       s.curTrace,
 			}
 			args.Pairs = s.pairRows(m, id, args.ScaleFactor)
 			if err := m.client.Install(args); err != nil {
@@ -458,7 +478,7 @@ func (s *Service) reconcile() error {
 			if _, ok := m.jobPos[id]; ok {
 				continue
 			}
-			if err := m.client.Remove(RemoveArgs{JobID: id}); err != nil {
+			if err := m.client.Remove(RemoveArgs{JobID: id, Trace: s.curTrace}); err != nil {
 				if err = s.downOrErr(m, err); err != nil {
 					return err
 				}
@@ -576,14 +596,22 @@ func (s *Service) EndRound(r int64) error {
 	s.roundDegraded = false
 	if degraded {
 		s.degradedRounds++
+		s.tel.degraded.Inc()
 	}
+	s.tel.rounds.Inc()
+	// Calls landing between this seal and the next belong to round r+1.
+	s.curTrace = obs.RoundTrace(r + 1)
+	defer s.syncObs()
 	if s.j == nil {
 		return nil
 	}
 	if err := s.j.append(&journalRecord{Kind: recRound, Round: r, Degraded: degraded}); err != nil {
 		return err
 	}
-	return s.j.commit()
+	sp := s.tel.tr.Begin(obs.RoundTrace(r), "journal.commit")
+	err := s.j.commit()
+	sp.End(err)
+	return err
 }
 
 // Alloc returns shard k's mirrored allocation and the job IDs it was
@@ -624,6 +652,8 @@ func (s *Service) markDown(m *shardMirror) error {
 		return nil
 	}
 	s.applyDown(m)
+	s.tel.tr.Begin(s.curTrace, "coord.shard_down").OnShard(m.index).End(nil)
+	s.syncObs()
 	return s.record(&journalRecord{Kind: recDown, Shard: m.index})
 }
 
@@ -672,6 +702,8 @@ func (s *Service) degradeAlloc(m *shardMirror) error {
 	m.staleRounds++
 	m.staleAllocs++
 	s.roundDegraded = true
+	s.tel.tr.Begin(s.curTrace, "coord.degrade_alloc").OnShard(m.index).
+		AttrInt("stale_rounds", int64(m.staleRounds)).End(nil)
 	if err := s.record(&journalRecord{Kind: recDegrade, Shard: m.index}); err != nil {
 		return err
 	}
@@ -753,6 +785,7 @@ func (s *Service) pairRows(m *shardMirror, id, scaleFactor int) []PairRows {
 // daemons hold; a crash between ack and append re-runs as an idempotent
 // re-install during reconcile).
 func (s *Service) install(m *shardMirror, args InstallArgs, reason installReason) error {
+	args.Trace = s.curTrace
 	args.Pairs = s.pairRows(m, args.JobID, args.ScaleFactor)
 	if err := m.client.Install(args); err != nil {
 		return err
@@ -844,7 +877,7 @@ func (s *Service) Remove(id int) error {
 	}
 	m := s.shards[k]
 	if !m.down {
-		if err := s.downOrErr(m, m.client.Remove(RemoveArgs{JobID: id})); err != nil {
+		if err := s.downOrErr(m, m.client.Remove(RemoveArgs{JobID: id, Trace: s.curTrace})); err != nil {
 			return err
 		}
 	}
@@ -857,8 +890,11 @@ func (s *Service) Remove(id int) error {
 // with Migrated set books MigratedIn and imports the seeds only when the
 // destination has none — the exact in-process AdoptSeedsFrom gate, evaluated
 // daemon-side.
-func (s *Service) migrate(id int, from, to *shardMirror) error {
-	rep, err := from.client.Extract(ExtractArgs{JobID: id})
+func (s *Service) migrate(id int, from, to *shardMirror) (err error) {
+	sp := s.tel.tr.Begin(s.curTrace, "coord.migrate").AttrInt("job", int64(id)).
+		AttrInt("from", int64(from.index)).AttrInt("to", int64(to.index))
+	defer func() { sp.End(err) }()
+	rep, err := from.client.Extract(ExtractArgs{JobID: id, Trace: s.curTrace})
 	if err != nil {
 		if IsTransient(CodeOf(err)) {
 			// Extract is the one non-idempotent call on the surface: a lost
@@ -872,6 +908,7 @@ func (s *Service) migrate(id int, from, to *shardMirror) error {
 				Tput:        from.tput[id],
 				Seeds:       from.seeds,
 				Migrated:    true,
+				Trace:       s.curTrace,
 			}
 			args.Pairs = s.pairRows(from, id, args.ScaleFactor)
 			if rerr := from.client.Install(args); rerr != nil {
@@ -907,6 +944,7 @@ func (s *Service) migrate(id int, from, to *shardMirror) error {
 		}
 	}
 	s.migrations++
+	s.tel.migrations.Inc()
 	return nil
 }
 
@@ -961,6 +999,7 @@ func (s *Service) Rebalance() ([]cluster.Migration, error) {
 	}
 	if len(migs) > 0 {
 		s.rebalances++
+		s.tel.rebalances.Inc()
 		if err := s.record(&journalRecord{Kind: recRebalance}); err != nil {
 			return migs, err
 		}
@@ -995,8 +1034,11 @@ func (s *Service) AllocateAll(round int64, info func(id int) policy.JobInfo, for
 		wg.Add(1)
 		go func(k int, m *shardMirror, args AllocateArgs) {
 			defer wg.Done()
+			sp := s.tel.tr.Begin(args.Trace, "coord.allocate").OnShard(k).
+				AttrInt("jobs", int64(len(args.Infos)))
 			slots[k].rep, slots[k].err = m.client.Allocate(args)
-		}(k, m, AllocateArgs{Round: round, Infos: infos})
+			sp.End(slots[k].err)
+		}(k, m, AllocateArgs{Round: round, Infos: infos, Trace: obs.RoundTrace(round)})
 	}
 	wg.Wait()
 	for k, m := range s.shards {
@@ -1062,9 +1104,12 @@ func (s *Service) AssignRound(round int64, roundSeconds float64, skip func(id in
 		wg.Add(1)
 		go func(k int, m *shardMirror, args AssignRoundArgs) {
 			defer wg.Done()
+			sp := s.tel.tr.Begin(args.Trace, "coord.assign").OnShard(k).
+				AttrInt("skip", int64(len(args.SkipJobs)))
 			rep, err := m.client.AssignRound(args)
+			sp.End(err)
 			perShard[k], errs[k] = rep.Assigns, err
-		}(k, m, AssignRoundArgs{Round: round, RoundSeconds: roundSeconds, SkipJobs: skipIDs})
+		}(k, m, AssignRoundArgs{Round: round, RoundSeconds: roundSeconds, SkipJobs: skipIDs, Trace: obs.RoundTrace(round)})
 	}
 	wg.Wait()
 	for k, m := range s.shards {
@@ -1115,7 +1160,7 @@ func (s *Service) Observe(k int, obs []PairObservation) error {
 	if m.down || len(obs) == 0 {
 		return nil
 	}
-	return s.degradeOrErr(m, m.client.Observe(ObserveArgs{Obs: obs}))
+	return s.degradeOrErr(m, m.client.Observe(ObserveArgs{Obs: obs, Trace: s.curTrace}))
 }
 
 // SnapshotAll pulls every live shard's recovery snapshot — warm seeds plus
@@ -1204,6 +1249,7 @@ func (s *Service) Recover() ([]cluster.Migration, error) {
 			}
 			s.applyRemove(dead.index, id)
 			s.recoveries++
+			s.tel.recoveries.Inc()
 			migs = append(migs, cluster.Migration{Job: id, From: dead.index, To: to.index})
 		}
 	}

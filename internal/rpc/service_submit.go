@@ -316,7 +316,7 @@ func (s *Service) applyClamps(clamps []jobClamp, push bool) error {
 			m.dirty = true
 		}
 		if push && !m.down {
-			if err := s.degradeOrErr(m, m.client.ObserveJob(ObserveJobArgs{JobID: cl.jobID, Tput: cl.tput})); err != nil {
+			if err := s.degradeOrErr(m, m.client.ObserveJob(ObserveJobArgs{JobID: cl.jobID, Tput: cl.tput, Trace: s.curTrace})); err != nil {
 				return err
 			}
 		}

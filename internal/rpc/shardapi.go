@@ -113,6 +113,10 @@ type PairRows struct {
 // own context has none, mirroring the in-process coordinator's
 // AdoptSeedsFrom gate, so the next solve lands remapped rather than cold.
 type InstallArgs struct {
+	// Trace is the round trace ID minted by the coordinator
+	// (obs.RoundTrace); shards tag their spans with it so per-round traces
+	// join across processes. Empty when observability is off.
+	Trace       string
 	JobID       int
 	ScaleFactor int
 	Tput        []float64
@@ -125,12 +129,20 @@ type InstallArgs struct {
 
 // RemoveArgs drops a completed job.
 type RemoveArgs struct {
+	// Trace is the round trace ID minted by the coordinator
+	// (obs.RoundTrace); shards tag their spans with it so per-round traces
+	// join across processes. Empty when observability is off.
+	Trace string
 	JobID int
 }
 
 // ExtractArgs removes one job for migration, returning its throughput row
 // and the source's warm seeds in the reply.
 type ExtractArgs struct {
+	// Trace is the round trace ID minted by the coordinator
+	// (obs.RoundTrace); shards tag their spans with it so per-round traces
+	// join across processes. Empty when observability is off.
+	Trace string
 	JobID int
 }
 
@@ -149,6 +161,10 @@ type ExtractReply struct {
 // the in-process Shard.Allocate does. Round stamps the request for logging;
 // the protocol itself is synchronous per round.
 type AllocateArgs struct {
+	// Trace is the round trace ID minted by the coordinator
+	// (obs.RoundTrace); shards tag their spans with it so per-round traces
+	// join across processes. Empty when observability is off.
+	Trace string
 	Round int64
 	Infos []policy.JobInfo
 }
@@ -168,6 +184,10 @@ type AllocateReply struct {
 // allocation. SkipJobs lists job IDs that must not run (finished since the
 // allocation was computed).
 type AssignRoundArgs struct {
+	// Trace is the round trace ID minted by the coordinator
+	// (obs.RoundTrace); shards tag their spans with it so per-round traces
+	// join across processes. Empty when observability is off.
+	Trace        string
 	Round        int64
 	RoundSeconds float64
 	SkipJobs     []int
@@ -183,7 +203,11 @@ type AssignRoundReply struct {
 // after a round executes, batched in observation order so the cache replays
 // them exactly as an in-process run would.
 type ObserveArgs struct {
-	Obs []PairObservation
+	// Trace is the round trace ID minted by the coordinator
+	// (obs.RoundTrace); shards tag their spans with it so per-round traces
+	// join across processes. Empty when observability is off.
+	Trace string
+	Obs   []PairObservation
 }
 
 // PairObservation is one measured pair throughput.
@@ -197,6 +221,10 @@ type PairObservation struct {
 // treat it as an advisory idempotent update: unknown job IDs are a no-op, so
 // a push racing a departure is harmless and retries are safe.
 type ObserveJobArgs struct {
+	// Trace is the round trace ID minted by the coordinator
+	// (obs.RoundTrace); shards tag their spans with it so per-round traces
+	// join across processes. Empty when observability is off.
+	Trace string
 	JobID int
 	Tput  []float64
 }

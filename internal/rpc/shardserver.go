@@ -1,11 +1,14 @@
 package rpc
 
 import (
+	"fmt"
 	"net"
 	gorpc "net/rpc"
+	"strings"
 	"sync"
 
 	"gavel/internal/cluster"
+	"gavel/internal/obs"
 	"gavel/internal/policy"
 )
 
@@ -38,6 +41,16 @@ type ShardServer struct {
 	lastAssignRound int64
 	lastAssign      AssignRoundReply
 
+	// Telemetry (SetObs). Server-side spans are recorded only on work that
+	// actually runs: a duplicated or retried Allocate/AssignRound hits the
+	// reply cache above and records a cache-hit counter, never a second
+	// span — that is what keeps span counts honest under at-least-once
+	// delivery.
+	tr     *obs.Tracer
+	lpm    *obs.LPMetrics
+	calls  *obs.CounterVec // gavel_shard_calls_total{method}
+	cached *obs.CounterVec // gavel_shard_cached_replies_total{method}
+
 	srv *tcpServer
 }
 
@@ -46,6 +59,72 @@ const noRound = int64(-1) << 62
 
 // NewShardServer returns an unconfigured shard daemon engine.
 func NewShardServer() *ShardServer { return &ShardServer{} }
+
+// SetObs attaches a telemetry plane: LP solve series feed the shard's solve
+// context, shard-surface call counters and spans are recorded per method,
+// and resident-jobs / open-connections gauges sample live state at scrape
+// time. Safe to call before or after Configure/Serve; a nil plane is a
+// no-op.
+func (s *ShardServer) SetObs(p *obs.Plane) {
+	if p == nil {
+		return
+	}
+	reg := p.Registry()
+	s.mu.Lock()
+	s.tr = p.Tracer()
+	s.lpm = obs.NewLPMetrics(reg)
+	s.calls = reg.CounterVec("gavel_shard_calls_total", "Shard-surface calls served, by method.", "method")
+	s.cached = reg.CounterVec("gavel_shard_cached_replies_total", "Duplicated round calls answered from the reply cache.", "method")
+	if s.shard != nil && s.shard.Ctx != nil {
+		s.shard.Ctx.Metrics = s.lpm
+	}
+	s.mu.Unlock()
+	reg.GaugeFunc("gavel_shard_jobs_resident", "Jobs resident on this shard.", func() float64 {
+		s.mu.Lock()
+		defer s.mu.Unlock()
+		if s.shard == nil {
+			return 0
+		}
+		return float64(s.shard.NumJobs())
+	})
+	reg.GaugeFunc("gavel_open_connections", "Open control-plane TCP connections.", func() float64 {
+		s.mu.Lock()
+		srv := s.srv
+		s.mu.Unlock()
+		if srv == nil {
+			return 0
+		}
+		return float64(srv.numConns())
+	})
+}
+
+// StatusText renders the shard's accounting as a /statusz section. Safe for
+// concurrent scrapes (takes the server mutex).
+func (s *ShardServer) StatusText() string {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.shard == nil {
+		return "unconfigured\n"
+	}
+	st := s.statusLocked(s.shard)
+	var b strings.Builder
+	fmt.Fprintf(&b, "shard %d: %d jobs resident, %d admitted, %d migrated in, %d out\n",
+		st.Index, len(st.Jobs), st.Admitted, st.MigratedIn, st.MigratedOut)
+	fmt.Fprintf(&b, "policy: %d calls, %s total\n", st.PolicyCalls, st.PolicyTime)
+	fmt.Fprintf(&b, "solves: %d (%d warm, %d remapped), %d iterations, %d dual, %d presolve reductions, %d refactorizations\n",
+		st.Solve.Solves, st.Solve.WarmHits, st.Solve.RemapHits,
+		st.Solve.Iterations, st.Solve.DualIterations, st.Solve.PresolveReductions,
+		st.Solve.Refactorizations)
+	return b.String()
+}
+
+// solveIters reads the shard context's iteration counter for span deltas.
+func (s *ShardServer) solveIters(sh *cluster.Shard) int64 {
+	if sh.Ctx == nil {
+		return 0
+	}
+	return int64(sh.Ctx.Stats.Iterations)
+}
 
 // shardServiceName is the net/rpc service name of the shard surface.
 const shardServiceName = "GavelShard"
@@ -117,6 +196,7 @@ func (s *ShardServer) Configure(cfg ShardConfig, _ *Ack) error {
 	var ctx *policy.SolveContext
 	if !cfg.ColdSolves {
 		ctx = policy.NewSolveContextWith(cfg.LP)
+		ctx.Metrics = s.lpm
 	}
 	s.shard = cluster.NewShard(cfg.Index, cfg.WorkerInts, cfg.PerServer, cfg.Prices, ctx)
 	s.pol = pol
@@ -145,8 +225,12 @@ func (s *ShardServer) Install(args InstallArgs, _ *Ack) error {
 		return err
 	}
 	if sh.Has(args.JobID) {
+		s.cached.With("Install").Inc()
 		return nil
 	}
+	s.calls.With("Install").Inc()
+	sp := s.tr.Begin(args.Trace, "shard.install").OnShard(s.cfg.Index).AttrInt("job", int64(args.JobID))
+	defer sp.End(nil)
 	sh.Add(args.JobID, args.ScaleFactor, args.Tput)
 	if args.Migrated {
 		sh.MigratedIn++
@@ -186,6 +270,8 @@ func (s *ShardServer) Extract(args ExtractArgs, reply *ExtractReply) error {
 	if !sh.Has(args.JobID) {
 		return Errorf(CodeUnknownJob, "job %d is not resident on shard %d", args.JobID, s.cfg.Index)
 	}
+	s.calls.With("Extract").Inc()
+	defer s.tr.Begin(args.Trace, "shard.extract").OnShard(s.cfg.Index).AttrInt("job", int64(args.JobID)).End(nil)
 	reply.ScaleFactor = sh.Cache.ScaleFactor(args.JobID)
 	reply.Tput = append([]float64(nil), sh.Cache.JobTput(args.JobID)...)
 	reply.Seeds = sh.Ctx.ExportSeeds()
@@ -204,17 +290,24 @@ func (s *ShardServer) Allocate(args AllocateArgs, reply *AllocateReply) error {
 		return err
 	}
 	if args.Round == s.lastAllocRound {
+		s.cached.With("Allocate").Inc()
 		*reply = s.lastAlloc
 		return nil
 	}
+	s.calls.With("Allocate").Inc()
+	sp := s.tr.Begin(args.Trace, "shard.allocate").OnShard(s.cfg.Index).AttrInt("jobs", int64(sh.NumJobs()))
+	itersBefore := s.solveIters(sh)
 	infos := make(map[int]policy.JobInfo, len(args.Infos))
 	for _, ji := range args.Infos {
 		infos[ji.ID] = ji
 	}
 	info := func(id int) policy.JobInfo { return infos[id] }
 	if err := sh.Allocate(s.pol, s.cfg.PairGainThreshold, s.cfg.MaxPairsPerJob, info); err != nil {
-		return Errorf(CodeInternal, "allocate: %v", err)
+		err = Errorf(CodeInternal, "allocate: %v", err)
+		sp.End(err)
+		return err
 	}
+	sp.AttrInt("iterations", s.solveIters(sh)-itersBefore).End(nil)
 	reply.IDs = append([]int(nil), sh.AllocIDs...)
 	reply.Units = sh.Alloc.Units
 	reply.X = sh.Alloc.X
@@ -234,9 +327,12 @@ func (s *ShardServer) AssignRound(args AssignRoundArgs, reply *AssignRoundReply)
 		return Errorf(CodeNoAllocation, "AssignRound before any Allocate on shard %d", s.cfg.Index)
 	}
 	if args.Round == s.lastAssignRound {
+		s.cached.With("AssignRound").Inc()
 		*reply = s.lastAssign
 		return nil
 	}
+	s.calls.With("AssignRound").Inc()
+	sp := s.tr.Begin(args.Trace, "shard.assign").OnShard(s.cfg.Index).AttrInt("skip", int64(len(args.SkipJobs)))
 	var skip func(id int) bool
 	if len(args.SkipJobs) > 0 {
 		set := make(map[int]bool, len(args.SkipJobs))
@@ -247,8 +343,11 @@ func (s *ShardServer) AssignRound(args AssignRoundArgs, reply *AssignRoundReply)
 	}
 	assigns, err := sh.AssignRound(args.RoundSeconds, skip)
 	if err != nil {
-		return Errorf(CodeInternal, "assign round: %v", err)
+		err = Errorf(CodeInternal, "assign round: %v", err)
+		sp.End(err)
+		return err
 	}
+	sp.AttrInt("assigns", int64(len(assigns))).End(nil)
 	reply.Assigns = assigns
 	s.lastAssignRound, s.lastAssign = args.Round, *reply
 	return nil
@@ -365,6 +464,13 @@ func newTCPServer(ln net.Listener, srv *gorpc.Server) *tcpServer {
 		}
 	}()
 	return t
+}
+
+// numConns reports the live connection count (the open-connections gauge).
+func (t *tcpServer) numConns() int {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return len(t.conns)
 }
 
 func (t *tcpServer) close() error {

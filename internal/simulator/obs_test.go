@@ -1,0 +1,206 @@
+package simulator
+
+// Telemetry-plane acceptance tests: observability must be a pure read-only
+// overlay. (1) Turning the plane on cannot change a seeded chaos run's
+// results by a single byte. (2) Under a stub clock, the deterministic metric
+// dump is a pure function of the seeded workload — two same-seed runs agree
+// exactly. (3) Trace IDs minted by the coordinator survive the chaos
+// transport into the shard daemons, and duplicated deliveries absorbed by
+// the reply cache do not double-count server-side spans.
+
+import (
+	"regexp"
+	"strings"
+	"testing"
+	"time"
+
+	"gavel/internal/chaos"
+	"gavel/internal/cluster"
+	"gavel/internal/obs"
+	"gavel/internal/policy"
+	"gavel/internal/rpc"
+)
+
+// obsChaosConfig is the seeded fault mix shared by the on/off and
+// snapshot-reproducibility tests — drops (exercising retries), duplicates
+// (exercising the reply cache), and delays.
+func obsChaosConfig() chaos.Config {
+	return chaos.Config{
+		Seed: 11, Drop: 0.04, Dup: 0.04, Delay: 0.05, MaxDelay: 100 * time.Microsecond,
+	}
+}
+
+// obsServiceRun executes one service-engine chaos run with an optional
+// telemetry plane attached and returns the result fingerprint.
+func obsServiceRun(t *testing.T, plane *obs.Plane) string {
+	t.Helper()
+	clients := make([]rpc.ShardClient, 2)
+	for k := range clients {
+		_, clients[k] = rpc.NewLocalShard()
+	}
+	cfg := serviceTestConfig(16, clients)
+	cfg.Chaos = obsChaosConfig()
+	cfg.RPC = rpc.CallPolicy{Retries: 5, Backoff: time.Millisecond, JitterSeed: 1}
+	cfg.Obs = plane
+	res, err := Run(cfg)
+	if err != nil {
+		t.Fatalf("chaos run failed: %v", err)
+	}
+	return fingerprint(t, res)
+}
+
+// stubPlane returns a plane whose clock is pinned, so every duration
+// observation is exactly zero and the deterministic dump cannot depend on
+// wall-clock scheduling.
+func stubPlane() *obs.Plane {
+	p := obs.NewPlane()
+	t0 := time.Unix(1700000000, 0)
+	p.SetClock(func() time.Time { return t0 })
+	return p
+}
+
+// TestObsOffOnByteIdentical is the observer-effect acceptance: the same
+// seeded chaos workload lands byte-identical results with the telemetry
+// plane off and on. Metrics and spans may observe every decision; they may
+// influence none.
+func TestObsOffOnByteIdentical(t *testing.T) {
+	off := obsServiceRun(t, nil)
+	on := obsServiceRun(t, stubPlane())
+	if off != on {
+		t.Fatal("attaching the telemetry plane changed a seeded chaos run's results")
+	}
+}
+
+// TestObsSnapshotReproducible is the metrics-determinism acceptance: two
+// same-seed chaos runs, each with a fresh stub-clock plane, produce equal
+// deterministic dumps — counter for counter, bucket for bucket.
+func TestObsSnapshotReproducible(t *testing.T) {
+	p1, p2 := stubPlane(), stubPlane()
+	obsServiceRun(t, p1)
+	obsServiceRun(t, p2)
+	d1 := p1.Registry().DumpDeterministic()
+	d2 := p2.Registry().DumpDeterministic()
+	if d1 == "" {
+		t.Fatal("deterministic dump is empty after an instrumented run")
+	}
+	for _, series := range []string{
+		"gavel_rounds_total",
+		"gavel_rpc_calls_total",
+		"gavel_chaos_faults_total",
+	} {
+		if !strings.Contains(d1, series) {
+			t.Fatalf("deterministic dump is missing %s:\n%s", series, d1)
+		}
+	}
+	if d1 != d2 {
+		t.Fatalf("same seed produced different metric snapshots:\n--- run 1\n%s--- run 2\n%s", d1, d2)
+	}
+}
+
+// TestObsTracePropagationUnderDup drives a journaled Service over chaos
+// transports that duplicate every idempotent call. Coordinator-minted round
+// trace IDs must arrive in the shard daemons' spans, and the duplicated
+// deliveries — absorbed by the idempotent surface and the per-round reply
+// cache — must not create extra server-side spans.
+func TestObsTracePropagationUnderDup(t *testing.T) {
+	const shards, rounds, jobs = 2, 3, 4
+
+	coordPlane := stubPlane()
+	shardPlanes := make([]*obs.Plane, shards)
+	clients := make([]rpc.ShardClient, shards)
+	for k := range clients {
+		srv, inner := rpc.NewLocalShard()
+		shardPlanes[k] = stubPlane()
+		srv.SetObs(shardPlanes[k])
+		tr := chaos.Wrap(inner, chaos.Config{Seed: 7, Dup: 1.0}, k).(*chaos.Transport)
+		tr.SetObs(coordPlane)
+		pol := rpc.CallPolicy{Retries: 3, Backoff: time.Microsecond, JitterSeed: 1, Obs: coordPlane}
+		clients[k] = rpc.WithRetry(tr, pol)
+	}
+
+	svc, err := rpc.NewService(rpc.ServiceConfig{
+		Cluster: cluster.Spec{Types: []cluster.AcceleratorType{
+			{Name: "v100", Count: 4, PricePerHour: cluster.PriceV100, PerServer: 4},
+			{Name: "k80", Count: 4, PricePerHour: cluster.PriceK80, PerServer: 4},
+		}},
+		Policy:  rpc.PolicySpec{Name: "max_min_fairness"},
+		Journal: t.TempDir() + "/obs.wal",
+		Obs:     coordPlane,
+	}, clients)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer svc.Close()
+
+	info := func(id int) policy.JobInfo {
+		return policy.JobInfo{Weight: 1, RemainingSteps: 1000, TotalSteps: 2000, ArrivalSeq: id}
+	}
+	for r := 0; r < rounds; r++ {
+		if r == 0 {
+			for id := 0; id < jobs; id++ {
+				if _, err := svc.Admit(id, 1, []float64{1 + float64(id)*0.25, 0.5}); err != nil {
+					t.Fatalf("admit %d: %v", id, err)
+				}
+			}
+		}
+		// force=true re-solves every shard every round, so the expected span
+		// counts below are exact rather than dependent on dirty tracking.
+		if err := svc.AllocateAll(int64(r), info, true); err != nil {
+			t.Fatalf("round %d: AllocateAll: %v", r, err)
+		}
+		if _, err := svc.AssignRound(int64(r), 10, nil); err != nil {
+			t.Fatalf("round %d: AssignRound: %v", r, err)
+		}
+		if err := svc.EndRound(int64(r)); err != nil {
+			t.Fatalf("round %d: EndRound: %v", r, err)
+		}
+	}
+
+	// The duplicator must actually have fired, or the test proves nothing.
+	dups := coordPlane.Registry().
+		CounterVec("gavel_chaos_faults_total", "", "kind").With("dup").Value()
+	if dups == 0 {
+		t.Fatal("chaos transport injected no duplicates at Dup=1.0")
+	}
+
+	coordCounts := coordPlane.Tracer().CountSpans()
+	if got := coordCounts["coord.allocate"]; got != rounds*shards {
+		t.Fatalf("coord.allocate spans = %d, want %d", got, rounds*shards)
+	}
+	if got := coordCounts["coord.assign"]; got != rounds*shards {
+		t.Fatalf("coord.assign spans = %d, want %d", got, rounds*shards)
+	}
+	if got := coordCounts["journal.commit"]; got != rounds {
+		t.Fatalf("journal.commit spans = %d, want %d", got, rounds)
+	}
+
+	installs, cached := 0, int64(0)
+	traceRe := regexp.MustCompile(`^round-\d{6}$`)
+	for k, p := range shardPlanes {
+		counts := p.Tracer().CountSpans()
+		installs += counts["shard.install"]
+		// Every AllocateAll and AssignRound was delivered twice; the reply
+		// cache must hold server-side spans to one per round.
+		if got := counts["shard.allocate"]; got != rounds {
+			t.Fatalf("shard %d: shard.allocate spans = %d, want %d (dup double-counted?)", k, got, rounds)
+		}
+		if got := counts["shard.assign"]; got != rounds {
+			t.Fatalf("shard %d: shard.assign spans = %d, want %d (dup double-counted?)", k, got, rounds)
+		}
+		for _, m := range []string{"Allocate", "AssignRound", "Install"} {
+			cached += p.Registry().
+				CounterVec("gavel_shard_cached_replies_total", "", "method").With(m).Value()
+		}
+		for _, sp := range p.Tracer().Spans() {
+			if !traceRe.MatchString(sp.Trace) {
+				t.Fatalf("shard %d: span %q carries trace %q, want round-NNNNNN (propagation broken)", k, sp.Name, sp.Trace)
+			}
+		}
+	}
+	if installs != jobs {
+		t.Fatalf("shard.install spans across shards = %d, want %d (one per unique job)", installs, jobs)
+	}
+	if cached == 0 {
+		t.Fatal("no duplicated deliveries were answered from the reply cache")
+	}
+}

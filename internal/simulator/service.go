@@ -115,12 +115,20 @@ func runService(cfg Config) (*Result, error) {
 
 	// The fault plane layers per client: the chaos transport injects seeded
 	// faults below the retry policy, so every injected transient exercises
-	// the production retry/degrade/recover path.
+	// the production retry/degrade/recover path. The telemetry plane rides
+	// both layers — retry outcome counters above, injected-fault counters
+	// below — without touching either one's rand stream.
 	clients := cfg.ShardClients
-	if cfg.Chaos.Enabled() || !cfg.RPC.IsZero() {
+	pol := cfg.RPC
+	pol.Obs = cfg.Obs
+	if cfg.Chaos.Enabled() || !pol.IsZero() || pol.Obs != nil {
 		clients = make([]rpc.ShardClient, len(cfg.ShardClients))
 		for k, c := range cfg.ShardClients {
-			clients[k] = rpc.WithRetry(chaos.Wrap(c, cfg.Chaos, k), cfg.RPC)
+			wrapped := chaos.Wrap(c, cfg.Chaos, k)
+			if tr, ok := wrapped.(*chaos.Transport); ok {
+				tr.SetObs(cfg.Obs)
+			}
+			clients[k] = rpc.WithRetry(wrapped, pol)
 		}
 	}
 
@@ -136,6 +144,7 @@ func runService(cfg Config) (*Result, error) {
 		Journal:           cfg.Journal,
 		StaleAfterRounds:  cfg.StaleAfterRounds,
 		Admission:         cfg.Admission,
+		Obs:               cfg.Obs,
 	}, clients)
 	if err != nil {
 		return nil, err

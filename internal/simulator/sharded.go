@@ -51,6 +51,7 @@ func runSharded(cfg Config) (*Result, error) {
 		Route:             cfg.ShardRoute,
 		PairGainThreshold: pairGainThreshold,
 		MaxPairsPerJob:    pairCap,
+		Obs:               cfg.Obs,
 	})
 	if err != nil {
 		return nil, err

@@ -19,6 +19,7 @@ import (
 	"gavel/internal/cluster"
 	"gavel/internal/core"
 	"gavel/internal/lp"
+	"gavel/internal/obs"
 	"gavel/internal/policy"
 	"gavel/internal/rpc"
 	"gavel/internal/scheduler"
@@ -194,6 +195,13 @@ type Config struct {
 	// current time, the allocation in force, the active job state indices,
 	// and the round's assignments (testing/observability hook).
 	OnRound func(now float64, alloc *core.Allocation, active []int, assigns []scheduler.Assignment)
+	// Obs, when non-nil, wires the run into the telemetry plane: LP solve
+	// series from every solve context, coordinator/journal/admission
+	// instruments and per-round traces in the cluster-service engine, retry
+	// and chaos-fault counters on the wrapped shard clients. Metrics never
+	// influence a scheduling decision — a run with Obs set produces
+	// byte-identical Results to one without.
+	Obs *obs.Plane
 }
 
 // lpOptions folds the legacy LPEngine knob into the typed option set: the
@@ -489,6 +497,7 @@ func Run(cfg Config) (*Result, error) {
 	var ctx *policy.SolveContext
 	if !cfg.ColdSolves {
 		ctx = policy.NewSolveContextWith(cfg.lpOptions())
+		ctx.Metrics = obs.NewLPMetrics(cfg.Obs.Registry())
 	}
 
 	var active []int // indices into states
